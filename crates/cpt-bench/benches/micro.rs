@@ -1,0 +1,130 @@
+//! Microbenchmarks for the substrate layers: the kernels, state machine,
+//! tokenizer and generation loops that every experiment is built from.
+
+use cpt_bench::pipeline::{train_trace, BASE_SEED};
+use cpt_bench::Scale;
+use cpt_gpt::{CptGpt, GenerateConfig, Tokenizer};
+use cpt_nn::{Session, Tensor};
+use cpt_smm::SemiMarkovModel;
+use cpt_statemachine::{replay, StateMachine};
+use cpt_synth::{generate_device, SynthConfig};
+use cpt_trace::DeviceType;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Tensor::randn(&[128, 128], 1.0, &mut rng);
+    let b = Tensor::randn(&[128, 128], 1.0, &mut rng);
+    c.bench_function("nn_matmul_128x128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_transformer_forward(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let data = train_trace(&scale, DeviceType::Phone, 0).sample(32, 1);
+    let tok = Tokenizer::fit(&data);
+    let model = CptGpt::new(scale.gpt.with_seed(BASE_SEED), tok.clone());
+    let streams: Vec<&cpt_trace::Stream> = data.streams.iter().collect();
+    let batch = cpt_gpt::batch::build_batch(&tok, &streams, scale.max_len);
+    c.bench_function("cptgpt_forward_batch32", |bench| {
+        bench.iter(|| {
+            let mut sess = Session::new(&model.store);
+            black_box(model.forward(&mut sess, batch.inputs.clone()));
+        })
+    });
+    c.bench_function("cptgpt_train_step_batch32", |bench| {
+        bench.iter(|| {
+            let mut sess = Session::new(&model.store);
+            let loss = model.loss(&mut sess, &batch);
+            sess.backward(loss);
+            black_box(sess.grads());
+        })
+    });
+}
+
+fn bench_synth_generation(c: &mut Criterion) {
+    c.bench_function("synth_generate_100_phone_ues", |bench| {
+        bench.iter(|| {
+            black_box(generate_device(
+                &SynthConfig::new(0, 7),
+                DeviceType::Phone,
+                100,
+            ))
+        })
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let data = train_trace(&scale, DeviceType::Phone, 0);
+    let machine = StateMachine::lte();
+    c.bench_function("statemachine_replay_600_streams", |bench| {
+        bench.iter(|| {
+            for s in &data.streams {
+                black_box(replay(&machine, s));
+            }
+        })
+    });
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let data = train_trace(&scale, DeviceType::Phone, 0);
+    let tok = Tokenizer::fit(&data);
+    c.bench_function("tokenizer_encode_600_streams", |bench| {
+        bench.iter(|| {
+            for s in &data.streams {
+                black_box(tok.encode_stream(s));
+            }
+        })
+    });
+}
+
+fn bench_smm(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let data = train_trace(&scale, DeviceType::Phone, 0);
+    c.bench_function("smm_fit_600_streams", |bench| {
+        bench.iter(|| {
+            black_box(SemiMarkovModel::fit(
+                StateMachine::lte(),
+                &data,
+                DeviceType::Phone,
+            ))
+        })
+    });
+    let smm = SemiMarkovModel::fit(StateMachine::lte(), &data, DeviceType::Phone);
+    c.bench_function("smm_generate_100_streams", |bench| {
+        bench.iter(|| black_box(smm.generate(100, 3600.0, 1)))
+    });
+}
+
+fn bench_cptgpt_generation(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let data = train_trace(&scale, DeviceType::Phone, 0).sample(100, 2);
+    let tok = Tokenizer::fit(&data);
+    let mut model = CptGpt::new(scale.gpt.with_seed(BASE_SEED), tok);
+    // One quick epoch so the initial-event distribution exists.
+    let cfg = cpt_gpt::TrainConfig::quick().with_epochs(1);
+    cpt_gpt::train(&mut model, &data, &cfg);
+    c.bench_function("cptgpt_generate_16_streams", |bench| {
+        bench.iter(|| black_box(model.generate(&GenerateConfig::new(16, 3))))
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_matmul,
+        bench_transformer_forward,
+        bench_synth_generation,
+        bench_replay,
+        bench_tokenizer,
+        bench_smm,
+        bench_cptgpt_generation,
+}
+criterion_main!(micro);

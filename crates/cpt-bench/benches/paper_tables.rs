@@ -1,0 +1,235 @@
+//! One Criterion bench per paper table/figure, each exercising the exact
+//! code path the `experiments` binary uses to regenerate it, at miniature
+//! sizes so `cargo bench --workspace` terminates quickly. The full-size
+//! regeneration is `cargo run --release -p cpt-bench --bin experiments --
+//! all` (see EXPERIMENTS.md).
+
+use cpt_bench::pipeline::BASE_SEED;
+use cpt_bench::Scale;
+use cpt_gpt::transfer::FineTuneConfig;
+use cpt_gpt::{fine_tune, train, CptGpt, GenerateConfig, Tokenizer};
+use cpt_metrics::{
+    flow_length_distance, ngram_repeat_fraction, select_checkpoint, sojourn_distance,
+    violation_stats, FidelityReport, FlowLenKind,
+};
+use cpt_netshare::NetShare;
+use cpt_smm::{SemiMarkovModel, SmmEnsemble};
+use cpt_statemachine::{StateMachine, TopState};
+use cpt_synth::{generate_device, SynthConfig};
+use cpt_trace::stats::{log_scale, Histogram};
+use cpt_trace::{Dataset, DeviceType};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Miniature scale shared by all table benches.
+fn mini_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.train_ues = 80;
+    s.test_ues = 80;
+    s.gen_streams = 60;
+    s.gpt_train.epochs = 2;
+    s.ns.epochs = 2;
+    s.smm_clusters = 4;
+    s
+}
+
+struct Fixtures {
+    scale: Scale,
+    machine: StateMachine,
+    real_train: Dataset,
+    real_test: Dataset,
+    gpt: CptGpt,
+    netshare: NetShare,
+    gpt_synth: Dataset,
+    ns_synth: Dataset,
+}
+
+fn fixtures() -> Fixtures {
+    let scale = mini_scale();
+    let machine = StateMachine::lte();
+    let real_train = cpt_bench::pipeline::train_trace(&scale, DeviceType::Phone, 0);
+    let real_test = cpt_bench::pipeline::test_trace(&scale, DeviceType::Phone, 0);
+    let tok = Tokenizer::fit(&real_train);
+    let mut gpt = CptGpt::new(scale.gpt.with_seed(BASE_SEED), tok);
+    train(&mut gpt, &real_train, &scale.gpt_train);
+    let mut netshare = NetShare::new(scale.ns.with_seed(BASE_SEED));
+    netshare.train(&real_train);
+    let gpt_synth = gpt.generate(&GenerateConfig::new(scale.gen_streams, 5));
+    let ns_synth = netshare.generate(scale.gen_streams, DeviceType::Phone, 5);
+    Fixtures {
+        scale,
+        machine,
+        real_train,
+        real_test,
+        gpt,
+        netshare,
+        gpt_synth,
+        ns_synth,
+    }
+}
+
+fn paper_tables(c: &mut Criterion) {
+    let f = fixtures();
+
+    // Table 3: replaying NetShare output against the 3GPP machine.
+    c.bench_function("table3_netshare_violation_replay", |b| {
+        b.iter(|| black_box(violation_stats(&f.machine, &f.ns_synth)))
+    });
+
+    // Figure 2: per-UE mean CONNECTED sojourn CDF distance.
+    c.bench_function("fig2_sojourn_cdf_distance", |b| {
+        b.iter(|| {
+            black_box(sojourn_distance(
+                &f.machine,
+                &f.real_test,
+                &f.gpt_synth,
+                TopState::Connected,
+            ))
+        })
+    });
+
+    // Table 4 / Table 9: one NetShare fine-tune epoch (the unit the
+    // transfer-learning timing is built from).
+    c.bench_function("table4_netshare_finetune_epoch", |b| {
+        b.iter(|| {
+            let (m, _) = f.netshare.fine_tune(&f.real_test, 1);
+            black_box(m)
+        })
+    });
+
+    // Table 5: violation stats for CPT-GPT output.
+    c.bench_function("table5_cptgpt_violation_replay", |b| {
+        b.iter(|| black_box(violation_stats(&f.machine, &f.gpt_synth)))
+    });
+
+    // Table 6 / Figure 5: the full fidelity report.
+    c.bench_function("table6_fidelity_report", |b| {
+        b.iter(|| {
+            black_box(FidelityReport::compute(
+                &f.machine,
+                &f.real_test,
+                &f.gpt_synth,
+            ))
+        })
+    });
+
+    // Table 7: event-type breakdown difference.
+    c.bench_function("table7_breakdown_diff", |b| {
+        b.iter(|| {
+            black_box(cpt_metrics::max_abs_breakdown_diff(
+                &f.real_test,
+                &f.gpt_synth,
+            ))
+        })
+    });
+
+    // Table 8: one ablation training run (point interarrival head).
+    c.bench_function("table8_ablation_train", |b| {
+        b.iter(|| {
+            let tok = Tokenizer::fit(&f.real_train);
+            let cfg = f.scale.gpt.with_seed(BASE_SEED).with_point_iat_head();
+            let mut m = CptGpt::new(cfg, tok);
+            let mut tc = f.scale.gpt_train;
+            tc.epochs = 1;
+            black_box(train(&mut m, &f.real_train, &tc));
+        })
+    });
+
+    // Figure 6: generation + equal-size-reference comparison at one size.
+    c.bench_function("fig6_generate_and_compare", |b| {
+        b.iter(|| {
+            let synth = f.gpt.generate(&GenerateConfig::new(30, 9));
+            let reference = f.real_test.sample(30, 9);
+            black_box(FidelityReport::compute(&f.machine, &reference, &synth))
+        })
+    });
+
+    // Table 9: one CPT-GPT fine-tune (transfer-learning unit).
+    c.bench_function("table9_cptgpt_finetune", |b| {
+        b.iter(|| {
+            let (m, _) = fine_tune(
+                &f.gpt,
+                &f.real_test,
+                &f.scale.gpt_train,
+                &FineTuneConfig::default(),
+            );
+            black_box(m)
+        })
+    });
+
+    // Table 10: checkpoint selection over fidelity metric vectors.
+    c.bench_function("table10_checkpoint_selection", |b| {
+        let metrics: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![1.0 / (i + 1) as f64, (i as f64 * 0.07).sin().abs(), 0.1])
+            .collect();
+        b.iter(|| black_box(select_checkpoint(&metrics, 0.2)))
+    });
+
+    // Table 11: n-gram memorization scan.
+    c.bench_function("table11_ngram_memorization", |b| {
+        b.iter(|| {
+            black_box(ngram_repeat_fraction(
+                &f.gpt_synth,
+                &f.real_train,
+                10,
+                0.10,
+            ))
+        })
+    });
+
+    // Figure 7: interarrival histogramming, raw and log-scaled.
+    c.bench_function("fig7_interarrival_histogram", |b| {
+        let iats = f.real_train.interarrivals();
+        b.iter(|| {
+            let max = iats.iter().cloned().fold(1.0f64, f64::max);
+            let mut raw = Histogram::new(0.0, max, 50);
+            raw.extend(iats.iter().copied());
+            let mut lg = Histogram::new(0.0, log_scale(max), 50);
+            lg.extend(iats.iter().map(|x| log_scale(*x)));
+            black_box((raw.total(), lg.total()))
+        })
+    });
+
+    // Baseline comparators used across tables: SMM fitting + generation.
+    c.bench_function("table6_smm1_fit_generate", |b| {
+        b.iter(|| {
+            let smm = SemiMarkovModel::fit(f.machine, &f.real_train, DeviceType::Phone);
+            black_box(smm.generate(30, 3600.0, 3))
+        })
+    });
+    c.bench_function("table6_smmk_fit_generate", |b| {
+        b.iter(|| {
+            let ens = SmmEnsemble::fit(f.machine, &f.real_train, DeviceType::Phone, 4, 0);
+            black_box(ens.generate(30, 3600.0, 3))
+        })
+    });
+
+    // Ground-truth simulator feeding every experiment.
+    c.bench_function("ground_truth_simulation_80_ues", |b| {
+        b.iter(|| {
+            black_box(generate_device(
+                &SynthConfig::new(0, 3),
+                DeviceType::Phone,
+                80,
+            ))
+        })
+    });
+
+    // Flow-length distance on its own (Table 6 right columns).
+    c.bench_function("table6_flow_length_distance", |b| {
+        b.iter(|| {
+            black_box(flow_length_distance(
+                &f.real_test,
+                &f.gpt_synth,
+                FlowLenKind::All,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = paper_tables,
+}
+criterion_main!(tables);

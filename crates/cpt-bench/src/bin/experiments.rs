@@ -1,0 +1,130 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--scale quick|full] [--out DIR] <command> [command...]
+//!
+//! commands:
+//!   table3 table4 table5 table6 table7 table8 table9 table10 table11
+//!   fig2 fig5 fig6 fig7
+//!   ablation-logscale ablation-batchgen
+//!   all          every table/figure plus both extra ablations
+//! ```
+//!
+//! Results are printed and mirrored into the output directory
+//! (default `results/`).
+
+use cpt_bench::experiments::{
+    ablations, distributions, downstream, memorization, scalability, transfer, violations,
+};
+use cpt_bench::output::Output;
+use cpt_bench::pipeline::SuiteCache;
+use cpt_bench::Scale;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments [--scale quick|full] [--out DIR] <command...>\n\
+         commands: table3 table4 table5 table6 table7 table8 table9 table10 table11\n\
+         \u{20}         fig2 fig5 fig6 fig7 downstream ablation-logscale ablation-batchgen all"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut scale = Scale::quick();
+    let mut out_dir = "results".to_string();
+    let mut commands: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(name) = args.next() else { return usage() };
+                match Scale::by_name(&name) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale {name:?} (use quick or full)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--out" => {
+                let Some(dir) = args.next() else { return usage() };
+                out_dir = dir;
+            }
+            "--help" | "-h" => return usage(),
+            cmd => commands.push(cmd.to_string()),
+        }
+    }
+    if commands.is_empty() {
+        return usage();
+    }
+    if commands.iter().any(|c| c == "all") {
+        commands = [
+            "table3", "fig2", "table4", "table5", "table6", "fig5", "table7", "table8",
+            "fig6", "table9", "table10", "table11", "fig7", "ablation-logscale",
+            "ablation-batchgen", "downstream",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let out = match Output::new(&out_dir) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cannot create output dir {out_dir:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    out.note(&format!(
+        "CPT-GPT reproduction experiments — scale '{}', results in {}/",
+        scale.name, out_dir
+    ));
+
+    // Suites (trained generators per device) are shared across commands;
+    // the transfer protocol is likewise run once for tables 4/9/10.
+    let mut cache = SuiteCache::new();
+    let mut transfer_runs = None;
+    let start = Instant::now();
+    for cmd in &commands {
+        let t0 = Instant::now();
+        match cmd.as_str() {
+            "table3" => violations::run_table3(&scale, &out, &mut cache),
+            "table5" => violations::run_table5(&scale, &out, &mut cache),
+            "fig2" => distributions::run_fig2(&scale, &out, &mut cache),
+            "table6" => distributions::run_table6(&scale, &out, &mut cache),
+            "fig5" => distributions::run_fig5(&scale, &out, &mut cache),
+            "table7" => distributions::run_table7(&scale, &out, &mut cache),
+            "table8" => ablations::run_table8(&scale, &out),
+            "fig6" => scalability::run_fig6(&scale, &out, &mut cache),
+            "table4" | "table9" | "table10" => {
+                if transfer_runs.is_none() {
+                    out.note("== Running the transfer-learning protocol (shared by Tables 4/9/10) ==");
+                    transfer_runs = Some(transfer::run_transfer_protocol(&scale, &out));
+                }
+                let runs = transfer_runs.as_ref().expect("just set");
+                match cmd.as_str() {
+                    "table4" => transfer::run_table4(&out, runs, scale.hours),
+                    "table9" => transfer::run_table9(&out, runs, scale.hours),
+                    _ => transfer::run_table10(&scale, &out, runs),
+                }
+            }
+            "table11" => memorization::run_table11(&scale, &out, &mut cache),
+            "fig7" => memorization::run_fig7(&scale, &out, &mut cache),
+            "downstream" => downstream::run_downstream(&scale, &out, &mut cache),
+            "ablation-logscale" => ablations::run_ablation_logscale(&scale, &out),
+            "ablation-batchgen" => ablations::run_ablation_batchgen(&scale, &out),
+            other => {
+                eprintln!("unknown command {other:?}");
+                return usage();
+            }
+        }
+        out.note(&format!("  [{cmd} done in {:.1}s]\n", t0.elapsed().as_secs_f64()));
+    }
+    out.note(&format!(
+        "all requested experiments finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    ));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,11 @@
+//! One module per group of tables/figures. Every public `run_*` function
+//! regenerates exactly one table or figure of the paper; the per-
+//! experiment index in DESIGN.md maps them.
+
+pub mod ablations;
+pub mod distributions;
+pub mod downstream;
+pub mod memorization;
+pub mod scalability;
+pub mod transfer;
+pub mod violations;

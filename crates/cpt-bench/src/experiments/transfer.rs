@@ -1,0 +1,231 @@
+//! Tables 4, 9 and 10: adapting to data drift across hours of the day.
+//!
+//! Methodology (§5.5): for each training run, checkpoints are snapshotted
+//! every N epochs, scored on the fidelity metrics against a validation
+//! trace, and the checkpoint-selection heuristic decides when the model
+//! had converged; "training time" is the wall-clock time up to that
+//! checkpoint. The two regimes compared are (a) one model trained on the
+//! concatenated multi-hour trace, and (b) an hour-0 model transferred
+//! recursively to each subsequent hour.
+
+use crate::output::Output;
+use crate::pipeline::{
+    concat_hours, cptgpt_time_to_converge, netshare_time_to_converge, test_trace, train_trace,
+    BASE_SEED,
+};
+use crate::Scale;
+use cpt_gpt::{CptGpt, GenerateConfig};
+use cpt_metrics::report::{minutes, pct};
+use cpt_metrics::{FidelityReport, Table};
+use cpt_netshare::NetShare;
+use cpt_statemachine::StateMachine;
+use cpt_trace::{Dataset, DeviceType};
+
+/// The timing measurements shared by Tables 4 and 9, plus the hour-3
+/// models needed by Table 10.
+pub struct TransferRuns {
+    /// Seconds to train the single multi-hour model.
+    pub scratch_multi: (f64, f64), // (netshare, cptgpt)
+    /// Seconds to train the hour-0 model from scratch.
+    pub first_hour: (f64, f64),
+    /// Seconds per subsequent hour via transfer (averaged).
+    pub per_hour_ft: (f64, f64),
+    /// Total for the hourly-ensemble regime: first hour + (hours-1) fine-
+    /// tunes.
+    pub total_ft: (f64, f64),
+    /// Hour-3 models trained from scratch (NetShare, CPT-GPT).
+    pub hour3_scratch: (NetShare, CptGpt),
+    /// Hour-3 models reached through the transfer chain.
+    pub hour3_transfer: (NetShare, CptGpt),
+    /// Hour-3 test trace.
+    pub hour3_test: Dataset,
+}
+
+/// Runs the full transfer-learning timing protocol once (used by Tables
+/// 4, 9 and 10).
+pub fn run_transfer_protocol(scale: &Scale, out: &Output) -> TransferRuns {
+    let device = DeviceType::Phone;
+    let hours: Vec<Dataset> = (0..scale.hours)
+        .map(|h| train_trace(scale, device, h))
+        .collect();
+    let validations: Vec<Dataset> = (0..scale.hours)
+        .map(|h| test_trace(scale, device, h))
+        .collect();
+    let multi = concat_hours(&hours);
+    let multi_val = concat_hours(&validations);
+
+    out.note("  [training multi-hour models from scratch]");
+    let (_, ns_multi) =
+        netshare_time_to_converge(scale, &multi, &multi_val, None, BASE_SEED + 70);
+    let (_, gpt_multi) = cptgpt_time_to_converge(scale, &multi, &multi_val, None, BASE_SEED + 70);
+
+    out.note("  [training hour-0 models from scratch]");
+    let (mut ns_cur, ns_first) =
+        netshare_time_to_converge(scale, &hours[0], &validations[0], None, BASE_SEED + 71);
+    let (mut gpt_cur, gpt_first) =
+        cptgpt_time_to_converge(scale, &hours[0], &validations[0], None, BASE_SEED + 71);
+
+    let mut ns_scratch3 = None;
+    let mut gpt_scratch3 = None;
+    let mut ns_ft_secs = Vec::new();
+    let mut gpt_ft_secs = Vec::new();
+    let mut ns_ft3 = None;
+    let mut gpt_ft3 = None;
+    for h in 1..scale.hours {
+        out.note(&format!("  [transferring to hour {h}]"));
+        let (ns_next, ns_t) = netshare_time_to_converge(
+            scale,
+            &hours[h],
+            &validations[h],
+            Some(&ns_cur),
+            BASE_SEED + 72 + h as u64,
+        );
+        let (gpt_next, gpt_t) = cptgpt_time_to_converge(
+            scale,
+            &hours[h],
+            &validations[h],
+            Some(&gpt_cur),
+            BASE_SEED + 72 + h as u64,
+        );
+        ns_ft_secs.push(ns_t.seconds);
+        gpt_ft_secs.push(gpt_t.seconds);
+        ns_cur = ns_next;
+        gpt_cur = gpt_next;
+        if h == 3 {
+            ns_ft3 = Some(ns_cur.clone());
+            gpt_ft3 = Some(gpt_cur.clone());
+            out.note("  [training hour-3 models from scratch for Table 10]");
+            let (ns3, _) = netshare_time_to_converge(
+                scale,
+                &hours[3],
+                &validations[3],
+                None,
+                BASE_SEED + 80,
+            );
+            let (gpt3, _) = cptgpt_time_to_converge(
+                scale,
+                &hours[3],
+                &validations[3],
+                None,
+                BASE_SEED + 80,
+            );
+            ns_scratch3 = Some(ns3);
+            gpt_scratch3 = Some(gpt3);
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let total_ns = ns_first.seconds + ns_ft_secs.iter().sum::<f64>();
+    let total_gpt = gpt_first.seconds + gpt_ft_secs.iter().sum::<f64>();
+    TransferRuns {
+        scratch_multi: (ns_multi.seconds, gpt_multi.seconds),
+        first_hour: (ns_first.seconds, gpt_first.seconds),
+        per_hour_ft: (avg(&ns_ft_secs), avg(&gpt_ft_secs)),
+        total_ft: (total_ns, total_gpt),
+        hour3_scratch: (
+            ns_scratch3.expect("hours >= 4"),
+            gpt_scratch3.expect("hours >= 4"),
+        ),
+        hour3_transfer: (ns_ft3.expect("hours >= 4"), gpt_ft3.expect("hours >= 4")),
+        hour3_test: validations.into_iter().nth(3).expect("hours >= 4"),
+    }
+}
+
+/// Table 4: NetShare's training time, scratch vs transfer.
+pub fn run_table4(out: &Output, runs: &TransferRuns, hours: usize) {
+    out.note("== Table 4: NetShare training time, from scratch vs transfer learning ==");
+    let mut t = Table::new(
+        "Table 4: NetShare training time (checkpoint-selection methodology)",
+        &["setup", "time"],
+    );
+    t.row(&[
+        format!("{hours}-hour model from scratch"),
+        minutes(runs.scratch_multi.0),
+    ]);
+    t.row(&["1-hour model from scratch".into(), minutes(runs.first_hour.0)]);
+    t.row(&[
+        "1-hour model from finetuning from another hour".into(),
+        minutes(runs.per_hour_ft.0),
+    ]);
+    t.row(&[
+        format!("{hours} 1-hour models total from transfer learning"),
+        minutes(runs.total_ft.0),
+    ]);
+    out.table("table4", &t.render());
+}
+
+/// Table 9: NetShare vs CPT-GPT training time with and without transfer.
+pub fn run_table9(out: &Output, runs: &TransferRuns, hours: usize) {
+    out.note("== Table 9: training time w/ and w/o transfer learning ==");
+    let mut t = Table::new(
+        "Table 9: training time (checkpoint-selection methodology)",
+        &["setup", "NetShare", "CPT-GPT"],
+    );
+    t.row(&[
+        format!("No transfer learning ({hours}-hour model)"),
+        minutes(runs.scratch_multi.0),
+        minutes(runs.scratch_multi.1),
+    ]);
+    t.row(&[
+        "Transfer: first hour".into(),
+        minutes(runs.first_hour.0),
+        minutes(runs.first_hour.1),
+    ]);
+    t.row(&[
+        "Transfer: finetune to each subsequent hour (avg)".into(),
+        minutes(runs.per_hour_ft.0),
+        minutes(runs.per_hour_ft.1),
+    ]);
+    t.row(&[
+        "Transfer: total".into(),
+        minutes(runs.total_ft.0),
+        minutes(runs.total_ft.1),
+    ]);
+    let speedup = runs.total_ft.0 / runs.total_ft.1.max(1e-9);
+    t.row(&[
+        "Hourly-ensemble speedup (NetShare time / CPT-GPT time)".into(),
+        String::new(),
+        format!("{speedup:.2}x"),
+    ]);
+    out.table("table9", &t.render());
+}
+
+/// Table 10: fidelity of the 4th-hour trace with and without transfer
+/// learning.
+pub fn run_table10(scale: &Scale, out: &Output, runs: &TransferRuns) {
+    out.note("== Table 10: fidelity w/ and w/o transfer learning (hour 3) ==");
+    let machine = StateMachine::lte();
+    let eval_ns = |m: &NetShare, seed: u64| {
+        let synth = m.generate(scale.gen_streams, DeviceType::Phone, seed);
+        FidelityReport::compute(&machine, &runs.hour3_test, &synth)
+    };
+    let eval_gpt = |m: &CptGpt, seed: u64| {
+        let synth =
+            m.generate(&GenerateConfig::new(scale.gen_streams, seed).device(DeviceType::Phone));
+        FidelityReport::compute(&machine, &runs.hour3_test, &synth)
+    };
+    let reports = [
+        ("w/o xfer", eval_ns(&runs.hour3_scratch.0, BASE_SEED + 90), eval_gpt(&runs.hour3_scratch.1, BASE_SEED + 90)),
+        ("w/ xfer", eval_ns(&runs.hour3_transfer.0, BASE_SEED + 91), eval_gpt(&runs.hour3_transfer.1, BASE_SEED + 91)),
+    ];
+    let mut t = Table::new(
+        "Table 10: hour-3 fidelity with and without transfer learning",
+        &["metric", "NetShare w/o", "CPT-GPT w/o", "NetShare w/", "CPT-GPT w/"],
+    );
+    let metric_rows: [(&str, Box<dyn Fn(&FidelityReport) -> f64>); 5] = [
+        ("Event violations", Box::new(|r| r.event_violation_rate)),
+        ("Stream violations", Box::new(|r| r.stream_violation_rate)),
+        ("Sojourn CONNECTED", Box::new(|r| r.sojourn_connected)),
+        ("Sojourn IDLE", Box::new(|r| r.sojourn_idle)),
+        ("Flow length", Box::new(|r| r.flow_length_all)),
+    ];
+    for (name, f) in metric_rows {
+        t.row(&[
+            name.into(),
+            pct(f(&reports[0].1), 2),
+            pct(f(&reports[0].2), 2),
+            pct(f(&reports[1].1), 2),
+            pct(f(&reports[1].2), 2),
+        ]);
+    }
+    out.table("table10", &t.render());
+}

@@ -1,0 +1,73 @@
+//! Experiment output sink: prints to stdout and mirrors everything into a
+//! results directory (tables as text, figure series as CSV).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Collects experiment output.
+pub struct Output {
+    dir: PathBuf,
+}
+
+impl Output {
+    /// Creates (if necessary) the results directory.
+    pub fn new(dir: impl AsRef<Path>) -> std::io::Result<Output> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(Output {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The results directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Prints `text` and appends it to `<dir>/<name>.txt`.
+    pub fn table(&self, name: &str, text: &str) {
+        println!("{text}");
+        if let Err(e) = fs::write(self.dir.join(format!("{name}.txt")), text) {
+            eprintln!("warning: could not write {name}.txt: {e}");
+        }
+    }
+
+    /// Writes CSV series for a figure: one header row then data rows.
+    pub fn csv(&self, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+        let path = self.dir.join(format!("{name}.csv"));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&path)?;
+            writeln!(f, "{}", headers.join(","))?;
+            for row in rows {
+                writeln!(f, "{}", row.join(","))?;
+            }
+            Ok(())
+        };
+        match write() {
+            Ok(()) => println!("  [wrote {} rows to {}]", rows.len(), path.display()),
+            Err(e) => eprintln!("warning: could not write {name}.csv: {e}"),
+        }
+    }
+
+    /// Status line.
+    pub fn note(&self, msg: &str) {
+        println!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_tables_and_csv() {
+        let dir = std::env::temp_dir().join(format!("cpt-bench-out-{}", std::process::id()));
+        let out = Output::new(&dir).unwrap();
+        out.table("t_test", "| a |\n| 1 |\n");
+        out.csv("f_test", &["x", "y"], &[vec!["1".into(), "2".into()]]);
+        assert!(dir.join("t_test.txt").exists());
+        let csv = fs::read_to_string(dir.join("f_test.csv")).unwrap();
+        assert_eq!(csv, "x,y\n1,2\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,198 @@
+//! Model and training hyperparameters.
+
+use cpt_trace::Generation;
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyperparameters of CPT-GPT.
+///
+/// The paper's tuned model uses 2 attention blocks, embedding dimension
+/// 128 and MLP hidden size 1024 (725 k parameters, 2.9 MB). The defaults
+/// here keep the same shape at reduced width so CPU training finishes in
+/// minutes; [`CptGptConfig::paper`] reproduces the paper's exact sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CptGptConfig {
+    /// Cellular generation (sets the event-type vocabulary: 6 for LTE).
+    pub generation: Generation,
+    /// Attention hidden size (`d_model`).
+    pub d_model: usize,
+    /// Number of transformer blocks.
+    pub n_blocks: usize,
+    /// Attention heads per block.
+    pub n_heads: usize,
+    /// MLP hidden size inside each block.
+    pub d_mlp: usize,
+    /// Hidden size of the three output MLP heads.
+    pub d_head: usize,
+    /// Maximum stream length the model can represent (the paper trains
+    /// with 500 and discards longer streams).
+    pub max_len: usize,
+    /// Loss weights (event type, interarrival, stop flag); the paper's
+    /// default is 1:1:1 and Table 8 shows low sensitivity.
+    pub loss_weights: (f32, f32, f32),
+    /// Ablation switch (Table 8, "No dist. pred."): when `true` the
+    /// interarrival head outputs a single scalar trained with MSE instead
+    /// of Gaussian (μ, log σ) trained with NLL, and inference uses the
+    /// scalar directly without sampling.
+    pub point_iat_head: bool,
+    /// Seed for weight initialization.
+    pub seed: u64,
+}
+
+impl CptGptConfig {
+    /// CPU-sized default (same architecture shape as the paper at reduced
+    /// width).
+    pub fn small() -> Self {
+        CptGptConfig {
+            generation: Generation::Lte,
+            d_model: 48,
+            n_blocks: 2,
+            n_heads: 4,
+            d_mlp: 192,
+            d_head: 48,
+            max_len: 128,
+            loss_weights: (1.0, 1.0, 1.0),
+            point_iat_head: false,
+            seed: 0,
+        }
+    }
+
+    /// The paper's exact architecture (§5.1): 2 blocks, d_model 128, MLP
+    /// 1024 — ~725 k parameters.
+    pub fn paper() -> Self {
+        CptGptConfig {
+            d_model: 128,
+            d_mlp: 1024,
+            d_head: 128,
+            max_len: 500,
+            ..CptGptConfig::small()
+        }
+    }
+
+    /// Builder: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the maximum stream length.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = max_len;
+        self
+    }
+
+    /// Builder: sets loss weights (event : interarrival : stop).
+    pub fn with_loss_weights(mut self, event: f32, iat: f32, stop: f32) -> Self {
+        self.loss_weights = (event, iat, stop);
+        self
+    }
+
+    /// Builder: enables the Table 8 "no distribution prediction" ablation.
+    pub fn with_point_iat_head(mut self) -> Self {
+        self.point_iat_head = true;
+        self
+    }
+}
+
+impl Default for CptGptConfig {
+    fn default() -> Self {
+        CptGptConfig::small()
+    }
+}
+
+/// Optimization hyperparameters for one training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training streams.
+    pub epochs: usize,
+    /// Streams per batch.
+    pub batch_size: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Linear warmup steps before the cosine decay.
+    pub warmup_steps: u64,
+    /// Global gradient-norm clip.
+    pub clip_norm: f64,
+    /// Seed for batch shuffling.
+    pub seed: u64,
+    /// If `Some(n)`, snapshot the parameter store every `n` epochs (for
+    /// the §5.5 checkpoint-selection heuristic).
+    pub snapshot_every: Option<usize>,
+}
+
+impl TrainConfig {
+    /// Quick default suitable for tests and examples.
+    pub fn quick() -> Self {
+        TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            lr: 3e-3,
+            warmup_steps: 5,
+            clip_norm: 1.0,
+            seed: 0,
+            snapshot_every: None,
+        }
+    }
+
+    /// Builder: sets epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Builder: sets the learning rate.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Builder: sets the shuffle seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: enables parameter snapshots.
+    pub fn with_snapshots(mut self, every: usize) -> Self {
+        self.snapshot_every = Some(every);
+        self
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_5_1() {
+        let c = CptGptConfig::paper();
+        assert_eq!(c.n_blocks, 2);
+        assert_eq!(c.d_model, 128);
+        assert_eq!(c.d_mlp, 1024);
+        assert_eq!(c.max_len, 500);
+        assert_eq!(c.loss_weights, (1.0, 1.0, 1.0));
+        assert!(!c.point_iat_head);
+    }
+
+    #[test]
+    fn builders() {
+        let c = CptGptConfig::small()
+            .with_seed(9)
+            .with_max_len(64)
+            .with_loss_weights(3.0, 1.0, 1.0)
+            .with_point_iat_head();
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.max_len, 64);
+        assert_eq!(c.loss_weights.0, 3.0);
+        assert!(c.point_iat_head);
+        let t = TrainConfig::quick().with_epochs(3).with_lr(0.1).with_seed(5);
+        assert_eq!(t.epochs, 3);
+        assert_eq!(t.lr, 0.1);
+        assert_eq!(t.seed, 5);
+    }
+}

@@ -1,0 +1,449 @@
+//! Autoregressive inference (§4.5).
+//!
+//! Each stream starts from a token whose event type is sampled from the
+//! released initial-event-type distribution and whose interarrival and
+//! stop flag are zero (matching training, where the first token always has
+//! interarrival 0 and length-1 streams are excluded). The model is then
+//! decoded recursively — the (K+1)-th token is predicted from the previous
+//! K — until it emits a stop flag or hits the configured maximum length.
+//!
+//! Categorical fields are sampled from the predicted softmax; the
+//! interarrival is sampled from the predicted Gaussian (Design 2). Streams
+//! are generated in batches: one forward over the shared prefix per step.
+
+use crate::model::CptGpt;
+use cpt_nn::Tensor;
+use cpt_trace::{Dataset, DeviceType, EventType, Stream, UeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Inference configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerateConfig {
+    /// Number of UE streams to synthesize.
+    pub num_streams: usize,
+    /// Device type stamped on the generated streams (the model itself is
+    /// per-device-type, as in §5.1).
+    pub device_type: DeviceType,
+    /// RNG seed.
+    pub seed: u64,
+    /// Softmax temperature for the categorical heads (1.0 = the paper's
+    /// plain sampling).
+    pub temperature: f32,
+    /// Streams decoded per batched forward pass.
+    pub batch_size: usize,
+    /// Truncated sampling for the event-type head. The paper samples the
+    /// full softmax; truncation is a standard inference-time knob that
+    /// trades diversity for semantic precision.
+    pub sampling: Sampling,
+}
+
+/// Categorical sampling strategies for the event-type head.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Sampling {
+    /// Sample the full softmax (the paper's default).
+    #[default]
+    Full,
+    /// Sample only among the `k` most probable events.
+    TopK(usize),
+    /// Sample the smallest probability mass that reaches `p` (nucleus /
+    /// top-p sampling).
+    Nucleus(f32),
+}
+
+impl GenerateConfig {
+    /// Generates `n` phone streams with default sampling settings.
+    pub fn new(n: usize, seed: u64) -> Self {
+        GenerateConfig {
+            num_streams: n,
+            device_type: DeviceType::Phone,
+            seed,
+            temperature: 1.0,
+            batch_size: 64,
+            sampling: Sampling::Full,
+        }
+    }
+
+    /// Builder: sets the device type.
+    pub fn device(mut self, device_type: DeviceType) -> Self {
+        self.device_type = device_type;
+        self
+    }
+
+    /// Builder: sets the event-head sampling strategy.
+    pub fn sampling(mut self, sampling: Sampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+}
+
+impl CptGpt {
+    /// Synthesizes a dataset of `cfg.num_streams` streams.
+    pub fn generate(&self, cfg: &GenerateConfig) -> Dataset {
+        assert!(
+            !self.initial_event_dist.is_empty(),
+            "model has no initial-event distribution; train it first"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut streams = Vec::with_capacity(cfg.num_streams);
+        let mut next_id = 0u64;
+        let mut remaining = cfg.num_streams;
+        while remaining > 0 {
+            let b = remaining.min(cfg.batch_size.max(1));
+            streams.extend(self.generate_batch(b, cfg, &mut next_id, &mut rng));
+            remaining -= b;
+        }
+        Dataset::with_generation(self.config.generation, streams)
+    }
+
+    fn generate_batch(
+        &self,
+        b: usize,
+        cfg: &GenerateConfig,
+        next_id: &mut u64,
+        rng: &mut StdRng,
+    ) -> Vec<Stream> {
+        let d = self.tokenizer.token_dim();
+        let max_len = self.config.max_len;
+        let e = self.tokenizer.num_events();
+
+        // Per-stream last token and decoded fields.
+        let mut last_token: Vec<Vec<f32>> = Vec::with_capacity(b);
+        let mut events: Vec<Vec<EventType>> = vec![Vec::new(); b];
+        let mut iats: Vec<Vec<f64>> = vec![Vec::new(); b];
+        let mut alive: Vec<bool> = vec![true; b];
+
+        for s in 0..b {
+            let ev = sample_categorical(
+                &self
+                    .initial_event_dist
+                    .iter()
+                    .map(|(_, p)| *p)
+                    .collect::<Vec<_>>(),
+                rng,
+            );
+            let ev = self.initial_event_dist[ev].0;
+            events[s].push(ev);
+            iats[s].push(0.0);
+            last_token.push(self.tokenizer.encode_sample(ev, 0.0, false));
+        }
+
+        // Incremental KV-cached decoding: each step feeds only the newest
+        // token per stream (O(T) per step instead of O(T²)).
+        let mut state = self.begin_decode(b);
+        for _t in 1..max_len {
+            if alive.iter().all(|a| !a) {
+                break;
+            }
+            let mut step = Tensor::zeros(&[b, 1, d]);
+            for (s, tok) in last_token.iter().enumerate() {
+                step.data[s * d..(s + 1) * d].copy_from_slice(tok);
+            }
+            let out = self.decode_step(&mut state, &step);
+
+            for s in 0..b {
+                if !alive[s] {
+                    continue;
+                }
+                let ev_idx = sample_logits_truncated(
+                    &out.event_logits.data[s * e..(s + 1) * e],
+                    cfg.temperature,
+                    cfg.sampling,
+                    rng,
+                );
+                let event = EventType::from_index(ev_idx).expect("valid event index");
+                let scaled_iat = if self.config.point_iat_head {
+                    out.iat_mean[s]
+                } else {
+                    let mu = out.iat_mean[s];
+                    let sigma = out.iat_log_std[s].clamp(-7.0, 3.0).exp();
+                    mu + sigma * sample_normal(rng)
+                }
+                .clamp(0.0, 1.0);
+                let iat = self.tokenizer.unscale_iat(scaled_iat);
+                let stop_idx = sample_logits(
+                    &out.stop_logits.data[s * 2..(s + 1) * 2],
+                    cfg.temperature,
+                    rng,
+                );
+                let stop = stop_idx == 1;
+
+                events[s].push(event);
+                iats[s].push(iat);
+                last_token[s] = self.tokenizer.encode_sample(event, iat, stop);
+                if stop {
+                    alive[s] = false;
+                }
+            }
+        }
+
+        (0..b)
+            .map(|s| {
+                let id = UeId(*next_id);
+                *next_id += 1;
+                Stream::from_interarrivals(id, cfg.device_type, &events[s], &iats[s])
+            })
+            .collect()
+    }
+}
+
+fn sample_normal(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+fn sample_categorical(probs: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = probs.iter().sum();
+    let mut target = rng.gen::<f64>() * total.max(1e-300);
+    for (i, p) in probs.iter().enumerate() {
+        if target < *p {
+            return i;
+        }
+        target -= p;
+    }
+    probs.len() - 1
+}
+
+fn sample_logits(logits: &[f32], temperature: f32, rng: &mut impl Rng) -> usize {
+    sample_logits_truncated(logits, temperature, Sampling::Full, rng)
+}
+
+fn sample_logits_truncated(
+    logits: &[f32],
+    temperature: f32,
+    sampling: Sampling,
+    rng: &mut impl Rng,
+) -> usize {
+    let t = temperature.max(1e-3);
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut probs: Vec<f64> = logits
+        .iter()
+        .map(|l| (((l - max) / t) as f64).exp())
+        .collect();
+    match sampling {
+        Sampling::Full => {}
+        Sampling::TopK(k) => {
+            let k = k.clamp(1, probs.len());
+            let mut order: Vec<usize> = (0..probs.len()).collect();
+            order.sort_by(|a, b| probs[*b].partial_cmp(&probs[*a]).expect("no NaN"));
+            for i in &order[k..] {
+                probs[*i] = 0.0;
+            }
+        }
+        Sampling::Nucleus(p) => {
+            let p = p.clamp(1e-6, 1.0) as f64;
+            let total: f64 = probs.iter().sum();
+            let mut order: Vec<usize> = (0..probs.len()).collect();
+            order.sort_by(|a, b| probs[*b].partial_cmp(&probs[*a]).expect("no NaN"));
+            let mut cum = 0.0;
+            let mut keep = 0;
+            for i in &order {
+                cum += probs[*i] / total;
+                keep += 1;
+                if cum >= p {
+                    break;
+                }
+            }
+            for i in &order[keep..] {
+                probs[*i] = 0.0;
+            }
+        }
+    }
+    sample_categorical(&probs, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CptGptConfig, TrainConfig};
+    use crate::token::Tokenizer;
+    use crate::train::train;
+    use cpt_trace::Event;
+
+    fn tiny_config() -> CptGptConfig {
+        CptGptConfig {
+            d_model: 16,
+            n_blocks: 1,
+            n_heads: 2,
+            d_mlp: 32,
+            d_head: 16,
+            max_len: 12,
+            ..CptGptConfig::small()
+        }
+    }
+
+    fn alternating_dataset(n: usize) -> Dataset {
+        let streams = (0..n)
+            .map(|i| {
+                let mut t = 0.0;
+                let events = (0..8)
+                    .map(|k| {
+                        let (et, gap) = if k % 2 == 0 {
+                            (EventType::ServiceRequest, 100.0)
+                        } else {
+                            (EventType::ConnectionRelease, 10.0)
+                        };
+                        t += gap;
+                        Event::new(et, t)
+                    })
+                    .collect();
+                Stream::new(UeId(i as u64), DeviceType::Phone, events)
+            })
+            .collect();
+        Dataset::new(streams)
+    }
+
+    fn trained_model() -> CptGpt {
+        let data = alternating_dataset(24);
+        let tok = Tokenizer::fit(&data);
+        let mut model = CptGpt::new(tiny_config(), tok);
+        train(
+            &mut model,
+            &data,
+            &TrainConfig::quick().with_epochs(200).with_lr(1e-2),
+        );
+        model
+    }
+
+    #[test]
+    fn generates_requested_count_within_max_len() {
+        let model = trained_model();
+        let d = model.generate(&GenerateConfig::new(10, 3));
+        assert_eq!(d.num_streams(), 10);
+        for s in &d.streams {
+            assert!(s.len() >= 1 && s.len() <= 12);
+            assert!(s.events.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+            assert_eq!(s.device_type, DeviceType::Phone);
+        }
+        // UE ids unique.
+        let mut ids: Vec<u64> = d.streams.iter().map(|s| s.ue_id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let model = trained_model();
+        let a = model.generate(&GenerateConfig::new(5, 7));
+        let b = model.generate(&GenerateConfig::new(5, 7));
+        let c = model.generate(&GenerateConfig::new(5, 8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn learned_model_mostly_alternates() {
+        // Trained on strict SRV/REL alternation, generated streams should
+        // follow SRV_REQ → S1_CONN_REL most of the time.
+        let model = trained_model();
+        let d = model.generate(&GenerateConfig::new(30, 1));
+        let mut follows = 0usize;
+        let mut total = 0usize;
+        for s in &d.streams {
+            for w in s.events.windows(2) {
+                if w[0].event_type == EventType::ServiceRequest {
+                    total += 1;
+                    if w[1].event_type == EventType::ConnectionRelease {
+                        follows += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 10, "not enough transitions generated");
+        assert!(
+            follows as f64 / total as f64 > 0.8,
+            "alternation not learned: {follows}/{total}"
+        );
+    }
+
+    #[test]
+    fn near_zero_temperature_is_argmax_like() {
+        // At a tiny temperature the categorical sampling collapses to the
+        // argmax, so two different seeds produce identical event
+        // sequences whenever interarrival sampling does not diverge the
+        // context (point-head ablation removes that source too).
+        let data = alternating_dataset(24);
+        let tok = Tokenizer::fit(&data);
+        let mut model = CptGpt::new(tiny_config().with_point_iat_head(), tok);
+        train(
+            &mut model,
+            &data,
+            &TrainConfig::quick().with_epochs(30).with_lr(5e-3),
+        );
+        let mk = |seed| {
+            let mut cfg = GenerateConfig::new(4, seed);
+            cfg.temperature = 1e-4;
+            model
+                .generate(&cfg)
+                .streams
+                .iter()
+                .map(|s| s.event_types())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn truncated_sampling_restricts_support() {
+        // With top-1 sampling the event head becomes deterministic argmax.
+        let model = trained_model();
+        let mk = |sampling| {
+            let cfg = GenerateConfig::new(6, 11).sampling(sampling);
+            model
+                .generate(&cfg)
+                .streams
+                .iter()
+                .map(|s| s.event_types())
+                .collect::<Vec<_>>()
+        };
+        // Top-1 twice with different seeds in the iat path can still agree
+        // on events only if iat noise doesn't shift context; instead test
+        // the sampler directly on fixed logits.
+        let logits = [3.0f32, 1.0, 0.5, -1.0, -2.0, -3.0];
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let i = sample_logits_truncated(&logits, 1.0, Sampling::TopK(1), &mut rng);
+            assert_eq!(i, 0, "top-1 must always pick the argmax");
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            seen.insert(sample_logits_truncated(&logits, 1.0, Sampling::TopK(2), &mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        // Nucleus with tiny p behaves like top-1.
+        for _ in 0..200 {
+            let i = sample_logits_truncated(&logits, 1.0, Sampling::Nucleus(0.05), &mut rng);
+            assert_eq!(i, 0);
+        }
+        // Nucleus with p = 1 covers the full support eventually.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..5000 {
+            seen.insert(sample_logits_truncated(&logits, 1.0, Sampling::Nucleus(1.0), &mut rng));
+        }
+        assert!(seen.len() >= 4, "full nucleus too narrow: {seen:?}");
+        // And generation with a truncated sampler still runs end to end.
+        let full = mk(Sampling::Full);
+        let topk = mk(Sampling::TopK(2));
+        assert_eq!(full.len(), 6);
+        assert_eq!(topk.len(), 6);
+    }
+
+    #[test]
+    fn device_type_is_stamped() {
+        let model = trained_model();
+        let d = model.generate(&GenerateConfig::new(3, 0).device(DeviceType::Tablet));
+        assert!(d.streams.iter().all(|s| s.device_type == DeviceType::Tablet));
+    }
+
+    #[test]
+    #[should_panic(expected = "initial-event distribution")]
+    fn untrained_model_refuses_to_generate() {
+        let data = alternating_dataset(2);
+        let tok = Tokenizer::fit(&data);
+        let model = CptGpt::new(tiny_config(), tok);
+        model.generate(&GenerateConfig::new(1, 0));
+    }
+}

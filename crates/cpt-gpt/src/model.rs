@@ -1,0 +1,527 @@
+//! The CPT-GPT network (Figure 3 of the paper).
+//!
+//! ```text
+//! tokens [B,T,9] ──linear──► [B,T,d_model] ──(+ positional emb.)──►
+//!   TransformerBlock × n ──LayerNorm──► features [B,T,d_model]
+//!     ├── MLP head: event-type logits   [B·T, |E|]
+//!     ├── MLP head: interarrival (μ, log σ)  [B·T] each
+//!     └── MLP head: stop-flag logits    [B·T, 2]
+//! ```
+//!
+//! The "embedding" layer of NLP transformers is replaced by a linear
+//! projection from the 9-dimensional multimodal token space (Design 1);
+//! the interarrival head outputs distribution parameters rather than a
+//! scalar (Design 2), unless the Table 8 ablation `point_iat_head` is on.
+
+use crate::config::CptGptConfig;
+use crate::token::Tokenizer;
+use cpt_nn::{Linear, LayerNorm, ParamId, ParamStore, Session, Tensor, TransformerBlock, Var};
+use cpt_trace::EventType;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A two-layer MLP output head (`d_model → d_head → out`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MlpHead {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl MlpHead {
+    fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_hidden: usize,
+        d_out: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        MlpHead {
+            fc1: Linear::new(store, &format!("{name}.fc1"), d_in, d_hidden, true, rng),
+            fc2: Linear::new(store, &format!("{name}.fc2"), d_hidden, d_out, true, rng),
+        }
+    }
+
+    fn forward(&self, sess: &mut Session<'_>, x: Var) -> Var {
+        let h = self.fc1.forward(sess, x);
+        let h = sess.graph.gelu(h);
+        self.fc2.forward(sess, h)
+    }
+
+    fn apply(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let h = self.fc1.apply(store, x).map(cpt_nn::gelu_scalar);
+        self.fc2.apply(store, &h)
+    }
+}
+
+/// Per-position outputs of one forward pass, flattened to `[B·T, …]`.
+#[derive(Debug, Clone, Copy)]
+pub struct StepOutput {
+    /// Event-type logits, `[B·T, |E|]`.
+    pub event_logits: Var,
+    /// Interarrival μ (scaled space), `[B·T]`.
+    pub iat_mean: Var,
+    /// Interarrival log σ, `[B·T]`. For the point-head ablation this is
+    /// unused (zeros).
+    pub iat_log_std: Var,
+    /// Stop-flag logits, `[B·T, 2]`.
+    pub stop_logits: Var,
+}
+
+/// The CPT-GPT model: configuration, parameters, tokenizer and the
+/// initial-event-type distribution released with the weights (§4.5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CptGpt {
+    /// Architecture configuration.
+    pub config: CptGptConfig,
+    /// All trainable parameters.
+    pub store: ParamStore,
+    /// Fitted tokenizer (scaling bounds travel with the weights).
+    pub tokenizer: Tokenizer,
+    /// Initial-event-type distribution used to bootstrap inference.
+    pub initial_event_dist: Vec<(EventType, f64)>,
+    input_proj: Linear,
+    pos_emb: ParamId,
+    blocks: Vec<TransformerBlock>,
+    ln_f: LayerNorm,
+    head_event: MlpHead,
+    head_iat: MlpHead,
+    head_stop: MlpHead,
+}
+
+impl CptGpt {
+    /// Builds a freshly initialized model for `tokenizer`'s vocabulary.
+    pub fn new(config: CptGptConfig, tokenizer: Tokenizer) -> Self {
+        assert_eq!(
+            tokenizer.generation(),
+            config.generation,
+            "tokenizer/config generation mismatch"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let d = config.d_model;
+        let input_proj = Linear::new(
+            &mut store,
+            "input_proj",
+            tokenizer.token_dim(),
+            d,
+            true,
+            &mut rng,
+        );
+        let pos_emb = store.add(
+            "pos_emb",
+            Tensor::randn(&[config.max_len, d], 0.02, &mut rng),
+        );
+        let blocks = (0..config.n_blocks)
+            .map(|i| {
+                TransformerBlock::new(
+                    &mut store,
+                    &format!("block{i}"),
+                    d,
+                    config.n_heads,
+                    config.d_mlp,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let ln_f = LayerNorm::new(&mut store, "ln_f", d);
+        let n_events = tokenizer.num_events();
+        let head_event = MlpHead::new(&mut store, "head_event", d, config.d_head, n_events, &mut rng);
+        let iat_out = if config.point_iat_head { 1 } else { 2 };
+        let head_iat = MlpHead::new(&mut store, "head_iat", d, config.d_head, iat_out, &mut rng);
+        let head_stop = MlpHead::new(&mut store, "head_stop", d, config.d_head, 2, &mut rng);
+        CptGpt {
+            config,
+            store,
+            tokenizer,
+            initial_event_dist: Vec::new(),
+            input_proj,
+            pos_emb,
+            blocks,
+            ln_f,
+            head_event,
+            head_iat,
+            head_stop,
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.store.num_params()
+    }
+
+    /// Runs the network on `tokens` of shape `[B, T, token_dim]`, returning
+    /// per-position head outputs. `sess` must be a session over
+    /// `self.store`.
+    pub fn forward(&self, sess: &mut Session<'_>, tokens: Tensor) -> StepOutput {
+        let shape = tokens.shape.clone();
+        assert_eq!(shape.len(), 3, "expected [B,T,token_dim]");
+        let (b, t, dtok) = (shape[0], shape[1], shape[2]);
+        assert_eq!(dtok, self.tokenizer.token_dim(), "token dim");
+        assert!(
+            t <= self.config.max_len,
+            "sequence length {t} exceeds max_len {}",
+            self.config.max_len
+        );
+
+        let x = sess.input(tokens);
+        let mut h = self.input_proj.forward(sess, x); // [B,T,D]
+        let pe_full = sess.param(self.pos_emb);
+        let pe = sess.graph.slice_rows(pe_full, 0, t); // [T,D]
+        h = sess.graph.add(h, pe); // suffix broadcast over batch
+        for block in &self.blocks {
+            h = block.forward(sess, h);
+        }
+        let h = self.ln_f.forward(sess, h);
+
+        let n = b * t;
+        let event_logits_3d = self.head_event.forward(sess, h);
+        let event_logits =
+            sess.graph
+                .reshape(event_logits_3d, &[n, self.tokenizer.num_events()]);
+        let stop_logits_3d = self.head_stop.forward(sess, h);
+        let stop_logits = sess.graph.reshape(stop_logits_3d, &[n, 2]);
+
+        let iat_3d = self.head_iat.forward(sess, h);
+        let (iat_mean, iat_log_std) = if self.config.point_iat_head {
+            let flat = sess.graph.reshape(iat_3d, &[n]);
+            let zeros = sess.input(Tensor::zeros(&[n]));
+            (flat, zeros)
+        } else {
+            let flat = sess.graph.reshape(iat_3d, &[n, 2]);
+            let mean = sess.graph.slice_cols(flat, 0, 1);
+            let log_std = sess.graph.slice_cols(flat, 1, 1);
+            let mean = sess.graph.reshape(mean, &[n]);
+            let log_std = sess.graph.reshape(log_std, &[n]);
+            (mean, log_std)
+        };
+
+        StepOutput {
+            event_logits,
+            iat_mean,
+            iat_log_std,
+            stop_logits,
+        }
+    }
+
+    /// Computes the paper's weighted three-field loss for a batch
+    /// (cross-entropy for event type and stop flag, Gaussian NLL — or MSE
+    /// under the ablation — for the interarrival).
+    pub fn loss(&self, sess: &mut Session<'_>, batch: &crate::batch::Batch) -> Var {
+        let out = self.forward(sess, batch.inputs.clone());
+        let (we, wi, ws) = self.config.loss_weights;
+        let l_event =
+            sess.graph
+                .cross_entropy_logits(out.event_logits, &batch.event_targets, &batch.mask);
+        let l_iat = if self.config.point_iat_head {
+            sess.graph
+                .mse_masked(out.iat_mean, &batch.iat_targets, &batch.mask)
+        } else {
+            sess.graph.gaussian_nll(
+                out.iat_mean,
+                out.iat_log_std,
+                &batch.iat_targets,
+                &batch.mask,
+            )
+        };
+        let l_stop =
+            sess.graph
+                .cross_entropy_logits(out.stop_logits, &batch.stop_targets, &batch.mask);
+        sess.graph
+            .weighted_sum(&[(l_event, we), (l_iat, wi), (l_stop, ws)])
+    }
+}
+
+/// Incremental decoding state: one KV cache per transformer block plus
+/// the current position.
+pub struct DecodeState {
+    caches: Vec<cpt_nn::AttnKvCache>,
+    pos: usize,
+    batch: usize,
+}
+
+impl DecodeState {
+    /// Number of tokens decoded so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Per-step head outputs from the incremental decoder (plain tensors, no
+/// autodiff tape).
+pub struct InferStep {
+    /// Event-type logits, `[B, |E|]`.
+    pub event_logits: Tensor,
+    /// Interarrival μ per stream (scaled space).
+    pub iat_mean: Vec<f32>,
+    /// Interarrival log σ per stream (zeros for the point-head ablation).
+    pub iat_log_std: Vec<f32>,
+    /// Stop-flag logits, `[B, 2]`.
+    pub stop_logits: Tensor,
+}
+
+impl CptGpt {
+    /// Starts incremental decoding for a batch of `batch` streams.
+    pub fn begin_decode(&self, batch: usize) -> DecodeState {
+        let hd = self.config.d_model / self.config.n_heads;
+        DecodeState {
+            caches: (0..self.config.n_blocks)
+                .map(|_| {
+                    cpt_nn::AttnKvCache::new(batch, self.config.n_heads, self.config.max_len, hd)
+                })
+                .collect(),
+            pos: 0,
+            batch,
+        }
+    }
+
+    /// Processes one token per stream (`[B, 1, token_dim]`) through the
+    /// KV-cached fast path and returns the heads' outputs for that
+    /// position. Equivalent to [`CptGpt::forward`] on the full prefix
+    /// (verified by tests) but O(T) instead of O(T²) per step.
+    pub fn decode_step(&self, state: &mut DecodeState, tokens: &Tensor) -> InferStep {
+        assert_eq!(
+            tokens.shape,
+            vec![state.batch, 1, self.tokenizer.token_dim()],
+            "decode_step expects [B,1,token_dim]"
+        );
+        assert!(state.pos < self.config.max_len, "decode past max_len");
+        let b = state.batch;
+        let d = self.config.d_model;
+
+        let mut h = self.input_proj.apply(&self.store, tokens); // [B,1,D]
+        let pe = self.store.value(self.pos_emb);
+        for bi in 0..b {
+            let row = &mut h.data[bi * d..(bi + 1) * d];
+            for (hv, pv) in row.iter_mut().zip(&pe.data[state.pos * d..(state.pos + 1) * d]) {
+                *hv += pv;
+            }
+        }
+        for (block, cache) in self.blocks.iter().zip(&mut state.caches) {
+            h = block.apply_decode_step(&self.store, &h, cache);
+        }
+        state.pos += 1;
+        let h = self.ln_f.apply(&self.store, &h);
+
+        let e = self.tokenizer.num_events();
+        let event_logits = self.head_event.apply(&self.store, &h).reshape(&[b, e]);
+        let stop_logits = self.head_stop.apply(&self.store, &h).reshape(&[b, 2]);
+        let iat = self.head_iat.apply(&self.store, &h);
+        let (iat_mean, iat_log_std) = if self.config.point_iat_head {
+            (iat.data.clone(), vec![0.0; b])
+        } else {
+            let flat = iat.reshape(&[b, 2]);
+            let mean = (0..b).map(|i| flat.data[i * 2]).collect();
+            let log_std = (0..b).map(|i| flat.data[i * 2 + 1]).collect();
+            (mean, log_std)
+        };
+        InferStep {
+            event_logits,
+            iat_mean,
+            iat_log_std,
+            stop_logits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::build_batch;
+    use cpt_trace::{Dataset, DeviceType, Event, Stream, UeId};
+
+    fn toy_dataset() -> Dataset {
+        let mk = |id: u64| {
+            Stream::new(
+                UeId(id),
+                DeviceType::Phone,
+                vec![
+                    Event::new(EventType::ServiceRequest, 0.0),
+                    Event::new(EventType::ConnectionRelease, 8.0),
+                    Event::new(EventType::ServiceRequest, 100.0),
+                    Event::new(EventType::ConnectionRelease, 111.0),
+                ],
+            )
+        };
+        Dataset::new(vec![mk(0), mk(1), mk(2)])
+    }
+
+    fn tiny_config() -> CptGptConfig {
+        CptGptConfig {
+            d_model: 16,
+            n_blocks: 1,
+            n_heads: 2,
+            d_mlp: 32,
+            d_head: 16,
+            max_len: 16,
+            ..CptGptConfig::small()
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let d = toy_dataset();
+        let tok = Tokenizer::fit(&d);
+        let model = CptGpt::new(tiny_config(), tok.clone());
+        let streams: Vec<&Stream> = d.streams.iter().collect();
+        let batch = build_batch(&tok, &streams, 16);
+        let mut sess = Session::new(&model.store);
+        let out = model.forward(&mut sess, batch.inputs.clone());
+        let n = batch.batch * batch.seq;
+        assert_eq!(sess.graph.value(out.event_logits).shape, vec![n, 6]);
+        assert_eq!(sess.graph.value(out.iat_mean).shape, vec![n]);
+        assert_eq!(sess.graph.value(out.iat_log_std).shape, vec![n]);
+        assert_eq!(sess.graph.value(out.stop_logits).shape, vec![n, 2]);
+    }
+
+    #[test]
+    fn paper_sized_model_has_about_725k_params() {
+        let d = toy_dataset();
+        let tok = Tokenizer::fit(&d);
+        let model = CptGpt::new(CptGptConfig::paper(), tok);
+        let n = model.num_params();
+        // §5.1: "a total of 725K parameters". Our reconstruction must land
+        // in the same ballpark (positional table + blocks dominate).
+        assert!(
+            (500_000..1_000_000).contains(&n),
+            "parameter count {n} not in the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn loss_is_finite_and_decreases_under_adam() {
+        let d = toy_dataset();
+        let tok = Tokenizer::fit(&d);
+        let model = CptGpt::new(tiny_config(), tok.clone());
+        let streams: Vec<&Stream> = d.streams.iter().collect();
+        let batch = build_batch(&tok, &streams, 16);
+        let mut store = model.store.clone();
+        let mut adam = cpt_nn::Adam::new(&store, 1e-2);
+        let mut first = None;
+        let mut last = 0.0;
+        let mut m = model.clone();
+        for _ in 0..30 {
+            m.store = store.clone();
+            let mut sess = Session::new(&m.store);
+            let loss = m.loss(&mut sess, &batch);
+            last = sess.graph.value(loss).item();
+            assert!(last.is_finite());
+            first.get_or_insert(last);
+            sess.backward(loss);
+            let grads = sess.grads();
+            store.accumulate_grads(&grads);
+            adam.step(&mut store);
+            store.zero_grads();
+        }
+        assert!(
+            last < first.unwrap() * 0.8,
+            "loss did not decrease: {} -> {last}",
+            first.unwrap()
+        );
+    }
+
+    #[test]
+    fn point_head_ablation_changes_head_shape() {
+        let d = toy_dataset();
+        let tok = Tokenizer::fit(&d);
+        let cfg = tiny_config().with_point_iat_head();
+        let model = CptGpt::new(cfg, tok.clone());
+        let streams: Vec<&Stream> = d.streams.iter().collect();
+        let batch = build_batch(&tok, &streams, 16);
+        let mut sess = Session::new(&model.store);
+        let loss = model.loss(&mut sess, &batch);
+        assert!(sess.graph.value(loss).item().is_finite());
+    }
+
+    #[test]
+    fn decode_step_matches_full_forward() {
+        let d = toy_dataset();
+        let tok = Tokenizer::fit(&d);
+        let model = CptGpt::new(tiny_config(), tok.clone());
+        let streams: Vec<&Stream> = d.streams.iter().collect();
+        let batch = build_batch(&tok, &streams, 16);
+        let (b, t, dtok) = (batch.batch, batch.seq, tok.token_dim());
+
+        // Full graph forward.
+        let mut sess = Session::new(&model.store);
+        let out = model.forward(&mut sess, batch.inputs.clone());
+        let full_events = sess.graph.value(out.event_logits).clone(); // [B*T, E]
+        let full_mean = sess.graph.value(out.iat_mean).clone();
+        let full_stop = sess.graph.value(out.stop_logits).clone();
+
+        // Incremental decode, one position at a time.
+        let mut state = model.begin_decode(b);
+        for ti in 0..t {
+            let mut step = cpt_nn::Tensor::zeros(&[b, 1, dtok]);
+            for bi in 0..b {
+                let src = (bi * t + ti) * dtok;
+                step.data[bi * dtok..(bi + 1) * dtok]
+                    .copy_from_slice(&batch.inputs.data[src..src + dtok]);
+            }
+            let inc = model.decode_step(&mut state, &step);
+            for bi in 0..b {
+                let flat = bi * t + ti;
+                for c in 0..6 {
+                    let a = full_events.data[flat * 6 + c];
+                    let x = inc.event_logits.data[bi * 6 + c];
+                    assert!((a - x).abs() < 1e-3, "event logit t={ti} b={bi} c={c}: {a} vs {x}");
+                }
+                assert!((full_mean.data[flat] - inc.iat_mean[bi]).abs() < 1e-3);
+                for c in 0..2 {
+                    let a = full_stop.data[flat * 2 + c];
+                    let x = inc.stop_logits.data[bi * 2 + c];
+                    assert!((a - x).abs() < 1e-3, "stop logit mismatch");
+                }
+            }
+        }
+        assert_eq!(state.pos(), t);
+    }
+
+    #[test]
+    fn model_serde_roundtrip_preserves_generation() {
+        // The cptgen CLI persists whole models as JSON; a deserialized
+        // model must generate identically.
+        let d = toy_dataset();
+        let tok = Tokenizer::fit(&d);
+        let mut model = CptGpt::new(tiny_config(), tok);
+        crate::train::train(
+            &mut model,
+            &d,
+            &crate::config::TrainConfig::quick().with_epochs(2),
+        );
+        let json = serde_json::to_string(&model).unwrap();
+        let back: CptGpt = serde_json::from_str(&json).unwrap();
+        let cfg = crate::generate::GenerateConfig::new(5, 3);
+        assert_eq!(model.generate(&cfg), back.generate(&cfg));
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        let d = toy_dataset();
+        let tok = Tokenizer::fit(&d);
+        let a = CptGpt::new(tiny_config().with_seed(5), tok.clone());
+        let b = CptGpt::new(tiny_config().with_seed(5), tok.clone());
+        let c = CptGpt::new(tiny_config().with_seed(6), tok);
+        assert_eq!(
+            a.store.value(a.store.ids()[0]).data,
+            b.store.value(b.store.ids()[0]).data
+        );
+        assert_ne!(
+            a.store.value(a.store.ids()[0]).data,
+            c.store.value(c.store.ids()[0]).data
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_len")]
+    fn rejects_overlong_sequences() {
+        let d = toy_dataset();
+        let tok = Tokenizer::fit(&d);
+        let model = CptGpt::new(tiny_config().with_max_len(2), tok.clone());
+        let streams: Vec<&Stream> = d.streams.iter().collect();
+        let batch = build_batch(&tok, &streams, 16); // seq = 3 > max_len = 2
+        let mut sess = Session::new(&model.store);
+        model.forward(&mut sess, batch.inputs.clone());
+    }
+}

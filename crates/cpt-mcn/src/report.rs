@@ -1,0 +1,109 @@
+//! Aggregated MCN simulation results.
+
+use cpt_trace::EventType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Load/latency statistics produced by [`crate::simulate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct McnReport {
+    /// Jobs processed.
+    pub processed: usize,
+    /// Jobs rejected at a full queue.
+    pub dropped: usize,
+    /// Mean control-plane latency (seconds, arrival → completion).
+    pub mean_latency: f64,
+    /// 95th percentile latency.
+    pub p95_latency: f64,
+    /// 99th percentile latency.
+    pub p99_latency: f64,
+    /// Largest queue length observed.
+    pub peak_queue: usize,
+    /// Worker pool size at start.
+    pub initial_workers: usize,
+    /// Worker pool size at the end of the run.
+    pub final_workers: usize,
+    /// Largest pool size the autoscaler reached.
+    pub peak_workers: usize,
+    /// `(time, new_size)` autoscale decisions.
+    pub scale_events: Vec<(f64, usize)>,
+    /// Peak number of simultaneously CONNECTED UEs (per-UE state table
+    /// footprint for stateful MCN implementations).
+    pub peak_connected_ues: usize,
+    /// Jobs processed per event type.
+    pub per_event_processed: BTreeMap<EventType, usize>,
+    /// All observed latencies (consumed by [`McnReport::finalize`]).
+    #[serde(skip)]
+    latencies: Vec<f64>,
+}
+
+impl McnReport {
+    pub(crate) fn record_latency(&mut self, event: EventType, latency: f64) {
+        self.processed += 1;
+        *self.per_event_processed.entry(event).or_insert(0) += 1;
+        self.latencies.push(latency);
+    }
+
+    pub(crate) fn finalize(&mut self) {
+        if self.latencies.is_empty() {
+            return;
+        }
+        self.latencies
+            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        self.mean_latency = self.latencies.iter().sum::<f64>() / self.latencies.len() as f64;
+        let q = |p: f64| {
+            let idx = ((self.latencies.len() as f64 - 1.0) * p).round() as usize;
+            self.latencies[idx]
+        };
+        self.p95_latency = q(0.95);
+        self.p99_latency = q(0.99);
+        self.latencies.clear();
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} processed ({} dropped), latency mean {:.1} ms / p95 {:.1} ms / p99 {:.1} ms, \
+             peak queue {}, workers {}→{} (peak {}), peak CONNECTED UEs {}",
+            self.processed,
+            self.dropped,
+            self.mean_latency * 1e3,
+            self.p95_latency * 1e3,
+            self.p99_latency * 1e3,
+            self.peak_queue,
+            self.initial_workers,
+            self.final_workers,
+            self.peak_workers,
+            self.peak_connected_ues
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_computes_percentiles() {
+        let mut r = McnReport::default();
+        for i in 1..=100 {
+            r.record_latency(EventType::ServiceRequest, i as f64 / 1000.0);
+        }
+        r.finalize();
+        assert_eq!(r.processed, 100);
+        assert!((r.mean_latency - 0.0505).abs() < 1e-9);
+        assert!((r.p95_latency - 0.095).abs() < 1e-6);
+        assert!((r.p99_latency - 0.099).abs() < 1e-6);
+        assert_eq!(r.per_event_processed[&EventType::ServiceRequest], 100);
+        // Summary renders without panicking and mentions the counts.
+        assert!(r.summary().contains("100 processed"));
+    }
+
+    #[test]
+    fn empty_report_finalizes_to_zeros() {
+        let mut r = McnReport::default();
+        r.finalize();
+        assert_eq!(r.mean_latency, 0.0);
+        assert_eq!(r.processed, 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Flow-length distributions (Table 6 / Fig. 5 middle and right columns).
+
+use cpt_trace::stats::Ecdf;
+use cpt_trace::{Dataset, EventType};
+
+/// Which flow-length variant to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowLenKind {
+    /// Events per stream across all event types.
+    All,
+    /// Events of a single type per stream (the paper highlights SRV_REQ
+    /// and S1_CONN_REL, the two dominant types).
+    OfType(EventType),
+}
+
+/// Per-stream flow lengths of the requested kind.
+pub fn flow_lengths(dataset: &Dataset, kind: FlowLenKind) -> Vec<f64> {
+    match kind {
+        FlowLenKind::All => dataset.flow_lengths(),
+        FlowLenKind::OfType(et) => dataset.flow_lengths_of(et),
+    }
+}
+
+/// ECDF of flow lengths.
+pub fn flow_length_ecdf(dataset: &Dataset, kind: FlowLenKind) -> Ecdf {
+    Ecdf::new(flow_lengths(dataset, kind))
+}
+
+/// Max y-distance between real and synthesized flow-length CDFs.
+pub fn flow_length_distance(real: &Dataset, synth: &Dataset, kind: FlowLenKind) -> f64 {
+    flow_length_ecdf(real, kind).max_y_distance(&flow_length_ecdf(synth, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpt_trace::{DeviceType, Event, Stream, UeId};
+
+    fn stream_of_len(id: u64, len: usize) -> Stream {
+        Stream::new(
+            UeId(id),
+            DeviceType::Phone,
+            (0..len)
+                .map(|i| {
+                    let et = if i % 2 == 0 {
+                        EventType::ServiceRequest
+                    } else {
+                        EventType::ConnectionRelease
+                    };
+                    Event::new(et, i as f64)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn lengths_and_per_type_lengths() {
+        let d = Dataset::new(vec![stream_of_len(0, 4), stream_of_len(1, 7)]);
+        assert_eq!(flow_lengths(&d, FlowLenKind::All), vec![4.0, 7.0]);
+        assert_eq!(
+            flow_lengths(&d, FlowLenKind::OfType(EventType::ServiceRequest)),
+            vec![2.0, 4.0]
+        );
+        assert_eq!(
+            flow_lengths(&d, FlowLenKind::OfType(EventType::Handover)),
+            vec![0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn distance_zero_for_same_lengths_one_for_disjoint() {
+        let a = Dataset::new(vec![stream_of_len(0, 4), stream_of_len(1, 6)]);
+        let b = Dataset::new(vec![stream_of_len(0, 6), stream_of_len(1, 4)]);
+        assert_eq!(flow_length_distance(&a, &b, FlowLenKind::All), 0.0);
+        let c = Dataset::new(vec![stream_of_len(0, 100), stream_of_len(1, 120)]);
+        assert!((flow_length_distance(&a, &c, FlowLenKind::All) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! The experiment binaries print tables shaped like the paper's so that
+//! paper-vs-measured comparison is a visual diff. Cells are strings; the
+//! renderer right-pads columns to align.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Title printed above the table (e.g. "Table 5: ...").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Body rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "{}", self.title);
+        }
+        let line = |out: &mut String, cells: &[String]| {
+            let mut parts = Vec::with_capacity(cols);
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:<width$}", c, width = widths[i]));
+            }
+            let _ = writeln!(out, "| {} |", parts.join(" | "));
+        };
+        line(&mut out, &self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&mut out, &sep);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table to stdout with a trailing blank line.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a percentage with `digits` decimals
+/// (e.g. `0.221 → "22.1%"`).
+pub fn pct(x: f64, digits: usize) -> String {
+    format!("{:.*}%", digits, x * 100.0)
+}
+
+/// Formats a signed fraction as percentage points (Table 7 style).
+pub fn pct_signed(x: f64, digits: usize) -> String {
+    format!("{:+.*}%", digits, x * 100.0)
+}
+
+/// Formats seconds as minutes with two decimals (Tables 4/9 style).
+pub fn minutes(seconds: f64) -> String {
+    format!("{:.2} min", seconds / 60.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Table X: demo", &["metric", "value"]);
+        t.row(&["violations".into(), "0.2%".into()]);
+        t.row(&["max y".into(), "6.4%".into()]);
+        let s = t.render();
+        assert!(s.contains("Table X: demo"));
+        assert!(s.contains("| metric     | value |"));
+        assert!(s.contains("| violations | 0.2%  |"));
+        // 4 lines: title + header + sep + 2 rows.
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_wrong_row_width() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.221, 1), "22.1%");
+        assert_eq!(pct_signed(-0.005, 2), "-0.50%");
+        assert_eq!(pct_signed(0.0066, 2), "+0.66%");
+        assert_eq!(minutes(90.0), "1.50 min");
+    }
+}

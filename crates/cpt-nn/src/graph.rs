@@ -1,0 +1,1000 @@
+//! Reverse-mode automatic differentiation on a tape.
+//!
+//! A [`Graph`] is rebuilt per forward pass. Every op appends a node holding
+//! the op's output value, its parent node ids and a backward closure that
+//! maps the node's output gradient to its parents' gradients. Calling
+//! [`Graph::backward`] seeds the loss node with gradient 1 and walks the
+//! tape in reverse, accumulating.
+//!
+//! Losses are fused ops (softmax+CE, Gaussian NLL, …) so intermediate
+//! probabilities never need their own gradients and numerical stability is
+//! handled in one place.
+
+use crate::tensor::Tensor;
+use std::rc::Rc;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+
+struct Node {
+    value: Rc<Tensor>,
+    parents: Vec<usize>,
+    backward: Option<BackwardFn>,
+    grad: Option<Tensor>,
+}
+
+/// An autodiff tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, parents: Vec<usize>, backward: Option<BackwardFn>) -> Var {
+        self.nodes.push(Node {
+            value: Rc::new(value),
+            parents,
+            backward,
+            grad: None,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Adds a leaf node. Leaves receive gradients like any node; callers
+    /// read back the ones they care about (parameters) via [`Graph::grad`].
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, vec![], None)
+    }
+
+    /// The value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of a node (after [`Graph::backward`]).
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    fn rc_value(&self, v: Var) -> Rc<Tensor> {
+        Rc::clone(&self.nodes[v.0].value)
+    }
+
+    // ---------------------------------------------------------------
+    // Elementwise / broadcast arithmetic
+    // ---------------------------------------------------------------
+
+    /// `a + b`. `b`'s shape must equal `a`'s or be a suffix of it, in which
+    /// case `b` is broadcast over the leading dimensions (bias add).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let av = self.rc_value(a);
+        let bv = self.rc_value(b);
+        let out = broadcast_add(&av, &bv);
+        let b_shape = bv.shape.clone();
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g: &Tensor| {
+                let da = g.clone();
+                let db = reduce_to_shape(g, &b_shape);
+                vec![da, db]
+            })),
+        )
+    }
+
+    /// `a - b` (equal shapes).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let av = self.rc_value(a);
+        let bv = self.rc_value(b);
+        let out = av.zip(&bv, |x, y| x - y);
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.clone(), g.map(|x| -x)]
+            })),
+        )
+    }
+
+    /// Elementwise `a * b` (equal shapes).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let av = self.rc_value(a);
+        let bv = self.rc_value(b);
+        let out = av.zip(&bv, |x, y| x * y);
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip(&bv, |go, y| go * y), g.zip(&av, |go, x| go * x)]
+            })),
+        )
+    }
+
+    /// `a * c` for a scalar constant `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let av = self.rc_value(a);
+        self.push(
+            av.map(|x| x * c),
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| vec![g.map(|x| x * c)])),
+        )
+    }
+
+    // ---------------------------------------------------------------
+    // Linear algebra
+    // ---------------------------------------------------------------
+
+    /// 2-D matmul `[m,k] x [k,n] -> [m,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let av = self.rc_value(a);
+        let bv = self.rc_value(b);
+        let out = av.matmul(&bv);
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g: &Tensor| {
+                // dA = G·Bᵀ ; dB = Aᵀ·G
+                vec![g.matmul(&bv.t2()), av.t2().matmul(g)]
+            })),
+        )
+    }
+
+    /// Batched 3-D matmul `[b,m,k] x [b,k,n] -> [b,m,n]`.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let av = self.rc_value(a);
+        let bv = self.rc_value(b);
+        let out = av.bmm(&bv);
+        self.push(
+            out,
+            vec![a.0, b.0],
+            Some(Box::new(move |g: &Tensor| {
+                vec![
+                    g.bmm(&bv.transpose_last2()),
+                    av.transpose_last2().bmm(g),
+                ]
+            })),
+        )
+    }
+
+    /// Transpose of the last two dims of a rank-3 tensor.
+    pub fn transpose_last2(&mut self, a: Var) -> Var {
+        let av = self.rc_value(a);
+        self.push(
+            av.transpose_last2(),
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| vec![g.transpose_last2()])),
+        )
+    }
+
+    /// Reshape (element order preserved).
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let av = self.rc_value(a);
+        let in_shape = av.shape.clone();
+        self.push(
+            av.reshape(shape),
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| vec![g.reshape(&in_shape)])),
+        )
+    }
+
+    /// Rows `start..start+len` of a 2-D tensor (used to take the first `T`
+    /// positional-embedding rows). Backward scatters into a zero tensor.
+    pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let av = self.rc_value(a);
+        assert_eq!(av.rank(), 2, "slice_rows needs rank 2");
+        let (rows, cols) = (av.shape[0], av.shape[1]);
+        assert!(start + len <= rows, "slice_rows out of range");
+        let out = Tensor::new(
+            av.data[start * cols..(start + len) * cols].to_vec(),
+            vec![len, cols],
+        );
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| {
+                let mut da = Tensor::zeros(&[rows, cols]);
+                da.data[start * cols..(start + len) * cols].copy_from_slice(&g.data);
+                vec![da]
+            })),
+        )
+    }
+
+    /// Concatenates 2-D tensors with equal row counts along the column
+    /// axis (used to reassemble multi-field GAN samples). Backward splits
+    /// the gradient back per input.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols of nothing");
+        let values: Vec<Rc<Tensor>> = parts.iter().map(|v| self.rc_value(*v)).collect();
+        let rows = values[0].shape[0];
+        assert!(
+            values.iter().all(|t| t.rank() == 2 && t.shape[0] == rows),
+            "concat_cols needs rank-2 inputs with equal rows"
+        );
+        let widths: Vec<usize> = values.iter().map(|t| t.shape[1]).collect();
+        let total: usize = widths.iter().sum();
+        let mut out = Tensor::zeros(&[rows, total]);
+        for r in 0..rows {
+            let mut off = 0;
+            for (t, w) in values.iter().zip(&widths) {
+                out.data[r * total + off..r * total + off + w]
+                    .copy_from_slice(&t.data[r * w..(r + 1) * w]);
+                off += w;
+            }
+        }
+        let widths_bw = widths.clone();
+        self.push(
+            out,
+            parts.iter().map(|v| v.0).collect(),
+            Some(Box::new(move |g: &Tensor| {
+                let mut grads: Vec<Tensor> = widths_bw
+                    .iter()
+                    .map(|w| Tensor::zeros(&[rows, *w]))
+                    .collect();
+                for r in 0..rows {
+                    let mut off = 0;
+                    for (gi, w) in grads.iter_mut().zip(&widths_bw) {
+                        gi.data[r * w..(r + 1) * w]
+                            .copy_from_slice(&g.data[r * total + off..r * total + off + w]);
+                        off += w;
+                    }
+                }
+                grads
+            })),
+        )
+    }
+
+    /// Columns `start..start+len` of a 2-D tensor (used to split LSTM gate
+    /// pre-activations). Backward scatters into a zero tensor.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let av = self.rc_value(a);
+        assert_eq!(av.rank(), 2, "slice_cols needs rank 2");
+        let (rows, cols) = (av.shape[0], av.shape[1]);
+        assert!(start + len <= cols, "slice_cols out of range");
+        let mut out = Tensor::zeros(&[rows, len]);
+        for r in 0..rows {
+            out.data[r * len..(r + 1) * len]
+                .copy_from_slice(&av.data[r * cols + start..r * cols + start + len]);
+        }
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| {
+                let mut da = Tensor::zeros(&[rows, cols]);
+                for r in 0..rows {
+                    da.data[r * cols + start..r * cols + start + len]
+                        .copy_from_slice(&g.data[r * len..(r + 1) * len]);
+                }
+                vec![da]
+            })),
+        )
+    }
+
+    /// Splits a `[B,T,D]` activation into `[B*H, T, D/H]` head-major
+    /// layout for attention. Pure permutation; exact inverse of
+    /// [`Graph::merge_heads`].
+    pub fn split_heads(&mut self, a: Var, n_heads: usize) -> Var {
+        let av = self.rc_value(a);
+        assert_eq!(av.rank(), 3, "split_heads needs [B,T,D]");
+        let (b, t, d) = (av.shape[0], av.shape[1], av.shape[2]);
+        assert_eq!(d % n_heads, 0, "d_model not divisible by heads");
+        let hd = d / n_heads;
+        let out = split_heads_data(&av, b, t, n_heads, hd);
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| {
+                vec![merge_heads_data(g, b, t, n_heads, hd)]
+            })),
+        )
+    }
+
+    /// Merges `[B*H, T, hd]` back to `[B,T,H*hd]`.
+    pub fn merge_heads(&mut self, a: Var, n_heads: usize) -> Var {
+        let av = self.rc_value(a);
+        assert_eq!(av.rank(), 3, "merge_heads needs [B*H,T,hd]");
+        let bh = av.shape[0];
+        assert_eq!(bh % n_heads, 0, "batch not divisible by heads");
+        let (b, t, hd) = (bh / n_heads, av.shape[1], av.shape[2]);
+        let out = merge_heads_data(&av, b, t, n_heads, hd);
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| {
+                vec![split_heads_data(g, b, t, n_heads, hd)]
+            })),
+        )
+    }
+
+    // ---------------------------------------------------------------
+    // Nonlinearities
+    // ---------------------------------------------------------------
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let av = self.rc_value(a);
+        let out = av.map(|x| x.max(0.0));
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip(&av, |go, x| if x > 0.0 { go } else { 0.0 })]
+            })),
+        )
+    }
+
+    /// GELU (tanh approximation), the transformer MLP activation.
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let av = self.rc_value(a);
+        let out = av.map(gelu_f);
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip(&av, |go, x| go * gelu_df(x))]
+            })),
+        )
+    }
+
+    /// tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let av = self.rc_value(a);
+        let out = av.map(f32::tanh);
+        let outv = out.clone();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip(&outv, |go, y| go * (1.0 - y * y))]
+            })),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let av = self.rc_value(a);
+        let out = av.map(sigmoid_f);
+        let outv = out.clone();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip(&outv, |go, y| go * y * (1.0 - y))]
+            })),
+        )
+    }
+
+    /// Softmax over the last dimension (numerically stabilized).
+    pub fn softmax_lastdim(&mut self, a: Var) -> Var {
+        let av = self.rc_value(a);
+        let out = softmax_lastdim_data(&av);
+        let outv = out.clone();
+        self.push(
+            out,
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| {
+                // dx_i = y_i (g_i - Σ_j g_j y_j) per row.
+                let (rows, cols) = outv.rows_cols();
+                let mut dx = Tensor::zeros(&outv.shape);
+                for r in 0..rows {
+                    let y = &outv.data[r * cols..(r + 1) * cols];
+                    let go = &g.data[r * cols..(r + 1) * cols];
+                    let dot: f32 = y.iter().zip(go).map(|(yi, gi)| yi * gi).sum();
+                    for c in 0..cols {
+                        dx.data[r * cols + c] = y[c] * (go[c] - dot);
+                    }
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Layer normalization over the last dimension with affine parameters
+    /// `gamma`, `beta` of shape `[D]`.
+    pub fn layernorm(&mut self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let av = self.rc_value(a);
+        let gv = self.rc_value(gamma);
+        let bv = self.rc_value(beta);
+        let (rows, d) = av.rows_cols();
+        assert_eq!(gv.shape, vec![d], "gamma shape");
+        assert_eq!(bv.shape, vec![d], "beta shape");
+        // Forward: cache normalized activations and 1/std per row.
+        let mut out = Tensor::zeros(&av.shape);
+        let mut xhat = Tensor::zeros(&av.shape);
+        let mut inv_std = vec![0.0f32; rows];
+        for r in 0..rows {
+            let x = &av.data[r * d..(r + 1) * d];
+            let mean = x.iter().sum::<f32>() / d as f32;
+            let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std[r] = istd;
+            for c in 0..d {
+                let h = (x[c] - mean) * istd;
+                xhat.data[r * d + c] = h;
+                out.data[r * d + c] = h * gv.data[c] + bv.data[c];
+            }
+        }
+        let gvc = Rc::clone(&gv);
+        self.push(
+            out,
+            vec![a.0, gamma.0, beta.0],
+            Some(Box::new(move |g: &Tensor| {
+                let mut dx = Tensor::zeros(&xhat.shape);
+                let mut dgamma = Tensor::zeros(&[d]);
+                let mut dbeta = Tensor::zeros(&[d]);
+                for r in 0..rows {
+                    let gh = &g.data[r * d..(r + 1) * d];
+                    let xh = &xhat.data[r * d..(r + 1) * d];
+                    // dL/dxhat_c = g_c * gamma_c
+                    let mut sum_dxhat = 0.0f32;
+                    let mut sum_dxhat_xhat = 0.0f32;
+                    for c in 0..d {
+                        let dxh = gh[c] * gvc.data[c];
+                        sum_dxhat += dxh;
+                        sum_dxhat_xhat += dxh * xh[c];
+                        dgamma.data[c] += gh[c] * xh[c];
+                        dbeta.data[c] += gh[c];
+                    }
+                    let istd = inv_std[r];
+                    let nd = d as f32;
+                    for c in 0..d {
+                        let dxh = gh[c] * gvc.data[c];
+                        dx.data[r * d + c] =
+                            istd * (dxh - sum_dxhat / nd - xh[c] * sum_dxhat_xhat / nd);
+                    }
+                }
+                vec![dx, dgamma, dbeta]
+            })),
+        )
+    }
+
+    // ---------------------------------------------------------------
+    // Reductions / losses
+    // ---------------------------------------------------------------
+
+    /// Mean over all elements → scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let av = self.rc_value(a);
+        let n = av.len().max(1) as f32;
+        let shape = av.shape.clone();
+        self.push(
+            Tensor::scalar(av.sum() / n),
+            vec![a.0],
+            Some(Box::new(move |g: &Tensor| {
+                vec![Tensor::full(&shape, g.item() / n)]
+            })),
+        )
+    }
+
+    /// Weighted sum of scalar nodes: `Σ w_i · s_i` → scalar. Used to
+    /// combine the three per-field losses (§4.4 Design 2: "the training
+    /// minimizes the weighted sum of these losses across fields").
+    pub fn weighted_sum(&mut self, terms: &[(Var, f32)]) -> Var {
+        assert!(!terms.is_empty(), "weighted_sum of nothing");
+        let mut total = 0.0f32;
+        for (v, w) in terms {
+            let val = self.value(*v);
+            assert_eq!(val.len(), 1, "weighted_sum needs scalar terms");
+            total += val.item() * w;
+        }
+        let weights: Vec<f32> = terms.iter().map(|(_, w)| *w).collect();
+        self.push(
+            Tensor::scalar(total),
+            terms.iter().map(|(v, _)| v.0).collect(),
+            Some(Box::new(move |g: &Tensor| {
+                weights
+                    .iter()
+                    .map(|w| Tensor::scalar(g.item() * w))
+                    .collect()
+            })),
+        )
+    }
+
+    /// Masked mean softmax cross-entropy over logits `[N, C]` with integer
+    /// targets. `mask[i] = 0` removes row `i` from the loss (padding).
+    pub fn cross_entropy_logits(&mut self, logits: Var, targets: &[usize], mask: &[f32]) -> Var {
+        let lv = self.rc_value(logits);
+        let (n, c) = lv.rows_cols();
+        assert_eq!(targets.len(), n, "targets length");
+        assert_eq!(mask.len(), n, "mask length");
+        let probs = softmax_lastdim_data(&lv);
+        let denom: f32 = mask.iter().sum::<f32>().max(1e-12);
+        let mut loss = 0.0f64;
+        for i in 0..n {
+            if mask[i] != 0.0 {
+                debug_assert!(targets[i] < c, "target class out of range");
+                let p = probs.data[i * c + targets[i]].max(1e-12);
+                loss -= (p.ln() as f64) * mask[i] as f64;
+            }
+        }
+        let targets = targets.to_vec();
+        let mask = mask.to_vec();
+        self.push(
+            Tensor::scalar((loss / denom as f64) as f32),
+            vec![logits.0],
+            Some(Box::new(move |g: &Tensor| {
+                let go = g.item();
+                let mut dl = Tensor::zeros(&probs.shape);
+                for i in 0..n {
+                    if mask[i] == 0.0 {
+                        continue;
+                    }
+                    for j in 0..c {
+                        let indicator = if j == targets[i] { 1.0 } else { 0.0 };
+                        dl.data[i * c + j] =
+                            go * mask[i] * (probs.data[i * c + j] - indicator) / denom;
+                    }
+                }
+                vec![dl]
+            })),
+        )
+    }
+
+    /// Masked mean Gaussian negative log-likelihood. The model predicts a
+    /// mean and a log-standard-deviation per row (Design 2 of the paper:
+    /// "output the parameters of a probability distribution, rather than a
+    /// single numerical value"); the loss is
+    /// `0.5·((x−μ)/σ)² + log σ + 0.5·log 2π`.
+    ///
+    /// `log σ` is soft-clamped to `[-7, 3]` (zero gradient outside): an
+    /// unbounded head can drive σ into denormal/overflow territory, which
+    /// both destabilizes training and makes the f32 kernels pathologically
+    /// slow on denormals.
+    pub fn gaussian_nll(&mut self, mean_v: Var, log_std: Var, target: &[f32], mask: &[f32]) -> Var {
+        let mv = self.rc_value(mean_v);
+        let sv = self.rc_value(log_std);
+        let n = mv.len();
+        assert_eq!(sv.len(), n, "log_std length");
+        assert_eq!(target.len(), n, "target length");
+        assert_eq!(mask.len(), n, "mask length");
+        let denom: f32 = mask.iter().sum::<f32>().max(1e-12);
+        const HALF_LN_2PI: f64 = 0.918_938_533_204_672_7;
+        let mut loss = 0.0f64;
+        for i in 0..n {
+            if mask[i] != 0.0 {
+                let mu = mv.data[i] as f64;
+                let ls = (sv.data[i] as f64).clamp(-7.0, 3.0);
+                let x = target[i] as f64;
+                let z = (x - mu) * (-ls).exp();
+                loss += (0.5 * z * z + ls + HALF_LN_2PI) * mask[i] as f64;
+            }
+        }
+        let target = target.to_vec();
+        let mask = mask.to_vec();
+        let mshape = mv.shape.clone();
+        let sshape = sv.shape.clone();
+        self.push(
+            Tensor::scalar((loss / denom as f64) as f32),
+            vec![mean_v.0, log_std.0],
+            Some(Box::new(move |g: &Tensor| {
+                let go = g.item();
+                let mut dmu = Tensor::zeros(&mshape);
+                let mut dls = Tensor::zeros(&sshape);
+                for i in 0..n {
+                    if mask[i] == 0.0 {
+                        continue;
+                    }
+                    let mu = mv.data[i];
+                    let ls_raw = sv.data[i];
+                    let ls = ls_raw.clamp(-7.0, 3.0);
+                    let x = target[i];
+                    let inv_var = (-2.0 * ls).exp();
+                    // d/dμ [0.5 (x-μ)² e^{-2ls}] = (μ - x) e^{-2ls}
+                    dmu.data[i] = go * mask[i] * (mu - x) * inv_var / denom;
+                    // d/dls = 1 - (x-μ)² e^{-2ls}; zero outside the clamp.
+                    dls.data[i] = if ls_raw == ls {
+                        go * mask[i] * (1.0 - (x - mu) * (x - mu) * inv_var) / denom
+                    } else {
+                        0.0
+                    };
+                }
+                vec![dmu, dls]
+            })),
+        )
+    }
+
+    /// Masked mean binary cross-entropy on logits (numerically stable
+    /// log-sum-exp form). Used by the GAN discriminator/generator losses.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32], mask: &[f32]) -> Var {
+        let lv = self.rc_value(logits);
+        let n = lv.len();
+        assert_eq!(targets.len(), n, "targets length");
+        assert_eq!(mask.len(), n, "mask length");
+        let denom: f32 = mask.iter().sum::<f32>().max(1e-12);
+        let mut loss = 0.0f64;
+        for i in 0..n {
+            if mask[i] != 0.0 {
+                let z = lv.data[i] as f64;
+                let y = targets[i] as f64;
+                loss += (z.max(0.0) - z * y + (-z.abs()).exp().ln_1p()) * mask[i] as f64;
+            }
+        }
+        let targets = targets.to_vec();
+        let mask = mask.to_vec();
+        let shape = lv.shape.clone();
+        self.push(
+            Tensor::scalar((loss / denom as f64) as f32),
+            vec![logits.0],
+            Some(Box::new(move |g: &Tensor| {
+                let go = g.item();
+                let mut dl = Tensor::zeros(&shape);
+                for i in 0..n {
+                    if mask[i] == 0.0 {
+                        continue;
+                    }
+                    dl.data[i] = go * mask[i] * (sigmoid_f(lv.data[i]) - targets[i]) / denom;
+                }
+                vec![dl]
+            })),
+        )
+    }
+
+    /// Masked mean squared error against constant targets.
+    pub fn mse_masked(&mut self, pred: Var, target: &[f32], mask: &[f32]) -> Var {
+        let pv = self.rc_value(pred);
+        let n = pv.len();
+        assert_eq!(target.len(), n, "target length");
+        assert_eq!(mask.len(), n, "mask length");
+        let denom: f32 = mask.iter().sum::<f32>().max(1e-12);
+        let loss: f64 = (0..n)
+            .filter(|i| mask[*i] != 0.0)
+            .map(|i| {
+                let d = (pv.data[i] - target[i]) as f64;
+                d * d * mask[i] as f64
+            })
+            .sum::<f64>()
+            / denom as f64;
+        let target = target.to_vec();
+        let mask = mask.to_vec();
+        let shape = pv.shape.clone();
+        self.push(
+            Tensor::scalar(loss as f32),
+            vec![pred.0],
+            Some(Box::new(move |g: &Tensor| {
+                let go = g.item();
+                let mut dp = Tensor::zeros(&shape);
+                for i in 0..n {
+                    if mask[i] != 0.0 {
+                        dp.data[i] = go * mask[i] * 2.0 * (pv.data[i] - target[i]) / denom;
+                    }
+                }
+                vec![dp]
+            })),
+        )
+    }
+
+    // ---------------------------------------------------------------
+    // Backward
+    // ---------------------------------------------------------------
+
+    /// Runs reverse-mode accumulation from `loss` (which must be scalar).
+    /// After this call, [`Graph::grad`] returns `dloss/dnode` for every
+    /// node that influences the loss.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).len(),
+            1,
+            "backward() needs a scalar loss, got {:?}",
+            self.value(loss).shape
+        );
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::new(vec![1.0], self.value(loss).shape.clone()));
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            if let Some(bw) = &self.nodes[i].backward {
+                let parent_grads = bw(&g);
+                debug_assert_eq!(parent_grads.len(), self.nodes[i].parents.len());
+                for (p, pg) in self.nodes[i].parents.clone().into_iter().zip(parent_grads) {
+                    match &mut grads[p] {
+                        Some(existing) => existing.add_assign(&pg),
+                        slot @ None => *slot = Some(pg),
+                    }
+                }
+            }
+            self.nodes[i].grad = Some(g);
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Kernel helpers
+// -------------------------------------------------------------------
+
+/// `a + b` where `b.shape` equals `a.shape` or is a suffix of it.
+fn broadcast_add(a: &Tensor, b: &Tensor) -> Tensor {
+    if a.shape == b.shape {
+        return a.zip(b, |x, y| x + y);
+    }
+    assert!(
+        a.shape.len() >= b.shape.len()
+            && a.shape[a.shape.len() - b.shape.len()..] == b.shape[..],
+        "broadcast_add: {:?} + {:?}",
+        a.shape,
+        b.shape
+    );
+    let chunk = b.len().max(1);
+    let mut out = a.clone();
+    for block in out.data.chunks_mut(chunk) {
+        for (o, bv) in block.iter_mut().zip(&b.data) {
+            *o += bv;
+        }
+    }
+    out
+}
+
+/// Sums `g` over leading dims so the result has `shape` (suffix of
+/// `g.shape`). Inverse of broadcasting.
+fn reduce_to_shape(g: &Tensor, shape: &[usize]) -> Tensor {
+    if g.shape == shape {
+        return g.clone();
+    }
+    let chunk: usize = shape.iter().product::<usize>().max(1);
+    let mut out = Tensor::zeros(shape);
+    for block in g.data.chunks(chunk) {
+        for (o, gv) in out.data.iter_mut().zip(block) {
+            *o += gv;
+        }
+    }
+    out
+}
+
+fn softmax_lastdim_data(x: &Tensor) -> Tensor {
+    let (rows, cols) = x.rows_cols();
+    let mut out = Tensor::zeros(&x.shape);
+    for r in 0..rows {
+        let row = &x.data[r * cols..(r + 1) * cols];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for c in 0..cols {
+            let e = (row[c] - max).exp();
+            out.data[r * cols + c] = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for c in 0..cols {
+            out.data[r * cols + c] *= inv;
+        }
+    }
+    out
+}
+
+fn split_heads_data(x: &Tensor, b: usize, t: usize, h: usize, hd: usize) -> Tensor {
+    // [B,T,H*hd] -> [B*H, T, hd]
+    let mut out = Tensor::zeros(&[b * h, t, hd]);
+    for bi in 0..b {
+        for ti in 0..t {
+            for hi in 0..h {
+                let src = (bi * t + ti) * h * hd + hi * hd;
+                let dst = ((bi * h + hi) * t + ti) * hd;
+                out.data[dst..dst + hd].copy_from_slice(&x.data[src..src + hd]);
+            }
+        }
+    }
+    out
+}
+
+fn merge_heads_data(x: &Tensor, b: usize, t: usize, h: usize, hd: usize) -> Tensor {
+    // [B*H, T, hd] -> [B,T,H*hd]
+    let mut out = Tensor::zeros(&[b, t, h * hd]);
+    for bi in 0..b {
+        for ti in 0..t {
+            for hi in 0..h {
+                let src = ((bi * h + hi) * t + ti) * hd;
+                let dst = (bi * t + ti) * h * hd + hi * hd;
+                out.data[dst..dst + hd].copy_from_slice(&x.data[src..src + hd]);
+            }
+        }
+    }
+    out
+}
+
+fn sigmoid_f(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn gelu_f(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_df(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044715 * x3);
+    let th = inner.tanh();
+    let sech2 = 1.0 - th * th;
+    0.5 * (1.0 + th) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_values_add_mul_matmul() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::new(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]));
+        let b = g.input(Tensor::new(vec![5.0, 6.0, 7.0, 8.0], vec![2, 2]));
+        let s = g.add(a, b);
+        assert_eq!(g.value(s).data, vec![6.0, 8.0, 10.0, 12.0]);
+        let p = g.mul(a, b);
+        assert_eq!(g.value(p).data, vec![5.0, 12.0, 21.0, 32.0]);
+        let m = g.matmul(a, b);
+        assert_eq!(g.value(m).data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn bias_broadcast_add_and_grad() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]));
+        let b = g.input(Tensor::new(vec![10.0, 20.0, 30.0], vec![3]));
+        let y = g.add(x, b);
+        assert_eq!(g.value(y).data, vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        // d(mean)/db_j = (#rows)/N = 2/6.
+        let db = g.grad(b).unwrap();
+        for v in &db.data {
+            assert!((v - 2.0 / 6.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::new(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], vec![2, 3]));
+        let y = g.softmax_lastdim(x);
+        let v = g.value(y);
+        for r in 0..2 {
+            let s: f32 = v.data[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Softmax is shift-invariant: row 0 and row 1 differ by constant 2.
+        for c in 0..3 {
+            assert!((v.data[c] - v.data[3 + c]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::new(vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0], vec![2, 3]));
+        let loss = g.cross_entropy_logits(logits, &[0, 1], &[1.0, 1.0]);
+        // Row losses: -ln(softmax) of the target entries.
+        let p0 = (2.0f64.exp()) / (2.0f64.exp() + 2.0);
+        let p1 = (3.0f64.exp()) / (3.0f64.exp() + 2.0);
+        let expect = -(p0.ln() + p1.ln()) / 2.0;
+        assert!((g.value(loss).item() as f64 - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_mask_removes_rows() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::new(vec![2.0, 0.0, 0.0, 9.0], vec![2, 2]));
+        let masked = g.cross_entropy_logits(logits, &[0, 0], &[1.0, 0.0]);
+        let mut g2 = Graph::new();
+        let logits2 = g2.input(Tensor::new(vec![2.0, 0.0], vec![1, 2]));
+        let unmasked = g2.cross_entropy_logits(logits2, &[0], &[1.0]);
+        assert!((g.value(masked).item() - g2.value(unmasked).item()).abs() < 1e-6);
+        // And the masked row receives zero gradient.
+        g.backward(masked);
+        let dl = g.grad(logits).unwrap();
+        assert_eq!(dl.data[2], 0.0);
+        assert_eq!(dl.data[3], 0.0);
+    }
+
+    #[test]
+    fn gaussian_nll_minimized_at_target_mean() {
+        // For fixed sigma, NLL at μ = x must be lower than at μ ≠ x.
+        let at = |mu: f32| {
+            let mut g = Graph::new();
+            let m = g.input(Tensor::new(vec![mu], vec![1]));
+            let s = g.input(Tensor::new(vec![0.0], vec![1]));
+            let l = g.gaussian_nll(m, s, &[1.5], &[1.0]);
+            g.value(l).item()
+        };
+        assert!(at(1.5) < at(0.0));
+        assert!(at(1.5) < at(3.0));
+        // Analytic value at μ=x, σ=1: 0.5·ln(2π).
+        assert!((at(1.5) - 0.918_938_5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_matches_manual() {
+        let mut g = Graph::new();
+        let z = g.input(Tensor::new(vec![0.0, 2.0], vec![2]));
+        let l = g.bce_with_logits(z, &[1.0, 0.0], &[1.0, 1.0]);
+        let expect = ((2.0f64).ln() + (1.0 + (2.0f64).exp()).ln()) / 2.0;
+        assert!((g.value(l).item() as f64 - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_through_chain_rule() {
+        // loss = mean((a*b + b)²)... simple: y = a*b; loss = mean(y)
+        let mut g = Graph::new();
+        let a = g.input(Tensor::new(vec![2.0, 3.0], vec![2]));
+        let b = g.input(Tensor::new(vec![5.0, 7.0], vec![2]));
+        let y = g.mul(a, b);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        // dloss/da_i = b_i / 2 ; dloss/db_i = a_i / 2
+        assert_eq!(g.grad(a).unwrap().data, vec![2.5, 3.5]);
+        assert_eq!(g.grad(b).unwrap().data, vec![1.0, 1.5]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_multiple_uses() {
+        // y = a + a → dy/da = 2
+        let mut g = Graph::new();
+        let a = g.input(Tensor::new(vec![1.0], vec![1]));
+        let y = g.add(a, a);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data, vec![2.0]);
+    }
+
+    #[test]
+    fn split_merge_heads_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn(&[2, 3, 8], 1.0, &mut rng);
+        let mut g = Graph::new();
+        let v = g.input(x.clone());
+        let s = g.split_heads(v, 4);
+        assert_eq!(g.value(s).shape, vec![8, 3, 2]);
+        let m = g.merge_heads(s, 4);
+        assert_eq!(g.value(m).shape, vec![2, 3, 8]);
+        for (a, b) in x.data.iter().zip(&g.value(m).data) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn slice_rows_forward_and_backward() {
+        let mut g = Graph::new();
+        let p = g.input(Tensor::new((0..12).map(|x| x as f32).collect(), vec![4, 3]));
+        let s = g.slice_rows(p, 1, 2);
+        assert_eq!(g.value(s).data, vec![3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let loss = g.mean_all(s);
+        g.backward(loss);
+        let dp = g.grad(p).unwrap();
+        assert_eq!(dp.data[0..3], [0.0, 0.0, 0.0]);
+        assert!((dp.data[3] - 1.0 / 6.0).abs() < 1e-6);
+        assert_eq!(dp.data[9..12], [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_sum_combines_scalars() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::scalar(2.0));
+        let b = g.input(Tensor::scalar(10.0));
+        let s = g.weighted_sum(&[(a, 1.0), (b, 3.0)]);
+        assert_eq!(g.value(s).item(), 32.0);
+        g.backward(s);
+        assert_eq!(g.grad(a).unwrap().item(), 1.0);
+        assert_eq!(g.grad(b).unwrap().item(), 3.0);
+    }
+}

@@ -1,0 +1,430 @@
+//! Optimizers, gradient clipping and learning-rate schedules.
+
+use crate::layers::ParamStore;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Adam with decoupled weight decay (AdamW-style).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Base learning rate (can be replaced per step via
+    /// [`Adam::set_lr`], e.g. by a schedule).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay coefficient.
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer sized to `store`.
+    pub fn new(store: &ParamStore, lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: store
+                .ids()
+                .iter()
+                .map(|id| Tensor::zeros(&store.value(*id).shape))
+                .collect(),
+            v: store
+                .ids()
+                .iter()
+                .map(|id| Tensor::zeros(&store.value(*id).shape))
+                .collect(),
+        }
+    }
+
+    /// Builder: sets weight decay.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Steps counted so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update using the gradients accumulated in `store`.
+    /// Caller is responsible for zeroing gradients afterwards.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let all = store.ids();
+        self.step_subset(store, &all);
+    }
+
+    /// Applies one update to `ids` only, leaving every other parameter —
+    /// and its Adam moments — untouched. Required for GAN training, where
+    /// the generator and discriminator live in one store but must be
+    /// optimized on alternating steps.
+    pub fn step_subset(&mut self, store: &mut ParamStore, ids: &[crate::layers::ParamId]) {
+        assert_eq!(
+            self.m.len(),
+            store.num_tensors(),
+            "optimizer sized for a different store"
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for id in ids.iter().copied() {
+            let idx = id.index();
+            // Split borrows: clone the grad (small) to free the store.
+            let grad = store.grad(id).clone();
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            let value = store.value_mut(id);
+            for i in 0..value.data.len() {
+                let g = grad.data[i];
+                m.data[i] = self.beta1 * m.data[i] + (1.0 - self.beta1) * g;
+                v.data[i] = self.beta2 * v.data[i] + (1.0 - self.beta2) * g * g;
+                let mhat = m.data[i] / bc1;
+                let vhat = v.data[i] / bc2;
+                let mut update = mhat / (vhat.sqrt() + self.eps);
+                if self.weight_decay > 0.0 {
+                    update += self.weight_decay * value.data[i];
+                }
+                value.data[i] -= self.lr * update;
+            }
+        }
+    }
+}
+
+/// SGD with classical momentum and decoupled weight decay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 = plain SGD).
+    pub momentum: f32,
+    /// Decoupled weight decay coefficient.
+    pub weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer sized to `store`.
+    pub fn new(store: &ParamStore, lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: store
+                .ids()
+                .iter()
+                .map(|id| Tensor::zeros(&store.value(*id).shape))
+                .collect(),
+        }
+    }
+
+    /// Applies one update from the gradients accumulated in `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        assert_eq!(
+            self.velocity.len(),
+            store.num_tensors(),
+            "optimizer sized for a different store"
+        );
+        for (idx, id) in store.ids().into_iter().enumerate() {
+            let grad = store.grad(id).clone();
+            let v = &mut self.velocity[idx];
+            let value = store.value_mut(id);
+            for i in 0..value.data.len() {
+                v.data[i] = self.momentum * v.data[i] + grad.data[i];
+                let mut update = v.data[i];
+                if self.weight_decay > 0.0 {
+                    update += self.weight_decay * value.data[i];
+                }
+                value.data[i] -= self.lr * update;
+            }
+        }
+    }
+}
+
+/// RMSProp — the optimizer the original WGAN paper recommends for
+/// weight-clipped critics (momentum-based methods interact badly with the
+/// clipping).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RmsProp {
+    /// Learning rate.
+    pub lr: f32,
+    /// Squared-gradient decay.
+    pub alpha: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    sq_avg: Vec<Tensor>,
+}
+
+impl RmsProp {
+    /// Creates an RMSProp optimizer sized to `store`.
+    pub fn new(store: &ParamStore, lr: f32) -> Self {
+        RmsProp {
+            lr,
+            alpha: 0.99,
+            eps: 1e-8,
+            sq_avg: store
+                .ids()
+                .iter()
+                .map(|id| Tensor::zeros(&store.value(*id).shape))
+                .collect(),
+        }
+    }
+
+    /// Applies one update to `ids` only (GAN-style partitioned stepping).
+    pub fn step_subset(&mut self, store: &mut ParamStore, ids: &[crate::layers::ParamId]) {
+        assert_eq!(
+            self.sq_avg.len(),
+            store.num_tensors(),
+            "optimizer sized for a different store"
+        );
+        for id in ids.iter().copied() {
+            let idx = id.index();
+            let grad = store.grad(id).clone();
+            let s = &mut self.sq_avg[idx];
+            let value = store.value_mut(id);
+            for i in 0..value.data.len() {
+                let g = grad.data[i];
+                s.data[i] = self.alpha * s.data[i] + (1.0 - self.alpha) * g * g;
+                value.data[i] -= self.lr * g / (s.data[i].sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Applies one update to every parameter.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let all = store.ids();
+        self.step_subset(store, &all);
+    }
+}
+
+/// Scales all gradients in `store` so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f64) -> f64 {
+    let mut sq = 0.0f64;
+    for id in store.ids() {
+        sq += store.grad(id).sq_norm();
+    }
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = (max_norm / norm) as f32;
+        for p in &mut store.params {
+            p.grad.scale_assign(scale);
+        }
+    }
+    norm
+}
+
+/// Learning-rate schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant(f32),
+    /// Linear warmup to `peak` over `warmup_steps`, then cosine decay to
+    /// `floor` at `total_steps`.
+    WarmupCosine {
+        /// Peak learning rate after warmup.
+        peak: f32,
+        /// Final learning rate.
+        floor: f32,
+        /// Warmup length in steps.
+        warmup_steps: u64,
+        /// Total schedule length in steps.
+        total_steps: u64,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `step` (0-based).
+    pub fn lr(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::WarmupCosine {
+                peak,
+                floor,
+                warmup_steps,
+                total_steps,
+            } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    peak * (step + 1) as f32 / warmup_steps as f32
+                } else if step >= total_steps {
+                    floor
+                } else {
+                    let span = (total_steps - warmup_steps).max(1) as f32;
+                    let progress = (step - warmup_steps) as f32 / span;
+                    floor
+                        + 0.5 * (peak - floor) * (1.0 + (std::f32::consts::PI * progress).cos())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Quadratic bowl: minimize ||w - target||² by writing the analytic
+    /// gradient directly into the store.
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::new(vec![5.0, -3.0], vec![2]));
+        let target = [1.0f32, 2.0];
+        let mut adam = Adam::new(&store, 0.1);
+        for _ in 0..500 {
+            let grads: Vec<f32> = store
+                .value(id)
+                .data
+                .iter()
+                .zip(&target)
+                .map(|(w, t)| 2.0 * (w - t))
+                .collect();
+            store.zero_grads();
+            store.accumulate_grads(&[(id, Tensor::new(grads, vec![2]))]);
+            adam.step(&mut store);
+        }
+        for (w, t) in store.value(id).data.iter().zip(&target) {
+            assert!((w - t).abs() < 1e-2, "w {w} vs target {t}");
+        }
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn sgd_momentum_minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::new(vec![5.0, -3.0], vec![2]));
+        let target = [1.0f32, 2.0];
+        let mut sgd = Sgd::new(&store, 0.05, 0.9);
+        for _ in 0..300 {
+            let grads: Vec<f32> = store
+                .value(id)
+                .data
+                .iter()
+                .zip(&target)
+                .map(|(w, t)| 2.0 * (w - t))
+                .collect();
+            store.zero_grads();
+            store.accumulate_grads(&[(id, Tensor::new(grads, vec![2]))]);
+            sgd.step(&mut store);
+        }
+        for (w, t) in store.value(id).data.iter().zip(&target) {
+            assert!((w - t).abs() < 1e-2, "w {w} vs target {t}");
+        }
+    }
+
+    #[test]
+    fn rmsprop_minimizes_quadratic_and_respects_subset() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::new(vec![4.0], vec![1]));
+        let b = store.add("b", Tensor::new(vec![4.0], vec![1]));
+        let mut rms = RmsProp::new(&store, 0.05);
+        for _ in 0..400 {
+            store.zero_grads();
+            let ga = 2.0 * store.value(a).data[0];
+            let gb = 2.0 * store.value(b).data[0];
+            store.accumulate_grads(&[
+                (a, Tensor::new(vec![ga], vec![1])),
+                (b, Tensor::new(vec![gb], vec![1])),
+            ]);
+            rms.step_subset(&mut store, &[a]); // only a moves
+        }
+        assert!(store.value(a).data[0].abs() < 1e-2);
+        assert_eq!(store.value(b).data[0], 4.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::new(vec![1.0], vec![1]));
+        let mut adam = Adam::new(&store, 0.01).weight_decay(0.1);
+        // Zero gradients: only decay acts.
+        for _ in 0..100 {
+            adam.step(&mut store);
+        }
+        assert!(store.value(id).data[0] < 1.0);
+        assert!(store.value(id).data[0] > 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::zeros(&[2]));
+        store.accumulate_grads(&[(a, Tensor::new(vec![3.0, 4.0], vec![2]))]);
+        let norm = clip_grad_norm(&mut store, 1.0);
+        assert!((norm - 5.0).abs() < 1e-9);
+        let g = store.grad(a);
+        let new_norm = g.sq_norm().sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-5);
+
+        // Below the cap: unchanged.
+        store.zero_grads();
+        store.accumulate_grads(&[(a, Tensor::new(vec![0.3, 0.4], vec![2]))]);
+        let norm2 = clip_grad_norm(&mut store, 1.0);
+        assert!((norm2 - 0.5).abs() < 1e-7);
+        assert_eq!(store.grad(a).data, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn warmup_cosine_shape() {
+        let s = LrSchedule::WarmupCosine {
+            peak: 1.0,
+            floor: 0.1,
+            warmup_steps: 10,
+            total_steps: 110,
+        };
+        assert!(s.lr(0) < s.lr(5));
+        assert!((s.lr(9) - 1.0).abs() < 1e-6);
+        assert!(s.lr(50) < 1.0 && s.lr(50) > 0.1);
+        assert!((s.lr(1000) - 0.1).abs() < 1e-6);
+        assert_eq!(LrSchedule::Constant(0.3).lr(12345), 0.3);
+    }
+
+    #[test]
+    fn step_subset_leaves_other_params_untouched() {
+        let mut store = ParamStore::new();
+        let a = store.add("g.w", Tensor::new(vec![1.0], vec![1]));
+        let b = store.add("d.w", Tensor::new(vec![1.0], vec![1]));
+        let mut adam = Adam::new(&store, 0.1);
+        // Gradients on both, but step only the "generator" parameter.
+        store.accumulate_grads(&[
+            (a, Tensor::ones(&[1])),
+            (b, Tensor::ones(&[1])),
+        ]);
+        adam.step_subset(&mut store, &[a]);
+        assert!(store.value(a).data[0] < 1.0, "a should move");
+        assert_eq!(store.value(b).data[0], 1.0, "b must not move");
+        // And b's Adam moments stayed zero: a later zero-grad subset step
+        // on b leaves it in place.
+        store.zero_grads();
+        adam.step_subset(&mut store, &[b]);
+        assert_eq!(store.value(b).data[0], 1.0);
+    }
+
+    #[test]
+    fn adam_respects_lr_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::randn(&[4], 1.0, &mut rng));
+        let before = store.value(id).clone();
+        let mut adam = Adam::new(&store, 0.0);
+        store.accumulate_grads(&[(id, Tensor::ones(&[4]))]);
+        adam.step(&mut store);
+        assert_eq!(store.value(id).data, before.data);
+    }
+}

@@ -1,0 +1,175 @@
+//! Checkpoint save/load for [`ParamStore`]s.
+//!
+//! Checkpoints are JSON with explicit names and shapes so that transfer
+//! learning (load a model trained on one hour, fine-tune on another — §4.4
+//! Design 3) can verify architecture compatibility instead of silently
+//! mis-assigning weights.
+
+use crate::layers::ParamStore;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors arising from checkpoint IO.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// The checkpoint's parameters do not match the target store.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Json(e) => write!(f, "checkpoint json error: {e}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Json(e)
+    }
+}
+
+/// Writes `store` to `w` as JSON.
+pub fn save_store(store: &ParamStore, w: &mut impl Write) -> Result<(), CheckpointError> {
+    serde_json::to_writer(w, store)?;
+    Ok(())
+}
+
+/// Writes `store` to a file.
+pub fn save_store_to_path(
+    store: &ParamStore,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    save_store(store, &mut w)
+}
+
+/// Reads a full store from `r` (for loading a model whose architecture is
+/// reconstructed from config).
+pub fn load_store(r: &mut impl Read) -> Result<ParamStore, CheckpointError> {
+    Ok(serde_json::from_reader(r)?)
+}
+
+/// Reads a store from a file.
+pub fn load_store_from_path(path: impl AsRef<Path>) -> Result<ParamStore, CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    load_store(&mut r)
+}
+
+/// Copies the values of `source` into `target`, matching parameters by
+/// name and verifying shapes. This is the transfer-learning entry point:
+/// `target` is a freshly constructed model (so layer objects hold valid
+/// [`crate::layers::ParamId`]s) and `source` provides pretrained weights.
+pub fn load_weights_into(
+    target: &mut ParamStore,
+    source: &ParamStore,
+) -> Result<(), CheckpointError> {
+    if target.num_tensors() != source.num_tensors() {
+        return Err(CheckpointError::Mismatch(format!(
+            "parameter count {} vs {}",
+            target.num_tensors(),
+            source.num_tensors()
+        )));
+    }
+    for id in target.ids() {
+        let name = target.name(id).to_owned();
+        let src = source
+            .params
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| CheckpointError::Mismatch(format!("missing parameter {name:?}")))?;
+        if src.value.shape != target.value(id).shape {
+            return Err(CheckpointError::Mismatch(format!(
+                "shape of {name:?}: {:?} vs {:?}",
+                target.value(id).shape,
+                src.value.shape
+            )));
+        }
+        *target.value_mut(id) = src.value.clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add("layer.w", Tensor::new(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]));
+        s.add("layer.b", Tensor::new(vec![0.5, -0.5], vec![2]));
+        s
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let s = store();
+        let mut buf = Vec::new();
+        save_store(&s, &mut buf).unwrap();
+        let back = load_store(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.num_tensors(), 2);
+        assert_eq!(back.value(back.ids()[0]).data, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let s = store();
+        let dir = std::env::temp_dir().join(format!("cpt-nn-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_store_to_path(&s, &path).unwrap();
+        let back = load_store_from_path(&path).unwrap();
+        assert_eq!(back.num_params(), s.num_params());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_weights_into_matches_by_name() {
+        let mut target = ParamStore::new();
+        // Register in a different order than the source.
+        let b = target.add("layer.b", Tensor::zeros(&[2]));
+        let w = target.add("layer.w", Tensor::zeros(&[2, 2]));
+        load_weights_into(&mut target, &store()).unwrap();
+        assert_eq!(target.value(w).data, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(target.value(b).data, vec![0.5, -0.5]);
+    }
+
+    #[test]
+    fn load_weights_rejects_shape_mismatch() {
+        let mut target = ParamStore::new();
+        target.add("layer.w", Tensor::zeros(&[3, 2]));
+        target.add("layer.b", Tensor::zeros(&[2]));
+        assert!(matches!(
+            load_weights_into(&mut target, &store()),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn load_weights_rejects_missing_name() {
+        let mut target = ParamStore::new();
+        target.add("other.w", Tensor::zeros(&[2, 2]));
+        target.add("layer.b", Tensor::zeros(&[2]));
+        assert!(matches!(
+            load_weights_into(&mut target, &store()),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,430 @@
+//! Dense row-major `f32` tensors and the kernels training needs.
+
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Flat row-major storage; `data.len() == shape.iter().product()`.
+    pub data: Vec<f32>,
+    /// Dimension sizes, outermost first.
+    pub shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor from flat data and a shape. Panics on size
+    /// mismatch.
+    pub fn new(data: Vec<f32>, shape: Vec<usize>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { data, shape }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor {
+            data: vec![1.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: vec![],
+        }
+    }
+
+    /// Standard-normal initialized tensor scaled by `std`.
+    pub fn randn(shape: &[usize], std: f32, rng: &mut impl Rng) -> Self {
+        let n = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            // Box–Muller, two at a time.
+            let u1: f32 = 1.0 - rng.gen::<f32>();
+            let u2: f32 = rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (s, c) = (std::f32::consts::TAU * u2).sin_cos();
+            data.push(r * c * std);
+            if data.len() < n {
+                data.push(r * s * std);
+            }
+        }
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Rank (number of dimensions); scalars have rank 0.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The single value of a scalar/one-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on non-scalar {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Returns a reshaped copy sharing the same element order. Panics if
+    /// the element count changes.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.len(),
+            shape.iter().product::<usize>(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|x| f(*x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Elementwise binary op with an equal-shaped tensor.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| f(*a, *b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// In-place `self += other` (equal shapes).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self *= c`.
+    pub fn scale_assign(&mut self, c: f32) {
+        for a in &mut self.data {
+            *a *= c;
+        }
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|x| *x as f64).sum::<f64>() as f32
+    }
+
+    /// Sum of squares of all elements.
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|x| (*x as f64) * (*x as f64)).sum()
+    }
+
+    /// Splits the shape into (leading batch elements, last dim). A rank-1
+    /// tensor is (1, n).
+    pub fn rows_cols(&self) -> (usize, usize) {
+        assert!(self.rank() >= 1, "rows_cols on scalar");
+        let cols = *self.shape.last().expect("rank >= 1");
+        (self.len() / cols.max(1), cols)
+    }
+
+    /// 2-D matrix multiply: `[m,k] x [k,n] -> [m,n]`. Rank-checked.
+    /// Parallelized over output rows with rayon when large enough.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
+        assert_eq!(other.rank(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(&self.data, &other.data, &mut out, m, k, n);
+        Tensor {
+            data: out,
+            shape: vec![m, n],
+        }
+    }
+
+    /// Batched matrix multiply on rank-3 tensors:
+    /// `[b,m,k] x [b,k,n] -> [b,m,n]`.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm lhs must be 3-D");
+        assert_eq!(other.rank(), 3, "bmm rhs must be 3-D");
+        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "bmm batch mismatch");
+        assert_eq!(k, k2, "bmm inner dim mismatch");
+        let mut out = vec![0.0f32; b * m * n];
+        out.par_chunks_mut(m * n)
+            .zip(self.data.par_chunks(m * k).zip(other.data.par_chunks(k * n)))
+            .for_each(|(o, (a, bm))| {
+                matmul_into_serial(a, bm, o, m, k, n);
+            });
+        Tensor {
+            data: out,
+            shape: vec![b, m, n],
+        }
+    }
+
+    /// 2-D transpose `[m,n] -> [n,m]`.
+    pub fn t2(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "t2 needs rank 2");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor {
+            data: out,
+            shape: vec![n, m],
+        }
+    }
+
+    /// Transpose of the last two dims of a rank-3 tensor:
+    /// `[b,m,n] -> [b,n,m]`.
+    pub fn transpose_last2(&self) -> Tensor {
+        assert_eq!(self.rank(), 3, "transpose_last2 needs rank 3");
+        let (b, m, n) = (self.shape[0], self.shape[1], self.shape[2]);
+        let mut out = vec![0.0f32; b * m * n];
+        for bi in 0..b {
+            let src = &self.data[bi * m * n..(bi + 1) * m * n];
+            let dst = &mut out[bi * m * n..(bi + 1) * m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+        }
+        Tensor {
+            data: out,
+            shape: vec![b, n, m],
+        }
+    }
+}
+
+/// `out += a x b` for row-major 2-D data, rayon-parallel over rows for
+/// large problems.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    // Parallelize only when the work is worth the fork-join overhead.
+    if m * k * n >= 64 * 64 * 64 {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| matmul_row(a, b, row, i, k, n));
+    } else {
+        matmul_into_serial(a, b, out, m, k, n);
+    }
+}
+
+fn matmul_into_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        matmul_row(a, b, &mut out[i * n..(i + 1) * n], i, k, n);
+    }
+}
+
+#[inline]
+fn matmul_row(a: &[f32], b: &[f32], out_row: &mut [f32], i: usize, k: usize, n: usize) {
+    // ikj order: stream through b rows; autovectorizes well.
+    for kk in 0..k {
+        let aik = a[i * k + kk];
+        if aik == 0.0 {
+            continue;
+        }
+        let brow = &b[kk * n..kk * n + n];
+        for (o, bv) in out_row.iter_mut().zip(brow) {
+            *o += aik * bv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_basics() {
+        let t = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.rows_cols(), (2, 3));
+        assert_eq!(t.sum(), 21.0);
+        let z = Tensor::zeros(&[3, 2]);
+        assert_eq!(z.sum(), 0.0);
+        assert_eq!(Tensor::scalar(5.0).item(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn construction_rejects_bad_shape() {
+        Tensor::new(vec![1.0, 2.0], vec![3]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let b = Tensor::new(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], vec![3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape, vec![2, 2]);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&[4, 4], 1.0, &mut rng);
+        let mut eye = Tensor::zeros(&[4, 4]);
+        for i in 0..4 {
+            eye.data[i * 4 + i] = 1.0;
+        }
+        let b = a.matmul(&eye);
+        for (x, y) in a.data.iter().zip(&b.data) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Above the parallel threshold.
+        let a = Tensor::randn(&[80, 70], 1.0, &mut rng);
+        let b = Tensor::randn(&[70, 90], 1.0, &mut rng);
+        let big = a.matmul(&b);
+        let mut serial = vec![0.0; 80 * 90];
+        matmul_into_serial(&a.data, &b.data, &mut serial, 80, 70, 90);
+        for (x, y) in big.data.iter().zip(&serial) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bmm_matches_per_slice_matmul() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(&[3, 4, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[3, 5, 2], 1.0, &mut rng);
+        let c = a.bmm(&b);
+        assert_eq!(c.shape, vec![3, 4, 2]);
+        for bi in 0..3 {
+            let a2 = Tensor::new(a.data[bi * 20..(bi + 1) * 20].to_vec(), vec![4, 5]);
+            let b2 = Tensor::new(b.data[bi * 10..(bi + 1) * 10].to_vec(), vec![5, 2]);
+            let c2 = a2.matmul(&b2);
+            for (x, y) in c2.data.iter().zip(&c.data[bi * 8..(bi + 1) * 8]) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn transposes() {
+        let a = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let t = a.t2();
+        assert_eq!(t.shape, vec![3, 2]);
+        assert_eq!(t.data, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        let b = Tensor::new((0..12).map(|x| x as f32).collect(), vec![2, 2, 3]);
+        let bt = b.transpose_last2();
+        assert_eq!(bt.shape, vec![2, 3, 2]);
+        assert_eq!(
+            bt.data,
+            vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0, 6.0, 9.0, 7.0, 10.0, 8.0, 11.0]
+        );
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Tensor::randn(&[100_000], 2.0, &mut rng);
+        let mean = t.sum() / t.len() as f32;
+        let var = t.data.iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn map_zip_add_scale() {
+        let a = Tensor::new(vec![1.0, -2.0], vec![2]);
+        let b = Tensor::new(vec![3.0, 5.0], vec![2]);
+        assert_eq!(a.map(f32::abs).data, vec![1.0, 2.0]);
+        assert_eq!(a.zip(&b, |x, y| x * y).data, vec![3.0, -10.0]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.data, vec![4.0, 3.0]);
+        c.scale_assign(0.5);
+        assert_eq!(c.data, vec![2.0, 1.5]);
+    }
+
+    proptest! {
+        /// (A·B)ᵀ = Bᵀ·Aᵀ
+        #[test]
+        fn matmul_transpose_identity(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let lhs = a.matmul(&b).t2();
+            let rhs = b.t2().matmul(&a.t2());
+            for (x, y) in lhs.data.iter().zip(&rhs.data) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        /// Matmul distributes over addition: A·(B+C) = A·B + A·C.
+        #[test]
+        fn matmul_distributes(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let c = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let lhs = a.matmul(&b.zip(&c, |x, y| x + y));
+            let mut rhs = a.matmul(&b);
+            rhs.add_assign(&a.matmul(&c));
+            for (x, y) in lhs.data.iter().zip(&rhs.data) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Empirical (sample-based) distributions for sojourn times.
+//!
+//! The SMM paper found that classic parametric families (Poisson, Pareto,
+//! Weibull, TCPlib) cannot fit cellular sojourn times, and instead derives
+//! one CDF per transition. We store the sorted fitted sample and draw by
+//! inverse-CDF with linear interpolation between order statistics.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An empirical distribution over non-negative durations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalDist {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalDist {
+    /// Fits from samples. Panics on NaN or an empty sample.
+    pub fn fit(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "empirical distribution needs samples");
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        EmpiricalDist { sorted: samples }
+    }
+
+    /// Number of fitted samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the distribution is empty (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Draws one value: a uniform quantile mapped through the interpolated
+    /// inverse CDF.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let q: f64 = rng.gen();
+        self.quantile(q)
+    }
+
+    /// Interpolated inverse CDF.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q.clamp(0.0, 1.0) * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Fitted sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantiles_interpolate() {
+        let d = EmpiricalDist::fit(vec![10.0, 0.0, 20.0]);
+        assert_eq!(d.quantile(0.0), 0.0);
+        assert_eq!(d.quantile(0.5), 10.0);
+        assert_eq!(d.quantile(1.0), 20.0);
+        assert!((d.quantile(0.25) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_reproduces_the_sample_distribution() {
+        let src = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let d = EmpiricalDist::fit(src);
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        // Samples stay within the fitted range.
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn single_sample_is_constant() {
+        let d = EmpiricalDist::fit(vec![7.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 7.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn rejects_empty() {
+        EmpiricalDist::fit(vec![]);
+    }
+}

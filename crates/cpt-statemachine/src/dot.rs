@@ -1,0 +1,86 @@
+//! Graphviz (DOT) export of the two-level state machines — tooling for
+//! documentation and for visually verifying the Fig. 1 reconstruction.
+
+use crate::machine::StateMachine;
+use crate::state::{SubState, TopState};
+use std::fmt::Write as _;
+
+/// Renders the machine as a Graphviz digraph with one cluster per
+/// top-level state (the two-level structure of Fig. 1).
+pub fn to_dot(machine: &StateMachine) -> String {
+    let mut out = String::new();
+    let gen = machine.generation();
+    let _ = writeln!(out, "digraph ue_state_machine_{gen} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+
+    // Clusters per top state, containing their sub-states.
+    for top in TopState::ALL {
+        let subs: Vec<SubState> = SubState::ALL
+            .iter()
+            .copied()
+            .filter(|s| s.top() == top)
+            .filter(|s| {
+                // Only sub-states that actually participate in this
+                // generation's transition relation.
+                machine
+                    .transitions()
+                    .iter()
+                    .any(|t| t.from.sub() == *s || t.to.sub() == *s)
+            })
+            .collect();
+        if subs.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  subgraph cluster_{} {{", top.index());
+        let _ = writeln!(out, "    label=\"{top}\";");
+        for s in subs {
+            let _ = writeln!(out, "    s{} [label=\"{s}\"];", s.index());
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    for t in machine.transitions() {
+        let _ = writeln!(
+            out,
+            "  s{} -> s{} [label=\"{}\"];",
+            t.from.sub().index(),
+            t.to.sub().index(),
+            t.event.name(gen)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_transitions_and_states() {
+        let m = StateMachine::lte();
+        let dot = to_dot(&m);
+        assert!(dot.starts_with("digraph ue_state_machine_4G {"));
+        // One edge line per transition.
+        let edges = dot.lines().filter(|l| l.contains(" -> ")).count();
+        assert_eq!(edges, m.transitions().len());
+        // The three top-level clusters are present.
+        for label in ["DEREGISTERED", "CONNECTED", "IDLE"] {
+            assert!(dot.contains(label), "missing cluster {label}");
+        }
+        // 4G event names are used.
+        assert!(dot.contains("S1_CONN_REL"));
+        assert!(dot.contains("TAU"));
+    }
+
+    #[test]
+    fn nr_dot_uses_5g_names_and_omits_tau() {
+        let dot = to_dot(&StateMachine::nr());
+        assert!(dot.contains("REGISTER"));
+        assert!(dot.contains("AN_REL"));
+        assert!(!dot.contains("\"TAU\""));
+        // TAU sub-states don't appear in 5G.
+        assert!(!dot.contains("TAU_I_S"));
+    }
+}

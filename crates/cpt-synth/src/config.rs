@@ -1,0 +1,78 @@
+//! Simulation configuration.
+
+use cpt_trace::Generation;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for one simulated trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Master seed; every derived RNG (one per UE) is a deterministic
+    /// function of this and the UE index.
+    pub seed: u64,
+    /// Number of UEs to simulate (mixed across device types by the paper's
+    /// population shares when using [`crate::generate`]).
+    pub num_ues: usize,
+    /// Trace duration in hours.
+    pub duration_hours: f64,
+    /// Hour-of-day at trace start (0–23); drives the diurnal drift so that
+    /// e.g. an "hour 3" trace differs from an "hour 19" trace.
+    pub start_hour: f64,
+    /// Cellular generation to simulate.
+    pub generation: Generation,
+}
+
+impl SynthConfig {
+    /// A 1-hour LTE trace starting at 10:00 with `num_ues` UEs.
+    pub fn new(num_ues: usize, seed: u64) -> Self {
+        SynthConfig {
+            seed,
+            num_ues,
+            duration_hours: 1.0,
+            start_hour: 10.0,
+            generation: Generation::Lte,
+        }
+    }
+
+    /// Sets the duration in hours.
+    pub fn hours(mut self, hours: f64) -> Self {
+        self.duration_hours = hours;
+        self
+    }
+
+    /// Sets the starting hour-of-day.
+    pub fn starting_at(mut self, hour: f64) -> Self {
+        self.start_hour = hour;
+        self
+    }
+
+    /// Sets the generation.
+    pub fn generation(mut self, generation: Generation) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration_seconds(&self) -> f64 {
+        self.duration_hours * 3600.0
+    }
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig::new(1000, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = SynthConfig::new(10, 7).hours(6.0).starting_at(3.0);
+        assert_eq!(c.num_ues, 10);
+        assert_eq!(c.seed, 7);
+        assert!((c.duration_seconds() - 21_600.0).abs() < 1e-9);
+        assert!((c.start_hour - 3.0).abs() < 1e-12);
+    }
+}

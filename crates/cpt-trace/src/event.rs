@@ -1,0 +1,244 @@
+//! Control-plane event types for 4G (LTE) and 5G (NR), per Table 1 of the
+//! paper.
+//!
+//! The two generations share the same *roles* (register, deregister, create
+//! a signaling connection, release it, handover, tracking-area update) but
+//! use different names, and 5G drops TAU entirely. [`EventType`] models the
+//! union; [`Generation`] selects which subset is legal and how each event is
+//! rendered.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Cellular technology generation a trace belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Generation {
+    /// 4G / LTE (EPS). The paper's dataset and all experiments use LTE.
+    #[default]
+    Lte,
+    /// 5G / NR. Supported by the state machine substrate for completeness
+    /// (the paper's Fig. 1b) and exercised by tests and one example.
+    Nr,
+}
+
+impl Generation {
+    /// Event types that exist in this generation, in canonical order.
+    ///
+    /// The canonical order is also the one-hot encoding order used by the
+    /// CPT-GPT tokenizer, so it must stay stable.
+    pub fn event_types(self) -> &'static [EventType] {
+        match self {
+            Generation::Lte => &[
+                EventType::Attach,
+                EventType::Detach,
+                EventType::ServiceRequest,
+                EventType::ConnectionRelease,
+                EventType::Handover,
+                EventType::TrackingAreaUpdate,
+            ],
+            // 5G has no TAU (§2.1): the corresponding states and
+            // transitions are removed from the two-level state machine.
+            Generation::Nr => &[
+                EventType::Attach,
+                EventType::Detach,
+                EventType::ServiceRequest,
+                EventType::ConnectionRelease,
+                EventType::Handover,
+            ],
+        }
+    }
+
+    /// Number of event types in this generation (the categorical
+    /// sub-token width used by the tokenizer).
+    pub fn num_event_types(self) -> usize {
+        self.event_types().len()
+    }
+}
+
+impl fmt::Display for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Generation::Lte => write!(f, "4G"),
+            Generation::Nr => write!(f, "5G"),
+        }
+    }
+}
+
+/// A control-plane event type (Table 1 of the paper).
+///
+/// Variants are named by *role*; [`EventType::name`] renders the
+/// generation-specific wire name (`ATCH` vs `REGISTER`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventType {
+    /// Register the UE with the MCN (4G `ATCH`, 5G `REGISTER`).
+    Attach,
+    /// De-register the UE from the MCN (4G `DTCH`, 5G `DEREGISTER`).
+    Detach,
+    /// Create a signaling connection so the UE can send/receive data and
+    /// control-plane messages (`SRV_REQ` in both generations).
+    ServiceRequest,
+    /// Release the signaling connection and other resources in both planes
+    /// (4G `S1_CONN_REL`, 5G `AN_REL`).
+    ConnectionRelease,
+    /// Switch the UE from its current serving cell to another cell (`HO`).
+    Handover,
+    /// Update the UE's tracking area (4G `TAU`; absent in 5G).
+    TrackingAreaUpdate,
+}
+
+impl EventType {
+    /// All event roles across both generations, in canonical order.
+    pub const ALL: [EventType; 6] = [
+        EventType::Attach,
+        EventType::Detach,
+        EventType::ServiceRequest,
+        EventType::ConnectionRelease,
+        EventType::Handover,
+        EventType::TrackingAreaUpdate,
+    ];
+
+    /// Stable index of this event within [`EventType::ALL`] (and within
+    /// [`Generation::Lte`]'s canonical order). Used as the one-hot index by
+    /// the tokenizer and as a dense table key everywhere else.
+    pub fn index(self) -> usize {
+        match self {
+            EventType::Attach => 0,
+            EventType::Detach => 1,
+            EventType::ServiceRequest => 2,
+            EventType::ConnectionRelease => 3,
+            EventType::Handover => 4,
+            EventType::TrackingAreaUpdate => 5,
+        }
+    }
+
+    /// Inverse of [`EventType::index`]. Returns `None` for out-of-range
+    /// indices.
+    pub fn from_index(idx: usize) -> Option<EventType> {
+        EventType::ALL.get(idx).copied()
+    }
+
+    /// Whether this event exists in the given generation. Only TAU is
+    /// generation-specific (4G-only).
+    pub fn exists_in(self, generation: Generation) -> bool {
+        match generation {
+            Generation::Lte => true,
+            Generation::Nr => self != EventType::TrackingAreaUpdate,
+        }
+    }
+
+    /// The generation-specific event name as printed in the paper's tables.
+    pub fn name(self, generation: Generation) -> &'static str {
+        match (generation, self) {
+            (Generation::Lte, EventType::Attach) => "ATCH",
+            (Generation::Lte, EventType::Detach) => "DTCH",
+            (_, EventType::ServiceRequest) => "SRV_REQ",
+            (Generation::Lte, EventType::ConnectionRelease) => "S1_CONN_REL",
+            (_, EventType::Handover) => "HO",
+            (Generation::Lte, EventType::TrackingAreaUpdate) => "TAU",
+            (Generation::Nr, EventType::Attach) => "REGISTER",
+            (Generation::Nr, EventType::Detach) => "DEREGISTER",
+            (Generation::Nr, EventType::ConnectionRelease) => "AN_REL",
+            (Generation::Nr, EventType::TrackingAreaUpdate) => "TAU(invalid-in-5G)",
+        }
+    }
+}
+
+impl fmt::Display for EventType {
+    /// Displays the 4G name, which is what every table in the paper uses.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name(Generation::Lte))
+    }
+}
+
+impl FromStr for EventType {
+    type Err = ParseEventTypeError;
+
+    /// Parses either the 4G or the 5G wire name.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ATCH" | "REGISTER" => Ok(EventType::Attach),
+            "DTCH" | "DEREGISTER" => Ok(EventType::Detach),
+            "SRV_REQ" => Ok(EventType::ServiceRequest),
+            "S1_CONN_REL" | "AN_REL" => Ok(EventType::ConnectionRelease),
+            "HO" => Ok(EventType::Handover),
+            "TAU" => Ok(EventType::TrackingAreaUpdate),
+            _ => Err(ParseEventTypeError(s.to_owned())),
+        }
+    }
+}
+
+/// Error returned when parsing an unknown event-type name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEventTypeError(pub String);
+
+impl fmt::Display for ParseEventTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown control-plane event type: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseEventTypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, et) in EventType::ALL.iter().enumerate() {
+            assert_eq!(et.index(), i);
+            assert_eq!(EventType::from_index(i), Some(*et));
+        }
+        assert_eq!(EventType::from_index(6), None);
+    }
+
+    #[test]
+    fn lte_has_six_event_types_nr_has_five() {
+        assert_eq!(Generation::Lte.num_event_types(), 6);
+        assert_eq!(Generation::Nr.num_event_types(), 5);
+        assert!(!EventType::TrackingAreaUpdate.exists_in(Generation::Nr));
+        assert!(EventType::TrackingAreaUpdate.exists_in(Generation::Lte));
+    }
+
+    #[test]
+    fn names_match_paper_table1() {
+        use EventType::*;
+        assert_eq!(Attach.name(Generation::Lte), "ATCH");
+        assert_eq!(Attach.name(Generation::Nr), "REGISTER");
+        assert_eq!(Detach.name(Generation::Lte), "DTCH");
+        assert_eq!(Detach.name(Generation::Nr), "DEREGISTER");
+        assert_eq!(ServiceRequest.name(Generation::Lte), "SRV_REQ");
+        assert_eq!(ServiceRequest.name(Generation::Nr), "SRV_REQ");
+        assert_eq!(ConnectionRelease.name(Generation::Lte), "S1_CONN_REL");
+        assert_eq!(ConnectionRelease.name(Generation::Nr), "AN_REL");
+        assert_eq!(Handover.name(Generation::Lte), "HO");
+        assert_eq!(TrackingAreaUpdate.name(Generation::Lte), "TAU");
+    }
+
+    #[test]
+    fn parse_both_generations() {
+        for et in EventType::ALL {
+            assert_eq!(et.name(Generation::Lte).parse::<EventType>(), Ok(et));
+        }
+        for et in Generation::Nr.event_types() {
+            assert_eq!(et.name(Generation::Nr).parse::<EventType>(), Ok(*et));
+        }
+        assert!("BOGUS".parse::<EventType>().is_err());
+    }
+
+    #[test]
+    fn canonical_order_is_stable() {
+        // The tokenizer's one-hot layout depends on this exact order;
+        // changing it silently breaks saved checkpoints.
+        let names: Vec<&str> = Generation::Lte
+            .event_types()
+            .iter()
+            .map(|e| e.name(Generation::Lte))
+            .collect();
+        assert_eq!(
+            names,
+            vec!["ATCH", "DTCH", "SRV_REQ", "S1_CONN_REL", "HO", "TAU"]
+        );
+    }
+}

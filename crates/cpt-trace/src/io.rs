@@ -1,0 +1,200 @@
+//! Dataset (de)serialization.
+//!
+//! Datasets are stored as JSON lines: a header line with the generation,
+//! then one JSON object per stream. The format is line-oriented so that
+//! multi-gigabyte traces can be streamed without building the whole dataset
+//! in memory, and diff-able so that fixture files stay reviewable.
+
+use crate::{Dataset, Generation, Stream};
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Header record (first line of a dataset file).
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    format: String,
+    version: u32,
+    generation: Generation,
+    num_streams: usize,
+}
+
+const FORMAT: &str = "cpt-trace";
+const VERSION: u32 = 1;
+
+/// Errors arising while reading or writing dataset files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Malformed JSON or schema mismatch.
+    Json(serde_json::Error),
+    /// The file is not a cpt-trace file or has an unsupported version.
+    BadHeader(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::BadHeader(msg) => write!(f, "bad dataset header: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Writes a dataset to `path` in JSON-lines format.
+pub fn write_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write_dataset_to(dataset, &mut w)
+}
+
+/// Writes a dataset to any writer (header line + one line per stream).
+pub fn write_dataset_to(dataset: &Dataset, w: &mut impl Write) -> Result<(), IoError> {
+    let header = Header {
+        format: FORMAT.to_owned(),
+        version: VERSION,
+        generation: dataset.generation,
+        num_streams: dataset.streams.len(),
+    };
+    serde_json::to_writer(&mut *w, &header)?;
+    w.write_all(b"\n")?;
+    for stream in &dataset.streams {
+        serde_json::to_writer(&mut *w, stream)?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a dataset from `path`.
+pub fn read_dataset(path: impl AsRef<Path>) -> Result<Dataset, IoError> {
+    let file = File::open(path)?;
+    read_dataset_from(BufReader::new(file))
+}
+
+/// Reads a dataset from any buffered reader.
+pub fn read_dataset_from(r: impl BufRead) -> Result<Dataset, IoError> {
+    let mut lines = r.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| IoError::BadHeader("empty file".into()))??;
+    let header: Header = serde_json::from_str(&header_line)?;
+    if header.format != FORMAT {
+        return Err(IoError::BadHeader(format!(
+            "expected format {FORMAT:?}, found {:?}",
+            header.format
+        )));
+    }
+    if header.version != VERSION {
+        return Err(IoError::BadHeader(format!(
+            "unsupported version {} (this build reads {VERSION})",
+            header.version
+        )));
+    }
+    let mut streams = Vec::with_capacity(header.num_streams);
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let stream: Stream = serde_json::from_str(&line)?;
+        streams.push(stream);
+    }
+    if streams.len() != header.num_streams {
+        return Err(IoError::BadHeader(format!(
+            "header promised {} streams, file contains {}",
+            header.num_streams,
+            streams.len()
+        )));
+    }
+    Ok(Dataset::with_generation(header.generation, streams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceType, Event, EventType, UeId};
+    use std::io::Cursor;
+
+    fn toy() -> Dataset {
+        Dataset::new(vec![
+            Stream::new(
+                UeId(1),
+                DeviceType::Phone,
+                vec![
+                    Event::new(EventType::Attach, 0.0),
+                    Event::new(EventType::ConnectionRelease, 12.25),
+                ],
+            ),
+            Stream::new(UeId(2), DeviceType::ConnectedCar, vec![]),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let d = toy();
+        let mut buf = Vec::new();
+        write_dataset_to(&d, &mut buf).unwrap();
+        let back = read_dataset_from(Cursor::new(buf)).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let d = toy();
+        let dir = std::env::temp_dir().join(format!("cpt-trace-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.jsonl");
+        write_dataset(&d, &path).unwrap();
+        let back = read_dataset(&path).unwrap();
+        assert_eq!(d, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        assert!(matches!(
+            read_dataset_from(Cursor::new(Vec::<u8>::new())),
+            Err(IoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_format() {
+        let bad = r#"{"format":"pcap","version":1,"generation":"Lte","num_streams":0}"#;
+        assert!(matches!(
+            read_dataset_from(Cursor::new(bad.as_bytes().to_vec())),
+            Err(IoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_stream_count_mismatch() {
+        let mut buf = Vec::new();
+        write_dataset_to(&toy(), &mut buf).unwrap();
+        // Drop the last line (one stream) while the header still says 2.
+        let text = String::from_utf8(buf).unwrap();
+        let truncated: String = text.lines().take(2).collect::<Vec<_>>().join("\n");
+        assert!(matches!(
+            read_dataset_from(Cursor::new(truncated.into_bytes())),
+            Err(IoError::BadHeader(_))
+        ));
+    }
+}

@@ -1,0 +1,33 @@
+//! Diagnostic: NetShare GAN training vs violation rate (not a user example).
+use cpt_bench::pipeline::{train_trace};
+use cpt_bench::Scale;
+use cpt_metrics::violation_stats;
+use cpt_netshare::NetShare;
+use cpt_statemachine::StateMachine;
+use cpt_trace::DeviceType;
+
+fn main() {
+    let mut scale = Scale::quick();
+    let args: Vec<String> = std::env::args().collect();
+    let epochs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    if let Some(n) = args.get(2).and_then(|s| s.parse().ok()) { scale.train_ues = n; }
+    scale.ns.epochs = epochs;
+    if let Some(c) = args.get(3).and_then(|s| s.parse().ok()) { scale.ns.weight_clip = c; }
+    if let Some(g) = args.get(4).and_then(|s| s.parse().ok()) { scale.ns.g_every = g; }
+    let train_data = train_trace(&scale, DeviceType::Phone, 0);
+    let mut model = NetShare::new(scale.ns.with_seed(1));
+    let t0 = std::time::Instant::now();
+    let report = model.train(&train_data);
+    for (e, dl, gl, secs) in report.epochs.iter().step_by((epochs/8).max(1)) {
+        println!("epoch {e:>3}: d {dl:.4} g {gl:.4} ({secs:.1}s)");
+    }
+    println!("train time: {:.1}s", t0.elapsed().as_secs_f64());
+    let synth = model.generate(260, DeviceType::Phone, 7);
+    let v = violation_stats(&StateMachine::lte(), &synth);
+    println!("events: {} violations: {:.2}%, streams {:.1}%",
+        v.events_checked, v.event_rate()*100.0, v.stream_rate()*100.0);
+    for (vi, frac) in v.top(4) { println!("  {}: {:.2}%", vi, frac*100.0); }
+    let mean_len: f64 = synth.flow_lengths().iter().sum::<f64>() / synth.num_streams() as f64;
+    let real_len: f64 = train_data.flow_lengths().iter().sum::<f64>() / train_data.num_streams() as f64;
+    println!("mean flow len synth {mean_len:.1} vs real {real_len:.1}");
+}

@@ -1,0 +1,38 @@
+//! Diagnostic: training convergence vs violation rate (not a user example).
+use cpt_bench::pipeline::{test_trace, train_trace};
+use cpt_bench::Scale;
+use cpt_gpt::{train, CptGpt, GenerateConfig, Tokenizer};
+use cpt_metrics::violation_stats;
+use cpt_statemachine::StateMachine;
+use cpt_trace::DeviceType;
+
+fn main() {
+    let mut scale = Scale::quick();
+    let args: Vec<String> = std::env::args().collect();
+    let epochs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let lr: f32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3e-3);
+    scale.gpt_train.epochs = epochs;
+    scale.gpt_train.lr = lr;
+    if let Some(n) = args.get(4).and_then(|s| s.parse().ok()) { scale.train_ues = n; }
+    if let Some(d) = args.get(3).and_then(|s| s.parse().ok()) { scale.gpt.d_model = d; scale.gpt.d_mlp = 4*d; scale.gpt.d_head = d; }
+    let train_data = train_trace(&scale, DeviceType::Phone, 0);
+    let test_data = test_trace(&scale, DeviceType::Phone, 0);
+    println!("train: {}", train_data.summary());
+    let tok = Tokenizer::fit(&train_data);
+    let mut model = CptGpt::new(scale.gpt.with_seed(1), tok);
+    let t0 = std::time::Instant::now();
+    let report = train(&mut model, &train_data, &scale.gpt_train);
+    for e in report.epochs.iter().step_by((epochs/8).max(1)) {
+        println!("epoch {:>3}: loss {:.4} ({:.1}s)", e.epoch, e.mean_loss, e.seconds);
+    }
+    println!("train time: {:.1}s", t0.elapsed().as_secs_f64());
+    let synth = model.generate(&GenerateConfig::new(260, 7));
+    let v = violation_stats(&StateMachine::lte(), &synth);
+    println!("events: {} violations: {} ({:.3}%), streams {:.1}%",
+        v.events_checked, v.violating_events, v.event_rate()*100.0, v.stream_rate()*100.0);
+    for (v, frac) in v.top(6) {
+        println!("  {}: {:.3}%", v, frac * 100.0);
+    }
+    let real_v = violation_stats(&StateMachine::lte(), &test_data);
+    println!("real event viol: {:.3}%", real_v.event_rate()*100.0);
+}

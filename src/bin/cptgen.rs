@@ -1,0 +1,283 @@
+//! `cptgen` — command-line front end for the CPT-GPT workspace.
+//!
+//! ```text
+//! cptgen simulate --ues 500 --device phone --hours 1 --seed 42 -o real.jsonl
+//! cptgen train    --input real.jsonl --epochs 24 -o model.json
+//! cptgen generate --model model.json --streams 1000 --seed 7 -o synth.jsonl
+//! cptgen evaluate --real real.jsonl --synth synth.jsonl
+//! cptgen mcn      --input synth.jsonl --workers 4
+//! cptgen stats    --input real.jsonl
+//! cptgen dot      [--generation 4g|5g]
+//! ```
+//!
+//! The file formats are the workspace's own: JSON-lines datasets
+//! (`cpt-trace::io`) and JSON model bundles (config + tokenizer + weights
+//! + initial-event distribution).
+
+use cpt::gpt::{train, CptGpt, CptGptConfig, GenerateConfig, Tokenizer, TrainConfig};
+use cpt::mcn::{simulate, McnConfig};
+use cpt::metrics::FidelityReport;
+use cpt::statemachine::StateMachine;
+use cpt::synth::{generate as synth_generate, generate_device, SynthConfig};
+use cpt::trace::{io as trace_io, Dataset, DeviceType};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cptgen <command> [options]\n\
+         \n\
+         commands:\n\
+           simulate   --ues N [--device phone|connected_car|tablet|mixed]\n\
+         \u{20}            [--hours H] [--start-hour H] [--seed S] -o OUT.jsonl\n\
+           train      --input TRACE.jsonl [--epochs N] [--lr LR] [--max-len L]\n\
+         \u{20}            [--d-model D] [--seed S] -o MODEL.json\n\
+           generate   --model MODEL.json --streams N [--device D] [--seed S]\n\
+         \u{20}            -o OUT.jsonl\n\
+           evaluate   --real REAL.jsonl --synth SYNTH.jsonl\n\
+           mcn        --input TRACE.jsonl [--workers N] [--autoscale]\n\
+           stats      --input TRACE.jsonl\n\
+           dot        [--generation 4g|5g]   (Graphviz of the UE state machine)\n"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal `--key value` / `--flag` argument parser.
+fn parse_args(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .or_else(|| args[i].strip_prefix("-"))
+            .ok_or_else(|| format!("expected option, found {:?}", args[i]))?;
+        if i + 1 < args.len() && !args[i + 1].starts_with('-') {
+            map.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            map.insert(key.to_string(), String::new());
+            i += 1;
+        }
+    }
+    Ok(map)
+}
+
+fn get_parsed<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value {v:?} for --{key}")),
+    }
+}
+
+fn require<'m>(opts: &'m HashMap<String, String>, key: &str) -> Result<&'m String, String> {
+    opts.get(key).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ues: usize = get_parsed(opts, "ues", 500)?;
+    let hours: f64 = get_parsed(opts, "hours", 1.0)?;
+    let start: f64 = get_parsed(opts, "start-hour", 10.0)?;
+    let seed: u64 = get_parsed(opts, "seed", 0)?;
+    let out = require(opts, "o")?;
+    let cfg = SynthConfig::new(ues, seed).hours(hours).starting_at(start);
+    let device = opts.get("device").map(String::as_str).unwrap_or("mixed");
+    let dataset = if device == "mixed" {
+        synth_generate(&cfg)
+    } else {
+        let dt: DeviceType = device.parse().map_err(|e| format!("{e}"))?;
+        generate_device(&cfg, dt, ues)
+    };
+    trace_io::write_dataset(&dataset, out).map_err(|e| e.to_string())?;
+    println!("wrote {} ({})", out, dataset.summary());
+    Ok(())
+}
+
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+    let input = require(opts, "input")?;
+    let out = require(opts, "o")?;
+    let epochs: usize = get_parsed(opts, "epochs", 24)?;
+    let lr: f32 = get_parsed(opts, "lr", 6e-3)?;
+    let max_len: usize = get_parsed(opts, "max-len", 128)?;
+    let d_model: usize = get_parsed(opts, "d-model", 48)?;
+    let seed: u64 = get_parsed(opts, "seed", 0)?;
+
+    let data = trace_io::read_dataset(input).map_err(|e| e.to_string())?;
+    let data = data.clamp_lengths(2, max_len + 1);
+    println!("training on {}", data.summary());
+    let mut config = CptGptConfig {
+        generation: data.generation,
+        d_model,
+        d_mlp: d_model * 4,
+        d_head: d_model,
+        max_len,
+        ..CptGptConfig::small()
+    };
+    config.seed = seed;
+    let tokenizer = Tokenizer::fit(&data);
+    let mut model = CptGpt::new(config, tokenizer);
+    println!("model: {} parameters", model.num_params());
+    let report = train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs,
+            lr,
+            seed,
+            ..TrainConfig::quick()
+        },
+    );
+    println!(
+        "trained {} epochs in {:.1}s (final loss {:.4})",
+        report.epochs.len(),
+        report.total_seconds,
+        report.final_loss()
+    );
+    let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    serde_json::to_writer(std::io::BufWriter::new(file), &model).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn load_model(path: &str) -> Result<CptGpt, String> {
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    serde_json::from_reader(std::io::BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let model = load_model(require(opts, "model")?)?;
+    let out = require(opts, "o")?;
+    let streams: usize = get_parsed(opts, "streams", 1000)?;
+    let seed: u64 = get_parsed(opts, "seed", 0)?;
+    let device: DeviceType = opts
+        .get("device")
+        .map(|d| d.parse())
+        .transpose()
+        .map_err(|e| format!("{e}"))?
+        .unwrap_or(DeviceType::Phone);
+    let synth = model.generate(&GenerateConfig::new(streams, seed).device(device));
+    trace_io::write_dataset(&synth, out).map_err(|e| e.to_string())?;
+    println!("wrote {} ({})", out, synth.summary());
+    Ok(())
+}
+
+fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let real = trace_io::read_dataset(require(opts, "real")?).map_err(|e| e.to_string())?;
+    let synth = trace_io::read_dataset(require(opts, "synth")?).map_err(|e| e.to_string())?;
+    let machine = StateMachine::for_generation(synth.generation);
+    let r = FidelityReport::compute(&machine, &real, &synth);
+    println!("fidelity of synth vs real:");
+    println!("  event violations:      {:.4}%", r.event_violation_rate * 100.0);
+    println!("  stream violations:     {:.2}%", r.stream_violation_rate * 100.0);
+    println!("  sojourn CONNECTED dist {:.4}", r.sojourn_connected);
+    println!("  sojourn IDLE dist      {:.4}", r.sojourn_idle);
+    println!("  flow-length dist       {:.4}", r.flow_length_all);
+    println!("  max breakdown diff     {:.4}", r.max_breakdown_diff);
+    Ok(())
+}
+
+fn cmd_mcn(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace: Dataset =
+        trace_io::read_dataset(require(opts, "input")?).map_err(|e| e.to_string())?;
+    let workers: usize = get_parsed(opts, "workers", 4)?;
+    let cfg = if opts.contains_key("autoscale") {
+        McnConfig::autoscaling(workers, 0.6)
+    } else {
+        McnConfig::fixed(workers)
+    };
+    let report = simulate(&trace, &cfg);
+    println!("MCN load report: {}", report.summary());
+    Ok(())
+}
+
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace = trace_io::read_dataset(require(opts, "input")?).map_err(|e| e.to_string())?;
+    println!("{}", trace.summary());
+    let machine = StateMachine::for_generation(trace.generation);
+    let v = cpt::metrics::violation_stats(&machine, &trace);
+    println!(
+        "semantic violations: {:.4}% of {} events, {:.2}% of {} streams",
+        v.event_rate() * 100.0,
+        v.events_checked,
+        v.stream_rate() * 100.0,
+        v.streams_checked
+    );
+    println!("event-type breakdown:");
+    for (et, frac) in trace.event_breakdown() {
+        if frac > 0.0 {
+            println!("  {:<12} {:>7.3}%", et.to_string(), frac * 100.0);
+        }
+    }
+    let lengths = trace.flow_lengths();
+    let ecdf = cpt::trace::stats::Ecdf::new(lengths);
+    if !ecdf.is_empty() {
+        println!(
+            "flow length: p50 {:.0}, p90 {:.0}, p99 {:.0}, max {:.0}",
+            ecdf.quantile(0.5),
+            ecdf.quantile(0.9),
+            ecdf.quantile(0.99),
+            ecdf.quantile(1.0)
+        );
+    }
+    let iats = trace.interarrivals();
+    if !iats.is_empty() {
+        let e = cpt::trace::stats::Ecdf::new(iats);
+        println!(
+            "interarrival seconds: p50 {:.2}, p90 {:.2}, p99 {:.2}",
+            e.quantile(0.5),
+            e.quantile(0.9),
+            e.quantile(0.99)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dot(opts: &HashMap<String, String>) -> Result<(), String> {
+    let machine = match opts.get("generation").map(String::as_str) {
+        None | Some("4g") | Some("lte") => StateMachine::lte(),
+        Some("5g") | Some("nr") => StateMachine::nr(),
+        Some(other) => return Err(format!("unknown generation {other:?}")),
+    };
+    print!("{}", cpt::statemachine::to_dot(&machine));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let opts = match parse_args(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(&opts),
+        "train" => cmd_train(&opts),
+        "generate" => cmd_generate(&opts),
+        "evaluate" => cmd_evaluate(&opts),
+        "mcn" => cmd_mcn(&opts),
+        "stats" => cmd_stats(&opts),
+        "dot" => cmd_dot(&opts),
+        "--help" | "-h" | "help" => return usage(),
+        other => {
+            eprintln!("unknown command {other:?}");
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
