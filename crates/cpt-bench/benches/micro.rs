@@ -109,9 +109,15 @@ fn bench_cptgpt_generation(c: &mut Criterion) {
     let mut model = CptGpt::new(scale.gpt.with_seed(BASE_SEED), tok);
     // One quick epoch so the initial-event distribution exists.
     let cfg = cpt_gpt::TrainConfig::quick().with_epochs(1);
-    cpt_gpt::train(&mut model, &data, &cfg);
+    cpt_gpt::train(&mut model, &data, &cfg).expect("CPT-GPT training failed");
     c.bench_function("cptgpt_generate_16_streams", |bench| {
-        bench.iter(|| black_box(model.generate(&GenerateConfig::new(16, 3))))
+        bench.iter(|| {
+            black_box(
+                model
+                    .generate(&GenerateConfig::new(16, 3))
+                    .expect("CPT-GPT generation failed"),
+            )
+        })
     });
 }
 

@@ -51,10 +51,12 @@ fn fixtures() -> Fixtures {
     let real_test = cpt_bench::pipeline::test_trace(&scale, DeviceType::Phone, 0);
     let tok = Tokenizer::fit(&real_train);
     let mut gpt = CptGpt::new(scale.gpt.with_seed(BASE_SEED), tok);
-    train(&mut gpt, &real_train, &scale.gpt_train);
+    train(&mut gpt, &real_train, &scale.gpt_train).expect("CPT-GPT training failed");
     let mut netshare = NetShare::new(scale.ns.with_seed(BASE_SEED));
     netshare.train(&real_train);
-    let gpt_synth = gpt.generate(&GenerateConfig::new(scale.gen_streams, 5));
+    let gpt_synth = gpt
+        .generate(&GenerateConfig::new(scale.gen_streams, 5))
+        .expect("CPT-GPT generation failed");
     let ns_synth = netshare.generate(scale.gen_streams, DeviceType::Phone, 5);
     Fixtures {
         scale,
@@ -131,14 +133,17 @@ fn paper_tables(c: &mut Criterion) {
             let mut m = CptGpt::new(cfg, tok);
             let mut tc = f.scale.gpt_train;
             tc.epochs = 1;
-            black_box(train(&mut m, &f.real_train, &tc));
+            black_box(train(&mut m, &f.real_train, &tc).expect("CPT-GPT training failed"));
         })
     });
 
     // Figure 6: generation + equal-size-reference comparison at one size.
     c.bench_function("fig6_generate_and_compare", |b| {
         b.iter(|| {
-            let synth = f.gpt.generate(&GenerateConfig::new(30, 9));
+            let synth = f
+                .gpt
+                .generate(&GenerateConfig::new(30, 9))
+                .expect("CPT-GPT generation failed");
             let reference = f.real_test.sample(30, 9);
             black_box(FidelityReport::compute(&f.machine, &reference, &synth))
         })
@@ -152,7 +157,8 @@ fn paper_tables(c: &mut Criterion) {
                 &f.real_test,
                 &f.scale.gpt_train,
                 &FineTuneConfig::default(),
-            );
+            )
+            .expect("CPT-GPT fine-tuning failed");
             black_box(m)
         })
     });

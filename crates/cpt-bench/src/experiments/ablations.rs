@@ -32,10 +32,10 @@ fn eval_variant(scale: &Scale, v: &Variant) -> FidelityReport {
         cfg = cfg.with_point_iat_head();
     }
     let mut model = CptGpt::new(cfg, tokenizer);
-    train(&mut model, &train_data, &scale.gpt_train);
-    let synth = model.generate(
-        &GenerateConfig::new(scale.gen_streams, BASE_SEED + 40).device(DeviceType::Phone),
-    );
+    train(&mut model, &train_data, &scale.gpt_train).expect("CPT-GPT training failed");
+    let synth = model
+        .generate(&GenerateConfig::new(scale.gen_streams, BASE_SEED + 40).device(DeviceType::Phone))
+        .expect("CPT-GPT generation failed");
     FidelityReport::compute(&machine, &test_data, &synth)
 }
 

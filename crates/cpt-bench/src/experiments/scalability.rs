@@ -38,9 +38,9 @@ pub fn run_fig6(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
     );
     let mut rows = Vec::new();
     for (i, n) in scale.fig6_sizes.iter().enumerate() {
-        let synth = gpt.generate(
-            &GenerateConfig::new(*n, BASE_SEED + 50 + i as u64).device(DeviceType::Phone),
-        );
+        let synth = gpt
+            .generate(&GenerateConfig::new(*n, BASE_SEED + 50 + i as u64).device(DeviceType::Phone))
+            .expect("CPT-GPT generation failed");
         let reference = pool.sample(*n, BASE_SEED + 60 + i as u64);
         let r = FidelityReport::compute(&machine, &reference, &synth);
         t.row(&[

@@ -199,8 +199,9 @@ pub fn run_table10(scale: &Scale, out: &Output, runs: &TransferRuns) {
         FidelityReport::compute(&machine, &runs.hour3_test, &synth)
     };
     let eval_gpt = |m: &CptGpt, seed: u64| {
-        let synth =
-            m.generate(&GenerateConfig::new(scale.gen_streams, seed).device(DeviceType::Phone));
+        let synth = m
+            .generate(&GenerateConfig::new(scale.gen_streams, seed).device(DeviceType::Phone))
+            .expect("CPT-GPT generation failed");
         FidelityReport::compute(&machine, &runs.hour3_test, &synth)
     };
     let reports = [

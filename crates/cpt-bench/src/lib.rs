@@ -79,6 +79,7 @@ impl Scale {
                 clip_norm: 1.0,
                 seed: 0,
                 snapshot_every: None,
+                ..TrainConfig::quick()
             },
             ns: NetShareConfig {
                 hidden: 32,
@@ -125,6 +126,7 @@ impl Scale {
                 clip_norm: 1.0,
                 seed: 0,
                 snapshot_every: None,
+                ..TrainConfig::quick()
             },
             ns: NetShareConfig {
                 hidden: 48,

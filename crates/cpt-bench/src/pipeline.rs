@@ -77,7 +77,8 @@ pub fn test_trace(scale: &Scale, device: DeviceType, hour: usize) -> Dataset {
 pub fn train_cptgpt(scale: &Scale, data: &Dataset, seed: u64) -> (CptGpt, TrainReport) {
     let tokenizer = Tokenizer::fit(data);
     let mut model = CptGpt::new(scale.gpt.with_seed(seed), tokenizer);
-    let report = train(&mut model, data, &scale.gpt_train.with_seed(seed));
+    let report =
+        train(&mut model, data, &scale.gpt_train.with_seed(seed)).expect("CPT-GPT training failed");
     (model, report)
 }
 
@@ -174,7 +175,8 @@ pub fn run_suite(
                 &real_train,
                 &scale.gpt_train,
                 &FineTuneConfig::default(),
-            );
+            )
+            .expect("CPT-GPT fine-tuning failed");
             let ft_epochs = (scale.ns.epochs / 2).max(1);
             let (n, _) = phone_ns.fine_tune(&real_train, ft_epochs);
             (g, n)
@@ -199,7 +201,8 @@ pub fn run_suite(
     synth.insert(GeneratorKind::NetShare, ns.generate(n, device, dev_seed + 12));
     synth.insert(
         GeneratorKind::CptGpt,
-        gpt.generate(&GenerateConfig::new(n, dev_seed + 13).device(device)),
+        gpt.generate(&GenerateConfig::new(n, dev_seed + 13).device(device))
+            .expect("CPT-GPT generation failed"),
     );
 
     let mut reports = BTreeMap::new();
@@ -246,12 +249,12 @@ pub fn cptgpt_time_to_converge(
         None => {
             let tokenizer = Tokenizer::fit(data);
             let mut m = CptGpt::new(scale.gpt.with_seed(seed), tokenizer);
-            let r = train(&mut m, data, &cfg);
+            let r = train(&mut m, data, &cfg).expect("CPT-GPT training failed");
             (m, r)
         }
         Some(b) => {
             let ft = FineTuneConfig::default();
-            let (m, r) = fine_tune(b, data, &cfg, &ft);
+            let (m, r) = fine_tune(b, data, &cfg, &ft).expect("CPT-GPT fine-tuning failed");
             (m, r)
         }
     };
@@ -265,9 +268,9 @@ pub fn cptgpt_time_to_converge(
     for (_, params) in &report.snapshots {
         let mut snap = model.clone();
         snap.store = params.clone();
-        let synth = snap.generate(
-            &GenerateConfig::new(scale.snapshot_eval_streams, seed + 99).device(device),
-        );
+        let synth = snap
+            .generate(&GenerateConfig::new(scale.snapshot_eval_streams, seed + 99).device(device))
+            .expect("CPT-GPT generation failed");
         metrics.push(FidelityReport::compute(&machine, validation, &synth).metric_vector());
     }
     let (seconds, epoch) = if metrics.is_empty() {

@@ -1,0 +1,135 @@
+//! Atomic training checkpoints and crash-safe resume.
+//!
+//! A [`TrainCheckpoint`] captures everything the training loop needs to
+//! continue bit-for-bit where it left off: the model, the Adam moments, the
+//! global step, the watchdog's learning-rate scale, and the report so far.
+//! Files are written with [`cpt_nn::serialize::atomic_write_json`]
+//! (temp file + rename), so a crash mid-save leaves the previous checkpoint
+//! intact rather than a truncated one. Loading goes through typed
+//! [`CheckpointError`]s — a corrupt or version-skewed file is a value the
+//! caller handles, never a panic.
+
+#![deny(clippy::unwrap_used)]
+
+use crate::error::{CheckpointError, FaultKind};
+use crate::model::CptGpt;
+use crate::train::EpochStats;
+use cpt_nn::Adam;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+/// Format version written into every checkpoint; bumped on incompatible
+/// layout changes so stale files fail with [`CheckpointError::Version`]
+/// instead of deserializing into garbage.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// One watchdog intervention: a rollback to the last good epoch boundary
+/// plus a learning-rate backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Epoch being attempted when the fault hit (0-based).
+    pub epoch: usize,
+    /// Global optimizer step at which the fault was detected.
+    pub step: u64,
+    /// What was detected.
+    pub cause: FaultKind,
+    /// Which consecutive retry this was (1-based).
+    pub retry: u32,
+    /// Learning-rate scale in effect *after* the backoff.
+    pub lr_scale: f32,
+}
+
+/// Where and how often to checkpoint during training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Checkpoint file path (overwritten atomically on each save).
+    pub path: PathBuf,
+    /// Save after every `every_epochs` completed epochs.
+    pub every_epochs: usize,
+}
+
+impl CheckpointSpec {
+    /// Checkpoint to `path` after every epoch.
+    pub fn every_epoch(path: impl Into<PathBuf>) -> Self {
+        CheckpointSpec {
+            path: path.into(),
+            every_epochs: 1,
+        }
+    }
+
+    /// Checkpoint to `path` every `every_epochs` epochs.
+    pub fn every(path: impl Into<PathBuf>, every_epochs: usize) -> Self {
+        CheckpointSpec {
+            path: path.into(),
+            every_epochs: every_epochs.max(1),
+        }
+    }
+}
+
+/// Complete mid-run training state.
+///
+/// Everything that affects the remaining epochs is here; combined with the
+/// same dataset and [`crate::config::TrainConfig`], resuming reproduces the
+/// uninterrupted run exactly (per-epoch RNG derivation makes batch
+/// shuffling independent of how training was sliced across processes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Layout version (see [`CHECKPOINT_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Model weights, tokenizer and initial-event distribution.
+    pub model: CptGpt,
+    /// Adam moments and step counter.
+    pub optimizer: Adam,
+    /// Number of fully completed epochs.
+    pub epochs_done: usize,
+    /// Global optimizer step after the last completed epoch.
+    pub step: u64,
+    /// Watchdog learning-rate scale in effect.
+    pub lr_scale: f32,
+    /// Per-epoch stats accumulated so far.
+    pub epoch_stats: Vec<EpochStats>,
+    /// Watchdog interventions so far.
+    pub recoveries: Vec<RecoveryEvent>,
+}
+
+/// Saves `checkpoint` to `path` atomically.
+pub fn save_checkpoint(
+    checkpoint: &TrainCheckpoint,
+    path: &Path,
+) -> Result<(), CheckpointError> {
+    cpt_nn::serialize::atomic_write_json(checkpoint, path).map_err(|e| match e {
+        cpt_nn::serialize::CheckpointError::Io(source) => CheckpointError::Io {
+            path: path.to_path_buf(),
+            source,
+        },
+        other => CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail: other.to_string(),
+        },
+    })
+}
+
+/// Loads a checkpoint from `path`, distinguishing missing/unreadable files
+/// ([`CheckpointError::Io`]), unparseable bytes ([`CheckpointError::Corrupt`])
+/// and format skew ([`CheckpointError::Version`]).
+pub fn load_checkpoint(path: &Path) -> Result<TrainCheckpoint, CheckpointError> {
+    let file = File::open(path).map_err(|source| CheckpointError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let ckpt: TrainCheckpoint =
+        serde_json::from_reader(BufReader::new(file)).map_err(|e| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+    if ckpt.format_version != CHECKPOINT_FORMAT_VERSION {
+        return Err(CheckpointError::Version {
+            path: path.to_path_buf(),
+            found: ckpt.format_version,
+            expected: CHECKPOINT_FORMAT_VERSION,
+        });
+    }
+    Ok(ckpt)
+}

@@ -1,5 +1,7 @@
 //! Model and training hyperparameters.
 
+use crate::error::TrainError;
+use crate::faultinject::FaultPlan;
 use cpt_trace::Generation;
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +101,44 @@ impl Default for CptGptConfig {
     }
 }
 
+/// Divergence-watchdog policy: what the training loop does when a loss or
+/// gradient norm comes back NaN/∞.
+///
+/// On each fault the loop rolls the model and optimizer back to the last
+/// epoch boundary that completed cleanly, multiplies the effective learning
+/// rate by [`lr_backoff`](WatchdogConfig::lr_backoff), and replays. After
+/// [`max_retries`](WatchdogConfig::max_retries) consecutive faults the run
+/// aborts with [`TrainError::Diverged`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Rollback + backoff attempts before aborting.
+    pub max_retries: u32,
+    /// Multiplier applied to the learning-rate scale on each rollback
+    /// (must be in `(0, 1)`).
+    pub lr_backoff: f32,
+    /// Floor for the accumulated learning-rate scale; backoff never takes
+    /// the scale below this.
+    pub min_lr_scale: f32,
+}
+
+impl WatchdogConfig {
+    /// Default policy: 3 retries, halve the learning rate each time, floor
+    /// the scale at 1/16.
+    pub fn standard() -> Self {
+        WatchdogConfig {
+            max_retries: 3,
+            lr_backoff: 0.5,
+            min_lr_scale: 0.0625,
+        }
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig::standard()
+    }
+}
+
 /// Optimization hyperparameters for one training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
@@ -117,6 +157,12 @@ pub struct TrainConfig {
     /// If `Some(n)`, snapshot the parameter store every `n` epochs (for
     /// the §5.5 checkpoint-selection heuristic).
     pub snapshot_every: Option<usize>,
+    /// Divergence-recovery policy.
+    #[serde(default)]
+    pub watchdog: WatchdogConfig,
+    /// Scheduled fault for chaos testing; `None` in production runs.
+    #[serde(default)]
+    pub fault: Option<FaultPlan>,
 }
 
 impl TrainConfig {
@@ -130,6 +176,8 @@ impl TrainConfig {
             clip_norm: 1.0,
             seed: 0,
             snapshot_every: None,
+            watchdog: WatchdogConfig::standard(),
+            fault: None,
         }
     }
 
@@ -155,6 +203,61 @@ impl TrainConfig {
     pub fn with_snapshots(mut self, every: usize) -> Self {
         self.snapshot_every = Some(every);
         self
+    }
+
+    /// Builder: sets the divergence-recovery policy.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Builder: schedules a deterministic fault (chaos-testing hook).
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Checks every field against its domain, returning the first
+    /// violation as [`TrainError::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), TrainError> {
+        fn bad(field: &'static str, message: impl Into<String>) -> TrainError {
+            TrainError::InvalidConfig {
+                field,
+                message: message.into(),
+            }
+        }
+        if self.epochs == 0 {
+            return Err(bad("epochs", "must be at least 1"));
+        }
+        if self.batch_size == 0 {
+            return Err(bad("batch_size", "must be at least 1"));
+        }
+        if !self.lr.is_finite() || self.lr <= 0.0 {
+            return Err(bad("lr", format!("must be finite and positive, got {}", self.lr)));
+        }
+        if !self.clip_norm.is_finite() || self.clip_norm <= 0.0 {
+            return Err(bad(
+                "clip_norm",
+                format!("must be finite and positive, got {}", self.clip_norm),
+            ));
+        }
+        if self.snapshot_every == Some(0) {
+            return Err(bad("snapshot_every", "must be at least 1 when set"));
+        }
+        let w = &self.watchdog;
+        if !(w.lr_backoff > 0.0 && w.lr_backoff < 1.0) {
+            return Err(bad(
+                "watchdog.lr_backoff",
+                format!("must be in (0, 1), got {}", w.lr_backoff),
+            ));
+        }
+        if !w.min_lr_scale.is_finite() || w.min_lr_scale <= 0.0 || w.min_lr_scale > 1.0 {
+            return Err(bad(
+                "watchdog.min_lr_scale",
+                format!("must be in (0, 1], got {}", w.min_lr_scale),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -194,5 +297,43 @@ mod tests {
         assert_eq!(t.epochs, 3);
         assert_eq!(t.lr, 0.1);
         assert_eq!(t.seed, 5);
+    }
+
+    #[test]
+    fn quick_config_validates() {
+        assert!(TrainConfig::quick().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        use crate::error::TrainError;
+        let cases = [
+            ("epochs", TrainConfig { epochs: 0, ..TrainConfig::quick() }),
+            ("batch_size", TrainConfig { batch_size: 0, ..TrainConfig::quick() }),
+            ("lr", TrainConfig { lr: -1.0, ..TrainConfig::quick() }),
+            ("lr", TrainConfig { lr: f32::NAN, ..TrainConfig::quick() }),
+            ("clip_norm", TrainConfig { clip_norm: 0.0, ..TrainConfig::quick() }),
+            ("snapshot_every", TrainConfig { snapshot_every: Some(0), ..TrainConfig::quick() }),
+            (
+                "watchdog.lr_backoff",
+                TrainConfig::quick().with_watchdog(WatchdogConfig {
+                    lr_backoff: 1.5,
+                    ..WatchdogConfig::standard()
+                }),
+            ),
+            (
+                "watchdog.min_lr_scale",
+                TrainConfig::quick().with_watchdog(WatchdogConfig {
+                    min_lr_scale: 0.0,
+                    ..WatchdogConfig::standard()
+                }),
+            ),
+        ];
+        for (field, cfg) in cases {
+            match cfg.validate() {
+                Err(TrainError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected InvalidConfig({field}), got {other:?}"),
+            }
+        }
     }
 }

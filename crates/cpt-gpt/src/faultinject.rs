@@ -1,0 +1,184 @@
+//! Deterministic fault injection for exercising the fault-tolerance paths.
+//!
+//! Divergence, crashes mid-run, and corrupt artifacts are rare in the wild
+//! and impossible to schedule — which makes the recovery code the least
+//! tested code in the repo. This module makes every fault reproducible:
+//! a [`FaultPlan`] tells the training loop to produce a NaN loss at an exact
+//! optimizer step or to simulate a crash right after an epoch's checkpoint,
+//! and the file helpers corrupt bytes of an artifact under a seed. The same
+//! seed always produces the same fault, so CI can assert on the recovery,
+//! not just hope to observe one.
+
+#![deny(clippy::unwrap_used)]
+
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A scheduled, deterministic fault for the training loop.
+///
+/// Attached to a training run via
+/// [`TrainConfig::fault`](crate::config::TrainConfig). All fields default to
+/// "no fault", so `FaultPlan::default()` is a no-op plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Replace the loss with NaN at this global optimizer step (0-based,
+    /// counted across epochs and rollback replays).
+    #[serde(default)]
+    pub nan_loss_at_step: Option<u64>,
+    /// Stop the run as if the process died right after this epoch's
+    /// checkpoint was written (0-based epoch index). The report comes back
+    /// with `interrupted = true`; a later `--resume` picks up from the
+    /// checkpoint. Lets tests compare interrupted+resumed against
+    /// uninterrupted runs under identical schedules.
+    #[serde(default)]
+    pub interrupt_after_epoch: Option<usize>,
+    /// If true the NaN fires only the first time its step is reached; the
+    /// rollback replay of that step then proceeds cleanly (a transient
+    /// fault). If false the fault is persistent and retries cannot help.
+    #[serde(default)]
+    pub once: bool,
+}
+
+impl FaultPlan {
+    /// A transient NaN loss at global optimizer step `step`.
+    pub fn nan_loss_once_at(step: u64) -> Self {
+        FaultPlan {
+            nan_loss_at_step: Some(step),
+            once: true,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A persistent NaN loss at global optimizer step `step`: it fires on
+    /// every replay, so the watchdog must eventually give up.
+    pub fn nan_loss_always_at(step: u64) -> Self {
+        FaultPlan {
+            nan_loss_at_step: Some(step),
+            once: false,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Simulate a crash immediately after epoch `epoch` (0-based) completes
+    /// and its checkpoint is written.
+    pub fn interrupt_after(epoch: usize) -> Self {
+        FaultPlan {
+            interrupt_after_epoch: Some(epoch),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True if the plan schedules any fault at all.
+    pub fn is_active(&self) -> bool {
+        self.nan_loss_at_step.is_some() || self.interrupt_after_epoch.is_some()
+    }
+}
+
+/// splitmix64: tiny, high-quality mixer used to derive corruption offsets
+/// from a seed without depending on an RNG crate here.
+fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    *state = z ^ (z >> 31);
+}
+
+/// Flip one bit in each of `n_flips` seed-chosen bytes of the file at
+/// `path`, in place. Deterministic: the same (file length, seed, n_flips)
+/// always damages the same offsets. Returns the offsets touched.
+pub fn corrupt_file_bytes(path: &Path, seed: u64, n_flips: usize) -> io::Result<Vec<usize>> {
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut state = seed ^ bytes.len() as u64;
+    let mut offsets = Vec::with_capacity(n_flips);
+    for _ in 0..n_flips {
+        splitmix64(&mut state);
+        let off = (state % bytes.len() as u64) as usize;
+        splitmix64(&mut state);
+        let bit = (state % 8) as u8;
+        bytes[off] ^= 1 << bit;
+        offsets.push(off);
+    }
+    fs::write(path, &bytes)?;
+    Ok(offsets)
+}
+
+/// Truncate the file at `path` to `keep_fraction` of its length (clamped to
+/// `[0, 1]`), simulating a write cut short by a crash or full disk.
+pub fn truncate_file(path: &Path, keep_fraction: f64) -> io::Result<()> {
+    let bytes = fs::read(path)?;
+    let keep = ((bytes.len() as f64) * keep_fraction.clamp(0.0, 1.0)) as usize;
+    fs::write(path, &bytes[..keep])
+}
+
+/// Mangle line `line_idx` (0-based) of a JSONL text by chopping it mid-way
+/// and appending garbage, returning the damaged text. Lines out of range
+/// leave the text unchanged.
+pub fn malform_jsonl_line(text: &str, line_idx: usize) -> String {
+    text.lines()
+        .enumerate()
+        .map(|(i, line)| {
+            if i == line_idx {
+                let cut = line.len() / 2;
+                format!("{}<<corrupt>>", &line[..cut])
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inactive() {
+        assert!(!FaultPlan::default().is_active());
+        assert!(FaultPlan::nan_loss_once_at(3).is_active());
+        assert!(FaultPlan::interrupt_after(0).is_active());
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let dir = std::env::temp_dir().join("cpt_faultinject_det");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a = dir.join("a.bin");
+        let b = dir.join("b.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        fs::write(&a, &payload).expect("write a");
+        fs::write(&b, &payload).expect("write b");
+        let offs_a = corrupt_file_bytes(&a, 42, 5).expect("corrupt a");
+        let offs_b = corrupt_file_bytes(&b, 42, 5).expect("corrupt b");
+        assert_eq!(offs_a, offs_b);
+        assert_eq!(fs::read(&a).expect("read a"), fs::read(&b).expect("read b"));
+        assert_ne!(fs::read(&a).expect("read a"), payload);
+    }
+
+    #[test]
+    fn truncation_shortens_file() {
+        let dir = std::env::temp_dir().join("cpt_faultinject_trunc");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("t.bin");
+        fs::write(&p, vec![7u8; 100]).expect("write");
+        truncate_file(&p, 0.25).expect("truncate");
+        assert_eq!(fs::read(&p).expect("read").len(), 25);
+    }
+
+    #[test]
+    fn malform_hits_only_requested_line() {
+        let text = "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n";
+        let out = malform_jsonl_line(text, 1);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "{\"a\":1}");
+        assert!(lines[1].contains("<<corrupt>>"));
+        assert_eq!(lines[2], "{\"c\":3}");
+    }
+}

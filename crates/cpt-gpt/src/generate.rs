@@ -1,4 +1,4 @@
-//! Autoregressive inference (§4.5).
+//! Autoregressive inference (§4.5) with numeric guardrails.
 //!
 //! Each stream starts from a token whose event type is sampled from the
 //! released initial-event-type distribution and whose interarrival and
@@ -10,7 +10,16 @@
 //! Categorical fields are sampled from the predicted softmax; the
 //! interarrival is sampled from the predicted Gaussian (Design 2). Streams
 //! are generated in batches: one forward over the shared prefix per step.
+//!
+//! Guardrails: a poisoned or half-trained model can emit NaN logits or a
+//! non-finite interarrival. Inference never panics on these — non-finite
+//! interarrival draws are resampled up to
+//! [`GenerateConfig::max_resample`] times and then clamped; non-finite
+//! logits fall back to sanitized (ultimately uniform) sampling; stream
+//! length is capped. Every intervention is tallied in [`GenCounters`] so
+//! callers can tell a clean run from a degraded one.
 
+use crate::error::GenerateError;
 use crate::model::CptGpt;
 use cpt_nn::Tensor;
 use cpt_trace::{Dataset, DeviceType, EventType, Stream, UeId};
@@ -37,6 +46,18 @@ pub struct GenerateConfig {
     /// full softmax; truncation is a standard inference-time knob that
     /// trades diversity for semantic precision.
     pub sampling: Sampling,
+    /// Retry budget for non-finite interarrival draws before degrading to
+    /// a clamped value.
+    #[serde(default = "default_max_resample")]
+    pub max_resample: u32,
+    /// Optional stream-length cap below the model's `max_len` (runaway
+    /// guard); `None` uses the model's limit.
+    #[serde(default)]
+    pub max_stream_len: Option<usize>,
+}
+
+fn default_max_resample() -> u32 {
+    8
 }
 
 /// Categorical sampling strategies for the event-type head.
@@ -62,6 +83,8 @@ impl GenerateConfig {
             temperature: 1.0,
             batch_size: 64,
             sampling: Sampling::Full,
+            max_resample: default_max_resample(),
+            max_stream_len: None,
         }
     }
 
@@ -76,36 +99,131 @@ impl GenerateConfig {
         self.sampling = sampling;
         self
     }
+
+    /// Builder: caps generated stream length below the model's `max_len`.
+    pub fn with_max_stream_len(mut self, n: usize) -> Self {
+        self.max_stream_len = Some(n);
+        self
+    }
+
+    /// Checks every field against its domain, returning the first
+    /// violation as [`GenerateError::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), GenerateError> {
+        fn bad(field: &'static str, message: impl Into<String>) -> GenerateError {
+            GenerateError::InvalidConfig {
+                field,
+                message: message.into(),
+            }
+        }
+        if self.batch_size == 0 {
+            return Err(bad("batch_size", "must be at least 1"));
+        }
+        if !self.temperature.is_finite() || self.temperature <= 0.0 {
+            return Err(bad(
+                "temperature",
+                format!("must be finite and positive, got {}", self.temperature),
+            ));
+        }
+        if self.max_stream_len == Some(0) {
+            return Err(bad("max_stream_len", "must be at least 1 when set"));
+        }
+        match self.sampling {
+            Sampling::TopK(0) => return Err(bad("sampling", "top-k needs k >= 1")),
+            Sampling::Nucleus(p) if !(p.is_finite() && p > 0.0 && p <= 1.0) => {
+                return Err(bad("sampling", format!("nucleus p must be in (0, 1], got {p}")))
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// Per-run tally of inference guardrail interventions.
+///
+/// All zeros means the model behaved numerically cleanly and no stream hit
+/// the length cap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenCounters {
+    /// Non-finite interarrival draws retried within the resample budget.
+    pub resampled_iat: u64,
+    /// Interarrivals that exhausted the budget and were clamped to a safe
+    /// fallback (degraded output).
+    pub clamped_iat: u64,
+    /// Sampler invocations that saw at least one non-finite logit and fell
+    /// back to sanitized/uniform sampling.
+    pub non_finite_logits: u64,
+    /// Streams cut at the length cap without the model emitting stop.
+    pub truncated_streams: u64,
+}
+
+impl GenCounters {
+    /// Total number of guardrail interventions.
+    pub fn total_interventions(&self) -> u64 {
+        self.resampled_iat + self.clamped_iat + self.non_finite_logits + self.truncated_streams
+    }
+
+    /// True if generation required no intervention at all.
+    pub fn is_clean(&self) -> bool {
+        self.total_interventions() == 0
+    }
+}
+
+impl std::fmt::Display for GenCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "resampled_iat={} clamped_iat={} non_finite_logits={} truncated_streams={}",
+            self.resampled_iat, self.clamped_iat, self.non_finite_logits, self.truncated_streams
+        )
+    }
 }
 
 impl CptGpt {
     /// Synthesizes a dataset of `cfg.num_streams` streams.
-    pub fn generate(&self, cfg: &GenerateConfig) -> Dataset {
-        assert!(
-            !self.initial_event_dist.is_empty(),
-            "model has no initial-event distribution; train it first"
-        );
+    pub fn generate(&self, cfg: &GenerateConfig) -> Result<Dataset, GenerateError> {
+        self.generate_with_report(cfg).map(|(d, _)| d)
+    }
+
+    /// Like [`CptGpt::generate`], additionally returning the guardrail
+    /// counters so callers can detect degraded output.
+    pub fn generate_with_report(
+        &self,
+        cfg: &GenerateConfig,
+    ) -> Result<(Dataset, GenCounters), GenerateError> {
+        cfg.validate()?;
+        if self.initial_event_dist.is_empty() {
+            return Err(GenerateError::UntrainedModel);
+        }
+        let max_len = cfg
+            .max_stream_len
+            .map_or(self.config.max_len, |m| m.min(self.config.max_len))
+            .max(1);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut counters = GenCounters::default();
         let mut streams = Vec::with_capacity(cfg.num_streams);
         let mut next_id = 0u64;
         let mut remaining = cfg.num_streams;
         while remaining > 0 {
-            let b = remaining.min(cfg.batch_size.max(1));
-            streams.extend(self.generate_batch(b, cfg, &mut next_id, &mut rng));
+            let b = remaining.min(cfg.batch_size);
+            streams.extend(self.generate_batch(b, cfg, max_len, &mut next_id, &mut rng, &mut counters));
             remaining -= b;
         }
-        Dataset::with_generation(self.config.generation, streams)
+        Ok((
+            Dataset::with_generation(self.config.generation, streams),
+            counters,
+        ))
     }
 
     fn generate_batch(
         &self,
         b: usize,
         cfg: &GenerateConfig,
+        max_len: usize,
         next_id: &mut u64,
         rng: &mut StdRng,
+        counters: &mut GenCounters,
     ) -> Vec<Stream> {
         let d = self.tokenizer.token_dim();
-        let max_len = self.config.max_len;
         let e = self.tokenizer.num_events();
 
         // Per-stream last token and decoded fields.
@@ -146,27 +264,20 @@ impl CptGpt {
                 if !alive[s] {
                     continue;
                 }
-                let ev_idx = sample_logits_truncated(
-                    &out.event_logits.data[s * e..(s + 1) * e],
-                    cfg.temperature,
-                    cfg.sampling,
-                    rng,
-                );
-                let event = EventType::from_index(ev_idx).expect("valid event index");
-                let scaled_iat = if self.config.point_iat_head {
-                    out.iat_mean[s]
-                } else {
-                    let mu = out.iat_mean[s];
-                    let sigma = out.iat_log_std[s].clamp(-7.0, 3.0).exp();
-                    mu + sigma * sample_normal(rng)
+                let ev_logits = &out.event_logits.data[s * e..(s + 1) * e];
+                if ev_logits.iter().any(|l| !l.is_finite()) {
+                    counters.non_finite_logits += 1;
                 }
-                .clamp(0.0, 1.0);
+                let ev_idx =
+                    sample_logits_truncated(ev_logits, cfg.temperature, cfg.sampling, rng);
+                let event = EventType::from_index(ev_idx).expect("valid event index");
+                let scaled_iat = self.sample_scaled_iat(&out, s, cfg, rng, counters);
                 let iat = self.tokenizer.unscale_iat(scaled_iat);
-                let stop_idx = sample_logits(
-                    &out.stop_logits.data[s * 2..(s + 1) * 2],
-                    cfg.temperature,
-                    rng,
-                );
+                let stop_logits = &out.stop_logits.data[s * 2..(s + 1) * 2];
+                if stop_logits.iter().any(|l| !l.is_finite()) {
+                    counters.non_finite_logits += 1;
+                }
+                let stop_idx = sample_logits(stop_logits, cfg.temperature, rng);
                 let stop = stop_idx == 1;
 
                 events[s].push(event);
@@ -177,6 +288,7 @@ impl CptGpt {
                 }
             }
         }
+        counters.truncated_streams += alive.iter().filter(|a| **a).count() as u64;
 
         (0..b)
             .map(|s| {
@@ -186,6 +298,47 @@ impl CptGpt {
             })
             .collect()
     }
+
+    /// Draws the scaled interarrival for stream `s`, guarding against
+    /// non-finite head outputs: retry up to `cfg.max_resample` times, then
+    /// degrade to a clamped mean (or 0 if the mean itself is poisoned).
+    /// The returned value is always in `[0, 1]`.
+    fn sample_scaled_iat(
+        &self,
+        out: &crate::model::InferStep,
+        s: usize,
+        cfg: &GenerateConfig,
+        rng: &mut StdRng,
+        counters: &mut GenCounters,
+    ) -> f32 {
+        let mu = out.iat_mean[s];
+        if self.config.point_iat_head {
+            return if mu.is_finite() {
+                mu.clamp(0.0, 1.0)
+            } else {
+                counters.clamped_iat += 1;
+                0.0
+            };
+        }
+        let sigma = out.iat_log_std[s].clamp(-7.0, 3.0).exp();
+        let mut draw = mu + sigma * sample_normal(rng);
+        let mut attempts = 0u32;
+        while !draw.is_finite() && attempts < cfg.max_resample {
+            attempts += 1;
+            counters.resampled_iat += 1;
+            draw = mu + sigma * sample_normal(rng);
+        }
+        if draw.is_finite() {
+            draw.clamp(0.0, 1.0)
+        } else {
+            counters.clamped_iat += 1;
+            if mu.is_finite() {
+                mu.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        }
+    }
 }
 
 fn sample_normal(rng: &mut impl Rng) -> f32 {
@@ -194,10 +347,23 @@ fn sample_normal(rng: &mut impl Rng) -> f32 {
     (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
 }
 
+/// Samples an index proportional to `probs`, tolerating zero, negative and
+/// non-finite entries (they contribute no mass). A fully degenerate vector
+/// (no positive finite mass) falls back to a uniform draw, so this never
+/// panics and never returns an out-of-range index for non-empty input.
 fn sample_categorical(probs: &[f64], rng: &mut impl Rng) -> usize {
-    let total: f64 = probs.iter().sum();
-    let mut target = rng.gen::<f64>() * total.max(1e-300);
+    if probs.is_empty() {
+        return 0;
+    }
+    let total: f64 = probs.iter().filter(|p| p.is_finite() && **p > 0.0).sum();
+    if !(total.is_finite() && total > 0.0) {
+        return rng.gen_range(0..probs.len());
+    }
+    let mut target = rng.gen::<f64>() * total;
     for (i, p) in probs.iter().enumerate() {
+        if !(p.is_finite() && *p > 0.0) {
+            continue;
+        }
         if target < *p {
             return i;
         }
@@ -210,6 +376,9 @@ fn sample_logits(logits: &[f32], temperature: f32, rng: &mut impl Rng) -> usize 
     sample_logits_truncated(logits, temperature, Sampling::Full, rng)
 }
 
+/// Temperature + truncation sampling over raw logits. Panic-free by
+/// construction: ordering uses `total_cmp` and non-finite logits map to
+/// zero probability (degenerating to a uniform draw if nothing survives).
 fn sample_logits_truncated(
     logits: &[f32],
     temperature: f32,
@@ -217,17 +386,28 @@ fn sample_logits_truncated(
     rng: &mut impl Rng,
 ) -> usize {
     let t = temperature.max(1e-3);
-    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let max = logits
+        .iter()
+        .cloned()
+        .filter(|l| l.is_finite())
+        .fold(f32::NEG_INFINITY, f32::max);
     let mut probs: Vec<f64> = logits
         .iter()
-        .map(|l| (((l - max) / t) as f64).exp())
+        .map(|l| {
+            let x = ((l - max) / t) as f64;
+            if x.is_finite() {
+                x.exp()
+            } else {
+                0.0
+            }
+        })
         .collect();
     match sampling {
         Sampling::Full => {}
         Sampling::TopK(k) => {
             let k = k.clamp(1, probs.len());
             let mut order: Vec<usize> = (0..probs.len()).collect();
-            order.sort_by(|a, b| probs[*b].partial_cmp(&probs[*a]).expect("no NaN"));
+            order.sort_by(|a, b| probs[*b].total_cmp(&probs[*a]));
             for i in &order[k..] {
                 probs[*i] = 0.0;
             }
@@ -235,19 +415,21 @@ fn sample_logits_truncated(
         Sampling::Nucleus(p) => {
             let p = p.clamp(1e-6, 1.0) as f64;
             let total: f64 = probs.iter().sum();
-            let mut order: Vec<usize> = (0..probs.len()).collect();
-            order.sort_by(|a, b| probs[*b].partial_cmp(&probs[*a]).expect("no NaN"));
-            let mut cum = 0.0;
-            let mut keep = 0;
-            for i in &order {
-                cum += probs[*i] / total;
-                keep += 1;
-                if cum >= p {
-                    break;
+            if total.is_finite() && total > 0.0 {
+                let mut order: Vec<usize> = (0..probs.len()).collect();
+                order.sort_by(|a, b| probs[*b].total_cmp(&probs[*a]));
+                let mut cum = 0.0;
+                let mut keep = 0;
+                for i in &order {
+                    cum += probs[*i] / total;
+                    keep += 1;
+                    if cum >= p {
+                        break;
+                    }
                 }
-            }
-            for i in &order[keep..] {
-                probs[*i] = 0.0;
+                for i in &order[keep..] {
+                    probs[*i] = 0.0;
+                }
             }
         }
     }
@@ -303,14 +485,15 @@ mod tests {
             &mut model,
             &data,
             &TrainConfig::quick().with_epochs(200).with_lr(1e-2),
-        );
+        )
+        .expect("training succeeds");
         model
     }
 
     #[test]
     fn generates_requested_count_within_max_len() {
         let model = trained_model();
-        let d = model.generate(&GenerateConfig::new(10, 3));
+        let d = model.generate(&GenerateConfig::new(10, 3)).expect("generate");
         assert_eq!(d.num_streams(), 10);
         for s in &d.streams {
             assert!(s.len() >= 1 && s.len() <= 12);
@@ -325,11 +508,22 @@ mod tests {
     }
 
     #[test]
+    fn healthy_model_generates_numerically_clean() {
+        let model = trained_model();
+        let (_, counters) = model
+            .generate_with_report(&GenerateConfig::new(10, 3))
+            .expect("generate");
+        assert_eq!(counters.resampled_iat, 0);
+        assert_eq!(counters.clamped_iat, 0);
+        assert_eq!(counters.non_finite_logits, 0);
+    }
+
+    #[test]
     fn generation_is_deterministic_per_seed() {
         let model = trained_model();
-        let a = model.generate(&GenerateConfig::new(5, 7));
-        let b = model.generate(&GenerateConfig::new(5, 7));
-        let c = model.generate(&GenerateConfig::new(5, 8));
+        let a = model.generate(&GenerateConfig::new(5, 7)).expect("generate");
+        let b = model.generate(&GenerateConfig::new(5, 7)).expect("generate");
+        let c = model.generate(&GenerateConfig::new(5, 8)).expect("generate");
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -339,7 +533,7 @@ mod tests {
         // Trained on strict SRV/REL alternation, generated streams should
         // follow SRV_REQ → S1_CONN_REL most of the time.
         let model = trained_model();
-        let d = model.generate(&GenerateConfig::new(30, 1));
+        let d = model.generate(&GenerateConfig::new(30, 1)).expect("generate");
         let mut follows = 0usize;
         let mut total = 0usize;
         for s in &d.streams {
@@ -372,12 +566,14 @@ mod tests {
             &mut model,
             &data,
             &TrainConfig::quick().with_epochs(30).with_lr(5e-3),
-        );
+        )
+        .expect("training succeeds");
         let mk = |seed| {
             let mut cfg = GenerateConfig::new(4, seed);
             cfg.temperature = 1e-4;
             model
                 .generate(&cfg)
+                .expect("generate")
                 .streams
                 .iter()
                 .map(|s| s.event_types())
@@ -394,6 +590,7 @@ mod tests {
             let cfg = GenerateConfig::new(6, 11).sampling(sampling);
             model
                 .generate(&cfg)
+                .expect("generate")
                 .streams
                 .iter()
                 .map(|s| s.event_types())
@@ -434,16 +631,97 @@ mod tests {
     #[test]
     fn device_type_is_stamped() {
         let model = trained_model();
-        let d = model.generate(&GenerateConfig::new(3, 0).device(DeviceType::Tablet));
+        let d = model
+            .generate(&GenerateConfig::new(3, 0).device(DeviceType::Tablet))
+            .expect("generate");
         assert!(d.streams.iter().all(|s| s.device_type == DeviceType::Tablet));
     }
 
     #[test]
-    #[should_panic(expected = "initial-event distribution")]
-    fn untrained_model_refuses_to_generate() {
+    fn untrained_model_is_typed_error() {
         let data = alternating_dataset(2);
         let tok = Tokenizer::fit(&data);
         let model = CptGpt::new(tiny_config(), tok);
-        model.generate(&GenerateConfig::new(1, 0));
+        let err = model
+            .generate(&GenerateConfig::new(1, 0))
+            .expect_err("untrained model must be rejected");
+        assert!(matches!(err, GenerateError::UntrainedModel));
+    }
+
+    #[test]
+    fn invalid_generate_config_is_typed_error() {
+        let model = trained_model();
+        let cases: Vec<(&'static str, GenerateConfig)> = vec![
+            ("batch_size", {
+                let mut c = GenerateConfig::new(1, 0);
+                c.batch_size = 0;
+                c
+            }),
+            ("temperature", {
+                let mut c = GenerateConfig::new(1, 0);
+                c.temperature = 0.0;
+                c
+            }),
+            ("temperature", {
+                let mut c = GenerateConfig::new(1, 0);
+                c.temperature = f32::NAN;
+                c
+            }),
+            ("max_stream_len", {
+                let mut c = GenerateConfig::new(1, 0);
+                c.max_stream_len = Some(0);
+                c
+            }),
+            ("sampling", GenerateConfig::new(1, 0).sampling(Sampling::TopK(0))),
+            (
+                "sampling",
+                GenerateConfig::new(1, 0).sampling(Sampling::Nucleus(0.0)),
+            ),
+        ];
+        for (field, cfg) in cases {
+            match model.generate(&cfg) {
+                Err(GenerateError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected InvalidConfig({field}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn max_stream_len_caps_output() {
+        let model = trained_model();
+        let (d, counters) = model
+            .generate_with_report(&GenerateConfig::new(12, 5).with_max_stream_len(3))
+            .expect("generate");
+        assert!(d.streams.iter().all(|s| s.len() <= 3));
+        // Trained on 8-event streams, a 3-token cap must truncate at least
+        // one of 12 streams.
+        assert!(counters.truncated_streams > 0);
+    }
+
+    #[test]
+    fn samplers_survive_non_finite_logits() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bad = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.0];
+        for sampling in [Sampling::Full, Sampling::TopK(2), Sampling::Nucleus(0.9)] {
+            for _ in 0..200 {
+                let i = sample_logits_truncated(&bad, 1.0, sampling, &mut rng);
+                assert!(i < bad.len());
+            }
+        }
+        let all_nan = [f32::NAN; 4];
+        for _ in 0..200 {
+            assert!(sample_logits_truncated(&all_nan, 1.0, Sampling::Full, &mut rng) < 4);
+        }
+        // Degenerate categorical vectors never panic or go out of range.
+        for probs in [
+            vec![0.0, 0.0],
+            vec![f64::NAN, f64::NAN],
+            vec![-1.0, -2.0],
+            vec![f64::INFINITY, 1.0],
+        ] {
+            for _ in 0..100 {
+                assert!(sample_categorical(&probs, &mut rng) < probs.len());
+            }
+        }
     }
 }

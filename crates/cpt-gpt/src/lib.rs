@@ -24,16 +24,26 @@
 //! until a stop flag fires or the configured maximum length is reached.
 
 pub mod batch;
+pub mod checkpoint;
 pub mod config;
+pub mod error;
+pub mod faultinject;
 pub mod generate;
 pub mod model;
 pub mod token;
 pub mod train;
 pub mod transfer;
 
-pub use config::{CptGptConfig, TrainConfig};
-pub use generate::{GenerateConfig, Sampling};
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointSpec, RecoveryEvent, TrainCheckpoint,
+};
+pub use config::{CptGptConfig, TrainConfig, WatchdogConfig};
+pub use error::{CheckpointError, FaultKind, GenerateError, TrainError};
+pub use faultinject::FaultPlan;
+pub use generate::{GenCounters, GenerateConfig, Sampling};
 pub use model::{CptGpt, StepOutput};
 pub use token::{ScaleKind, Tokenizer};
-pub use train::{train, EpochStats, TrainReport};
+pub use train::{
+    resume_training, train, train_with_checkpoints, EpochStats, TrainReport,
+};
 pub use transfer::fine_tune;

@@ -489,11 +489,15 @@ mod tests {
             &mut model,
             &d,
             &crate::config::TrainConfig::quick().with_epochs(2),
-        );
+        )
+        .expect("training succeeds");
         let json = serde_json::to_string(&model).unwrap();
         let back: CptGpt = serde_json::from_str(&json).unwrap();
         let cfg = crate::generate::GenerateConfig::new(5, 3);
-        assert_eq!(model.generate(&cfg), back.generate(&cfg));
+        assert_eq!(
+            model.generate(&cfg).expect("generate"),
+            back.generate(&cfg).expect("generate")
+        );
     }
 
     #[test]

@@ -1,8 +1,25 @@
 //! Supervised training loop (no GAN — the paper's point is that plain
-//! next-token supervision suffices, avoiding mode collapse entirely, §4.3).
+//! next-token supervision suffices, avoiding mode collapse entirely, §4.3)
+//! with a divergence watchdog and crash-safe checkpointing.
+//!
+//! Fault model: a batch can produce a NaN/∞ loss or gradient norm (bad
+//! learning rate, degenerate batch, injected fault). The watchdog rolls the
+//! model and optimizer back to the last clean epoch boundary, backs the
+//! learning rate off, and replays; after
+//! [`WatchdogConfig::max_retries`](crate::config::WatchdogConfig)
+//! consecutive faults it aborts with [`TrainError::Diverged`] carrying the
+//! full report. Batch shuffling derives a fresh RNG per epoch from
+//! `(seed, epoch)`, so a replayed or resumed epoch sees exactly the batches
+//! the uninterrupted run would have — resuming from a checkpoint reproduces
+//! the original run bit for bit.
 
 use crate::batch::make_epoch_batches;
+use crate::checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointSpec, RecoveryEvent, TrainCheckpoint,
+    CHECKPOINT_FORMAT_VERSION,
+};
 use crate::config::TrainConfig;
+use crate::error::{FaultKind, TrainError};
 use crate::model::CptGpt;
 use cpt_nn::{clip_grad_norm, Adam, LrSchedule, ParamStore, Session};
 use cpt_trace::Dataset;
@@ -29,6 +46,14 @@ pub struct TrainReport {
     pub epochs: Vec<EpochStats>,
     /// Total wall-clock seconds.
     pub total_seconds: f64,
+    /// Watchdog interventions (rollback + learning-rate backoff), in order.
+    #[serde(default)]
+    pub recoveries: Vec<RecoveryEvent>,
+    /// True if the run stopped early at a simulated crash
+    /// ([`crate::faultinject::FaultPlan::interrupt_after_epoch`]); resume
+    /// from the checkpoint to finish it.
+    #[serde(default)]
+    pub interrupted: bool,
     /// Parameter snapshots taken every `snapshot_every` epochs (for the
     /// §5.5 checkpoint-selection heuristic). Each entry is
     /// `(epoch, params)`.
@@ -43,23 +68,114 @@ impl TrainReport {
     }
 }
 
+/// Derives the shuffle RNG for one epoch from `(seed, epoch)` alone
+/// (splitmix64 finalizer), so epoch `e`'s batches are identical whether the
+/// process trained straight through, rolled back and replayed, or resumed
+/// from a checkpoint.
+fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
+    let mut z = seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+fn count_trainable(dataset: &Dataset) -> usize {
+    dataset.streams.iter().filter(|s| s.len() >= 2).count()
+}
+
 /// Trains `model` in place on `dataset` and records the initial-event
 /// distribution used to bootstrap generation.
 ///
 /// The dataset is expected to be single-device-type and (for hourly
 /// experiments) single-hour, mirroring §5.1; nothing enforces that, the
 /// model simply learns whatever mixture it is given.
-pub fn train(model: &mut CptGpt, dataset: &Dataset, cfg: &TrainConfig) -> TrainReport {
-    assert!(cfg.epochs > 0, "epochs must be > 0");
-    assert!(cfg.batch_size > 0, "batch_size must be > 0");
-    model.initial_event_dist = dataset.initial_event_distribution();
+pub fn train(
+    model: &mut CptGpt,
+    dataset: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<TrainReport, TrainError> {
+    train_with_checkpoints(model, dataset, cfg, None)
+}
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut adam = Adam::new(&model.store, cfg.lr);
-    let total_batches = {
-        let trainable = dataset.streams.iter().filter(|s| s.len() >= 2).count();
-        trainable.div_ceil(cfg.batch_size).max(1) * cfg.epochs
+/// Like [`train`], additionally writing an atomic [`TrainCheckpoint`] on
+/// the cadence given by `checkpoint` (and at a simulated interrupt). Pass
+/// `None` to skip checkpointing entirely.
+pub fn train_with_checkpoints(
+    model: &mut CptGpt,
+    dataset: &Dataset,
+    cfg: &TrainConfig,
+    checkpoint: Option<&CheckpointSpec>,
+) -> Result<TrainReport, TrainError> {
+    cfg.validate()?;
+    if count_trainable(dataset) == 0 {
+        return Err(TrainError::NoTrainableStreams);
+    }
+    model.initial_event_dist = dataset.initial_event_distribution();
+    let adam = Adam::new(&model.store, cfg.lr);
+    run_epochs(
+        model,
+        dataset,
+        cfg,
+        checkpoint,
+        adam,
+        0,
+        1.0,
+        0,
+        TrainReport::default(),
+    )
+}
+
+/// Resumes an interrupted run from `checkpoint.path` and trains the
+/// remaining epochs of `cfg`. `dataset` and `cfg` must match the original
+/// run for the result to be equivalent to never having been interrupted.
+/// Returns the restored-and-finished model plus the merged report (epoch
+/// stats and recoveries from before the interruption included).
+pub fn resume_training(
+    dataset: &Dataset,
+    cfg: &TrainConfig,
+    checkpoint: &CheckpointSpec,
+) -> Result<(CptGpt, TrainReport), TrainError> {
+    cfg.validate()?;
+    if count_trainable(dataset) == 0 {
+        return Err(TrainError::NoTrainableStreams);
+    }
+    let ckpt = load_checkpoint(&checkpoint.path)?;
+    let mut model = ckpt.model;
+    let report = TrainReport {
+        epochs: ckpt.epoch_stats,
+        recoveries: ckpt.recoveries,
+        ..TrainReport::default()
     };
+    let report = run_epochs(
+        &mut model,
+        dataset,
+        cfg,
+        Some(checkpoint),
+        ckpt.optimizer,
+        ckpt.step,
+        ckpt.lr_scale,
+        ckpt.epochs_done,
+        report,
+    )?;
+    Ok((model, report))
+}
+
+/// The engine behind [`train`]/[`resume_training`]: runs epochs
+/// `start_epoch..cfg.epochs` on top of the given optimizer/step/lr-scale
+/// state, with watchdog recovery and optional checkpointing.
+#[allow(clippy::too_many_arguments)]
+fn run_epochs(
+    model: &mut CptGpt,
+    dataset: &Dataset,
+    cfg: &TrainConfig,
+    checkpoint: Option<&CheckpointSpec>,
+    mut adam: Adam,
+    mut step: u64,
+    mut lr_scale: f32,
+    start_epoch: usize,
+    mut report: TrainReport,
+) -> Result<TrainReport, TrainError> {
+    let total_batches = count_trainable(dataset).div_ceil(cfg.batch_size).max(1) * cfg.epochs;
     let schedule = LrSchedule::WarmupCosine {
         peak: cfg.lr,
         floor: cfg.lr * 0.1,
@@ -67,59 +183,132 @@ pub fn train(model: &mut CptGpt, dataset: &Dataset, cfg: &TrainConfig) -> TrainR
         total_steps: total_batches as u64,
     };
 
-    let mut report = TrainReport::default();
     let start = Instant::now();
-    let mut step = 0u64;
-    for epoch in 0..cfg.epochs {
-        let epoch_start = Instant::now();
-        let batches = make_epoch_batches(
-            &model.tokenizer,
-            dataset,
-            cfg.batch_size,
-            model.config.max_len,
-            &mut rng,
-        );
-        assert!(
-            !batches.is_empty(),
-            "no trainable streams (all shorter than 2 events)"
-        );
-        let mut loss_sum = 0.0f64;
-        for batch in &batches {
-            adam.set_lr(schedule.lr(step));
-            step += 1;
-            let mut sess = Session::new(&model.store);
-            let loss = model.loss(&mut sess, batch);
-            loss_sum += sess.graph.value(loss).item() as f64;
-            sess.backward(loss);
-            let grads = sess.grads();
-            model.store.accumulate_grads(&grads);
-            clip_grad_norm(&mut model.store, cfg.clip_norm);
-            adam.step(&mut model.store);
+    // Tracks the `once` semantics of an injected NaN across rollbacks: a
+    // transient fault fires on the first visit to its step only, so the
+    // replay proceeds cleanly.
+    let mut injected_nan_fired = false;
+    for epoch in start_epoch..cfg.epochs {
+        // Last-good state: the start of this epoch. Rollback restores all
+        // three together so optimizer moments never outlive their weights.
+        let good_store = model.store.clone();
+        let good_adam = adam.clone();
+        let good_step = step;
+        let mut retries = 0u32;
+        loop {
+            let epoch_start = Instant::now();
+            let mut rng = epoch_rng(cfg.seed, epoch);
+            let batches = make_epoch_batches(
+                &model.tokenizer,
+                dataset,
+                cfg.batch_size,
+                model.config.max_len,
+                &mut rng,
+            );
+            let mut loss_sum = 0.0f64;
+            let mut fault: Option<(FaultKind, u64)> = None;
+            for batch in &batches {
+                adam.set_lr(schedule.lr(step) * lr_scale);
+                let this_step = step;
+                step += 1;
+                let mut sess = Session::new(&model.store);
+                let loss = model.loss(&mut sess, batch);
+                let mut loss_val = sess.graph.value(loss).item() as f64;
+                if let Some(plan) = &cfg.fault {
+                    if plan.nan_loss_at_step == Some(this_step)
+                        && (!plan.once || !injected_nan_fired)
+                    {
+                        injected_nan_fired = true;
+                        loss_val = f64::NAN;
+                    }
+                }
+                if !loss_val.is_finite() {
+                    fault = Some((FaultKind::NonFiniteLoss, this_step));
+                    break;
+                }
+                loss_sum += loss_val;
+                sess.backward(loss);
+                let grads = sess.grads();
+                model.store.accumulate_grads(&grads);
+                let grad_norm = clip_grad_norm(&mut model.store, cfg.clip_norm);
+                if !grad_norm.is_finite() {
+                    fault = Some((FaultKind::NonFiniteGradient, this_step));
+                    break;
+                }
+                adam.step(&mut model.store);
+                model.store.zero_grads();
+            }
+            let Some((cause, fault_step)) = fault else {
+                report.epochs.push(EpochStats {
+                    epoch,
+                    mean_loss: loss_sum / batches.len().max(1) as f64,
+                    seconds: epoch_start.elapsed().as_secs_f64(),
+                });
+                break;
+            };
+            // Roll back to the last good epoch boundary; zeroing grads
+            // clears any partial accumulation from the faulting batch.
+            model.store = good_store.clone();
             model.store.zero_grads();
+            adam = good_adam.clone();
+            step = good_step;
+            if retries >= cfg.watchdog.max_retries {
+                report.total_seconds = start.elapsed().as_secs_f64();
+                return Err(TrainError::Diverged {
+                    cause,
+                    retries,
+                    report: Box::new(report),
+                });
+            }
+            retries += 1;
+            lr_scale = (lr_scale * cfg.watchdog.lr_backoff).max(cfg.watchdog.min_lr_scale);
+            report.recoveries.push(RecoveryEvent {
+                epoch,
+                step: fault_step,
+                cause,
+                retry: retries,
+                lr_scale,
+            });
         }
-        report.epochs.push(EpochStats {
-            epoch,
-            mean_loss: loss_sum / report_len(&batches),
-            seconds: epoch_start.elapsed().as_secs_f64(),
-        });
         if let Some(every) = cfg.snapshot_every {
             if (epoch + 1) % every == 0 {
                 report.snapshots.push((epoch, model.store.clone()));
             }
         }
+        let interrupt_here = cfg
+            .fault
+            .and_then(|p| p.interrupt_after_epoch)
+            .is_some_and(|e| e == epoch);
+        if let Some(spec) = checkpoint {
+            if (epoch + 1) % spec.every_epochs == 0 || interrupt_here {
+                let ckpt = TrainCheckpoint {
+                    format_version: CHECKPOINT_FORMAT_VERSION,
+                    model: model.clone(),
+                    optimizer: adam.clone(),
+                    epochs_done: epoch + 1,
+                    step,
+                    lr_scale,
+                    epoch_stats: report.epochs.clone(),
+                    recoveries: report.recoveries.clone(),
+                };
+                save_checkpoint(&ckpt, &spec.path)?;
+            }
+        }
+        if interrupt_here {
+            report.interrupted = true;
+            report.total_seconds = start.elapsed().as_secs_f64();
+            return Ok(report);
+        }
     }
     report.total_seconds = start.elapsed().as_secs_f64();
-    report
-}
-
-fn report_len(batches: &[crate::batch::Batch]) -> f64 {
-    batches.len().max(1) as f64
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::CptGptConfig;
+    use crate::faultinject::FaultPlan;
     use crate::token::Tokenizer;
     use cpt_trace::{DeviceType, Event, EventType, Stream, UeId};
 
@@ -168,7 +357,8 @@ mod tests {
             &mut model,
             &data,
             &TrainConfig::quick().with_epochs(6).with_lr(5e-3),
-        );
+        )
+        .expect("training succeeds");
         assert_eq!(report.epochs.len(), 6);
         let first = report.epochs[0].mean_loss;
         let last = report.final_loss();
@@ -177,6 +367,8 @@ mod tests {
             "loss did not improve: {first} -> {last}"
         );
         assert!(report.total_seconds > 0.0);
+        assert!(report.recoveries.is_empty());
+        assert!(!report.interrupted);
         // Initial-event distribution captured: all streams start SRV_REQ.
         let p_srv = model
             .initial_event_dist
@@ -194,8 +386,8 @@ mod tests {
         let cfg = TrainConfig::quick().with_epochs(2);
         let mut m1 = CptGpt::new(tiny_config(), tok.clone());
         let mut m2 = CptGpt::new(tiny_config(), tok);
-        let r1 = train(&mut m1, &data, &cfg);
-        let r2 = train(&mut m2, &data, &cfg);
+        let r1 = train(&mut m1, &data, &cfg).expect("train m1");
+        let r2 = train(&mut m2, &data, &cfg).expect("train m2");
         assert_eq!(r1.final_loss(), r2.final_loss());
         let id = m1.store.ids()[0];
         assert_eq!(m1.store.value(id).data, m2.store.value(id).data);
@@ -210,9 +402,105 @@ mod tests {
             &mut model,
             &data,
             &TrainConfig::quick().with_epochs(4).with_snapshots(2),
-        );
+        )
+        .expect("training succeeds");
         assert_eq!(report.snapshots.len(), 2);
         assert_eq!(report.snapshots[0].0, 1);
         assert_eq!(report.snapshots[1].0, 3);
+    }
+
+    #[test]
+    fn invalid_config_is_typed_error() {
+        let data = alternating_dataset(4);
+        let tok = Tokenizer::fit(&data);
+        let mut model = CptGpt::new(tiny_config(), tok);
+        let err = train(&mut model, &data, &TrainConfig::quick().with_epochs(0))
+            .expect_err("epochs = 0 must be rejected");
+        assert!(matches!(
+            err,
+            TrainError::InvalidConfig { field: "epochs", .. }
+        ));
+    }
+
+    #[test]
+    fn empty_dataset_is_typed_error() {
+        // Single-event streams carry no transitions to fit.
+        let data = Dataset::new(vec![Stream::new(
+            UeId(0),
+            DeviceType::Phone,
+            vec![Event::new(EventType::ServiceRequest, 1.0)],
+        )]);
+        let tok = Tokenizer::fit(&alternating_dataset(4));
+        let mut model = CptGpt::new(tiny_config(), tok);
+        let err = train(&mut model, &data, &TrainConfig::quick())
+            .expect_err("no trainable streams must be rejected");
+        assert!(matches!(err, TrainError::NoTrainableStreams));
+    }
+
+    #[test]
+    fn watchdog_recovers_from_transient_nan() {
+        let data = alternating_dataset(8);
+        let tok = Tokenizer::fit(&data);
+        let mut model = CptGpt::new(tiny_config(), tok);
+        let cfg = TrainConfig::quick()
+            .with_epochs(3)
+            .with_fault(FaultPlan::nan_loss_once_at(1));
+        let report = train(&mut model, &data, &cfg).expect("transient NaN must be survivable");
+        assert_eq!(report.epochs.len(), 3, "all epochs must still complete");
+        assert_eq!(report.recoveries.len(), 1);
+        let rec = report.recoveries[0];
+        assert_eq!(rec.cause, FaultKind::NonFiniteLoss);
+        assert_eq!(rec.step, 1);
+        assert_eq!(rec.retry, 1);
+        assert!(rec.lr_scale < 1.0, "backoff must shrink the lr scale");
+    }
+
+    #[test]
+    fn watchdog_gives_up_on_persistent_nan() {
+        let data = alternating_dataset(8);
+        let tok = Tokenizer::fit(&data);
+        let mut model = CptGpt::new(tiny_config(), tok);
+        let cfg = TrainConfig::quick()
+            .with_epochs(2)
+            .with_fault(FaultPlan::nan_loss_always_at(0));
+        let err = train(&mut model, &data, &cfg).expect_err("persistent NaN must abort");
+        match err {
+            TrainError::Diverged {
+                cause,
+                retries,
+                report,
+            } => {
+                assert_eq!(cause, FaultKind::NonFiniteLoss);
+                assert_eq!(retries, cfg.watchdog.max_retries);
+                assert_eq!(report.recoveries.len(), cfg.watchdog.max_retries as usize);
+                // Backoff applied on every rollback, clamped to the floor.
+                let last_scale = report.recoveries.last().unwrap().lr_scale;
+                assert!(last_scale >= cfg.watchdog.min_lr_scale);
+                assert!(last_scale < 1.0);
+                assert!(report.epochs.is_empty(), "no epoch completed");
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovered_run_matches_clean_run_batches() {
+        // A transient fault replays the epoch with identical batches, so a
+        // recovered run must end at exactly the same parameters as a clean
+        // run at the backed-off learning rate would for later epochs — here
+        // we check the cheaper invariant that recovery does not disturb
+        // determinism: two identical faulty runs agree bit for bit.
+        let data = alternating_dataset(8);
+        let tok = Tokenizer::fit(&data);
+        let cfg = TrainConfig::quick()
+            .with_epochs(2)
+            .with_fault(FaultPlan::nan_loss_once_at(1));
+        let mut m1 = CptGpt::new(tiny_config(), tok.clone());
+        let mut m2 = CptGpt::new(tiny_config(), tok);
+        let r1 = train(&mut m1, &data, &cfg).expect("train m1");
+        let r2 = train(&mut m2, &data, &cfg).expect("train m2");
+        assert_eq!(r1.final_loss(), r2.final_loss());
+        let id = m1.store.ids()[0];
+        assert_eq!(m1.store.value(id).data, m2.store.value(id).data);
     }
 }

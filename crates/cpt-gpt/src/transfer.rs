@@ -8,6 +8,7 @@
 //! refit on the new hour.
 
 use crate::config::TrainConfig;
+use crate::error::TrainError;
 use crate::model::CptGpt;
 use crate::train::{train, TrainReport};
 use cpt_trace::Dataset;
@@ -39,7 +40,7 @@ pub fn fine_tune(
     new_data: &Dataset,
     base_cfg: &TrainConfig,
     ft: &FineTuneConfig,
-) -> (CptGpt, TrainReport) {
+) -> Result<(CptGpt, TrainReport), TrainError> {
     let mut model = pretrained.clone();
     let epochs = ((base_cfg.epochs as f64 * ft.epoch_fraction).round() as usize).max(1);
     let cfg = TrainConfig {
@@ -49,8 +50,8 @@ pub fn fine_tune(
         warmup_steps: 0,
         ..*base_cfg
     };
-    let report = train(&mut model, new_data, &cfg);
-    (model, report)
+    let report = train(&mut model, new_data, &cfg)?;
+    Ok((model, report))
 }
 
 #[cfg(test)]
@@ -100,9 +101,10 @@ mod tests {
         let tok = Tokenizer::fit(&hour0);
         let base_cfg = TrainConfig::quick().with_epochs(8).with_lr(5e-3);
         let mut base = CptGpt::new(tiny_config(), tok);
-        let base_report = train(&mut base, &hour0, &base_cfg);
+        let base_report = train(&mut base, &hour0, &base_cfg).expect("base training succeeds");
 
-        let (adapted, ft_report) = fine_tune(&base, &hour1, &base_cfg, &FineTuneConfig::default());
+        let (adapted, ft_report) = fine_tune(&base, &hour1, &base_cfg, &FineTuneConfig::default())
+            .expect("fine-tuning succeeds");
 
         // Fewer epochs than from-scratch training.
         assert!(ft_report.epochs.len() < base_report.epochs.len());

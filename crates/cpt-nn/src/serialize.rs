@@ -8,7 +8,7 @@
 use crate::layers::ParamStore;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Errors arising from checkpoint IO.
 #[derive(Debug)]
@@ -51,13 +51,51 @@ pub fn save_store(store: &ParamStore, w: &mut impl Write) -> Result<(), Checkpoi
     Ok(())
 }
 
-/// Writes `store` to a file.
+/// Serializes `value` as JSON to `path` atomically: the bytes land in a
+/// temp file in the same directory, are synced, and only then renamed over
+/// `path`. A crash mid-write leaves either the old file or nothing at the
+/// destination — never a half-written checkpoint. The temp file is cleaned
+/// up on failure.
+pub fn atomic_write_json<T: serde::Serialize>(
+    value: &T,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    // Rename is only atomic within a filesystem, so the temp file must live
+    // in the destination directory.
+    let tmp: PathBuf = {
+        let mut name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "checkpoint".into());
+        name.push(format!(".tmp.{}", std::process::id()));
+        path.with_file_name(name)
+    };
+    let write_result = (|| -> Result<(), CheckpointError> {
+        let file = File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        serde_json::to_writer(&mut w, value)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = write_result {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(CheckpointError::Io(e));
+    }
+    Ok(())
+}
+
+/// Writes `store` to a file atomically (temp file + rename).
 pub fn save_store_to_path(
     store: &ParamStore,
     path: impl AsRef<Path>,
 ) -> Result<(), CheckpointError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    save_store(store, &mut w)
+    atomic_write_json(store, path)
 }
 
 /// Reads a full store from `r` (for loading a model whose architecture is
@@ -160,6 +198,25 @@ mod tests {
             load_weights_into(&mut target, &store()),
             Err(CheckpointError::Mismatch(_))
         ));
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files_and_replaces_existing() {
+        let s = store();
+        let dir = std::env::temp_dir().join(format!("cpt-nn-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        std::fs::write(&path, b"stale previous checkpoint").unwrap();
+        atomic_write_json(&s, &path).unwrap();
+        let back = load_store_from_path(&path).unwrap();
+        assert_eq!(back.num_params(), s.num_params());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -28,8 +28,21 @@ const VERSION: u32 = 1;
 pub enum IoError {
     /// Underlying filesystem error.
     Io(io::Error),
-    /// Malformed JSON or schema mismatch.
+    /// Malformed JSON or schema mismatch (no position information; prefer
+    /// [`IoError::Parse`], which the readers emit).
     Json(serde_json::Error),
+    /// A line of the file does not parse. Carries the 1-based line number
+    /// (the header is line 1) and a snippet of the offending line, so a
+    /// multi-gigabyte trace with one bad record is debuggable from the
+    /// error message alone.
+    Parse {
+        /// 1-based line number within the file.
+        line: usize,
+        /// First ~60 characters of the offending line.
+        snippet: String,
+        /// Underlying JSON error.
+        source: serde_json::Error,
+    },
     /// The file is not a cpt-trace file or has an unsupported version.
     BadHeader(String),
 }
@@ -39,12 +52,51 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Parse {
+                line,
+                snippet,
+                source,
+            } => write!(f, "parse error at line {line}: {source}; offending line starts: {snippet:?}"),
             IoError::BadHeader(msg) => write!(f, "bad dataset header: {msg}"),
         }
     }
 }
 
-impl std::error::Error for IoError {}
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Json(e) => Some(e),
+            IoError::Parse { source, .. } => Some(source),
+            IoError::BadHeader(_) => None,
+        }
+    }
+}
+
+/// Options controlling how a dataset file is read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadOptions {
+    /// Tolerate a file whose final line was cut short (e.g. a writer died
+    /// mid-record): the damaged last line is dropped and fewer streams than
+    /// the header promises are accepted. Corruption anywhere *before* the
+    /// final line still errors — data loss in the middle of a file is never
+    /// silently skipped.
+    pub allow_partial: bool,
+}
+
+impl ReadOptions {
+    /// Strict reading (the default): any damage is an error.
+    pub fn strict() -> Self {
+        ReadOptions::default()
+    }
+
+    /// Tolerates a truncated final line.
+    pub fn partial() -> Self {
+        ReadOptions {
+            allow_partial: true,
+        }
+    }
+}
 
 impl From<io::Error> for IoError {
     fn from(e: io::Error) -> Self {
@@ -83,19 +135,46 @@ pub fn write_dataset_to(dataset: &Dataset, w: &mut impl Write) -> Result<(), IoE
     Ok(())
 }
 
-/// Reads a dataset from `path`.
+/// Reads a dataset from `path` (strict mode).
 pub fn read_dataset(path: impl AsRef<Path>) -> Result<Dataset, IoError> {
-    let file = File::open(path)?;
-    read_dataset_from(BufReader::new(file))
+    read_dataset_opts(path, ReadOptions::strict())
 }
 
-/// Reads a dataset from any buffered reader.
+/// Reads a dataset from `path` with explicit [`ReadOptions`].
+pub fn read_dataset_opts(path: impl AsRef<Path>, opts: ReadOptions) -> Result<Dataset, IoError> {
+    let file = File::open(path)?;
+    read_dataset_with(BufReader::new(file), opts)
+}
+
+/// Reads a dataset from any buffered reader (strict mode).
 pub fn read_dataset_from(r: impl BufRead) -> Result<Dataset, IoError> {
+    read_dataset_with(r, ReadOptions::strict())
+}
+
+/// Truncates `line` to a short prefix fit for an error message.
+fn snippet_of(line: &str) -> String {
+    const MAX: usize = 60;
+    if line.len() <= MAX {
+        return line.to_owned();
+    }
+    let mut end = MAX;
+    while !line.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}...", &line[..end])
+}
+
+/// Reads a dataset from any buffered reader with explicit [`ReadOptions`].
+pub fn read_dataset_with(r: impl BufRead, opts: ReadOptions) -> Result<Dataset, IoError> {
     let mut lines = r.lines();
     let header_line = lines
         .next()
         .ok_or_else(|| IoError::BadHeader("empty file".into()))??;
-    let header: Header = serde_json::from_str(&header_line)?;
+    let header: Header = serde_json::from_str(&header_line).map_err(|source| IoError::Parse {
+        line: 1,
+        snippet: snippet_of(&header_line),
+        source,
+    })?;
     if header.format != FORMAT {
         return Err(IoError::BadHeader(format!(
             "expected format {FORMAT:?}, found {:?}",
@@ -109,15 +188,43 @@ pub fn read_dataset_from(r: impl BufRead) -> Result<Dataset, IoError> {
         )));
     }
     let mut streams = Vec::with_capacity(header.num_streams);
-    for line in lines {
+    let mut lines = lines.enumerate();
+    while let Some((i, line)) = lines.next() {
+        let line_no = i + 2; // header consumed line 1
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let stream: Stream = serde_json::from_str(&line)?;
-        streams.push(stream);
+        match serde_json::from_str::<Stream>(&line) {
+            Ok(stream) => streams.push(stream),
+            Err(source) => {
+                // Only a damaged *final* line is tolerable: scan ahead for
+                // any remaining content to distinguish a cut-short tail
+                // from mid-file corruption.
+                let mut has_more_content = false;
+                for (_, rest) in lines.by_ref() {
+                    match rest {
+                        Ok(l) if l.trim().is_empty() => continue,
+                        _ => {
+                            has_more_content = true;
+                            break;
+                        }
+                    }
+                }
+                if opts.allow_partial && !has_more_content {
+                    break;
+                }
+                return Err(IoError::Parse {
+                    line: line_no,
+                    snippet: snippet_of(&line),
+                    source,
+                });
+            }
+        }
     }
-    if streams.len() != header.num_streams {
+    let count_ok = streams.len() == header.num_streams
+        || (opts.allow_partial && streams.len() < header.num_streams);
+    if !count_ok {
         return Err(IoError::BadHeader(format!(
             "header promised {} streams, file contains {}",
             header.num_streams,
@@ -194,6 +301,105 @@ mod tests {
         let truncated: String = text.lines().take(2).collect::<Vec<_>>().join("\n");
         assert!(matches!(
             read_dataset_from(Cursor::new(truncated.into_bytes())),
+            Err(IoError::BadHeader(_))
+        ));
+    }
+
+    fn toy_text() -> String {
+        let mut buf = Vec::new();
+        write_dataset_to(&toy(), &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn parse_error_reports_line_number_and_snippet() {
+        // Corrupt the first stream record (line 2; line 1 is the header).
+        let corrupted: String = toy_text()
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 1 {
+                    format!("{}<<garbage", &l[..l.len() / 2])
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        match read_dataset_from(Cursor::new(corrupted.into_bytes())) {
+            Err(IoError::Parse { line, snippet, .. }) => {
+                assert_eq!(line, 2);
+                assert!(!snippet.is_empty());
+                assert!(snippet.len() <= 64, "snippet too long: {snippet:?}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_header_reports_line_one() {
+        let bad = "{\"format\": <oops\n";
+        match read_dataset_from(Cursor::new(bad.as_bytes().to_vec())) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected Parse error at line 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allow_partial_tolerates_truncated_final_line() {
+        // Cut the final stream record in half, as if the writer died.
+        let text = toy_text();
+        let cut = text.trim_end().len() - 10;
+        let truncated = &text[..cut];
+        // Strict mode: typed parse error on the damaged line.
+        match read_dataset_from(Cursor::new(truncated.as_bytes().to_vec())) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+        // Partial mode: the damaged tail is dropped, the rest survives.
+        let d = read_dataset_with(
+            Cursor::new(truncated.as_bytes().to_vec()),
+            ReadOptions::partial(),
+        )
+        .unwrap();
+        assert_eq!(d.streams.len(), 1);
+        assert_eq!(d.streams[0].ue_id, UeId(1));
+    }
+
+    #[test]
+    fn allow_partial_still_rejects_mid_file_corruption() {
+        // Damage line 2 but keep an intact line 3: this is data loss in
+        // the middle of the file, not a truncated tail.
+        let corrupted: String = toy_text()
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 1 {
+                    "{broken".to_owned()
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        match read_dataset_with(
+            Cursor::new(corrupted.into_bytes()),
+            ReadOptions::partial(),
+        ) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allow_partial_still_rejects_excess_streams() {
+        // More streams than the header promises is never acceptable.
+        let mut text = toy_text();
+        let extra = text.lines().nth(1).unwrap().to_owned();
+        text.push_str(&extra);
+        text.push('\n');
+        assert!(matches!(
+            read_dataset_with(Cursor::new(text.into_bytes()), ReadOptions::partial()),
             Err(IoError::BadHeader(_))
         ));
     }

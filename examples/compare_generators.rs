@@ -63,8 +63,13 @@ fn main() {
         &mut gpt,
         &train_data,
         &TrainConfig::quick().with_epochs(16).with_lr(6e-3),
-    );
-    results.push(("CPT-GPT", gpt.generate(&GenerateConfig::new(n, 4))));
+    )
+    .expect("training failed");
+    results.push((
+        "CPT-GPT",
+        gpt.generate(&GenerateConfig::new(n, 4))
+            .expect("generation failed"),
+    ));
 
     // Evaluate everything against the held-out trace.
     let mut table = Table::new(

@@ -48,9 +48,12 @@ fn main() {
         &mut model,
         &real,
         &TrainConfig::quick().with_epochs(16).with_lr(6e-3),
-    );
+    )
+    .expect("training failed");
 
-    let synth = model.generate(&GenerateConfig::new(200, 9));
+    let synth = model
+        .generate(&GenerateConfig::new(200, 9))
+        .expect("generation failed");
     println!("synthesized 5G trace: {}", synth.summary());
 
     // Validate against the *5G* machine.

@@ -102,8 +102,11 @@ fn main() {
         &mut model,
         &real,
         &TrainConfig::quick().with_epochs(16).with_lr(6e-3),
-    );
-    let synth = model.generate(&GenerateConfig::new(500, 3));
+    )
+    .expect("training failed");
+    let synth = model
+        .generate(&GenerateConfig::new(500, 3))
+        .expect("generation failed");
 
     // An MCN sized on the synthesized workload should look like one sized
     // on the real workload.

@@ -21,12 +21,14 @@ fn main() {
     let tok = Tokenizer::fit(&train_data);
     let mut model = CptGpt::new(scale.gpt.with_seed(1), tok);
     let t0 = std::time::Instant::now();
-    let report = train(&mut model, &train_data, &scale.gpt_train);
+    let report = train(&mut model, &train_data, &scale.gpt_train).expect("training failed");
     for e in report.epochs.iter().step_by((epochs/8).max(1)) {
         println!("epoch {:>3}: loss {:.4} ({:.1}s)", e.epoch, e.mean_loss, e.seconds);
     }
     println!("train time: {:.1}s", t0.elapsed().as_secs_f64());
-    let synth = model.generate(&GenerateConfig::new(260, 7));
+    let synth = model
+        .generate(&GenerateConfig::new(260, 7))
+        .expect("generation failed");
     let v = violation_stats(&StateMachine::lte(), &synth);
     println!("events: {} violations: {} ({:.3}%), streams {:.1}%",
         v.events_checked, v.violating_events, v.event_rate()*100.0, v.stream_rate()*100.0);

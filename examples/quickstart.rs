@@ -39,7 +39,8 @@ fn main() {
         &mut model,
         &real,
         &TrainConfig::quick().with_epochs(16).with_lr(6e-3),
-    );
+    )
+    .expect("training failed");
     println!(
         "trained {} epochs in {:.1}s (final loss {:.3})",
         report.epochs.len(),
@@ -48,7 +49,9 @@ fn main() {
     );
 
     // 3. Synthesize a new UE population (Figure 4, "Inference").
-    let synth = model.generate(&GenerateConfig::new(200, 7));
+    let synth = model
+        .generate(&GenerateConfig::new(200, 7))
+        .expect("generation failed");
     println!("synthesized: {}", synth.summary());
 
     // 4. Validate against the 3GPP state machine — the model never saw

@@ -43,18 +43,19 @@ fn main() {
     // Base model on hour 19.
     let t0 = Instant::now();
     let mut base = CptGpt::new(model_cfg, Tokenizer::fit(&hour19));
-    train(&mut base, &hour19, &base_cfg);
+    train(&mut base, &hour19, &base_cfg).expect("training failed");
     let base_secs = t0.elapsed().as_secs_f64();
 
     // Option A: retrain from scratch for hour 3.
     let t0 = Instant::now();
     let mut scratch = CptGpt::new(model_cfg.with_seed(9), Tokenizer::fit(&hour3));
-    train(&mut scratch, &hour3, &base_cfg);
+    train(&mut scratch, &hour3, &base_cfg).expect("training failed");
     let scratch_secs = t0.elapsed().as_secs_f64();
 
     // Option B: fine-tune the hour-19 model (Design 3).
     let t0 = Instant::now();
-    let (adapted, _) = fine_tune(&base, &hour3, &base_cfg, &FineTuneConfig::default());
+    let (adapted, _) =
+        fine_tune(&base, &hour3, &base_cfg, &FineTuneConfig::default()).expect("fine-tune failed");
     let ft_secs = t0.elapsed().as_secs_f64();
 
     println!("\ntraining cost: base {base_secs:.1}s | scratch {scratch_secs:.1}s | fine-tune {ft_secs:.1}s");
@@ -67,7 +68,9 @@ fn main() {
         ("hour-3 from scratch", &scratch),
         ("hour-19 → hour-3 fine-tuned", &adapted),
     ] {
-        let synth = model.generate(&GenerateConfig::new(300, 4));
+        let synth = model
+            .generate(&GenerateConfig::new(300, 4))
+            .expect("generation failed");
         let r = FidelityReport::compute(&machine, &hour3_test, &synth);
         println!(
             "{name:<28} sojourn CONN dist {:.3} | IDLE {:.3} | flow length {:.3}",

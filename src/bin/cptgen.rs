@@ -3,6 +3,10 @@
 //! ```text
 //! cptgen simulate --ues 500 --device phone --hours 1 --seed 42 -o real.jsonl
 //! cptgen train    --input real.jsonl --epochs 24 -o model.json
+//! cptgen train    --input real.jsonl --epochs 24 -o model.json \
+//!                 --checkpoint ckpt.json --checkpoint-every 2
+//! cptgen train    --input real.jsonl --epochs 24 -o model.json \
+//!                 --checkpoint ckpt.json --resume
 //! cptgen generate --model model.json --streams 1000 --seed 7 -o synth.jsonl
 //! cptgen evaluate --real real.jsonl --synth synth.jsonl
 //! cptgen mcn      --input synth.jsonl --workers 4
@@ -13,8 +17,15 @@
 //! The file formats are the workspace's own: JSON-lines datasets
 //! (`cpt-trace::io`) and JSON model bundles (config + tokenizer + weights
 //! + initial-event distribution).
+//!
+//! Failures never panic; they map to documented exit codes:
+//! `2` usage, `3` data/IO error, `4` invalid configuration or model,
+//! `5` training diverged beyond recovery, `6` checkpoint error.
 
-use cpt::gpt::{train, CptGpt, CptGptConfig, GenerateConfig, Tokenizer, TrainConfig};
+use cpt::gpt::{
+    resume_training, train_with_checkpoints, CheckpointSpec, CptGpt, CptGptConfig,
+    GenerateConfig, GenerateError, Tokenizer, TrainConfig, TrainError,
+};
 use cpt::mcn::{simulate, McnConfig};
 use cpt::metrics::FidelityReport;
 use cpt::statemachine::StateMachine;
@@ -22,6 +33,71 @@ use cpt::synth::{generate as synth_generate, generate_device, SynthConfig};
 use cpt::trace::{io as trace_io, Dataset, DeviceType};
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// Exit code for bad command-line usage.
+const EXIT_USAGE: u8 = 2;
+/// Exit code for data/filesystem errors (unreadable trace, bad JSONL, ...).
+const EXIT_DATA: u8 = 3;
+/// Exit code for invalid configuration or an unusable model.
+const EXIT_CONFIG: u8 = 4;
+/// Exit code for unrecoverable training divergence.
+const EXIT_DIVERGED: u8 = 5;
+/// Exit code for checkpoint save/load failures.
+const EXIT_CHECKPOINT: u8 = 6;
+
+/// A CLI failure: a message for stderr plus the process exit code it maps
+/// to. Every library error converts into one of these — `main` never sees
+/// a panic from a bad file or config.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            code: EXIT_USAGE,
+            message: message.into(),
+        }
+    }
+
+    fn data(message: impl Into<String>) -> Self {
+        CliError {
+            code: EXIT_DATA,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<trace_io::IoError> for CliError {
+    fn from(e: trace_io::IoError) -> Self {
+        CliError::data(e.to_string())
+    }
+}
+
+impl From<TrainError> for CliError {
+    fn from(e: TrainError) -> Self {
+        let code = match &e {
+            TrainError::InvalidConfig { .. } => EXIT_CONFIG,
+            TrainError::NoTrainableStreams => EXIT_DATA,
+            TrainError::Diverged { .. } => EXIT_DIVERGED,
+            TrainError::Checkpoint(_) => EXIT_CHECKPOINT,
+        };
+        CliError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<GenerateError> for CliError {
+    fn from(e: GenerateError) -> Self {
+        CliError {
+            code: EXIT_CONFIG,
+            message: e.to_string(),
+        }
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -32,14 +108,18 @@ fn usage() -> ExitCode {
          \u{20}            [--hours H] [--start-hour H] [--seed S] -o OUT.jsonl\n\
            train      --input TRACE.jsonl [--epochs N] [--lr LR] [--max-len L]\n\
          \u{20}            [--d-model D] [--seed S] -o MODEL.json\n\
+         \u{20}            [--checkpoint CKPT.json] [--checkpoint-every N] [--resume]\n\
            generate   --model MODEL.json --streams N [--device D] [--seed S]\n\
          \u{20}            -o OUT.jsonl\n\
            evaluate   --real REAL.jsonl --synth SYNTH.jsonl\n\
            mcn        --input TRACE.jsonl [--workers N] [--autoscale]\n\
            stats      --input TRACE.jsonl\n\
-           dot        [--generation 4g|5g]   (Graphviz of the UE state machine)\n"
+           dot        [--generation 4g|5g]   (Graphviz of the UE state machine)\n\
+         \n\
+         exit codes: 0 ok, 2 usage, 3 data/io, 4 bad config/model,\n\
+         \u{20}           5 training diverged, 6 checkpoint error\n"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 /// Minimal `--key value` / `--flag` argument parser.
@@ -66,20 +146,21 @@ fn get_parsed<T: std::str::FromStr>(
     opts: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, String> {
+) -> Result<T, CliError> {
     match opts.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("invalid value {v:?} for --{key}")),
+            .map_err(|_| CliError::usage(format!("invalid value {v:?} for --{key}"))),
     }
 }
 
-fn require<'m>(opts: &'m HashMap<String, String>, key: &str) -> Result<&'m String, String> {
-    opts.get(key).ok_or_else(|| format!("missing --{key}"))
+fn require<'m>(opts: &'m HashMap<String, String>, key: &str) -> Result<&'m String, CliError> {
+    opts.get(key)
+        .ok_or_else(|| CliError::usage(format!("missing --{key}")))
 }
 
-fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let ues: usize = get_parsed(opts, "ues", 500)?;
     let hours: f64 = get_parsed(opts, "hours", 1.0)?;
     let start: f64 = get_parsed(opts, "start-hour", 10.0)?;
@@ -90,15 +171,42 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     let dataset = if device == "mixed" {
         synth_generate(&cfg)
     } else {
-        let dt: DeviceType = device.parse().map_err(|e| format!("{e}"))?;
+        let dt: DeviceType = device
+            .parse()
+            .map_err(|e| CliError::usage(format!("{e}")))?;
         generate_device(&cfg, dt, ues)
     };
-    trace_io::write_dataset(&dataset, out).map_err(|e| e.to_string())?;
+    trace_io::write_dataset(&dataset, out)?;
     println!("wrote {} ({})", out, dataset.summary());
     Ok(())
 }
 
-fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+/// Writes the model bundle atomically so a crash mid-save cannot leave a
+/// torn file where a good model used to be.
+fn write_model(model: &CptGpt, out: &str) -> Result<(), CliError> {
+    cpt::nn::serialize::atomic_write_json(model, out).map_err(|e| CliError::data(e.to_string()))
+}
+
+fn report_outcome(report: &cpt::gpt::TrainReport) {
+    println!(
+        "trained {} epochs in {:.1}s (final loss {:.4})",
+        report.epochs.len(),
+        report.total_seconds,
+        report.final_loss()
+    );
+    if !report.recoveries.is_empty() {
+        println!(
+            "watchdog recovered {} time(s); last lr scale {:.4}",
+            report.recoveries.len(),
+            report.recoveries.last().map(|r| r.lr_scale).unwrap_or(1.0)
+        );
+    }
+    if report.interrupted {
+        println!("run was interrupted; resume with --resume to finish");
+    }
+}
+
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let input = require(opts, "input")?;
     let out = require(opts, "o")?;
     let epochs: usize = get_parsed(opts, "epochs", 24)?;
@@ -106,9 +214,33 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     let max_len: usize = get_parsed(opts, "max-len", 128)?;
     let d_model: usize = get_parsed(opts, "d-model", 48)?;
     let seed: u64 = get_parsed(opts, "seed", 0)?;
+    let ckpt_every: usize = get_parsed(opts, "checkpoint-every", 1)?;
+    let ckpt_spec = opts
+        .get("checkpoint")
+        .filter(|p| !p.is_empty())
+        .map(|p| CheckpointSpec::every(p, ckpt_every));
+    let resume = opts.contains_key("resume");
 
-    let data = trace_io::read_dataset(input).map_err(|e| e.to_string())?;
+    let data = trace_io::read_dataset(input)?;
     let data = data.clamp_lengths(2, max_len + 1);
+    let cfg = TrainConfig {
+        epochs,
+        lr,
+        seed,
+        ..TrainConfig::quick()
+    };
+
+    if resume {
+        let spec = ckpt_spec
+            .ok_or_else(|| CliError::usage("--resume requires --checkpoint CKPT.json"))?;
+        println!("resuming from {} on {}", spec.path.display(), data.summary());
+        let (model, report) = resume_training(&data, &cfg, &spec)?;
+        report_outcome(&report);
+        write_model(&model, out)?;
+        println!("wrote {out}");
+        return Ok(());
+    }
+
     println!("training on {}", data.summary());
     let mut config = CptGptConfig {
         generation: data.generation,
@@ -122,24 +254,9 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     let tokenizer = Tokenizer::fit(&data);
     let mut model = CptGpt::new(config, tokenizer);
     println!("model: {} parameters", model.num_params());
-    let report = train(
-        &mut model,
-        &data,
-        &TrainConfig {
-            epochs,
-            lr,
-            seed,
-            ..TrainConfig::quick()
-        },
-    );
-    println!(
-        "trained {} epochs in {:.1}s (final loss {:.4})",
-        report.epochs.len(),
-        report.total_seconds,
-        report.final_loss()
-    );
-    let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
-    serde_json::to_writer(std::io::BufWriter::new(file), &model).map_err(|e| e.to_string())?;
+    let report = train_with_checkpoints(&mut model, &data, &cfg, ckpt_spec.as_ref())?;
+    report_outcome(&report);
+    write_model(&model, out)?;
     println!("wrote {out}");
     Ok(())
 }
@@ -149,8 +266,12 @@ fn load_model(path: &str) -> Result<CptGpt, String> {
     serde_json::from_reader(std::io::BufReader::new(file)).map_err(|e| e.to_string())
 }
 
-fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
-    let model = load_model(require(opts, "model")?)?;
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let model_path = require(opts, "model")?;
+    let model = load_model(model_path).map_err(|e| CliError {
+        code: EXIT_CHECKPOINT,
+        message: format!("cannot load model {model_path}: {e}"),
+    })?;
     let out = require(opts, "o")?;
     let streams: usize = get_parsed(opts, "streams", 1000)?;
     let seed: u64 = get_parsed(opts, "seed", 0)?;
@@ -158,17 +279,21 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
         .get("device")
         .map(|d| d.parse())
         .transpose()
-        .map_err(|e| format!("{e}"))?
+        .map_err(|e| CliError::usage(format!("{e}")))?
         .unwrap_or(DeviceType::Phone);
-    let synth = model.generate(&GenerateConfig::new(streams, seed).device(device));
-    trace_io::write_dataset(&synth, out).map_err(|e| e.to_string())?;
+    let (synth, counters) =
+        model.generate_with_report(&GenerateConfig::new(streams, seed).device(device))?;
+    trace_io::write_dataset(&synth, out)?;
     println!("wrote {} ({})", out, synth.summary());
+    if !counters.is_clean() {
+        println!("generation guardrails intervened: {counters}");
+    }
     Ok(())
 }
 
-fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
-    let real = trace_io::read_dataset(require(opts, "real")?).map_err(|e| e.to_string())?;
-    let synth = trace_io::read_dataset(require(opts, "synth")?).map_err(|e| e.to_string())?;
+fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let real = trace_io::read_dataset(require(opts, "real")?)?;
+    let synth = trace_io::read_dataset(require(opts, "synth")?)?;
     let machine = StateMachine::for_generation(synth.generation);
     let r = FidelityReport::compute(&machine, &real, &synth);
     println!("fidelity of synth vs real:");
@@ -181,9 +306,8 @@ fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mcn(opts: &HashMap<String, String>) -> Result<(), String> {
-    let trace: Dataset =
-        trace_io::read_dataset(require(opts, "input")?).map_err(|e| e.to_string())?;
+fn cmd_mcn(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let trace: Dataset = trace_io::read_dataset(require(opts, "input")?)?;
     let workers: usize = get_parsed(opts, "workers", 4)?;
     let cfg = if opts.contains_key("autoscale") {
         McnConfig::autoscaling(workers, 0.6)
@@ -195,8 +319,8 @@ fn cmd_mcn(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
-    let trace = trace_io::read_dataset(require(opts, "input")?).map_err(|e| e.to_string())?;
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let trace = trace_io::read_dataset(require(opts, "input")?)?;
     println!("{}", trace.summary());
     let machine = StateMachine::for_generation(trace.generation);
     let v = cpt::metrics::violation_stats(&machine, &trace);
@@ -237,11 +361,11 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_dot(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_dot(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let machine = match opts.get("generation").map(String::as_str) {
         None | Some("4g") | Some("lte") => StateMachine::lte(),
         Some("5g") | Some("nr") => StateMachine::nr(),
-        Some(other) => return Err(format!("unknown generation {other:?}")),
+        Some(other) => return Err(CliError::usage(format!("unknown generation {other:?}"))),
     };
     print!("{}", cpt::statemachine::to_dot(&machine));
     Ok(())
@@ -276,8 +400,8 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {e}", e = e.message);
+            ExitCode::from(e.code)
         }
     }
 }

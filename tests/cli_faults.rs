@@ -1,0 +1,185 @@
+//! End-to-end CLI fault tests: every failure mode must exit with its
+//! documented code and a useful message on stderr — never a panic, never
+//! a zero exit on bad input.
+//!
+//! Exit codes under test (see `cptgen --help`): 2 usage, 3 data/IO,
+//! 4 bad config/model, 6 checkpoint error.
+
+use cpt::gpt::faultinject::{corrupt_file_bytes, malform_jsonl_line};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_cptgen");
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("cpt-cli-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn cptgen")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("cptgen must exit, not be killed")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Writes a tiny simulated trace for the data-path tests.
+fn write_trace(scratch: &Scratch, name: &str) -> String {
+    let path = scratch.path(name);
+    let out = run(&[
+        "simulate", "--ues", "20", "--hours", "1", "--seed", "5", "-o", &path,
+    ]);
+    assert_eq!(exit_code(&out), 0, "simulate failed: {}", stderr_of(&out));
+    path
+}
+
+#[test]
+fn missing_required_option_is_usage_error() {
+    let out = run(&["train", "--epochs", "1"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr_of(&out).contains("--input"));
+}
+
+#[test]
+fn unknown_command_is_usage_error() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn unreadable_trace_is_a_data_error() {
+    let scratch = Scratch::new("noinput");
+    let out = run(&["stats", "--input", &scratch.path("does-not-exist.jsonl")]);
+    assert_eq!(exit_code(&out), 3);
+}
+
+#[test]
+fn malformed_trace_line_reports_its_line_number() {
+    let scratch = Scratch::new("badline");
+    let trace = write_trace(&scratch, "trace.jsonl");
+
+    // Mangle the first stream record (line 2; line 1 is the header).
+    let text = std::fs::read_to_string(&trace).expect("read trace");
+    std::fs::write(&trace, malform_jsonl_line(&text, 1)).expect("write corrupted trace");
+
+    let out = run(&["stats", "--input", &trace]);
+    assert_eq!(exit_code(&out), 3, "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("line 2"), "stderr should name line 2: {err}");
+}
+
+#[test]
+fn invalid_train_config_is_a_config_error() {
+    let scratch = Scratch::new("badcfg");
+    let trace = write_trace(&scratch, "trace.jsonl");
+    let out = run(&[
+        "train", "--input", &trace, "--epochs", "0", "-o", &scratch.path("model.json"),
+    ]);
+    assert_eq!(exit_code(&out), 4, "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("epochs"));
+}
+
+#[test]
+fn corrupt_model_file_is_a_typed_failure() {
+    let scratch = Scratch::new("badmodel");
+    let trace = write_trace(&scratch, "trace.jsonl");
+    let model = scratch.path("model.json");
+    let out = run(&[
+        "train", "--input", &trace, "--epochs", "1", "--d-model", "16", "--max-len", "16",
+        "-o", &model,
+    ]);
+    assert_eq!(exit_code(&out), 0, "train failed: {}", stderr_of(&out));
+
+    let len = std::fs::metadata(&model).expect("stat model").len() as usize;
+    corrupt_file_bytes(Path::new(&model), 7, (len / 50).max(32)).expect("corrupt model");
+
+    let out = run(&[
+        "generate", "--model", &model, "--streams", "5", "-o", &scratch.path("synth.jsonl"),
+    ]);
+    assert_eq!(exit_code(&out), 6, "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("model.json"));
+}
+
+#[test]
+fn resume_without_checkpoint_flag_is_usage_error() {
+    let scratch = Scratch::new("resumeusage");
+    let trace = write_trace(&scratch, "trace.jsonl");
+    let out = run(&[
+        "train", "--input", &trace, "--resume", "-o", &scratch.path("model.json"),
+    ]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr_of(&out).contains("--checkpoint"));
+}
+
+#[test]
+fn train_checkpoint_resume_roundtrip_succeeds() {
+    let scratch = Scratch::new("resume");
+    let trace = write_trace(&scratch, "trace.jsonl");
+    let model = scratch.path("model.json");
+    let ckpt = scratch.path("train.ckpt.json");
+    let common = [
+        "train", "--input", &trace, "--epochs", "2", "--d-model", "16", "--max-len", "16",
+        "--checkpoint", &ckpt, "-o", &model,
+    ];
+    let out = run(&common);
+    assert_eq!(exit_code(&out), 0, "train failed: {}", stderr_of(&out));
+
+    // Resuming a finished run is a no-op that still rewrites the model.
+    let mut resume_args = common.to_vec();
+    resume_args.push("--resume");
+    let out = run(&resume_args);
+    assert_eq!(exit_code(&out), 0, "resume failed: {}", stderr_of(&out));
+
+    // The resumed model must be generation-ready.
+    let out = run(&[
+        "generate", "--model", &model, "--streams", "5", "--seed", "3",
+        "-o", &scratch.path("synth.jsonl"),
+    ]);
+    assert_eq!(exit_code(&out), 0, "generate failed: {}", stderr_of(&out));
+}
+
+#[test]
+fn resume_from_corrupt_checkpoint_is_a_checkpoint_error() {
+    let scratch = Scratch::new("badckpt");
+    let trace = write_trace(&scratch, "trace.jsonl");
+    let model = scratch.path("model.json");
+    let ckpt = scratch.path("train.ckpt.json");
+    let out = run(&[
+        "train", "--input", &trace, "--epochs", "1", "--d-model", "16", "--max-len", "16",
+        "--checkpoint", &ckpt, "-o", &model,
+    ]);
+    assert_eq!(exit_code(&out), 0, "train failed: {}", stderr_of(&out));
+
+    // Truncate the checkpoint to guarantee a parse failure.
+    let bytes = std::fs::read(&ckpt).expect("read checkpoint");
+    std::fs::write(&ckpt, &bytes[..bytes.len() / 2]).expect("truncate checkpoint");
+
+    let out = run(&[
+        "train", "--input", &trace, "--epochs", "1", "--d-model", "16", "--max-len", "16",
+        "--checkpoint", &ckpt, "--resume", "-o", &model,
+    ]);
+    assert_eq!(exit_code(&out), 6, "stderr: {}", stderr_of(&out));
+}

@@ -41,11 +41,14 @@ fn full_cptgpt_pipeline_beats_untrained_fidelity() {
         &mut model,
         &train_data,
         &TrainConfig::quick().with_epochs(12).with_lr(6e-3),
-    );
+    )
+    .expect("training failed");
     // Loss must improve materially.
     assert!(report.final_loss() < report.epochs[0].mean_loss * 0.8);
 
-    let synth = model.generate(&GenerateConfig::new(150, 1));
+    let synth = model
+        .generate(&GenerateConfig::new(150, 1))
+        .expect("generation failed");
     assert_eq!(synth.num_streams(), 150);
     let fidelity = FidelityReport::compute(&machine, &test_data, &synth);
 
@@ -109,8 +112,11 @@ fn cptgpt_has_far_fewer_violations_than_netshare() {
         &mut gpt,
         &train_data,
         &TrainConfig::quick().with_epochs(12).with_lr(6e-3),
-    );
-    let gpt_synth = gpt.generate(&GenerateConfig::new(150, 2));
+    )
+    .expect("training failed");
+    let gpt_synth = gpt
+        .generate(&GenerateConfig::new(150, 2))
+        .expect("generation failed");
 
     let mut ns = NetShare::new(NetShareConfig {
         max_len: MAX_LEN,
@@ -141,8 +147,11 @@ fn generated_streams_roundtrip_through_io() {
         &mut model,
         &train_data,
         &TrainConfig::quick().with_epochs(2),
-    );
-    let synth = model.generate(&GenerateConfig::new(20, 3));
+    )
+    .expect("training failed");
+    let synth = model
+        .generate(&GenerateConfig::new(20, 3))
+        .expect("generation failed");
 
     // Dataset IO roundtrip across crates.
     let dir = std::env::temp_dir().join(format!("cpt-e2e-{}", std::process::id()));
@@ -159,8 +168,12 @@ fn generated_streams_roundtrip_through_io() {
     let mut model2 = model.clone();
     cpt::nn::serialize::load_weights_into(&mut model2.store, &restored).unwrap();
     assert_eq!(
-        model.generate(&GenerateConfig::new(5, 9)),
-        model2.generate(&GenerateConfig::new(5, 9))
+        model
+            .generate(&GenerateConfig::new(5, 9))
+            .expect("generation failed"),
+        model2
+            .generate(&GenerateConfig::new(5, 9))
+            .expect("generation failed")
     );
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -182,14 +195,15 @@ fn transfer_learning_pipeline_adapts_across_hours() {
 
     let cfg = TrainConfig::quick().with_epochs(10).with_lr(6e-3);
     let mut base = CptGpt::new(tiny_gpt_config(), Tokenizer::fit(&hour_a));
-    train(&mut base, &hour_a, &cfg);
+    train(&mut base, &hour_a, &cfg).expect("training failed");
 
     let (adapted, ft_report) = cpt::gpt::fine_tune(
         &base,
         &hour_b,
         &cfg,
         &cpt::gpt::transfer::FineTuneConfig::default(),
-    );
+    )
+    .expect("fine-tune failed");
     // Fine-tuning must be materially cheaper than base training.
     assert!(ft_report.epochs.len() <= cfg.epochs / 2);
     // And must improve hour-b likelihood over the unadapted model.
