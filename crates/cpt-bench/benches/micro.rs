@@ -119,6 +119,30 @@ fn bench_cptgpt_generation(c: &mut Criterion) {
             )
         })
     });
+    // Parallel-scaling pair: identical 64-stream workload on pinned 1- and
+    // 8-thread pools. Output is bit-identical across the pair (per-chunk
+    // RNGs); the ratio is the acceptance metric for parallel generate().
+    let gen_cfg = GenerateConfig {
+        batch_size: 8,
+        ..GenerateConfig::new(64, 3)
+    };
+    for threads in [1usize, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("cannot build rayon pool");
+        c.bench_function(&format!("cptgpt_generate_64_streams_{threads}thread"), |bench| {
+            bench.iter(|| {
+                pool.install(|| {
+                    black_box(
+                        model
+                            .generate(&gen_cfg)
+                            .expect("CPT-GPT generation failed"),
+                    )
+                })
+            })
+        });
+    }
 }
 
 criterion_group! {

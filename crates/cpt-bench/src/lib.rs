@@ -15,6 +15,7 @@
 pub mod experiments;
 pub mod output;
 pub mod pipeline;
+pub mod throughput;
 
 use cpt_gpt::{CptGptConfig, TrainConfig};
 use cpt_netshare::NetShareConfig;

@@ -1,0 +1,256 @@
+//! End-to-end throughput measurement behind `cptgen bench`.
+//!
+//! Criterion tracks per-kernel latency (`benches/micro.rs`); this module
+//! answers the coarser operational question — how many training tokens and
+//! generated streams per second does the whole pipeline sustain, and at
+//! what peak memory — and serializes the answer as one JSON report
+//! (`BENCH_throughput.json`) that CI diffs against a committed baseline.
+//! A >2× drop on any throughput metric fails the build (see
+//! [`check_regression`]); the generous factor keeps runner-to-runner noise
+//! from flaking while still catching real regressions like an
+//! accidentally-disabled kernel path.
+
+use cpt_gpt::{CptGpt, CptGptConfig, GenerateConfig, Tokenizer, TrainConfig};
+use cpt_nn::{Session, Tensor};
+use cpt_trace::{Dataset, DeviceType, Event, EventType, Stream, UeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One throughput measurement run, serialized to `BENCH_throughput.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Dense 128×128×128 matmul rate through the packed kernel.
+    pub matmul_gflops: f64,
+    /// Token positions per second through a full training step
+    /// (forward + backward + gradient collection).
+    pub train_tokens_per_sec: f64,
+    /// Streams per second through batched KV-cached generation.
+    pub generate_streams_per_sec: f64,
+    /// Generated event tokens per second.
+    pub generate_tokens_per_sec: f64,
+    /// Peak resident set size (VmHWM) at the end of the run, in bytes.
+    /// 0 when the platform does not expose it.
+    pub peak_rss_bytes: u64,
+    /// Rayon threads available during the run.
+    pub threads: usize,
+}
+
+/// Peak resident set size of this process in bytes, from `VmHWM` in
+/// `/proc/self/status`. Returns 0 where procfs is unavailable (non-Linux).
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Strict SRV_REQ/S1_CONN_REL alternation — cheap to build, non-trivial to
+/// model, and identical across runs so reports are comparable.
+fn bench_dataset(n_streams: usize, len: usize) -> Dataset {
+    let streams = (0..n_streams)
+        .map(|i| {
+            let mut t = 0.0;
+            let events = (0..len)
+                .map(|k| {
+                    let (et, gap) = if k % 2 == 0 {
+                        (EventType::ServiceRequest, 90.0 + (i % 7) as f64)
+                    } else {
+                        (EventType::ConnectionRelease, 8.0 + (i % 3) as f64)
+                    };
+                    t += gap;
+                    Event::new(et, t)
+                })
+                .collect();
+            Stream::new(UeId(i as u64), DeviceType::Phone, events)
+        })
+        .collect();
+    Dataset::new(streams)
+}
+
+fn time_loop(mut f: impl FnMut(), iters: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Runs the full measurement suite. `quick` shrinks iteration counts to
+/// CI-smoke size (a few seconds); `!quick` runs longer for stabler numbers.
+pub fn measure(quick: bool) -> ThroughputReport {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Kernel rate: 128³ matmul, the shape the criterion bench tracks.
+    let a = Tensor::randn(&[128, 128], 1.0, &mut rng);
+    let b = Tensor::randn(&[128, 128], 1.0, &mut rng);
+    let iters = if quick { 50 } else { 400 };
+    let secs = time_loop(
+        || {
+            std::hint::black_box(a.matmul(&b));
+        },
+        iters,
+    );
+    let matmul_gflops = (2.0 * 128f64.powi(3) * iters as f64) / secs / 1e9;
+
+    // Training throughput: tokens (batch positions) per second through a
+    // full train step on a paper-shaped small model.
+    let data = bench_dataset(64, 12);
+    let tok = Tokenizer::fit(&data);
+    let cfg = CptGptConfig {
+        d_model: 32,
+        n_blocks: 2,
+        n_heads: 4,
+        d_mlp: 96,
+        d_head: 32,
+        max_len: 16,
+        ..CptGptConfig::small()
+    };
+    let mut model = CptGpt::new(cfg, tok.clone());
+    let streams: Vec<&Stream> = data.streams.iter().take(32).collect();
+    let batch = cpt_gpt::batch::build_batch(&tok, &streams, 16);
+    let tokens_per_step = (batch.batch * batch.seq) as f64;
+    let arena = cpt_nn::ScratchArena::new();
+    let mut step = || {
+        let mut sess = Session::with_scratch(&model.store, arena.clone());
+        let loss = model.loss(&mut sess, &batch);
+        sess.backward(loss);
+        std::hint::black_box(sess.grads());
+    };
+    // Warm up the arena/pack buffers before timing.
+    step();
+    let iters = if quick { 4 } else { 30 };
+    let secs = time_loop(&mut step, iters);
+    let train_tokens_per_sec = tokens_per_step * iters as f64 / secs;
+
+    // Generation throughput: train briefly so the initial-event
+    // distribution exists, then time batched parallel generation.
+    cpt_gpt::train(
+        &mut model,
+        &data,
+        &TrainConfig::quick().with_epochs(if quick { 2 } else { 8 }),
+    )
+    .expect("bench training failed");
+    let n_streams = if quick { 64 } else { 256 };
+    let gen_cfg = GenerateConfig {
+        batch_size: 16,
+        ..GenerateConfig::new(n_streams, 11)
+    };
+    let warm = model.generate(&gen_cfg).expect("bench generation failed");
+    let start = Instant::now();
+    let out = model.generate(&gen_cfg).expect("bench generation failed");
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(warm, out, "generation must be deterministic");
+    let total_events: usize = out.streams.iter().map(|s| s.len()).sum();
+    let generate_streams_per_sec = n_streams as f64 / secs;
+    let generate_tokens_per_sec = total_events as f64 / secs;
+
+    ThroughputReport {
+        matmul_gflops,
+        train_tokens_per_sec,
+        generate_streams_per_sec,
+        generate_tokens_per_sec,
+        peak_rss_bytes: peak_rss_bytes(),
+        threads: rayon::current_num_threads(),
+    }
+}
+
+/// Compares `current` against `baseline`: any throughput metric below
+/// `baseline / max_regression` is a failure. Peak RSS is informational
+/// only (it varies with allocator and platform, not with the code paths
+/// this harness guards). Returns human-readable failure lines, empty when
+/// the run passes.
+pub fn check_regression(
+    current: &ThroughputReport,
+    baseline: &ThroughputReport,
+    max_regression: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut gate = |name: &str, cur: f64, base: f64| {
+        if base > 0.0 && cur < base / max_regression {
+            failures.push(format!(
+                "{name}: {cur:.2} is more than {max_regression}x below baseline {base:.2}"
+            ));
+        }
+    };
+    gate("matmul_gflops", current.matmul_gflops, baseline.matmul_gflops);
+    gate(
+        "train_tokens_per_sec",
+        current.train_tokens_per_sec,
+        baseline.train_tokens_per_sec,
+    );
+    gate(
+        "generate_streams_per_sec",
+        current.generate_streams_per_sec,
+        baseline.generate_streams_per_sec,
+    );
+    gate(
+        "generate_tokens_per_sec",
+        current.generate_tokens_per_sec,
+        baseline.generate_tokens_per_sec,
+    );
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(x: f64) -> ThroughputReport {
+        ThroughputReport {
+            matmul_gflops: x,
+            train_tokens_per_sec: 10.0 * x,
+            generate_streams_per_sec: x / 2.0,
+            generate_tokens_per_sec: 5.0 * x,
+            peak_rss_bytes: 1 << 20,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn regression_gate_passes_within_factor() {
+        let base = report(10.0);
+        let ok = report(6.0); // within 2x of 10
+        assert!(check_regression(&ok, &base, 2.0).is_empty());
+        // Improvements always pass.
+        assert!(check_regression(&report(40.0), &base, 2.0).is_empty());
+    }
+
+    #[test]
+    fn regression_gate_fails_beyond_factor() {
+        let base = report(10.0);
+        let bad = report(4.0); // below 10/2
+        let failures = check_regression(&bad, &base, 2.0);
+        assert_eq!(failures.len(), 4, "{failures:?}");
+        assert!(failures[0].contains("matmul_gflops"));
+    }
+
+    #[test]
+    fn peak_rss_is_measured_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should be readable on Linux");
+        }
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let r = report(3.5);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ThroughputReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.matmul_gflops, r.matmul_gflops);
+        assert_eq!(back.peak_rss_bytes, r.peak_rss_bytes);
+    }
+}

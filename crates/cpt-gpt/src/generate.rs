@@ -9,7 +9,10 @@
 //!
 //! Categorical fields are sampled from the predicted softmax; the
 //! interarrival is sampled from the predicted Gaussian (Design 2). Streams
-//! are generated in batches: one forward over the shared prefix per step.
+//! are generated in chunks of `batch_size` — one KV-cached decode step per
+//! position per chunk — and the chunks run in parallel under rayon. Each
+//! chunk's RNG is derived from `(seed, chunk_index)` alone, so output is
+//! bit-identical at any thread count (see [`chunk_rng`]).
 //!
 //! Guardrails: a poisoned or half-trained model can emit NaN logits or a
 //! non-finite interarrival. Inference never panics on these — non-finite
@@ -25,6 +28,7 @@ use cpt_nn::Tensor;
 use cpt_trace::{Dataset, DeviceType, EventType, Stream, UeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Inference configuration.
@@ -162,6 +166,15 @@ impl GenCounters {
         self.resampled_iat + self.clamped_iat + self.non_finite_logits + self.truncated_streams
     }
 
+    /// Sums another tally into this one (used to merge per-chunk counters
+    /// after parallel generation).
+    pub fn merge(&mut self, other: &GenCounters) {
+        self.resampled_iat += other.resampled_iat;
+        self.clamped_iat += other.clamped_iat;
+        self.non_finite_logits += other.non_finite_logits;
+        self.truncated_streams += other.truncated_streams;
+    }
+
     /// True if generation required no intervention at all.
     pub fn is_clean(&self) -> bool {
         self.total_interventions() == 0
@@ -186,6 +199,12 @@ impl CptGpt {
 
     /// Like [`CptGpt::generate`], additionally returning the guardrail
     /// counters so callers can detect degraded output.
+    ///
+    /// Streams are generated in chunks of `cfg.batch_size`, in parallel
+    /// across however many rayon threads are available. Each chunk owns an
+    /// RNG derived from `(cfg.seed, chunk_index)` alone and a UE-id range
+    /// `chunk_index · batch_size ..`, so the output is a pure function of
+    /// the config: bit-identical at any thread count, including 1.
     pub fn generate_with_report(
         &self,
         cfg: &GenerateConfig,
@@ -198,15 +217,27 @@ impl CptGpt {
             .max_stream_len
             .map_or(self.config.max_len, |m| m.min(self.config.max_len))
             .max(1);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Hoisted once per run: the initial-event probabilities never
+        // change, so the per-stream bootstrap must not re-collect them.
+        let init_probs: Vec<f64> = self.initial_event_dist.iter().map(|(_, p)| *p).collect();
+        let n_chunks = cfg.num_streams.div_ceil(cfg.batch_size);
+        let per_chunk: Vec<(Vec<Stream>, GenCounters)> = (0..n_chunks)
+            .into_par_iter()
+            .map(|c| {
+                let b = cfg.batch_size.min(cfg.num_streams - c * cfg.batch_size);
+                let mut rng = chunk_rng(cfg.seed, c as u64);
+                let mut counters = GenCounters::default();
+                let id_base = (c * cfg.batch_size) as u64;
+                let streams =
+                    self.generate_batch(b, cfg, max_len, id_base, &init_probs, &mut rng, &mut counters);
+                (streams, counters)
+            })
+            .collect();
         let mut counters = GenCounters::default();
         let mut streams = Vec::with_capacity(cfg.num_streams);
-        let mut next_id = 0u64;
-        let mut remaining = cfg.num_streams;
-        while remaining > 0 {
-            let b = remaining.min(cfg.batch_size);
-            streams.extend(self.generate_batch(b, cfg, max_len, &mut next_id, &mut rng, &mut counters));
-            remaining -= b;
+        for (chunk, tally) in per_chunk {
+            counters.merge(&tally);
+            streams.extend(chunk);
         }
         Ok((
             Dataset::with_generation(self.config.generation, streams),
@@ -214,49 +245,43 @@ impl CptGpt {
         ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn generate_batch(
         &self,
         b: usize,
         cfg: &GenerateConfig,
         max_len: usize,
-        next_id: &mut u64,
+        id_base: u64,
+        init_probs: &[f64],
         rng: &mut StdRng,
         counters: &mut GenCounters,
     ) -> Vec<Stream> {
         let d = self.tokenizer.token_dim();
         let e = self.tokenizer.num_events();
 
-        // Per-stream last token and decoded fields.
-        let mut last_token: Vec<Vec<f32>> = Vec::with_capacity(b);
+        // Per-stream decoded fields; `step` holds the newest token per
+        // stream and is re-encoded in place each iteration.
         let mut events: Vec<Vec<EventType>> = vec![Vec::new(); b];
         let mut iats: Vec<Vec<f64>> = vec![Vec::new(); b];
         let mut alive: Vec<bool> = vec![true; b];
+        let mut step = Tensor::zeros(&[b, 1, d]);
 
         for s in 0..b {
-            let ev = sample_categorical(
-                &self
-                    .initial_event_dist
-                    .iter()
-                    .map(|(_, p)| *p)
-                    .collect::<Vec<_>>(),
-                rng,
-            );
+            let ev = sample_categorical(init_probs, rng);
             let ev = self.initial_event_dist[ev].0;
             events[s].push(ev);
             iats[s].push(0.0);
-            last_token.push(self.tokenizer.encode_sample(ev, 0.0, false));
+            self.tokenizer
+                .encode_sample_into(ev, 0.0, false, &mut step.data[s * d..(s + 1) * d]);
         }
 
         // Incremental KV-cached decoding: each step feeds only the newest
-        // token per stream (O(T) per step instead of O(T²)).
+        // token per stream (O(T) per step instead of O(T²)), and all
+        // buffers live in `state` (zero allocation per token).
         let mut state = self.begin_decode(b);
         for _t in 1..max_len {
             if alive.iter().all(|a| !a) {
                 break;
-            }
-            let mut step = Tensor::zeros(&[b, 1, d]);
-            for (s, tok) in last_token.iter().enumerate() {
-                step.data[s * d..(s + 1) * d].copy_from_slice(tok);
             }
             let out = self.decode_step(&mut state, &step);
 
@@ -271,7 +296,7 @@ impl CptGpt {
                 let ev_idx =
                     sample_logits_truncated(ev_logits, cfg.temperature, cfg.sampling, rng);
                 let event = EventType::from_index(ev_idx).expect("valid event index");
-                let scaled_iat = self.sample_scaled_iat(&out, s, cfg, rng, counters);
+                let scaled_iat = self.sample_scaled_iat(out, s, cfg, rng, counters);
                 let iat = self.tokenizer.unscale_iat(scaled_iat);
                 let stop_logits = &out.stop_logits.data[s * 2..(s + 1) * 2];
                 if stop_logits.iter().any(|l| !l.is_finite()) {
@@ -282,7 +307,8 @@ impl CptGpt {
 
                 events[s].push(event);
                 iats[s].push(iat);
-                last_token[s] = self.tokenizer.encode_sample(event, iat, stop);
+                self.tokenizer
+                    .encode_sample_into(event, iat, stop, &mut step.data[s * d..(s + 1) * d]);
                 if stop {
                     alive[s] = false;
                 }
@@ -292,9 +318,12 @@ impl CptGpt {
 
         (0..b)
             .map(|s| {
-                let id = UeId(*next_id);
-                *next_id += 1;
-                Stream::from_interarrivals(id, cfg.device_type, &events[s], &iats[s])
+                Stream::from_interarrivals(
+                    UeId(id_base + s as u64),
+                    cfg.device_type,
+                    &events[s],
+                    &iats[s],
+                )
             })
             .collect()
     }
@@ -339,6 +368,18 @@ impl CptGpt {
             }
         }
     }
+}
+
+/// Derives the RNG for one generation chunk from `(seed, chunk)` alone
+/// (splitmix64 finalizer, same scheme as the per-epoch shuffle RNG in
+/// training). Because no RNG state flows between chunks, the chunks are
+/// order- and schedule-independent: a rayon pool of any size produces the
+/// same streams as a serial loop, bit for bit.
+fn chunk_rng(seed: u64, chunk: u64) -> StdRng {
+    let mut z = seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
 }
 
 fn sample_normal(rng: &mut impl Rng) -> f32 {

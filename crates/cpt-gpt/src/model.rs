@@ -49,9 +49,22 @@ impl MlpHead {
         self.fc2.forward(sess, h)
     }
 
-    fn apply(&self, store: &ParamStore, x: &Tensor) -> Tensor {
-        let h = self.fc1.apply(store, x).map(cpt_nn::gelu_scalar);
-        self.fc2.apply(store, &h)
+    /// Allocation-free application on raw rows: `hbuf` is the hidden
+    /// scratch (`rows × d_hidden`), `out` the head output (both
+    /// overwritten).
+    fn apply_rows_into(
+        &self,
+        store: &ParamStore,
+        x: &[f32],
+        rows: usize,
+        hbuf: &mut [f32],
+        out: &mut [f32],
+    ) {
+        self.fc1.apply_rows_into(store, x, rows, hbuf);
+        for v in hbuf.iter_mut() {
+            *v = cpt_nn::gelu_scalar(*v);
+        }
+        self.fc2.apply_rows_into(store, hbuf, rows, out);
     }
 }
 
@@ -233,10 +246,23 @@ impl CptGpt {
     }
 }
 
-/// Incremental decoding state: one KV cache per transformer block plus
-/// the current position.
+/// Incremental decoding state: one KV cache per transformer block, the
+/// current position, and every buffer a decode step needs. All buffers are
+/// sized once in [`CptGpt::begin_decode`] and overwritten in place each
+/// step, so steady-state decoding performs zero heap allocation per token.
 pub struct DecodeState {
     caches: Vec<cpt_nn::AttnKvCache>,
+    scratch: cpt_nn::DecodeScratch,
+    /// Residual stream for the current position, `[B·D]`.
+    h: Vec<f32>,
+    /// Post-`ln_f` features, `[B·D]`.
+    feat: Vec<f32>,
+    /// Shared MLP-head hidden scratch, `[B·d_head]`.
+    head_h: Vec<f32>,
+    /// Raw interarrival-head output (`[B]` or `[B·2]`).
+    iat_raw: Vec<f32>,
+    /// Persistent output buffers, returned by reference from each step.
+    out: InferStep,
     pos: usize,
     batch: usize,
 }
@@ -262,15 +288,30 @@ pub struct InferStep {
 }
 
 impl CptGpt {
-    /// Starts incremental decoding for a batch of `batch` streams.
+    /// Starts incremental decoding for a batch of `batch` streams,
+    /// preallocating every per-step buffer.
     pub fn begin_decode(&self, batch: usize) -> DecodeState {
-        let hd = self.config.d_model / self.config.n_heads;
+        let d = self.config.d_model;
+        let hd = d / self.config.n_heads;
+        let e = self.tokenizer.num_events();
+        let iat_out = if self.config.point_iat_head { 1 } else { 2 };
         DecodeState {
             caches: (0..self.config.n_blocks)
                 .map(|_| {
                     cpt_nn::AttnKvCache::new(batch, self.config.n_heads, self.config.max_len, hd)
                 })
                 .collect(),
+            scratch: cpt_nn::DecodeScratch::new(batch, d, self.config.d_mlp, self.config.max_len),
+            h: vec![0.0; batch * d],
+            feat: vec![0.0; batch * d],
+            head_h: vec![0.0; batch * self.config.d_head],
+            iat_raw: vec![0.0; batch * iat_out],
+            out: InferStep {
+                event_logits: Tensor::zeros(&[batch, e]),
+                iat_mean: vec![0.0; batch],
+                iat_log_std: vec![0.0; batch],
+                stop_logits: Tensor::zeros(&[batch, 2]),
+            },
             pos: 0,
             batch,
         }
@@ -279,8 +320,10 @@ impl CptGpt {
     /// Processes one token per stream (`[B, 1, token_dim]`) through the
     /// KV-cached fast path and returns the heads' outputs for that
     /// position. Equivalent to [`CptGpt::forward`] on the full prefix
-    /// (verified by tests) but O(T) instead of O(T²) per step.
-    pub fn decode_step(&self, state: &mut DecodeState, tokens: &Tensor) -> InferStep {
+    /// (verified by tests) but O(T) instead of O(T²) per step. The
+    /// returned reference points into `state`'s persistent buffers — no
+    /// allocation happens per token.
+    pub fn decode_step<'s>(&self, state: &'s mut DecodeState, tokens: &Tensor) -> &'s InferStep {
         assert_eq!(
             tokens.shape,
             vec![state.batch, 1, self.tokenizer.token_dim()],
@@ -290,38 +333,53 @@ impl CptGpt {
         let b = state.batch;
         let d = self.config.d_model;
 
-        let mut h = self.input_proj.apply(&self.store, tokens); // [B,1,D]
+        self.input_proj
+            .apply_rows_into(&self.store, &tokens.data, b, &mut state.h);
         let pe = self.store.value(self.pos_emb);
         for bi in 0..b {
-            let row = &mut h.data[bi * d..(bi + 1) * d];
+            let row = &mut state.h[bi * d..(bi + 1) * d];
             for (hv, pv) in row.iter_mut().zip(&pe.data[state.pos * d..(state.pos + 1) * d]) {
                 *hv += pv;
             }
         }
         for (block, cache) in self.blocks.iter().zip(&mut state.caches) {
-            h = block.apply_decode_step(&self.store, &h, cache);
+            block.decode_step_into(&self.store, &mut state.h, cache, &mut state.scratch);
         }
         state.pos += 1;
-        let h = self.ln_f.apply(&self.store, &h);
+        self.ln_f
+            .apply_rows_into(&self.store, &state.h, b, &mut state.feat);
 
-        let e = self.tokenizer.num_events();
-        let event_logits = self.head_event.apply(&self.store, &h).reshape(&[b, e]);
-        let stop_logits = self.head_stop.apply(&self.store, &h).reshape(&[b, 2]);
-        let iat = self.head_iat.apply(&self.store, &h);
-        let (iat_mean, iat_log_std) = if self.config.point_iat_head {
-            (iat.data.clone(), vec![0.0; b])
+        self.head_event.apply_rows_into(
+            &self.store,
+            &state.feat,
+            b,
+            &mut state.head_h,
+            &mut state.out.event_logits.data,
+        );
+        self.head_stop.apply_rows_into(
+            &self.store,
+            &state.feat,
+            b,
+            &mut state.head_h,
+            &mut state.out.stop_logits.data,
+        );
+        self.head_iat.apply_rows_into(
+            &self.store,
+            &state.feat,
+            b,
+            &mut state.head_h,
+            &mut state.iat_raw,
+        );
+        if self.config.point_iat_head {
+            state.out.iat_mean.copy_from_slice(&state.iat_raw);
+            state.out.iat_log_std.fill(0.0);
         } else {
-            let flat = iat.reshape(&[b, 2]);
-            let mean = (0..b).map(|i| flat.data[i * 2]).collect();
-            let log_std = (0..b).map(|i| flat.data[i * 2 + 1]).collect();
-            (mean, log_std)
-        };
-        InferStep {
-            event_logits,
-            iat_mean,
-            iat_log_std,
-            stop_logits,
+            for i in 0..b {
+                state.out.iat_mean[i] = state.iat_raw[i * 2];
+                state.out.iat_log_std[i] = state.iat_raw[i * 2 + 1];
+            }
         }
+        &state.out
     }
 }
 

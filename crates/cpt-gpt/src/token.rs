@@ -143,16 +143,25 @@ impl Tokenizer {
 
     /// Encodes one sample into a token.
     pub fn encode_sample(&self, event: EventType, iat: f64, stop: bool) -> Vec<f32> {
+        let mut tok = vec![0.0f32; self.token_dim()];
+        self.encode_sample_into(event, iat, stop, &mut tok);
+        tok
+    }
+
+    /// [`Tokenizer::encode_sample`] into a caller-provided `token_dim`
+    /// slice (overwritten entirely). The allocation-free form used by the
+    /// generation hot loop, which re-encodes one token per stream per step.
+    pub fn encode_sample_into(&self, event: EventType, iat: f64, stop: bool, out: &mut [f32]) {
         assert!(
             event.exists_in(self.generation),
             "{event} does not exist in {}",
             self.generation
         );
-        let mut tok = vec![0.0f32; self.token_dim()];
-        tok[event.index()] = 1.0;
-        tok[self.iat_slot()] = self.scale_iat(iat);
-        tok[self.stop_slot() + usize::from(stop)] = 1.0;
-        tok
+        assert_eq!(out.len(), self.token_dim(), "token width");
+        out.fill(0.0);
+        out[event.index()] = 1.0;
+        out[self.iat_slot()] = self.scale_iat(iat);
+        out[self.stop_slot() + usize::from(stop)] = 1.0;
     }
 
     /// Encodes a stream as a flat token matrix (`len × token_dim`). The

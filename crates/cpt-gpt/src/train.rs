@@ -184,6 +184,11 @@ fn run_epochs(
     };
 
     let start = Instant::now();
+    // Shared buffer pool: every per-batch graph drains its node storage
+    // back here on drop, so after the first batch the forward/backward
+    // passes stop allocating. Buffers are zeroed on reuse, keeping runs
+    // bit-identical to arena-free training.
+    let arena = cpt_nn::ScratchArena::new();
     // Tracks the `once` semantics of an injected NaN across rollbacks: a
     // transient fault fires on the first visit to its step only, so the
     // replay proceeds cleanly.
@@ -211,7 +216,7 @@ fn run_epochs(
                 adam.set_lr(schedule.lr(step) * lr_scale);
                 let this_step = step;
                 step += 1;
-                let mut sess = Session::new(&model.store);
+                let mut sess = Session::with_scratch(&model.store, arena.clone());
                 let loss = model.loss(&mut sess, batch);
                 let mut loss_val = sess.graph.value(loss).item() as f64;
                 if let Some(plan) = &cfg.fault {

@@ -1,0 +1,104 @@
+//! Property tests for parallel generation: the synthesized [`Dataset`] must
+//! be bit-identical regardless of how many rayon threads execute the
+//! per-chunk fan-out. Each chunk derives its RNG from `(seed, chunk_index)`
+//! alone (splitmix64), so the schedule — 1 thread, 2, 8, or work-stealing
+//! in any order — cannot leak into the output.
+
+use cpt_gpt::{CptGpt, CptGptConfig, GenerateConfig, Tokenizer, TrainConfig};
+use cpt_trace::{Dataset, DeviceType, Event, EventType, Stream, UeId};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn alternating_dataset(n: usize) -> Dataset {
+    let streams = (0..n)
+        .map(|i| {
+            let mut t = 0.0;
+            let events = (0..6 + (i % 3) * 2)
+                .map(|k| {
+                    let (et, gap) = if k % 2 == 0 {
+                        (EventType::ServiceRequest, 100.0)
+                    } else {
+                        (EventType::ConnectionRelease, 10.0)
+                    };
+                    t += gap;
+                    Event::new(et, t)
+                })
+                .collect();
+            Stream::new(UeId(i as u64), DeviceType::Phone, events)
+        })
+        .collect();
+    Dataset::new(streams)
+}
+
+/// One tiny trained model shared by every case — training per case would
+/// dominate the runtime.
+fn trained_model() -> &'static CptGpt {
+    static MODEL: OnceLock<CptGpt> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let data = alternating_dataset(12);
+        let cfg = CptGptConfig {
+            d_model: 16,
+            n_blocks: 1,
+            n_heads: 2,
+            d_mlp: 32,
+            d_head: 16,
+            max_len: 16,
+            ..CptGptConfig::small()
+        };
+        let mut model = CptGpt::new(cfg, Tokenizer::fit(&data));
+        cpt_gpt::train(&mut model, &data, &TrainConfig::quick().with_epochs(2))
+            .expect("fixture training failed");
+        model
+    })
+}
+
+/// Generates on a freshly built pool pinned to `threads` workers.
+fn generate_on(threads: usize, cfg: &GenerateConfig) -> Dataset {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("cannot build rayon pool")
+        .install(|| trained_model().generate(cfg).expect("generation failed"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The acceptance property for parallel generate(): any thread count,
+    /// any stream count (including partial final chunks and stream counts
+    /// below/above the batch size), same bits out.
+    #[test]
+    fn generation_is_bit_identical_across_thread_counts(
+        seed in 0u64..10_000,
+        num_streams in 1usize..64,
+    ) {
+        let cfg = GenerateConfig {
+            batch_size: 8,
+            ..GenerateConfig::new(num_streams, seed)
+        };
+        let serial = generate_on(1, &cfg);
+        prop_assert_eq!(serial.num_streams(), num_streams);
+        for threads in [2usize, 8] {
+            let parallel = generate_on(threads, &cfg);
+            prop_assert_eq!(
+                &serial,
+                &parallel,
+                "output differs between 1 and {} threads",
+                threads
+            );
+        }
+    }
+}
+
+/// The chunk fan-out assigns UE ids by absolute chunk offset, not arrival
+/// order — ids must come back 0..n in order even under work stealing.
+#[test]
+fn ue_ids_are_dense_and_ordered() {
+    let cfg = GenerateConfig {
+        batch_size: 4,
+        ..GenerateConfig::new(19, 42)
+    };
+    let out = generate_on(8, &cfg);
+    let ids: Vec<u64> = out.streams.iter().map(|s| s.ue_id.0).collect();
+    assert_eq!(ids, (0..19).collect::<Vec<u64>>());
+}

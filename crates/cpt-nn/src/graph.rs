@@ -10,7 +10,8 @@
 //! probabilities never need their own gradients and numerical stability is
 //! handled in one place.
 
-use crate::tensor::Tensor;
+use crate::scratch::ScratchArena;
+use crate::tensor::{matmul_into, Tensor};
 use std::rc::Rc;
 
 /// Handle to a node in a [`Graph`].
@@ -26,16 +27,101 @@ struct Node {
     grad: Option<Tensor>,
 }
 
+/// Allocation context threaded through ops and captured by backward
+/// closures: draws buffers from the graph's scratch arena when one is
+/// attached, falls back to plain heap allocation otherwise.
+#[derive(Clone, Default)]
+struct AllocCtx(Option<ScratchArena>);
+
+impl AllocCtx {
+    fn take(&self, len: usize) -> Vec<f32> {
+        match &self.0 {
+            Some(a) => a.take_zeroed(len),
+            None => vec![0.0; len],
+        }
+    }
+
+    fn give(&self, buf: Vec<f32>) {
+        if let Some(a) = &self.0 {
+            a.give(buf);
+        }
+    }
+
+    fn zeros(&self, shape: &[usize]) -> Tensor {
+        Tensor::new(self.take(shape.iter().product()), shape.to_vec())
+    }
+
+    fn clone_tensor(&self, t: &Tensor) -> Tensor {
+        let mut buf = self.take(t.len());
+        buf.copy_from_slice(&t.data);
+        Tensor::new(buf, t.shape.clone())
+    }
+
+    fn map(&self, t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut buf = self.take(t.len());
+        for (o, x) in buf.iter_mut().zip(&t.data) {
+            *o = f(*x);
+        }
+        Tensor::new(buf, t.shape.clone())
+    }
+
+    fn zip(&self, a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(a.shape, b.shape, "zip shape mismatch");
+        let mut buf = self.take(a.len());
+        for ((o, x), y) in buf.iter_mut().zip(&a.data).zip(&b.data) {
+            *o = f(*x, *y);
+        }
+        Tensor::new(buf, a.shape.clone())
+    }
+}
+
 /// An autodiff tape.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    scratch: AllocCtx,
+}
+
+impl Drop for Graph {
+    fn drop(&mut self) {
+        let Some(arena) = self.scratch.0.take() else { return };
+        // Backward closures hold `Rc` clones of parent values; drop them
+        // first so node values become uniquely owned and poolable.
+        for node in &mut self.nodes {
+            node.backward = None;
+        }
+        for node in self.nodes.drain(..) {
+            if let Ok(t) = Rc::try_unwrap(node.value) {
+                arena.give(t.data);
+            }
+            if let Some(g) = node.grad {
+                arena.give(g.data);
+            }
+        }
+    }
 }
 
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         Graph::default()
+    }
+
+    /// Creates an empty graph whose node values, backward intermediates
+    /// and gradients are drawn from (and returned to) `arena`.
+    pub fn with_scratch(arena: ScratchArena) -> Self {
+        Graph {
+            nodes: Vec::new(),
+            scratch: AllocCtx(Some(arena)),
+        }
+    }
+
+    fn ctx(&self) -> AllocCtx {
+        self.scratch.clone()
+    }
+
+    fn alloc(&self, len: usize) -> Vec<f32> {
+        self.scratch.take(len)
     }
 
     /// Number of nodes on the tape.
@@ -49,8 +135,12 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, parents: Vec<usize>, backward: Option<BackwardFn>) -> Var {
+        self.push_rc(Rc::new(value), parents, backward)
+    }
+
+    fn push_rc(&mut self, value: Rc<Tensor>, parents: Vec<usize>, backward: Option<BackwardFn>) -> Var {
         self.nodes.push(Node {
-            value: Rc::new(value),
+            value,
             parents,
             backward,
             grad: None,
@@ -87,14 +177,15 @@ impl Graph {
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let av = self.rc_value(a);
         let bv = self.rc_value(b);
-        let out = broadcast_add(&av, &bv);
+        let ctx = self.ctx();
+        let out = broadcast_add(&av, &bv, &ctx);
         let b_shape = bv.shape.clone();
         self.push(
             out,
             vec![a.0, b.0],
             Some(Box::new(move |g: &Tensor| {
-                let da = g.clone();
-                let db = reduce_to_shape(g, &b_shape);
+                let da = ctx.clone_tensor(g);
+                let db = reduce_to_shape(g, &b_shape, &ctx);
                 vec![da, db]
             })),
         )
@@ -104,12 +195,13 @@ impl Graph {
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let av = self.rc_value(a);
         let bv = self.rc_value(b);
-        let out = av.zip(&bv, |x, y| x - y);
+        let ctx = self.ctx();
+        let out = ctx.zip(&av, &bv, |x, y| x - y);
         self.push(
             out,
             vec![a.0, b.0],
             Some(Box::new(move |g: &Tensor| {
-                vec![g.clone(), g.map(|x| -x)]
+                vec![ctx.clone_tensor(g), ctx.map(g, |x| -x)]
             })),
         )
     }
@@ -118,12 +210,16 @@ impl Graph {
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let av = self.rc_value(a);
         let bv = self.rc_value(b);
-        let out = av.zip(&bv, |x, y| x * y);
+        let ctx = self.ctx();
+        let out = ctx.zip(&av, &bv, |x, y| x * y);
         self.push(
             out,
             vec![a.0, b.0],
             Some(Box::new(move |g: &Tensor| {
-                vec![g.zip(&bv, |go, y| go * y), g.zip(&av, |go, x| go * x)]
+                vec![
+                    ctx.zip(g, &bv, |go, y| go * y),
+                    ctx.zip(g, &av, |go, x| go * x),
+                ]
             })),
         )
     }
@@ -131,10 +227,12 @@ impl Graph {
     /// `a * c` for a scalar constant `c`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
         let av = self.rc_value(a);
+        let ctx = self.ctx();
+        let out = ctx.map(&av, |x| x * c);
         self.push(
-            av.map(|x| x * c),
+            out,
             vec![a.0],
-            Some(Box::new(move |g: &Tensor| vec![g.map(|x| x * c)])),
+            Some(Box::new(move |g: &Tensor| vec![ctx.map(g, |x| x * c)])),
         )
     }
 
@@ -146,13 +244,30 @@ impl Graph {
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let av = self.rc_value(a);
         let bv = self.rc_value(b);
-        let out = av.matmul(&bv);
+        assert_eq!(av.rank(), 2, "matmul lhs must be 2-D");
+        assert_eq!(bv.rank(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (av.shape[0], av.shape[1]);
+        let n = bv.shape[1];
+        assert_eq!(k, bv.shape[0], "matmul inner dims");
+        let ctx = self.ctx();
+        let mut out = self.alloc(m * n);
+        matmul_into(&av.data, &bv.data, &mut out, m, k, n);
         self.push(
-            out,
+            Tensor::new(out, vec![m, n]),
             vec![a.0, b.0],
             Some(Box::new(move |g: &Tensor| {
-                // dA = G·Bᵀ ; dB = Aᵀ·G
-                vec![g.matmul(&bv.t2()), av.t2().matmul(g)]
+                // dA = G·Bᵀ ; dB = Aᵀ·G  (transposes in pooled scratch)
+                let mut bt = ctx.take(k * n);
+                bv.t2_into(&mut bt);
+                let mut da = ctx.take(m * k);
+                matmul_into(&g.data, &bt, &mut da, m, n, k);
+                ctx.give(bt);
+                let mut at = ctx.take(m * k);
+                av.t2_into(&mut at);
+                let mut db = ctx.take(k * n);
+                matmul_into(&at, &g.data, &mut db, k, m, n);
+                ctx.give(at);
+                vec![Tensor::new(da, vec![m, k]), Tensor::new(db, vec![k, n])]
             })),
         )
     }
@@ -161,14 +276,30 @@ impl Graph {
     pub fn bmm(&mut self, a: Var, b: Var) -> Var {
         let av = self.rc_value(a);
         let bv = self.rc_value(b);
-        let out = av.bmm(&bv);
+        assert_eq!(av.rank(), 3, "bmm lhs must be 3-D");
+        assert_eq!(bv.rank(), 3, "bmm rhs must be 3-D");
+        let (bs, m, k) = (av.shape[0], av.shape[1], av.shape[2]);
+        let n = bv.shape[2];
+        let ctx = self.ctx();
+        let mut out = self.alloc(bs * m * n);
+        av.bmm_into(&bv, &mut out);
         self.push(
-            out,
+            Tensor::new(out, vec![bs, m, n]),
             vec![a.0, b.0],
             Some(Box::new(move |g: &Tensor| {
+                let mut bt = Tensor::new(ctx.take(bs * k * n), vec![bs, n, k]);
+                bv.transpose_last2_into(&mut bt.data);
+                let mut da = ctx.take(bs * m * k);
+                g.bmm_into(&bt, &mut da);
+                ctx.give(bt.data);
+                let mut at = Tensor::new(ctx.take(bs * m * k), vec![bs, k, m]);
+                av.transpose_last2_into(&mut at.data);
+                let mut db = ctx.take(bs * k * n);
+                at.bmm_into(g, &mut db);
+                ctx.give(at.data);
                 vec![
-                    g.bmm(&bv.transpose_last2()),
-                    av.transpose_last2().bmm(g),
+                    Tensor::new(da, vec![bs, m, k]),
+                    Tensor::new(db, vec![bs, k, n]),
                 ]
             })),
         )
@@ -177,10 +308,19 @@ impl Graph {
     /// Transpose of the last two dims of a rank-3 tensor.
     pub fn transpose_last2(&mut self, a: Var) -> Var {
         let av = self.rc_value(a);
+        assert_eq!(av.rank(), 3, "transpose_last2 needs rank 3");
+        let (b, m, n) = (av.shape[0], av.shape[1], av.shape[2]);
+        let ctx = self.ctx();
+        let mut out = self.alloc(b * m * n);
+        av.transpose_last2_into(&mut out);
         self.push(
-            av.transpose_last2(),
+            Tensor::new(out, vec![b, n, m]),
             vec![a.0],
-            Some(Box::new(move |g: &Tensor| vec![g.transpose_last2()])),
+            Some(Box::new(move |g: &Tensor| {
+                let mut dg = ctx.take(b * m * n);
+                g.transpose_last2_into(&mut dg);
+                vec![Tensor::new(dg, vec![b, m, n])]
+            })),
         )
     }
 
@@ -188,10 +328,24 @@ impl Graph {
     pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
         let av = self.rc_value(a);
         let in_shape = av.shape.clone();
+        assert_eq!(
+            av.len(),
+            shape.iter().product::<usize>(),
+            "reshape {:?} -> {:?} changes element count",
+            in_shape,
+            shape
+        );
+        let ctx = self.ctx();
+        let mut out = ctx.clone_tensor(&av);
+        out.shape = shape.to_vec();
         self.push(
-            av.reshape(shape),
+            out,
             vec![a.0],
-            Some(Box::new(move |g: &Tensor| vec![g.reshape(&in_shape)])),
+            Some(Box::new(move |g: &Tensor| {
+                let mut dg = ctx.clone_tensor(g);
+                dg.shape = in_shape.clone();
+                vec![dg]
+            })),
         )
     }
 
@@ -202,15 +356,15 @@ impl Graph {
         assert_eq!(av.rank(), 2, "slice_rows needs rank 2");
         let (rows, cols) = (av.shape[0], av.shape[1]);
         assert!(start + len <= rows, "slice_rows out of range");
-        let out = Tensor::new(
-            av.data[start * cols..(start + len) * cols].to_vec(),
-            vec![len, cols],
-        );
+        let ctx = self.ctx();
+        let mut out = Tensor::new(self.alloc(len * cols), vec![len, cols]);
+        out.data
+            .copy_from_slice(&av.data[start * cols..(start + len) * cols]);
         self.push(
             out,
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
-                let mut da = Tensor::zeros(&[rows, cols]);
+                let mut da = ctx.zeros(&[rows, cols]);
                 da.data[start * cols..(start + len) * cols].copy_from_slice(&g.data);
                 vec![da]
             })),
@@ -268,7 +422,8 @@ impl Graph {
         assert_eq!(av.rank(), 2, "slice_cols needs rank 2");
         let (rows, cols) = (av.shape[0], av.shape[1]);
         assert!(start + len <= cols, "slice_cols out of range");
-        let mut out = Tensor::zeros(&[rows, len]);
+        let ctx = self.ctx();
+        let mut out = Tensor::new(self.alloc(rows * len), vec![rows, len]);
         for r in 0..rows {
             out.data[r * len..(r + 1) * len]
                 .copy_from_slice(&av.data[r * cols + start..r * cols + start + len]);
@@ -277,7 +432,7 @@ impl Graph {
             out,
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
-                let mut da = Tensor::zeros(&[rows, cols]);
+                let mut da = ctx.zeros(&[rows, cols]);
                 for r in 0..rows {
                     da.data[r * cols + start..r * cols + start + len]
                         .copy_from_slice(&g.data[r * len..(r + 1) * len]);
@@ -296,12 +451,13 @@ impl Graph {
         let (b, t, d) = (av.shape[0], av.shape[1], av.shape[2]);
         assert_eq!(d % n_heads, 0, "d_model not divisible by heads");
         let hd = d / n_heads;
-        let out = split_heads_data(&av, b, t, n_heads, hd);
+        let ctx = self.ctx();
+        let out = split_heads_data(&av, b, t, n_heads, hd, &ctx);
         self.push(
             out,
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
-                vec![merge_heads_data(g, b, t, n_heads, hd)]
+                vec![merge_heads_data(g, b, t, n_heads, hd, &ctx)]
             })),
         )
     }
@@ -313,12 +469,13 @@ impl Graph {
         let bh = av.shape[0];
         assert_eq!(bh % n_heads, 0, "batch not divisible by heads");
         let (b, t, hd) = (bh / n_heads, av.shape[1], av.shape[2]);
-        let out = merge_heads_data(&av, b, t, n_heads, hd);
+        let ctx = self.ctx();
+        let out = merge_heads_data(&av, b, t, n_heads, hd, &ctx);
         self.push(
             out,
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
-                vec![split_heads_data(g, b, t, n_heads, hd)]
+                vec![split_heads_data(g, b, t, n_heads, hd, &ctx)]
             })),
         )
     }
@@ -330,12 +487,13 @@ impl Graph {
     /// ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
         let av = self.rc_value(a);
-        let out = av.map(|x| x.max(0.0));
+        let ctx = self.ctx();
+        let out = ctx.map(&av, |x| x.max(0.0));
         self.push(
             out,
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
-                vec![g.zip(&av, |go, x| if x > 0.0 { go } else { 0.0 })]
+                vec![ctx.zip(g, &av, |go, x| if x > 0.0 { go } else { 0.0 })]
             })),
         )
     }
@@ -343,12 +501,13 @@ impl Graph {
     /// GELU (tanh approximation), the transformer MLP activation.
     pub fn gelu(&mut self, a: Var) -> Var {
         let av = self.rc_value(a);
-        let out = av.map(gelu_f);
+        let ctx = self.ctx();
+        let out = ctx.map(&av, gelu_f);
         self.push(
             out,
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
-                vec![g.zip(&av, |go, x| go * gelu_df(x))]
+                vec![ctx.zip(g, &av, |go, x| go * gelu_df(x))]
             })),
         )
     }
@@ -356,13 +515,14 @@ impl Graph {
     /// tanh.
     pub fn tanh(&mut self, a: Var) -> Var {
         let av = self.rc_value(a);
-        let out = av.map(f32::tanh);
-        let outv = out.clone();
-        self.push(
+        let ctx = self.ctx();
+        let out = Rc::new(ctx.map(&av, f32::tanh));
+        let outv = Rc::clone(&out);
+        self.push_rc(
             out,
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
-                vec![g.zip(&outv, |go, y| go * (1.0 - y * y))]
+                vec![ctx.zip(g, &outv, |go, y| go * (1.0 - y * y))]
             })),
         )
     }
@@ -370,13 +530,14 @@ impl Graph {
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
         let av = self.rc_value(a);
-        let out = av.map(sigmoid_f);
-        let outv = out.clone();
-        self.push(
+        let ctx = self.ctx();
+        let out = Rc::new(ctx.map(&av, sigmoid_f));
+        let outv = Rc::clone(&out);
+        self.push_rc(
             out,
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
-                vec![g.zip(&outv, |go, y| go * y * (1.0 - y))]
+                vec![ctx.zip(g, &outv, |go, y| go * y * (1.0 - y))]
             })),
         )
     }
@@ -384,15 +545,18 @@ impl Graph {
     /// Softmax over the last dimension (numerically stabilized).
     pub fn softmax_lastdim(&mut self, a: Var) -> Var {
         let av = self.rc_value(a);
-        let out = softmax_lastdim_data(&av);
-        let outv = out.clone();
-        self.push(
+        let ctx = self.ctx();
+        let mut out = Tensor::new(self.alloc(av.len()), av.shape.clone());
+        softmax_lastdim_into(&av, &mut out.data);
+        let out = Rc::new(out);
+        let outv = Rc::clone(&out);
+        self.push_rc(
             out,
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
                 // dx_i = y_i (g_i - Σ_j g_j y_j) per row.
                 let (rows, cols) = outv.rows_cols();
-                let mut dx = Tensor::zeros(&outv.shape);
+                let mut dx = ctx.zeros(&outv.shape);
                 for r in 0..rows {
                     let y = &outv.data[r * cols..(r + 1) * cols];
                     let go = &g.data[r * cols..(r + 1) * cols];
@@ -406,6 +570,101 @@ impl Graph {
         )
     }
 
+    /// Fused scaled-dot-product attention over head-major tensors:
+    /// `softmax(scale · Q·Kᵀ + causal mask) · V` for `Q`, `K`, `V` of shape
+    /// `[B·H, T, hd]`, as one tape node with a single backward closure.
+    ///
+    /// Replaces the five-node chain transpose→bmm→scale→mask-add→softmax
+    /// (plus a context bmm): the mask tensor is never materialized (causal
+    /// masking skips `j > i`, numerically identical to the `-1e9` additive
+    /// mask since those entries underflow to exactly 0 after softmax), and
+    /// only the attention probabilities are cached for backward.
+    pub fn attention(&mut self, q: Var, k: Var, v: Var, scale: f32, causal: bool) -> Var {
+        let qv = self.rc_value(q);
+        let kv = self.rc_value(k);
+        let vv = self.rc_value(v);
+        assert_eq!(qv.rank(), 3, "attention needs [BH,T,hd]");
+        assert_eq!(kv.shape, qv.shape, "attention K shape");
+        assert_eq!(vv.shape, qv.shape, "attention V shape");
+        let (bh, t, hd) = (qv.shape[0], qv.shape[1], qv.shape[2]);
+        let ctx = self.ctx();
+
+        // Scores in place: attn = Q·Kᵀ, then scale + masked softmax rows.
+        let mut kt = Tensor::new(self.alloc(bh * t * hd), vec![bh, hd, t]);
+        kv.transpose_last2_into(&mut kt.data);
+        let mut attn = Tensor::new(self.alloc(bh * t * t), vec![bh, t, t]);
+        qv.bmm_into(&kt, &mut attn.data);
+        ctx.give(kt.data);
+        for s in 0..bh {
+            for i in 0..t {
+                let row = &mut attn.data[(s * t + i) * t..(s * t + i + 1) * t];
+                let lim = if causal { i + 1 } else { t };
+                let mut max = f32::NEG_INFINITY;
+                for x in &mut row[..lim] {
+                    *x *= scale;
+                    max = max.max(*x);
+                }
+                let mut sum = 0.0f32;
+                for x in &mut row[..lim] {
+                    *x = (*x - max).exp();
+                    sum += *x;
+                }
+                let inv = 1.0 / sum;
+                for x in &mut row[..lim] {
+                    *x *= inv;
+                }
+                for x in &mut row[lim..] {
+                    *x = 0.0;
+                }
+            }
+        }
+        let mut out = self.alloc(bh * t * hd);
+        attn.bmm_into(&vv, &mut out);
+        // Park the probabilities on the tape as a hidden constant node so
+        // the buffer is pooled when the graph drops (backward is skipped
+        // for nodes without gradient).
+        let attn_node = self.push(attn, vec![], None);
+        let attn_rc = self.rc_value(attn_node);
+        self.push(
+            Tensor::new(out, vec![bh, t, hd]),
+            vec![q.0, k.0, v.0],
+            Some(Box::new(move |g: &Tensor| {
+                // dV = Aᵀ·G
+                let mut at = Tensor::new(ctx.take(bh * t * t), vec![bh, t, t]);
+                attn_rc.transpose_last2_into(&mut at.data);
+                let mut dv = ctx.take(bh * t * hd);
+                at.bmm_into(g, &mut dv);
+                ctx.give(at.data);
+                // dS = softmax-backward(G·Vᵀ) against A, in place.
+                let mut vt = Tensor::new(ctx.take(bh * t * hd), vec![bh, hd, t]);
+                vv.transpose_last2_into(&mut vt.data);
+                let mut ds = Tensor::new(ctx.take(bh * t * t), vec![bh, t, t]);
+                g.bmm_into(&vt, &mut ds.data);
+                ctx.give(vt.data);
+                for r in 0..bh * t {
+                    let a_row = &attn_rc.data[r * t..(r + 1) * t];
+                    let ds_row = &mut ds.data[r * t..(r + 1) * t];
+                    let dot: f32 = a_row.iter().zip(ds_row.iter()).map(|(y, d)| y * d).sum();
+                    for (d, y) in ds_row.iter_mut().zip(a_row) {
+                        *d = y * (*d - dot);
+                    }
+                }
+                // dQ = scale · dS·K ; dK = scale · dSᵀ·Q
+                let mut dq = Tensor::new(ctx.take(bh * t * hd), vec![bh, t, hd]);
+                ds.bmm_into(&kv, &mut dq.data);
+                dq.scale_assign(scale);
+                let mut dst = Tensor::new(ctx.take(bh * t * t), vec![bh, t, t]);
+                ds.transpose_last2_into(&mut dst.data);
+                ctx.give(ds.data);
+                let mut dk = Tensor::new(ctx.take(bh * t * hd), vec![bh, t, hd]);
+                dst.bmm_into(&qv, &mut dk.data);
+                dk.scale_assign(scale);
+                ctx.give(dst.data);
+                vec![dq, dk, Tensor::new(dv, vec![bh, t, hd])]
+            })),
+        )
+    }
+
     /// Layer normalization over the last dimension with affine parameters
     /// `gamma`, `beta` of shape `[D]`.
     pub fn layernorm(&mut self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
@@ -415,9 +674,10 @@ impl Graph {
         let (rows, d) = av.rows_cols();
         assert_eq!(gv.shape, vec![d], "gamma shape");
         assert_eq!(bv.shape, vec![d], "beta shape");
+        let ctx = self.ctx();
         // Forward: cache normalized activations and 1/std per row.
-        let mut out = Tensor::zeros(&av.shape);
-        let mut xhat = Tensor::zeros(&av.shape);
+        let mut out = Tensor::new(self.alloc(av.len()), av.shape.clone());
+        let mut xhat = Tensor::new(self.alloc(av.len()), av.shape.clone());
         let mut inv_std = vec![0.0f32; rows];
         for r in 0..rows {
             let x = &av.data[r * d..(r + 1) * d];
@@ -432,11 +692,14 @@ impl Graph {
             }
         }
         let gvc = Rc::clone(&gv);
+        // Hidden node: pools xhat's buffer when the graph drops.
+        let xhat_node = self.push(xhat, vec![], None);
+        let xhat = self.rc_value(xhat_node);
         self.push(
             out,
             vec![a.0, gamma.0, beta.0],
             Some(Box::new(move |g: &Tensor| {
-                let mut dx = Tensor::zeros(&xhat.shape);
+                let mut dx = ctx.zeros(&xhat.shape);
                 let mut dgamma = Tensor::zeros(&[d]);
                 let mut dbeta = Tensor::zeros(&[d]);
                 for r in 0..rows {
@@ -474,11 +737,14 @@ impl Graph {
         let av = self.rc_value(a);
         let n = av.len().max(1) as f32;
         let shape = av.shape.clone();
+        let ctx = self.ctx();
         self.push(
             Tensor::scalar(av.sum() / n),
             vec![a.0],
             Some(Box::new(move |g: &Tensor| {
-                vec![Tensor::full(&shape, g.item() / n)]
+                let mut da = ctx.zeros(&shape);
+                da.data.fill(g.item() / n);
+                vec![da]
             })),
         )
     }
@@ -526,12 +792,13 @@ impl Graph {
         }
         let targets = targets.to_vec();
         let mask = mask.to_vec();
+        let ctx = self.ctx();
         self.push(
             Tensor::scalar((loss / denom as f64) as f32),
             vec![logits.0],
             Some(Box::new(move |g: &Tensor| {
                 let go = g.item();
-                let mut dl = Tensor::zeros(&probs.shape);
+                let mut dl = ctx.zeros(&probs.shape);
                 for i in 0..n {
                     if mask[i] == 0.0 {
                         continue;
@@ -718,9 +985,9 @@ impl Graph {
 // -------------------------------------------------------------------
 
 /// `a + b` where `b.shape` equals `a.shape` or is a suffix of it.
-fn broadcast_add(a: &Tensor, b: &Tensor) -> Tensor {
+fn broadcast_add(a: &Tensor, b: &Tensor, ctx: &AllocCtx) -> Tensor {
     if a.shape == b.shape {
-        return a.zip(b, |x, y| x + y);
+        return ctx.zip(a, b, |x, y| x + y);
     }
     assert!(
         a.shape.len() >= b.shape.len()
@@ -730,7 +997,7 @@ fn broadcast_add(a: &Tensor, b: &Tensor) -> Tensor {
         b.shape
     );
     let chunk = b.len().max(1);
-    let mut out = a.clone();
+    let mut out = ctx.clone_tensor(a);
     for block in out.data.chunks_mut(chunk) {
         for (o, bv) in block.iter_mut().zip(&b.data) {
             *o += bv;
@@ -741,12 +1008,12 @@ fn broadcast_add(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Sums `g` over leading dims so the result has `shape` (suffix of
 /// `g.shape`). Inverse of broadcasting.
-fn reduce_to_shape(g: &Tensor, shape: &[usize]) -> Tensor {
+fn reduce_to_shape(g: &Tensor, shape: &[usize], ctx: &AllocCtx) -> Tensor {
     if g.shape == shape {
-        return g.clone();
+        return ctx.clone_tensor(g);
     }
     let chunk: usize = shape.iter().product::<usize>().max(1);
-    let mut out = Tensor::zeros(shape);
+    let mut out = ctx.zeros(shape);
     for block in g.data.chunks(chunk) {
         for (o, gv) in out.data.iter_mut().zip(block) {
             *o += gv;
@@ -756,28 +1023,33 @@ fn reduce_to_shape(g: &Tensor, shape: &[usize]) -> Tensor {
 }
 
 fn softmax_lastdim_data(x: &Tensor) -> Tensor {
-    let (rows, cols) = x.rows_cols();
     let mut out = Tensor::zeros(&x.shape);
-    for r in 0..rows {
-        let row = &x.data[r * cols..(r + 1) * cols];
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for c in 0..cols {
-            let e = (row[c] - max).exp();
-            out.data[r * cols + c] = e;
-            sum += e;
-        }
-        let inv = 1.0 / sum;
-        for c in 0..cols {
-            out.data[r * cols + c] *= inv;
-        }
-    }
+    softmax_lastdim_into(x, &mut out.data);
     out
 }
 
-fn split_heads_data(x: &Tensor, b: usize, t: usize, h: usize, hd: usize) -> Tensor {
+fn softmax_lastdim_into(x: &Tensor, out: &mut [f32]) {
+    let (rows, cols) = x.rows_cols();
+    for r in 0..rows {
+        let row = &x.data[r * cols..(r + 1) * cols];
+        let orow = &mut out[r * cols..(r + 1) * cols];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (o, v) in orow.iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in orow.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+fn split_heads_data(x: &Tensor, b: usize, t: usize, h: usize, hd: usize, ctx: &AllocCtx) -> Tensor {
     // [B,T,H*hd] -> [B*H, T, hd]
-    let mut out = Tensor::zeros(&[b * h, t, hd]);
+    let mut out = ctx.zeros(&[b * h, t, hd]);
     for bi in 0..b {
         for ti in 0..t {
             for hi in 0..h {
@@ -790,9 +1062,9 @@ fn split_heads_data(x: &Tensor, b: usize, t: usize, h: usize, hd: usize) -> Tens
     out
 }
 
-fn merge_heads_data(x: &Tensor, b: usize, t: usize, h: usize, hd: usize) -> Tensor {
+fn merge_heads_data(x: &Tensor, b: usize, t: usize, h: usize, hd: usize, ctx: &AllocCtx) -> Tensor {
     // [B*H, T, hd] -> [B,T,H*hd]
-    let mut out = Tensor::zeros(&[b, t, h * hd]);
+    let mut out = ctx.zeros(&[b, t, h * hd]);
     for bi in 0..b {
         for ti in 0..t {
             for hi in 0..h {
@@ -984,6 +1256,91 @@ mod tests {
         assert_eq!(dp.data[0..3], [0.0, 0.0, 0.0]);
         assert!((dp.data[3] - 1.0 / 6.0).abs() < 1e-6);
         assert_eq!(dp.data[9..12], [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn fused_attention_matches_unfused_chain() {
+        // The fused op must agree with the original five-node composition
+        // (transpose → bmm → scale → additive causal mask → softmax → bmm)
+        // in both forward values and input gradients.
+        for causal in [true, false] {
+            let mut rng = StdRng::seed_from_u64(40);
+            let (bh, t, hd) = (4, 5, 3);
+            let q0 = Tensor::randn(&[bh, t, hd], 0.7, &mut rng);
+            let k0 = Tensor::randn(&[bh, t, hd], 0.7, &mut rng);
+            let v0 = Tensor::randn(&[bh, t, hd], 0.7, &mut rng);
+            let scale = 1.0 / (hd as f32).sqrt();
+
+            let mut gf = Graph::new();
+            let (qf, kf, vf) = (
+                gf.input(q0.clone()),
+                gf.input(k0.clone()),
+                gf.input(v0.clone()),
+            );
+            let of = gf.attention(qf, kf, vf, scale, causal);
+            let sq = gf.mul(of, of);
+            let lf = gf.mean_all(sq);
+            gf.backward(lf);
+
+            let mut gu = Graph::new();
+            let (qu, ku, vu) = (
+                gu.input(q0.clone()),
+                gu.input(k0.clone()),
+                gu.input(v0.clone()),
+            );
+            let kt = gu.transpose_last2(ku);
+            let scores = gu.bmm(qu, kt);
+            let scaled = gu.scale(scores, scale);
+            let masked = if causal {
+                let mut mask = Tensor::zeros(&[t, t]);
+                for i in 0..t {
+                    for j in (i + 1)..t {
+                        mask.data[i * t + j] = -1e9;
+                    }
+                }
+                let mv = gu.input(mask);
+                gu.add(scaled, mv)
+            } else {
+                scaled
+            };
+            let attn = gu.softmax_lastdim(masked);
+            let ou = gu.bmm(attn, vu);
+            let squ = gu.mul(ou, ou);
+            let lu = gu.mean_all(squ);
+            gu.backward(lu);
+
+            for (a, b) in gf.value(of).data.iter().zip(&gu.value(ou).data) {
+                assert!((a - b).abs() < 1e-5, "forward mismatch (causal={causal})");
+            }
+            for (vf_, vu_) in [(qf, qu), (kf, ku), (vf, vu)] {
+                let gfv = gf.grad(vf_).unwrap();
+                let guv = gu.grad(vu_).unwrap();
+                for (a, b) in gfv.data.iter().zip(&guv.data) {
+                    assert!((a - b).abs() < 1e-5, "grad mismatch (causal={causal})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_arena_recycles_graph_buffers() {
+        let arena = crate::scratch::ScratchArena::new();
+        let run = |arena: &crate::scratch::ScratchArena| {
+            let mut g = Graph::with_scratch(arena.clone());
+            let a = g.input(Tensor::ones(&[8, 8]));
+            let b = g.input(Tensor::ones(&[8, 8]));
+            let m = g.matmul(a, b);
+            let s = g.mul(m, m);
+            let loss = g.mean_all(s);
+            g.backward(loss);
+            g.value(loss).item()
+        };
+        let first = run(&arena);
+        let pooled = arena.pooled();
+        assert!(pooled > 0, "graph drop must return buffers to the arena");
+        // Second run draws from the pool and produces identical results.
+        let second = run(&arena);
+        assert_eq!(first.to_bits(), second.to_bits());
     }
 
     #[test]

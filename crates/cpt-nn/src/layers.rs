@@ -126,6 +126,17 @@ impl<'s> Session<'s> {
         }
     }
 
+    /// Starts a session whose graph draws node storage from `arena` and
+    /// returns it on drop. Pass the same arena to every per-batch session
+    /// so the training loop stops allocating after the first batch.
+    pub fn with_scratch(store: &'s ParamStore, arena: crate::scratch::ScratchArena) -> Self {
+        Session {
+            graph: Graph::with_scratch(arena),
+            store,
+            bound: vec![None; store.params.len()],
+        }
+    }
+
     /// Leaf for a parameter (cached per session).
     pub fn param(&mut self, id: ParamId) -> Var {
         if let Some(v) = self.bound[id.0] {
@@ -262,26 +273,29 @@ impl Linear {
         let in_shape = x.shape.clone();
         assert_eq!(*in_shape.last().expect("rank >= 1"), self.in_dim);
         let rows: usize = in_shape[..in_shape.len() - 1].iter().product();
-        let x2 = if in_shape.len() == 2 {
-            x.clone()
-        } else {
-            x.reshape(&[rows, self.in_dim])
-        };
-        let mut y = x2.matmul(store.value(self.w));
+        let mut out_shape = in_shape;
+        *out_shape.last_mut().expect("rank >= 1") = self.out_dim;
+        let mut y = Tensor::zeros(&out_shape);
+        self.apply_rows_into(store, &x.data, rows, &mut y.data);
+        y
+    }
+
+    /// [`Linear::apply`] on raw row-major slices, writing into a
+    /// caller-provided buffer (overwritten entirely). This is the
+    /// allocation-free inner loop of incremental decoding: `x` is
+    /// `rows × in_dim`, `out` is `rows × out_dim`.
+    pub fn apply_rows_into(&self, store: &ParamStore, x: &[f32], rows: usize, out: &mut [f32]) {
+        assert_eq!(x.len(), rows * self.in_dim, "Linear input size");
+        assert_eq!(out.len(), rows * self.out_dim, "Linear output size");
+        let w = store.value(self.w);
+        crate::tensor::matmul_into(x, &w.data, out, rows, self.in_dim, self.out_dim);
         if let Some(b) = self.b {
             let bias = store.value(b);
-            for row in y.data.chunks_mut(self.out_dim) {
+            for row in out.chunks_mut(self.out_dim) {
                 for (o, bv) in row.iter_mut().zip(&bias.data) {
                     *o += bv;
                 }
             }
-        }
-        if in_shape.len() == 2 {
-            y
-        } else {
-            let mut out_shape = in_shape;
-            *out_shape.last_mut().expect("rank >= 1") = self.out_dim;
-            y.reshape(&out_shape)
         }
     }
 }
@@ -313,21 +327,29 @@ impl LayerNorm {
 
     /// Gradient-free application straight from the store.
     pub fn apply(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&x.shape);
+        let (rows, _) = x.rows_cols();
+        self.apply_rows_into(store, &x.data, rows, &mut out.data);
+        out
+    }
+
+    /// [`LayerNorm::apply`] on raw row-major slices into a caller-provided
+    /// buffer (overwritten entirely). `x` and `out` are `rows × dim`.
+    pub fn apply_rows_into(&self, store: &ParamStore, x: &[f32], rows: usize, out: &mut [f32]) {
         let gamma = store.value(self.gamma);
         let beta = store.value(self.beta);
-        let (rows, d) = x.rows_cols();
-        assert_eq!(gamma.shape, vec![d], "layernorm width");
-        let mut out = Tensor::zeros(&x.shape);
+        let d = gamma.len();
+        assert_eq!(x.len(), rows * d, "layernorm input size");
+        assert_eq!(out.len(), rows * d, "layernorm output size");
         for r in 0..rows {
-            let row = &x.data[r * d..(r + 1) * d];
+            let row = &x[r * d..(r + 1) * d];
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let istd = 1.0 / (var + self.eps).sqrt();
             for c in 0..d {
-                out.data[r * d + c] = (row[c] - mean) * istd * gamma.data[c] + beta.data[c];
+                out[r * d + c] = (row[c] - mean) * istd * gamma.data[c] + beta.data[c];
             }
         }
-        out
     }
 }
 
@@ -371,7 +393,6 @@ impl MultiHeadSelfAttention {
     pub fn forward(&self, sess: &mut Session<'_>, x: Var) -> Var {
         let shape = sess.graph.value(x).shape.clone();
         assert_eq!(shape.len(), 3, "attention input must be [B,T,D]");
-        let t = shape[1];
         let hd = self.d_model / self.n_heads;
 
         let q = self.wq.forward(sess, x);
@@ -381,24 +402,10 @@ impl MultiHeadSelfAttention {
         let kh = sess.graph.split_heads(k, self.n_heads);
         let vh = sess.graph.split_heads(v, self.n_heads);
 
-        let kt = sess.graph.transpose_last2(kh); // [BH,hd,T]
-        let scores = sess.graph.bmm(qh, kt); // [BH,T,T]
-        let scaled = sess.graph.scale(scores, 1.0 / (hd as f32).sqrt());
-        let masked = if self.causal {
-            // Additive causal mask, broadcast over the batch·head dim.
-            let mut mask = Tensor::zeros(&[t, t]);
-            for i in 0..t {
-                for j in (i + 1)..t {
-                    mask.data[i * t + j] = -1e9;
-                }
-            }
-            let mv = sess.input(mask);
-            sess.graph.add(scaled, mv)
-        } else {
-            scaled
-        };
-        let attn = sess.graph.softmax_lastdim(masked);
-        let ctx = sess.graph.bmm(attn, vh); // [BH,T,hd]
+        // Fused score→scale→mask→softmax→context as one tape node.
+        let ctx = sess
+            .graph
+            .attention(qh, kh, vh, 1.0 / (hd as f32).sqrt(), self.causal);
         let merged = sess.graph.merge_heads(ctx, self.n_heads); // [B,T,D]
         self.wo.forward(sess, merged)
     }
@@ -447,12 +454,62 @@ impl AttnKvCache {
     }
 }
 
+/// Reusable buffers for one attention decode step. Sized once by
+/// [`AttnScratch::new`]; every step overwrites them in place, so steady-
+/// state decoding performs zero heap allocation.
+#[derive(Debug, Clone)]
+pub struct AttnScratch {
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    ctx: Vec<f32>,
+    scores: Vec<f32>,
+}
+
+impl AttnScratch {
+    /// Buffers for batch size `b`, model width `d_model`, prefix capacity
+    /// `max_len`.
+    pub fn new(b: usize, d_model: usize, max_len: usize) -> Self {
+        AttnScratch {
+            q: vec![0.0; b * d_model],
+            k: vec![0.0; b * d_model],
+            v: vec![0.0; b * d_model],
+            ctx: vec![0.0; b * d_model],
+            scores: vec![0.0; max_len],
+        }
+    }
+}
+
+/// Reusable buffers for one [`TransformerBlock`] decode step (attention
+/// scratch plus the layernorm/MLP/residual temporaries).
+#[derive(Debug, Clone)]
+pub struct DecodeScratch {
+    attn: AttnScratch,
+    norm: Vec<f32>,
+    mlp: Vec<f32>,
+    resid: Vec<f32>,
+}
+
+impl DecodeScratch {
+    /// Buffers for batch size `b`; `d_mlp` is the block MLP hidden width.
+    pub fn new(b: usize, d_model: usize, d_mlp: usize, max_len: usize) -> Self {
+        DecodeScratch {
+            attn: AttnScratch::new(b, d_model, max_len),
+            norm: vec![0.0; b * d_model],
+            mlp: vec![0.0; b * d_mlp],
+            resid: vec![0.0; b * d_model],
+        }
+    }
+}
+
 impl MultiHeadSelfAttention {
     /// One gradient-free decode step: processes the single new position
     /// `x` (`[B, 1, D]`), appends its K/V to `cache`, and returns the
     /// attention output `[B, 1, D]`. Equivalent to running
     /// [`MultiHeadSelfAttention::forward`] on the full prefix and taking
-    /// the last position (verified by tests).
+    /// the last position (verified by tests). Allocates its scratch; hot
+    /// loops should hold a [`AttnScratch`] and call
+    /// [`MultiHeadSelfAttention::decode_step_into`] instead.
     pub fn apply_decode_step(
         &self,
         store: &ParamStore,
@@ -462,36 +519,56 @@ impl MultiHeadSelfAttention {
         assert_eq!(x.rank(), 3, "decode step input must be [B,1,D]");
         assert_eq!(x.shape[1], 1, "decode step processes one position");
         let b = x.shape[0];
+        let mut scratch = AttnScratch::new(b, self.d_model, cache.max_len);
+        let mut out = Tensor::zeros(&[b, 1, self.d_model]);
+        self.decode_step_into(store, &x.data, cache, &mut scratch, &mut out.data);
+        out
+    }
+
+    /// Allocation-free decode step on raw slices: `x` and `out` are
+    /// `b × d_model` (the single new position per stream, batch-major).
+    /// All temporaries live in `scratch`, which is overwritten.
+    pub fn decode_step_into(
+        &self,
+        store: &ParamStore,
+        x: &[f32],
+        cache: &mut AttnKvCache,
+        scratch: &mut AttnScratch,
+        out: &mut [f32],
+    ) {
         let h = self.n_heads;
         let hd = self.d_model / h;
+        let b = x.len() / self.d_model;
+        assert_eq!(x.len(), b * self.d_model, "decode step input size");
+        assert_eq!(out.len(), b * self.d_model, "decode step output size");
         assert_eq!(cache.bh, b * h, "cache batch mismatch");
         assert_eq!(cache.hd, hd, "cache head width mismatch");
         assert!(cache.len < cache.max_len, "KV cache full");
 
-        let q = self.wq.apply(store, x); // [B,1,D]
-        let k = self.wk.apply(store, x);
-        let v = self.wv.apply(store, x);
+        self.wq.apply_rows_into(store, x, b, &mut scratch.q);
+        self.wk.apply_rows_into(store, x, b, &mut scratch.k);
+        self.wv.apply_rows_into(store, x, b, &mut scratch.v);
         let t = cache.len;
 
-        // Scatter the new K/V rows into the cache ([B,1,D] → per-head).
+        // Scatter the new K/V rows into the cache ([B,D] → per-head).
         for bi in 0..b {
             for hi in 0..h {
                 let src = bi * self.d_model + hi * hd;
                 let dst = ((bi * h + hi) * cache.max_len + t) * hd;
-                cache.k.data[dst..dst + hd].copy_from_slice(&k.data[src..src + hd]);
-                cache.v.data[dst..dst + hd].copy_from_slice(&v.data[src..src + hd]);
+                cache.k.data[dst..dst + hd].copy_from_slice(&scratch.k[src..src + hd]);
+                cache.v.data[dst..dst + hd].copy_from_slice(&scratch.v[src..src + hd]);
             }
         }
         cache.len += 1;
 
         // Attention of the new query over positions 0..=t.
         let scale = 1.0 / (hd as f32).sqrt();
-        let mut ctx = Tensor::zeros(&[b, 1, self.d_model]);
-        let mut scores = vec![0.0f32; t + 1];
+        scratch.ctx.fill(0.0);
+        let scores = &mut scratch.scores[..t + 1];
         for bi in 0..b {
             for hi in 0..h {
                 let qoff = bi * self.d_model + hi * hd;
-                let qrow = &q.data[qoff..qoff + hd];
+                let qrow = &scratch.q[qoff..qoff + hd];
                 let base = (bi * h + hi) * cache.max_len * hd;
                 let mut max = f32::NEG_INFINITY;
                 for (j, s) in scores.iter_mut().enumerate() {
@@ -505,17 +582,17 @@ impl MultiHeadSelfAttention {
                     denom += *s;
                 }
                 let inv = 1.0 / denom;
-                let out = &mut ctx.data[bi * self.d_model + hi * hd..][..hd];
+                let ctx = &mut scratch.ctx[bi * self.d_model + hi * hd..][..hd];
                 for (j, s) in scores.iter().enumerate() {
                     let a = s * inv;
                     let vrow = &cache.v.data[base + j * hd..base + (j + 1) * hd];
-                    for (o, vv) in out.iter_mut().zip(vrow) {
+                    for (o, vv) in ctx.iter_mut().zip(vrow) {
                         *o += a * vv;
                     }
                 }
             }
         }
-        self.wo.apply(store, &ctx)
+        self.wo.apply_rows_into(store, &scratch.ctx, b, out);
     }
 }
 
@@ -570,23 +647,50 @@ impl TransformerBlock {
     }
 
     /// One gradient-free decode step through the block (see
-    /// [`MultiHeadSelfAttention::apply_decode_step`]).
+    /// [`MultiHeadSelfAttention::apply_decode_step`]). Allocates its
+    /// scratch; hot loops should hold a [`DecodeScratch`] and call
+    /// [`TransformerBlock::decode_step_into`] instead.
     pub fn apply_decode_step(
         &self,
         store: &ParamStore,
         x: &Tensor,
         cache: &mut AttnKvCache,
     ) -> Tensor {
-        let n1 = self.ln1.apply(store, x);
-        let a = self.attn.apply_decode_step(store, &n1, cache);
-        let mut x = x.clone();
-        x.add_assign(&a);
-        let n2 = self.ln2.apply(store, &x);
-        let h = self.fc1.apply(store, &n2);
-        let h = h.map(gelu_scalar);
-        let h = self.fc2.apply(store, &h);
-        x.add_assign(&h);
-        x
+        let b = x.shape[0];
+        let mut scratch = DecodeScratch::new(b, self.attn.d_model, self.fc1.out_dim, cache.max_len);
+        let mut h = x.clone();
+        self.decode_step_into(store, &mut h.data, cache, &mut scratch);
+        h
+    }
+
+    /// Allocation-free decode step: updates the residual stream `h`
+    /// (`b × d_model`, the single new position per stream) in place. All
+    /// temporaries live in `scratch`, which is overwritten.
+    pub fn decode_step_into(
+        &self,
+        store: &ParamStore,
+        h: &mut [f32],
+        cache: &mut AttnKvCache,
+        scratch: &mut DecodeScratch,
+    ) {
+        let d = self.attn.d_model;
+        let b = h.len() / d;
+        assert_eq!(h.len(), b * d, "decode step residual size");
+        self.ln1.apply_rows_into(store, h, b, &mut scratch.norm);
+        self.attn
+            .decode_step_into(store, &scratch.norm, cache, &mut scratch.attn, &mut scratch.resid);
+        for (hv, av) in h.iter_mut().zip(&scratch.resid) {
+            *hv += av;
+        }
+        self.ln2.apply_rows_into(store, h, b, &mut scratch.norm);
+        self.fc1.apply_rows_into(store, &scratch.norm, b, &mut scratch.mlp);
+        for v in &mut scratch.mlp {
+            *v = gelu_scalar(*v);
+        }
+        self.fc2.apply_rows_into(store, &scratch.mlp, b, &mut scratch.resid);
+        for (hv, mv) in h.iter_mut().zip(&scratch.resid) {
+            *hv += mv;
+        }
     }
 }
 

@@ -33,13 +33,15 @@ pub mod gradcheck;
 pub mod graph;
 pub mod layers;
 pub mod optim;
+pub mod scratch;
 pub mod serialize;
 pub mod tensor;
 
 pub use graph::{Graph, Var};
+pub use scratch::ScratchArena;
 pub use layers::{
-    gelu_scalar, AttnKvCache, Linear, LayerNorm, Lstm, MultiHeadSelfAttention, ParamId,
-    ParamStore, Session, TransformerBlock,
+    gelu_scalar, AttnKvCache, AttnScratch, DecodeScratch, Linear, LayerNorm, Lstm,
+    MultiHeadSelfAttention, ParamId, ParamStore, Session, TransformerBlock,
 };
 pub use optim::{clip_grad_norm, Adam, LrSchedule, RmsProp, Sgd};
 pub use tensor::Tensor;

@@ -1,0 +1,88 @@
+//! Reusable scratch-buffer arena for per-batch graph allocations.
+//!
+//! Training builds a fresh tape every batch; without reuse, every node's
+//! value, every backward intermediate and every gradient is a fresh heap
+//! allocation. A [`ScratchArena`] is a shared pool of `Vec<f32>` buffers:
+//! a [`crate::layers::Session`] created with
+//! [`crate::layers::Session::with_scratch`] draws node storage from the
+//! pool, and when the session's graph is dropped all node buffers return
+//! to it. After the first batch the pool reaches steady state and the
+//! forward/backward loop stops allocating.
+//!
+//! Buffers are handed out by value (ownership moves out of the pool), so
+//! no borrow is held while tensor ops may run rayon work inside — a stolen
+//! nested task simply pops its own buffer or allocates fresh.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Upper bound on pooled buffers; beyond this, returned buffers are freed.
+/// A training tape holds a few hundred nodes, so this is generous while
+/// still bounding worst-case retention.
+const MAX_POOLED: usize = 4096;
+
+/// A shared pool of reusable `f32` buffers. Cloning shares the pool.
+#[derive(Clone, Default)]
+pub struct ScratchArena {
+    pool: Rc<RefCell<Vec<Vec<f32>>>>,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        ScratchArena::default()
+    }
+
+    /// Takes a zeroed buffer of exactly `len` elements, reusing pooled
+    /// storage when available.
+    pub fn take_zeroed(&self, len: usize) -> Vec<f32> {
+        let mut buf = self.pool.borrow_mut().pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn give(&self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.pool.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled (for tests/diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.pool.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_buffers() {
+        let arena = ScratchArena::new();
+        let mut a = arena.take_zeroed(16);
+        a[3] = 7.0;
+        let cap = a.capacity();
+        arena.give(a);
+        assert_eq!(arena.pooled(), 1);
+        let b = arena.take_zeroed(8);
+        // Reused storage, re-zeroed.
+        assert!(b.capacity() >= 8 && cap >= 8);
+        assert!(b.iter().all(|x| *x == 0.0));
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_pool() {
+        let arena = ScratchArena::new();
+        let alias = arena.clone();
+        alias.give(vec![0.0; 4]);
+        assert_eq!(arena.pooled(), 1);
+    }
+}

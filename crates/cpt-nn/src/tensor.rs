@@ -173,7 +173,8 @@ impl Tensor {
     }
 
     /// 2-D matrix multiply: `[m,k] x [k,n] -> [m,n]`. Rank-checked.
-    /// Parallelized over output rows with rayon when large enough.
+    /// Uses the cache-blocked, B-packed kernel; parallelized over row
+    /// blocks with rayon when large enough.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
         assert_eq!(other.rank(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
@@ -198,86 +199,330 @@ impl Tensor {
         assert_eq!(b, b2, "bmm batch mismatch");
         assert_eq!(k, k2, "bmm inner dim mismatch");
         let mut out = vec![0.0f32; b * m * n];
-        out.par_chunks_mut(m * n)
-            .zip(self.data.par_chunks(m * k).zip(other.data.par_chunks(k * n)))
-            .for_each(|(o, (a, bm))| {
-                matmul_into_serial(a, bm, o, m, k, n);
-            });
+        self.bmm_into(other, &mut out);
         Tensor {
             data: out,
             shape: vec![b, m, n],
         }
     }
 
-    /// 2-D transpose `[m,n] -> [n,m]`.
+    /// [`Tensor::bmm`] writing into a caller-provided buffer of
+    /// `b * m * n` elements (overwritten entirely).
+    pub fn bmm_into(&self, other: &Tensor, out: &mut [f32]) {
+        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let n = other.shape[2];
+        assert_eq!(out.len(), b * m * n, "bmm_into output size");
+        let use_fma = fma_available();
+        out.par_chunks_mut(m * n)
+            .zip(self.data.par_chunks(m * k).zip(other.data.par_chunks(k * n)))
+            .for_each(|(o, (a, bm))| {
+                let mut packed = take_pack_buf();
+                pack_b(bm, k, n, &mut packed);
+                matmul_rows(a, &packed, o, 0, m, k, n, use_fma);
+                return_pack_buf(packed);
+            });
+    }
+
+    /// 2-D transpose `[m,n] -> [n,m]`, cache-blocked.
     pub fn t2(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "t2 needs rank 2");
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
-        }
+        transpose_block(&self.data, &mut out, m, n);
         Tensor {
             data: out,
             shape: vec![n, m],
         }
     }
 
+    /// [`Tensor::t2`] writing into a caller-provided buffer.
+    pub fn t2_into(&self, out: &mut [f32]) {
+        assert_eq!(self.rank(), 2, "t2 needs rank 2");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert_eq!(out.len(), m * n, "t2_into output size");
+        transpose_block(&self.data, out, m, n);
+    }
+
     /// Transpose of the last two dims of a rank-3 tensor:
-    /// `[b,m,n] -> [b,n,m]`.
+    /// `[b,m,n] -> [b,n,m]`, cache-blocked per batch slice.
     pub fn transpose_last2(&self) -> Tensor {
         assert_eq!(self.rank(), 3, "transpose_last2 needs rank 3");
         let (b, m, n) = (self.shape[0], self.shape[1], self.shape[2]);
         let mut out = vec![0.0f32; b * m * n];
-        for bi in 0..b {
-            let src = &self.data[bi * m * n..(bi + 1) * m * n];
-            let dst = &mut out[bi * m * n..(bi + 1) * m * n];
-            for i in 0..m {
-                for j in 0..n {
-                    dst[j * m + i] = src[i * n + j];
-                }
-            }
-        }
+        self.transpose_last2_into(&mut out);
         Tensor {
             data: out,
             shape: vec![b, n, m],
         }
     }
-}
 
-/// `out += a x b` for row-major 2-D data, rayon-parallel over rows for
-/// large problems.
-pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    // Parallelize only when the work is worth the fork-join overhead.
-    if m * k * n >= 64 * 64 * 64 {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, row)| matmul_row(a, b, row, i, k, n));
-    } else {
-        matmul_into_serial(a, b, out, m, k, n);
+    /// [`Tensor::transpose_last2`] writing into a caller-provided buffer.
+    pub fn transpose_last2_into(&self, out: &mut [f32]) {
+        let (b, m, n) = (self.shape[0], self.shape[1], self.shape[2]);
+        assert_eq!(out.len(), b * m * n, "transpose_last2_into output size");
+        for (src, dst) in self.data.chunks(m * n).zip(out.chunks_mut(m * n)) {
+            transpose_block(src, dst, m, n);
+        }
     }
 }
 
-fn matmul_into_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        matmul_row(a, b, &mut out[i * n..(i + 1) * n], i, k, n);
+// ---------------------------------------------------------------------------
+// Matmul kernels: cache-blocked, B-packed, register-tiled.
+//
+// B is packed into column panels of NR floats (zero-padded past n) so the
+// microkernel streams contiguous, aligned-enough memory regardless of n.
+// The MR x NR microkernel keeps its accumulator tile in registers and
+// accumulates over k in ascending order starting from 0.0 for every output
+// element — exactly the order of the serial `matmul_reference` — so the
+// base (non-FMA) path is bit-identical to the reference for any blocking
+// or row partition. The FMA path keeps the same order but fuses each
+// multiply-add into one rounding; it is still deterministic (same machine,
+// same inputs, any thread count ⇒ same bits) and agrees with the reference
+// to ~2 ULP (asserted at 1e-5 relative in tests).
+// ---------------------------------------------------------------------------
+
+/// Rows of A per microkernel call.
+const MR: usize = 4;
+/// Columns of B per packed panel.
+const NR: usize = 16;
+/// Minimum m*k*n before matmul forks to rayon.
+const PAR_FLOPS_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Whether the AVX2+FMA microkernel is usable on this machine (checked
+/// once). Non-x86_64 builds always use the portable kernel.
+#[cfg(target_arch = "x86_64")]
+fn fma_available() -> bool {
+    static FMA: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FMA.get_or_init(|| {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn fma_available() -> bool {
+    false
+}
+
+std::thread_local! {
+    static PACK_BUF: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Takes the thread-local packing buffer by value (ownership moves out, so
+/// no `RefCell` borrow is held while rayon may steal work onto this
+/// thread; a stolen nested matmul simply allocates a fresh buffer).
+fn take_pack_buf() -> Vec<f32> {
+    PACK_BUF.with(|b| std::mem::take(&mut *b.borrow_mut()))
+}
+
+fn return_pack_buf(buf: Vec<f32>) {
+    PACK_BUF.with(|b| {
+        let mut slot = b.borrow_mut();
+        if slot.capacity() < buf.capacity() {
+            *slot = buf;
+        }
+    });
+}
+
+/// Packs `b` (`[k, n]` row-major) into column panels: panel `p` covers
+/// columns `p*NR..(p+1)*NR` and stores `k` consecutive rows of `NR` floats,
+/// zero-padded past `n`. Layout: `packed[p * k * NR + kk * NR + j]`.
+fn pack_b(b: &[f32], k: usize, n: usize, packed: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    packed.clear();
+    packed.resize(panels * k * NR, 0.0);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = NR.min(n - j0);
+        let dst = &mut packed[p * k * NR..(p + 1) * k * NR];
+        for kk in 0..k {
+            dst[kk * NR..kk * NR + w].copy_from_slice(&b[kk * n + j0..kk * n + j0 + w]);
+        }
     }
 }
 
-#[inline]
-fn matmul_row(a: &[f32], b: &[f32], out_row: &mut [f32], i: usize, k: usize, n: usize) {
-    // ikj order: stream through b rows; autovectorizes well.
+/// Portable MR-row microkernel: per-element ascending-k accumulation from
+/// zero, bit-identical to `matmul_reference`.
+#[inline(always)]
+fn micro4_base(a: &[f32], panel: &[f32], k: usize, lda: usize, i: usize) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
     for kk in 0..k {
-        let aik = a[i * k + kk];
-        if aik == 0.0 {
-            continue;
+        let bp = &panel[kk * NR..kk * NR + NR];
+        for r in 0..MR {
+            let arv = a[(i + r) * lda + kk];
+            let accr = &mut acc[r];
+            for j in 0..NR {
+                accr[j] += arv * bp[j];
+            }
         }
-        let brow = &b[kk * n..kk * n + n];
-        for (o, bv) in out_row.iter_mut().zip(brow) {
-            *o += aik * bv;
+    }
+    acc
+}
+
+#[inline(always)]
+fn micro1_base(a: &[f32], panel: &[f32], k: usize, lda: usize, row: usize) -> [f32; NR] {
+    let mut acc = [0.0f32; NR];
+    for kk in 0..k {
+        let bp = &panel[kk * NR..kk * NR + NR];
+        let arv = a[row * lda + kk];
+        for j in 0..NR {
+            acc[j] += arv * bp[j];
         }
+    }
+    acc
+}
+
+/// AVX2+FMA microkernel: same ascending-k order, but `mul_add` fuses each
+/// step into one rounding (vfmadd231ps), roughly doubling throughput.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro4_fma(a: &[f32], panel: &[f32], k: usize, lda: usize, i: usize) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..k {
+        let bp = &panel[kk * NR..kk * NR + NR];
+        for r in 0..MR {
+            let arv = a[(i + r) * lda + kk];
+            let accr = &mut acc[r];
+            for j in 0..NR {
+                accr[j] = arv.mul_add(bp[j], accr[j]);
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro1_fma(a: &[f32], panel: &[f32], k: usize, lda: usize, row: usize) -> [f32; NR] {
+    let mut acc = [0.0f32; NR];
+    for kk in 0..k {
+        let bp = &panel[kk * NR..kk * NR + NR];
+        let arv = a[row * lda + kk];
+        for j in 0..NR {
+            acc[j] = arv.mul_add(bp[j], acc[j]);
+        }
+    }
+    acc
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+unsafe fn micro4_fma(a: &[f32], panel: &[f32], k: usize, lda: usize, i: usize) -> [[f32; NR]; MR] {
+    micro4_base(a, panel, k, lda, i)
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+unsafe fn micro1_fma(a: &[f32], panel: &[f32], k: usize, lda: usize, row: usize) -> [f32; NR] {
+    micro1_base(a, panel, k, lda, row)
+}
+
+/// Computes output rows `i0..i0 + rows` (as the `out` slice, stride `n`)
+/// from the full `a` matrix and pre-packed `b` panels. Each output row's
+/// accumulation is independent of how rows are grouped into MR-tiles, so
+/// any row partition yields bit-identical results.
+fn matmul_rows(
+    a: &[f32],
+    packed: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    use_fma: bool,
+) {
+    let panels = n.div_ceil(NR);
+    let mut r = 0;
+    while r + MR <= rows {
+        for p in 0..panels {
+            let panel = &packed[p * k * NR..(p + 1) * k * NR];
+            let acc = if use_fma {
+                unsafe { micro4_fma(a, panel, k, k, i0 + r) }
+            } else {
+                micro4_base(a, panel, k, k, i0 + r)
+            };
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            for (rr, acc_row) in acc.iter().enumerate() {
+                out[(r + rr) * n + j0..(r + rr) * n + j0 + w].copy_from_slice(&acc_row[..w]);
+            }
+        }
+        r += MR;
+    }
+    while r < rows {
+        for p in 0..panels {
+            let panel = &packed[p * k * NR..(p + 1) * k * NR];
+            let acc = if use_fma {
+                unsafe { micro1_fma(a, panel, k, k, i0 + r) }
+            } else {
+                micro1_base(a, panel, k, k, i0 + r)
+            };
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            out[r * n + j0..r * n + j0 + w].copy_from_slice(&acc[..w]);
+        }
+        r += 1;
+    }
+}
+
+/// `out = a x b` for row-major 2-D data through the packed kernel,
+/// rayon-parallel over MR-aligned row blocks for large problems.
+/// Overwrites `out` entirely.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let use_fma = fma_available();
+    let mut packed = take_pack_buf();
+    pack_b(b, k, n, &mut packed);
+    if m * k * n >= PAR_FLOPS_THRESHOLD {
+        // MR-aligned row blocks sized so each rayon thread gets a few
+        // tasks; the partition never changes the per-row bit pattern.
+        let threads = rayon::current_num_threads().max(1);
+        let target_blocks = threads * 4;
+        let block_rows = (m.div_ceil(target_blocks)).next_multiple_of(MR);
+        out.par_chunks_mut(block_rows * n)
+            .enumerate()
+            .for_each(|(blk, chunk)| {
+                let i0 = blk * block_rows;
+                matmul_rows(a, &packed, chunk, i0, chunk.len() / n, k, n, use_fma);
+            });
+    } else {
+        matmul_rows(a, &packed, out, 0, m, k, n, use_fma);
+    }
+    return_pack_buf(packed);
+}
+
+/// Serial reference matmul (branchless ikj): `out = a x b`. This is the
+/// ground truth for the kernel tests — the packed base path must match it
+/// to 0 ULP; the FMA path to 1e-5 relative.
+pub fn matmul_reference(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for o in out_row.iter_mut() {
+            *o = 0.0;
+        }
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            let brow = &b[kk * n..kk * n + n];
+            for (o, bv) in out_row.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// Cache-blocked 2-D transpose: `dst[j, i] = src[i, j]` for `[m, n]` src.
+fn transpose_block(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
+    const TB: usize = 32;
+    let mut ii = 0;
+    while ii < m {
+        let im = (ii + TB).min(m);
+        let mut jj = 0;
+        while jj < n {
+            let jm = (jj + TB).min(n);
+            for i in ii..im {
+                for j in jj..jm {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+            jj = jm;
+        }
+        ii = im;
     }
 }
 
@@ -330,16 +575,55 @@ mod tests {
     }
 
     #[test]
-    fn matmul_parallel_matches_serial() {
+    fn matmul_parallel_bit_identical_to_serial_kernel() {
         let mut rng = StdRng::seed_from_u64(2);
-        // Above the parallel threshold.
-        let a = Tensor::randn(&[80, 70], 1.0, &mut rng);
-        let b = Tensor::randn(&[70, 90], 1.0, &mut rng);
+        // Above the parallel threshold, so matmul() takes the rayon path.
+        let (m, k, n) = (80, 70, 90);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
         let big = a.matmul(&b);
-        let mut serial = vec![0.0; 80 * 90];
-        matmul_into_serial(&a.data, &b.data, &mut serial, 80, 70, 90);
+        let mut packed = Vec::new();
+        pack_b(&b.data, k, n, &mut packed);
+        let mut serial = vec![0.0; m * n];
+        matmul_rows(&a.data, &packed, &mut serial, 0, m, k, n, fma_available());
         for (x, y) in big.data.iter().zip(&serial) {
-            assert!((x - y).abs() < 1e-4);
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_base_kernel_bit_identical_to_reference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (17, 33, 31), (64, 64, 64), (5, 128, 130)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let mut reference = vec![0.0; m * n];
+            matmul_reference(&a.data, &b.data, &mut reference, m, k, n);
+            let mut packed = Vec::new();
+            pack_b(&b.data, k, n, &mut packed);
+            let mut blocked = vec![0.0; m * n];
+            matmul_rows(&a.data, &packed, &mut blocked, 0, m, k, n, false);
+            for (x, y) in reference.iter().zip(&blocked) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_dispatched_within_tolerance_of_reference() {
+        // The FMA path fuses mul+add into one rounding; the documented
+        // contract is 1e-5 relative agreement with the serial reference.
+        let mut rng = StdRng::seed_from_u64(8);
+        for (m, k, n) in [(128, 128, 128), (33, 257, 65)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let c = a.matmul(&b);
+            let mut reference = vec![0.0; m * n];
+            matmul_reference(&a.data, &b.data, &mut reference, m, k, n);
+            for (x, y) in reference.iter().zip(&c.data) {
+                let rel = (x - y).abs() / x.abs().max(1.0);
+                assert!(rel < 1e-5, "{m}x{k}x{n}: {x} vs {y}");
+            }
         }
     }
 
@@ -410,6 +694,57 @@ mod tests {
             for (x, y) in lhs.data.iter().zip(&rhs.data) {
                 prop_assert!((x - y).abs() < 1e-4);
             }
+        }
+
+        /// Blocked base kernel is bit-identical (0 ULP) to the serial
+        /// reference for arbitrary shapes and row partitions.
+        #[test]
+        fn blocked_matmul_zero_ulp_vs_reference(
+            m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let mut reference = vec![0.0; m * n];
+            matmul_reference(&a.data, &b.data, &mut reference, m, k, n);
+            let mut packed = Vec::new();
+            pack_b(&b.data, k, n, &mut packed);
+            let mut blocked = vec![0.0; m * n];
+            matmul_rows(&a.data, &packed, &mut blocked, 0, m, k, n, false);
+            for (x, y) in reference.iter().zip(&blocked) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            // Split at an arbitrary row: partitioning never changes bits.
+            let split = seed as usize % m;
+            let mut parts = vec![0.0; m * n];
+            let (top, bottom) = parts.split_at_mut(split * n);
+            matmul_rows(&a.data, &packed, top, 0, split, k, n, false);
+            matmul_rows(&a.data, &packed, bottom, split, m - split, k, n, false);
+            for (x, y) in reference.iter().zip(&parts) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        /// Blocked transposes are exact data movement: round-trip and
+        /// element equality vs the naive definition.
+        #[test]
+        fn blocked_transpose_exact(
+            b in 1usize..4, m in 1usize..70, n in 1usize..70, seed in 0u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = Tensor::randn(&[m, n], 1.0, &mut rng);
+            let tt = t.t2();
+            for i in 0..m {
+                for j in 0..n {
+                    prop_assert_eq!(
+                        t.data[i * n + j].to_bits(),
+                        tt.data[j * m + i].to_bits()
+                    );
+                }
+            }
+            prop_assert_eq!(&tt.t2().data, &t.data);
+            let t3 = Tensor::randn(&[b, m, n], 1.0, &mut rng);
+            prop_assert_eq!(&t3.transpose_last2().transpose_last2().data, &t3.data);
         }
 
         /// Matmul distributes over addition: A·(B+C) = A·B + A·C.

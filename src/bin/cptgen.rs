@@ -11,6 +11,7 @@
 //! cptgen evaluate --real real.jsonl --synth synth.jsonl
 //! cptgen mcn      --input synth.jsonl --workers 4
 //! cptgen stats    --input real.jsonl
+//! cptgen bench    --quick -o BENCH_throughput.json --check BENCH_baseline.json
 //! cptgen dot      [--generation 4g|5g]
 //! ```
 //!
@@ -20,7 +21,8 @@
 //!
 //! Failures never panic; they map to documented exit codes:
 //! `2` usage, `3` data/IO error, `4` invalid configuration or model,
-//! `5` training diverged beyond recovery, `6` checkpoint error.
+//! `5` training diverged beyond recovery, `6` checkpoint error,
+//! `7` throughput regression beyond the allowed factor.
 
 use cpt::gpt::{
     resume_training, train_with_checkpoints, CheckpointSpec, CptGpt, CptGptConfig,
@@ -44,6 +46,8 @@ const EXIT_CONFIG: u8 = 4;
 const EXIT_DIVERGED: u8 = 5;
 /// Exit code for checkpoint save/load failures.
 const EXIT_CHECKPOINT: u8 = 6;
+/// Exit code for a throughput regression beyond the allowed factor.
+const EXIT_REGRESSION: u8 = 7;
 
 /// A CLI failure: a message for stderr plus the process exit code it maps
 /// to. Every library error converts into one of these — `main` never sees
@@ -114,10 +118,13 @@ fn usage() -> ExitCode {
            evaluate   --real REAL.jsonl --synth SYNTH.jsonl\n\
            mcn        --input TRACE.jsonl [--workers N] [--autoscale]\n\
            stats      --input TRACE.jsonl\n\
+           bench      [--quick] [-o OUT.json] [--check BASELINE.json]\n\
+         \u{20}            [--max-regression F]   (throughput report, default 2.0)\n\
            dot        [--generation 4g|5g]   (Graphviz of the UE state machine)\n\
          \n\
          exit codes: 0 ok, 2 usage, 3 data/io, 4 bad config/model,\n\
-         \u{20}           5 training diverged, 6 checkpoint error\n"
+         \u{20}           5 training diverged, 6 checkpoint error,\n\
+         \u{20}           7 throughput regression\n"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -361,6 +368,66 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Measures end-to-end throughput (kernel GFLOP/s, training tokens/s,
+/// generation streams/s + tokens/s, peak RSS), writes the JSON report, and
+/// optionally gates against a committed baseline. CI runs
+/// `bench --quick --check BENCH_baseline.json` so a >2× throughput drop
+/// fails the build instead of landing silently.
+fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let quick = opts.contains_key("quick");
+    let out = opts
+        .get("o")
+        .map(String::as_str)
+        .unwrap_or("BENCH_throughput.json");
+    let max_regression: f64 = get_parsed(opts, "max-regression", 2.0)?;
+    if max_regression.is_nan() || max_regression < 1.0 {
+        return Err(CliError::usage("--max-regression must be >= 1.0"));
+    }
+
+    println!(
+        "measuring throughput ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = cpt::bench::throughput::measure(quick);
+    println!("  threads:  {}", report.threads);
+    println!("  matmul:   {:.2} GFLOP/s", report.matmul_gflops);
+    println!("  train:    {:.0} tokens/s", report.train_tokens_per_sec);
+    println!(
+        "  generate: {:.1} streams/s, {:.0} tokens/s",
+        report.generate_streams_per_sec, report.generate_tokens_per_sec
+    );
+    println!(
+        "  peak RSS: {:.1} MiB",
+        report.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| CliError::data(format!("cannot serialize report: {e}")))?;
+    std::fs::write(out, json + "\n")
+        .map_err(|e| CliError::data(format!("cannot write {out}: {e}")))?;
+    println!("wrote {out}");
+
+    if let Some(baseline_path) = opts.get("check").filter(|p| !p.is_empty()) {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| CliError::data(format!("cannot read baseline {baseline_path}: {e}")))?;
+        let baseline: cpt::bench::throughput::ThroughputReport = serde_json::from_str(&text)
+            .map_err(|e| CliError::data(format!("bad baseline {baseline_path}: {e}")))?;
+        let failures =
+            cpt::bench::throughput::check_regression(&report, &baseline, max_regression);
+        if !failures.is_empty() {
+            return Err(CliError {
+                code: EXIT_REGRESSION,
+                message: format!(
+                    "throughput regression vs {baseline_path}:\n  {}",
+                    failures.join("\n  ")
+                ),
+            });
+        }
+        println!("within {max_regression}x of baseline {baseline_path}");
+    }
+    Ok(())
+}
+
 fn cmd_dot(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let machine = match opts.get("generation").map(String::as_str) {
         None | Some("4g") | Some("lte") => StateMachine::lte(),
@@ -390,6 +457,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&opts),
         "mcn" => cmd_mcn(&opts),
         "stats" => cmd_stats(&opts),
+        "bench" => cmd_bench(&opts),
         "dot" => cmd_dot(&opts),
         "--help" | "-h" | "help" => return usage(),
         other => {

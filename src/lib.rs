@@ -10,7 +10,9 @@
 //! - [`smm`] — Semi-Markov-model baselines
 //! - [`metrics`] — fidelity metrics
 //! - [`mcn`] — downstream MCN load simulator (the §2.2 use case)
+//! - [`bench`] — experiment + throughput-measurement harness
 
+pub use cpt_bench as bench;
 pub use cpt_gpt as gpt;
 pub use cpt_mcn as mcn;
 pub use cpt_metrics as metrics;
