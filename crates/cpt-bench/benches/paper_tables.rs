@@ -53,11 +53,13 @@ fn fixtures() -> Fixtures {
     let mut gpt = CptGpt::new(scale.gpt.with_seed(BASE_SEED), tok);
     train(&mut gpt, &real_train, &scale.gpt_train).expect("CPT-GPT training failed");
     let mut netshare = NetShare::new(scale.ns.with_seed(BASE_SEED));
-    netshare.train(&real_train);
+    netshare.train(&real_train).expect("NetShare training failed");
     let gpt_synth = gpt
         .generate(&GenerateConfig::new(scale.gen_streams, 5))
         .expect("CPT-GPT generation failed");
-    let ns_synth = netshare.generate(scale.gen_streams, DeviceType::Phone, 5);
+    let ns_synth = netshare
+        .generate(scale.gen_streams, DeviceType::Phone, 5)
+        .expect("NetShare generation failed");
     Fixtures {
         scale,
         machine,
@@ -94,7 +96,10 @@ fn paper_tables(c: &mut Criterion) {
     // transfer-learning timing is built from).
     c.bench_function("table4_netshare_finetune_epoch", |b| {
         b.iter(|| {
-            let (m, _) = f.netshare.fine_tune(&f.real_test, 1);
+            let (m, _) = f
+                .netshare
+                .fine_tune(&f.real_test, 1)
+                .expect("NetShare fine-tuning failed");
             black_box(m)
         })
     });

@@ -1,56 +1,116 @@
-//! Experiment driver: regenerates every table and figure of the paper.
+//! Experiment driver: regenerates every table and figure of the paper
+//! under the stage supervisor (see `cpt_bench::suite`).
 //!
 //! ```text
-//! experiments [--scale quick|full] [--out DIR] <command> [command...]
+//! experiments [options] <command> [command...]
 //!
 //! commands:
 //!   table3 table4 table5 table6 table7 table8 table9 table10 table11
 //!   fig2 fig5 fig6 fig7
-//!   ablation-logscale ablation-batchgen
+//!   ablation-logscale ablation-batchgen downstream
 //!   all          every table/figure plus both extra ablations
+//!
+//! options:
+//!   --scale quick|full|tiny   run sizes (default quick)
+//!   --out DIR                 results directory (default results/)
+//!   --resume                  skip stages manifest.json records completed
+//!   --keep-going              run later stages after a failure (exit 8)
+//!   --max-attempts N          attempts per stage, reseeded (default 2)
+//!   --stage-budget-secs S     per-stage wall-clock budget (cooperative)
+//!   --backoff-ms N            base retry backoff (default 250)
+//!   --inject-fail STAGE[:N]   deterministically fail a stage's first N
+//!                             attempts (all attempts without :N)
+//!
+//! exit codes:
+//!   0  every requested stage completed
+//!   1  no stage completed (or a supervisor-level IO failure)
+//!   2  usage error — rejected before any stage runs
+//!   8  partial success: some stages completed, some failed
 //! ```
 //!
-//! Results are printed and mirrored into the output directory
-//! (default `results/`).
+//! Results are printed and mirrored into the output directory; the run is
+//! recorded stage-by-stage in `<out>/manifest.json` and summarized in
+//! `<out>/run_report.txt`. Trained models are cached under `<out>/cache/`
+//! and reused by `--resume`.
 
-use cpt_bench::experiments::{
-    ablations, distributions, downstream, memorization, scalability, transfer, violations,
-};
-use cpt_bench::output::Output;
-use cpt_bench::pipeline::SuiteCache;
+use cpt_bench::suite::{self, SuiteConfig, SuiteError};
 use cpt_bench::Scale;
+use cpt_gpt::StageFaultPlan;
 use std::process::ExitCode;
-use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments [--scale quick|full] [--out DIR] <command...>\n\
+        "usage: experiments [--scale quick|full|tiny] [--out DIR] [--resume] [--keep-going]\n\
+         \u{20}                  [--max-attempts N] [--stage-budget-secs S] [--backoff-ms N]\n\
+         \u{20}                  [--inject-fail STAGE[:N]] <command...>\n\
          commands: table3 table4 table5 table6 table7 table8 table9 table10 table11\n\
-         \u{20}         fig2 fig5 fig6 fig7 downstream ablation-logscale ablation-batchgen all"
+         \u{20}         fig2 fig5 fig6 fig7 downstream ablation-logscale ablation-batchgen all\n\
+         exit codes: 0 all completed; 1 nothing completed; 2 usage; 8 partial success"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let mut scale = Scale::quick();
-    let mut out_dir = "results".to_string();
+    let mut cfg = SuiteConfig::new(Scale::quick(), "results");
     let mut commands: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
                 let Some(name) = args.next() else { return usage() };
                 match Scale::by_name(&name) {
-                    Some(s) => scale = s,
+                    Some(s) => cfg.scale = s,
                     None => {
-                        eprintln!("unknown scale {name:?} (use quick or full)");
+                        eprintln!("unknown scale {name:?} (use quick, full or tiny)");
                         return ExitCode::from(2);
                     }
                 }
             }
             "--out" => {
                 let Some(dir) = args.next() else { return usage() };
-                out_dir = dir;
+                cfg.out_dir = dir.into();
+            }
+            "--resume" => cfg.resume = true,
+            "--keep-going" => cfg.keep_going = true,
+            "--max-attempts" => {
+                let Some(n) = args.next() else { return usage() };
+                match n.parse::<u32>() {
+                    Ok(n) if n >= 1 => cfg.max_attempts = n,
+                    _ => {
+                        eprintln!("--max-attempts needs a positive integer, got {n:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--stage-budget-secs" => {
+                let Some(s) = args.next() else { return usage() };
+                match s.parse::<f64>() {
+                    Ok(v) if v.is_finite() && v > 0.0 => cfg.stage_budget_secs = Some(v),
+                    _ => {
+                        eprintln!("--stage-budget-secs needs a positive number, got {s:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--backoff-ms" => {
+                let Some(n) = args.next() else { return usage() };
+                match n.parse::<u64>() {
+                    Ok(v) => cfg.backoff_base_ms = v,
+                    Err(_) => {
+                        eprintln!("--backoff-ms needs an integer, got {n:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--inject-fail" => {
+                let Some(spec) = args.next() else { return usage() };
+                match StageFaultPlan::parse(&spec) {
+                    Ok(plan) => cfg.fault = Some(plan),
+                    Err(e) => {
+                        eprintln!("bad --inject-fail spec: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
             }
             "--help" | "-h" => return usage(),
             cmd => commands.push(cmd.to_string()),
@@ -59,72 +119,15 @@ fn main() -> ExitCode {
     if commands.is_empty() {
         return usage();
     }
-    if commands.iter().any(|c| c == "all") {
-        commands = [
-            "table3", "fig2", "table4", "table5", "table6", "fig5", "table7", "table8",
-            "fig6", "table9", "table10", "table11", "fig7", "ablation-logscale",
-            "ablation-batchgen", "downstream",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    }
-
-    let out = match Output::new(&out_dir) {
-        Ok(o) => o,
+    match suite::run_stages(&cfg, &commands) {
+        Ok(report) => ExitCode::from(report.exit_code()),
+        Err(SuiteError::Config { what }) => {
+            eprintln!("error: {what}");
+            usage()
+        }
         Err(e) => {
-            eprintln!("cannot create output dir {out_dir:?}: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
-    };
-    out.note(&format!(
-        "CPT-GPT reproduction experiments — scale '{}', results in {}/",
-        scale.name, out_dir
-    ));
-
-    // Suites (trained generators per device) are shared across commands;
-    // the transfer protocol is likewise run once for tables 4/9/10.
-    let mut cache = SuiteCache::new();
-    let mut transfer_runs = None;
-    let start = Instant::now();
-    for cmd in &commands {
-        let t0 = Instant::now();
-        match cmd.as_str() {
-            "table3" => violations::run_table3(&scale, &out, &mut cache),
-            "table5" => violations::run_table5(&scale, &out, &mut cache),
-            "fig2" => distributions::run_fig2(&scale, &out, &mut cache),
-            "table6" => distributions::run_table6(&scale, &out, &mut cache),
-            "fig5" => distributions::run_fig5(&scale, &out, &mut cache),
-            "table7" => distributions::run_table7(&scale, &out, &mut cache),
-            "table8" => ablations::run_table8(&scale, &out),
-            "fig6" => scalability::run_fig6(&scale, &out, &mut cache),
-            "table4" | "table9" | "table10" => {
-                if transfer_runs.is_none() {
-                    out.note("== Running the transfer-learning protocol (shared by Tables 4/9/10) ==");
-                    transfer_runs = Some(transfer::run_transfer_protocol(&scale, &out));
-                }
-                let runs = transfer_runs.as_ref().expect("just set");
-                match cmd.as_str() {
-                    "table4" => transfer::run_table4(&out, runs, scale.hours),
-                    "table9" => transfer::run_table9(&out, runs, scale.hours),
-                    _ => transfer::run_table10(&scale, &out, runs),
-                }
-            }
-            "table11" => memorization::run_table11(&scale, &out, &mut cache),
-            "fig7" => memorization::run_fig7(&scale, &out, &mut cache),
-            "downstream" => downstream::run_downstream(&scale, &out, &mut cache),
-            "ablation-logscale" => ablations::run_ablation_logscale(&scale, &out),
-            "ablation-batchgen" => ablations::run_ablation_batchgen(&scale, &out),
-            other => {
-                eprintln!("unknown command {other:?}");
-                return usage();
-            }
-        }
-        out.note(&format!("  [{cmd} done in {:.1}s]\n", t0.elapsed().as_secs_f64()));
     }
-    out.note(&format!(
-        "all requested experiments finished in {:.1}s",
-        start.elapsed().as_secs_f64()
-    ));
-    ExitCode::SUCCESS
 }

@@ -4,6 +4,7 @@
 
 use crate::output::Output;
 use crate::pipeline::{test_trace, train_trace, BASE_SEED};
+use crate::suite::{bumped, SuiteError};
 use crate::Scale;
 use cpt_gpt::{train, CptGpt, GenerateConfig, ScaleKind, Tokenizer};
 use cpt_metrics::report::pct;
@@ -19,24 +20,28 @@ struct Variant {
     scale_kind: ScaleKind,
 }
 
-fn eval_variant(scale: &Scale, v: &Variant) -> FidelityReport {
+fn eval_variant(scale: &Scale, v: &Variant, seed_bump: u64) -> Result<FidelityReport, SuiteError> {
     let machine = StateMachine::lte();
     let train_data = train_trace(scale, DeviceType::Phone, 0);
     let test_data = test_trace(scale, DeviceType::Phone, 0);
     let tokenizer = Tokenizer::fit_with(&train_data, v.scale_kind);
     let mut cfg = scale
         .gpt
-        .with_seed(BASE_SEED)
+        .with_seed(bumped(BASE_SEED, seed_bump))
         .with_loss_weights(v.weights.0, v.weights.1, v.weights.2);
     if v.point_head {
         cfg = cfg.with_point_iat_head();
     }
     let mut model = CptGpt::new(cfg, tokenizer);
-    train(&mut model, &train_data, &scale.gpt_train).expect("CPT-GPT training failed");
-    let synth = model
-        .generate(&GenerateConfig::new(scale.gen_streams, BASE_SEED + 40).device(DeviceType::Phone))
-        .expect("CPT-GPT generation failed");
-    FidelityReport::compute(&machine, &test_data, &synth)
+    let train_cfg = scale
+        .gpt_train
+        .with_seed(bumped(scale.gpt_train.seed, seed_bump));
+    train(&mut model, &train_data, &train_cfg)?;
+    let synth = model.generate(
+        &GenerateConfig::new(scale.gen_streams, bumped(BASE_SEED + 40, seed_bump))
+            .device(DeviceType::Phone),
+    )?;
+    Ok(FidelityReport::compute(&machine, &test_data, &synth))
 }
 
 fn fidelity_rows(t: &mut Table, name: &str, r: &FidelityReport) {
@@ -63,7 +68,7 @@ const FIDELITY_HEADERS: [&str; 7] = [
 
 /// Table 8: varying per-field loss weights, and disabling the
 /// distribution-parameter interarrival head.
-pub fn run_table8(scale: &Scale, out: &Output) {
+pub fn run_table8(scale: &Scale, out: &Output, seed_bump: u64) -> Result<(), SuiteError> {
     out.note("== Table 8: loss-weight sensitivity and no-distribution-head ablation ==");
     let variants = [
         Variant {
@@ -102,15 +107,20 @@ pub fn run_table8(scale: &Scale, out: &Output) {
         &FIDELITY_HEADERS,
     );
     for v in &variants {
-        let r = eval_variant(scale, v);
+        let r = eval_variant(scale, v, seed_bump)?;
         fidelity_rows(&mut t, v.name, &r);
     }
     out.table("table8", &t.render());
+    Ok(())
 }
 
 /// Extra ablation: log vs linear interarrival scaling (the Appendix B /
 /// footnote 3 design rationale).
-pub fn run_ablation_logscale(scale: &Scale, out: &Output) {
+pub fn run_ablation_logscale(
+    scale: &Scale,
+    out: &Output,
+    seed_bump: u64,
+) -> Result<(), SuiteError> {
     out.note("== Ablation: log vs linear interarrival scaling ==");
     let variants = [
         Variant {
@@ -131,16 +141,21 @@ pub fn run_ablation_logscale(scale: &Scale, out: &Output) {
         &FIDELITY_HEADERS,
     );
     for v in &variants {
-        let r = eval_variant(scale, v);
+        let r = eval_variant(scale, v, seed_bump)?;
         fidelity_rows(&mut t, v.name, &r);
     }
     out.table("ablation_logscale", &t.render());
+    Ok(())
 }
 
 /// Extra ablation: NetShare batch-generation size (the L4 trade-off —
 /// larger batches mean fewer LSTM steps but lose intra-batch
 /// dependencies).
-pub fn run_ablation_batchgen(scale: &Scale, out: &Output) {
+pub fn run_ablation_batchgen(
+    scale: &Scale,
+    out: &Output,
+    seed_bump: u64,
+) -> Result<(), SuiteError> {
     out.note("== Ablation: NetShare batch-generation size ==");
     let machine = StateMachine::lte();
     let train_data = train_trace(scale, DeviceType::Phone, 0);
@@ -152,10 +167,14 @@ pub fn run_ablation_batchgen(scale: &Scale, out: &Output) {
     for bg in [1usize, 5, 10] {
         let mut cfg = scale.ns;
         cfg.batch_gen = bg;
-        cfg.seed = BASE_SEED + bg as u64;
+        cfg.seed = bumped(BASE_SEED + bg as u64, seed_bump);
         let mut model = NetShare::new(cfg);
-        model.train(&train_data);
-        let synth = model.generate(scale.gen_streams, DeviceType::Phone, BASE_SEED + 41);
+        model.train(&train_data)?;
+        let synth = model.generate(
+            scale.gen_streams,
+            DeviceType::Phone,
+            bumped(BASE_SEED + 41, seed_bump),
+        )?;
         let r = FidelityReport::compute(&machine, &test_data, &synth);
         let name = format!("batch_gen = {bg}");
         t.row(&[
@@ -169,4 +188,5 @@ pub fn run_ablation_batchgen(scale: &Scale, out: &Output) {
         ]);
     }
     out.table("ablation_batchgen", &t.render());
+    Ok(())
 }

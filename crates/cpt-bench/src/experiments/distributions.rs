@@ -3,6 +3,7 @@
 
 use crate::output::Output;
 use crate::pipeline::{GeneratorKind, SuiteCache};
+use crate::suite::SuiteError;
 use crate::Scale;
 use cpt_metrics::report::{pct, pct_signed};
 use cpt_metrics::sojourn::sojourn_ecdf;
@@ -12,10 +13,10 @@ use cpt_trace::{DeviceType, EventType};
 
 /// Figure 2: CDFs of per-UE mean CONNECTED sojourn time, phones, real vs
 /// all four generators. Emitted as CSV series plus a max-y summary table.
-pub fn run_fig2(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
+pub fn run_fig2(scale: &Scale, out: &Output, cache: &mut SuiteCache) -> Result<(), SuiteError> {
     out.note("== Figure 2: CONNECTED sojourn CDFs (phones) ==");
     let machine = StateMachine::lte();
-    let suite = cache.get(scale, DeviceType::Phone);
+    let suite = cache.get(scale, DeviceType::Phone)?;
     let mut rows = Vec::new();
     let real = sojourn_ecdf(&machine, &suite.real_test, TopState::Connected);
     for (x, y) in real.series(200) {
@@ -38,11 +39,12 @@ pub fn run_fig2(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
     }
     out.csv("fig2_connected_sojourn_cdf_phone", &["series", "x_seconds", "cdf"], &rows);
     out.table("fig2", &t.render());
+    Ok(())
 }
 
 /// Table 6: max y-distance of sojourn (CONNECTED/IDLE) and flow-length
 /// (all / SRV_REQ / S1_CONN_REL) CDFs for every generator × device type.
-pub fn run_table6(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
+pub fn run_table6(scale: &Scale, out: &Output, cache: &mut SuiteCache) -> Result<(), SuiteError> {
     out.note("== Table 6: max y-distance between real and synthesized CDFs ==");
     let mut t = Table::new(
         "Table 6: maximum y-distance between the CDFs of the real and synthesized datasets",
@@ -51,7 +53,7 @@ pub fn run_table6(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
         ],
     );
     for device in DeviceType::ALL {
-        let suite = cache.get(scale, device);
+        let suite = cache.get(scale, device)?;
         let metric_rows: [(&str, Box<dyn Fn(&cpt_metrics::FidelityReport) -> f64>); 5] = [
             ("Sojourn CONNECTED", Box::new(|r| r.sojourn_connected)),
             ("Sojourn IDLE", Box::new(|r| r.sojourn_idle)),
@@ -71,15 +73,16 @@ pub fn run_table6(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
         }
     }
     out.table("table6", &t.render());
+    Ok(())
 }
 
 /// Figure 5: the full CDF grid (sojourns + flow lengths) per device type
 /// and generator, as CSV series.
-pub fn run_fig5(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
+pub fn run_fig5(scale: &Scale, out: &Output, cache: &mut SuiteCache) -> Result<(), SuiteError> {
     out.note("== Figure 5: fidelity-metric CDF grids ==");
     let machine = StateMachine::lte();
     for device in DeviceType::ALL {
-        let suite = cache.get(scale, device);
+        let suite = cache.get(scale, device)?;
         let mut rows = Vec::new();
         let emit = |panel: &str, series: &str, points: Vec<(f64, f64)>, rows: &mut Vec<Vec<String>>| {
             for (x, y) in points {
@@ -141,11 +144,12 @@ pub fn run_fig5(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
             &rows,
         );
     }
+    Ok(())
 }
 
 /// Table 7: event-type breakdown of the real dataset and per-generator
 /// differences.
-pub fn run_table7(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
+pub fn run_table7(scale: &Scale, out: &Output, cache: &mut SuiteCache) -> Result<(), SuiteError> {
     out.note("== Table 7: event-type breakdown (difference vs real) ==");
     let mut t = Table::new(
         "Table 7: breakdown of event types; generator columns show (synth - real)",
@@ -154,7 +158,7 @@ pub fn run_table7(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
         ],
     );
     for device in DeviceType::ALL {
-        let suite = cache.get(scale, device);
+        let suite = cache.get(scale, device)?;
         let real = suite.real_test.event_breakdown();
         let diffs: Vec<_> = GeneratorKind::ALL
             .iter()
@@ -173,4 +177,5 @@ pub fn run_table7(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
         }
     }
     out.table("table7", &t.render());
+    Ok(())
 }

@@ -5,6 +5,7 @@
 
 use crate::output::Output;
 use crate::pipeline::{GeneratorKind, SuiteCache};
+use crate::suite::{bumped, SuiteError};
 use crate::Scale;
 use cpt_mcn::{simulate, McnConfig};
 use cpt_metrics::Table;
@@ -52,9 +53,14 @@ fn row_for(name: &str, trace: &Dataset, cfg: &McnConfig) -> Vec<String> {
 /// Drives a fixed-size and an autoscaling MCN with the real phone trace
 /// and every generator's synthetic trace; the synthetic rows should agree
 /// with the real row for a generator to be useful downstream.
-pub fn run_downstream(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
+pub fn run_downstream(
+    scale: &Scale,
+    out: &Output,
+    cache: &mut SuiteCache,
+    seed_bump: u64,
+) -> Result<(), SuiteError> {
     out.note("== Extension: downstream MCN evaluation (the §2.2 use case) ==");
-    let suite = cache.get(scale, DeviceType::Phone);
+    let suite = cache.get(scale, DeviceType::Phone)?;
 
     for (label, cfg) in [
         ("fixed 4-worker MCN", McnConfig::fixed(4)),
@@ -74,7 +80,7 @@ pub fn run_downstream(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
         );
         t.row(&row_for("real", &suite.real_test, &cfg));
         for (i, kind) in GeneratorKind::ALL.into_iter().enumerate() {
-            let placed = place_streams(&suite.synth[&kind], 3600.0, 9000 + i as u64);
+            let placed = place_streams(&suite.synth[&kind], 3600.0, bumped(9000 + i as u64, seed_bump));
             t.row(&row_for(kind.label(), &placed, &cfg));
         }
         let name = if cfg.autoscale.is_some() {
@@ -84,4 +90,5 @@ pub fn run_downstream(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
         };
         out.table(name, &t.render());
     }
+    Ok(())
 }

@@ -3,6 +3,7 @@
 
 use crate::output::Output;
 use crate::pipeline::{GeneratorKind, SuiteCache};
+use crate::suite::SuiteError;
 use crate::Scale;
 use cpt_metrics::report::pct;
 use cpt_metrics::{ngram_repeat_fraction, Table};
@@ -11,9 +12,9 @@ use cpt_trace::DeviceType;
 
 /// Table 11: fraction of generated n-grams repeated from the training
 /// set, for n ∈ {5, 10, 20} and ε ∈ {10 %, 20 %}.
-pub fn run_table11(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
+pub fn run_table11(scale: &Scale, out: &Output, cache: &mut SuiteCache) -> Result<(), SuiteError> {
     out.note("== Table 11: n-gram memorization (phones) ==");
-    let suite = cache.get(scale, DeviceType::Phone);
+    let suite = cache.get(scale, DeviceType::Phone)?;
     let generated = &suite.synth[&GeneratorKind::CptGpt];
     let training = &suite.real_train;
     let mut t = Table::new(
@@ -28,14 +29,15 @@ pub fn run_table11(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
         ]);
     }
     out.table("table11", &t.render());
+    Ok(())
 }
 
 /// Figure 7: interarrival-time histogram for phones, raw seconds and
 /// log-scaled (`ln(t+1)`), demonstrating the tokenizer's log-scaling
 /// rationale.
-pub fn run_fig7(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
+pub fn run_fig7(scale: &Scale, out: &Output, cache: &mut SuiteCache) -> Result<(), SuiteError> {
     out.note("== Figure 7: interarrival-time distribution (phones) ==");
-    let suite = cache.get(scale, DeviceType::Phone);
+    let suite = cache.get(scale, DeviceType::Phone)?;
     let iats = suite.real_train.interarrivals();
     let max = iats.iter().cloned().fold(0.0f64, f64::max).max(1.0);
 
@@ -67,4 +69,5 @@ pub fn run_fig7(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
     t.row(&["raw seconds".into(), pct(below_frac(&raw, 0.1), 1)]);
     t.row(&["ln(t+1)".into(), pct(below_frac(&logh, 0.1), 1)]);
     out.table("fig7", &t.render());
+    Ok(())
 }

@@ -7,6 +7,7 @@
 
 use crate::output::Output;
 use crate::pipeline::{ground_truth, SuiteCache, BASE_SEED};
+use crate::suite::{bumped, SuiteError};
 use crate::Scale;
 use cpt_gpt::GenerateConfig;
 use cpt_metrics::report::pct;
@@ -15,10 +16,15 @@ use cpt_statemachine::StateMachine;
 use cpt_trace::DeviceType;
 
 /// Figure 6: run the trained phone model at several population sizes.
-pub fn run_fig6(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
+pub fn run_fig6(
+    scale: &Scale,
+    out: &Output,
+    cache: &mut SuiteCache,
+    seed_bump: u64,
+) -> Result<(), SuiteError> {
     out.note("== Figure 6: fidelity vs synthesized population size ==");
     let machine = StateMachine::lte();
-    let gpt = cache.get(scale, DeviceType::Phone).gpt.clone();
+    let gpt = cache.get(scale, DeviceType::Phone)?.gpt.clone();
     // A large reference pool to subsample per size (the paper samples from
     // its 380k-UE test set).
     let max_size = scale.fig6_sizes.iter().copied().max().unwrap_or(0);
@@ -38,9 +44,13 @@ pub fn run_fig6(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
     );
     let mut rows = Vec::new();
     for (i, n) in scale.fig6_sizes.iter().enumerate() {
-        let synth = gpt
-            .generate(&GenerateConfig::new(*n, BASE_SEED + 50 + i as u64).device(DeviceType::Phone))
-            .expect("CPT-GPT generation failed");
+        let synth = gpt.generate(
+            &GenerateConfig::new(*n, bumped(BASE_SEED + 50 + i as u64, seed_bump))
+                .device(DeviceType::Phone),
+        )?;
+        // The real reference pool is deliberately *not* reseeded on
+        // retries: only generation can fail, and the comparison target
+        // should stay fixed across attempts.
         let reference = pool.sample(*n, BASE_SEED + 60 + i as u64);
         let r = FidelityReport::compute(&machine, &reference, &synth);
         t.row(&[
@@ -65,4 +75,5 @@ pub fn run_fig6(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
     }
     out.csv("fig6_scalability", &["population", "metric", "value"], &rows);
     out.table("fig6", &t.render());
+    Ok(())
 }

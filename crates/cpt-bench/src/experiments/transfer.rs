@@ -13,6 +13,7 @@ use crate::pipeline::{
     concat_hours, cptgpt_time_to_converge, netshare_time_to_converge, test_trace, train_trace,
     BASE_SEED,
 };
+use crate::suite::{bumped, SuiteError};
 use crate::Scale;
 use cpt_gpt::{CptGpt, GenerateConfig};
 use cpt_metrics::report::{minutes, pct};
@@ -20,9 +21,12 @@ use cpt_metrics::{FidelityReport, Table};
 use cpt_netshare::NetShare;
 use cpt_statemachine::StateMachine;
 use cpt_trace::{Dataset, DeviceType};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// The timing measurements shared by Tables 4 and 9, plus the hour-3
 /// models needed by Table 10.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TransferRuns {
     /// Seconds to train the single multi-hour model.
     pub scratch_multi: (f64, f64), // (netshare, cptgpt)
@@ -41,9 +45,101 @@ pub struct TransferRuns {
     pub hour3_test: Dataset,
 }
 
+/// Format version of the transfer-runs cache file.
+const TRANSFER_CACHE_FORMAT_VERSION: u32 = 1;
+
+/// On-disk wrapper around [`TransferRuns`], written next to the suite
+/// cache so `--resume` can serve Tables 4/9/10 without re-running the
+/// most expensive protocol in the suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CachedTransferRuns {
+    format_version: u32,
+    scale: String,
+    /// Recorded for forensics only; loads don't depend on it.
+    #[allow(dead_code)]
+    seed_bump: u64,
+    runs: TransferRuns,
+}
+
+/// Loads cached transfer runs from `path`, or `None` when the file is
+/// missing, unparseable, from a different scale/format, or contains a
+/// model whose weights fail validation. Corrupt caches degrade to a
+/// recompute, never an error.
+pub fn load_cached_runs(path: &Path, scale: &Scale) -> Option<TransferRuns> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let cached: CachedTransferRuns = match serde_json::from_str(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "warning: transfer cache {} is corrupt ({e}); recomputing",
+                path.display()
+            );
+            return None;
+        }
+    };
+    if cached.format_version != TRANSFER_CACHE_FORMAT_VERSION || cached.scale != scale.name {
+        eprintln!(
+            "warning: transfer cache {} does not match this run; recomputing",
+            path.display()
+        );
+        return None;
+    }
+    for (label, store) in [
+        ("hour-3 scratch NetShare", &cached.runs.hour3_scratch.0.store),
+        ("hour-3 scratch CPT-GPT", &cached.runs.hour3_scratch.1.store),
+        ("hour-3 transfer NetShare", &cached.runs.hour3_transfer.0.store),
+        ("hour-3 transfer CPT-GPT", &cached.runs.hour3_transfer.1.store),
+    ] {
+        if let Err(e) = cpt_nn::serialize::validate_store(store) {
+            eprintln!(
+                "warning: cached {label} model in {} failed validation ({e}); recomputing",
+                path.display()
+            );
+            return None;
+        }
+    }
+    Some(cached.runs)
+}
+
+/// Best-effort persistence of the transfer runs (cache write failures
+/// only warn: the in-memory result is already correct).
+pub fn persist_runs(path: &Path, scale: &Scale, runs: &TransferRuns, seed_bump: u64) {
+    if let Some(parent) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!(
+                "warning: cannot create transfer cache dir {}: {e}",
+                parent.display()
+            );
+            return;
+        }
+    }
+    let cached = CachedTransferRuns {
+        format_version: TRANSFER_CACHE_FORMAT_VERSION,
+        scale: scale.name.to_string(),
+        seed_bump,
+        runs: runs.clone(),
+    };
+    if let Err(e) = cpt_nn::serialize::atomic_write_json(&cached, path) {
+        eprintln!("warning: cannot write transfer cache {}: {e}", path.display());
+    }
+}
+
 /// Runs the full transfer-learning timing protocol once (used by Tables
-/// 4, 9 and 10).
-pub fn run_transfer_protocol(scale: &Scale, out: &Output) -> TransferRuns {
+/// 4, 9 and 10). `seed_bump` is 0 on the normal path and rises on
+/// supervisor retries.
+pub fn run_transfer_protocol(
+    scale: &Scale,
+    out: &Output,
+    seed_bump: u64,
+) -> Result<TransferRuns, SuiteError> {
+    if scale.hours < 4 {
+        return Err(SuiteError::Config {
+            what: format!(
+                "the transfer protocol needs scale.hours >= 4 (Table 10 evaluates hour 3), got {}",
+                scale.hours
+            ),
+        });
+    }
     let device = DeviceType::Phone;
     let hours: Vec<Dataset> = (0..scale.hours)
         .map(|h| train_trace(scale, device, h))
@@ -53,17 +149,17 @@ pub fn run_transfer_protocol(scale: &Scale, out: &Output) -> TransferRuns {
         .collect();
     let multi = concat_hours(&hours);
     let multi_val = concat_hours(&validations);
+    let seed = |offset: u64| bumped(BASE_SEED + offset, seed_bump);
 
     out.note("  [training multi-hour models from scratch]");
-    let (_, ns_multi) =
-        netshare_time_to_converge(scale, &multi, &multi_val, None, BASE_SEED + 70);
-    let (_, gpt_multi) = cptgpt_time_to_converge(scale, &multi, &multi_val, None, BASE_SEED + 70);
+    let (_, ns_multi) = netshare_time_to_converge(scale, &multi, &multi_val, None, seed(70))?;
+    let (_, gpt_multi) = cptgpt_time_to_converge(scale, &multi, &multi_val, None, seed(70))?;
 
     out.note("  [training hour-0 models from scratch]");
     let (mut ns_cur, ns_first) =
-        netshare_time_to_converge(scale, &hours[0], &validations[0], None, BASE_SEED + 71);
+        netshare_time_to_converge(scale, &hours[0], &validations[0], None, seed(71))?;
     let (mut gpt_cur, gpt_first) =
-        cptgpt_time_to_converge(scale, &hours[0], &validations[0], None, BASE_SEED + 71);
+        cptgpt_time_to_converge(scale, &hours[0], &validations[0], None, seed(71))?;
 
     let mut ns_scratch3 = None;
     let mut gpt_scratch3 = None;
@@ -78,15 +174,15 @@ pub fn run_transfer_protocol(scale: &Scale, out: &Output) -> TransferRuns {
             &hours[h],
             &validations[h],
             Some(&ns_cur),
-            BASE_SEED + 72 + h as u64,
-        );
+            seed(72 + h as u64),
+        )?;
         let (gpt_next, gpt_t) = cptgpt_time_to_converge(
             scale,
             &hours[h],
             &validations[h],
             Some(&gpt_cur),
-            BASE_SEED + 72 + h as u64,
-        );
+            seed(72 + h as u64),
+        )?;
         ns_ft_secs.push(ns_t.seconds);
         gpt_ft_secs.push(gpt_t.seconds);
         ns_cur = ns_next;
@@ -95,20 +191,10 @@ pub fn run_transfer_protocol(scale: &Scale, out: &Output) -> TransferRuns {
             ns_ft3 = Some(ns_cur.clone());
             gpt_ft3 = Some(gpt_cur.clone());
             out.note("  [training hour-3 models from scratch for Table 10]");
-            let (ns3, _) = netshare_time_to_converge(
-                scale,
-                &hours[3],
-                &validations[3],
-                None,
-                BASE_SEED + 80,
-            );
-            let (gpt3, _) = cptgpt_time_to_converge(
-                scale,
-                &hours[3],
-                &validations[3],
-                None,
-                BASE_SEED + 80,
-            );
+            let (ns3, _) =
+                netshare_time_to_converge(scale, &hours[3], &validations[3], None, seed(80))?;
+            let (gpt3, _) =
+                cptgpt_time_to_converge(scale, &hours[3], &validations[3], None, seed(80))?;
             ns_scratch3 = Some(ns3);
             gpt_scratch3 = Some(gpt3);
         }
@@ -116,18 +202,24 @@ pub fn run_transfer_protocol(scale: &Scale, out: &Output) -> TransferRuns {
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let total_ns = ns_first.seconds + ns_ft_secs.iter().sum::<f64>();
     let total_gpt = gpt_first.seconds + gpt_ft_secs.iter().sum::<f64>();
-    TransferRuns {
+    // The hours >= 4 precondition above guarantees the hour-3 models and
+    // trace exist; a miss here is a logic error surfaced as Config, not a
+    // panic.
+    let missing = || SuiteError::Config {
+        what: "transfer protocol finished without hour-3 artifacts".to_string(),
+    };
+    Ok(TransferRuns {
         scratch_multi: (ns_multi.seconds, gpt_multi.seconds),
         first_hour: (ns_first.seconds, gpt_first.seconds),
         per_hour_ft: (avg(&ns_ft_secs), avg(&gpt_ft_secs)),
         total_ft: (total_ns, total_gpt),
         hour3_scratch: (
-            ns_scratch3.expect("hours >= 4"),
-            gpt_scratch3.expect("hours >= 4"),
+            ns_scratch3.ok_or_else(missing)?,
+            gpt_scratch3.ok_or_else(missing)?,
         ),
-        hour3_transfer: (ns_ft3.expect("hours >= 4"), gpt_ft3.expect("hours >= 4")),
-        hour3_test: validations.into_iter().nth(3).expect("hours >= 4"),
-    }
+        hour3_transfer: (ns_ft3.ok_or_else(missing)?, gpt_ft3.ok_or_else(missing)?),
+        hour3_test: validations.into_iter().nth(3).ok_or_else(missing)?,
+    })
 }
 
 /// Table 4: NetShare's training time, scratch vs transfer.
@@ -191,22 +283,34 @@ pub fn run_table9(out: &Output, runs: &TransferRuns, hours: usize) {
 
 /// Table 10: fidelity of the 4th-hour trace with and without transfer
 /// learning.
-pub fn run_table10(scale: &Scale, out: &Output, runs: &TransferRuns) {
+pub fn run_table10(
+    scale: &Scale,
+    out: &Output,
+    runs: &TransferRuns,
+    seed_bump: u64,
+) -> Result<(), SuiteError> {
     out.note("== Table 10: fidelity w/ and w/o transfer learning (hour 3) ==");
     let machine = StateMachine::lte();
-    let eval_ns = |m: &NetShare, seed: u64| {
-        let synth = m.generate(scale.gen_streams, DeviceType::Phone, seed);
-        FidelityReport::compute(&machine, &runs.hour3_test, &synth)
+    let eval_ns = |m: &NetShare, seed: u64| -> Result<FidelityReport, SuiteError> {
+        let synth = m.generate(scale.gen_streams, DeviceType::Phone, seed)?;
+        Ok(FidelityReport::compute(&machine, &runs.hour3_test, &synth))
     };
-    let eval_gpt = |m: &CptGpt, seed: u64| {
-        let synth = m
-            .generate(&GenerateConfig::new(scale.gen_streams, seed).device(DeviceType::Phone))
-            .expect("CPT-GPT generation failed");
-        FidelityReport::compute(&machine, &runs.hour3_test, &synth)
+    let eval_gpt = |m: &CptGpt, seed: u64| -> Result<FidelityReport, SuiteError> {
+        let synth =
+            m.generate(&GenerateConfig::new(scale.gen_streams, seed).device(DeviceType::Phone))?;
+        Ok(FidelityReport::compute(&machine, &runs.hour3_test, &synth))
     };
     let reports = [
-        ("w/o xfer", eval_ns(&runs.hour3_scratch.0, BASE_SEED + 90), eval_gpt(&runs.hour3_scratch.1, BASE_SEED + 90)),
-        ("w/ xfer", eval_ns(&runs.hour3_transfer.0, BASE_SEED + 91), eval_gpt(&runs.hour3_transfer.1, BASE_SEED + 91)),
+        (
+            "w/o xfer",
+            eval_ns(&runs.hour3_scratch.0, bumped(BASE_SEED + 90, seed_bump))?,
+            eval_gpt(&runs.hour3_scratch.1, bumped(BASE_SEED + 90, seed_bump))?,
+        ),
+        (
+            "w/ xfer",
+            eval_ns(&runs.hour3_transfer.0, bumped(BASE_SEED + 91, seed_bump))?,
+            eval_gpt(&runs.hour3_transfer.1, bumped(BASE_SEED + 91, seed_bump))?,
+        ),
     ];
     let mut t = Table::new(
         "Table 10: hour-3 fidelity with and without transfer learning",
@@ -229,4 +333,5 @@ pub fn run_table10(scale: &Scale, out: &Output, runs: &TransferRuns) {
         ]);
     }
     out.table("table10", &t.render());
+    Ok(())
 }

@@ -2,6 +2,7 @@
 
 use crate::output::Output;
 use crate::pipeline::{GeneratorKind, SuiteCache};
+use crate::suite::SuiteError;
 use crate::Scale;
 use cpt_metrics::report::pct;
 use cpt_metrics::Table;
@@ -9,9 +10,9 @@ use cpt_trace::DeviceType;
 
 /// Table 3: NetShare's violation rates plus its top-3 (state, event)
 /// violation pairs, for phones.
-pub fn run_table3(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
+pub fn run_table3(scale: &Scale, out: &Output, cache: &mut SuiteCache) -> Result<(), SuiteError> {
     out.note("== Table 3: semantic violations in NetShare-synthesized traffic ==");
-    let suite = cache.get(scale, DeviceType::Phone);
+    let suite = cache.get(scale, DeviceType::Phone)?;
     let v = &suite.violations[&GeneratorKind::NetShare];
     let mut t = Table::new(
         "Table 3: NetShare violations (phones)",
@@ -29,12 +30,13 @@ pub fn run_table3(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
         ]);
     }
     out.table("table3", &t.render());
+    Ok(())
 }
 
 /// Table 5: event/stream violation rates for NetShare and CPT-GPT across
 /// the three device types (SMMs omitted — violation-free by
 /// construction).
-pub fn run_table5(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
+pub fn run_table5(scale: &Scale, out: &Output, cache: &mut SuiteCache) -> Result<(), SuiteError> {
     out.note("== Table 5: violations, NetShare vs CPT-GPT, all devices ==");
     let mut t = Table::new(
         "Table 5: percentage of events/streams violating 3GPP stateful semantics",
@@ -47,7 +49,7 @@ pub fn run_table5(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
         ],
     );
     for device in DeviceType::ALL {
-        let suite = cache.get(scale, device);
+        let suite = cache.get(scale, device)?;
         let ns = &suite.violations[&GeneratorKind::NetShare];
         let gpt = &suite.violations[&GeneratorKind::CptGpt];
         t.row(&[
@@ -59,4 +61,5 @@ pub fn run_table5(scale: &Scale, out: &Output, cache: &mut SuiteCache) {
         ]);
     }
     out.table("table5", &t.render());
+    Ok(())
 }

@@ -15,6 +15,7 @@
 pub mod experiments;
 pub mod output;
 pub mod pipeline;
+pub mod suite;
 pub mod throughput;
 
 use cpt_gpt::{CptGptConfig, TrainConfig};
@@ -23,7 +24,7 @@ use cpt_netshare::NetShareConfig;
 /// Run sizes for the experiment suite.
 #[derive(Debug, Clone)]
 pub struct Scale {
-    /// Human-readable name ("quick" / "full").
+    /// Human-readable name ("quick" / "full" / "tiny").
     pub name: &'static str,
     /// UEs per device type in each training trace.
     pub train_ues: usize,
@@ -147,11 +148,62 @@ impl Scale {
         }
     }
 
+    /// Seconds-scale run for supervisor/resume tests and the CI smoke
+    /// job: every stage exercises its real code path, but models are as
+    /// small as the transfer protocol allows (`hours` must stay >= 4
+    /// because Table 10 compares hour-3 models). Numbers produced at this
+    /// scale are meaningless; only the plumbing is under test.
+    pub fn tiny() -> Self {
+        let max_len = 16;
+        Scale {
+            name: "tiny",
+            train_ues: 48,
+            test_ues: 48,
+            gen_streams: 32,
+            max_len,
+            gpt: CptGptConfig {
+                d_model: 16,
+                n_blocks: 1,
+                n_heads: 2,
+                d_mlp: 32,
+                d_head: 16,
+                max_len,
+                ..CptGptConfig::small()
+            },
+            gpt_train: TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                lr: 6e-3,
+                warmup_steps: 4,
+                clip_norm: 1.0,
+                seed: 0,
+                snapshot_every: None,
+                ..TrainConfig::quick()
+            },
+            ns: NetShareConfig {
+                hidden: 12,
+                noise_dim: 6,
+                batch_gen: 4,
+                max_len,
+                d_hidden: 12,
+                epochs: 2,
+                batch_size: 16,
+                ..NetShareConfig::small()
+            },
+            smm_clusters: 4,
+            fig6_sizes: vec![16, 32],
+            hours: 4,
+            snapshot_every: 1,
+            snapshot_eval_streams: 16,
+        }
+    }
+
     /// Scale by name.
     pub fn by_name(name: &str) -> Option<Scale> {
         match name {
             "quick" => Some(Scale::quick()),
             "full" => Some(Scale::full()),
+            "tiny" => Some(Scale::tiny()),
             _ => None,
         }
     }

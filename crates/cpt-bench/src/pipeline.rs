@@ -2,6 +2,7 @@
 //! models, and the per-device generator suite that Tables 5–7 and
 //! Figures 2/5 all consume.
 
+use crate::suite::{bumped, SuiteError};
 use crate::Scale;
 use cpt_gpt::{fine_tune, train, CptGpt, GenerateConfig, Tokenizer, TrainReport};
 use cpt_gpt::transfer::FineTuneConfig;
@@ -11,10 +12,14 @@ use cpt_smm::{SemiMarkovModel, SmmEnsemble};
 use cpt_statemachine::StateMachine;
 use cpt_trace::{Dataset, DeviceType};
 use cpt_synth::{generate_device, SynthConfig};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 /// The generators compared throughout §5, in the paper's column order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum GeneratorKind {
     /// Single semi-Markov model per device type.
     Smm1,
@@ -74,22 +79,30 @@ pub fn test_trace(scale: &Scale, device: DeviceType, hour: usize) -> Dataset {
 
 /// Trains CPT-GPT on `data` (phone hour-0 unless stated otherwise in the
 /// experiment).
-pub fn train_cptgpt(scale: &Scale, data: &Dataset, seed: u64) -> (CptGpt, TrainReport) {
+pub fn train_cptgpt(
+    scale: &Scale,
+    data: &Dataset,
+    seed: u64,
+) -> Result<(CptGpt, TrainReport), SuiteError> {
     let tokenizer = Tokenizer::fit(data);
     let mut model = CptGpt::new(scale.gpt.with_seed(seed), tokenizer);
-    let report =
-        train(&mut model, data, &scale.gpt_train.with_seed(seed)).expect("CPT-GPT training failed");
-    (model, report)
+    let report = train(&mut model, data, &scale.gpt_train.with_seed(seed))?;
+    Ok((model, report))
 }
 
 /// Trains the adapted NetShare on `data`.
-pub fn train_netshare(scale: &Scale, data: &Dataset, seed: u64) -> (NetShare, NetShareTrainReport) {
+pub fn train_netshare(
+    scale: &Scale,
+    data: &Dataset,
+    seed: u64,
+) -> Result<(NetShare, NetShareTrainReport), SuiteError> {
     let mut model = NetShare::new(scale.ns.with_seed(seed));
-    let report = model.train(data);
-    (model, report)
+    let report = model.train(data)?;
+    Ok((model, report))
 }
 
 /// Everything the distribution experiments need for one device type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SuiteResult {
     /// Device type of this suite.
     pub device: DeviceType,
@@ -110,35 +123,211 @@ pub struct SuiteResult {
     pub netshare: NetShare,
 }
 
-/// Caches per-device suites so the `all` command trains each model once.
+/// Format version of the on-disk suite cache; bumped on incompatible
+/// layout changes so stale cache files are recomputed, not misread.
+pub const SUITE_CACHE_FORMAT_VERSION: u32 = 1;
+
+/// On-disk wrapper around a [`SuiteResult`], keyed by `(scale, device,
+/// seed)` so a resumed run only reuses models trained under the exact
+/// configuration it would otherwise recompute.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CachedSuite {
+    format_version: u32,
+    scale: String,
+    device: String,
+    seed: u64,
+    suite: SuiteResult,
+}
+
+/// The cache index maps each `(scale, device)` to the seed of its current
+/// authoritative suite file. Normally that seed is the unbumped base seed,
+/// but when a retry (which reseeds) produced the suite, the index lets a
+/// resumed process find and reuse it instead of retraining at the base
+/// seed and silently mixing models across stages.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct CacheIndex {
+    #[serde(default)]
+    format_version: u32,
+    #[serde(default)]
+    entries: BTreeMap<String, u64>,
+}
+
+/// Caches per-device suites so the `all` command trains each model once,
+/// and — when constructed with [`SuiteCache::persistent`] — mirrors every
+/// computed suite to disk so `experiments --resume` reuses trained models
+/// across process restarts.
 #[derive(Default)]
 pub struct SuiteCache {
     map: BTreeMap<usize, SuiteResult>,
+    disk_dir: Option<PathBuf>,
+    seed_bump: u64,
 }
 
 impl SuiteCache {
-    /// Creates an empty cache.
+    /// Creates an in-memory-only cache (tests, one-shot library use).
     pub fn new() -> Self {
         SuiteCache::default()
     }
 
-    /// Returns the suite for `device`, computing it (and, first, the phone
-    /// suite it transfers from) if needed.
-    pub fn get(&mut self, scale: &Scale, device: DeviceType) -> &SuiteResult {
-        if let std::collections::btree_map::Entry::Vacant(e) =
-            self.map.entry(DeviceType::Phone.index())
-        {
-            e.insert(run_suite(scale, DeviceType::Phone, None));
+    /// Creates a cache that persists every computed suite under `dir`
+    /// (created lazily on first write).
+    pub fn persistent(dir: impl Into<PathBuf>) -> Self {
+        SuiteCache {
+            map: BTreeMap::new(),
+            disk_dir: Some(dir.into()),
+            seed_bump: 0,
         }
-        if !self.map.contains_key(&device.index()) {
+    }
+
+    /// Sets the seed bump mixed into every seed derived while *computing*
+    /// a suite. Bump 0 reproduces the historical seeds; the supervisor
+    /// raises it on each retry of a stage so divergence-class failures are
+    /// retried on a fresh random trajectory. Already-cached suites are
+    /// unaffected.
+    pub fn set_seed_bump(&mut self, bump: u64) {
+        self.seed_bump = bump;
+    }
+
+    fn index_path(dir: &Path) -> PathBuf {
+        dir.join("index.json")
+    }
+
+    fn suite_path(dir: &Path, scale: &Scale, device: DeviceType, seed: u64) -> PathBuf {
+        dir.join(format!("suite-{}-{device}-{seed}.json", scale.name))
+    }
+
+    fn index_key(scale: &Scale, device: DeviceType) -> String {
+        format!("{}/{device}", scale.name)
+    }
+
+    /// Loads the cache index, treating a missing or corrupt index as
+    /// empty: the cache is an optimization, never a failure source.
+    fn load_index(dir: &Path) -> CacheIndex {
+        let Ok(text) = std::fs::read_to_string(Self::index_path(dir)) else {
+            return CacheIndex::default();
+        };
+        match serde_json::from_str::<CacheIndex>(&text) {
+            Ok(idx) if idx.format_version == SUITE_CACHE_FORMAT_VERSION => idx,
+            _ => CacheIndex::default(),
+        }
+    }
+
+    /// Validates and unwraps a cached suite file; `None` (with a warning)
+    /// for anything unusable — wrong version/scale/device, unparseable
+    /// bytes, or model weights that fail the finite/shape checks.
+    fn try_load(dir: &Path, scale: &Scale, device: DeviceType, seed: u64) -> Option<SuiteResult> {
+        let path = Self::suite_path(dir, scale, device, seed);
+        let text = std::fs::read_to_string(&path).ok()?;
+        let cached: CachedSuite = match serde_json::from_str(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!(
+                    "warning: suite cache {} is corrupt ({e}); recomputing",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        if cached.format_version != SUITE_CACHE_FORMAT_VERSION
+            || cached.scale != scale.name
+            || cached.device != device.to_string()
+            || cached.seed != seed
+        {
+            eprintln!(
+                "warning: suite cache {} does not match this run; recomputing",
+                path.display()
+            );
+            return None;
+        }
+        for (label, store) in [
+            ("CPT-GPT", &cached.suite.gpt.store),
+            ("NetShare", &cached.suite.netshare.store),
+        ] {
+            if let Err(e) = cpt_nn::serialize::validate_store(store) {
+                eprintln!(
+                    "warning: cached {label} model in {} failed validation ({e}); recomputing",
+                    path.display()
+                );
+                return None;
+            }
+        }
+        Some(cached.suite)
+    }
+
+    /// Best-effort persistence: cache write failures degrade to a warning
+    /// because the in-memory result is already correct.
+    fn persist(dir: &Path, scale: &Scale, suite: &SuiteResult, seed: u64) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create suite cache dir {}: {e}", dir.display());
+            return;
+        }
+        let cached = CachedSuite {
+            format_version: SUITE_CACHE_FORMAT_VERSION,
+            scale: scale.name.to_string(),
+            device: suite.device.to_string(),
+            seed,
+            suite: suite.clone(),
+        };
+        let path = Self::suite_path(dir, scale, suite.device, seed);
+        if let Err(e) = cpt_nn::serialize::atomic_write_json(&cached, &path) {
+            eprintln!("warning: cannot write suite cache {}: {e}", path.display());
+            return;
+        }
+        let mut index = Self::load_index(dir);
+        index.format_version = SUITE_CACHE_FORMAT_VERSION;
+        index
+            .entries
+            .insert(Self::index_key(scale, suite.device), seed);
+        if let Err(e) = cpt_nn::serialize::atomic_write_json(&index, Self::index_path(dir)) {
+            eprintln!("warning: cannot write suite cache index: {e}");
+        }
+    }
+
+    /// Makes sure the suite for `device` is in the in-memory map, loading
+    /// it from disk when a valid cached copy exists and computing (then
+    /// persisting) it otherwise.
+    fn ensure(&mut self, scale: &Scale, device: DeviceType) -> Result<(), SuiteError> {
+        if self.map.contains_key(&device.index()) {
+            return Ok(());
+        }
+        if let Some(dir) = self.disk_dir.clone() {
+            let index = Self::load_index(&dir);
+            if let Some(&seed) = index.entries.get(&Self::index_key(scale, device)) {
+                if let Some(suite) = Self::try_load(&dir, scale, device, seed) {
+                    println!(
+                        "  [reusing cached {device} suite (scale {}, seed {seed})]",
+                        scale.name
+                    );
+                    self.map.insert(device.index(), suite);
+                    return Ok(());
+                }
+            }
+        }
+        let suite = if device == DeviceType::Phone {
+            run_suite(scale, device, None, self.seed_bump)?
+        } else {
             let (gpt, ns) = {
                 let phone = &self.map[&DeviceType::Phone.index()];
                 (phone.gpt.clone(), phone.netshare.clone())
             };
-            let suite = run_suite(scale, device, Some((&gpt, &ns)));
-            self.map.insert(device.index(), suite);
+            run_suite(scale, device, Some((&gpt, &ns)), self.seed_bump)?
+        };
+        if let Some(dir) = self.disk_dir.clone() {
+            let seed = bumped(BASE_SEED + device.index() as u64, self.seed_bump);
+            Self::persist(&dir, scale, &suite, seed);
         }
-        &self.map[&device.index()]
+        self.map.insert(device.index(), suite);
+        Ok(())
+    }
+
+    /// Returns the suite for `device`, computing or loading it (and,
+    /// first, the phone suite it transfers from) if needed.
+    pub fn get(&mut self, scale: &Scale, device: DeviceType) -> Result<&SuiteResult, SuiteError> {
+        self.ensure(scale, DeviceType::Phone)?;
+        if device != DeviceType::Phone {
+            self.ensure(scale, device)?;
+        }
+        Ok(&self.map[&device.index()])
     }
 }
 
@@ -146,15 +335,18 @@ impl SuiteCache {
 /// evaluates `scale.gen_streams` synthesized streams against the held-out
 /// test trace. §5.1: CPT-GPT and NetShare are first trained on phones and
 /// transferred to the other device types; we apply the same recipe.
+/// `seed_bump` is 0 on the normal path and rises on supervisor retries
+/// (see [`bumped`]).
 pub fn run_suite(
     scale: &Scale,
     device: DeviceType,
     phone_models: Option<(&CptGpt, &NetShare)>,
-) -> SuiteResult {
+    seed_bump: u64,
+) -> Result<SuiteResult, SuiteError> {
     let machine = StateMachine::lte();
     let real_train = train_trace(scale, device, 0);
     let real_test = test_trace(scale, device, 0);
-    let dev_seed = BASE_SEED + device.index() as u64;
+    let dev_seed = bumped(BASE_SEED + device.index() as u64, seed_bump);
 
     // SMM baselines are always fitted per device (domain-knowledge models
     // have no transfer story).
@@ -165,8 +357,8 @@ pub fn run_suite(
     // (§5.1), matching the paper's protocol.
     let (gpt, ns) = match (device, phone_models) {
         (DeviceType::Phone, _) | (_, None) => {
-            let (g, _) = train_cptgpt(scale, &real_train, dev_seed);
-            let (n, _) = train_netshare(scale, &real_train, dev_seed);
+            let (g, _) = train_cptgpt(scale, &real_train, dev_seed)?;
+            let (n, _) = train_netshare(scale, &real_train, dev_seed)?;
             (g, n)
         }
         (_, Some((phone_gpt, phone_ns))) => {
@@ -175,10 +367,9 @@ pub fn run_suite(
                 &real_train,
                 &scale.gpt_train,
                 &FineTuneConfig::default(),
-            )
-            .expect("CPT-GPT fine-tuning failed");
+            )?;
             let ft_epochs = (scale.ns.epochs / 2).max(1);
-            let (n, _) = phone_ns.fine_tune(&real_train, ft_epochs);
+            let (n, _) = phone_ns.fine_tune(&real_train, ft_epochs)?;
             (g, n)
         }
     };
@@ -198,11 +389,13 @@ pub fn run_suite(
         smmk.generate(n, 3600.0, dev_seed + 11)
             .clamp_lengths(1, scale.max_len),
     );
-    synth.insert(GeneratorKind::NetShare, ns.generate(n, device, dev_seed + 12));
+    synth.insert(
+        GeneratorKind::NetShare,
+        ns.generate(n, device, dev_seed + 12)?,
+    );
     synth.insert(
         GeneratorKind::CptGpt,
-        gpt.generate(&GenerateConfig::new(n, dev_seed + 13).device(device))
-            .expect("CPT-GPT generation failed"),
+        gpt.generate(&GenerateConfig::new(n, dev_seed + 13).device(device))?,
     );
 
     let mut reports = BTreeMap::new();
@@ -211,7 +404,7 @@ pub fn run_suite(
         reports.insert(*kind, FidelityReport::compute(&machine, &real_test, ds));
         violations.insert(*kind, cpt_metrics::violation_stats(&machine, ds));
     }
-    SuiteResult {
+    Ok(SuiteResult {
         device,
         real_train,
         real_test,
@@ -220,7 +413,7 @@ pub fn run_suite(
         violations,
         gpt,
         netshare: ns,
-    }
+    })
 }
 
 /// §5.5 time-to-convergence: trains with snapshots, scores each snapshot's
@@ -241,7 +434,7 @@ pub fn cptgpt_time_to_converge(
     validation: &Dataset,
     base: Option<&CptGpt>,
     seed: u64,
-) -> (CptGpt, ConvergedTime) {
+) -> Result<(CptGpt, ConvergedTime), SuiteError> {
     let machine = StateMachine::lte();
     let mut cfg = scale.gpt_train.with_seed(seed);
     cfg.snapshot_every = Some(scale.snapshot_every);
@@ -249,13 +442,12 @@ pub fn cptgpt_time_to_converge(
         None => {
             let tokenizer = Tokenizer::fit(data);
             let mut m = CptGpt::new(scale.gpt.with_seed(seed), tokenizer);
-            let r = train(&mut m, data, &cfg).expect("CPT-GPT training failed");
+            let r = train(&mut m, data, &cfg)?;
             (m, r)
         }
         Some(b) => {
             let ft = FineTuneConfig::default();
-            let (m, r) = fine_tune(b, data, &cfg, &ft).expect("CPT-GPT fine-tuning failed");
-            (m, r)
+            fine_tune(b, data, &cfg, &ft)?
         }
     };
     // Score every snapshot.
@@ -269,8 +461,7 @@ pub fn cptgpt_time_to_converge(
         let mut snap = model.clone();
         snap.store = params.clone();
         let synth = snap
-            .generate(&GenerateConfig::new(scale.snapshot_eval_streams, seed + 99).device(device))
-            .expect("CPT-GPT generation failed");
+            .generate(&GenerateConfig::new(scale.snapshot_eval_streams, seed + 99).device(device))?;
         metrics.push(FidelityReport::compute(&machine, validation, &synth).metric_vector());
     }
     let (seconds, epoch) = if metrics.is_empty() {
@@ -283,7 +474,7 @@ pub fn cptgpt_time_to_converge(
         model.store = report.snapshots[chosen].1.clone();
         (secs, epoch)
     };
-    (model, ConvergedTime { seconds, epoch })
+    Ok((model, ConvergedTime { seconds, epoch }))
 }
 
 /// NetShare variant of the checkpoint-time measurement.
@@ -293,21 +484,21 @@ pub fn netshare_time_to_converge(
     validation: &Dataset,
     base: Option<&NetShare>,
     seed: u64,
-) -> (NetShare, ConvergedTime) {
+) -> Result<(NetShare, ConvergedTime), SuiteError> {
     let machine = StateMachine::lte();
     let mut ns_cfg = scale.ns.with_seed(seed);
     ns_cfg.snapshot_every = Some(scale.snapshot_every);
     let (mut model, report) = match base {
         None => {
             let mut m = NetShare::new(ns_cfg);
-            let r = m.train(data);
+            let r = m.train(data)?;
             (m, r)
         }
         Some(b) => {
             let mut m = b.clone();
             m.config = ns_cfg;
             m.config.seed = seed.wrapping_add(7919);
-            let r = m.train(data);
+            let r = m.train(data)?;
             (m, r)
         }
     };
@@ -320,7 +511,7 @@ pub fn netshare_time_to_converge(
     for (_, params) in &report.snapshots {
         let mut snap = model.clone();
         snap.store = params.clone();
-        let synth = snap.generate(scale.snapshot_eval_streams, device, seed + 99);
+        let synth = snap.generate(scale.snapshot_eval_streams, device, seed + 99)?;
         metrics.push(FidelityReport::compute(&machine, validation, &synth).metric_vector());
     }
     let (seconds, epoch) = if metrics.is_empty() {
@@ -340,7 +531,7 @@ pub fn netshare_time_to_converge(
         model.store = report.snapshots[chosen].1.clone();
         (secs, epoch)
     };
-    (model, ConvergedTime { seconds, epoch })
+    Ok((model, ConvergedTime { seconds, epoch }))
 }
 
 /// Concatenates hourly traces into one multi-hour dataset (stream ids are
@@ -407,6 +598,7 @@ mod tests {
     fn scales_resolve_by_name() {
         assert_eq!(crate::Scale::by_name("quick").unwrap().name, "quick");
         assert_eq!(crate::Scale::by_name("full").unwrap().name, "full");
+        assert_eq!(crate::Scale::by_name("tiny").unwrap().name, "tiny");
         assert!(crate::Scale::by_name("bogus").is_none());
         // full is strictly larger than quick.
         let q = crate::Scale::quick();

@@ -10,13 +10,53 @@
 //! from flaking while still catching real regressions like an
 //! accidentally-disabled kernel path.
 
-use cpt_gpt::{CptGpt, CptGptConfig, GenerateConfig, Tokenizer, TrainConfig};
+use cpt_gpt::{CptGpt, CptGptConfig, GenerateConfig, GenerateError, Tokenizer, TrainConfig, TrainError};
 use cpt_nn::{Session, Tensor};
 use cpt_trace::{Dataset, DeviceType, Event, EventType, Stream, UeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// A throughput measurement failed in the warm-up training or generation
+/// it runs to have something to time.
+#[derive(Debug)]
+pub enum MeasureError {
+    /// The warm-up training run failed.
+    Train(TrainError),
+    /// The timed generation run failed.
+    Generate(GenerateError),
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::Train(e) => write!(f, "bench training failed: {e}"),
+            MeasureError::Generate(e) => write!(f, "bench generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MeasureError::Train(e) => Some(e),
+            MeasureError::Generate(e) => Some(e),
+        }
+    }
+}
+
+impl From<TrainError> for MeasureError {
+    fn from(e: TrainError) -> Self {
+        MeasureError::Train(e)
+    }
+}
+
+impl From<GenerateError> for MeasureError {
+    fn from(e: GenerateError) -> Self {
+        MeasureError::Generate(e)
+    }
+}
 
 /// One throughput measurement run, serialized to `BENCH_throughput.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -90,7 +130,7 @@ fn time_loop(mut f: impl FnMut(), iters: usize) -> f64 {
 
 /// Runs the full measurement suite. `quick` shrinks iteration counts to
 /// CI-smoke size (a few seconds); `!quick` runs longer for stabler numbers.
-pub fn measure(quick: bool) -> ThroughputReport {
+pub fn measure(quick: bool) -> Result<ThroughputReport, MeasureError> {
     let mut rng = StdRng::seed_from_u64(7);
 
     // Kernel rate: 128³ matmul, the shape the criterion bench tracks.
@@ -141,30 +181,29 @@ pub fn measure(quick: bool) -> ThroughputReport {
         &mut model,
         &data,
         &TrainConfig::quick().with_epochs(if quick { 2 } else { 8 }),
-    )
-    .expect("bench training failed");
+    )?;
     let n_streams = if quick { 64 } else { 256 };
     let gen_cfg = GenerateConfig {
         batch_size: 16,
         ..GenerateConfig::new(n_streams, 11)
     };
-    let warm = model.generate(&gen_cfg).expect("bench generation failed");
+    let warm = model.generate(&gen_cfg)?;
     let start = Instant::now();
-    let out = model.generate(&gen_cfg).expect("bench generation failed");
+    let out = model.generate(&gen_cfg)?;
     let secs = start.elapsed().as_secs_f64();
     assert_eq!(warm, out, "generation must be deterministic");
     let total_events: usize = out.streams.iter().map(|s| s.len()).sum();
     let generate_streams_per_sec = n_streams as f64 / secs;
     let generate_tokens_per_sec = total_events as f64 / secs;
 
-    ThroughputReport {
+    Ok(ThroughputReport {
         matmul_gflops,
         train_tokens_per_sec,
         generate_streams_per_sec,
         generate_tokens_per_sec,
         peak_rss_bytes: peak_rss_bytes(),
         threads: rayon::current_num_threads(),
-    }
+    })
 }
 
 /// Compares `current` against `baseline`: any throughput metric below

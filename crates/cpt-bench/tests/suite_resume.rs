@@ -1,0 +1,195 @@
+//! Integration tests for the supervised, resumable experiment suite:
+//! inject a mid-suite stage failure, assert the run reports partial
+//! success (exit 8), then `--resume` and assert completed stages are NOT
+//! recomputed (their outputs stay byte-identical and their manifest
+//! records keep the original attempt counts), a corrupt manifest is moved
+//! aside rather than trusted, and usage errors are rejected before any
+//! stage runs.
+
+use cpt_bench::pipeline::BASE_SEED;
+use cpt_bench::suite::{
+    bumped, run_stages, RunManifest, StageStatus, SuiteConfig,
+};
+use cpt_bench::Scale;
+use cpt_gpt::StageFaultPlan;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_experiments");
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("cpt-suite-{}-{tag}", std::process::id()));
+        // A stale dir from a crashed earlier run would make `--resume`
+        // tests see someone else's manifest.
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn out_dir(&self) -> PathBuf {
+        self.0.join("results")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().expect("spawn experiments")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("experiments must exit, not be killed")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn read_manifest(out_dir: &Path) -> RunManifest {
+    let text = std::fs::read_to_string(out_dir.join("manifest.json")).expect("read manifest");
+    serde_json::from_str(&text).expect("parse manifest")
+}
+
+#[test]
+fn injected_failure_exits_8_and_resume_skips_completed_stages() {
+    let scratch = Scratch::new("resume");
+    let out_dir = scratch.out_dir();
+    let dir = out_dir.to_string_lossy().into_owned();
+
+    // Run 1: table3 completes, table11's only attempt is failed by the
+    // injected fault. keep-going makes the run finish both stages.
+    let out = run(&[
+        "--scale", "tiny", "--out", &dir, "--max-attempts", "1", "--keep-going",
+        "--inject-fail", "table11", "table3", "table11",
+    ]);
+    assert_eq!(exit_code(&out), 8, "partial success: {}", stderr_of(&out));
+
+    let m = read_manifest(&out_dir);
+    let t3 = &m.stages["table3"];
+    assert_eq!(t3.status, StageStatus::Completed);
+    assert_eq!(t3.attempts, 1);
+    let t11 = &m.stages["table11"];
+    assert_eq!(t11.status, StageStatus::Failed);
+    let err = t11.error.as_deref().expect("failed stage records its error");
+    assert!(err.contains("injected"), "error should name the fault: {err}");
+
+    let table3_file = out_dir.join("table3.txt");
+    let before = std::fs::read(&table3_file).expect("read table3 output");
+
+    // The trained phone suite must have been cached for the resume.
+    let cache_has_suite = std::fs::read_dir(out_dir.join("cache"))
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok())
+        .any(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("suite-tiny-"))
+        });
+    assert!(cache_has_suite, "run 1 should persist the trained suite");
+
+    // Run 2: resume without the fault. table3 must be skipped (not
+    // recomputed), table11 must now complete.
+    let out = run(&["--scale", "tiny", "--out", &dir, "--resume", "table3", "table11"]);
+    assert_eq!(exit_code(&out), 0, "resume should finish: {}", stderr_of(&out));
+
+    let after = std::fs::read(&table3_file).expect("re-read table3 output");
+    assert_eq!(before, after, "skipped stage output must stay byte-identical");
+
+    let m = read_manifest(&out_dir);
+    let t3 = &m.stages["table3"];
+    assert_eq!(t3.status, StageStatus::Completed);
+    assert_eq!(
+        t3.attempts, 1,
+        "a skipped stage keeps its original record untouched"
+    );
+    let t11 = &m.stages["table11"];
+    assert_eq!(t11.status, StageStatus::Completed);
+    assert!(t11.error.is_none(), "completed stage clears the error");
+
+    let report = std::fs::read_to_string(out_dir.join("run_report.txt")).expect("run report");
+    assert!(
+        report.contains("skipped"),
+        "report should list the skipped stage: {report}"
+    );
+}
+
+#[test]
+fn retry_reseeds_deterministically_and_marks_stage_degraded() {
+    let scratch = Scratch::new("retry");
+    let mut cfg = SuiteConfig::new(Scale::tiny(), scratch.out_dir());
+    cfg.max_attempts = 2;
+    cfg.backoff_base_ms = 1; // keep the test fast
+    cfg.fault = Some(StageFaultPlan::parse("table3:1").expect("valid fault spec"));
+
+    let report = run_stages(&cfg, &["table3".to_string()]).expect("supervisor runs");
+    assert_eq!(report.exit_code(), 0, "second attempt should succeed");
+    assert_eq!(report.completed, vec!["table3".to_string()]);
+    assert_eq!(
+        report.degraded,
+        vec!["table3".to_string()],
+        "a retried stage is reported degraded"
+    );
+
+    let m = read_manifest(&scratch.out_dir());
+    let t3 = &m.stages["table3"];
+    assert_eq!(t3.status, StageStatus::Completed);
+    assert_eq!(t3.attempts, 2);
+    assert_eq!(
+        t3.seed,
+        bumped(BASE_SEED, 1),
+        "the manifest records the reseeded base seed of the final attempt"
+    );
+}
+
+#[test]
+fn corrupt_manifest_is_moved_aside_and_the_run_recovers() {
+    let scratch = Scratch::new("corrupt");
+    let out_dir = scratch.out_dir();
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    std::fs::write(out_dir.join("manifest.json"), b"{not json").expect("plant corrupt manifest");
+
+    let dir = out_dir.to_string_lossy().into_owned();
+    let out = run(&["--scale", "tiny", "--out", &dir, "--resume", "table3"]);
+    assert_eq!(exit_code(&out), 0, "recovery must not fail the run: {}", stderr_of(&out));
+
+    assert!(
+        out_dir.join("manifest.json.corrupt").exists(),
+        "the bad manifest is preserved for forensics, not deleted"
+    );
+    let m = read_manifest(&out_dir);
+    assert_eq!(m.stages["table3"].status, StageStatus::Completed);
+}
+
+#[test]
+fn unknown_command_is_rejected_before_any_stage_runs() {
+    let scratch = Scratch::new("badcmd");
+    let out_dir = scratch.out_dir();
+    let dir = out_dir.to_string_lossy().into_owned();
+
+    let out = run(&["--scale", "tiny", "--out", &dir, "table3", "frobnicate"]);
+    assert_eq!(exit_code(&out), 2, "usage error: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("frobnicate"), "{}", stderr_of(&out));
+    assert!(
+        !out_dir.exists(),
+        "validation failures must not touch the results directory"
+    );
+}
+
+#[test]
+fn bad_flags_are_usage_errors() {
+    let out = run(&["--scale", "galactic", "table3"]);
+    assert_eq!(exit_code(&out), 2);
+    let out = run(&["--max-attempts", "0", "table3"]);
+    assert_eq!(exit_code(&out), 2);
+    let out = run(&["--inject-fail", "nosuchstage", "table3"]);
+    assert_eq!(exit_code(&out), 2, "{}", stderr_of(&out));
+    let out = run(&[]);
+    assert_eq!(exit_code(&out), 2, "no commands is a usage error");
+}

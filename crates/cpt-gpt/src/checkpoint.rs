@@ -131,5 +131,13 @@ pub fn load_checkpoint(path: &Path) -> Result<TrainCheckpoint, CheckpointError> 
             expected: CHECKPOINT_FORMAT_VERSION,
         });
     }
+    // Bit-flips inside a float literal still parse as JSON; reject weights
+    // that are non-finite or shape-inconsistent before they train garbage.
+    cpt_nn::serialize::validate_store(&ckpt.model.store).map_err(|e| {
+        CheckpointError::Validation {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        }
+    })?;
     Ok(ckpt)
 }

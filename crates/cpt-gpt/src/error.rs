@@ -124,6 +124,17 @@ pub enum CheckpointError {
         /// Version this build reads.
         expected: u32,
     },
+    /// The checkpoint parsed but its weights are unusable: non-finite
+    /// values or a tensor whose data length disagrees with its shape.
+    /// Distinguished from [`CheckpointError::Corrupt`] because the bytes
+    /// are well-formed JSON — the *model* is invalid, so callers map it to
+    /// the bad-config/model exit code rather than the checkpoint-IO one.
+    Validation {
+        /// Checkpoint path involved.
+        path: PathBuf,
+        /// Which tensor failed and why.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -144,6 +155,9 @@ impl std::fmt::Display for CheckpointError {
                 "checkpoint {} has format version {found}, this build reads {expected}",
                 path.display()
             ),
+            CheckpointError::Validation { path, detail } => {
+                write!(f, "checkpoint {} failed validation: {detail}", path.display())
+            }
         }
     }
 }

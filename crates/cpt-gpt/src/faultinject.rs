@@ -76,6 +76,66 @@ impl FaultPlan {
     }
 }
 
+/// A scheduled, deterministic failure of a *named pipeline stage* — the
+/// coarse-grained sibling of [`FaultPlan`]'s in-loop faults, consumed by
+/// the experiment suite's stage supervisor.
+///
+/// The plan names one stage and how many of its attempts fail. Attempts
+/// are 1-based, so `failures: 1` fails the first attempt and lets the
+/// supervisor's retry (with its reseed and backoff) succeed, while
+/// `failures: u32::MAX` defeats any retry budget. The same plan always
+/// fails the same attempts, so CI can assert on manifests exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageFaultPlan {
+    /// Name of the stage to fail (e.g. `"table5"`).
+    pub stage: String,
+    /// Number of leading attempts that fail.
+    pub failures: u32,
+}
+
+impl StageFaultPlan {
+    /// Fails every attempt of `stage` — retries cannot help.
+    pub fn always(stage: impl Into<String>) -> Self {
+        StageFaultPlan {
+            stage: stage.into(),
+            failures: u32::MAX,
+        }
+    }
+
+    /// Fails the first `failures` attempts of `stage`.
+    pub fn first_attempts(stage: impl Into<String>, failures: u32) -> Self {
+        StageFaultPlan {
+            stage: stage.into(),
+            failures,
+        }
+    }
+
+    /// Parses the CLI spec `STAGE` (always fail) or `STAGE:N` (fail the
+    /// first N attempts).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (stage, failures) = match spec.split_once(':') {
+            None => (spec, u32::MAX),
+            Some((stage, n)) => (
+                stage,
+                n.parse()
+                    .map_err(|_| format!("bad failure count {n:?} in fault spec {spec:?}"))?,
+            ),
+        };
+        if stage.is_empty() {
+            return Err(format!("empty stage name in fault spec {spec:?}"));
+        }
+        Ok(StageFaultPlan {
+            stage: stage.to_string(),
+            failures,
+        })
+    }
+
+    /// True if attempt number `attempt` (1-based) of `stage` must fail.
+    pub fn should_fail(&self, stage: &str, attempt: u32) -> bool {
+        self.stage == stage && attempt <= self.failures
+    }
+}
+
 /// splitmix64: tiny, high-quality mixer used to derive corruption offsets
 /// from a seed without depending on an RNG crate here.
 fn splitmix64(state: &mut u64) {
@@ -144,6 +204,23 @@ mod tests {
         assert!(!FaultPlan::default().is_active());
         assert!(FaultPlan::nan_loss_once_at(3).is_active());
         assert!(FaultPlan::interrupt_after(0).is_active());
+    }
+
+    #[test]
+    fn stage_fault_plan_parses_and_schedules() {
+        let p = StageFaultPlan::parse("table5:2").expect("parse");
+        assert_eq!(p, StageFaultPlan::first_attempts("table5", 2));
+        assert!(p.should_fail("table5", 1));
+        assert!(p.should_fail("table5", 2));
+        assert!(!p.should_fail("table5", 3));
+        assert!(!p.should_fail("table6", 1));
+
+        let always = StageFaultPlan::parse("fig2").expect("parse");
+        assert_eq!(always, StageFaultPlan::always("fig2"));
+        assert!(always.should_fail("fig2", u32::MAX));
+
+        assert!(StageFaultPlan::parse(":3").is_err());
+        assert!(StageFaultPlan::parse("fig2:x").is_err());
     }
 
     #[test]

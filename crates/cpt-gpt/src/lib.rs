@@ -39,7 +39,7 @@ pub use checkpoint::{
 };
 pub use config::{CptGptConfig, TrainConfig, WatchdogConfig};
 pub use error::{CheckpointError, FaultKind, GenerateError, TrainError};
-pub use faultinject::FaultPlan;
+pub use faultinject::{FaultPlan, StageFaultPlan};
 pub use generate::{GenCounters, GenerateConfig, Sampling};
 pub use model::{CptGpt, StepOutput};
 pub use token::{ScaleKind, Tokenizer};

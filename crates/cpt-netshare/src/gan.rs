@@ -1,6 +1,7 @@
 //! The adapted NetShare GAN: LSTM generator with batch generation vs
 //! LSTM discriminator, trained adversarially.
 
+use crate::error::NetShareError;
 use crate::norm::{StreamBounds, StreamNormalizer};
 use cpt_nn::{Adam, clip_grad_norm, Linear, Lstm, ParamId, ParamStore, Session, Tensor, Var};
 use cpt_trace::{Dataset, DeviceType, EventType, Generation, Stream, UeId};
@@ -316,15 +317,7 @@ impl NetShare {
 
     /// Trains the GAN on `dataset`, fitting the normalizer and recording
     /// per-epoch losses.
-    pub fn train(&mut self, dataset: &Dataset) -> NetShareTrainReport {
-        self.normalizer = Some(StreamNormalizer::fit(dataset));
-        let cfg = self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
-        let mut adam_g = Adam::new(&self.store, cfg.lr_g);
-        let mut adam_d = Adam::new(&self.store, cfg.lr_d);
-        let mut report = NetShareTrainReport::default();
-        let start = Instant::now();
-
+    pub fn train(&mut self, dataset: &Dataset) -> Result<NetShareTrainReport, NetShareError> {
         let trainable: Vec<usize> = dataset
             .streams
             .iter()
@@ -332,7 +325,16 @@ impl NetShare {
             .filter(|(_, s)| s.len() >= 2)
             .map(|(i, _)| i)
             .collect();
-        assert!(!trainable.is_empty(), "no trainable streams");
+        if trainable.is_empty() {
+            return Err(NetShareError::NoTrainableStreams);
+        }
+        self.normalizer = Some(StreamNormalizer::fit(dataset));
+        let cfg = self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+        let mut adam_g = Adam::new(&self.store, cfg.lr_g);
+        let mut adam_d = Adam::new(&self.store, cfg.lr_d);
+        let mut report = NetShareTrainReport::default();
+        let start = Instant::now();
 
         for epoch in 0..cfg.epochs {
             let epoch_start = Instant::now();
@@ -420,28 +422,34 @@ impl NetShare {
             }
         }
         report.total_seconds = start.elapsed().as_secs_f64();
-        report
+        Ok(report)
     }
 
     /// Continues adversarial training on `new_data` for `epochs` epochs —
     /// the transfer-learning mode measured by Tables 4/9 (GANs benefit far
     /// less from this than supervised transformers).
-    pub fn fine_tune(&self, new_data: &Dataset, epochs: usize) -> (NetShare, NetShareTrainReport) {
+    pub fn fine_tune(
+        &self,
+        new_data: &Dataset,
+        epochs: usize,
+    ) -> Result<(NetShare, NetShareTrainReport), NetShareError> {
         let mut model = self.clone();
         model.config.epochs = epochs;
         // Continue from current weights; keep the seed distinct so batch
         // order differs from the base run.
         model.config.seed = self.config.seed.wrapping_add(7919);
-        let report = model.train(new_data);
-        (model, report)
+        let report = model.train(new_data)?;
+        Ok((model, report))
     }
 
     /// Synthesizes `n` streams.
-    pub fn generate(&self, n: usize, device: DeviceType, seed: u64) -> Dataset {
-        let normalizer = self
-            .normalizer
-            .as_ref()
-            .expect("model must be trained before generation");
+    pub fn generate(
+        &self,
+        n: usize,
+        device: DeviceType,
+        seed: u64,
+    ) -> Result<Dataset, NetShareError> {
+        let normalizer = self.normalizer.as_ref().ok_or(NetShareError::Untrained)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let e = self.config.generation.num_event_types();
         let d = self.config.sample_dim();
@@ -466,7 +474,10 @@ impl NetShare {
                 for tok in &token_values {
                     let row = &tok.data[bi * d..(bi + 1) * d];
                     let ev_idx = sample_probs(&row[..e], &mut rng);
-                    events.push(EventType::from_index(ev_idx).expect("event index"));
+                    events.push(
+                        EventType::from_index(ev_idx)
+                            .ok_or(NetShareError::BadEventIndex { index: ev_idx, vocab: e })?,
+                    );
                     iats.push(bounds.denormalize(row[e]));
                     let stop = sample_probs(&row[e + 1..e + 3], &mut rng) == 1;
                     if stop {
@@ -483,7 +494,7 @@ impl NetShare {
                 streams.push(Stream::from_interarrivals(id, device, &events, &iats));
             }
         }
-        Dataset::with_generation(self.config.generation, streams)
+        Ok(Dataset::with_generation(self.config.generation, streams))
     }
 }
 
@@ -541,7 +552,7 @@ mod tests {
     #[test]
     fn training_runs_and_losses_are_finite() {
         let mut m = NetShare::new(tiny_config());
-        let report = m.train(&small_data());
+        let report = m.train(&small_data()).expect("train");
         assert_eq!(report.epochs.len(), 2);
         for (_, dl, gl, _) in &report.epochs {
             // Wasserstein losses are signed; only finiteness is invariant.
@@ -553,15 +564,15 @@ mod tests {
     #[test]
     fn generation_shapes_and_determinism() {
         let mut m = NetShare::new(tiny_config());
-        m.train(&small_data());
-        let a = m.generate(12, DeviceType::Phone, 5);
+        m.train(&small_data()).expect("train");
+        let a = m.generate(12, DeviceType::Phone, 5).expect("generate");
         assert_eq!(a.num_streams(), 12);
         for s in &a.streams {
             assert!(s.len() >= 1 && s.len() <= 16);
             assert!(s.events.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
         }
-        assert_eq!(a, m.generate(12, DeviceType::Phone, 5));
-        assert_ne!(a, m.generate(12, DeviceType::Phone, 6));
+        assert_eq!(a, m.generate(12, DeviceType::Phone, 5).expect("generate"));
+        assert_ne!(a, m.generate(12, DeviceType::Phone, 6).expect("generate"));
     }
 
     #[test]
@@ -606,18 +617,31 @@ mod tests {
     }
 
     #[test]
-    fn untrained_generation_panics() {
+    fn untrained_generation_is_a_typed_error() {
         let m = NetShare::new(tiny_config());
-        let r = std::panic::catch_unwind(|| m.generate(1, DeviceType::Phone, 0));
-        assert!(r.is_err());
+        assert_eq!(
+            m.generate(1, DeviceType::Phone, 0).unwrap_err(),
+            NetShareError::Untrained
+        );
+    }
+
+    #[test]
+    fn empty_dataset_is_a_typed_error() {
+        let mut m = NetShare::new(tiny_config());
+        assert_eq!(
+            m.train(&Dataset::default()).unwrap_err(),
+            NetShareError::NoTrainableStreams
+        );
+        // The failed fit must not leave a half-trained normalizer behind.
+        assert!(m.normalizer.is_none());
     }
 
     #[test]
     fn fine_tune_returns_new_model() {
         let mut m = NetShare::new(tiny_config());
-        m.train(&small_data());
+        m.train(&small_data()).expect("train");
         let other = generate_device(&SynthConfig::new(0, 32), DeviceType::Phone, 40);
-        let (ft, report) = m.fine_tune(&other, 1);
+        let (ft, report) = m.fine_tune(&other, 1).expect("fine-tune");
         assert_eq!(report.epochs.len(), 1);
         // Base model unchanged.
         let id = m.store.ids()[0];

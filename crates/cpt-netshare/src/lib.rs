@@ -32,8 +32,10 @@
 //! a measurable fraction of its streams violate stateful semantics
 //! (Tables 3 and 5), and GAN fine-tuning converges slowly (Tables 4/9).
 
+pub mod error;
 pub mod gan;
 pub mod norm;
 
+pub use error::NetShareError;
 pub use gan::{NetShare, NetShareConfig, NetShareTrainReport};
 pub use norm::StreamNormalizer;

@@ -19,6 +19,11 @@ pub enum CheckpointError {
     Json(serde_json::Error),
     /// The checkpoint's parameters do not match the target store.
     Mismatch(String),
+    /// The checkpoint parsed but holds unusable weights: a tensor whose
+    /// data length disagrees with its shape, or a non-finite value.
+    /// Loading such a store would not fail immediately — it would train
+    /// and generate garbage — so it is rejected at the door.
+    Invalid(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -27,6 +32,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
             CheckpointError::Json(e) => write!(f, "checkpoint json error: {e}"),
             CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+            CheckpointError::Invalid(m) => write!(f, "invalid checkpoint weights: {m}"),
         }
     }
 }
@@ -98,10 +104,40 @@ pub fn save_store_to_path(
     atomic_write_json(store, path)
 }
 
+/// Validates every tensor of `store`: the data length must equal the shape
+/// product and every value must be finite. A store that fails this check
+/// came from a corrupt/truncated file or a diverged run and must not be
+/// loaded — NaN weights propagate through every forward pass silently.
+pub fn validate_store(store: &ParamStore) -> Result<(), CheckpointError> {
+    for id in store.ids() {
+        let t = store.value(id);
+        let expected: usize = t.shape.iter().product();
+        if t.data.len() != expected {
+            return Err(CheckpointError::Invalid(format!(
+                "tensor {:?} has {} values but shape {:?} implies {expected}",
+                store.name(id),
+                t.data.len(),
+                t.shape
+            )));
+        }
+        if let Some(pos) = t.data.iter().position(|v| !v.is_finite()) {
+            return Err(CheckpointError::Invalid(format!(
+                "tensor {:?} has non-finite value {} at index {pos}",
+                store.name(id),
+                t.data[pos]
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Reads a full store from `r` (for loading a model whose architecture is
-/// reconstructed from config).
+/// reconstructed from config), rejecting stores with non-finite or
+/// mis-shaped weights.
 pub fn load_store(r: &mut impl Read) -> Result<ParamStore, CheckpointError> {
-    Ok(serde_json::from_reader(r)?)
+    let store: ParamStore = serde_json::from_reader(r)?;
+    validate_store(&store)?;
+    Ok(store)
 }
 
 /// Reads a store from a file.
@@ -118,6 +154,7 @@ pub fn load_weights_into(
     target: &mut ParamStore,
     source: &ParamStore,
 ) -> Result<(), CheckpointError> {
+    validate_store(source)?;
     if target.num_tensors() != source.num_tensors() {
         return Err(CheckpointError::Mismatch(format!(
             "parameter count {} vs {}",
@@ -217,6 +254,40 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_non_finite_weights() {
+        let mut s = store();
+        let id = s.ids()[0];
+        s.value_mut(id).data[1] = f32::NAN;
+        let mut buf = Vec::new();
+        serde_json::to_writer(&mut buf, &s).unwrap();
+        assert!(matches!(
+            load_store(&mut buf.as_slice()),
+            Err(CheckpointError::Invalid(_))
+        ));
+        let mut target = ParamStore::new();
+        target.add("layer.w", Tensor::zeros(&[2, 2]));
+        target.add("layer.b", Tensor::zeros(&[2]));
+        assert!(matches!(
+            load_weights_into(&mut target, &s),
+            Err(CheckpointError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_shape_data_disagreement() {
+        let mut s = store();
+        let id = s.ids()[0];
+        // Truncate the data behind the shape's back, as a torn write would.
+        s.value_mut(id).data.pop();
+        let mut buf = Vec::new();
+        serde_json::to_writer(&mut buf, &s).unwrap();
+        assert!(matches!(
+            load_store(&mut buf.as_slice()),
+            Err(CheckpointError::Invalid(_))
+        ));
     }
 
     #[test]

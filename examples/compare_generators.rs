@@ -44,8 +44,11 @@ fn main() {
         epochs: 16,
         ..NetShareConfig::small()
     });
-    ns.train(&train_data);
-    results.push(("NetShare", ns.generate(n, device, 3)));
+    ns.train(&train_data).expect("NetShare training failed");
+    results.push((
+        "NetShare",
+        ns.generate(n, device, 3).expect("NetShare generation failed"),
+    ));
 
     // CPT-GPT: the paper's transformer (no domain knowledge).
     let tokenizer = Tokenizer::fit(&train_data);

@@ -17,12 +17,14 @@ fn main() {
     let train_data = train_trace(&scale, DeviceType::Phone, 0);
     let mut model = NetShare::new(scale.ns.with_seed(1));
     let t0 = std::time::Instant::now();
-    let report = model.train(&train_data);
+    let report = model.train(&train_data).expect("NetShare training failed");
     for (e, dl, gl, secs) in report.epochs.iter().step_by((epochs/8).max(1)) {
         println!("epoch {e:>3}: d {dl:.4} g {gl:.4} ({secs:.1}s)");
     }
     println!("train time: {:.1}s", t0.elapsed().as_secs_f64());
-    let synth = model.generate(260, DeviceType::Phone, 7);
+    let synth = model
+        .generate(260, DeviceType::Phone, 7)
+        .expect("NetShare generation failed");
     let v = violation_stats(&StateMachine::lte(), &synth);
     println!("events: {} violations: {:.2}%, streams {:.1}%",
         v.events_checked, v.event_rate()*100.0, v.stream_rate()*100.0);

@@ -85,6 +85,9 @@ impl From<TrainError> for CliError {
             TrainError::InvalidConfig { .. } => EXIT_CONFIG,
             TrainError::NoTrainableStreams => EXIT_DATA,
             TrainError::Diverged { .. } => EXIT_DIVERGED,
+            // A checkpoint that *parsed* but holds non-finite or mis-shaped
+            // weights is a bad model, not an IO failure.
+            TrainError::Checkpoint(cpt::gpt::CheckpointError::Validation { .. }) => EXIT_CONFIG,
             TrainError::Checkpoint(_) => EXIT_CHECKPOINT,
         };
         CliError {
@@ -268,17 +271,29 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
-fn load_model(path: &str) -> Result<CptGpt, String> {
-    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-    serde_json::from_reader(std::io::BufReader::new(file)).map_err(|e| e.to_string())
+fn load_model(path: &str) -> Result<CptGpt, CliError> {
+    let file = std::fs::File::open(path).map_err(|e| CliError {
+        code: EXIT_CHECKPOINT,
+        message: format!("cannot load model {path}: {e}"),
+    })?;
+    let model: CptGpt =
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(|e| CliError {
+            code: EXIT_CHECKPOINT,
+            message: format!("cannot load model {path}: {e}"),
+        })?;
+    // Well-formed JSON can still carry garbage weights (NaN from a
+    // diverged run, shapes torn by partial edits); that is a bad model
+    // (exit 4), not a checkpoint-IO failure.
+    cpt::nn::serialize::validate_store(&model.store).map_err(|e| CliError {
+        code: EXIT_CONFIG,
+        message: format!("model {path} failed validation: {e}"),
+    })?;
+    Ok(model)
 }
 
 fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let model_path = require(opts, "model")?;
-    let model = load_model(model_path).map_err(|e| CliError {
-        code: EXIT_CHECKPOINT,
-        message: format!("cannot load model {model_path}: {e}"),
-    })?;
+    let model = load_model(model_path)?;
     let out = require(opts, "o")?;
     let streams: usize = get_parsed(opts, "streams", 1000)?;
     let seed: u64 = get_parsed(opts, "seed", 0)?;
@@ -388,7 +403,13 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
         "measuring throughput ({} mode)...",
         if quick { "quick" } else { "full" }
     );
-    let report = cpt::bench::throughput::measure(quick);
+    let report = cpt::bench::throughput::measure(quick).map_err(|e| match e {
+        // Reuse the train-error exit mapping (divergence → 5, etc.).
+        cpt::bench::throughput::MeasureError::Train(t) => CliError::from(t),
+        g @ cpt::bench::throughput::MeasureError::Generate(_) => {
+            CliError::data(format!("throughput measurement failed: {g}"))
+        }
+    })?;
     println!("  threads:  {}", report.threads);
     println!("  matmul:   {:.2} GFLOP/s", report.matmul_gflops);
     println!("  train:    {:.0} tokens/s", report.train_tokens_per_sec);

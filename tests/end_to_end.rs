@@ -125,8 +125,10 @@ fn cptgpt_has_far_fewer_violations_than_netshare() {
         d_hidden: 24,
         ..NetShareConfig::small()
     });
-    ns.train(&train_data);
-    let ns_synth = ns.generate(150, DeviceType::Phone, 2);
+    ns.train(&train_data).expect("NetShare training failed");
+    let ns_synth = ns
+        .generate(150, DeviceType::Phone, 2)
+        .expect("NetShare generation failed");
 
     let v_gpt = violation_stats(&machine, &gpt_synth);
     let v_ns = violation_stats(&machine, &ns_synth);
