@@ -332,7 +332,7 @@ impl CptGpt {
     /// non-finite head outputs: retry up to `cfg.max_resample` times, then
     /// degrade to a clamped mean (or 0 if the mean itself is poisoned).
     /// The returned value is always in `[0, 1]`.
-    fn sample_scaled_iat(
+    pub(crate) fn sample_scaled_iat(
         &self,
         out: &crate::model::InferStep,
         s: usize,
@@ -375,7 +375,7 @@ impl CptGpt {
 /// training). Because no RNG state flows between chunks, the chunks are
 /// order- and schedule-independent: a rayon pool of any size produces the
 /// same streams as a serial loop, bit for bit.
-fn chunk_rng(seed: u64, chunk: u64) -> StdRng {
+pub(crate) fn chunk_rng(seed: u64, chunk: u64) -> StdRng {
     let mut z = seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -392,7 +392,7 @@ fn sample_normal(rng: &mut impl Rng) -> f32 {
 /// non-finite entries (they contribute no mass). A fully degenerate vector
 /// (no positive finite mass) falls back to a uniform draw, so this never
 /// panics and never returns an out-of-range index for non-empty input.
-fn sample_categorical(probs: &[f64], rng: &mut impl Rng) -> usize {
+pub(crate) fn sample_categorical(probs: &[f64], rng: &mut impl Rng) -> usize {
     if probs.is_empty() {
         return 0;
     }
@@ -413,14 +413,14 @@ fn sample_categorical(probs: &[f64], rng: &mut impl Rng) -> usize {
     probs.len() - 1
 }
 
-fn sample_logits(logits: &[f32], temperature: f32, rng: &mut impl Rng) -> usize {
+pub(crate) fn sample_logits(logits: &[f32], temperature: f32, rng: &mut impl Rng) -> usize {
     sample_logits_truncated(logits, temperature, Sampling::Full, rng)
 }
 
 /// Temperature + truncation sampling over raw logits. Panic-free by
 /// construction: ordering uses `total_cmp` and non-finite logits map to
 /// zero probability (degenerating to a uniform draw if nothing survives).
-fn sample_logits_truncated(
+pub(crate) fn sample_logits_truncated(
     logits: &[f32],
     temperature: f32,
     sampling: Sampling,

@@ -30,6 +30,7 @@ pub mod error;
 pub mod faultinject;
 pub mod generate;
 pub mod model;
+pub mod stream;
 pub mod token;
 pub mod train;
 pub mod transfer;
@@ -41,7 +42,8 @@ pub use config::{CptGptConfig, TrainConfig, WatchdogConfig};
 pub use error::{CheckpointError, FaultKind, GenerateError, TrainError};
 pub use faultinject::{FaultPlan, StageFaultPlan};
 pub use generate::{GenCounters, GenerateConfig, Sampling};
-pub use model::{CptGpt, StepOutput};
+pub use model::{load_model_file, save_model_file, CptGpt, DecodeState, StepOutput};
+pub use stream::{SessionDecoder, SessionEvent, StreamParams};
 pub use token::{ScaleKind, Tokenizer};
 pub use train::{
     resume_training, train, train_with_checkpoints, EpochStats, TrainReport,

@@ -13,7 +13,10 @@
 //! the interarrival head outputs distribution parameters rather than a
 //! scalar (Design 2), unless the Table 8 ablation `point_iat_head` is on.
 
+#![deny(clippy::unwrap_used)]
+
 use crate::config::CptGptConfig;
+use crate::error::CheckpointError;
 use crate::token::Tokenizer;
 use cpt_nn::{Linear, LayerNorm, ParamId, ParamStore, Session, Tensor, TransformerBlock, Var};
 use cpt_trace::EventType;
@@ -164,6 +167,40 @@ impl CptGpt {
         self.store.num_params()
     }
 
+    /// Serializes the model bundle (config + tokenizer + weights +
+    /// initial-event distribution) to a JSON string.
+    ///
+    /// Library code must never `unwrap()` a serde round-trip: a model that
+    /// fails to serialize (however unlikely) is a value the caller handles,
+    /// not a panic inside a long-running server.
+    pub fn to_json(&self) -> Result<String, CheckpointError> {
+        serde_json::to_string(self).map_err(|e| CheckpointError::Corrupt {
+            path: std::path::PathBuf::from("<in-memory model>"),
+            detail: format!("model serialization failed: {e}"),
+        })
+    }
+
+    /// Parses a model bundle from JSON and validates its weights.
+    ///
+    /// Well-formed JSON can still carry garbage (NaN weights from a
+    /// diverged run, tensor shapes torn by partial edits); those are
+    /// rejected as [`CheckpointError::Validation`] so a server loading an
+    /// untrusted payload gets a typed error, never a panic downstream.
+    pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
+        let model: CptGpt =
+            serde_json::from_str(json).map_err(|e| CheckpointError::Corrupt {
+                path: std::path::PathBuf::from("<in-memory model>"),
+                detail: e.to_string(),
+            })?;
+        cpt_nn::serialize::validate_store(&model.store).map_err(|e| {
+            CheckpointError::Validation {
+                path: std::path::PathBuf::from("<in-memory model>"),
+                detail: e.to_string(),
+            }
+        })?;
+        Ok(model)
+    }
+
     /// Runs the network on `tokens` of shape `[B, T, token_dim]`, returning
     /// per-position head outputs. `sess` must be a session over
     /// `self.store`.
@@ -265,12 +302,38 @@ pub struct DecodeState {
     out: InferStep,
     pos: usize,
     batch: usize,
+    /// Position capacity the caches were sized for (the model's `max_len`
+    /// at [`CptGpt::begin_decode`] time).
+    max_len: usize,
 }
 
 impl DecodeState {
     /// Number of tokens decoded so far.
     pub fn pos(&self) -> usize {
         self.pos
+    }
+
+    /// Batch size this state was sized for.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Position capacity this state was sized for.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Rewinds the state to position 0 so its buffers can be reused for a
+    /// new stream without reallocating. All per-step buffers are fully
+    /// overwritten each step and the KV caches only ever read rows below
+    /// their length counter, so a reset state decodes byte-identically to a
+    /// freshly allocated one (the serving free-list and
+    /// [`crate::stream::SessionDecoder`] reuse depend on this).
+    pub fn reset(&mut self) {
+        for cache in &mut self.caches {
+            cache.reset();
+        }
+        self.pos = 0;
     }
 }
 
@@ -314,6 +377,7 @@ impl CptGpt {
             },
             pos: 0,
             batch,
+            max_len: self.config.max_len,
         }
     }
 
@@ -381,6 +445,42 @@ impl CptGpt {
         }
         &state.out
     }
+}
+
+/// Saves a model bundle to `path` atomically (temp file + rename), so a
+/// crash mid-save cannot leave a torn file where a good model used to be.
+pub fn save_model_file(model: &CptGpt, path: &std::path::Path) -> Result<(), CheckpointError> {
+    cpt_nn::serialize::atomic_write_json(model, path).map_err(|e| match e {
+        cpt_nn::serialize::CheckpointError::Io(source) => CheckpointError::Io {
+            path: path.to_path_buf(),
+            source,
+        },
+        other => CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail: other.to_string(),
+        },
+    })
+}
+
+/// Loads a model bundle from `path`, distinguishing unreadable files
+/// ([`CheckpointError::Io`]), unparseable bytes ([`CheckpointError::Corrupt`])
+/// and parseable-but-unusable weights ([`CheckpointError::Validation`]).
+pub fn load_model_file(path: &std::path::Path) -> Result<CptGpt, CheckpointError> {
+    let file = std::fs::File::open(path).map_err(|source| CheckpointError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let model: CptGpt = serde_json::from_reader(std::io::BufReader::new(file)).map_err(|e| {
+        CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        }
+    })?;
+    cpt_nn::serialize::validate_store(&model.store).map_err(|e| CheckpointError::Validation {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    Ok(model)
 }
 
 #[cfg(test)]
@@ -456,7 +556,7 @@ mod tests {
         let batch = build_batch(&tok, &streams, 16);
         let mut store = model.store.clone();
         let mut adam = cpt_nn::Adam::new(&store, 1e-2);
-        let mut first = None;
+        let mut first = f32::NAN;
         let mut last = 0.0;
         let mut m = model.clone();
         for _ in 0..30 {
@@ -465,7 +565,9 @@ mod tests {
             let loss = m.loss(&mut sess, &batch);
             last = sess.graph.value(loss).item();
             assert!(last.is_finite());
-            first.get_or_insert(last);
+            if first.is_nan() {
+                first = last;
+            }
             sess.backward(loss);
             let grads = sess.grads();
             store.accumulate_grads(&grads);
@@ -473,9 +575,8 @@ mod tests {
             store.zero_grads();
         }
         assert!(
-            last < first.unwrap() * 0.8,
-            "loss did not decrease: {} -> {last}",
-            first.unwrap()
+            last < first * 0.8,
+            "loss did not decrease: {first} -> {last}"
         );
     }
 
@@ -549,8 +650,8 @@ mod tests {
             &crate::config::TrainConfig::quick().with_epochs(2),
         )
         .expect("training succeeds");
-        let json = serde_json::to_string(&model).unwrap();
-        let back: CptGpt = serde_json::from_str(&json).unwrap();
+        let json = model.to_json().expect("model serializes");
+        let back = CptGpt::from_json(&json).expect("model deserializes and validates");
         let cfg = crate::generate::GenerateConfig::new(5, 3);
         assert_eq!(
             model.generate(&cfg).expect("generate"),

@@ -1,0 +1,501 @@
+//! Lazily-advanced single-UE decode sessions — the serving primitive.
+//!
+//! [`CptGpt::generate`] is a batch API: it decodes every stream to
+//! completion and returns a [`cpt_trace::Dataset`]. A serving loop needs
+//! the opposite shape — thousands of concurrent sessions, each advanced a
+//! few tokens at a time by whichever worker gets to it next, with the
+//! events streamed out as they are produced. [`SessionDecoder`] is that
+//! primitive: one UE session over one [`DecodeState`], pulled one event at
+//! a time.
+//!
+//! A session decodes [`StreamParams::num_streams`] consecutive UE streams.
+//! Stream `i` of a session draws from an RNG derived from
+//! `(session seed, i)` with the same splitmix64 finalizer as the parallel
+//! batch generator's per-chunk RNGs, so a session's entire event sequence
+//! is a pure function of `(model, params)` — independent of how many
+//! scheduler workers interleave it with other sessions, and independent of
+//! whether its [`DecodeState`] was freshly allocated or recycled from a
+//! free-list ([`DecodeState::reset`] makes reuse byte-equivalent).
+//!
+//! Steady-state decoding is allocation-free per event: every buffer lives
+//! in the `DecodeState` (or the small fixed-size step token), and
+//! [`SessionDecoder::into_state`] hands the buffers back for reuse when
+//! the session closes.
+
+#![deny(clippy::unwrap_used)]
+
+use crate::error::GenerateError;
+use crate::generate::{
+    chunk_rng, sample_categorical, sample_logits, sample_logits_truncated, GenCounters,
+    GenerateConfig, Sampling,
+};
+use crate::model::{CptGpt, DecodeState};
+use cpt_nn::Tensor;
+use cpt_trace::{DeviceType, EventType};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for one decode session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamParams {
+    /// Session seed. Together with the model this fully determines the
+    /// session's output.
+    pub seed: u64,
+    /// Device type stamped on emitted events' provenance (the model itself
+    /// is per-device-type, as in §5.1).
+    pub device_type: DeviceType,
+    /// Number of consecutive UE streams this session decodes before
+    /// finishing.
+    pub num_streams: usize,
+    /// Softmax temperature for the categorical heads.
+    pub temperature: f32,
+    /// Event-head sampling strategy.
+    pub sampling: Sampling,
+    /// Retry budget for non-finite interarrival draws.
+    pub max_resample: u32,
+    /// Optional per-stream length cap below the model's `max_len`.
+    pub max_stream_len: Option<usize>,
+}
+
+impl StreamParams {
+    /// One phone stream with the paper's default sampling settings.
+    pub fn new(seed: u64) -> Self {
+        let d = GenerateConfig::new(1, seed);
+        StreamParams {
+            seed,
+            device_type: d.device_type,
+            num_streams: 1,
+            temperature: d.temperature,
+            sampling: d.sampling,
+            max_resample: d.max_resample,
+            max_stream_len: None,
+        }
+    }
+
+    /// Builder: number of UE streams the session decodes.
+    pub fn streams(mut self, n: usize) -> Self {
+        self.num_streams = n;
+        self
+    }
+
+    /// Builder: device type.
+    pub fn device(mut self, device_type: DeviceType) -> Self {
+        self.device_type = device_type;
+        self
+    }
+
+    /// Builder: per-stream length cap.
+    pub fn with_max_stream_len(mut self, n: usize) -> Self {
+        self.max_stream_len = Some(n);
+        self
+    }
+
+    /// Validates every field, reusing the batch generator's domain checks.
+    pub fn validate(&self) -> Result<(), GenerateError> {
+        if self.num_streams == 0 {
+            return Err(GenerateError::InvalidConfig {
+                field: "num_streams",
+                message: "must be at least 1".into(),
+            });
+        }
+        self.as_generate_config().validate()
+    }
+
+    /// The equivalent single-stream [`GenerateConfig`] (shared validation
+    /// and interarrival-sampling plumbing).
+    fn as_generate_config(&self) -> GenerateConfig {
+        GenerateConfig {
+            num_streams: self.num_streams,
+            device_type: self.device_type,
+            seed: self.seed,
+            temperature: self.temperature,
+            batch_size: 1,
+            sampling: self.sampling,
+            max_resample: self.max_resample,
+            max_stream_len: self.max_stream_len,
+        }
+    }
+}
+
+/// One generated event, as streamed out of a [`SessionDecoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionEvent {
+    /// Which UE stream of the session this event belongs to (0-based).
+    pub stream: usize,
+    /// The control event type.
+    pub event_type: EventType,
+    /// Seconds since the previous event of this stream (0 for the first).
+    pub iat: f64,
+    /// Seconds since this stream's start.
+    pub timestamp: f64,
+    /// True if this is the final event of its stream (the model emitted a
+    /// stop flag, or the length cap was hit).
+    pub last_in_stream: bool,
+}
+
+/// A lazily-advanced decode session over one [`DecodeState`].
+///
+/// Pull events with [`SessionDecoder::next_event`]; the decoder owns all
+/// per-token buffers, so each call performs zero heap allocation. The
+/// decoder does not borrow the model — callers pass it to every advance
+/// (a serving loop holds the model in an `Arc` shared by all workers) and
+/// must pass the *same* model the session was opened with.
+pub struct SessionDecoder {
+    params: StreamParams,
+    max_len: usize,
+    state: DecodeState,
+    /// Newest token, re-encoded in place each step, `[1, 1, token_dim]`.
+    step: Tensor,
+    /// Initial-event-type probabilities, hoisted at open.
+    init_probs: Vec<f64>,
+    rng: StdRng,
+    counters: GenCounters,
+    /// Current UE stream within the session (0-based).
+    stream_idx: usize,
+    /// Events emitted for the current stream.
+    pos_in_stream: usize,
+    /// Running timestamp of the current stream.
+    timestamp: f64,
+    /// The current stream has ended and the next event (if any) bootstraps
+    /// a fresh stream.
+    need_bootstrap: bool,
+    events_emitted: u64,
+    finished: bool,
+}
+
+impl CptGpt {
+    /// Opens a decode session with freshly allocated buffers.
+    pub fn open_session(&self, params: StreamParams) -> Result<SessionDecoder, GenerateError> {
+        let state = self.begin_decode(1);
+        self.open_session_reusing(params, state)
+    }
+
+    /// Opens a decode session reusing `state`'s buffers (free-list path).
+    ///
+    /// The state is [`DecodeState::reset`] before use, so a recycled state
+    /// decodes byte-identically to a fresh one. A state sized for a
+    /// different batch or model geometry is silently replaced by a fresh
+    /// allocation — reuse is an optimization, never a correctness knob.
+    pub fn open_session_reusing(
+        &self,
+        params: StreamParams,
+        mut state: DecodeState,
+    ) -> Result<SessionDecoder, GenerateError> {
+        params.validate()?;
+        if self.initial_event_dist.is_empty() {
+            return Err(GenerateError::UntrainedModel);
+        }
+        if !self.decode_state_fits(&state) {
+            state = self.begin_decode(1);
+        }
+        state.reset();
+        let max_len = params
+            .max_stream_len
+            .map_or(self.config.max_len, |m| m.min(self.config.max_len))
+            .max(1);
+        Ok(SessionDecoder {
+            params,
+            max_len,
+            state,
+            step: Tensor::zeros(&[1, 1, self.tokenizer.token_dim()]),
+            init_probs: self.initial_event_dist.iter().map(|(_, p)| *p).collect(),
+            rng: chunk_rng(params.seed, 0),
+            counters: GenCounters::default(),
+            stream_idx: 0,
+            pos_in_stream: 0,
+            timestamp: 0.0,
+            need_bootstrap: true,
+            events_emitted: 0,
+            finished: false,
+        })
+    }
+
+    /// Whether a recycled [`DecodeState`] matches this model's single-
+    /// stream decode geometry (batch 1 with room for `max_len` positions).
+    fn decode_state_fits(&self, state: &DecodeState) -> bool {
+        state.batch() == 1 && state.max_len() >= self.config.max_len
+    }
+}
+
+impl SessionDecoder {
+    /// Advances the session by one token and returns the decoded event, or
+    /// `None` once all `num_streams` streams have ended. `model` must be
+    /// the model this session was opened with.
+    pub fn next_event(&mut self, model: &CptGpt) -> Option<SessionEvent> {
+        if self.finished {
+            return None;
+        }
+        let cfg = self.params.as_generate_config();
+        let d = model.tokenizer.token_dim();
+
+        let (event, iat, stop) = if self.need_bootstrap {
+            // First event of a stream: sampled from the released
+            // initial-event distribution, interarrival 0 (as in training).
+            self.state.reset();
+            self.rng = chunk_rng(self.params.seed, self.stream_idx as u64);
+            self.timestamp = 0.0;
+            self.pos_in_stream = 0;
+            self.need_bootstrap = false;
+            let i = sample_categorical(&self.init_probs, &mut self.rng);
+            (model.initial_event_dist[i].0, 0.0, false)
+        } else {
+            let e = model.tokenizer.num_events();
+            let out = model.decode_step(&mut self.state, &self.step);
+            let ev_logits = &out.event_logits.data[..e];
+            if ev_logits.iter().any(|l| !l.is_finite()) {
+                self.counters.non_finite_logits += 1;
+            }
+            let ev_idx =
+                sample_logits_truncated(ev_logits, cfg.temperature, cfg.sampling, &mut self.rng);
+            // The sampler always returns an index below `num_events`, so
+            // this lookup cannot fail (same invariant as the batch path).
+            let event = EventType::from_index(ev_idx).expect("sampler returns in-range index");
+            let scaled =
+                model.sample_scaled_iat(out, 0, &cfg, &mut self.rng, &mut self.counters);
+            let iat = model.tokenizer.unscale_iat(scaled);
+            let stop_logits = &out.stop_logits.data[..2];
+            if stop_logits.iter().any(|l| !l.is_finite()) {
+                self.counters.non_finite_logits += 1;
+            }
+            let stop = sample_logits(stop_logits, cfg.temperature, &mut self.rng) == 1;
+            (event, iat, stop)
+        };
+
+        self.timestamp += iat.max(0.0);
+        self.pos_in_stream += 1;
+        self.events_emitted += 1;
+        model
+            .tokenizer
+            .encode_sample_into(event, iat, stop, &mut self.step.data[..d]);
+
+        let capped = self.pos_in_stream >= self.max_len;
+        let last_in_stream = stop || capped;
+        if capped && !stop {
+            self.counters.truncated_streams += 1;
+        }
+        let ev = SessionEvent {
+            stream: self.stream_idx,
+            event_type: event,
+            iat,
+            timestamp: self.timestamp,
+            last_in_stream,
+        };
+        if last_in_stream {
+            self.stream_idx += 1;
+            self.need_bootstrap = true;
+            if self.stream_idx >= self.params.num_streams {
+                self.finished = true;
+            }
+        }
+        Some(ev)
+    }
+
+    /// True once all streams have ended; `next_event` will return `None`.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Guardrail interventions so far.
+    pub fn counters(&self) -> &GenCounters {
+        &self.counters
+    }
+
+    /// Session parameters.
+    pub fn params(&self) -> &StreamParams {
+        &self.params
+    }
+
+    /// Events emitted so far across all streams of the session.
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+
+    /// Consumes the decoder and hands its [`DecodeState`] back for reuse.
+    pub fn into_state(self) -> DecodeState {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CptGptConfig, TrainConfig};
+    use crate::token::Tokenizer;
+    use crate::train::train;
+    use cpt_trace::{Dataset, Event, Stream, UeId};
+
+    fn trained_model() -> CptGpt {
+        let streams = (0..24)
+            .map(|i| {
+                let mut t = 0.0;
+                let events = (0..8)
+                    .map(|k| {
+                        let (et, gap) = if k % 2 == 0 {
+                            (EventType::ServiceRequest, 100.0)
+                        } else {
+                            (EventType::ConnectionRelease, 10.0)
+                        };
+                        t += gap;
+                        Event::new(et, t)
+                    })
+                    .collect();
+                Stream::new(UeId(i as u64), DeviceType::Phone, events)
+            })
+            .collect();
+        let data = Dataset::new(streams);
+        let tok = Tokenizer::fit(&data);
+        let cfg = CptGptConfig {
+            d_model: 16,
+            n_blocks: 1,
+            n_heads: 2,
+            d_mlp: 32,
+            d_head: 16,
+            max_len: 12,
+            ..CptGptConfig::small()
+        };
+        let mut model = CptGpt::new(cfg, tok);
+        train(
+            &mut model,
+            &data,
+            &TrainConfig::quick().with_epochs(200).with_lr(1e-2),
+        )
+        .expect("training succeeds");
+        model
+    }
+
+    fn drain(model: &CptGpt, mut dec: SessionDecoder) -> Vec<SessionEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = dec.next_event(model) {
+            out.push(ev);
+        }
+        assert!(dec.is_finished());
+        assert!(dec.next_event(model).is_none(), "finished stays finished");
+        out
+    }
+
+    #[test]
+    fn session_emits_well_formed_streams() {
+        let model = trained_model();
+        let dec = model
+            .open_session(StreamParams::new(7).streams(3))
+            .expect("open");
+        let events = drain(&model, dec);
+        assert!(!events.is_empty());
+        // Stream indices are 0..3, contiguous, each ending with
+        // last_in_stream and restarting the clock.
+        assert_eq!(events.last().map(|e| e.stream), Some(2));
+        let mut prev_t = 0.0;
+        let mut prev_stream = 0;
+        for ev in &events {
+            if ev.stream != prev_stream {
+                assert_eq!(ev.stream, prev_stream + 1);
+                prev_stream = ev.stream;
+                prev_t = 0.0;
+            }
+            assert!(ev.timestamp >= prev_t, "timestamps non-decreasing");
+            prev_t = ev.timestamp;
+        }
+        assert_eq!(events.iter().filter(|e| e.last_in_stream).count(), 3);
+        // Per-stream lengths respect the model's max_len (12).
+        for s in 0..3 {
+            let n = events.iter().filter(|e| e.stream == s).count();
+            assert!((1..=12).contains(&n));
+        }
+    }
+
+    #[test]
+    fn session_is_deterministic_per_seed() {
+        let model = trained_model();
+        let a = drain(&model, model.open_session(StreamParams::new(5).streams(2)).expect("open"));
+        let b = drain(&model, model.open_session(StreamParams::new(5).streams(2)).expect("open"));
+        let c = drain(&model, model.open_session(StreamParams::new(6).streams(2)).expect("open"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn recycled_state_decodes_byte_identically() {
+        let model = trained_model();
+        let fresh = drain(&model, model.open_session(StreamParams::new(9)).expect("open"));
+        // Dirty a state with a different session, then reuse it.
+        let warm = model.open_session(StreamParams::new(1234)).expect("open");
+        let state = drain_to_state(&model, warm);
+        let reused = model
+            .open_session_reusing(StreamParams::new(9), state)
+            .expect("open reused");
+        assert_eq!(fresh, drain(&model, reused));
+    }
+
+    fn drain_to_state(model: &CptGpt, mut dec: SessionDecoder) -> DecodeState {
+        while dec.next_event(model).is_some() {}
+        dec.into_state()
+    }
+
+    #[test]
+    fn mismatched_state_falls_back_to_fresh_allocation() {
+        let model = trained_model();
+        let wrong = model.begin_decode(4); // batch 4, not a session state
+        let dec = model
+            .open_session_reusing(StreamParams::new(3), wrong)
+            .expect("open with mismatched state");
+        let via_fresh = drain(&model, model.open_session(StreamParams::new(3)).expect("open"));
+        assert_eq!(via_fresh, drain(&model, dec));
+    }
+
+    #[test]
+    fn invalid_params_are_typed_errors() {
+        let model = trained_model();
+        let Err(err) = model.open_session(StreamParams::new(0).streams(0)) else {
+            panic!("0 streams rejected");
+        };
+        assert!(matches!(
+            err,
+            GenerateError::InvalidConfig { field: "num_streams", .. }
+        ));
+        let mut p = StreamParams::new(0);
+        p.temperature = f32::NAN;
+        assert!(matches!(
+            model.open_session(p),
+            Err(GenerateError::InvalidConfig { field: "temperature", .. })
+        ));
+    }
+
+    #[test]
+    fn untrained_model_is_typed_error() {
+        let data = Dataset::new(vec![Stream::new(
+            UeId(0),
+            DeviceType::Phone,
+            vec![
+                Event::new(EventType::ServiceRequest, 0.0),
+                Event::new(EventType::ConnectionRelease, 1.0),
+            ],
+        )]);
+        let tok = Tokenizer::fit(&data);
+        let cfg = CptGptConfig {
+            d_model: 16,
+            n_blocks: 1,
+            n_heads: 2,
+            d_mlp: 32,
+            d_head: 16,
+            max_len: 12,
+            ..CptGptConfig::small()
+        };
+        let model = CptGpt::new(cfg, tok);
+        assert!(matches!(
+            model.open_session(StreamParams::new(0)),
+            Err(GenerateError::UntrainedModel)
+        ));
+    }
+
+    #[test]
+    fn max_stream_len_caps_each_stream() {
+        let model = trained_model();
+        let dec = model
+            .open_session(StreamParams::new(2).streams(4).with_max_stream_len(3))
+            .expect("open");
+        let events = drain(&model, dec);
+        for s in 0..4 {
+            assert!(events.iter().filter(|e| e.stream == s).count() <= 3);
+        }
+    }
+}

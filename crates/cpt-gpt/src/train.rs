@@ -379,7 +379,7 @@ mod tests {
             .initial_event_dist
             .iter()
             .find(|(e, _)| *e == EventType::ServiceRequest)
-            .unwrap()
+            .expect("SRV_REQ present in initial-event distribution")
             .1;
         assert!((p_srv - 1.0).abs() < 1e-9);
     }
@@ -479,7 +479,11 @@ mod tests {
                 assert_eq!(retries, cfg.watchdog.max_retries);
                 assert_eq!(report.recoveries.len(), cfg.watchdog.max_retries as usize);
                 // Backoff applied on every rollback, clamped to the floor.
-                let last_scale = report.recoveries.last().unwrap().lr_scale;
+                let last_scale = report
+                    .recoveries
+                    .last()
+                    .expect("at least one recovery recorded")
+                    .lr_scale;
                 assert!(last_scale >= cfg.watchdog.min_lr_scale);
                 assert!(last_scale < 1.0);
                 assert!(report.epochs.is_empty(), "no epoch completed");

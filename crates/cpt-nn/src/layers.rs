@@ -452,6 +452,14 @@ impl AttnKvCache {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Rewinds the cache to empty so its buffers can be reused for a new
+    /// stream. Only rows `0..len` are ever read and each decode step writes
+    /// row `len` before reading it, so clearing the length alone makes the
+    /// cache byte-equivalent to a freshly allocated one.
+    pub fn reset(&mut self) {
+        self.len = 0;
+    }
 }
 
 /// Reusable buffers for one attention decode step. Sized once by

@@ -1,0 +1,554 @@
+//! The continuous-batching serving engine.
+//!
+//! A fixed pool of worker threads pulls *ready* sessions from a run
+//! queue, advances each by at most [`ServeConfig::slice_budget`] events
+//! (one KV-cached decode step per event over the session's own
+//! [`cpt_gpt::DecodeState`]), appends the events to the session's bounded
+//! queue, and re-enqueues the session — no thread is ever dedicated to a
+//! session, so thousands of concurrent sessions run on a handful of
+//! workers.
+//!
+//! **Backpressure** is two-level. Per session: a bounded event queue; a
+//! session whose consumer lags is *parked* (not re-enqueued) until
+//! `next_events` drains below capacity, so a slow reader costs nothing but
+//! its own queue memory. Globally: admission control sheds `open_session`
+//! with [`ServeError::Overloaded`] once the session cap or the total
+//! queued-events watermark is hit.
+//!
+//! **Determinism**: a session's event sequence is a pure function of
+//! `(model, StreamParams)`. The run queue guarantees at most one worker
+//! ever holds a session's decoder, each session owns its RNG (splitmix64
+//! from the session seed, the same discipline as the parallel batch
+//! generator), and [`cpt_gpt::DecodeState::reset`] makes free-list reuse
+//! byte-equivalent to fresh allocation — so output is bit-identical at any
+//! worker count, including 1.
+//!
+//! **Allocation**: steady-state serving is allocation-free per event. All
+//! decode buffers live in the session's `DecodeState` (recycled through a
+//! free-list on close); each worker reuses one slice buffer; per-session
+//! queues only grow to the configured capacity once.
+
+#![deny(clippy::unwrap_used)]
+
+use crate::error::ServeError;
+use crate::metrics::{Metrics, StatsSnapshot};
+use cpt_gpt::{CptGpt, DecodeState, SessionDecoder, SessionEvent, StreamParams};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Serving-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Decode worker threads.
+    pub workers: usize,
+    /// Admission cap on concurrently open sessions.
+    pub max_sessions: usize,
+    /// Bound on each session's undelivered-event queue; a full queue parks
+    /// the session until its consumer drains.
+    pub queue_capacity: usize,
+    /// Maximum events a worker decodes for one session per scheduling
+    /// slice before re-enqueueing it (fairness knob).
+    pub slice_budget: usize,
+    /// Global admission watermark on total queued events across sessions.
+    pub queue_watermark: usize,
+}
+
+impl ServeConfig {
+    /// Defaults tuned for a small host: `workers` decode threads, a 4096-
+    /// session cap, 256-event queues, 64-event slices.
+    pub fn new(workers: usize) -> Self {
+        ServeConfig {
+            workers,
+            max_sessions: 4096,
+            queue_capacity: 256,
+            slice_budget: 64,
+            queue_watermark: 1 << 20,
+        }
+    }
+
+    /// Checks every field against its domain, returning the first
+    /// violation as [`ServeError::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), ServeError> {
+        fn bad(field: &str, message: impl Into<String>) -> ServeError {
+            ServeError::InvalidConfig {
+                field: field.to_string(),
+                message: message.into(),
+            }
+        }
+        if self.workers == 0 {
+            return Err(bad("workers", "must be at least 1"));
+        }
+        if self.max_sessions == 0 {
+            return Err(bad("max_sessions", "must be at least 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(bad("queue_capacity", "must be at least 1"));
+        }
+        if self.slice_budget == 0 {
+            return Err(bad("slice_budget", "must be at least 1"));
+        }
+        if self.queue_watermark < self.queue_capacity {
+            return Err(bad(
+                "queue_watermark",
+                format!(
+                    "must be at least queue_capacity ({}), got {}",
+                    self.queue_capacity, self.queue_watermark
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Opaque session identifier handed out by [`ServeHandle::open_session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Events delivered by one [`ServeHandle::next_events`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventBatch {
+    /// Events in decode order (possibly empty if the wait timed out).
+    pub events: Vec<SessionEvent>,
+    /// True once the session's decode is complete *and* its queue is fully
+    /// drained; no further events will ever arrive.
+    pub finished: bool,
+}
+
+/// Scheduling state of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    /// In the run queue, awaiting a worker.
+    Queued,
+    /// A worker currently holds the decoder.
+    Running,
+    /// Event queue full; waiting for the consumer to drain.
+    Parked,
+    /// Decode complete; only delivery remains.
+    Done,
+}
+
+struct SessionSlot {
+    /// The decoder; `None` exactly while a worker runs the session.
+    decoder: Option<SessionDecoder>,
+    /// Undelivered events, bounded by `queue_capacity`.
+    queue: VecDeque<SessionEvent>,
+    run: RunState,
+    /// Close was requested while a worker held the decoder; the worker
+    /// disposes of the session at slice end.
+    closed: bool,
+}
+
+struct EngineState {
+    sessions: HashMap<u64, SessionSlot>,
+    run_queue: VecDeque<u64>,
+    /// Recycled decode states, capped at `max_sessions`.
+    free_states: Vec<DecodeState>,
+    /// Total undelivered events across all sessions (watermark gauge).
+    queued_total: usize,
+    /// Open sessions (excludes close-pending ones still in `sessions`).
+    open_count: usize,
+    next_id: u64,
+}
+
+struct Shared {
+    model: Arc<CptGpt>,
+    cfg: ServeConfig,
+    state: Mutex<EngineState>,
+    /// Workers wait here for the run queue to fill.
+    work: Condvar,
+    /// Consumers wait here for events to arrive.
+    delivery: Condvar,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Locks the engine state, recovering from a poisoned mutex (a panic
+    /// in one worker must not wedge the whole server).
+    fn lock_state(&self) -> MutexGuard<'_, EngineState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn recycle(state: &mut EngineState, cap: usize, decode: DecodeState) {
+        if state.free_states.len() < cap {
+            state.free_states.push(decode);
+        }
+    }
+}
+
+/// The serving engine: owns the worker pool. Obtain a [`ServeHandle`] via
+/// [`Engine::handle`] to open and drive sessions; drop (or
+/// [`Engine::shutdown`]) to stop the workers.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Validates `cfg`, spawns the worker pool, and returns the running
+    /// engine.
+    pub fn start(model: Arc<CptGpt>, cfg: ServeConfig) -> Result<Engine, ServeError> {
+        cfg.validate()?;
+        let shared = Arc::new(Shared {
+            model,
+            cfg,
+            state: Mutex::new(EngineState {
+                sessions: HashMap::new(),
+                run_queue: VecDeque::new(),
+                free_states: Vec::new(),
+                queued_total: 0,
+                open_count: 0,
+                next_id: 1,
+            }),
+            work: Condvar::new(),
+            delivery: Condvar::new(),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cpt-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| ServeError::InvalidConfig {
+                        field: "workers".to_string(),
+                        message: format!("cannot spawn worker thread: {e}"),
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Engine { shared, workers })
+    }
+
+    /// A cloneable handle for opening and driving sessions.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stops the workers and joins them. Open sessions are dropped.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work.notify_all();
+        self.shared.delivery.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Cloneable front end to a running [`Engine`]. All methods are safe to
+/// call from any number of threads concurrently.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Admits a new session, or sheds it with [`ServeError::Overloaded`]
+    /// when the session cap or queued-events watermark is exceeded.
+    ///
+    /// The session's decode state comes from the free-list when one is
+    /// available, so steady-state open/close cycles allocate nothing.
+    pub fn open_session(&self, params: StreamParams) -> Result<SessionId, ServeError> {
+        let shared = &self.shared;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let mut st = shared.lock_state();
+        if st.open_count >= shared.cfg.max_sessions
+            || st.queued_total >= shared.cfg.queue_watermark
+        {
+            let err = ServeError::Overloaded {
+                open: st.open_count,
+                cap: shared.cfg.max_sessions,
+                queued: st.queued_total,
+                watermark: shared.cfg.queue_watermark,
+            };
+            shared.metrics.inc_shed();
+            return Err(err);
+        }
+        let decoder = match st.free_states.pop() {
+            Some(state) => shared.model.open_session_reusing(params, state)?,
+            None => shared.model.open_session(params)?,
+        };
+        let id = st.next_id;
+        st.next_id += 1;
+        st.sessions.insert(
+            id,
+            SessionSlot {
+                decoder: Some(decoder),
+                queue: VecDeque::new(),
+                run: RunState::Queued,
+                closed: false,
+            },
+        );
+        st.open_count += 1;
+        st.run_queue.push_back(id);
+        shared.metrics.inc_opened();
+        drop(st);
+        shared.work.notify_one();
+        Ok(SessionId(id))
+    }
+
+    /// Delivers up to `max` decoded events in order, blocking up to `wait`
+    /// while the queue is empty and the session is still decoding. Returns
+    /// `finished = true` once decode is complete and the queue is drained.
+    ///
+    /// Draining a parked session re-enqueues it — this is the consumer
+    /// half of the per-session backpressure loop.
+    pub fn next_events(
+        &self,
+        id: SessionId,
+        max: usize,
+        wait: Duration,
+    ) -> Result<EventBatch, ServeError> {
+        let shared = &self.shared;
+        let max = max.max(1);
+        let deadline = Instant::now() + wait;
+        let mut st = shared.lock_state();
+        loop {
+            {
+                let slot = st
+                    .sessions
+                    .get(&id.0)
+                    .filter(|s| !s.closed)
+                    .ok_or(ServeError::UnknownSession(id.0))?;
+                if !slot.queue.is_empty() || slot.run == RunState::Done {
+                    break;
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline || shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            st = match shared.delivery.wait_timeout(st, deadline - now) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+
+        let (events, finished, wake) = {
+            let slot = st
+                .sessions
+                .get_mut(&id.0)
+                .filter(|s| !s.closed)
+                .ok_or(ServeError::UnknownSession(id.0))?;
+            let n = slot.queue.len().min(max);
+            let events: Vec<SessionEvent> = slot.queue.drain(..n).collect();
+            let wake = slot.run == RunState::Parked
+                && slot.queue.len() < shared.cfg.queue_capacity;
+            if wake {
+                slot.run = RunState::Queued;
+            }
+            let finished = slot.run == RunState::Done && slot.queue.is_empty();
+            (events, finished, wake)
+        };
+        st.queued_total -= events.len();
+        if wake {
+            st.run_queue.push_back(id.0);
+        }
+        drop(st);
+        if wake {
+            shared.work.notify_one();
+        }
+        shared.metrics.add_delivered(events.len() as u64);
+        Ok(EventBatch { events, finished })
+    }
+
+    /// Closes a session, recycling its decode buffers into the free-list.
+    /// Undelivered events are discarded.
+    pub fn close_session(&self, id: SessionId) -> Result<(), ServeError> {
+        let shared = &self.shared;
+        let mut st = shared.lock_state();
+        let running = {
+            let slot = st
+                .sessions
+                .get_mut(&id.0)
+                .filter(|s| !s.closed)
+                .ok_or(ServeError::UnknownSession(id.0))?;
+            slot.run == RunState::Running
+        };
+        if running {
+            // A worker holds the decoder; mark for disposal at slice end.
+            let dropped = if let Some(slot) = st.sessions.get_mut(&id.0) {
+                slot.closed = true;
+                let n = slot.queue.len();
+                slot.queue.clear();
+                n
+            } else {
+                0
+            };
+            st.queued_total -= dropped;
+        } else if let Some(slot) = st.sessions.remove(&id.0) {
+            st.queued_total -= slot.queue.len();
+            if let Some(decoder) = slot.decoder {
+                Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
+            }
+        }
+        st.open_count -= 1;
+        shared.metrics.inc_closed();
+        Ok(())
+    }
+
+    /// Sessions currently open.
+    pub fn sessions_open(&self) -> usize {
+        self.shared.lock_state().open_count
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let (open, queued, free) = {
+            let st = self.shared.lock_state();
+            (st.open_count, st.queued_total, st.free_states.len())
+        };
+        self.shared
+            .metrics
+            .snapshot(open, queued, free, self.shared.cfg.workers)
+    }
+
+    /// True once the engine refuses new work.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Blocks until a ready session is available (returning its decoder and
+/// this slice's event budget) or shutdown is requested (`None`).
+fn next_work(shared: &Shared) -> Option<(u64, SessionDecoder, usize)> {
+    let mut st = shared.lock_state();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        while let Some(id) = st.run_queue.pop_front() {
+            if let Some(slot) = st.sessions.get_mut(&id) {
+                // Stale queue entries (closed or re-scheduled sessions) are
+                // skipped; only a Queued slot with its decoder in place is
+                // runnable.
+                if slot.run == RunState::Queued && !slot.closed {
+                    if let Some(decoder) = slot.decoder.take() {
+                        slot.run = RunState::Running;
+                        let room = shared
+                            .cfg
+                            .queue_capacity
+                            .saturating_sub(slot.queue.len());
+                        let budget = room.min(shared.cfg.slice_budget);
+                        return Some((id, decoder, budget));
+                    }
+                }
+            }
+        }
+        st = match shared.work.wait(st) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+    }
+}
+
+/// One decode worker: pull a ready session, advance it by at most its
+/// slice budget, publish the events, re-enqueue (or park/finish), repeat.
+fn worker_loop(shared: &Shared) {
+    let model = Arc::clone(&shared.model);
+    // Reused across slices: allocation-free steady state.
+    let mut buf: Vec<SessionEvent> = Vec::new();
+    while let Some((id, mut decoder, budget)) = next_work(shared) {
+        let t0 = Instant::now();
+        let mut done = decoder.is_finished();
+        while buf.len() < budget {
+            match decoder.next_event(&model) {
+                Some(ev) => buf.push(ev),
+                None => {
+                    done = true;
+                    break;
+                }
+            }
+        }
+        shared.metrics.record_slice(t0.elapsed(), buf.len() as u64);
+
+        let mut st = shared.lock_state();
+        match st.sessions.get_mut(&id) {
+            None => {
+                // Session vanished while running (defensive; close defers
+                // removal, so this should not happen). Recycle the buffers.
+                Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
+            }
+            Some(slot) if slot.closed => {
+                st.sessions.remove(&id);
+                Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
+            }
+            Some(slot) => {
+                let produced = buf.len();
+                slot.queue.extend(buf.drain(..));
+                if done {
+                    slot.run = RunState::Done;
+                    slot.decoder = Some(decoder);
+                } else if slot.queue.len() >= shared.cfg.queue_capacity {
+                    slot.run = RunState::Parked;
+                    slot.decoder = Some(decoder);
+                } else {
+                    slot.run = RunState::Queued;
+                    slot.decoder = Some(decoder);
+                    st.run_queue.push_back(id);
+                    shared.work.notify_one();
+                }
+                st.queued_total += produced;
+            }
+        }
+        drop(st);
+        buf.clear();
+        shared.delivery.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_rejects_zeroes() {
+        let ok = ServeConfig::new(2);
+        assert!(ok.validate().is_ok());
+        for (field, cfg) in [
+            ("workers", ServeConfig { workers: 0, ..ok }),
+            ("max_sessions", ServeConfig { max_sessions: 0, ..ok }),
+            ("queue_capacity", ServeConfig { queue_capacity: 0, ..ok }),
+            ("slice_budget", ServeConfig { slice_budget: 0, ..ok }),
+            (
+                "queue_watermark",
+                ServeConfig {
+                    queue_watermark: 1,
+                    queue_capacity: 64,
+                    ..ok
+                },
+            ),
+        ] {
+            match cfg.validate() {
+                Err(ServeError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected InvalidConfig({field}), got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The load-generator client behind `cptgen loadgen`.
+//!
+//! Opens sessions against a running `cptgen serve` at a target rate and
+//! drives them to completion, multiplexing many concurrently open
+//! sessions per connection — a handful of client threads sustain
+//! thousands of concurrent sessions, mirroring the server's own
+//! no-thread-per-session design. Reports achieved throughput, shed
+//! counts, and client-observed latency percentiles for the `open` and
+//! `next` verbs.
+
+#![deny(clippy::unwrap_used)]
+
+use crate::error::ServeError;
+use crate::metrics::{LatencyHistogram, StatsSnapshot};
+use crate::protocol::{ErrorKind, Request, Response};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:9000`.
+    pub addr: String,
+    /// Total sessions to open (0 = unlimited; requires `duration`).
+    pub sessions: u64,
+    /// Target concurrently open sessions across all threads.
+    pub concurrent: usize,
+    /// Session opens per second across all threads (0 = as fast as
+    /// possible).
+    pub rate: f64,
+    /// UE streams each session decodes.
+    pub streams: usize,
+    /// Client threads (each one connection, multiplexing its share of
+    /// `concurrent`).
+    pub threads: usize,
+    /// Stop opening new sessions after this long.
+    pub duration: Option<Duration>,
+    /// Base session seed; session `i` uses `seed_base + i`.
+    pub seed_base: u64,
+    /// Hard cap on draining in-flight sessions after the open phase.
+    pub drain_timeout: Duration,
+    /// Send a `shutdown` verb to the server once done.
+    pub shutdown: bool,
+}
+
+impl LoadgenConfig {
+    /// Defaults: 100 sessions, 32 concurrent, unpaced, 1 stream each,
+    /// 2 threads, 60 s drain, no server shutdown.
+    pub fn new(addr: impl Into<String>) -> Self {
+        LoadgenConfig {
+            addr: addr.into(),
+            sessions: 100,
+            concurrent: 32,
+            rate: 0.0,
+            streams: 1,
+            threads: 2,
+            duration: None,
+            seed_base: 1,
+            drain_timeout: Duration::from_secs(60),
+            shutdown: false,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ServeError> {
+        fn bad(field: &str, message: &str) -> ServeError {
+            ServeError::InvalidConfig {
+                field: field.to_string(),
+                message: message.to_string(),
+            }
+        }
+        if self.sessions == 0 && self.duration.is_none() {
+            return Err(bad(
+                "sessions",
+                "0 (unlimited) requires a duration to bound the run",
+            ));
+        }
+        if self.concurrent == 0 {
+            return Err(bad("concurrent", "must be at least 1"));
+        }
+        if self.threads == 0 {
+            return Err(bad("threads", "must be at least 1"));
+        }
+        if self.streams == 0 {
+            return Err(bad("streams", "must be at least 1"));
+        }
+        if !self.rate.is_finite() || self.rate < 0.0 {
+            return Err(bad("rate", "must be a finite non-negative number"));
+        }
+        Ok(())
+    }
+}
+
+/// What the load generator observed, printed (and optionally written as
+/// JSON) by `cptgen loadgen`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadgenReport {
+    /// Sessions successfully opened.
+    pub sessions_opened: u64,
+    /// Opens shed by server admission control (`overloaded`).
+    pub sessions_shed: u64,
+    /// Sessions driven to `finished` and closed.
+    pub sessions_completed: u64,
+    /// Events received over the wire.
+    pub events_received: u64,
+    /// Non-overload protocol errors observed.
+    pub errors: u64,
+    /// Wall-clock run time in seconds.
+    pub elapsed_secs: f64,
+    /// Events received per second of run time.
+    pub events_per_sec: f64,
+    /// Client-observed `open` latency, p50/p99 (µs, bucket upper bound).
+    pub open_p50_us: u64,
+    pub open_p99_us: u64,
+    /// Client-observed `next` latency, p50/p99 (µs, bucket upper bound).
+    pub next_p50_us: u64,
+    pub next_p99_us: u64,
+    /// The server's final stats snapshot, if it could be fetched.
+    pub server_stats: Option<StatsSnapshot>,
+}
+
+/// One line-JSON connection to the server.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    line: String,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            line: String::new(),
+        })
+    }
+
+    fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let line = serde_json::to_string(req).map_err(std::io::Error::other)?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.line.clear();
+        let n = self.reader.read_line(&mut self.line)?;
+        if n == 0 {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(serde_json::from_str(&self.line).map_err(std::io::Error::other)?)
+    }
+}
+
+/// Counters shared across client threads.
+#[derive(Default)]
+struct Tally {
+    opened: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    events: AtomicU64,
+    errors: AtomicU64,
+    /// Open attempts so far, used for rate pacing and seed assignment.
+    attempts: AtomicU64,
+}
+
+/// Runs the load generator to completion and reports what it observed.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
+    cfg.validate()?;
+    let start = Instant::now();
+    let open_deadline = cfg.duration.map(|d| start + d);
+    let tally = Arc::new(Tally::default());
+    let open_hist = Arc::new(LatencyHistogram::new());
+    let next_hist = Arc::new(LatencyHistogram::new());
+
+    // Fail fast (and typed) if the server is unreachable, before spawning.
+    drop(Client::connect(&cfg.addr)?);
+
+    let per_thread = cfg.concurrent.div_ceil(cfg.threads);
+    let threads: Vec<_> = (0..cfg.threads)
+        .map(|i| {
+            let cfg = cfg.clone();
+            let tally = Arc::clone(&tally);
+            let open_hist = Arc::clone(&open_hist);
+            let next_hist = Arc::clone(&next_hist);
+            std::thread::Builder::new()
+                .name(format!("cpt-loadgen-{i}"))
+                .spawn(move || {
+                    client_thread(&cfg, per_thread, start, open_deadline, &tally, &open_hist,
+                        &next_hist)
+                })
+        })
+        .collect::<Result<_, _>>()
+        .map_err(ServeError::Io)?;
+    for t in threads {
+        let _ = t.join();
+    }
+
+    // Final server snapshot (and optional shutdown) on a fresh connection.
+    let mut server_stats = None;
+    if let Ok(mut client) = Client::connect(&cfg.addr) {
+        if let Ok(Response::Stats { stats }) = client.request(&Request::Stats) {
+            server_stats = Some(stats);
+        }
+        if cfg.shutdown {
+            let _ = client.request(&Request::Shutdown);
+        }
+    }
+
+    let elapsed = start.elapsed().as_secs_f64();
+    let events = tally.events.load(Ordering::Relaxed);
+    Ok(LoadgenReport {
+        sessions_opened: tally.opened.load(Ordering::Relaxed),
+        sessions_shed: tally.shed.load(Ordering::Relaxed),
+        sessions_completed: tally.completed.load(Ordering::Relaxed),
+        events_received: events,
+        errors: tally.errors.load(Ordering::Relaxed),
+        elapsed_secs: elapsed,
+        events_per_sec: if elapsed > 0.0 { events as f64 / elapsed } else { 0.0 },
+        open_p50_us: open_hist.quantile_us(0.50),
+        open_p99_us: open_hist.quantile_us(0.99),
+        next_p50_us: next_hist.quantile_us(0.50),
+        next_p99_us: next_hist.quantile_us(0.99),
+        server_stats,
+    })
+}
+
+/// True while this thread may claim another open attempt; claims the
+/// attempt index (for pacing + seed) when it may.
+fn claim_attempt(
+    cfg: &LoadgenConfig,
+    open_deadline: Option<Instant>,
+    tally: &Tally,
+) -> Option<u64> {
+    if let Some(d) = open_deadline {
+        if Instant::now() >= d {
+            return None;
+        }
+    }
+    // Claim optimistically, then give the slot back if over target.
+    let idx = tally.attempts.fetch_add(1, Ordering::SeqCst);
+    if cfg.sessions > 0 && idx >= cfg.sessions {
+        None
+    } else {
+        Some(idx)
+    }
+}
+
+fn client_thread(
+    cfg: &LoadgenConfig,
+    per_thread: usize,
+    start: Instant,
+    open_deadline: Option<Instant>,
+    tally: &Tally,
+    open_hist: &LatencyHistogram,
+    next_hist: &LatencyHistogram,
+) {
+    let mut client = match Client::connect(&cfg.addr) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    // Sessions this thread currently has open.
+    let mut open: Vec<u64> = Vec::with_capacity(per_thread);
+    let mut opening_done = false;
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        // Open phase: top up to this thread's share of the concurrency
+        // target, paced to the global rate.
+        while !opening_done && open.len() < per_thread {
+            let Some(idx) = claim_attempt(cfg, open_deadline, tally) else {
+                opening_done = true;
+                drain_deadline = Some(Instant::now() + cfg.drain_timeout);
+                break;
+            };
+            if cfg.rate > 0.0 {
+                let target = start + Duration::from_secs_f64(idx as f64 / cfg.rate);
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+            }
+            let req = Request::Open {
+                seed: cfg.seed_base + idx,
+                streams: cfg.streams,
+                device: "phone".to_string(),
+                max_stream_len: None,
+            };
+            let t0 = Instant::now();
+            match client.request(&req) {
+                Ok(Response::Opened { session }) => {
+                    open_hist.record(t0.elapsed());
+                    tally.opened.fetch_add(1, Ordering::Relaxed);
+                    open.push(session);
+                }
+                Ok(Response::Error { kind: ErrorKind::Overloaded, .. }) => {
+                    open_hist.record(t0.elapsed());
+                    tally.shed.fetch_add(1, Ordering::Relaxed);
+                    // Back off briefly so a saturated server is not hammered.
+                    std::thread::sleep(Duration::from_millis(1));
+                    break;
+                }
+                Ok(_) => {
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+
+        if open.is_empty() {
+            if opening_done {
+                return;
+            }
+            continue;
+        }
+        if let Some(d) = drain_deadline {
+            if Instant::now() >= d {
+                // Give up on stragglers; close them so the server reclaims
+                // the slots.
+                for id in open.drain(..) {
+                    let _ = client.request(&Request::Close { session: id });
+                }
+                return;
+            }
+        }
+
+        // Drive phase: round-robin one `next` over every open session,
+        // closing the ones that finish.
+        let mut still_open = Vec::with_capacity(open.len());
+        for id in open.drain(..) {
+            let req = Request::Next {
+                session: id,
+                max: 64,
+                wait_ms: 50,
+            };
+            let t0 = Instant::now();
+            match client.request(&req) {
+                Ok(Response::Events { events, finished, .. }) => {
+                    next_hist.record(t0.elapsed());
+                    tally
+                        .events
+                        .fetch_add(events.len() as u64, Ordering::Relaxed);
+                    if finished {
+                        match client.request(&Request::Close { session: id }) {
+                            Ok(Response::Closed { .. }) => {
+                                tally.completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                tally.errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    } else {
+                        still_open.push(id);
+                    }
+                }
+                Ok(_) => {
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        open = still_open;
+    }
+}

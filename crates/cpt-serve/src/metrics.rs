@@ -1,0 +1,249 @@
+//! Serving metrics: lock-free counters plus a log₂-bucketed latency
+//! histogram for per-slice decode latency. Everything is atomics, so
+//! workers record without touching the engine lock, and a `/stats`
+//! snapshot is a consistent-enough read for monitoring (counters may be a
+//! few events apart — that is fine for operational visibility).
+
+#![deny(clippy::unwrap_used)]
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of log₂ buckets: covers 0 µs to ~2⁴⁶ µs (≈ 2 years) per slice.
+const BUCKETS: usize = 48;
+
+/// A log₂-bucketed latency histogram over microseconds.
+///
+/// Bucket `i` holds samples whose bit length is `i` (so bucket 0 is `0 µs`,
+/// bucket 1 is `1 µs`, bucket 11 is `1024..2047 µs`, …). Quantiles are
+/// reported as the upper bound of the bucket containing the target rank —
+/// at most 2× off, which is plenty for p50/p99 monitoring and keeps
+/// recording to one atomic increment.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile in microseconds (upper bucket bound); 0 if empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bound of bucket `idx`: largest value with that bit
+                // length (bucket 0 holds only 0).
+                return if idx == 0 { 0 } else { (1u64 << idx) - 1 };
+            }
+        }
+        (1u64 << (BUCKETS - 1)) - 1
+    }
+}
+
+/// Lock-free serving counters, owned by the engine and shared with every
+/// worker and protocol thread.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    sessions_opened: AtomicU64,
+    sessions_shed: AtomicU64,
+    sessions_closed: AtomicU64,
+    events_generated: AtomicU64,
+    events_delivered: AtomicU64,
+    slices: AtomicU64,
+    slice_latency: LatencyHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics; the uptime clock starts now.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            sessions_opened: AtomicU64::new(0),
+            sessions_shed: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            events_generated: AtomicU64::new(0),
+            events_delivered: AtomicU64::new(0),
+            slices: AtomicU64::new(0),
+            slice_latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records one scheduling slice: its wall-clock latency and the number
+    /// of events it decoded.
+    pub fn record_slice(&self, latency: Duration, events: u64) {
+        self.slices.fetch_add(1, Ordering::Relaxed);
+        self.events_generated.fetch_add(events, Ordering::Relaxed);
+        self.slice_latency.record(latency);
+    }
+
+    /// Counts an admitted `open_session`.
+    pub fn inc_opened(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a shed `open_session`.
+    pub fn inc_shed(&self) {
+        self.sessions_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a closed session.
+    pub fn inc_closed(&self) {
+        self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts events handed to a consumer by `next_events`.
+    pub fn add_delivered(&self, n: u64) {
+        self.events_delivered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Builds a snapshot; the engine supplies the lock-guarded gauges.
+    pub fn snapshot(
+        &self,
+        sessions_open: usize,
+        queued_events: usize,
+        free_states: usize,
+        workers: usize,
+    ) -> StatsSnapshot {
+        let uptime = self.started.elapsed().as_secs_f64();
+        let generated = self.events_generated.load(Ordering::Relaxed);
+        StatsSnapshot {
+            uptime_secs: uptime,
+            workers,
+            sessions_open: sessions_open as u64,
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_shed: self.sessions_shed.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            events_generated: generated,
+            events_delivered: self.events_delivered.load(Ordering::Relaxed),
+            events_per_sec: if uptime > 0.0 {
+                generated as f64 / uptime
+            } else {
+                0.0
+            },
+            queued_events: queued_events as u64,
+            free_states: free_states as u64,
+            slices: self.slices.load(Ordering::Relaxed),
+            slice_p50_us: self.slice_latency.quantile_us(0.50),
+            slice_p99_us: self.slice_latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// A point-in-time view of the serving metrics, as reported by the
+/// `stats` protocol verb and the library `ServeHandle::stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Seconds since the engine started.
+    pub uptime_secs: f64,
+    /// Decode worker threads.
+    pub workers: usize,
+    /// Sessions currently open.
+    pub sessions_open: u64,
+    /// Sessions admitted since start.
+    pub sessions_opened: u64,
+    /// Sessions shed by admission control since start.
+    pub sessions_shed: u64,
+    /// Sessions closed since start.
+    pub sessions_closed: u64,
+    /// Events decoded by workers since start.
+    pub events_generated: u64,
+    /// Events handed to consumers since start.
+    pub events_delivered: u64,
+    /// Decoded events per second of uptime.
+    pub events_per_sec: f64,
+    /// Events currently buffered in per-session queues.
+    pub queued_events: u64,
+    /// Recycled `DecodeState`s currently in the free-list.
+    pub free_states: u64,
+    /// Scheduling slices executed since start.
+    pub slices: u64,
+    /// Median decode-slice latency (µs, log₂-bucket upper bound).
+    pub slice_p50_us: u64,
+    /// 99th-percentile decode-slice latency (µs, log₂-bucket upper bound).
+    pub slice_p99_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bucket_correctly() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram reports 0");
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // bucket 4 (8..15)
+        }
+        h.record(Duration::from_micros(5_000)); // bucket 13 (4096..8191)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.5), 15);
+        assert_eq!(h.quantile_us(0.99), 15);
+        assert_eq!(h.quantile_us(1.0), 8191);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new();
+        m.inc_opened();
+        m.inc_opened();
+        m.inc_shed();
+        m.inc_closed();
+        m.record_slice(Duration::from_micros(100), 7);
+        m.add_delivered(5);
+        let s = m.snapshot(1, 2, 3, 4);
+        assert_eq!(s.sessions_opened, 2);
+        assert_eq!(s.sessions_shed, 1);
+        assert_eq!(s.sessions_closed, 1);
+        assert_eq!(s.events_generated, 7);
+        assert_eq!(s.events_delivered, 5);
+        assert_eq!(s.sessions_open, 1);
+        assert_eq!(s.queued_events, 2);
+        assert_eq!(s.free_states, 3);
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.slices, 1);
+        assert!(s.slice_p50_us >= 100);
+    }
+}

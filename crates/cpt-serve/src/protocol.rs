@@ -1,0 +1,219 @@
+//! The line-delimited JSON wire protocol spoken by `cptgen serve`.
+//!
+//! One request per line, one response per line, over plain TCP — trivially
+//! scriptable (`nc`, `jq`) and implementable with std threads only. Every
+//! request carries an `"op"` tag; every response carries a `"type"` tag.
+//! Errors are structured: a machine-matchable `kind` plus a human message,
+//! mirroring the library's [`ServeError`] taxonomy so protocol clients can
+//! distinguish *shed, retry later* from *bad request*.
+//!
+//! ```text
+//! -> {"op":"open","seed":7,"streams":2}
+//! <- {"type":"opened","session":1}
+//! -> {"op":"next","session":1,"max":64,"wait_ms":100}
+//! <- {"type":"events","session":1,"events":[...],"finished":false}
+//! -> {"op":"close","session":1}
+//! <- {"type":"closed","session":1}
+//! -> {"op":"stats"}
+//! <- {"type":"stats","stats":{...}}
+//! ```
+
+#![deny(clippy::unwrap_used)]
+
+use crate::error::ServeError;
+use crate::metrics::StatsSnapshot;
+use cpt_gpt::SessionEvent;
+use serde::{Deserialize, Serialize};
+
+/// Default `next` wait when the client omits `wait_ms`.
+pub const DEFAULT_WAIT_MS: u64 = 100;
+/// Default `next` batch size when the client omits `max`.
+pub const DEFAULT_MAX_EVENTS: usize = 64;
+
+fn default_streams() -> usize {
+    1
+}
+fn default_device() -> String {
+    "phone".to_string()
+}
+fn default_wait_ms() -> u64 {
+    DEFAULT_WAIT_MS
+}
+fn default_max_events() -> usize {
+    DEFAULT_MAX_EVENTS
+}
+
+/// A client request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case", deny_unknown_fields)]
+pub enum Request {
+    /// Open a generation session.
+    Open {
+        /// Session seed; with the model, fully determines the output.
+        seed: u64,
+        /// UE streams to decode before the session finishes.
+        #[serde(default = "default_streams")]
+        streams: usize,
+        /// Device type name (`phone`, `connected_car`, `tablet`, ...).
+        #[serde(default = "default_device")]
+        device: String,
+        /// Optional per-stream length cap.
+        #[serde(default)]
+        max_stream_len: Option<usize>,
+    },
+    /// Fetch up to `max` events, waiting up to `wait_ms` for the first.
+    Next {
+        /// Session id from `opened`.
+        session: u64,
+        #[serde(default = "default_max_events")]
+        max: usize,
+        #[serde(default = "default_wait_ms")]
+        wait_ms: u64,
+    },
+    /// Close a session (undelivered events are dropped).
+    Close {
+        /// Session id from `opened`.
+        session: u64,
+    },
+    /// Fetch a server stats snapshot.
+    Stats,
+    /// Ask the server to stop accepting work and exit.
+    Shutdown,
+}
+
+/// A server response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Response {
+    /// Session admitted.
+    Opened {
+        /// The id to use in `next`/`close`.
+        session: u64,
+    },
+    /// Events for a session, in decode order.
+    Events {
+        session: u64,
+        events: Vec<SessionEvent>,
+        /// True once decode is complete and the queue is drained.
+        finished: bool,
+    },
+    /// Session closed.
+    Closed { session: u64 },
+    /// Stats snapshot.
+    Stats { stats: StatsSnapshot },
+    /// Acknowledges `shutdown`; the server exits after this.
+    Bye,
+    /// A request failed.
+    Error {
+        kind: ErrorKind,
+        message: String,
+    },
+}
+
+/// Machine-matchable error categories on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ErrorKind {
+    /// Admission control shed the request; retry later.
+    Overloaded,
+    /// The session id is unknown or already closed.
+    UnknownSession,
+    /// The request was malformed or failed validation.
+    InvalidRequest,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// An internal serving failure.
+    Internal,
+}
+
+impl From<&ServeError> for ErrorKind {
+    fn from(e: &ServeError) -> Self {
+        match e {
+            ServeError::Overloaded { .. } => ErrorKind::Overloaded,
+            ServeError::UnknownSession(_) => ErrorKind::UnknownSession,
+            ServeError::InvalidConfig { .. } => ErrorKind::InvalidRequest,
+            ServeError::ShuttingDown => ErrorKind::ShuttingDown,
+            ServeError::Generate(_) => ErrorKind::InvalidRequest,
+            ServeError::Io(_) => ErrorKind::Internal,
+        }
+    }
+}
+
+impl Response {
+    /// The error response for a [`ServeError`].
+    pub fn from_error(e: &ServeError) -> Response {
+        Response::Error {
+            kind: ErrorKind::from(e),
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_with_defaults() {
+        let r: Request =
+            serde_json::from_str(r#"{"op":"open","seed":7}"#).expect("minimal open parses");
+        assert_eq!(
+            r,
+            Request::Open {
+                seed: 7,
+                streams: 1,
+                device: "phone".to_string(),
+                max_stream_len: None,
+            }
+        );
+        let n: Request =
+            serde_json::from_str(r#"{"op":"next","session":3}"#).expect("minimal next parses");
+        assert_eq!(
+            n,
+            Request::Next {
+                session: 3,
+                max: DEFAULT_MAX_EVENTS,
+                wait_ms: DEFAULT_WAIT_MS,
+            }
+        );
+        for req in [Request::Stats, Request::Shutdown, Request::Close { session: 9 }] {
+            let json = serde_json::to_string(&req).expect("serializes");
+            let back: Request = serde_json::from_str(&json).expect("parses back");
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn unknown_ops_and_fields_are_rejected() {
+        assert!(serde_json::from_str::<Request>(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(
+            serde_json::from_str::<Request>(r#"{"op":"stats","bogus":1}"#).is_err(),
+            "unknown fields rejected so typos fail loudly"
+        );
+    }
+
+    #[test]
+    fn serve_errors_map_to_wire_kinds() {
+        let shed = ServeError::Overloaded {
+            open: 4,
+            cap: 4,
+            queued: 0,
+            watermark: 100,
+        };
+        match Response::from_error(&shed) {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::Overloaded);
+                assert!(message.contains("cap 4"));
+            }
+            other => panic!("expected error response, got {other:?}"),
+        }
+        assert_eq!(
+            ErrorKind::from(&ServeError::UnknownSession(1)),
+            ErrorKind::UnknownSession
+        );
+        assert_eq!(
+            ErrorKind::from(&ServeError::ShuttingDown),
+            ErrorKind::ShuttingDown
+        );
+    }
+}

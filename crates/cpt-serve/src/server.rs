@@ -1,0 +1,318 @@
+//! The TCP front end: line-delimited JSON over std-thread networking.
+//!
+//! One thread per connection (capped), each multiplexing any number of
+//! sessions over the shared [`Engine`] — the decode work itself always
+//! happens on the engine's worker pool, so connection threads only parse,
+//! dispatch, and serialize. A connection that disconnects has all its
+//! still-open sessions closed for it, so abandoned clients cannot leak
+//! session slots.
+//!
+//! Shutdown: the `shutdown` verb (or [`Server::stop`]) flips a stop flag
+//! and self-connects to unblock `accept`; connection reads use a short
+//! timeout so every thread notices the flag and exits promptly.
+
+#![deny(clippy::unwrap_used)]
+
+use crate::engine::{Engine, ServeConfig, ServeHandle, SessionId};
+use crate::error::ServeError;
+use crate::metrics::StatsSnapshot;
+use crate::protocol::{ErrorKind, Request, Response};
+use cpt_gpt::{CptGpt, StreamParams};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// TCP server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:9000` (port 0 picks a free port).
+    pub addr: String,
+    /// Engine configuration (workers, caps, watermarks).
+    pub serve: ServeConfig,
+    /// Concurrent connection cap; excess connections get one error line
+    /// and are dropped.
+    pub max_connections: usize,
+}
+
+impl ServerConfig {
+    /// Defaults: the given address, engine defaults for `workers` workers,
+    /// 256 connections.
+    pub fn new(addr: impl Into<String>, workers: usize) -> Self {
+        ServerConfig {
+            addr: addr.into(),
+            serve: ServeConfig::new(workers),
+            max_connections: 256,
+        }
+    }
+}
+
+/// A bound, running generation server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Engine,
+    cfg: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+/// Decrements the connection count when a connection thread exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Server {
+    /// Starts the engine and binds the listener. The engine is live (and
+    /// the port reachable) when this returns.
+    pub fn bind(model: Arc<CptGpt>, cfg: ServerConfig) -> Result<Server, ServeError> {
+        let engine = Engine::start(model, cfg.serve)?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Server {
+            listener,
+            engine,
+            cfg,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, ServeError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A library handle onto the same engine (used by in-process tests).
+    pub fn handle(&self) -> ServeHandle {
+        self.engine.handle()
+    }
+
+    /// A stop trigger usable from another thread: flips the flag and
+    /// self-connects to unblock `accept`.
+    pub fn stopper(&self) -> impl Fn() + Send + Sync + 'static {
+        let stop = Arc::clone(&self.stop);
+        let addr = self.listener.local_addr();
+        move || {
+            stop.store(true, Ordering::SeqCst);
+            if let Ok(addr) = addr {
+                let _ = TcpStream::connect(addr);
+            }
+        }
+    }
+
+    /// Serves connections until `shutdown` is requested, then drains the
+    /// connection threads, stops the engine, and returns the final stats.
+    pub fn run(self) -> Result<StatsSnapshot, ServeError> {
+        let conns = Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            if conns.fetch_add(1, Ordering::SeqCst) >= self.cfg.max_connections {
+                conns.fetch_sub(1, Ordering::SeqCst);
+                let _ = refuse_connection(stream, self.cfg.max_connections);
+                continue;
+            }
+            let guard = ConnGuard(Arc::clone(&conns));
+            let handle = self.engine.handle();
+            let stop = Arc::clone(&self.stop);
+            let stopper = self.stopper();
+            let spawned = std::thread::Builder::new()
+                .name("cpt-serve-conn".to_string())
+                .spawn(move || {
+                    let _guard = guard;
+                    handle_connection(stream, &handle, &stop, &stopper);
+                });
+            match spawned {
+                Ok(t) => threads.push(t),
+                Err(_) => continue,
+            }
+        }
+        for t in threads {
+            let _ = t.join();
+        }
+        let stats = self.engine.handle().stats();
+        self.engine.shutdown();
+        Ok(stats)
+    }
+}
+
+fn refuse_connection(stream: TcpStream, cap: usize) -> std::io::Result<()> {
+    let mut w = BufWriter::new(stream);
+    let resp = Response::Error {
+        kind: ErrorKind::Overloaded,
+        message: format!("too many connections (cap {cap})"),
+    };
+    write_response(&mut w, &resp)
+}
+
+fn write_response(w: &mut BufWriter<TcpStream>, resp: &Response) -> std::io::Result<()> {
+    let line = serde_json::to_string(resp).map_err(std::io::Error::other)?;
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Serves one client: parse a request line, dispatch, write a response
+/// line, repeat until disconnect or shutdown. Sessions the client leaves
+/// open are closed on exit.
+fn handle_connection(
+    stream: TcpStream,
+    handle: &ServeHandle,
+    stop: &AtomicBool,
+    stopper: &(impl Fn() + Send + Sync),
+) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // Short read timeout so the thread re-checks the stop flag even when
+    // the client is idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let mut owned: HashSet<u64> = HashSet::new();
+    let mut line = String::new();
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // `line` is only cleared after a full line is processed, so a
+        // timeout mid-line keeps the partial bytes and resumes.
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    line.clear();
+                    continue;
+                }
+                let (resp, quit) = dispatch(&line, handle, &mut owned, stopper);
+                line.clear();
+                if write_response(&mut writer, &resp).is_err() || quit {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    for id in owned {
+        let _ = handle.close_session(SessionId(id));
+    }
+}
+
+/// Executes one request; returns the response and whether the connection
+/// loop should exit afterwards (only for `shutdown`).
+fn dispatch(
+    line: &str,
+    handle: &ServeHandle,
+    owned: &mut HashSet<u64>,
+    stopper: &(impl Fn() + Send + Sync),
+) -> (Response, bool) {
+    let req: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                Response::Error {
+                    kind: ErrorKind::InvalidRequest,
+                    message: format!("bad request line: {e}"),
+                },
+                false,
+            )
+        }
+    };
+    match req {
+        Request::Open {
+            seed,
+            streams,
+            device,
+            max_stream_len,
+        } => {
+            let device_type = match device.parse() {
+                Ok(d) => d,
+                Err(_) => {
+                    return (
+                        Response::Error {
+                            kind: ErrorKind::InvalidRequest,
+                            message: format!("unknown device type: {device}"),
+                        },
+                        false,
+                    )
+                }
+            };
+            let mut params = StreamParams::new(seed).streams(streams).device(device_type);
+            params.max_stream_len = max_stream_len;
+            match handle.open_session(params) {
+                Ok(id) => {
+                    owned.insert(id.0);
+                    (Response::Opened { session: id.0 }, false)
+                }
+                Err(e) => (Response::from_error(&e), false),
+            }
+        }
+        Request::Next {
+            session,
+            max,
+            wait_ms,
+        } => {
+            // Cap the server-side block so one request cannot pin a
+            // connection thread for long.
+            let wait = Duration::from_millis(wait_ms.min(10_000));
+            match handle.next_events(SessionId(session), max, wait) {
+                Ok(batch) => (
+                    Response::Events {
+                        session,
+                        events: batch.events,
+                        finished: batch.finished,
+                    },
+                    false,
+                ),
+                Err(e) => (Response::from_error(&e), false),
+            }
+        }
+        Request::Close { session } => match handle.close_session(SessionId(session)) {
+            Ok(()) => {
+                owned.remove(&session);
+                (Response::Closed { session }, false)
+            }
+            Err(e) => (Response::from_error(&e), false),
+        },
+        Request::Stats => (
+            Response::Stats {
+                stats: handle.stats(),
+            },
+            false,
+        ),
+        Request::Shutdown => {
+            stopper();
+            (Response::Bye, true)
+        }
+    }
+}
+
+/// Binds and runs a server to completion (the `cptgen serve` entry point).
+/// `on_ready` receives the bound address before the accept loop starts —
+/// the CLI prints its "listening on" line from it.
+pub fn serve(
+    model: Arc<CptGpt>,
+    cfg: ServerConfig,
+    on_ready: impl FnOnce(std::net::SocketAddr),
+) -> Result<StatsSnapshot, ServeError> {
+    let server = Server::bind(model, cfg)?;
+    on_ready(server.local_addr()?);
+    server.run()
+}

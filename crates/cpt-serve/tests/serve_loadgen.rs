@@ -1,0 +1,309 @@
+//! Integration tests for the TCP server and the load-generator client:
+//! overload shedding surfaces as a typed protocol error, closes are clean,
+//! `/stats` counters move, disconnected clients leak nothing, and the
+//! engine sustains 1000 concurrent sessions with bit-identical output at
+//! 1 and 8 workers (the acceptance criteria, at test scale).
+
+use cpt_gpt::{
+    CptGpt, CptGptConfig, SessionEvent, StreamParams, Tokenizer, TrainConfig,
+};
+use cpt_serve::protocol::{ErrorKind, Request, Response};
+use cpt_serve::{
+    run_loadgen, Engine, LoadgenConfig, ServeConfig, Server, ServerConfig, SessionId,
+};
+use cpt_trace::{Dataset, DeviceType, Event, EventType, Stream, UeId};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn alternating_dataset(n: usize) -> Dataset {
+    let streams = (0..n)
+        .map(|i| {
+            let mut t = 0.0;
+            let events = (0..6 + (i % 3) * 2)
+                .map(|k| {
+                    let (et, gap) = if k % 2 == 0 {
+                        (EventType::ServiceRequest, 100.0)
+                    } else {
+                        (EventType::ConnectionRelease, 10.0)
+                    };
+                    t += gap;
+                    Event::new(et, t)
+                })
+                .collect();
+            Stream::new(UeId(i as u64), DeviceType::Phone, events)
+        })
+        .collect();
+    Dataset::new(streams)
+}
+
+fn trained_model() -> Arc<CptGpt> {
+    static MODEL: OnceLock<Arc<CptGpt>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        let data = alternating_dataset(12);
+        let cfg = CptGptConfig {
+            d_model: 16,
+            n_blocks: 1,
+            n_heads: 2,
+            d_mlp: 32,
+            d_head: 16,
+            max_len: 16,
+            ..CptGptConfig::small()
+        };
+        let mut model = CptGpt::new(cfg, Tokenizer::fit(&data));
+        cpt_gpt::train(&mut model, &data, &TrainConfig::quick().with_epochs(2))
+            .expect("fixture training failed");
+        Arc::new(model)
+    }))
+}
+
+/// A running in-process server plus the means to stop it.
+struct TestServer {
+    addr: std::net::SocketAddr,
+    stop: Box<dyn Fn() + Send + Sync>,
+    thread: std::thread::JoinHandle<()>,
+    handle: cpt_serve::ServeHandle,
+}
+
+fn start_server(serve_cfg: ServeConfig) -> TestServer {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        serve: serve_cfg,
+        max_connections: 64,
+    };
+    let server = Server::bind(trained_model(), cfg).expect("server binds");
+    let addr = server.local_addr().expect("bound address");
+    let stop = Box::new(server.stopper());
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || {
+        server.run().expect("server run");
+    });
+    TestServer {
+        addr,
+        stop,
+        thread,
+        handle,
+    }
+}
+
+impl TestServer {
+    fn shutdown(self) {
+        (self.stop)();
+        self.thread.join().expect("server thread joins");
+    }
+}
+
+/// A minimal line-JSON test client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("client connects");
+        let write_half = stream.try_clone().expect("clone stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        }
+    }
+
+    fn send_line(&mut self, line: &str) -> Response {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+        self.writer.flush().expect("flush");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("read response");
+        serde_json::from_str(&resp).expect("response parses")
+    }
+
+    fn request(&mut self, req: &Request) -> Response {
+        let line = serde_json::to_string(req).expect("request serializes");
+        self.send_line(&line)
+    }
+
+    fn open(&mut self, seed: u64) -> Response {
+        self.request(&Request::Open {
+            seed,
+            streams: 1,
+            device: "phone".to_string(),
+            max_stream_len: None,
+        })
+    }
+}
+
+/// Satellite (4): open past the cap over the wire, assert typed
+/// `overloaded` shedding, clean close making room, and non-zero stats.
+#[test]
+fn overload_sheds_with_typed_protocol_error() {
+    let server = start_server(ServeConfig {
+        max_sessions: 4,
+        ..ServeConfig::new(2)
+    });
+    let mut client = Client::connect(server.addr);
+
+    let mut ids = Vec::new();
+    for seed in 0..4 {
+        match client.open(seed) {
+            Response::Opened { session } => ids.push(session),
+            other => panic!("expected opened, got {other:?}"),
+        }
+    }
+    match client.open(99) {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::Overloaded);
+            assert!(message.contains("cap 4"), "unhelpful message: {message}");
+        }
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+
+    // A clean close makes room for a new session.
+    match client.request(&Request::Close { session: ids[0] }) {
+        Response::Closed { session } => assert_eq!(session, ids[0]),
+        other => panic!("expected closed, got {other:?}"),
+    }
+    match client.open(100) {
+        Response::Opened { .. } => {}
+        other => panic!("expected opened after close, got {other:?}"),
+    }
+
+    // Stats over the wire reflect all of the above.
+    match client.request(&Request::Stats) {
+        Response::Stats { stats } => {
+            assert_eq!(stats.sessions_opened, 5);
+            assert_eq!(stats.sessions_shed, 1);
+            assert_eq!(stats.sessions_closed, 1);
+            assert_eq!(stats.sessions_open, 4);
+            assert_eq!(stats.workers, 2);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // Malformed and unknown-session requests are typed errors, not drops.
+    match client.send_line("{\"op\":\"frobnicate\"}") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::InvalidRequest),
+        other => panic!("expected invalid_request, got {other:?}"),
+    }
+    match client.request(&Request::Next {
+        session: 424242,
+        max: 1,
+        wait_ms: 0,
+    }) {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnknownSession),
+        other => panic!("expected unknown_session, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+/// A client that disconnects with sessions open leaks no session slots.
+#[test]
+fn disconnect_reclaims_abandoned_sessions() {
+    let server = start_server(ServeConfig::new(2));
+    {
+        let mut client = Client::connect(server.addr);
+        for seed in 0..3 {
+            match client.open(seed) {
+                Response::Opened { .. } => {}
+                other => panic!("expected opened, got {other:?}"),
+            }
+        }
+        assert_eq!(server.handle.stats().sessions_open, 3);
+    } // client dropped: connection closes without close_session calls
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if server.handle.stats().sessions_open == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "abandoned sessions were not reclaimed"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+}
+
+/// End-to-end loadgen against a live server: every session opens, streams,
+/// and closes cleanly, and the final server stats are coherent.
+#[test]
+fn loadgen_end_to_end() {
+    let server = start_server(ServeConfig::new(2));
+    let mut cfg = LoadgenConfig::new(server.addr.to_string());
+    cfg.sessions = 40;
+    cfg.concurrent = 16;
+    cfg.threads = 2;
+    cfg.streams = 2;
+    let report = run_loadgen(&cfg).expect("loadgen runs");
+
+    assert_eq!(report.sessions_opened, 40);
+    assert_eq!(report.sessions_completed, 40);
+    assert_eq!(report.sessions_shed, 0);
+    assert_eq!(report.errors, 0);
+    assert!(report.events_received > 0);
+    let server_stats = report.server_stats.expect("server stats fetched");
+    assert_eq!(server_stats.sessions_opened, 40);
+    assert_eq!(server_stats.sessions_closed, 40);
+    assert_eq!(server_stats.sessions_open, 0);
+    assert_eq!(server_stats.events_delivered, report.events_received);
+    assert!(server_stats.slices > 0);
+    server.shutdown();
+}
+
+/// The `shutdown` verb stops the server from the client side.
+#[test]
+fn shutdown_verb_stops_the_server() {
+    let server = start_server(ServeConfig::new(1));
+    let mut client = Client::connect(server.addr);
+    match client.request(&Request::Shutdown) {
+        Response::Bye => {}
+        other => panic!("expected bye, got {other:?}"),
+    }
+    // run() returns once the stop flag is seen; join must not hang.
+    server.thread.join().expect("server exits after shutdown");
+}
+
+/// Acceptance at test scale: 1000 concurrent sessions, no shedding, and
+/// per-session output bit-identical between 1 and 8 workers.
+#[test]
+fn thousand_concurrent_sessions_bit_identical_across_workers() {
+    let run = |workers: usize| -> Vec<Vec<SessionEvent>> {
+        let engine = Engine::start(trained_model(), ServeConfig::new(workers))
+            .expect("engine starts");
+        let handle = engine.handle();
+        let ids: Vec<SessionId> = (0..1000u64)
+            .map(|i| {
+                handle
+                    .open_session(StreamParams::new(i))
+                    .expect("session admitted under the 4096 cap")
+            })
+            .collect();
+        assert_eq!(handle.stats().sessions_open, 1000);
+        let mut outputs: Vec<Vec<SessionEvent>> = vec![Vec::new(); ids.len()];
+        let mut done = vec![false; ids.len()];
+        while !done.iter().all(|d| *d) {
+            for (i, id) in ids.iter().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                let b = handle
+                    .next_events(*id, 64, Duration::from_secs(10))
+                    .expect("next_events");
+                outputs[i].extend(b.events);
+                if b.finished {
+                    handle.close_session(*id).expect("close");
+                    done[i] = true;
+                }
+            }
+        }
+        engine.shutdown();
+        outputs
+    };
+    let serial = run(1);
+    assert!(serial.iter().all(|s| !s.is_empty()));
+    let parallel = run(8);
+    assert_eq!(serial, parallel, "output differs between 1 and 8 workers");
+}

@@ -8,6 +8,8 @@
 //! cptgen train    --input real.jsonl --epochs 24 -o model.json \
 //!                 --checkpoint ckpt.json --resume
 //! cptgen generate --model model.json --streams 1000 --seed 7 -o synth.jsonl
+//! cptgen serve    --model model.json --addr 127.0.0.1:9000 --workers 4
+//! cptgen loadgen  --addr 127.0.0.1:9000 --sessions 1000 --concurrent 200
 //! cptgen evaluate --real real.jsonl --synth synth.jsonl
 //! cptgen mcn      --input synth.jsonl --workers 4
 //! cptgen stats    --input real.jsonl
@@ -22,11 +24,15 @@
 //! Failures never panic; they map to documented exit codes:
 //! `2` usage, `3` data/IO error, `4` invalid configuration or model,
 //! `5` training diverged beyond recovery, `6` checkpoint error,
-//! `7` throughput regression beyond the allowed factor.
+//! `7` throughput regression beyond the allowed factor,
+//! `8` serve/network failure (bind, connect, protocol).
 
 use cpt::gpt::{
     resume_training, train_with_checkpoints, CheckpointSpec, CptGpt, CptGptConfig,
     GenerateConfig, GenerateError, Tokenizer, TrainConfig, TrainError,
+};
+use cpt::serve::{
+    resolve_parallelism, run_loadgen, LoadgenConfig, ServeError, ServerConfig,
 };
 use cpt::mcn::{simulate, McnConfig};
 use cpt::metrics::FidelityReport;
@@ -48,6 +54,8 @@ const EXIT_DIVERGED: u8 = 5;
 const EXIT_CHECKPOINT: u8 = 6;
 /// Exit code for a throughput regression beyond the allowed factor.
 const EXIT_REGRESSION: u8 = 7;
+/// Exit code for serve/network failures (bind, connect, protocol).
+const EXIT_SERVE: u8 = 8;
 
 /// A CLI failure: a message for stderr plus the process exit code it maps
 /// to. Every library error converts into one of these — `main` never sees
@@ -106,6 +114,24 @@ impl From<GenerateError> for CliError {
     }
 }
 
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        let code = match &e {
+            // Bad flag values are usage errors, like everywhere else.
+            ServeError::InvalidConfig { .. } => EXIT_USAGE,
+            // A model the engine cannot serve is a bad model.
+            ServeError::Generate(_) => EXIT_CONFIG,
+            // Everything operational (bind/connect failures, overload,
+            // shutdown races) is a serve failure.
+            _ => EXIT_SERVE,
+        };
+        CliError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cptgen <command> [options]\n\
@@ -117,7 +143,13 @@ fn usage() -> ExitCode {
          \u{20}            [--d-model D] [--seed S] -o MODEL.json\n\
          \u{20}            [--checkpoint CKPT.json] [--checkpoint-every N] [--resume]\n\
            generate   --model MODEL.json --streams N [--device D] [--seed S]\n\
-         \u{20}            -o OUT.jsonl\n\
+         \u{20}            [--threads N] -o OUT.jsonl\n\
+           serve      --model MODEL.json [--addr HOST:PORT] [--workers N]\n\
+         \u{20}            [--max-sessions N] [--queue-capacity N] [--slice-budget N]\n\
+         \u{20}            [--max-connections N]   (line-JSON protocol; port 0 = auto)\n\
+           loadgen    --addr HOST:PORT [--sessions N] [--concurrent N]\n\
+         \u{20}            [--rate R] [--streams N] [--threads N] [--duration-secs S]\n\
+         \u{20}            [--seed S] [--shutdown] [-o REPORT.json]\n\
            evaluate   --real REAL.jsonl --synth SYNTH.jsonl\n\
            mcn        --input TRACE.jsonl [--workers N] [--autoscale]\n\
            stats      --input TRACE.jsonl\n\
@@ -127,7 +159,7 @@ fn usage() -> ExitCode {
          \n\
          exit codes: 0 ok, 2 usage, 3 data/io, 4 bad config/model,\n\
          \u{20}           5 training diverged, 6 checkpoint error,\n\
-         \u{20}           7 throughput regression\n"
+         \u{20}           7 throughput regression, 8 serve/network failure\n"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -161,6 +193,20 @@ fn get_parsed<T: std::str::FromStr>(
         None => Ok(default),
         Some(v) => v
             .parse()
+            .map_err(|_| CliError::usage(format!("invalid value {v:?} for --{key}"))),
+    }
+}
+
+/// Like [`get_parsed`], but distinguishes "flag absent" from a value.
+fn get_opt_parsed<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, CliError> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
             .map_err(|_| CliError::usage(format!("invalid value {v:?} for --{key}"))),
     }
 }
@@ -272,43 +318,164 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), CliError> {
 }
 
 fn load_model(path: &str) -> Result<CptGpt, CliError> {
-    let file = std::fs::File::open(path).map_err(|e| CliError {
-        code: EXIT_CHECKPOINT,
-        message: format!("cannot load model {path}: {e}"),
-    })?;
-    let model: CptGpt =
-        serde_json::from_reader(std::io::BufReader::new(file)).map_err(|e| CliError {
-            code: EXIT_CHECKPOINT,
+    cpt::gpt::load_model_file(std::path::Path::new(path)).map_err(|e| {
+        // Well-formed JSON can still carry garbage weights (NaN from a
+        // diverged run, shapes torn by partial edits); that is a bad model
+        // (exit 4), not a checkpoint-IO failure.
+        let code = match &e {
+            cpt::gpt::CheckpointError::Validation { .. } => EXIT_CONFIG,
+            _ => EXIT_CHECKPOINT,
+        };
+        CliError {
+            code,
             message: format!("cannot load model {path}: {e}"),
-        })?;
-    // Well-formed JSON can still carry garbage weights (NaN from a
-    // diverged run, shapes torn by partial edits); that is a bad model
-    // (exit 4), not a checkpoint-IO failure.
-    cpt::nn::serialize::validate_store(&model.store).map_err(|e| CliError {
-        code: EXIT_CONFIG,
-        message: format!("model {path} failed validation: {e}"),
-    })?;
-    Ok(model)
+        }
+    })
 }
 
 fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let model_path = require(opts, "model")?;
-    let model = load_model(model_path)?;
     let out = require(opts, "o")?;
     let streams: usize = get_parsed(opts, "streams", 1000)?;
     let seed: u64 = get_parsed(opts, "seed", 0)?;
+    // Validate flags before the (slow) model load so usage errors are
+    // instant and exit 2.
+    let threads = get_opt_parsed::<usize>(opts, "threads")?
+        .map(|n| resolve_parallelism(Some(n), "--threads"))
+        .transpose()?;
     let device: DeviceType = opts
         .get("device")
         .map(|d| d.parse())
         .transpose()
         .map_err(|e| CliError::usage(format!("{e}")))?
         .unwrap_or(DeviceType::Phone);
-    let (synth, counters) =
-        model.generate_with_report(&GenerateConfig::new(streams, seed).device(device))?;
+    let model = load_model(model_path)?;
+    let cfg = GenerateConfig::new(streams, seed).device(device);
+    // --threads pins the rayon pool; absent, the global default pool (all
+    // cores) is used as before. Zero is a usage error; oversubscription is
+    // clamped with a warning — output is identical either way, since
+    // generation is deterministic per (model, seed) at any thread count.
+    let (synth, counters) = match threads {
+        None => model.generate_with_report(&cfg)?,
+        Some(par) => {
+            if let Some(from) = par.clamped_from {
+                eprintln!(
+                    "warning: --threads {from} exceeds available cores; using {}",
+                    par.threads
+                );
+            }
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(par.threads)
+                .build()
+                .map_err(|e| CliError::data(format!("cannot build thread pool: {e}")))?;
+            pool.install(|| model.generate_with_report(&cfg))?
+        }
+    };
     trace_io::write_dataset(&synth, out)?;
     println!("wrote {} ({})", out, synth.summary());
     if !counters.is_clean() {
         println!("generation guardrails intervened: {counters}");
+    }
+    Ok(())
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let model_path = require(opts, "model")?;
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:9000".to_string());
+    // Validate flags before the (slow) model load so usage errors are
+    // instant and exit 2.
+    let par = resolve_parallelism(get_opt_parsed(opts, "workers")?, "--workers")?;
+    if let Some(from) = par.clamped_from {
+        eprintln!(
+            "warning: --workers {from} exceeds available cores; using {}",
+            par.threads
+        );
+    }
+    let mut cfg = ServerConfig::new(addr, par.threads);
+    cfg.serve.max_sessions = get_parsed(opts, "max-sessions", cfg.serve.max_sessions)?;
+    cfg.serve.queue_capacity = get_parsed(opts, "queue-capacity", cfg.serve.queue_capacity)?;
+    cfg.serve.slice_budget = get_parsed(opts, "slice-budget", cfg.serve.slice_budget)?;
+    cfg.max_connections = get_parsed(opts, "max-connections", cfg.max_connections)?;
+    cfg.serve.validate()?;
+    let model = std::sync::Arc::new(load_model(model_path)?);
+    println!(
+        "serving {} with {} workers (cap {} sessions)",
+        model_path, cfg.serve.workers, cfg.serve.max_sessions
+    );
+    let stats = cpt::serve::serve(model, cfg, |addr| {
+        // The readiness line scripts grep for; flush because stdout is
+        // block-buffered when piped to a log file.
+        println!("listening on {addr}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    })?;
+    println!(
+        "serve done: {} sessions opened, {} shed, {} closed; {} events generated \
+         ({:.0}/s), slice p50 {} us p99 {} us",
+        stats.sessions_opened,
+        stats.sessions_shed,
+        stats.sessions_closed,
+        stats.events_generated,
+        stats.events_per_sec,
+        stats.slice_p50_us,
+        stats.slice_p99_us
+    );
+    Ok(())
+}
+
+fn cmd_loadgen(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let addr = require(opts, "addr")?;
+    let mut cfg = LoadgenConfig::new(addr);
+    cfg.sessions = get_parsed(opts, "sessions", cfg.sessions)?;
+    cfg.concurrent = get_parsed(opts, "concurrent", cfg.concurrent)?;
+    cfg.rate = get_parsed(opts, "rate", cfg.rate)?;
+    cfg.streams = get_parsed(opts, "streams", cfg.streams)?;
+    cfg.seed_base = get_parsed(opts, "seed", cfg.seed_base)?;
+    cfg.shutdown = opts.contains_key("shutdown");
+    let par = resolve_parallelism(
+        Some(get_parsed(opts, "threads", cfg.threads)?),
+        "--threads",
+    )?;
+    if let Some(from) = par.clamped_from {
+        eprintln!(
+            "warning: --threads {from} exceeds available cores; using {}",
+            par.threads
+        );
+    }
+    cfg.threads = par.threads;
+    if let Some(secs) = get_opt_parsed::<f64>(opts, "duration-secs")? {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(CliError::usage("--duration-secs must be a positive number"));
+        }
+        cfg.duration = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    let report = run_loadgen(&cfg)?;
+    println!(
+        "loadgen: opened {} sessions ({} shed, {} completed), received {} events \
+         in {:.1}s ({:.0} events/s)",
+        report.sessions_opened,
+        report.sessions_shed,
+        report.sessions_completed,
+        report.events_received,
+        report.elapsed_secs,
+        report.events_per_sec
+    );
+    println!(
+        "  open latency p50 {} us, p99 {} us; next latency p50 {} us, p99 {} us",
+        report.open_p50_us, report.open_p99_us, report.next_p50_us, report.next_p99_us
+    );
+    if report.errors > 0 {
+        println!("  {} protocol errors observed", report.errors);
+    }
+    if let Some(out) = opts.get("o").filter(|p| !p.is_empty()) {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| CliError::data(format!("cannot serialize report: {e}")))?;
+        std::fs::write(out, json + "\n")
+            .map_err(|e| CliError::data(format!("cannot write {out}: {e}")))?;
+        println!("wrote {out}");
     }
     Ok(())
 }
@@ -475,6 +642,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&opts),
         "train" => cmd_train(&opts),
         "generate" => cmd_generate(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "mcn" => cmd_mcn(&opts),
         "stats" => cmd_stats(&opts),

@@ -11,6 +11,8 @@
 //! - [`metrics`] — fidelity metrics
 //! - [`mcn`] — downstream MCN load simulator (the §2.2 use case)
 //! - [`bench`] — experiment + throughput-measurement harness
+//! - [`serve`] — streaming multi-UE generation service (continuous
+//!   batching, backpressure, load generator)
 
 pub use cpt_bench as bench;
 pub use cpt_gpt as gpt;
@@ -18,6 +20,7 @@ pub use cpt_mcn as mcn;
 pub use cpt_metrics as metrics;
 pub use cpt_netshare as netshare;
 pub use cpt_nn as nn;
+pub use cpt_serve as serve;
 pub use cpt_smm as smm;
 pub use cpt_statemachine as statemachine;
 pub use cpt_synth as synth;

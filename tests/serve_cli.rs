@@ -1,0 +1,171 @@
+//! End-to-end CLI tests for `cptgen serve` and `cptgen loadgen`: a real
+//! server child process, a real loadgen run against it over TCP, the
+//! `--shutdown` handshake, and the documented exit codes for flag
+//! validation (2) and network failure (8).
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_cptgen");
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("cpt-serve-cli-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().expect("spawn cptgen")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("cptgen must exit, not be killed")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Simulates a tiny trace and trains a tiny model for the serve tests.
+fn train_tiny_model(scratch: &Scratch) -> String {
+    let trace = scratch.path("trace.jsonl");
+    let out = run(&[
+        "simulate", "--ues", "20", "--hours", "1", "--seed", "5", "-o", &trace,
+    ]);
+    assert_eq!(exit_code(&out), 0, "simulate failed: {}", stderr_of(&out));
+    let model = scratch.path("model.json");
+    let out = run(&[
+        "train", "--input", &trace, "--epochs", "1", "--d-model", "16", "--max-len",
+        "16", "-o", &model,
+    ]);
+    assert_eq!(exit_code(&out), 0, "train failed: {}", stderr_of(&out));
+    model
+}
+
+/// Kills the server child if a test panics before shutting it down.
+struct KillOnDrop(Option<Child>);
+
+impl KillOnDrop {
+    fn wait(mut self) -> std::process::ExitStatus {
+        let mut child = self.0.take().expect("child present");
+        child.wait().expect("server child waits")
+    }
+}
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Starts `cptgen serve` on an OS-assigned port and parses the readiness
+/// line for the actual address.
+fn spawn_server(model: &str) -> (KillOnDrop, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(BIN)
+        .args([
+            "serve", "--model", model, "--addr", "127.0.0.1:0", "--workers", "2",
+            "--max-sessions", "64",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cptgen serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read server stdout");
+        assert_ne!(n, 0, "server exited before printing its address");
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+    (KillOnDrop(Some(child)), addr, reader)
+}
+
+#[test]
+fn serve_loadgen_shutdown_round_trip() {
+    let scratch = Scratch::new("roundtrip");
+    let model = train_tiny_model(&scratch);
+    let (server, addr, _stdout) = spawn_server(&model);
+
+    let report_path = scratch.path("report.json");
+    let out = run(&[
+        "loadgen", "--addr", &addr, "--sessions", "20", "--concurrent", "8",
+        "--threads", "2", "--shutdown", "-o", &report_path,
+    ]);
+    assert_eq!(exit_code(&out), 0, "loadgen failed: {}", stderr_of(&out));
+
+    // The report file is valid JSON with the promised fields.
+    let text = std::fs::read_to_string(&report_path).expect("report written");
+    let report: serde_json::Value = serde_json::from_str(&text).expect("report parses");
+    assert_eq!(report["sessions_opened"], 20);
+    assert_eq!(report["sessions_completed"], 20);
+    assert_eq!(report["errors"], 0);
+    assert!(report["events_received"].as_u64().expect("events field") > 0);
+    assert!(
+        report["server_stats"]["slices"].as_u64().expect("server stats embedded") > 0
+    );
+
+    // --shutdown must have stopped the server cleanly (exit 0).
+    let status = server.wait();
+    assert_eq!(status.code(), Some(0), "server did not exit cleanly");
+}
+
+#[test]
+fn serve_zero_workers_is_usage_error() {
+    // Flag validation runs before the model is touched, so no model file
+    // is needed to get the documented exit code.
+    let out = run(&["serve", "--model", "nope.json", "--workers", "0"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr_of(&out).contains("--workers"));
+}
+
+#[test]
+fn serve_zero_max_sessions_is_usage_error() {
+    let out = run(&["serve", "--model", "nope.json", "--max-sessions", "0"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr_of(&out).contains("max_sessions"));
+}
+
+#[test]
+fn generate_zero_threads_is_usage_error() {
+    let out = run(&[
+        "generate", "--model", "nope.json", "--threads", "0", "-o", "out.jsonl",
+    ]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr_of(&out).contains("--threads"));
+}
+
+#[test]
+fn loadgen_unreachable_server_is_network_error() {
+    // Port 9 (discard) on localhost is almost certainly closed; connect
+    // must fail fast with the documented serve/network exit code.
+    let out = run(&["loadgen", "--addr", "127.0.0.1:9", "--sessions", "1"]);
+    assert_eq!(exit_code(&out), 8);
+}
+
+#[test]
+fn loadgen_unbounded_run_is_usage_error() {
+    let out = run(&["loadgen", "--addr", "127.0.0.1:9", "--sessions", "0"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr_of(&out).contains("duration"));
+}
