@@ -44,6 +44,31 @@ fn bench_transformer_forward(c: &mut Criterion) {
             black_box(sess.grads());
         })
     });
+    // Data-parallel pair, mirroring the generation 1-vs-N pair below: the
+    // same 32-stream step cut into 8 micro-batch shards, run on pinned
+    // 1-thread and num_cpus pools. Gradients are bit-identical across the
+    // pair (fixed-order reduction); the ratio is the train-path speedup.
+    let shards: Vec<cpt_gpt::Batch> = streams
+        .chunks(4)
+        .map(|chunk| cpt_gpt::build_batch(&tok, chunk, scale.max_len))
+        .collect();
+    let num_cpus = std::thread::available_parallelism().map_or(8, |n| n.get());
+    // On a 1-core machine both tiers would collide on the same bench id.
+    let mut tiers = vec![1usize];
+    if num_cpus > 1 {
+        tiers.push(num_cpus);
+    }
+    for &threads in &tiers {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("cannot build rayon pool");
+        c.bench_function(&format!("cptgpt_train_step_sharded_{threads}thread"), |bench| {
+            bench.iter(|| {
+                pool.install(|| black_box(cpt_gpt::parallel_grad_step(&model, &shards)))
+            })
+        });
+    }
 }
 
 fn bench_synth_generation(c: &mut Criterion) {

@@ -11,7 +11,7 @@
 //! accidentally-disabled kernel path.
 
 use cpt_gpt::{CptGpt, CptGptConfig, GenerateConfig, GenerateError, Tokenizer, TrainConfig, TrainError};
-use cpt_nn::{Session, Tensor};
+use cpt_nn::Tensor;
 use cpt_trace::{Dataset, DeviceType, Event, EventType, Stream, UeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,6 +26,8 @@ pub enum MeasureError {
     Train(TrainError),
     /// The timed generation run failed.
     Generate(GenerateError),
+    /// A dedicated measurement thread pool could not be built.
+    Pool(String),
 }
 
 impl std::fmt::Display for MeasureError {
@@ -33,6 +35,7 @@ impl std::fmt::Display for MeasureError {
         match self {
             MeasureError::Train(e) => write!(f, "bench training failed: {e}"),
             MeasureError::Generate(e) => write!(f, "bench generation failed: {e}"),
+            MeasureError::Pool(e) => write!(f, "bench thread pool failed: {e}"),
         }
     }
 }
@@ -42,6 +45,7 @@ impl std::error::Error for MeasureError {
         match self {
             MeasureError::Train(e) => Some(e),
             MeasureError::Generate(e) => Some(e),
+            MeasureError::Pool(_) => None,
         }
     }
 }
@@ -63,9 +67,21 @@ impl From<GenerateError> for MeasureError {
 pub struct ThroughputReport {
     /// Dense 128×128×128 matmul rate through the packed kernel.
     pub matmul_gflops: f64,
-    /// Token positions per second through a full training step
-    /// (forward + backward + gradient collection).
+    /// Token positions per second through a full data-parallel training
+    /// step (sharded forward + backward + fixed-order gradient reduction)
+    /// on the ambient rayon pool — the multi-thread figure.
     pub train_tokens_per_sec: f64,
+    /// Same measurement pinned to a 1-thread pool. Together with
+    /// [`train_tokens_per_sec`](ThroughputReport::train_tokens_per_sec)
+    /// this records the data-parallel speedup on the machine that produced
+    /// the report. 0 in reports written before data-parallel training
+    /// existed (serde default).
+    #[serde(default)]
+    pub train_tokens_per_sec_1thread: f64,
+    /// `train_tokens_per_sec / train_tokens_per_sec_1thread`; 0 in old
+    /// reports.
+    #[serde(default)]
+    pub train_speedup: f64,
     /// Streams per second through batched KV-cached generation.
     pub generate_streams_per_sec: f64,
     /// Generated event tokens per second.
@@ -159,21 +175,58 @@ pub fn measure(quick: bool) -> Result<ThroughputReport, MeasureError> {
         ..CptGptConfig::small()
     };
     let mut model = CptGpt::new(cfg, tok.clone());
-    let streams: Vec<&Stream> = data.streams.iter().take(32).collect();
-    let batch = cpt_gpt::batch::build_batch(&tok, &streams, 16);
-    let tokens_per_step = (batch.batch * batch.seq) as f64;
-    let arena = cpt_nn::ScratchArena::new();
-    let mut step = || {
-        let mut sess = Session::with_scratch(&model.store, arena.clone());
-        let loss = model.loss(&mut sess, &batch);
-        sess.backward(loss);
-        std::hint::black_box(sess.grads());
-    };
-    // Warm up the arena/pack buffers before timing.
-    step();
+    // One optimizer step's worth of micro-batch shards: 64 streams cut
+    // into 8 shards of 8, the same layout `TrainConfig { batch_size: 64,
+    // microbatch: 8 }` would produce.
+    let shards: Vec<cpt_gpt::Batch> = data
+        .streams
+        .chunks(8)
+        .map(|chunk| {
+            let refs: Vec<&Stream> = chunk.iter().collect();
+            cpt_gpt::build_batch(&tok, &refs, 16)
+        })
+        .collect();
+    let tokens_per_step: f64 = shards.iter().map(|b| (b.batch * b.seq) as f64).sum();
+    let one = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .map_err(|e| MeasureError::Pool(e.to_string()))?;
+    // Warm up arenas/pack buffers in both pools, and assert the 1-thread
+    // and multi-thread steps agree bit for bit — the determinism contract
+    // DESIGN.md §13 documents, checked on every bench run.
+    let warm_1 = one.install(|| cpt_gpt::parallel_grad_step(&model, &shards));
+    let warm_mt = cpt_gpt::parallel_grad_step(&model, &shards);
+    assert_eq!(
+        warm_1.loss.to_bits(),
+        warm_mt.loss.to_bits(),
+        "train step loss must be thread-count-invariant"
+    );
+    for ((ia, ga), (ib, gb)) in warm_1.grads.iter().zip(&warm_mt.grads) {
+        assert_eq!(ia, ib, "gradient sets must align");
+        assert_eq!(
+            ga.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            gb.data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "train step gradients must be thread-count-invariant"
+        );
+    }
     let iters = if quick { 4 } else { 30 };
-    let secs = time_loop(&mut step, iters);
-    let train_tokens_per_sec = tokens_per_step * iters as f64 / secs;
+    let secs_1 = one.install(|| {
+        time_loop(
+            || {
+                std::hint::black_box(cpt_gpt::parallel_grad_step(&model, &shards));
+            },
+            iters,
+        )
+    });
+    let train_tokens_per_sec_1thread = tokens_per_step * iters as f64 / secs_1;
+    let secs_mt = time_loop(
+        || {
+            std::hint::black_box(cpt_gpt::parallel_grad_step(&model, &shards));
+        },
+        iters,
+    );
+    let train_tokens_per_sec = tokens_per_step * iters as f64 / secs_mt;
+    let train_speedup = train_tokens_per_sec / train_tokens_per_sec_1thread;
 
     // Generation throughput: train briefly so the initial-event
     // distribution exists, then time batched parallel generation.
@@ -199,6 +252,8 @@ pub fn measure(quick: bool) -> Result<ThroughputReport, MeasureError> {
     Ok(ThroughputReport {
         matmul_gflops,
         train_tokens_per_sec,
+        train_tokens_per_sec_1thread,
+        train_speedup,
         generate_streams_per_sec,
         generate_tokens_per_sec,
         peak_rss_bytes: peak_rss_bytes(),
@@ -230,6 +285,13 @@ pub fn check_regression(
         current.train_tokens_per_sec,
         baseline.train_tokens_per_sec,
     );
+    // Baselines written before data-parallel training carry 0 here, which
+    // the closure's `base > 0` test skips.
+    gate(
+        "train_tokens_per_sec_1thread",
+        current.train_tokens_per_sec_1thread,
+        baseline.train_tokens_per_sec_1thread,
+    );
     gate(
         "generate_streams_per_sec",
         current.generate_streams_per_sec,
@@ -251,6 +313,8 @@ mod tests {
         ThroughputReport {
             matmul_gflops: x,
             train_tokens_per_sec: 10.0 * x,
+            train_tokens_per_sec_1thread: 8.0 * x,
+            train_speedup: 1.25,
             generate_streams_per_sec: x / 2.0,
             generate_tokens_per_sec: 5.0 * x,
             peak_rss_bytes: 1 << 20,
@@ -272,8 +336,27 @@ mod tests {
         let base = report(10.0);
         let bad = report(4.0); // below 10/2
         let failures = check_regression(&bad, &base, 2.0);
-        assert_eq!(failures.len(), 4, "{failures:?}");
+        assert_eq!(failures.len(), 5, "{failures:?}");
         assert!(failures[0].contains("matmul_gflops"));
+        assert!(failures
+            .iter()
+            .any(|f| f.contains("train_tokens_per_sec_1thread")));
+    }
+
+    #[test]
+    fn pre_data_parallel_baselines_still_parse_and_skip_new_gates() {
+        // A baseline written before the 1-thread train metric existed has
+        // neither new field; serde must default them to 0 and the gate
+        // must then skip them.
+        let json = r#"{"matmul_gflops": 4.0, "train_tokens_per_sec": 2000.0,
+                       "generate_streams_per_sec": 5.0,
+                       "generate_tokens_per_sec": 100.0,
+                       "peak_rss_bytes": 0, "threads": 1}"#;
+        let base: ThroughputReport = serde_json::from_str(json).unwrap();
+        assert_eq!(base.train_tokens_per_sec_1thread, 0.0);
+        assert_eq!(base.train_speedup, 0.0);
+        let current = report(1000.0);
+        assert!(check_regression(&current, &base, 2.0).is_empty());
     }
 
     #[test]

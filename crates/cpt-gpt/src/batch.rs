@@ -108,6 +108,39 @@ pub fn make_epoch_batches<'d>(
         .collect()
 }
 
+/// Shuffles the trainable streams and cuts them into optimizer steps of
+/// `batch_size` streams, each further cut into micro-batch shards of at
+/// most `microbatch` streams.
+///
+/// The outer vector is one entry per optimizer step; the inner vector is
+/// that step's shards, in stream order. The shard layout is a pure
+/// function of `(batch_size, microbatch)` and the shuffle — it never
+/// depends on how many threads later execute the shards — which is what
+/// makes data-parallel training bit-identical across thread counts.
+/// Consumes the RNG exactly like [`make_epoch_batches`] (one shuffle), so
+/// serial and sharded epochs see the same stream order for a given seed.
+pub fn make_epoch_shards<'d>(
+    tokenizer: &Tokenizer,
+    dataset: &'d Dataset,
+    batch_size: usize,
+    microbatch: usize,
+    max_len: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<Batch>> {
+    assert!(batch_size > 0 && microbatch > 0, "zero batch/microbatch");
+    let mut streams: Vec<&'d Stream> =
+        dataset.streams.iter().filter(|s| s.len() >= 2).collect();
+    streams.shuffle(rng);
+    streams
+        .chunks(batch_size)
+        .map(|step| {
+            step.chunks(microbatch)
+                .map(|shard| build_batch(tokenizer, shard, max_len))
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +224,41 @@ mod tests {
         assert_eq!(batches.len(), 2);
         let total: usize = batches.iter().map(|b| b.batch).sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn epoch_shards_partition_each_step() {
+        let d = dataset();
+        let tok = Tokenizer::fit(&d);
+        let mut rng = StdRng::seed_from_u64(0);
+        // 3 trainable streams, batch 2, microbatch 1 → steps [ [1,1], [1] ].
+        let steps = make_epoch_shards(&tok, &d, 2, 1, 100, &mut rng);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].len(), 2);
+        assert_eq!(steps[1].len(), 1);
+        let total: usize = steps.iter().flatten().map(|b| b.batch).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn epoch_shards_match_batches_stream_order() {
+        // Same RNG consumption: shards concatenated per step must contain
+        // exactly the streams of the corresponding serial batch, in order.
+        let d = dataset();
+        let tok = Tokenizer::fit(&d);
+        let batches = make_epoch_batches(&tok, &d, 2, 100, &mut StdRng::seed_from_u64(42));
+        let steps = make_epoch_shards(&tok, &d, 2, 1, 100, &mut StdRng::seed_from_u64(42));
+        assert_eq!(batches.len(), steps.len());
+        for (batch, shards) in batches.iter().zip(&steps) {
+            let sharded_rows: usize = shards.iter().map(|s| s.batch).sum();
+            assert_eq!(batch.batch, sharded_rows);
+            // First row of the first shard equals the batch's first row
+            // (up to that row's unpadded length).
+            let d_tok = tok.token_dim();
+            let row = &shards[0].inputs.data[..shards[0].seq * d_tok];
+            let full = &batch.inputs.data[..batch.seq * d_tok];
+            assert_eq!(&full[..row.len().min(full.len())], &row[..row.len().min(full.len())]);
+        }
     }
 
     #[test]

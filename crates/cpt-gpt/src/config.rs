@@ -144,8 +144,17 @@ impl Default for WatchdogConfig {
 pub struct TrainConfig {
     /// Number of passes over the training streams.
     pub epochs: usize,
-    /// Streams per batch.
+    /// Streams per optimizer step (the *effective* batch size).
     pub batch_size: usize,
+    /// Streams per micro-batch shard (gradient accumulation). Each
+    /// optimizer-step batch is cut into `ceil(batch_size / microbatch)`
+    /// shards; every shard runs forward/backward independently (possibly
+    /// on different rayon workers) and the shard gradients are combined
+    /// with a fixed-order tree reduction before the single optimizer step.
+    /// Shard layout depends only on this field — never on thread count —
+    /// so results are bit-identical at any `--threads` value.
+    #[serde(default = "default_microbatch")]
+    pub microbatch: usize,
     /// Peak learning rate.
     pub lr: f32,
     /// Linear warmup steps before the cosine decay.
@@ -165,12 +174,17 @@ pub struct TrainConfig {
     pub fault: Option<FaultPlan>,
 }
 
+fn default_microbatch() -> usize {
+    8
+}
+
 impl TrainConfig {
     /// Quick default suitable for tests and examples.
     pub fn quick() -> Self {
         TrainConfig {
             epochs: 8,
             batch_size: 32,
+            microbatch: default_microbatch(),
             lr: 3e-3,
             warmup_steps: 5,
             clip_norm: 1.0,
@@ -196,6 +210,12 @@ impl TrainConfig {
     /// Builder: sets the shuffle seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the micro-batch (gradient-accumulation shard) size.
+    pub fn with_microbatch(mut self, microbatch: usize) -> Self {
+        self.microbatch = microbatch;
         self
     }
 
@@ -231,6 +251,9 @@ impl TrainConfig {
         }
         if self.batch_size == 0 {
             return Err(bad("batch_size", "must be at least 1"));
+        }
+        if self.microbatch == 0 {
+            return Err(bad("microbatch", "must be at least 1"));
         }
         if !self.lr.is_finite() || self.lr <= 0.0 {
             return Err(bad("lr", format!("must be finite and positive, got {}", self.lr)));
@@ -293,10 +316,25 @@ mod tests {
         assert_eq!(c.max_len, 64);
         assert_eq!(c.loss_weights.0, 3.0);
         assert!(c.point_iat_head);
-        let t = TrainConfig::quick().with_epochs(3).with_lr(0.1).with_seed(5);
+        let t = TrainConfig::quick()
+            .with_epochs(3)
+            .with_lr(0.1)
+            .with_seed(5)
+            .with_microbatch(4);
         assert_eq!(t.epochs, 3);
         assert_eq!(t.lr, 0.1);
         assert_eq!(t.seed, 5);
+        assert_eq!(t.microbatch, 4);
+    }
+
+    #[test]
+    fn microbatch_defaults_when_absent_from_serialized_config() {
+        // Configs serialized before gradient accumulation existed must
+        // still deserialize (checkpoint compatibility).
+        let mut v = serde_json::to_value(TrainConfig::quick()).expect("to json");
+        v.as_object_mut().expect("object").remove("microbatch");
+        let back: TrainConfig = serde_json::from_value(v).expect("from json");
+        assert_eq!(back.microbatch, default_microbatch());
     }
 
     #[test]
@@ -310,6 +348,7 @@ mod tests {
         let cases = [
             ("epochs", TrainConfig { epochs: 0, ..TrainConfig::quick() }),
             ("batch_size", TrainConfig { batch_size: 0, ..TrainConfig::quick() }),
+            ("microbatch", TrainConfig { microbatch: 0, ..TrainConfig::quick() }),
             ("lr", TrainConfig { lr: -1.0, ..TrainConfig::quick() }),
             ("lr", TrainConfig { lr: f32::NAN, ..TrainConfig::quick() }),
             ("clip_norm", TrainConfig { clip_norm: 0.0, ..TrainConfig::quick() }),

@@ -27,6 +27,22 @@ pub struct FaultPlan {
     /// counted across epochs and rollback replays).
     #[serde(default)]
     pub nan_loss_at_step: Option<u64>,
+    /// Poison one worker shard's gradients with NaN at this global
+    /// optimizer step (0-based, counted like
+    /// [`nan_loss_at_step`](FaultPlan::nan_loss_at_step)). The poisoned
+    /// shard is [`fault_shard`](FaultPlan::fault_shard); whether the fault
+    /// fires is decided on the main thread before the step's shards are
+    /// dispatched, so injection is deterministic at any thread count. The
+    /// NaN propagates through the fixed-order gradient reduction into the
+    /// global clip norm and surfaces as
+    /// [`FaultKind::NonFiniteGradient`](crate::error::FaultKind) — the
+    /// exact same watchdog path a serial non-finite gradient takes.
+    #[serde(default)]
+    pub nan_grad_at_step: Option<u64>,
+    /// Which micro-batch shard [`nan_grad_at_step`](FaultPlan::nan_grad_at_step)
+    /// poisons (0-based; clamped to the step's last shard if out of range).
+    #[serde(default)]
+    pub fault_shard: usize,
     /// Stop the run as if the process died right after this epoch's
     /// checkpoint was written (0-based epoch index). The report comes back
     /// with `interrupted = true`; a later `--resume` picks up from the
@@ -34,9 +50,10 @@ pub struct FaultPlan {
     /// uninterrupted runs under identical schedules.
     #[serde(default)]
     pub interrupt_after_epoch: Option<usize>,
-    /// If true the NaN fires only the first time its step is reached; the
-    /// rollback replay of that step then proceeds cleanly (a transient
-    /// fault). If false the fault is persistent and retries cannot help.
+    /// If true a scheduled NaN (loss or shard gradient) fires only the
+    /// first time its step is reached; the rollback replay of that step
+    /// then proceeds cleanly (a transient fault). If false the fault is
+    /// persistent and retries cannot help.
     #[serde(default)]
     pub once: bool,
 }
@@ -61,6 +78,28 @@ impl FaultPlan {
         }
     }
 
+    /// A transient NaN in shard `shard`'s gradients at global optimizer
+    /// step `step` — models one worker of a data-parallel step going bad.
+    pub fn nan_shard_grad_once_at(step: u64, shard: usize) -> Self {
+        FaultPlan {
+            nan_grad_at_step: Some(step),
+            fault_shard: shard,
+            once: true,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A persistent shard-gradient NaN at step `step`: fires on every
+    /// replay, so the watchdog must eventually give up.
+    pub fn nan_shard_grad_always_at(step: u64, shard: usize) -> Self {
+        FaultPlan {
+            nan_grad_at_step: Some(step),
+            fault_shard: shard,
+            once: false,
+            ..FaultPlan::default()
+        }
+    }
+
     /// Simulate a crash immediately after epoch `epoch` (0-based) completes
     /// and its checkpoint is written.
     pub fn interrupt_after(epoch: usize) -> Self {
@@ -72,7 +111,9 @@ impl FaultPlan {
 
     /// True if the plan schedules any fault at all.
     pub fn is_active(&self) -> bool {
-        self.nan_loss_at_step.is_some() || self.interrupt_after_epoch.is_some()
+        self.nan_loss_at_step.is_some()
+            || self.nan_grad_at_step.is_some()
+            || self.interrupt_after_epoch.is_some()
     }
 }
 
@@ -204,6 +245,22 @@ mod tests {
         assert!(!FaultPlan::default().is_active());
         assert!(FaultPlan::nan_loss_once_at(3).is_active());
         assert!(FaultPlan::interrupt_after(0).is_active());
+        assert!(FaultPlan::nan_shard_grad_once_at(2, 1).is_active());
+        let p = FaultPlan::nan_shard_grad_always_at(5, 0);
+        assert_eq!(p.nan_grad_at_step, Some(5));
+        assert_eq!(p.fault_shard, 0);
+        assert!(!p.once);
+    }
+
+    #[test]
+    fn old_serialized_plans_still_parse() {
+        // A plan serialized before shard faults existed lacks the new
+        // fields; serde defaults must fill them in.
+        let plan: FaultPlan =
+            serde_json::from_str(r#"{"nan_loss_at_step":4,"once":true}"#).expect("parse");
+        assert_eq!(plan.nan_loss_at_step, Some(4));
+        assert_eq!(plan.nan_grad_at_step, None);
+        assert_eq!(plan.fault_shard, 0);
     }
 
     #[test]

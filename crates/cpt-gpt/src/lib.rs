@@ -45,7 +45,9 @@ pub use generate::{GenCounters, GenerateConfig, Sampling};
 pub use model::{load_model_file, save_model_file, CptGpt, DecodeState, StepOutput};
 pub use stream::{SessionDecoder, SessionEvent, StreamParams};
 pub use token::{ScaleKind, Tokenizer};
+pub use batch::{build_batch, make_epoch_batches, make_epoch_shards, Batch};
 pub use train::{
-    resume_training, train, train_with_checkpoints, EpochStats, TrainReport,
+    parallel_grad_step, resume_training, train, train_with_checkpoints, EpochStats, StepOutcome,
+    TrainReport,
 };
 pub use transfer::fine_tune;

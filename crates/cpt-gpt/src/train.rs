@@ -12,8 +12,19 @@
 //! `(seed, epoch)`, so a replayed or resumed epoch sees exactly the batches
 //! the uninterrupted run would have — resuming from a checkpoint reproduces
 //! the original run bit for bit.
+//!
+//! Data parallelism (DESIGN.md §13): each optimizer step's batch is cut
+//! into micro-batch shards ([`TrainConfig::microbatch`]); every shard runs
+//! forward/backward on its own [`Session`] (drawing scratch from a
+//! per-thread arena) across whatever rayon pool is installed, and the
+//! shard gradients are combined with a fixed-order tree reduction
+//! ([`cpt_nn::tree_reduce_grads`]) before one optimizer step. Shard layout
+//! and reduction order depend only on the config — never on thread
+//! scheduling — so training is bit-identical at any thread count, and a
+//! checkpoint written by a 1-thread run resumes bit-identically under an
+//! 8-thread pool.
 
-use crate::batch::make_epoch_batches;
+use crate::batch::{make_epoch_shards, Batch};
 use crate::checkpoint::{
     load_checkpoint, save_checkpoint, CheckpointSpec, RecoveryEvent, TrainCheckpoint,
     CHECKPOINT_FORMAT_VERSION,
@@ -21,10 +32,14 @@ use crate::checkpoint::{
 use crate::config::TrainConfig;
 use crate::error::{FaultKind, TrainError};
 use crate::model::CptGpt;
-use cpt_nn::{clip_grad_norm, Adam, LrSchedule, ParamStore, Session};
+use cpt_nn::{
+    clip_grad_norm, scale_grads, tree_reduce_grads, Adam, GradSet, LrSchedule, ParamStore,
+    ScratchArena, Session,
+};
 use cpt_trace::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -81,6 +96,90 @@ fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
 
 fn count_trainable(dataset: &Dataset) -> usize {
     dataset.streams.iter().filter(|s| s.len() >= 2).count()
+}
+
+/// Result of one data-parallel forward/backward over a step's shards.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Combined loss: per-shard masked means weighted by each shard's
+    /// share of the step's real (unpadded) positions, summed in shard
+    /// order. In exact arithmetic this equals the masked mean over the
+    /// whole step.
+    pub loss: f64,
+    /// Reduced gradient set of the combined loss, ready for
+    /// [`ParamStore::accumulate_grads`].
+    pub grads: GradSet,
+}
+
+/// Runs forward/backward for each shard of one optimizer step across the
+/// installed rayon pool and reduces the shard gradients in fixed order.
+///
+/// Every shard is an independent [`Session`] over `model.store`, drawing
+/// node storage from its executing thread's private
+/// [`ScratchArena`]; arena contents cannot affect results (buffers are
+/// zeroed on reuse), so thread assignment is irrelevant to the bits
+/// produced. Shard losses and gradients are combined with weights
+/// `mask_s / mask_total` in shard-index order, then reduced pairwise
+/// ([`tree_reduce_grads`]) — both orders are pure functions of the shard
+/// list, making the outcome bit-identical at any thread count.
+///
+/// Exposed for the throughput harness and Criterion benches; the training
+/// loop uses it via [`train`].
+pub fn parallel_grad_step(model: &CptGpt, shards: &[Batch]) -> StepOutcome {
+    parallel_grad_step_inner(model, shards, None)
+}
+
+/// [`parallel_grad_step`] with an optional fault: poison the first
+/// gradient element of shard `poison_shard` with NaN after its backward
+/// pass, modelling one data-parallel worker going numerically bad. The
+/// NaN survives weighting and reduction, so it reaches the global clip
+/// norm exactly like a serial non-finite gradient.
+fn parallel_grad_step_inner(
+    model: &CptGpt,
+    shards: &[Batch],
+    poison_shard: Option<usize>,
+) -> StepOutcome {
+    struct ShardOut {
+        loss: f64,
+        mask: f64,
+        grads: GradSet,
+    }
+    // `collect` keeps shard order regardless of completion order.
+    let outs: Vec<ShardOut> = shards
+        .par_iter()
+        .enumerate()
+        .map(|(si, batch)| {
+            let mut sess = Session::with_scratch(&model.store, ScratchArena::for_current_thread());
+            let loss = model.loss(&mut sess, batch);
+            let loss_val = sess.graph.value(loss).item() as f64;
+            sess.backward(loss);
+            let mut grads = sess.grads();
+            if poison_shard == Some(si) {
+                if let Some(x) = grads.first_mut().and_then(|(_, g)| g.data.first_mut()) {
+                    *x = f32::NAN;
+                }
+            }
+            ShardOut {
+                loss: loss_val,
+                mask: batch.real_positions() as f64,
+                grads,
+            }
+        })
+        .collect();
+    let mask_total: f64 = outs.iter().map(|o| o.mask).sum();
+    let mut loss = 0.0f64;
+    let mut sets = Vec::with_capacity(outs.len());
+    for o in outs {
+        let w = o.mask / mask_total.max(1.0);
+        loss += o.loss * w;
+        let mut g = o.grads;
+        scale_grads(&mut g, w as f32);
+        sets.push(g);
+    }
+    StepOutcome {
+        loss,
+        grads: tree_reduce_grads(sets),
+    }
 }
 
 /// Trains `model` in place on `dataset` and records the initial-event
@@ -184,15 +283,12 @@ fn run_epochs(
     };
 
     let start = Instant::now();
-    // Shared buffer pool: every per-batch graph drains its node storage
-    // back here on drop, so after the first batch the forward/backward
-    // passes stop allocating. Buffers are zeroed on reuse, keeping runs
-    // bit-identical to arena-free training.
-    let arena = cpt_nn::ScratchArena::new();
-    // Tracks the `once` semantics of an injected NaN across rollbacks: a
+    // Tracks the `once` semantics of injected NaNs across rollbacks: a
     // transient fault fires on the first visit to its step only, so the
-    // replay proceeds cleanly.
+    // replay proceeds cleanly. Loss and shard-gradient faults track their
+    // `once` state independently.
     let mut injected_nan_fired = false;
+    let mut injected_grad_fired = false;
     for epoch in start_epoch..cfg.epochs {
         // Last-good state: the start of this epoch. Rollback restores all
         // three together so optimizer moments never outlive their weights.
@@ -203,38 +299,47 @@ fn run_epochs(
         loop {
             let epoch_start = Instant::now();
             let mut rng = epoch_rng(cfg.seed, epoch);
-            let batches = make_epoch_batches(
+            let steps = make_epoch_shards(
                 &model.tokenizer,
                 dataset,
                 cfg.batch_size,
+                cfg.microbatch,
                 model.config.max_len,
                 &mut rng,
             );
             let mut loss_sum = 0.0f64;
             let mut fault: Option<(FaultKind, u64)> = None;
-            for batch in &batches {
+            for shards in &steps {
                 adam.set_lr(schedule.lr(step) * lr_scale);
                 let this_step = step;
                 step += 1;
-                let mut sess = Session::with_scratch(&model.store, arena.clone());
-                let loss = model.loss(&mut sess, batch);
-                let mut loss_val = sess.graph.value(loss).item() as f64;
+                // Injection decisions happen here, on the main thread,
+                // before any shard is dispatched — so a fault plan fires
+                // identically at any thread count.
+                let mut inject_loss = false;
+                let mut poison_shard = None;
                 if let Some(plan) = &cfg.fault {
                     if plan.nan_loss_at_step == Some(this_step)
                         && (!plan.once || !injected_nan_fired)
                     {
                         injected_nan_fired = true;
-                        loss_val = f64::NAN;
+                        inject_loss = true;
+                    }
+                    if plan.nan_grad_at_step == Some(this_step)
+                        && (!plan.once || !injected_grad_fired)
+                    {
+                        injected_grad_fired = true;
+                        poison_shard = Some(plan.fault_shard.min(shards.len() - 1));
                     }
                 }
+                let outcome = parallel_grad_step_inner(model, shards, poison_shard);
+                let loss_val = if inject_loss { f64::NAN } else { outcome.loss };
                 if !loss_val.is_finite() {
                     fault = Some((FaultKind::NonFiniteLoss, this_step));
                     break;
                 }
                 loss_sum += loss_val;
-                sess.backward(loss);
-                let grads = sess.grads();
-                model.store.accumulate_grads(&grads);
+                model.store.accumulate_grads(&outcome.grads);
                 let grad_norm = clip_grad_norm(&mut model.store, cfg.clip_norm);
                 if !grad_norm.is_finite() {
                     fault = Some((FaultKind::NonFiniteGradient, this_step));
@@ -246,7 +351,7 @@ fn run_epochs(
             let Some((cause, fault_step)) = fault else {
                 report.epochs.push(EpochStats {
                     epoch,
-                    mean_loss: loss_sum / batches.len().max(1) as f64,
+                    mean_loss: loss_sum / steps.len().max(1) as f64,
                     seconds: epoch_start.elapsed().as_secs_f64(),
                 });
                 break;
@@ -458,6 +563,74 @@ mod tests {
         assert_eq!(rec.step, 1);
         assert_eq!(rec.retry, 1);
         assert!(rec.lr_scale < 1.0, "backoff must shrink the lr scale");
+    }
+
+    #[test]
+    fn watchdog_recovers_from_transient_shard_grad_nan() {
+        // One worker shard's backward goes NaN; the poison must surface
+        // through the fixed-order reduction as NonFiniteGradient and the
+        // watchdog must recover exactly like in the serial path.
+        let data = alternating_dataset(8);
+        let tok = Tokenizer::fit(&data);
+        let mut model = CptGpt::new(tiny_config(), tok);
+        let cfg = TrainConfig::quick()
+            .with_epochs(3)
+            .with_microbatch(4)
+            .with_fault(FaultPlan::nan_shard_grad_once_at(1, 1));
+        let report =
+            train(&mut model, &data, &cfg).expect("transient shard fault must be survivable");
+        assert_eq!(report.epochs.len(), 3, "all epochs must still complete");
+        assert_eq!(report.recoveries.len(), 1);
+        let rec = report.recoveries[0];
+        assert_eq!(rec.cause, FaultKind::NonFiniteGradient);
+        assert_eq!(rec.step, 1);
+        assert_eq!(rec.retry, 1);
+        assert!(rec.lr_scale < 1.0, "backoff must shrink the lr scale");
+        // Recovery must not disturb finiteness of the final weights.
+        for id in model.store.ids() {
+            assert!(model.store.value(id).data.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn watchdog_gives_up_on_persistent_shard_grad_nan() {
+        let data = alternating_dataset(8);
+        let tok = Tokenizer::fit(&data);
+        let mut model = CptGpt::new(tiny_config(), tok);
+        let cfg = TrainConfig::quick()
+            .with_epochs(2)
+            .with_microbatch(4)
+            // Out-of-range shard index clamps to the step's last shard.
+            .with_fault(FaultPlan::nan_shard_grad_always_at(0, 99));
+        let err = train(&mut model, &data, &cfg).expect_err("persistent shard NaN must abort");
+        match err {
+            TrainError::Diverged { cause, retries, .. } => {
+                assert_eq!(cause, FaultKind::NonFiniteGradient);
+                assert_eq!(retries, cfg.watchdog.max_retries);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_grad_step_matches_training_loop_semantics() {
+        // The public step API must produce finite, non-empty gradients and
+        // a loss equal (in exact weighting) to the masked mean across its
+        // shards.
+        let data = alternating_dataset(8);
+        let tok = Tokenizer::fit(&data);
+        let model = CptGpt::new(tiny_config(), tok);
+        let mut rng = epoch_rng(0, 0);
+        let steps = make_epoch_shards(&model.tokenizer, &data, 8, 2, 16, &mut rng);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].len(), 4);
+        let out = parallel_grad_step(&model, &steps[0]);
+        assert!(out.loss.is_finite());
+        assert!(!out.grads.is_empty());
+        assert!(out
+            .grads
+            .iter()
+            .all(|(_, g)| g.data.iter().all(|x| x.is_finite())));
     }
 
     #[test]

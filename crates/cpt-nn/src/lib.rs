@@ -33,11 +33,13 @@ pub mod gradcheck;
 pub mod graph;
 pub mod layers;
 pub mod optim;
+pub mod reduce;
 pub mod scratch;
 pub mod serialize;
 pub mod tensor;
 
 pub use graph::{Graph, Var};
+pub use reduce::{scale_grads, tree_reduce_grads, GradSet};
 pub use scratch::ScratchArena;
 pub use layers::{
     gelu_scalar, AttnKvCache, AttnScratch, DecodeScratch, Linear, LayerNorm, Lstm,

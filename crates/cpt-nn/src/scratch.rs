@@ -57,6 +57,23 @@ impl ScratchArena {
     pub fn pooled(&self) -> usize {
         self.pool.borrow().len()
     }
+
+    /// The calling thread's private arena.
+    ///
+    /// `ScratchArena` is deliberately `Rc`-based and not `Send`, so
+    /// data-parallel workers cannot share one pool across a rayon
+    /// dispatch. Each worker instead draws from a `thread_local!` arena
+    /// that lives as long as its pool thread: the first step on a thread
+    /// populates it, later steps reuse it. Arena contents never influence
+    /// numerical results — buffers are re-zeroed on
+    /// [`ScratchArena::take_zeroed`] — so which thread (and therefore
+    /// which arena) serves a shard is irrelevant to determinism.
+    pub fn for_current_thread() -> ScratchArena {
+        thread_local! {
+            static THREAD_ARENA: ScratchArena = ScratchArena::new();
+        }
+        THREAD_ARENA.with(|a| a.clone())
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +93,19 @@ mod tests {
         assert!(b.capacity() >= 8 && cap >= 8);
         assert!(b.iter().all(|x| *x == 0.0));
         assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn per_thread_arena_is_stable_within_a_thread() {
+        let a = ScratchArena::for_current_thread();
+        a.give(vec![0.0; 8]);
+        // Same thread → same pool.
+        assert_eq!(ScratchArena::for_current_thread().pooled(), a.pooled());
+        // Another thread gets its own, initially empty pool.
+        let other = std::thread::spawn(|| ScratchArena::for_current_thread().pooled())
+            .join()
+            .expect("thread");
+        assert_eq!(other, 0);
     }
 
     #[test]

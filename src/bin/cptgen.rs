@@ -140,7 +140,8 @@ fn usage() -> ExitCode {
            simulate   --ues N [--device phone|connected_car|tablet|mixed]\n\
          \u{20}            [--hours H] [--start-hour H] [--seed S] -o OUT.jsonl\n\
            train      --input TRACE.jsonl [--epochs N] [--lr LR] [--max-len L]\n\
-         \u{20}            [--d-model D] [--seed S] -o MODEL.json\n\
+         \u{20}            [--d-model D] [--seed S] [--threads N] [--microbatch M]\n\
+         \u{20}            -o MODEL.json  (bit-identical at any --threads)\n\
          \u{20}            [--checkpoint CKPT.json] [--checkpoint-every N] [--resume]\n\
            generate   --model MODEL.json --streams N [--device D] [--seed S]\n\
          \u{20}            [--threads N] -o OUT.jsonl\n\
@@ -155,6 +156,8 @@ fn usage() -> ExitCode {
            stats      --input TRACE.jsonl\n\
            bench      [--quick] [-o OUT.json] [--check BASELINE.json]\n\
          \u{20}            [--max-regression F]   (throughput report, default 2.0)\n\
+         \u{20}            [--min-train-speedup F]   (fail if multi-thread train\n\
+         \u{20}            throughput < F x 1-thread; skipped on 1-core runners)\n\
            dot        [--generation 4g|5g]   (Graphviz of the UE state machine)\n\
          \n\
          exit codes: 0 ok, 2 usage, 3 data/io, 4 bad config/model,\n\
@@ -270,12 +273,36 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let max_len: usize = get_parsed(opts, "max-len", 128)?;
     let d_model: usize = get_parsed(opts, "d-model", 48)?;
     let seed: u64 = get_parsed(opts, "seed", 0)?;
+    let microbatch: usize = get_parsed(opts, "microbatch", 8)?;
     let ckpt_every: usize = get_parsed(opts, "checkpoint-every", 1)?;
     let ckpt_spec = opts
         .get("checkpoint")
         .filter(|p| !p.is_empty())
         .map(|p| CheckpointSpec::every(p, ckpt_every));
     let resume = opts.contains_key("resume");
+    // Validate --threads before the (slow) data load so usage errors are
+    // instant and exit 2. Training is bit-identical at any thread count
+    // (fixed-order gradient reduction), so clamping only affects speed.
+    let threads = get_opt_parsed::<usize>(opts, "threads")?
+        .map(|n| resolve_parallelism(Some(n), "--threads"))
+        .transpose()?;
+    let pool = match &threads {
+        None => None,
+        Some(par) => {
+            if let Some(from) = par.clamped_from {
+                eprintln!(
+                    "warning: --threads {from} exceeds available cores; using {}",
+                    par.threads
+                );
+            }
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(par.threads)
+                    .build()
+                    .map_err(|e| CliError::data(format!("cannot build thread pool: {e}")))?,
+            )
+        }
+    };
 
     let data = trace_io::read_dataset(input)?;
     let data = data.clamp_lengths(2, max_len + 1);
@@ -283,6 +310,7 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), CliError> {
         epochs,
         lr,
         seed,
+        microbatch,
         ..TrainConfig::quick()
     };
 
@@ -290,7 +318,10 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), CliError> {
         let spec = ckpt_spec
             .ok_or_else(|| CliError::usage("--resume requires --checkpoint CKPT.json"))?;
         println!("resuming from {} on {}", spec.path.display(), data.summary());
-        let (model, report) = resume_training(&data, &cfg, &spec)?;
+        let (model, report) = match &pool {
+            Some(p) => p.install(|| resume_training(&data, &cfg, &spec))?,
+            None => resume_training(&data, &cfg, &spec)?,
+        };
         report_outcome(&report);
         write_model(&model, out)?;
         println!("wrote {out}");
@@ -310,7 +341,10 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let tokenizer = Tokenizer::fit(&data);
     let mut model = CptGpt::new(config, tokenizer);
     println!("model: {} parameters", model.num_params());
-    let report = train_with_checkpoints(&mut model, &data, &cfg, ckpt_spec.as_ref())?;
+    let report = match &pool {
+        Some(p) => p.install(|| train_with_checkpoints(&mut model, &data, &cfg, ckpt_spec.as_ref()))?,
+        None => train_with_checkpoints(&mut model, &data, &cfg, ckpt_spec.as_ref())?,
+    };
     report_outcome(&report);
     write_model(&model, out)?;
     println!("wrote {out}");
@@ -565,6 +599,14 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
     if max_regression.is_nan() || max_regression < 1.0 {
         return Err(CliError::usage("--max-regression must be >= 1.0"));
     }
+    let min_train_speedup: Option<f64> = get_opt_parsed(opts, "min-train-speedup")?;
+    if let Some(f) = min_train_speedup {
+        if !f.is_finite() || f <= 0.0 {
+            return Err(CliError::usage(
+                "--min-train-speedup must be finite and positive",
+            ));
+        }
+    }
 
     println!(
         "measuring throughput ({} mode)...",
@@ -573,13 +615,18 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let report = cpt::bench::throughput::measure(quick).map_err(|e| match e {
         // Reuse the train-error exit mapping (divergence → 5, etc.).
         cpt::bench::throughput::MeasureError::Train(t) => CliError::from(t),
-        g @ cpt::bench::throughput::MeasureError::Generate(_) => {
+        g @ (cpt::bench::throughput::MeasureError::Generate(_)
+        | cpt::bench::throughput::MeasureError::Pool(_)) => {
             CliError::data(format!("throughput measurement failed: {g}"))
         }
     })?;
     println!("  threads:  {}", report.threads);
     println!("  matmul:   {:.2} GFLOP/s", report.matmul_gflops);
-    println!("  train:    {:.0} tokens/s", report.train_tokens_per_sec);
+    println!(
+        "  train:    {:.0} tokens/s ({} threads), {:.0} tokens/s (1 thread), {:.2}x speedup",
+        report.train_tokens_per_sec, report.threads, report.train_tokens_per_sec_1thread,
+        report.train_speedup
+    );
     println!(
         "  generate: {:.1} streams/s, {:.0} tokens/s",
         report.generate_streams_per_sec, report.generate_tokens_per_sec
@@ -612,6 +659,29 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
             });
         }
         println!("within {max_regression}x of baseline {baseline_path}");
+    }
+    if let Some(min) = min_train_speedup {
+        // A 1-core runner cannot demonstrate any data-parallel speedup;
+        // gating there would only measure scheduler noise.
+        if report.threads <= 1 {
+            println!(
+                "train-speedup gate skipped: only {} thread available",
+                report.threads
+            );
+        } else if report.train_speedup < min {
+            return Err(CliError {
+                code: EXIT_REGRESSION,
+                message: format!(
+                    "train speedup {:.2}x at {} threads is below the required {min}x",
+                    report.train_speedup, report.threads
+                ),
+            });
+        } else {
+            println!(
+                "train speedup {:.2}x at {} threads meets the required {min}x",
+                report.train_speedup, report.threads
+            );
+        }
     }
     Ok(())
 }
