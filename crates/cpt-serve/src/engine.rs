@@ -15,13 +15,34 @@
 //! with [`ServeError::Overloaded`] once the session cap or the total
 //! queued-events watermark is hit.
 //!
+//! **Crash-only**: each worker's decode slice runs under `catch_unwind`. A
+//! panic fails *only the session being advanced* — its consumer receives
+//! the already-decoded prefix of the slice followed by a terminal
+//! [`SessionEvent::Failed`], the worker re-enters its loop, and the panic
+//! is counted. The engine mutex recovers from poisoning, so a panicking
+//! slice can never wedge the scheduler. Failure is in-band data, not
+//! process death.
+//!
+//! **Drain**: [`ServeHandle::drain`] stops admission (typed
+//! [`ServeError::Draining`]), lets live sessions finish decoding, and
+//! force-fails the stragglers at the deadline — the primitive a hot-swap
+//! model registry needs (quiesce, swap, resume).
+//!
+//! **Detach/reattach**: a connection front end can park its sessions under
+//! a capability token ([`DetachToken`]) instead of closing them on
+//! disconnect. Parked sessions keep decoding until their bounded queue
+//! fills (the normal backpressure path), and a client presenting the token
+//! within the TTL resumes exactly where delivery stopped — byte-identical
+//! to an undisturbed run. A reaper thread reclaims expired tokens.
+//!
 //! **Determinism**: a session's event sequence is a pure function of
 //! `(model, StreamParams)`. The run queue guarantees at most one worker
 //! ever holds a session's decoder, each session owns its RNG (splitmix64
 //! from the session seed, the same discipline as the parallel batch
 //! generator), and [`cpt_gpt::DecodeState::reset`] makes free-list reuse
 //! byte-equivalent to fresh allocation — so output is bit-identical at any
-//! worker count, including 1.
+//! worker count, including 1. Chaos injection (see [`crate::chaos`])
+//! targets faults by logical coordinates so this holds under fault too.
 //!
 //! **Allocation**: steady-state serving is allocation-free per event. All
 //! decode buffers live in the session's `DecodeState` (recycled through a
@@ -30,15 +51,70 @@
 
 #![deny(clippy::unwrap_used)]
 
+use crate::chaos::ChaosPlan;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, StatsSnapshot};
-use cpt_gpt::{CptGpt, DecodeState, SessionDecoder, SessionEvent, StreamParams};
+use cpt_gpt::{CptGpt, DecodeState, SessionDecoder, StreamParams};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-/// Serving-engine configuration.
+/// The decoded event type produced by the model layer.
+pub type DecodedEvent = cpt_gpt::SessionEvent;
+
+/// One event delivered to a session consumer: either decoded data or the
+/// terminal record of a contained failure.
+///
+/// On the wire a data event serializes exactly as before (untagged), so
+/// clients that predate failure containment keep parsing; a failure
+/// serializes as `{"reason": "..."}`, which no data event can produce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum SessionEvent {
+    /// A decoded control-plane event.
+    Data(DecodedEvent),
+    /// Terminal: the session died to a contained fault (worker panic or
+    /// drain force-fail). No further events will ever arrive after this.
+    Failed {
+        /// Human-readable cause (panic payload or drain deadline note).
+        reason: String,
+    },
+}
+
+impl SessionEvent {
+    /// The decoded event, if this is a data event.
+    pub fn data(&self) -> Option<&DecodedEvent> {
+        match self {
+            SessionEvent::Data(ev) => Some(ev),
+            SessionEvent::Failed { .. } => None,
+        }
+    }
+
+    /// The failure reason, if this is a terminal failure record.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            SessionEvent::Data(_) => None,
+            SessionEvent::Failed { reason } => Some(reason),
+        }
+    }
+
+    /// True for the terminal failure record.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, SessionEvent::Failed { .. })
+    }
+}
+
+impl From<DecodedEvent> for SessionEvent {
+    fn from(ev: DecodedEvent) -> Self {
+        SessionEvent::Data(ev)
+    }
+}
+
+/// Serving-engine configuration (plus the front-end knobs the TCP server
+/// reads from the same validated struct: read timeout, connection cap,
+/// detach TTL).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Decode worker threads.
@@ -53,11 +129,21 @@ pub struct ServeConfig {
     pub slice_budget: usize,
     /// Global admission watermark on total queued events across sessions.
     pub queue_watermark: usize,
+    /// How long a detach token keeps parked sessions alive before the
+    /// reaper reclaims them (seconds).
+    pub detach_ttl_secs: u64,
+    /// Connection-thread read timeout (ms); bounds how long a server
+    /// thread can miss the stop flag while a client idles.
+    pub read_timeout_ms: u64,
+    /// Concurrent connection cap for the TCP front end; excess connections
+    /// get one error line and are dropped.
+    pub max_connections: usize,
 }
 
 impl ServeConfig {
     /// Defaults tuned for a small host: `workers` decode threads, a 4096-
-    /// session cap, 256-event queues, 64-event slices.
+    /// session cap, 256-event queues, 64-event slices, 60 s detach TTL,
+    /// 200 ms read timeout, 256 connections.
     pub fn new(workers: usize) -> Self {
         ServeConfig {
             workers,
@@ -65,6 +151,9 @@ impl ServeConfig {
             queue_capacity: 256,
             slice_budget: 64,
             queue_watermark: 1 << 20,
+            detach_ttl_secs: 60,
+            read_timeout_ms: 200,
+            max_connections: 256,
         }
     }
 
@@ -98,6 +187,18 @@ impl ServeConfig {
                 ),
             ));
         }
+        if self.detach_ttl_secs == 0 {
+            return Err(bad("detach_ttl_secs", "must be at least 1"));
+        }
+        if self.read_timeout_ms == 0 {
+            return Err(bad(
+                "read_timeout_ms",
+                "must be at least 1 (0 would never re-check the stop flag)",
+            ));
+        }
+        if self.max_connections == 0 {
+            return Err(bad("max_connections", "must be at least 1"));
+        }
         Ok(())
     }
 }
@@ -110,6 +211,38 @@ impl std::fmt::Display for SessionId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "session-{}", self.0)
     }
+}
+
+/// A capability for reclaiming detached sessions: 128 bits, unguessable,
+/// single-use. Printed/parsed as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DetachToken(pub u128);
+
+impl std::fmt::Display for DetachToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl std::str::FromStr for DetachToken {
+    type Err = ServeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        u128::from_str_radix(s.trim(), 16)
+            .map(DetachToken)
+            .map_err(|_| ServeError::UnknownToken)
+    }
+}
+
+/// What a drain accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainReport {
+    /// Sessions that finished decoding (or were closed by their consumer)
+    /// within the deadline.
+    pub completed: u64,
+    /// Stragglers force-failed at the deadline (each delivered a terminal
+    /// [`SessionEvent::Failed`]).
+    pub force_failed: u64,
 }
 
 /// Events delivered by one [`ServeHandle::next_events`] call.
@@ -131,19 +264,33 @@ enum RunState {
     Running,
     /// Event queue full; waiting for the consumer to drain.
     Parked,
-    /// Decode complete; only delivery remains.
+    /// Decode complete (or failed); only delivery remains.
     Done,
 }
 
 struct SessionSlot {
-    /// The decoder; `None` exactly while a worker runs the session.
+    /// The decoder; `None` while a worker runs the session, and forever
+    /// after a contained failure (the unwind consumed it).
     decoder: Option<SessionDecoder>,
-    /// Undelivered events, bounded by `queue_capacity`.
+    /// Undelivered events, bounded by `queue_capacity` (+1 for a terminal
+    /// failure record, which is always accepted).
     queue: VecDeque<SessionEvent>,
     run: RunState,
     /// Close was requested while a worker held the decoder; the worker
     /// disposes of the session at slice end.
     closed: bool,
+    /// The session died to a contained fault; its queue ends with
+    /// [`SessionEvent::Failed`] and any in-flight slice is discarded.
+    failed: bool,
+    /// Parked under a detach token; unreachable through
+    /// `next_events`/`close_session` until reattached.
+    detached: bool,
+}
+
+/// Sessions parked under one detach token.
+struct ParkedGroup {
+    sessions: Vec<u64>,
+    expires_at: Instant,
 }
 
 struct EngineState {
@@ -151,6 +298,8 @@ struct EngineState {
     run_queue: VecDeque<u64>,
     /// Recycled decode states, capped at `max_sessions`.
     free_states: Vec<DecodeState>,
+    /// Detached session groups keyed by capability token.
+    parked: HashMap<u128, ParkedGroup>,
     /// Total undelivered events across all sessions (watermark gauge).
     queued_total: usize,
     /// Open sessions (excludes close-pending ones still in `sessions`).
@@ -161,13 +310,20 @@ struct EngineState {
 struct Shared {
     model: Arc<CptGpt>,
     cfg: ServeConfig,
+    chaos: ChaosPlan,
     state: Mutex<EngineState>,
     /// Workers wait here for the run queue to fill.
     work: Condvar,
     /// Consumers wait here for events to arrive.
     delivery: Condvar,
+    /// The token reaper waits here between expiries.
+    reaper: Condvar,
     metrics: Metrics,
     shutdown: AtomicBool,
+    /// Admission is suspended (drain in progress or completed).
+    draining: AtomicBool,
+    /// Nonce folded into detach-token minting.
+    token_nonce: AtomicU64,
 }
 
 impl Shared {
@@ -185,11 +341,79 @@ impl Shared {
             state.free_states.push(decode);
         }
     }
+
+    /// Removes a session's storage (immediately, or deferred to the worker
+    /// holding its decoder). Does *not* touch `open_count` — callers own
+    /// that bookkeeping.
+    fn dispose_locked(&self, st: &mut EngineState, id: u64) {
+        let running = st
+            .sessions
+            .get(&id)
+            .map(|s| s.run == RunState::Running)
+            .unwrap_or(false);
+        if running {
+            if let Some(slot) = st.sessions.get_mut(&id) {
+                slot.closed = true;
+                let n = slot.queue.len();
+                slot.queue.clear();
+                st.queued_total -= n;
+            }
+        } else if let Some(slot) = st.sessions.remove(&id) {
+            st.queued_total -= slot.queue.len();
+            if let Some(decoder) = slot.decoder {
+                Shared::recycle(st, self.cfg.max_sessions, decoder.into_state());
+            }
+        }
+    }
+
+    /// Marks a session failed: appends the terminal failure record, stops
+    /// scheduling, and counts it. The failure record is always accepted
+    /// even into a full queue (bound +1) so the consumer cannot miss it.
+    fn fail_locked(&self, st: &mut EngineState, id: u64, reason: String) -> bool {
+        let Some(slot) = st.sessions.get_mut(&id) else {
+            return false;
+        };
+        if slot.closed || slot.failed {
+            return false;
+        }
+        slot.queue.push_back(SessionEvent::Failed { reason });
+        slot.run = RunState::Done;
+        slot.failed = true;
+        st.queued_total += 1;
+        self.metrics.inc_failed();
+        true
+    }
+
+    /// Mints a fresh, unregistered capability token. Uniqueness against
+    /// live tokens is checked under the lock; unguessability comes from
+    /// 128 bits of splitmix64-mixed wall-clock + nonce.
+    fn mint_locked(&self, st: &EngineState) -> DetachToken {
+        loop {
+            let nonce = self.token_nonce.fetch_add(1, Ordering::Relaxed);
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            let hi = splitmix64(now ^ nonce.rotate_left(17));
+            let lo = splitmix64(hi ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let token = ((hi as u128) << 64) | lo as u128;
+            if token != 0 && !st.parked.contains_key(&token) {
+                return DetachToken(token);
+            }
+        }
+    }
 }
 
-/// The serving engine: owns the worker pool. Obtain a [`ServeHandle`] via
-/// [`Engine::handle`] to open and drive sessions; drop (or
-/// [`Engine::shutdown`]) to stop the workers.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The serving engine: owns the worker pool and the token reaper. Obtain a
+/// [`ServeHandle`] via [`Engine::handle`] to open and drive sessions; drop
+/// (or [`Engine::shutdown`]) to stop the workers.
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
@@ -199,35 +423,57 @@ impl Engine {
     /// Validates `cfg`, spawns the worker pool, and returns the running
     /// engine.
     pub fn start(model: Arc<CptGpt>, cfg: ServeConfig) -> Result<Engine, ServeError> {
+        Engine::start_with_chaos(model, cfg, ChaosPlan::default())
+    }
+
+    /// [`Engine::start`] with a chaos plan wired into the decode loop.
+    pub fn start_with_chaos(
+        model: Arc<CptGpt>,
+        cfg: ServeConfig,
+        chaos: ChaosPlan,
+    ) -> Result<Engine, ServeError> {
         cfg.validate()?;
         let shared = Arc::new(Shared {
             model,
             cfg,
+            chaos,
             state: Mutex::new(EngineState {
                 sessions: HashMap::new(),
                 run_queue: VecDeque::new(),
                 free_states: Vec::new(),
+                parked: HashMap::new(),
                 queued_total: 0,
                 open_count: 0,
                 next_id: 1,
             }),
             work: Condvar::new(),
             delivery: Condvar::new(),
+            reaper: Condvar::new(),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            token_nonce: AtomicU64::new(0x5EED),
         });
-        let workers = (0..cfg.workers)
+        let spawn_err = |e: std::io::Error| ServeError::InvalidConfig {
+            field: "workers".to_string(),
+            message: format!("cannot spawn engine thread: {e}"),
+        };
+        let mut workers = (0..cfg.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("cpt-serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .map_err(|e| ServeError::InvalidConfig {
-                        field: "workers".to_string(),
-                        message: format!("cannot spawn worker thread: {e}"),
-                    })
+                    .map_err(spawn_err)
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let reaper_shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name("cpt-serve-reaper".to_string())
+                .spawn(move || reaper_loop(&reaper_shared))
+                .map_err(spawn_err)?,
+        );
         Ok(Engine { shared, workers })
     }
 
@@ -243,10 +489,16 @@ impl Engine {
         self.shutdown_inner();
     }
 
+    /// See [`ServeHandle::drain`].
+    pub fn drain(&self, timeout: Duration) -> DrainReport {
+        self.handle().drain(timeout)
+    }
+
     fn shutdown_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work.notify_all();
         self.shared.delivery.notify_all();
+        self.shared.reaper.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -269,6 +521,8 @@ pub struct ServeHandle {
 impl ServeHandle {
     /// Admits a new session, or sheds it with [`ServeError::Overloaded`]
     /// when the session cap or queued-events watermark is exceeded.
+    /// While the engine drains, admission fails with
+    /// [`ServeError::Draining`] instead.
     ///
     /// The session's decode state comes from the free-list when one is
     /// available, so steady-state open/close cycles allocate nothing.
@@ -276,6 +530,9 @@ impl ServeHandle {
         let shared = &self.shared;
         if shared.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            return Err(ServeError::Draining);
         }
         let mut st = shared.lock_state();
         if st.open_count >= shared.cfg.max_sessions
@@ -303,6 +560,8 @@ impl ServeHandle {
                 queue: VecDeque::new(),
                 run: RunState::Queued,
                 closed: false,
+                failed: false,
+                detached: false,
             },
         );
         st.open_count += 1;
@@ -316,6 +575,8 @@ impl ServeHandle {
     /// Delivers up to `max` decoded events in order, blocking up to `wait`
     /// while the queue is empty and the session is still decoding. Returns
     /// `finished = true` once decode is complete and the queue is drained.
+    /// A session that died to a contained fault delivers its decoded
+    /// prefix followed by one terminal [`SessionEvent::Failed`].
     ///
     /// Draining a parked session re-enqueues it — this is the consumer
     /// half of the per-session backpressure loop.
@@ -334,7 +595,7 @@ impl ServeHandle {
                 let slot = st
                     .sessions
                     .get(&id.0)
-                    .filter(|s| !s.closed)
+                    .filter(|s| !s.closed && !s.detached)
                     .ok_or(ServeError::UnknownSession(id.0))?;
                 if !slot.queue.is_empty() || slot.run == RunState::Done {
                     break;
@@ -354,7 +615,7 @@ impl ServeHandle {
             let slot = st
                 .sessions
                 .get_mut(&id.0)
-                .filter(|s| !s.closed)
+                .filter(|s| !s.closed && !s.detached)
                 .ok_or(ServeError::UnknownSession(id.0))?;
             let n = slot.queue.len().min(max);
             let events: Vec<SessionEvent> = slot.queue.drain(..n).collect();
@@ -383,34 +644,205 @@ impl ServeHandle {
     pub fn close_session(&self, id: SessionId) -> Result<(), ServeError> {
         let shared = &self.shared;
         let mut st = shared.lock_state();
-        let running = {
-            let slot = st
-                .sessions
-                .get_mut(&id.0)
-                .filter(|s| !s.closed)
-                .ok_or(ServeError::UnknownSession(id.0))?;
-            slot.run == RunState::Running
-        };
-        if running {
-            // A worker holds the decoder; mark for disposal at slice end.
-            let dropped = if let Some(slot) = st.sessions.get_mut(&id.0) {
-                slot.closed = true;
-                let n = slot.queue.len();
-                slot.queue.clear();
-                n
-            } else {
-                0
-            };
-            st.queued_total -= dropped;
-        } else if let Some(slot) = st.sessions.remove(&id.0) {
-            st.queued_total -= slot.queue.len();
-            if let Some(decoder) = slot.decoder {
-                Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
-            }
+        if st
+            .sessions
+            .get(&id.0)
+            .filter(|s| !s.closed && !s.detached)
+            .is_none()
+        {
+            return Err(ServeError::UnknownSession(id.0));
         }
+        shared.dispose_locked(&mut st, id.0);
         st.open_count -= 1;
         shared.metrics.inc_closed();
         Ok(())
+    }
+
+    /// Mints a fresh detach capability and registers it (with an empty
+    /// session group) so the TTL clock starts now. The TCP front end calls
+    /// this when a client *arms* detach-on-disconnect, so the token exists
+    /// on the client side before any disconnect can happen.
+    pub fn mint_detach_token(&self) -> DetachToken {
+        let shared = &self.shared;
+        let mut st = shared.lock_state();
+        let token = shared.mint_locked(&st);
+        let expires_at = Instant::now() + Duration::from_secs(shared.cfg.detach_ttl_secs);
+        st.parked.insert(
+            token.0,
+            ParkedGroup {
+                sessions: Vec::new(),
+                expires_at,
+            },
+        );
+        drop(st);
+        shared.reaper.notify_all();
+        token
+    }
+
+    /// Parks `ids` under `token` (refreshing its TTL), detaching them from
+    /// delivery until [`ServeHandle::reattach`] presents the token again.
+    /// Parked sessions keep decoding until their bounded queue fills.
+    /// Unknown or already-detached ids are skipped (the disconnect path
+    /// races with closes); returns how many sessions were parked.
+    pub fn park_sessions(
+        &self,
+        token: DetachToken,
+        ids: impl IntoIterator<Item = SessionId>,
+    ) -> usize {
+        let shared = &self.shared;
+        let mut st = shared.lock_state();
+        let mut parked: Vec<u64> = Vec::new();
+        for id in ids {
+            if let Some(slot) = st
+                .sessions
+                .get_mut(&id.0)
+                .filter(|s| !s.closed && !s.detached)
+            {
+                slot.detached = true;
+                parked.push(id.0);
+            }
+        }
+        let n = parked.len();
+        if parked.is_empty() {
+            // Nothing survived to park; the armed placeholder (if any) is
+            // useless now.
+            st.parked.remove(&token.0);
+        } else {
+            let expires_at =
+                Instant::now() + Duration::from_secs(shared.cfg.detach_ttl_secs);
+            st.parked.insert(
+                token.0,
+                ParkedGroup {
+                    sessions: parked,
+                    expires_at,
+                },
+            );
+        }
+        drop(st);
+        shared.reaper.notify_all();
+        shared.metrics.add_detached(n as u64);
+        n
+    }
+
+    /// Convenience for library users: mint a token and park `ids` under it
+    /// in one call. Fails with [`ServeError::UnknownSession`] (parking
+    /// nothing) if any id is not an open, attached session.
+    pub fn detach_sessions(&self, ids: &[SessionId]) -> Result<DetachToken, ServeError> {
+        {
+            let st = self.shared.lock_state();
+            for id in ids {
+                if st
+                    .sessions
+                    .get(&id.0)
+                    .filter(|s| !s.closed && !s.detached)
+                    .is_none()
+                {
+                    return Err(ServeError::UnknownSession(id.0));
+                }
+            }
+        }
+        let token = self.mint_detach_token();
+        self.park_sessions(token, ids.iter().copied());
+        Ok(token)
+    }
+
+    /// Redeems a detach token: the parked sessions re-attach (delivery
+    /// resumes exactly where it stopped) and the token dies. Fails with
+    /// [`ServeError::UnknownToken`] when the token was never minted,
+    /// already redeemed, or expired.
+    pub fn reattach(&self, token: DetachToken) -> Result<Vec<SessionId>, ServeError> {
+        let shared = &self.shared;
+        let mut st = shared.lock_state();
+        let group = match st.parked.remove(&token.0) {
+            Some(g) if g.expires_at > Instant::now() => g,
+            Some(expired) => {
+                // Expired but not yet reaped: reclaim now, token is dead.
+                st.parked.insert(token.0, expired);
+                reap_expired_locked(shared, &mut st, Instant::now());
+                return Err(ServeError::UnknownToken);
+            }
+            None => return Err(ServeError::UnknownToken),
+        };
+        let mut ids = Vec::with_capacity(group.sessions.len());
+        for id in group.sessions {
+            if let Some(slot) = st.sessions.get_mut(&id).filter(|s| s.detached) {
+                slot.detached = false;
+                ids.push(SessionId(id));
+            }
+        }
+        drop(st);
+        shared.metrics.add_reattached(ids.len() as u64);
+        Ok(ids)
+    }
+
+    /// Stops admission ([`ServeError::Draining`]) and waits for live
+    /// sessions to finish decoding. Stragglers still decoding at the
+    /// deadline — including detached sessions nobody reattached — are
+    /// force-failed: each gets a terminal [`SessionEvent::Failed`] and
+    /// counts in [`DrainReport::force_failed`]. Delivery of already-decoded
+    /// events continues after the drain; admission stays suspended until
+    /// [`ServeHandle::resume_admission`].
+    pub fn drain(&self, timeout: Duration) -> DrainReport {
+        let shared = &self.shared;
+        shared.draining.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + timeout;
+        let mut st = shared.lock_state();
+        let initial = st.sessions.values().filter(|s| !s.closed).count() as u64;
+        loop {
+            let unfinished = st
+                .sessions
+                .values()
+                .any(|s| !s.closed && s.run != RunState::Done);
+            if !unfinished || shared.shutdown.load(Ordering::SeqCst) {
+                drop(st);
+                shared.delivery.notify_all();
+                return DrainReport {
+                    completed: initial,
+                    force_failed: 0,
+                };
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            // Bounded wait slices: workers notify `delivery` on publish,
+            // but closes do not, so never sleep unbounded.
+            let wait = (deadline - now).min(Duration::from_millis(50));
+            st = match shared.delivery.wait_timeout(st, wait) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+        // Deadline: force-fail everything still decoding.
+        let stragglers: Vec<u64> = st
+            .sessions
+            .iter()
+            .filter(|(_, s)| !s.closed && s.run != RunState::Done)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut force_failed = 0u64;
+        for id in stragglers {
+            if shared.fail_locked(&mut st, id, "drain deadline exceeded".to_string()) {
+                shared.metrics.inc_force_failed();
+                force_failed += 1;
+            }
+        }
+        drop(st);
+        shared.delivery.notify_all();
+        DrainReport {
+            completed: initial.saturating_sub(force_failed),
+            force_failed,
+        }
+    }
+
+    /// Re-opens admission after a drain (the hot-swap "resume" half).
+    pub fn resume_admission(&self) {
+        self.shared.draining.store(false, Ordering::SeqCst);
+    }
+
+    /// True while admission is suspended by a drain.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
     }
 
     /// Sessions currently open.
@@ -435,6 +867,54 @@ impl ServeHandle {
     }
 }
 
+/// Reclaims every parked group whose TTL has passed. Holds the lock.
+fn reap_expired_locked(shared: &Shared, st: &mut EngineState, now: Instant) {
+    let expired: Vec<u128> = st
+        .parked
+        .iter()
+        .filter(|(_, g)| g.expires_at <= now)
+        .map(|(t, _)| *t)
+        .collect();
+    for token in expired {
+        let Some(group) = st.parked.remove(&token) else {
+            continue;
+        };
+        let mut reclaimed = 0u64;
+        for id in group.sessions {
+            if st.sessions.get(&id).map(|s| s.detached).unwrap_or(false) {
+                shared.dispose_locked(st, id);
+                st.open_count -= 1;
+                reclaimed += 1;
+            }
+        }
+        shared.metrics.add_expired(reclaimed);
+    }
+}
+
+/// The token reaper: wakes at the next TTL expiry (or when a token is
+/// minted/refreshed) and reclaims expired parked sessions.
+fn reaper_loop(shared: &Shared) {
+    let mut st = shared.lock_state();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        reap_expired_locked(shared, &mut st, now);
+        let wait = st
+            .parked
+            .values()
+            .map(|g| g.expires_at.saturating_duration_since(now))
+            .min()
+            .unwrap_or(Duration::from_secs(3600))
+            .max(Duration::from_millis(10));
+        st = match shared.reaper.wait_timeout(st, wait) {
+            Ok((g, _)) => g,
+            Err(poisoned) => poisoned.into_inner().0,
+        };
+    }
+}
+
 /// Blocks until a ready session is available (returning its decoder and
 /// this slice's event budget) or shutdown is requested (`None`).
 fn next_work(shared: &Shared) -> Option<(u64, SessionDecoder, usize)> {
@@ -445,10 +925,10 @@ fn next_work(shared: &Shared) -> Option<(u64, SessionDecoder, usize)> {
         }
         while let Some(id) = st.run_queue.pop_front() {
             if let Some(slot) = st.sessions.get_mut(&id) {
-                // Stale queue entries (closed or re-scheduled sessions) are
-                // skipped; only a Queued slot with its decoder in place is
-                // runnable.
-                if slot.run == RunState::Queued && !slot.closed {
+                // Stale queue entries (closed, failed, or re-scheduled
+                // sessions) are skipped; only a Queued slot with its
+                // decoder in place is runnable.
+                if slot.run == RunState::Queued && !slot.closed && !slot.failed {
                     if let Some(decoder) = slot.decoder.take() {
                         slot.run = RunState::Running;
                         let room = shared
@@ -468,53 +948,110 @@ fn next_work(shared: &Shared) -> Option<(u64, SessionDecoder, usize)> {
     }
 }
 
+/// Extracts a human-readable reason from a panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panic: {s}")
+    } else {
+        "worker panic (non-string payload)".to_string()
+    }
+}
+
 /// One decode worker: pull a ready session, advance it by at most its
-/// slice budget, publish the events, re-enqueue (or park/finish), repeat.
+/// slice budget **under `catch_unwind`**, publish the events, re-enqueue
+/// (or park/finish/fail), repeat. A panic while decoding fails only the
+/// session being advanced; the worker survives and re-enters its loop.
 fn worker_loop(shared: &Shared) {
     let model = Arc::clone(&shared.model);
-    // Reused across slices: allocation-free steady state.
-    let mut buf: Vec<SessionEvent> = Vec::new();
-    while let Some((id, mut decoder, budget)) = next_work(shared) {
+    let chaos = shared.chaos;
+    // Reused across slices: allocation-free steady state. On a panic the
+    // buffer holds the slice's already-decoded prefix.
+    let mut buf: Vec<DecodedEvent> = Vec::new();
+    let mut slice_idx: u64 = 0;
+    while let Some((id, decoder, budget)) = next_work(shared) {
         let t0 = Instant::now();
-        let mut done = decoder.is_finished();
-        while buf.len() < budget {
-            match decoder.next_event(&model) {
-                Some(ev) => buf.push(ev),
-                None => {
-                    done = true;
-                    break;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut decoder = decoder;
+            let mut done = decoder.is_finished();
+            while buf.len() < budget {
+                if chaos.should_panic(id, decoder.events_emitted()) {
+                    panic!("chaos: injected panic advancing session {id}");
+                }
+                match decoder.next_event(&model) {
+                    Some(ev) => buf.push(ev),
+                    None => {
+                        done = true;
+                        break;
+                    }
                 }
             }
-        }
+            (decoder, done)
+        }));
         shared.metrics.record_slice(t0.elapsed(), buf.len() as u64);
+        if let Some(delay) = chaos.slice_delay(slice_idx) {
+            std::thread::sleep(delay);
+        }
+        slice_idx += 1;
 
         let mut st = shared.lock_state();
-        match st.sessions.get_mut(&id) {
-            None => {
-                // Session vanished while running (defensive; close defers
-                // removal, so this should not happen). Recycle the buffers.
-                Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
-            }
-            Some(slot) if slot.closed => {
-                st.sessions.remove(&id);
-                Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
-            }
-            Some(slot) => {
-                let produced = buf.len();
-                slot.queue.extend(buf.drain(..));
-                if done {
-                    slot.run = RunState::Done;
-                    slot.decoder = Some(decoder);
-                } else if slot.queue.len() >= shared.cfg.queue_capacity {
-                    slot.run = RunState::Parked;
-                    slot.decoder = Some(decoder);
-                } else {
-                    slot.run = RunState::Queued;
-                    slot.decoder = Some(decoder);
-                    st.run_queue.push_back(id);
-                    shared.work.notify_one();
+        match outcome {
+            Ok((decoder, done)) => match st.sessions.get_mut(&id) {
+                None => {
+                    // Session vanished while running (defensive; close
+                    // defers removal, so this should not happen). Recycle
+                    // the buffers.
+                    Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
                 }
-                st.queued_total += produced;
+                Some(slot) if slot.closed => {
+                    st.sessions.remove(&id);
+                    Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
+                }
+                Some(slot) if slot.failed => {
+                    // Force-failed (drain deadline) while this worker held
+                    // the decoder: the terminal Failed record is already
+                    // queued, so the slice is discarded — delivering data
+                    // after the terminal record would corrupt the stream.
+                    slot.decoder = None;
+                    Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
+                }
+                Some(slot) => {
+                    let produced = buf.len();
+                    slot.queue.extend(buf.drain(..).map(SessionEvent::Data));
+                    if done {
+                        slot.run = RunState::Done;
+                        slot.decoder = Some(decoder);
+                    } else if slot.queue.len() >= shared.cfg.queue_capacity {
+                        slot.run = RunState::Parked;
+                        slot.decoder = Some(decoder);
+                    } else {
+                        slot.run = RunState::Queued;
+                        slot.decoder = Some(decoder);
+                        st.run_queue.push_back(id);
+                        shared.work.notify_one();
+                    }
+                    st.queued_total += produced;
+                }
+            },
+            Err(payload) => {
+                // Contained: the decoder died with the unwind (its state
+                // may be corrupt, so it is never recycled). Publish the
+                // clean prefix, then the terminal failure record.
+                shared.metrics.inc_worker_panic();
+                match st.sessions.get_mut(&id) {
+                    None => {}
+                    Some(slot) if slot.closed => {
+                        st.sessions.remove(&id);
+                    }
+                    Some(slot) => {
+                        let produced = buf.len();
+                        slot.queue.extend(buf.drain(..).map(SessionEvent::Data));
+                        slot.decoder = None;
+                        st.queued_total += produced;
+                        shared.fail_locked(&mut st, id, panic_reason(payload.as_ref()));
+                    }
+                }
             }
         }
         drop(st);
@@ -544,11 +1081,38 @@ mod tests {
                     ..ok
                 },
             ),
+            ("detach_ttl_secs", ServeConfig { detach_ttl_secs: 0, ..ok }),
+            ("read_timeout_ms", ServeConfig { read_timeout_ms: 0, ..ok }),
+            ("max_connections", ServeConfig { max_connections: 0, ..ok }),
         ] {
-            match cfg.validate() {
-                Err(ServeError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
-                other => panic!("expected InvalidConfig({field}), got {other:?}"),
-            }
+            let got = cfg.validate();
+            assert!(
+                matches!(&got, Err(ServeError::InvalidConfig { field: f, .. }) if f == field),
+                "expected InvalidConfig({field}), got {got:?}"
+            );
         }
+    }
+
+    #[test]
+    fn detach_tokens_round_trip_as_hex() {
+        let t = DetachToken(0x00ab_cdef_0123_4567_89ab_cdef_0123_4567);
+        let s = t.to_string();
+        assert_eq!(s.len(), 32);
+        let back: DetachToken = s.parse().expect("hex parses");
+        assert_eq!(back, t);
+        assert!(
+            matches!("not-hex".parse::<DetachToken>(), Err(ServeError::UnknownToken)),
+            "garbage tokens are typed errors"
+        );
+    }
+
+    #[test]
+    fn session_events_classify_data_and_failure() {
+        let fail = SessionEvent::Failed {
+            reason: "x".to_string(),
+        };
+        assert!(fail.is_failure());
+        assert_eq!(fail.failure(), Some("x"));
+        assert!(fail.data().is_none());
     }
 }

@@ -36,6 +36,12 @@ pub enum ServeError {
     },
     /// The engine is shutting down and admits no new work.
     ShuttingDown,
+    /// The engine is draining: existing sessions may finish and their
+    /// events may still be fetched, but no new session is admitted.
+    Draining,
+    /// The detach capability token is unknown, already redeemed, or its
+    /// TTL expired (the parked sessions were reclaimed).
+    UnknownToken,
     /// The model layer rejected the session (bad params, untrained model).
     Generate(GenerateError),
     /// A socket/network operation failed (bind, connect, read, write).
@@ -65,6 +71,12 @@ impl std::fmt::Display for ServeError {
                 write!(f, "invalid serve config: {field}: {message}")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Draining => {
+                write!(f, "server is draining and admits no new sessions")
+            }
+            ServeError::UnknownToken => {
+                write!(f, "unknown or expired detach token")
+            }
             ServeError::Generate(e) => write!(f, "{e}"),
             ServeError::Io(e) => write!(f, "network error: {e}"),
         }

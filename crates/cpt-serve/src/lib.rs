@@ -21,9 +21,17 @@
 //! Determinism contract: a session's event stream is a pure function of
 //! `(model, seed, params)` — bit-identical at any worker count and across
 //! decode-state reuse. See `DESIGN.md` §12.
+//!
+//! Failure model (DESIGN.md §14): the service is *crash-only*. Worker
+//! panics are contained per-session ([`engine::SessionEvent::Failed`]),
+//! drains are bounded ([`ServeHandle::drain`]), disconnects can park
+//! sessions under a capability token ([`engine::DetachToken`]) instead of
+//! losing them, and every failure path is exercised deterministically by
+//! [`chaos::ChaosPlan`].
 
 #![deny(clippy::unwrap_used)]
 
+pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod loadgen;
@@ -31,7 +39,11 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use engine::{Engine, EventBatch, ServeConfig, ServeHandle, SessionId};
+pub use chaos::ChaosPlan;
+pub use engine::{
+    DetachToken, DrainReport, Engine, EventBatch, ServeConfig, ServeHandle, SessionEvent,
+    SessionId,
+};
 pub use error::ServeError;
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use metrics::{LatencyHistogram, Metrics, StatsSnapshot};

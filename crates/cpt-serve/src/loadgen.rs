@@ -7,6 +7,15 @@
 //! no-thread-per-session design. Reports achieved throughput, shed
 //! counts, and client-observed latency percentiles for the `open` and
 //! `next` verbs.
+//!
+//! Transient-failure policy: connects are retried on `ECONNREFUSED` and
+//! admission sheds (`overloaded`) are retried, both with capped, jittered
+//! exponential backoff — a shed is the server asking for patience, not an
+//! error. When a connection dies mid-run the thread reconnects and
+//! presents its detach token (armed at connect time via the `detach`
+//! verb), resuming its parked sessions where delivery stopped; only if
+//! that fails are the sessions counted lost. Every retry, shed,
+//! reconnect, and reattach is counted in the report.
 
 #![deny(clippy::unwrap_used)]
 
@@ -45,11 +54,20 @@ pub struct LoadgenConfig {
     pub drain_timeout: Duration,
     /// Send a `shutdown` verb to the server once done.
     pub shutdown: bool,
+    /// Extra connect attempts on `ECONNREFUSED` before giving up.
+    pub connect_retries: u32,
+    /// Base backoff between retries (ms); grows exponentially with a
+    /// deterministic jitter, capped at ~2 s.
+    pub retry_backoff_ms: u64,
+    /// Arm detach-on-disconnect and reattach after a dropped connection
+    /// instead of abandoning the sessions.
+    pub reattach: bool,
 }
 
 impl LoadgenConfig {
     /// Defaults: 100 sessions, 32 concurrent, unpaced, 1 stream each,
-    /// 2 threads, 60 s drain, no server shutdown.
+    /// 2 threads, 60 s drain, no server shutdown, 5 connect retries with
+    /// 50 ms base backoff, reattach on.
     pub fn new(addr: impl Into<String>) -> Self {
         LoadgenConfig {
             addr: addr.into(),
@@ -62,6 +80,9 @@ impl LoadgenConfig {
             seed_base: 1,
             drain_timeout: Duration::from_secs(60),
             shutdown: false,
+            connect_retries: 5,
+            retry_backoff_ms: 50,
+            reattach: true,
         }
     }
 
@@ -100,14 +121,32 @@ impl LoadgenConfig {
 pub struct LoadgenReport {
     /// Sessions successfully opened.
     pub sessions_opened: u64,
-    /// Opens shed by server admission control (`overloaded`).
+    /// Opens shed by server admission control (`overloaded`); every shed
+    /// was retried, so sheds do not imply lost sessions.
     pub sessions_shed: u64,
     /// Sessions driven to `finished` and closed.
     pub sessions_completed: u64,
-    /// Events received over the wire.
+    /// Sessions that ended with a terminal failure record (contained
+    /// worker panic or drain force-fail).
+    #[serde(default)]
+    pub sessions_failed: u64,
+    /// Sessions resumed via `reattach` after a dropped connection.
+    #[serde(default)]
+    pub sessions_reattached: u64,
+    /// Events received over the wire (data events only).
     pub events_received: u64,
-    /// Non-overload protocol errors observed.
+    /// Non-overload protocol errors observed (including sessions lost to
+    /// an unrecoverable disconnect).
     pub errors: u64,
+    /// Connect attempts retried after `ECONNREFUSED`.
+    #[serde(default)]
+    pub connect_retries: u64,
+    /// Open attempts retried after an admission shed.
+    #[serde(default)]
+    pub open_retries: u64,
+    /// Mid-run reconnects that successfully reattached.
+    #[serde(default)]
+    pub reconnects: u64,
     /// Wall-clock run time in seconds.
     pub elapsed_secs: f64,
     /// Events received per second of run time.
@@ -163,10 +202,104 @@ struct Tally {
     opened: AtomicU64,
     shed: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
+    reattached: AtomicU64,
     events: AtomicU64,
     errors: AtomicU64,
+    connect_retries: AtomicU64,
+    open_retries: AtomicU64,
+    reconnects: AtomicU64,
     /// Open attempts so far, used for rate pacing and seed assignment.
     attempts: AtomicU64,
+}
+
+/// One splitmix64 scramble, for deterministic backoff jitter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Capped exponential backoff with deterministic jitter in
+/// `[cap/2, cap]`, so synchronized retry storms decorrelate without a
+/// global RNG.
+fn backoff_with_jitter(base_ms: u64, attempt: u32, salt: u64, cap_ms: u64) -> Duration {
+    let exp = base_ms
+        .saturating_mul(1u64 << attempt.min(10))
+        .min(cap_ms)
+        .max(1);
+    let jitter = splitmix64(salt ^ u64::from(attempt)) % (exp / 2 + 1);
+    Duration::from_millis(exp - exp / 2 + jitter)
+}
+
+/// Connects, retrying `ECONNREFUSED` with backoff (a restarting server is
+/// a transient, not an error). Other failures surface immediately.
+fn connect_with_retry(cfg: &LoadgenConfig, tally: &Tally) -> Result<Client, ServeError> {
+    let mut attempt: u32 = 0;
+    loop {
+        match Client::connect(&cfg.addr) {
+            Ok(c) => return Ok(c),
+            Err(ServeError::Io(e))
+                if e.kind() == std::io::ErrorKind::ConnectionRefused
+                    && attempt < cfg.connect_retries =>
+            {
+                tally.connect_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff_with_jitter(
+                    cfg.retry_backoff_ms,
+                    attempt,
+                    cfg.seed_base,
+                    2_000,
+                ));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A connection plus the detach token arming its disconnect behavior.
+struct Conn {
+    client: Client,
+    /// Present once `detach` is armed; used to reattach after a drop.
+    token: Option<String>,
+}
+
+/// Connects (with retry) and, when configured, arms detach-on-disconnect.
+fn establish(cfg: &LoadgenConfig, tally: &Tally) -> Result<Conn, ServeError> {
+    let mut client = connect_with_retry(cfg, tally)?;
+    let mut token = None;
+    if cfg.reattach {
+        if let Ok(Response::Detached { token: t }) = client.request(&Request::Detach) {
+            token = Some(t);
+        }
+    }
+    Ok(Conn { client, token })
+}
+
+/// After a dropped connection: reconnect, present the detach token, and
+/// adopt the parked sessions. On success `open` holds exactly the
+/// server-side surviving set. `None` means the sessions are lost.
+fn recover(
+    cfg: &LoadgenConfig,
+    tally: &Tally,
+    token: &str,
+    open: &mut Vec<u64>,
+) -> Option<Conn> {
+    let mut conn = establish(cfg, tally).ok()?;
+    match conn.client.request(&Request::Reattach {
+        token: token.to_string(),
+    }) {
+        Ok(Response::Reattached { sessions }) => {
+            tally
+                .reattached
+                .fetch_add(sessions.len() as u64, Ordering::Relaxed);
+            tally.reconnects.fetch_add(1, Ordering::Relaxed);
+            *open = sessions;
+            Some(conn)
+        }
+        _ => None,
+    }
 }
 
 /// Runs the load generator to completion and reports what it observed.
@@ -179,7 +312,8 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
     let next_hist = Arc::new(LatencyHistogram::new());
 
     // Fail fast (and typed) if the server is unreachable, before spawning.
-    drop(Client::connect(&cfg.addr)?);
+    // Retries absorb a server that is still binding its socket.
+    drop(connect_with_retry(cfg, &tally)?);
 
     let per_thread = cfg.concurrent.div_ceil(cfg.threads);
     let threads: Vec<_> = (0..cfg.threads)
@@ -218,8 +352,13 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         sessions_opened: tally.opened.load(Ordering::Relaxed),
         sessions_shed: tally.shed.load(Ordering::Relaxed),
         sessions_completed: tally.completed.load(Ordering::Relaxed),
+        sessions_failed: tally.failed.load(Ordering::Relaxed),
+        sessions_reattached: tally.reattached.load(Ordering::Relaxed),
         events_received: events,
         errors: tally.errors.load(Ordering::Relaxed),
+        connect_retries: tally.connect_retries.load(Ordering::Relaxed),
+        open_retries: tally.open_retries.load(Ordering::Relaxed),
+        reconnects: tally.reconnects.load(Ordering::Relaxed),
         elapsed_secs: elapsed,
         events_per_sec: if elapsed > 0.0 { events as f64 / elapsed } else { 0.0 },
         open_p50_us: open_hist.quantile_us(0.50),
@@ -251,6 +390,29 @@ fn claim_attempt(
     }
 }
 
+/// Handles a dead connection mid-run: reattach when armed, otherwise the
+/// thread's open sessions are lost (counted as errors). Returns the new
+/// connection, or `None` when the thread should give up.
+fn handle_disconnect(
+    cfg: &LoadgenConfig,
+    tally: &Tally,
+    conn: &Conn,
+    open: &mut Vec<u64>,
+) -> Option<Conn> {
+    if let Some(token) = conn.token.clone() {
+        if let Some(fresh) = recover(cfg, tally, &token, open) {
+            return Some(fresh);
+        }
+    }
+    // Sessions abandoned server-side (or parked until the TTL reaper
+    // reclaims them): each is an observable loss.
+    tally
+        .errors
+        .fetch_add(open.len() as u64 + 1, Ordering::Relaxed);
+    open.clear();
+    None
+}
+
 fn client_thread(
     cfg: &LoadgenConfig,
     per_thread: usize,
@@ -260,7 +422,7 @@ fn client_thread(
     open_hist: &LatencyHistogram,
     next_hist: &LatencyHistogram,
 ) {
-    let mut client = match Client::connect(&cfg.addr) {
+    let mut conn = match establish(cfg, tally) {
         Ok(c) => c,
         Err(_) => {
             tally.errors.fetch_add(1, Ordering::Relaxed);
@@ -269,6 +431,10 @@ fn client_thread(
     };
     // Sessions this thread currently has open.
     let mut open: Vec<u64> = Vec::with_capacity(per_thread);
+    // A claimed-but-unopened attempt (kept across shed/disconnect retries
+    // so no claimed session is ever silently dropped).
+    let mut pending: Option<u64> = None;
+    let mut shed_streak: u32 = 0;
     let mut opening_done = false;
     let mut drain_deadline: Option<Instant> = None;
 
@@ -276,10 +442,16 @@ fn client_thread(
         // Open phase: top up to this thread's share of the concurrency
         // target, paced to the global rate.
         while !opening_done && open.len() < per_thread {
-            let Some(idx) = claim_attempt(cfg, open_deadline, tally) else {
-                opening_done = true;
-                drain_deadline = Some(Instant::now() + cfg.drain_timeout);
-                break;
+            let idx = match pending.take() {
+                Some(i) => i,
+                None => match claim_attempt(cfg, open_deadline, tally) {
+                    Some(i) => i,
+                    None => {
+                        opening_done = true;
+                        drain_deadline = Some(Instant::now() + cfg.drain_timeout);
+                        break;
+                    }
+                },
             };
             if cfg.rate > 0.0 {
                 let target = start + Duration::from_secs_f64(idx as f64 / cfg.rate);
@@ -295,25 +467,39 @@ fn client_thread(
                 max_stream_len: None,
             };
             let t0 = Instant::now();
-            match client.request(&req) {
+            match conn.client.request(&req) {
                 Ok(Response::Opened { session }) => {
                     open_hist.record(t0.elapsed());
                     tally.opened.fetch_add(1, Ordering::Relaxed);
                     open.push(session);
+                    shed_streak = 0;
                 }
                 Ok(Response::Error { kind: ErrorKind::Overloaded, .. }) => {
                     open_hist.record(t0.elapsed());
                     tally.shed.fetch_add(1, Ordering::Relaxed);
-                    // Back off briefly so a saturated server is not hammered.
-                    std::thread::sleep(Duration::from_millis(1));
+                    tally.open_retries.fetch_add(1, Ordering::Relaxed);
+                    // Retry the same attempt after a backoff; meanwhile
+                    // fall through to the drive phase so this thread's own
+                    // sessions progress (and free server slots).
+                    pending = Some(idx);
+                    std::thread::sleep(backoff_with_jitter(
+                        cfg.retry_backoff_ms,
+                        shed_streak,
+                        cfg.seed_base ^ idx,
+                        500,
+                    ));
+                    shed_streak = shed_streak.saturating_add(1);
                     break;
                 }
                 Ok(_) => {
                     tally.errors.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(_) => {
-                    tally.errors.fetch_add(1, Ordering::Relaxed);
-                    return;
+                    pending = Some(idx);
+                    match handle_disconnect(cfg, tally, &conn, &mut open) {
+                        Some(fresh) => conn = fresh,
+                        None => return,
+                    }
                 }
             }
         }
@@ -329,7 +515,7 @@ fn client_thread(
                 // Give up on stragglers; close them so the server reclaims
                 // the slots.
                 for id in open.drain(..) {
-                    let _ = client.request(&Request::Close { session: id });
+                    let _ = conn.client.request(&Request::Close { session: id });
                 }
                 return;
             }
@@ -337,42 +523,56 @@ fn client_thread(
 
         // Drive phase: round-robin one `next` over every open session,
         // closing the ones that finish.
-        let mut still_open = Vec::with_capacity(open.len());
-        for id in open.drain(..) {
+        let mut i = 0;
+        while i < open.len() {
+            let id = open[i];
             let req = Request::Next {
                 session: id,
                 max: 64,
                 wait_ms: 50,
             };
             let t0 = Instant::now();
-            match client.request(&req) {
+            match conn.client.request(&req) {
                 Ok(Response::Events { events, finished, .. }) => {
                     next_hist.record(t0.elapsed());
-                    tally
-                        .events
-                        .fetch_add(events.len() as u64, Ordering::Relaxed);
+                    let data = events.iter().filter(|e| e.data().is_some()).count();
+                    let failed = events.iter().any(|e| e.is_failure());
+                    tally.events.fetch_add(data as u64, Ordering::Relaxed);
                     if finished {
-                        match client.request(&Request::Close { session: id }) {
-                            Ok(Response::Closed { .. }) => {
-                                tally.completed.fetch_add(1, Ordering::Relaxed);
-                            }
-                            _ => {
-                                tally.errors.fetch_add(1, Ordering::Relaxed);
-                            }
+                        let closed = matches!(
+                            conn.client.request(&Request::Close { session: id }),
+                            Ok(Response::Closed { .. })
+                        );
+                        if failed {
+                            // Terminal failure record: the session ended,
+                            // but not successfully.
+                            tally.failed.fetch_add(1, Ordering::Relaxed);
+                        } else if closed {
+                            tally.completed.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
                         }
+                        open.swap_remove(i);
                     } else {
-                        still_open.push(id);
+                        i += 1;
                     }
                 }
                 Ok(_) => {
                     tally.errors.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
                 }
                 Err(_) => {
-                    tally.errors.fetch_add(1, Ordering::Relaxed);
-                    return;
+                    // `recover` rebuilds `open` from the server's parked
+                    // set, so restart the round-robin from the front.
+                    match handle_disconnect(cfg, tally, &conn, &mut open) {
+                        Some(fresh) => {
+                            conn = fresh;
+                            i = 0;
+                        }
+                        None => return,
+                    }
                 }
             }
         }
-        open = still_open;
     }
 }

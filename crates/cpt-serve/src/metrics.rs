@@ -84,6 +84,12 @@ pub struct Metrics {
     sessions_opened: AtomicU64,
     sessions_shed: AtomicU64,
     sessions_closed: AtomicU64,
+    sessions_failed: AtomicU64,
+    sessions_detached: AtomicU64,
+    sessions_reattached: AtomicU64,
+    sessions_expired: AtomicU64,
+    sessions_force_failed: AtomicU64,
+    worker_panics: AtomicU64,
     events_generated: AtomicU64,
     events_delivered: AtomicU64,
     slices: AtomicU64,
@@ -104,6 +110,12 @@ impl Metrics {
             sessions_opened: AtomicU64::new(0),
             sessions_shed: AtomicU64::new(0),
             sessions_closed: AtomicU64::new(0),
+            sessions_failed: AtomicU64::new(0),
+            sessions_detached: AtomicU64::new(0),
+            sessions_reattached: AtomicU64::new(0),
+            sessions_expired: AtomicU64::new(0),
+            sessions_force_failed: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             events_generated: AtomicU64::new(0),
             events_delivered: AtomicU64::new(0),
             slices: AtomicU64::new(0),
@@ -139,6 +151,37 @@ impl Metrics {
         self.events_delivered.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Counts a session terminated by a contained failure (worker panic or
+    /// drain force-fail).
+    pub fn inc_failed(&self) {
+        self.sessions_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a session parked under a detach token.
+    pub fn add_detached(&self, n: u64) {
+        self.sessions_detached.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts a session resumed from a detach token.
+    pub fn add_reattached(&self, n: u64) {
+        self.sessions_reattached.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts a parked session reclaimed because its token's TTL expired.
+    pub fn add_expired(&self, n: u64) {
+        self.sessions_expired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts a session force-failed at a drain deadline.
+    pub fn inc_force_failed(&self) {
+        self.sessions_force_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a worker panic that was contained by `catch_unwind`.
+    pub fn inc_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Builds a snapshot; the engine supplies the lock-guarded gauges.
     pub fn snapshot(
         &self,
@@ -156,6 +199,12 @@ impl Metrics {
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             sessions_shed: self.sessions_shed.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            sessions_failed: self.sessions_failed.load(Ordering::Relaxed),
+            sessions_detached: self.sessions_detached.load(Ordering::Relaxed),
+            sessions_reattached: self.sessions_reattached.load(Ordering::Relaxed),
+            sessions_expired: self.sessions_expired.load(Ordering::Relaxed),
+            sessions_force_failed: self.sessions_force_failed.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
             events_generated: generated,
             events_delivered: self.events_delivered.load(Ordering::Relaxed),
             events_per_sec: if uptime > 0.0 {
@@ -188,6 +237,25 @@ pub struct StatsSnapshot {
     pub sessions_shed: u64,
     /// Sessions closed since start.
     pub sessions_closed: u64,
+    /// Sessions terminated by a contained failure (worker panic or drain
+    /// force-fail) since start.
+    #[serde(default)]
+    pub sessions_failed: u64,
+    /// Sessions parked under a detach token since start.
+    #[serde(default)]
+    pub sessions_detached: u64,
+    /// Sessions resumed from a detach token since start.
+    #[serde(default)]
+    pub sessions_reattached: u64,
+    /// Parked sessions reclaimed by token-TTL expiry since start.
+    #[serde(default)]
+    pub sessions_expired: u64,
+    /// Sessions force-failed at a drain deadline since start.
+    #[serde(default)]
+    pub sessions_force_failed: u64,
+    /// Worker panics contained by `catch_unwind` since start.
+    #[serde(default)]
+    pub worker_panics: u64,
     /// Events decoded by workers since start.
     pub events_generated: u64,
     /// Events handed to consumers since start.
@@ -233,7 +301,19 @@ mod tests {
         m.inc_closed();
         m.record_slice(Duration::from_micros(100), 7);
         m.add_delivered(5);
+        m.inc_failed();
+        m.inc_worker_panic();
+        m.add_detached(2);
+        m.add_reattached(1);
+        m.add_expired(1);
+        m.inc_force_failed();
         let s = m.snapshot(1, 2, 3, 4);
+        assert_eq!(s.sessions_failed, 1);
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.sessions_detached, 2);
+        assert_eq!(s.sessions_reattached, 1);
+        assert_eq!(s.sessions_expired, 1);
+        assert_eq!(s.sessions_force_failed, 1);
         assert_eq!(s.sessions_opened, 2);
         assert_eq!(s.sessions_shed, 1);
         assert_eq!(s.sessions_closed, 1);

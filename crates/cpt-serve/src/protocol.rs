@@ -17,18 +17,37 @@
 //! -> {"op":"stats"}
 //! <- {"type":"stats","stats":{...}}
 //! ```
+//!
+//! Crash-only extensions:
+//!
+//! ```text
+//! -> {"op":"detach"}                      # arm detach-on-disconnect
+//! <- {"type":"detached","token":"<32 hex>"}
+//! ...connection drops; sessions park under the token...
+//! -> {"op":"reattach","token":"<32 hex>"} # on a new connection
+//! <- {"type":"reattached","sessions":[3,4]}
+//! -> {"op":"drain","timeout_ms":5000}
+//! <- {"type":"drained","completed":10,"force_failed":1}
+//! ```
+//!
+//! An event in `events` is either a decoded data event (an object with the
+//! usual `stream`/`index`/... fields) or the terminal failure record
+//! `{"reason":"..."}` of a session that died to a contained fault — see
+//! [`SessionEvent`].
 
 #![deny(clippy::unwrap_used)]
 
+use crate::engine::SessionEvent;
 use crate::error::ServeError;
 use crate::metrics::StatsSnapshot;
-use cpt_gpt::SessionEvent;
 use serde::{Deserialize, Serialize};
 
 /// Default `next` wait when the client omits `wait_ms`.
 pub const DEFAULT_WAIT_MS: u64 = 100;
 /// Default `next` batch size when the client omits `max`.
 pub const DEFAULT_MAX_EVENTS: usize = 64;
+/// Default `drain` deadline when the client omits `timeout_ms`.
+pub const DEFAULT_DRAIN_TIMEOUT_MS: u64 = 10_000;
 
 fn default_streams() -> usize {
     1
@@ -41,6 +60,9 @@ fn default_wait_ms() -> u64 {
 }
 fn default_max_events() -> usize {
     DEFAULT_MAX_EVENTS
+}
+fn default_drain_timeout_ms() -> u64 {
+    DEFAULT_DRAIN_TIMEOUT_MS
 }
 
 /// A client request line.
@@ -75,6 +97,24 @@ pub enum Request {
         /// Session id from `opened`.
         session: u64,
     },
+    /// Arm detach-on-disconnect for this connection: the server mints a
+    /// capability token now; if the connection later dies for any reason,
+    /// its open sessions park under the token (TTL-bounded) instead of
+    /// being closed.
+    Detach,
+    /// Present a detach token on a new connection, adopting the parked
+    /// sessions. Delivery resumes exactly where it stopped.
+    Reattach {
+        /// The 32-hex-digit token from `detached`.
+        token: String,
+    },
+    /// Stop admission, wait up to `timeout_ms` for live sessions to finish
+    /// decoding, force-fail the stragglers. Admission stays suspended
+    /// afterwards (new opens get a `draining` error).
+    Drain {
+        #[serde(default = "default_drain_timeout_ms")]
+        timeout_ms: u64,
+    },
     /// Fetch a server stats snapshot.
     Stats,
     /// Ask the server to stop accepting work and exit.
@@ -90,7 +130,8 @@ pub enum Response {
         /// The id to use in `next`/`close`.
         session: u64,
     },
-    /// Events for a session, in decode order.
+    /// Events for a session, in decode order. A session that died to a
+    /// contained fault ends with one `{"reason":"..."}` failure record.
     Events {
         session: u64,
         events: Vec<SessionEvent>,
@@ -99,6 +140,20 @@ pub enum Response {
     },
     /// Session closed.
     Closed { session: u64 },
+    /// Detach armed; keep the token to reattach after a disconnect.
+    Detached {
+        /// Capability token, 32 lowercase hex digits.
+        token: String,
+    },
+    /// Reattach succeeded; these session ids are yours again.
+    Reattached { sessions: Vec<u64> },
+    /// Drain finished (or hit its deadline).
+    Drained {
+        /// Sessions that finished decoding within the deadline.
+        completed: u64,
+        /// Stragglers force-failed at the deadline.
+        force_failed: u64,
+    },
     /// Stats snapshot.
     Stats { stats: StatsSnapshot },
     /// Acknowledges `shutdown`; the server exits after this.
@@ -122,6 +177,10 @@ pub enum ErrorKind {
     InvalidRequest,
     /// The server is shutting down.
     ShuttingDown,
+    /// The server is draining; existing sessions proceed, new opens fail.
+    Draining,
+    /// The detach token is unknown, already redeemed, or expired.
+    UnknownToken,
     /// An internal serving failure.
     Internal,
 }
@@ -133,6 +192,8 @@ impl From<&ServeError> for ErrorKind {
             ServeError::UnknownSession(_) => ErrorKind::UnknownSession,
             ServeError::InvalidConfig { .. } => ErrorKind::InvalidRequest,
             ServeError::ShuttingDown => ErrorKind::ShuttingDown,
+            ServeError::Draining => ErrorKind::Draining,
+            ServeError::UnknownToken => ErrorKind::UnknownToken,
             ServeError::Generate(_) => ErrorKind::InvalidRequest,
             ServeError::Io(_) => ErrorKind::Internal,
         }
@@ -176,7 +237,24 @@ mod tests {
                 wait_ms: DEFAULT_WAIT_MS,
             }
         );
-        for req in [Request::Stats, Request::Shutdown, Request::Close { session: 9 }] {
+        let d: Request =
+            serde_json::from_str(r#"{"op":"drain"}"#).expect("minimal drain parses");
+        assert_eq!(
+            d,
+            Request::Drain {
+                timeout_ms: DEFAULT_DRAIN_TIMEOUT_MS,
+            }
+        );
+        for req in [
+            Request::Stats,
+            Request::Shutdown,
+            Request::Close { session: 9 },
+            Request::Detach,
+            Request::Reattach {
+                token: "00ff".to_string(),
+            },
+            Request::Drain { timeout_ms: 250 },
+        ] {
             let json = serde_json::to_string(&req).expect("serializes");
             let back: Request = serde_json::from_str(&json).expect("parses back");
             assert_eq!(req, back);
@@ -215,5 +293,21 @@ mod tests {
             ErrorKind::from(&ServeError::ShuttingDown),
             ErrorKind::ShuttingDown
         );
+        assert_eq!(ErrorKind::from(&ServeError::Draining), ErrorKind::Draining);
+        assert_eq!(
+            ErrorKind::from(&ServeError::UnknownToken),
+            ErrorKind::UnknownToken
+        );
+    }
+
+    #[test]
+    fn failure_events_serialize_distinctly() {
+        let ev = SessionEvent::Failed {
+            reason: "worker panic: chaos".to_string(),
+        };
+        let json = serde_json::to_string(&ev).expect("serializes");
+        assert!(json.contains("\"reason\""));
+        let back: SessionEvent = serde_json::from_str(&json).expect("parses back");
+        assert_eq!(back, ev);
     }
 }

@@ -3,17 +3,28 @@
 //! One thread per connection (capped), each multiplexing any number of
 //! sessions over the shared [`Engine`] — the decode work itself always
 //! happens on the engine's worker pool, so connection threads only parse,
-//! dispatch, and serialize. A connection that disconnects has all its
-//! still-open sessions closed for it, so abandoned clients cannot leak
-//! session slots.
+//! dispatch, and serialize.
 //!
-//! Shutdown: the `shutdown` verb (or [`Server::stop`]) flips a stop flag
-//! and self-connects to unblock `accept`; connection reads use a short
-//! timeout so every thread notices the flag and exits promptly.
+//! Disconnect policy is *crash-only*: by default a connection that dies
+//! has all its still-open sessions closed for it, so abandoned clients
+//! cannot leak session slots. A client that sends `detach` first instead
+//! gets a capability token, and on disconnect its sessions park under
+//! that token (TTL-bounded, still decoding until their queues fill); a
+//! new connection presenting the token resumes them byte-identically.
+//!
+//! Shutdown: the `shutdown` verb (or [`Server::stopper`]) flips a stop
+//! flag and self-connects to unblock `accept`; connection reads use the
+//! configured [`ServeConfig::read_timeout_ms`] so every thread notices
+//! the flag and exits promptly.
+//!
+//! Chaos: when a [`ChaosPlan`] schedules it, the accept loop numbers
+//! connections and the read loop numbers requests, so connection drops
+//! and frame corruption land at exact, reproducible coordinates.
 
 #![deny(clippy::unwrap_used)]
 
-use crate::engine::{Engine, ServeConfig, ServeHandle, SessionId};
+use crate::chaos::ChaosPlan;
+use crate::engine::{DetachToken, Engine, ServeConfig, ServeHandle, SessionId};
 use crate::error::ServeError;
 use crate::metrics::StatsSnapshot;
 use crate::protocol::{ErrorKind, Request, Response};
@@ -30,21 +41,21 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:9000` (port 0 picks a free port).
     pub addr: String,
-    /// Engine configuration (workers, caps, watermarks).
+    /// Engine + front-end configuration (workers, caps, watermarks, read
+    /// timeout, connection cap, detach TTL).
     pub serve: ServeConfig,
-    /// Concurrent connection cap; excess connections get one error line
-    /// and are dropped.
-    pub max_connections: usize,
+    /// Deterministic fault injection; `ChaosPlan::default()` is a no-op.
+    pub chaos: ChaosPlan,
 }
 
 impl ServerConfig {
     /// Defaults: the given address, engine defaults for `workers` workers,
-    /// 256 connections.
+    /// no chaos.
     pub fn new(addr: impl Into<String>, workers: usize) -> Self {
         ServerConfig {
             addr: addr.into(),
             serve: ServeConfig::new(workers),
-            max_connections: 256,
+            chaos: ChaosPlan::default(),
         }
     }
 }
@@ -70,7 +81,7 @@ impl Server {
     /// Starts the engine and binds the listener. The engine is live (and
     /// the port reachable) when this returns.
     pub fn bind(model: Arc<CptGpt>, cfg: ServerConfig) -> Result<Server, ServeError> {
-        let engine = Engine::start(model, cfg.serve)?;
+        let engine = Engine::start_with_chaos(model, cfg.serve, cfg.chaos)?;
         let listener = TcpListener::bind(&cfg.addr)?;
         Ok(Server {
             listener,
@@ -108,6 +119,7 @@ impl Server {
     pub fn run(self) -> Result<StatsSnapshot, ServeError> {
         let conns = Arc::new(AtomicUsize::new(0));
         let mut threads = Vec::new();
+        let mut conn_idx: u64 = 0;
         for stream in self.listener.incoming() {
             if self.stop.load(Ordering::SeqCst) {
                 break;
@@ -116,20 +128,26 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
-            if conns.fetch_add(1, Ordering::SeqCst) >= self.cfg.max_connections {
+            if conns.fetch_add(1, Ordering::SeqCst) >= self.cfg.serve.max_connections {
                 conns.fetch_sub(1, Ordering::SeqCst);
-                let _ = refuse_connection(stream, self.cfg.max_connections);
+                let _ = refuse_connection(stream, self.cfg.serve.max_connections);
                 continue;
             }
             let guard = ConnGuard(Arc::clone(&conns));
             let handle = self.engine.handle();
             let stop = Arc::clone(&self.stop);
             let stopper = self.stopper();
+            let conn = ConnContext {
+                idx: conn_idx,
+                chaos: self.cfg.chaos,
+                read_timeout: Duration::from_millis(self.cfg.serve.read_timeout_ms),
+            };
+            conn_idx += 1;
             let spawned = std::thread::Builder::new()
                 .name("cpt-serve-conn".to_string())
                 .spawn(move || {
                     let _guard = guard;
-                    handle_connection(stream, &handle, &stop, &stopper);
+                    handle_connection(stream, &handle, &stop, &stopper, conn);
                 });
             match spawned {
                 Ok(t) => threads.push(t),
@@ -161,26 +179,48 @@ fn write_response(w: &mut BufWriter<TcpStream>, resp: &Response) -> std::io::Res
     w.flush()
 }
 
+/// Per-connection context the accept loop hands to the connection thread.
+struct ConnContext {
+    /// 0-based accept index (the chaos drop coordinate).
+    idx: u64,
+    chaos: ChaosPlan,
+    read_timeout: Duration,
+}
+
+/// What this connection owns and how its disconnect should be handled.
+struct ConnState {
+    /// Sessions opened (or reattached) on this connection.
+    owned: HashSet<u64>,
+    /// Set once the client arms `detach`: on disconnect, owned sessions
+    /// park under this token instead of being closed.
+    armed: Option<DetachToken>,
+}
+
 /// Serves one client: parse a request line, dispatch, write a response
-/// line, repeat until disconnect or shutdown. Sessions the client leaves
-/// open are closed on exit.
+/// line, repeat until disconnect or shutdown. On exit, sessions the client
+/// left open are closed — or parked under the armed detach token.
 fn handle_connection(
     stream: TcpStream,
     handle: &ServeHandle,
     stop: &AtomicBool,
     stopper: &(impl Fn() + Send + Sync),
+    conn: ConnContext,
 ) {
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    // Short read timeout so the thread re-checks the stop flag even when
+    // Bounded read timeout so the thread re-checks the stop flag even when
     // the client is idle.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_read_timeout(Some(conn.read_timeout));
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(write_half);
-    let mut owned: HashSet<u64> = HashSet::new();
+    let mut state = ConnState {
+        owned: HashSet::new(),
+        armed: None,
+    };
     let mut line = String::new();
+    let mut req_idx: u64 = 0;
 
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -195,7 +235,14 @@ fn handle_connection(
                     line.clear();
                     continue;
                 }
-                let (resp, quit) = dispatch(&line, handle, &mut owned, stopper);
+                if conn.chaos.should_drop(conn.idx, req_idx) {
+                    // Hard drop: no response, no goodbye — exactly what a
+                    // network failure looks like to the disconnect path.
+                    break;
+                }
+                conn.chaos.corrupt_line(conn.idx, req_idx, &mut line);
+                req_idx += 1;
+                let (resp, quit) = dispatch(&line, handle, &mut state, stopper);
                 line.clear();
                 if write_response(&mut writer, &resp).is_err() || quit {
                     break;
@@ -210,8 +257,15 @@ fn handle_connection(
             Err(_) => break,
         }
     }
-    for id in owned {
-        let _ = handle.close_session(SessionId(id));
+    match state.armed {
+        Some(token) if !state.owned.is_empty() => {
+            handle.park_sessions(token, state.owned.iter().map(|&id| SessionId(id)));
+        }
+        _ => {
+            for id in state.owned {
+                let _ = handle.close_session(SessionId(id));
+            }
+        }
     }
 }
 
@@ -220,7 +274,7 @@ fn handle_connection(
 fn dispatch(
     line: &str,
     handle: &ServeHandle,
-    owned: &mut HashSet<u64>,
+    state: &mut ConnState,
     stopper: &(impl Fn() + Send + Sync),
 ) -> (Response, bool) {
     let req: Request = match serde_json::from_str(line) {
@@ -258,7 +312,7 @@ fn dispatch(
             params.max_stream_len = max_stream_len;
             match handle.open_session(params) {
                 Ok(id) => {
-                    owned.insert(id.0);
+                    state.owned.insert(id.0);
                     (Response::Opened { session: id.0 }, false)
                 }
                 Err(e) => (Response::from_error(&e), false),
@@ -286,11 +340,52 @@ fn dispatch(
         }
         Request::Close { session } => match handle.close_session(SessionId(session)) {
             Ok(()) => {
-                owned.remove(&session);
+                state.owned.remove(&session);
                 (Response::Closed { session }, false)
             }
             Err(e) => (Response::from_error(&e), false),
         },
+        Request::Detach => {
+            // Re-arming reuses the already-minted token so the client's
+            // copy stays valid.
+            let token = match state.armed {
+                Some(t) => t,
+                None => {
+                    let t = handle.mint_detach_token();
+                    state.armed = Some(t);
+                    t
+                }
+            };
+            (
+                Response::Detached {
+                    token: token.to_string(),
+                },
+                false,
+            )
+        }
+        Request::Reattach { token } => {
+            let parsed: Result<DetachToken, _> = token.parse();
+            match parsed.and_then(|t| handle.reattach(t)) {
+                Ok(ids) => {
+                    let sessions: Vec<u64> = ids.iter().map(|id| id.0).collect();
+                    state.owned.extend(sessions.iter().copied());
+                    (Response::Reattached { sessions }, false)
+                }
+                Err(e) => (Response::from_error(&e), false),
+            }
+        }
+        Request::Drain { timeout_ms } => {
+            // Cap the deadline so a typo cannot pin a connection thread
+            // (and therefore a drain) for hours.
+            let report = handle.drain(Duration::from_millis(timeout_ms.min(600_000)));
+            (
+                Response::Drained {
+                    completed: report.completed,
+                    force_failed: report.force_failed,
+                },
+                false,
+            )
+        }
         Request::Stats => (
             Response::Stats {
                 stats: handle.stats(),

@@ -1,0 +1,401 @@
+//! Crash-only acceptance tests for the serving engine: contained worker
+//! panics, bounded drains, detach/reattach, and token-TTL reclamation —
+//! all driven by the deterministic [`ChaosPlan`].
+//!
+//! The acceptance criterion from the failure-model design: a chaos plan
+//! that panics one worker mid-slice must fail *only* the targeted session
+//! (its consumer sees the decoded prefix plus one terminal failure
+//! record), every other session's event stream must be byte-identical to
+//! an uninjected run at 1, 2, and 8 workers, and a reattached consumer
+//! must resume parked sessions byte-identically.
+//!
+//! This file deliberately avoids proptest and runtime JSON so it can run
+//! under `scripts/offline-check.sh test -p cpt-serve --test
+//! chaos_crashonly` in sandboxed environments.
+
+use cpt_gpt::{
+    CptGpt, CptGptConfig, StreamParams, Tokenizer, TrainConfig,
+};
+use cpt_serve::{
+    ChaosPlan, Engine, ServeConfig, ServeError, ServeHandle, SessionEvent, SessionId,
+};
+use cpt_trace::{Dataset, DeviceType, Event, EventType, Stream, UeId};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn alternating_dataset(n: usize) -> Dataset {
+    let streams = (0..n)
+        .map(|i| {
+            let mut t = 0.0;
+            let events = (0..6 + (i % 3) * 2)
+                .map(|k| {
+                    let (et, gap) = if k % 2 == 0 {
+                        (EventType::ServiceRequest, 100.0)
+                    } else {
+                        (EventType::ConnectionRelease, 10.0)
+                    };
+                    t += gap;
+                    Event::new(et, t)
+                })
+                .collect();
+            Stream::new(UeId(i as u64), DeviceType::Phone, events)
+        })
+        .collect();
+    Dataset::new(streams)
+}
+
+fn trained_model() -> Arc<CptGpt> {
+    static MODEL: OnceLock<Arc<CptGpt>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        let data = alternating_dataset(12);
+        let cfg = CptGptConfig {
+            d_model: 16,
+            n_blocks: 1,
+            n_heads: 2,
+            d_mlp: 32,
+            d_head: 16,
+            max_len: 16,
+            ..CptGptConfig::small()
+        };
+        let mut model = CptGpt::new(cfg, Tokenizer::fit(&data));
+        cpt_gpt::train(&mut model, &data, &TrainConfig::quick().with_epochs(2))
+            .expect("fixture training failed");
+        Arc::new(model)
+    }))
+}
+
+/// Ground truth for a session: a fresh decoder drained to completion,
+/// wrapped as delivered data events.
+fn reference(params: StreamParams) -> Vec<SessionEvent> {
+    let model = trained_model();
+    let mut dec = model.open_session(params).expect("open reference session");
+    let mut out = Vec::new();
+    while let Some(ev) = dec.next_event(&model) {
+        out.push(SessionEvent::Data(ev));
+    }
+    out
+}
+
+/// Drains one session to `finished`, returning its full delivered stream.
+fn drain_session(handle: &ServeHandle, id: SessionId, batch: usize) -> Vec<SessionEvent> {
+    let mut out = Vec::new();
+    loop {
+        let b = handle
+            .next_events(id, batch, Duration::from_secs(10))
+            .expect("next_events on open session");
+        out.extend(b.events);
+        if b.finished {
+            handle.close_session(id).expect("close drained session");
+            return out;
+        }
+    }
+}
+
+/// Opens `params` in order on an engine with `chaos` and drains every
+/// session round-robin; returns each session's full stream.
+fn run_engine(
+    workers: usize,
+    chaos: ChaosPlan,
+    all_params: &[StreamParams],
+) -> (Vec<Vec<SessionEvent>>, cpt_serve::StatsSnapshot) {
+    let cfg = ServeConfig {
+        slice_budget: 3,
+        queue_capacity: 8,
+        ..ServeConfig::new(workers)
+    };
+    let engine =
+        Engine::start_with_chaos(trained_model(), cfg, chaos).expect("engine starts");
+    let handle = engine.handle();
+    let ids: Vec<SessionId> = all_params
+        .iter()
+        .map(|p| handle.open_session(*p).expect("session admitted"))
+        .collect();
+    let mut outputs: Vec<Vec<SessionEvent>> = vec![Vec::new(); ids.len()];
+    let mut done = vec![false; ids.len()];
+    while !done.iter().all(|d| *d) {
+        for (i, id) in ids.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let b = handle
+                .next_events(*id, 5, Duration::from_secs(10))
+                .expect("next_events");
+            outputs[i].extend(b.events);
+            if b.finished {
+                handle.close_session(*id).expect("close");
+                done[i] = true;
+            }
+        }
+    }
+    let stats = handle.stats();
+    engine.shutdown();
+    (outputs, stats)
+}
+
+/// The acceptance criterion: an injected worker panic fails only the
+/// targeted session; every other stream is byte-identical to an
+/// uninjected run at 1, 2, and 8 workers.
+#[test]
+fn injected_panic_fails_only_the_targeted_session_at_any_worker_count() {
+    let all_params: Vec<StreamParams> = (0..8u64)
+        .map(|i| StreamParams::new(1000 + i * 7919).streams(2))
+        .collect();
+    let expected: Vec<Vec<SessionEvent>> =
+        all_params.iter().map(|p| reference(*p)).collect();
+    // Sessions are opened in order from one thread, so engine ids are
+    // 1..=N deterministically; target the third session after it has
+    // emitted 2 events.
+    let target_idx = 2usize;
+    let target_id = target_idx as u64 + 1;
+    let panic_at = 2u64;
+    let chaos = ChaosPlan::panic_session_at(target_id, panic_at);
+
+    for workers in [1usize, 2, 8] {
+        let (got, stats) = run_engine(workers, chaos, &all_params);
+        for (i, stream) in got.iter().enumerate() {
+            if i == target_idx {
+                // Decoded prefix (exactly `panic_at` events), then one
+                // terminal failure record — nothing after it.
+                let expect_prefix = &expected[i][..panic_at as usize];
+                assert_eq!(
+                    &stream[..panic_at as usize],
+                    expect_prefix,
+                    "targeted session's prefix diverged at {workers} workers"
+                );
+                assert_eq!(
+                    stream.len(),
+                    panic_at as usize + 1,
+                    "targeted session should end right after the failure record"
+                );
+                let last = stream.last().expect("non-empty");
+                assert!(
+                    matches!(last, SessionEvent::Failed { reason } if reason.contains("chaos")),
+                    "expected a chaos failure record, got {last:?}"
+                );
+            } else {
+                assert_eq!(
+                    stream, &expected[i],
+                    "non-targeted session {i} diverged at {workers} workers"
+                );
+            }
+        }
+        assert_eq!(stats.worker_panics, 1, "exactly one contained panic");
+        assert_eq!(stats.sessions_failed, 1, "exactly one failed session");
+        // The uninjected comparison run is implicit: `expected` comes from
+        // fresh single-session decoders, which the engine matches.
+    }
+}
+
+/// A worker that panicked re-enters its loop: with a single worker, the
+/// engine must still finish other sessions after containing a panic.
+#[test]
+fn single_worker_survives_a_contained_panic() {
+    let chaos = ChaosPlan::panic_session_at(1, 0); // first session, first event
+    let cfg = ServeConfig {
+        slice_budget: 4,
+        ..ServeConfig::new(1)
+    };
+    let engine =
+        Engine::start_with_chaos(trained_model(), cfg, chaos).expect("engine starts");
+    let handle = engine.handle();
+    let doomed = handle
+        .open_session(StreamParams::new(7))
+        .expect("doomed session admitted");
+    let healthy = handle
+        .open_session(StreamParams::new(8).streams(2))
+        .expect("healthy session admitted");
+
+    let doomed_stream = drain_session(&handle, doomed, 64);
+    assert_eq!(doomed_stream.len(), 1, "no data events before an at-0 panic");
+    assert!(doomed_stream[0].is_failure());
+
+    let healthy_stream = drain_session(&handle, healthy, 64);
+    assert_eq!(
+        healthy_stream,
+        reference(StreamParams::new(8).streams(2)),
+        "the surviving worker must decode untouched sessions byte-identically"
+    );
+    // And the engine still admits + completes brand-new work.
+    let after = handle
+        .open_session(StreamParams::new(9))
+        .expect("engine admits after a contained panic");
+    assert_eq!(drain_session(&handle, after, 64), reference(StreamParams::new(9)));
+    engine.shutdown();
+}
+
+/// Drain with a generous deadline: live sessions finish decoding, nothing
+/// is force-failed, admission is suspended until `resume_admission`.
+#[test]
+fn drain_completes_live_sessions_and_suspends_admission() {
+    let engine = Engine::start(trained_model(), ServeConfig::new(2)).expect("starts");
+    let handle = engine.handle();
+    let a = handle.open_session(StreamParams::new(1)).expect("admitted");
+    let b = handle.open_session(StreamParams::new(2)).expect("admitted");
+
+    let report = handle.drain(Duration::from_secs(30));
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.force_failed, 0);
+    assert!(handle.is_draining());
+    assert!(
+        matches!(
+            handle.open_session(StreamParams::new(3)),
+            Err(ServeError::Draining)
+        ),
+        "admission must shed with the typed draining error"
+    );
+
+    // Delivery continues after the drain: both sessions produce their full
+    // reference streams.
+    assert_eq!(drain_session(&handle, a, 64), reference(StreamParams::new(1)));
+    assert_eq!(drain_session(&handle, b, 64), reference(StreamParams::new(2)));
+
+    handle.resume_admission();
+    assert!(!handle.is_draining());
+    handle
+        .open_session(StreamParams::new(3))
+        .expect("admission resumes after resume_admission");
+    engine.shutdown();
+}
+
+/// Drain with a deadline too short for a parked session (its consumer
+/// never drains): the straggler is force-failed with a terminal record.
+#[test]
+fn drain_force_fails_parked_stragglers_at_the_deadline() {
+    let cfg = ServeConfig {
+        queue_capacity: 4,
+        slice_budget: 4,
+        ..ServeConfig::new(2)
+    };
+    let engine = Engine::start(trained_model(), cfg).expect("starts");
+    let handle = engine.handle();
+    let id = handle
+        .open_session(StreamParams::new(5).streams(8))
+        .expect("admitted");
+    // Wait until the undrained session parks on its full queue.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.stats().queued_events < 4 {
+        assert!(Instant::now() < deadline, "session never filled its queue");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let report = handle.drain(Duration::from_millis(50));
+    assert_eq!(report.force_failed, 1, "the parked session is a straggler");
+    assert_eq!(handle.stats().sessions_force_failed, 1);
+
+    // Its consumer still gets the buffered events plus the terminal record.
+    let stream = drain_session(&handle, id, 64);
+    let last = stream.last().expect("non-empty stream");
+    assert!(
+        matches!(last, SessionEvent::Failed { reason } if reason.contains("drain")),
+        "expected a drain failure record, got {last:?}"
+    );
+    assert!(
+        stream.iter().take(stream.len() - 1).all(|e| !e.is_failure()),
+        "exactly one terminal failure record"
+    );
+    engine.shutdown();
+}
+
+/// Detach parks sessions under a capability token; reattaching resumes
+/// delivery exactly where it stopped — the combined stream is
+/// byte-identical to an undisturbed run.
+#[test]
+fn reattached_sessions_resume_byte_identically() {
+    let cfg = ServeConfig {
+        queue_capacity: 8,
+        slice_budget: 3,
+        ..ServeConfig::new(2)
+    };
+    let engine = Engine::start(trained_model(), cfg).expect("starts");
+    let handle = engine.handle();
+    let params = StreamParams::new(77).streams(4);
+    let expected = reference(params);
+    let id = handle.open_session(params).expect("admitted");
+
+    // Deliver a few events, then detach mid-stream.
+    let before = handle
+        .next_events(id, 3, Duration::from_secs(10))
+        .expect("partial delivery");
+    assert!(!before.finished, "fixture session must outlive the prefix");
+    let token = handle.detach_sessions(&[id]).expect("detach");
+
+    // While parked the session is unreachable to ordinary consumers...
+    assert!(matches!(
+        handle.next_events(id, 1, Duration::ZERO),
+        Err(ServeError::UnknownSession(_))
+    ));
+    assert!(matches!(
+        handle.close_session(id),
+        Err(ServeError::UnknownSession(_))
+    ));
+    // ...but keeps decoding into its bounded queue in the background.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let ids = handle.reattach(token).expect("token redeems");
+    assert_eq!(ids, vec![id]);
+    // A token is single-use.
+    assert!(matches!(
+        handle.reattach(token),
+        Err(ServeError::UnknownToken)
+    ));
+
+    let mut got = before.events;
+    got.extend(drain_session(&handle, id, 5));
+    assert_eq!(got, expected, "reattached stream diverged from reference");
+
+    let stats = handle.stats();
+    assert_eq!(stats.sessions_detached, 1);
+    assert_eq!(stats.sessions_reattached, 1);
+    engine.shutdown();
+}
+
+/// An unredeemed token expires: the reaper reclaims the parked sessions
+/// and later reattach attempts get the typed unknown-token error.
+#[test]
+fn expired_detach_tokens_are_reaped() {
+    let cfg = ServeConfig {
+        detach_ttl_secs: 1,
+        ..ServeConfig::new(1)
+    };
+    let engine = Engine::start(trained_model(), cfg).expect("starts");
+    let handle = engine.handle();
+    let id = handle
+        .open_session(StreamParams::new(3))
+        .expect("admitted");
+    let token = handle.detach_sessions(&[id]).expect("detach");
+    assert_eq!(handle.sessions_open(), 1, "parked sessions stay open");
+
+    // Past the TTL the reaper reclaims the slot and the token dies.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.sessions_open() > 0 {
+        assert!(Instant::now() < deadline, "reaper never reclaimed the session");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(matches!(
+        handle.reattach(token),
+        Err(ServeError::UnknownToken)
+    ));
+    assert_eq!(handle.stats().sessions_expired, 1);
+
+    // The reclaimed slot is genuinely free: a new session is admitted and
+    // decodes to the reference.
+    let fresh = handle.open_session(StreamParams::new(4)).expect("admitted");
+    assert_eq!(drain_session(&handle, fresh, 64), reference(StreamParams::new(4)));
+    engine.shutdown();
+}
+
+/// Garbage and never-minted tokens are typed errors.
+#[test]
+fn bogus_tokens_are_typed_errors() {
+    let engine = Engine::start(trained_model(), ServeConfig::new(1)).expect("starts");
+    let handle = engine.handle();
+    assert!(matches!(
+        handle.reattach(cpt_serve::DetachToken(0xDEAD_BEEF)),
+        Err(ServeError::UnknownToken)
+    ));
+    assert!(matches!(
+        handle.detach_sessions(&[SessionId(999)]),
+        Err(ServeError::UnknownSession(999))
+    ));
+    engine.shutdown();
+}

@@ -68,6 +68,18 @@ fn reference(params: StreamParams) -> Vec<SessionEvent> {
     out
 }
 
+/// Unwraps delivered events to the decoded data, asserting none is a
+/// contained-failure record (no chaos is injected in these tests).
+fn data_events(events: &[cpt_serve::SessionEvent]) -> Vec<SessionEvent> {
+    events
+        .iter()
+        .map(|e| {
+            assert!(!e.is_failure(), "unexpected failure record: {e:?}");
+            *e.data().expect("data event")
+        })
+        .collect()
+}
+
 /// Opens every session on one engine and drains them round-robin with the
 /// given per-call batch size, returning each session's full event stream.
 fn drain_on_engine(
@@ -98,7 +110,7 @@ fn drain_on_engine(
             let b = handle
                 .next_events(*id, batch, Duration::from_secs(10))
                 .expect("next_events on open session");
-            outputs[i].extend(b.events);
+            outputs[i].extend(data_events(&b.events));
             if b.finished {
                 handle.close_session(*id).expect("close finished session");
                 done[i] = true;
@@ -159,7 +171,7 @@ proptest! {
                 let b = handle
                     .next_events(id, 64, Duration::from_secs(10))
                     .expect("next_events");
-                got.extend(b.events);
+                got.extend(data_events(&b.events));
                 if b.finished {
                     break;
                 }
@@ -170,6 +182,63 @@ proptest! {
         // The churn actually exercised the free-list.
         prop_assert!(handle.stats().free_states >= 1);
         engine.shutdown();
+    }
+
+    /// Crash-only satellite: `shutdown()` with decode slices in flight and
+    /// consumers parked on the delivery condvar must never deadlock — the
+    /// workers and the reaper always join, blocked consumers return, and
+    /// the handle degrades to a typed shutting-down error.
+    #[test]
+    fn shutdown_mid_decode_joins_workers(
+        seed in 0u64..10_000,
+        sessions in 1usize..6,
+        consumed in 0usize..3,
+    ) {
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            slice_budget: 2,
+            ..ServeConfig::new(4)
+        };
+        let engine = Engine::start(trained_model(), cfg).expect("engine starts");
+        let handle = engine.handle();
+        let ids: Vec<SessionId> = (0..sessions as u64)
+            .map(|i| {
+                handle
+                    .open_session(StreamParams::new(seed.wrapping_add(i)).streams(8))
+                    .expect("session admitted")
+            })
+            .collect();
+        // Partially drain a prefix of the sessions so a mix of Running,
+        // Parked, and freshly Queued slots exists when the shutdown lands.
+        for id in ids.iter().take(consumed) {
+            handle
+                .next_events(*id, 2, Duration::from_millis(20))
+                .expect("next_events");
+        }
+        // Park a consumer mid-wait on the delivery condvar; only its
+        // returning matters, not what it returns.
+        let blocked = {
+            let handle = handle.clone();
+            let id = ids[0];
+            std::thread::spawn(move || {
+                let _ = handle.next_events(id, 64, Duration::from_secs(30));
+            })
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let shutter = std::thread::spawn(move || {
+            engine.shutdown(); // joins workers and the reaper
+            tx.send(()).ok();
+        });
+        prop_assert!(
+            rx.recv_timeout(Duration::from_secs(30)).is_ok(),
+            "shutdown deadlocked with parked consumers and live decode"
+        );
+        shutter.join().expect("shutdown thread joins");
+        blocked.join().expect("blocked consumer returns");
+        prop_assert!(matches!(
+            handle.open_session(StreamParams::new(seed)),
+            Err(ServeError::ShuttingDown)
+        ));
     }
 }
 
@@ -190,13 +259,11 @@ fn session_cap_sheds_with_typed_error() {
                 .expect("under cap admits")
         })
         .collect();
-    match handle.open_session(StreamParams::new(99)) {
-        Err(ServeError::Overloaded { open, cap, .. }) => {
-            assert_eq!(open, 3);
-            assert_eq!(cap, 3);
-        }
-        other => panic!("expected Overloaded, got {other:?}"),
-    }
+    let got = handle.open_session(StreamParams::new(99));
+    assert!(
+        matches!(&got, Err(ServeError::Overloaded { open: 3, cap: 3, .. })),
+        "expected Overloaded with open=3 cap=3, got {got:?}"
+    );
     assert_eq!(handle.stats().sessions_shed, 1);
     handle.close_session(ids[0]).expect("close");
     handle

@@ -9,7 +9,8 @@ use cpt_gpt::{
 };
 use cpt_serve::protocol::{ErrorKind, Request, Response};
 use cpt_serve::{
-    run_loadgen, Engine, LoadgenConfig, ServeConfig, Server, ServerConfig, SessionId,
+    run_loadgen, ChaosPlan, Engine, LoadgenConfig, ServeConfig, Server, ServerConfig,
+    SessionId,
 };
 use cpt_trace::{Dataset, DeviceType, Event, EventType, Stream, UeId};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -69,8 +70,11 @@ struct TestServer {
 fn start_server(serve_cfg: ServeConfig) -> TestServer {
     let cfg = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        serve: serve_cfg,
-        max_connections: 64,
+        serve: ServeConfig {
+            max_connections: 64,
+            ..serve_cfg
+        },
+        chaos: ChaosPlan::default(),
     };
     let server = Server::bind(trained_model(), cfg).expect("server binds");
     let addr = server.local_addr().expect("bound address");
@@ -134,6 +138,19 @@ impl Client {
     }
 }
 
+/// Asserts the response is `opened` and extracts the session id.
+fn opened_id(resp: Response) -> u64 {
+    assert!(
+        matches!(resp, Response::Opened { .. }),
+        "expected opened, got {resp:?}"
+    );
+    if let Response::Opened { session } = resp {
+        session
+    } else {
+        unreachable!()
+    }
+}
+
 /// Satellite (4): open past the cap over the wire, assert typed
 /// `overloaded` shedding, clean close making room, and non-zero stats.
 #[test]
@@ -144,56 +161,59 @@ fn overload_sheds_with_typed_protocol_error() {
     });
     let mut client = Client::connect(server.addr);
 
-    let mut ids = Vec::new();
-    for seed in 0..4 {
-        match client.open(seed) {
-            Response::Opened { session } => ids.push(session),
-            other => panic!("expected opened, got {other:?}"),
-        }
-    }
-    match client.open(99) {
-        Response::Error { kind, message } => {
-            assert_eq!(kind, ErrorKind::Overloaded);
-            assert!(message.contains("cap 4"), "unhelpful message: {message}");
-        }
-        other => panic!("expected overloaded, got {other:?}"),
-    }
+    let ids: Vec<u64> = (0..4).map(|seed| opened_id(client.open(seed))).collect();
+    let shed = client.open(99);
+    assert!(
+        matches!(
+            &shed,
+            Response::Error { kind: ErrorKind::Overloaded, message }
+                if message.contains("cap 4")
+        ),
+        "expected overloaded with a helpful message, got {shed:?}"
+    );
 
     // A clean close makes room for a new session.
-    match client.request(&Request::Close { session: ids[0] }) {
-        Response::Closed { session } => assert_eq!(session, ids[0]),
-        other => panic!("expected closed, got {other:?}"),
-    }
-    match client.open(100) {
-        Response::Opened { .. } => {}
-        other => panic!("expected opened after close, got {other:?}"),
-    }
+    let closed = client.request(&Request::Close { session: ids[0] });
+    assert!(
+        matches!(&closed, Response::Closed { session } if *session == ids[0]),
+        "expected closed {}, got {closed:?}",
+        ids[0]
+    );
+    let reopened = client.open(100);
+    assert!(
+        matches!(reopened, Response::Opened { .. }),
+        "expected opened after close, got {reopened:?}"
+    );
 
     // Stats over the wire reflect all of the above.
-    match client.request(&Request::Stats) {
-        Response::Stats { stats } => {
-            assert_eq!(stats.sessions_opened, 5);
-            assert_eq!(stats.sessions_shed, 1);
-            assert_eq!(stats.sessions_closed, 1);
-            assert_eq!(stats.sessions_open, 4);
-            assert_eq!(stats.workers, 2);
-        }
-        other => panic!("expected stats, got {other:?}"),
+    let resp = client.request(&Request::Stats);
+    assert!(
+        matches!(&resp, Response::Stats { .. }),
+        "expected stats, got {resp:?}"
+    );
+    if let Response::Stats { stats } = resp {
+        assert_eq!(stats.sessions_opened, 5);
+        assert_eq!(stats.sessions_shed, 1);
+        assert_eq!(stats.sessions_closed, 1);
+        assert_eq!(stats.sessions_open, 4);
+        assert_eq!(stats.workers, 2);
     }
 
     // Malformed and unknown-session requests are typed errors, not drops.
-    match client.send_line("{\"op\":\"frobnicate\"}") {
-        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::InvalidRequest),
-        other => panic!("expected invalid_request, got {other:?}"),
-    }
-    match client.request(&Request::Next {
+    let bad = client.send_line("{\"op\":\"frobnicate\"}");
+    assert!(
+        matches!(bad, Response::Error { kind: ErrorKind::InvalidRequest, .. }),
+        "expected invalid_request, got {bad:?}"
+    );
+    let unknown = client.request(&Request::Next {
         session: 424242,
         max: 1,
         wait_ms: 0,
-    }) {
-        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnknownSession),
-        other => panic!("expected unknown_session, got {other:?}"),
-    }
+    });
+    assert!(
+        matches!(unknown, Response::Error { kind: ErrorKind::UnknownSession, .. }),
+        "expected unknown_session, got {unknown:?}"
+    );
 
     server.shutdown();
 }
@@ -205,10 +225,7 @@ fn disconnect_reclaims_abandoned_sessions() {
     {
         let mut client = Client::connect(server.addr);
         for seed in 0..3 {
-            match client.open(seed) {
-                Response::Opened { .. } => {}
-                other => panic!("expected opened, got {other:?}"),
-            }
+            opened_id(client.open(seed));
         }
         assert_eq!(server.handle.stats().sessions_open, 3);
     } // client dropped: connection closes without close_session calls
@@ -258,10 +275,8 @@ fn loadgen_end_to_end() {
 fn shutdown_verb_stops_the_server() {
     let server = start_server(ServeConfig::new(1));
     let mut client = Client::connect(server.addr);
-    match client.request(&Request::Shutdown) {
-        Response::Bye => {}
-        other => panic!("expected bye, got {other:?}"),
-    }
+    let bye = client.request(&Request::Shutdown);
+    assert!(matches!(bye, Response::Bye), "expected bye, got {bye:?}");
     // run() returns once the stop flag is seen; join must not hang.
     server.thread.join().expect("server exits after shutdown");
 }
@@ -292,7 +307,10 @@ fn thousand_concurrent_sessions_bit_identical_across_workers() {
                 let b = handle
                     .next_events(*id, 64, Duration::from_secs(10))
                     .expect("next_events");
-                outputs[i].extend(b.events);
+                outputs[i].extend(b.events.iter().map(|e| {
+                    assert!(!e.is_failure(), "unexpected failure record: {e:?}");
+                    *e.data().expect("data event")
+                }));
                 if b.finished {
                     handle.close_session(*id).expect("close");
                     done[i] = true;

@@ -1,0 +1,3 @@
+//! Offline stub for `criterion`: exists so dependency resolution succeeds
+//! offline. Bench targets cannot compile against this; run benches in CI
+//! only. See devtools/offline-stubs/README.md.

@@ -1,0 +1,3 @@
+//! Offline stub for `proptest`: exists so dependency resolution succeeds
+//! offline. Test targets that `use proptest` cannot compile against this;
+//! run proptest-based suites in CI only. See devtools/offline-stubs/README.md.

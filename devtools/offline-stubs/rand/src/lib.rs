@@ -1,0 +1,245 @@
+//! Offline stub for `rand` 0.8: a *functional* subset backed by splitmix64.
+//! Unlike the typecheck-only serde stubs, this one actually runs — the
+//! stream of numbers differs from real `rand`, but every workspace test
+//! asserts self-consistency (determinism across thread counts, engine vs.
+//! reference decoder), not golden values, so tests that avoid serde_json
+//! at runtime are executable offline. See devtools/offline-stubs/README.md.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Marker for types `Rng::gen` can produce, mapped from one u64 draw.
+pub trait StandardSample {
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn from_bits(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl StandardSample for $t {
+                fn from_bits(bits: u64) -> $t {
+                    bits as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn from_bits(bits: u64) -> u128 {
+        // One draw only; callers needing full-width u128 entropy should
+        // combine two gen::<u64>() draws themselves.
+        bits as u128
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_between(bits: u64, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample_between(bits: u64, lo: $t, hi: $t, inclusive: bool) -> $t {
+                    let lo_w = lo as i128;
+                    let hi_w = hi as i128;
+                    let span = (hi_w - lo_w) + if inclusive { 1 } else { 0 };
+                    assert!(span > 0, "gen_range: empty range");
+                    (lo_w + (bits as i128).rem_euclid(span)) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between(bits: u64, lo: f64, hi: f64, _inclusive: bool) -> f64 {
+        lo + f64::from_bits_unit(bits) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between(bits: u64, lo: f32, hi: f32, _inclusive: bool) -> f32 {
+        lo + f32::from_bits_unit(bits) * (hi - lo)
+    }
+}
+
+trait UnitFloat {
+    fn from_bits_unit(bits: u64) -> Self;
+}
+
+impl UnitFloat for f64 {
+    fn from_bits_unit(bits: u64) -> f64 {
+        <f64 as StandardSample>::from_bits(bits)
+    }
+}
+
+impl UnitFloat for f32 {
+    fn from_bits_unit(bits: u64) -> f32 {
+        <f32 as StandardSample>::from_bits(bits)
+    }
+}
+
+/// Range forms accepted by `gen_range`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng.next_u64(), self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(rng.next_u64(), lo, hi, true)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as StandardSample>::from_bits(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    type Seed;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    /// Splitmix64 generator standing in for rand's StdRng. Deterministic,
+    /// seedable, statistically fine for tests — but a different stream
+    /// than the real StdRng (ChaCha12), so artifacts generated offline are
+    /// not comparable to CI-generated ones.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut first = [0u8; 8];
+            first.copy_from_slice(&seed[..8]);
+            StdRng {
+                state: u64::from_le_bytes(first),
+            }
+        }
+
+        fn seed_from_u64(state: u64) -> StdRng {
+            StdRng { state }
+        }
+    }
+}
+
+pub mod seq {
+    use crate::Rng;
+
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher-Yates, identical shape to rand's implementation.
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

@@ -1,0 +1,93 @@
+//! Offline stub for `serde`: marker traits with no methods, so derived
+//! impls (from the stub `serde_derive`) typecheck without any real
+//! serialization machinery. Code that only *derives* and passes values to
+//! `serde_json` functions compiles against this; code calling serializer
+//! methods would not (none exists in this workspace).
+//! See devtools/offline-stubs/README.md.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub mod de {
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+    pub use crate::Deserialize;
+}
+
+macro_rules! impl_prim {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_prim!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64,
+    bool, char, String, (), std::path::PathBuf, std::time::Duration
+);
+
+impl Serialize for str {}
+impl Serialize for std::path::Path {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for &mut T {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {}
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {}
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {}
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {}
+impl<'de, T, S> Deserialize<'de> for std::collections::HashSet<T, S>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+}
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<'de, K, V, S> Deserialize<'de> for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {}
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {}
+    };
+}
+
+impl_tuple!(A);
+impl_tuple!(A, B);
+impl_tuple!(A, B, C);
+impl_tuple!(A, B, C, D);
+impl_tuple!(A, B, C, D, E);
+impl_tuple!(A, B, C, D, E, F);

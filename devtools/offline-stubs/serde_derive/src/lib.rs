@@ -1,0 +1,49 @@
+//! Offline stub for `serde_derive`: the real crate cannot be fetched in the
+//! sandboxed build environment (no network, no registry cache), so this
+//! hand-rolled derive parses just enough of the item to emit an empty impl
+//! of the stub marker traits. See devtools/offline-stubs/README.md.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the derived struct/enum, rejecting generics (the
+/// workspace derives only concrete types; a generic type would need real
+/// serde semantics the stub cannot fake).
+fn item_name(input: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.get(i + 1) {
+                    if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+                        if p.as_char() == '<' {
+                            panic!(
+                                "offline stub derive does not support generic type `{name}`"
+                            );
+                        }
+                    }
+                    return name.to_string();
+                }
+            }
+        }
+        i += 1;
+    }
+    panic!("offline stub derive: could not find item name in input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("stub Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("stub Deserialize impl parses")
+}

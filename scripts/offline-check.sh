@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs cargo against the offline stub crates in devtools/offline-stubs/,
+# for sandboxed environments with no network and no registry cache.
+#
+#   scripts/offline-check.sh check --workspace --lib --bins
+#   scripts/offline-check.sh test -p cpt-serve --test chaos_crashonly
+#
+# The [patch.crates-io] table is injected via a generated config file, so
+# the committed manifests (and therefore CI, which has real crates.io
+# access) are untouched. See devtools/offline-stubs/README.md for what the
+# stubs can and cannot verify.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+STUBS="$ROOT/devtools/offline-stubs"
+CFG="$(mktemp /tmp/cpt-offline-stubs.XXXXXX.toml)"
+trap 'rm -f "$CFG"' EXIT
+
+cat > "$CFG" <<EOF
+[patch.crates-io]
+serde = { path = "$STUBS/serde" }
+serde_json = { path = "$STUBS/serde_json" }
+rand = { path = "$STUBS/rand" }
+rayon = { path = "$STUBS/rayon" }
+parking_lot = { path = "$STUBS/parking_lot" }
+proptest = { path = "$STUBS/proptest" }
+criterion = { path = "$STUBS/criterion" }
+
+[net]
+offline = true
+EOF
+
+# A dedicated target dir keeps stub-built artifacts from ever mixing with
+# a real (networked) build, and a dedicated lockfile keeps the stub
+# resolution out of the repo root.
+export CARGO_TARGET_DIR="${CARGO_TARGET_DIR:-$ROOT/target-offline}"
+
+cd "$ROOT"
+exec cargo --config "$CFG" "$@"

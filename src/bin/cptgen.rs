@@ -32,7 +32,7 @@ use cpt::gpt::{
     GenerateConfig, GenerateError, Tokenizer, TrainConfig, TrainError,
 };
 use cpt::serve::{
-    resolve_parallelism, run_loadgen, LoadgenConfig, ServeError, ServerConfig,
+    resolve_parallelism, run_loadgen, ChaosPlan, LoadgenConfig, ServeError, ServerConfig,
 };
 use cpt::mcn::{simulate, McnConfig};
 use cpt::metrics::FidelityReport;
@@ -147,10 +147,17 @@ fn usage() -> ExitCode {
          \u{20}            [--threads N] -o OUT.jsonl\n\
            serve      --model MODEL.json [--addr HOST:PORT] [--workers N]\n\
          \u{20}            [--max-sessions N] [--queue-capacity N] [--slice-budget N]\n\
-         \u{20}            [--max-connections N]   (line-JSON protocol; port 0 = auto)\n\
+         \u{20}            [--max-connections N] [--read-timeout-ms MS]\n\
+         \u{20}            [--detach-ttl-secs S]   (line-JSON protocol; port 0 = auto)\n\
+         \u{20}            chaos (deterministic fault injection, all off by default):\n\
+         \u{20}            [--chaos-seed S] [--chaos-panic-session ID]\n\
+         \u{20}            [--chaos-panic-at-event N] [--chaos-delay-every N]\n\
+         \u{20}            [--chaos-delay-ms MS] [--chaos-drop-conn IDX]\n\
+         \u{20}            [--chaos-drop-after N] [--chaos-corrupt-every N]\n\
            loadgen    --addr HOST:PORT [--sessions N] [--concurrent N]\n\
          \u{20}            [--rate R] [--streams N] [--threads N] [--duration-secs S]\n\
          \u{20}            [--seed S] [--shutdown] [-o REPORT.json]\n\
+         \u{20}            [--connect-retries N] [--retry-backoff-ms MS] [--no-reattach]\n\
            evaluate   --real REAL.jsonl --synth SYNTH.jsonl\n\
            mcn        --input TRACE.jsonl [--workers N] [--autoscale]\n\
            stats      --input TRACE.jsonl\n\
@@ -432,9 +439,27 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
     cfg.serve.max_sessions = get_parsed(opts, "max-sessions", cfg.serve.max_sessions)?;
     cfg.serve.queue_capacity = get_parsed(opts, "queue-capacity", cfg.serve.queue_capacity)?;
     cfg.serve.slice_budget = get_parsed(opts, "slice-budget", cfg.serve.slice_budget)?;
-    cfg.max_connections = get_parsed(opts, "max-connections", cfg.max_connections)?;
+    cfg.serve.max_connections =
+        get_parsed(opts, "max-connections", cfg.serve.max_connections)?;
+    cfg.serve.read_timeout_ms =
+        get_parsed(opts, "read-timeout-ms", cfg.serve.read_timeout_ms)?;
+    cfg.serve.detach_ttl_secs =
+        get_parsed(opts, "detach-ttl-secs", cfg.serve.detach_ttl_secs)?;
     cfg.serve.validate()?;
+    cfg.chaos = ChaosPlan {
+        seed: get_parsed(opts, "chaos-seed", 0)?,
+        panic_session: get_opt_parsed(opts, "chaos-panic-session")?,
+        panic_at_event: get_parsed(opts, "chaos-panic-at-event", 0)?,
+        delay_slice_ms: get_parsed(opts, "chaos-delay-ms", 0)?,
+        delay_every: get_parsed(opts, "chaos-delay-every", 0)?,
+        drop_connection: get_opt_parsed(opts, "chaos-drop-conn")?,
+        drop_after_requests: get_parsed(opts, "chaos-drop-after", 0)?,
+        corrupt_every: get_parsed(opts, "chaos-corrupt-every", 0)?,
+    };
     let model = std::sync::Arc::new(load_model(model_path)?);
+    if !cfg.chaos.is_noop() {
+        eprintln!("warning: chaos injection enabled: {:?}", cfg.chaos);
+    }
     println!(
         "serving {} with {} workers (cap {} sessions)",
         model_path, cfg.serve.workers, cfg.serve.max_sessions
@@ -457,6 +482,18 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
         stats.slice_p50_us,
         stats.slice_p99_us
     );
+    if stats.worker_panics > 0 || stats.sessions_failed > 0 {
+        println!(
+            "  contained faults: {} worker panics, {} sessions failed \
+             ({} force-failed by drain), {} detached / {} reattached / {} expired",
+            stats.worker_panics,
+            stats.sessions_failed,
+            stats.sessions_force_failed,
+            stats.sessions_detached,
+            stats.sessions_reattached,
+            stats.sessions_expired
+        );
+    }
     Ok(())
 }
 
@@ -469,6 +506,9 @@ fn cmd_loadgen(opts: &HashMap<String, String>) -> Result<(), CliError> {
     cfg.streams = get_parsed(opts, "streams", cfg.streams)?;
     cfg.seed_base = get_parsed(opts, "seed", cfg.seed_base)?;
     cfg.shutdown = opts.contains_key("shutdown");
+    cfg.connect_retries = get_parsed(opts, "connect-retries", cfg.connect_retries)?;
+    cfg.retry_backoff_ms = get_parsed(opts, "retry-backoff-ms", cfg.retry_backoff_ms)?;
+    cfg.reattach = !opts.contains_key("no-reattach");
     let par = resolve_parallelism(
         Some(get_parsed(opts, "threads", cfg.threads)?),
         "--threads",
@@ -501,6 +541,22 @@ fn cmd_loadgen(opts: &HashMap<String, String>) -> Result<(), CliError> {
         "  open latency p50 {} us, p99 {} us; next latency p50 {} us, p99 {} us",
         report.open_p50_us, report.open_p99_us, report.next_p50_us, report.next_p99_us
     );
+    if report.connect_retries > 0 || report.open_retries > 0 || report.reconnects > 0 {
+        println!(
+            "  resilience: {} connect retries, {} shed retries, {} reconnects, \
+             {} sessions reattached",
+            report.connect_retries,
+            report.open_retries,
+            report.reconnects,
+            report.sessions_reattached
+        );
+    }
+    if report.sessions_failed > 0 {
+        println!(
+            "  {} sessions ended with a terminal failure record",
+            report.sessions_failed
+        );
+    }
     if report.errors > 0 {
         println!("  {} protocol errors observed", report.errors);
     }

@@ -146,6 +146,91 @@ fn serve_zero_max_sessions_is_usage_error() {
     assert!(stderr_of(&out).contains("max_sessions"));
 }
 
+/// Chaos smoke: a server with an injected worker panic (session 3 at its
+/// first event) and a dropped loadgen connection must still complete the
+/// run cleanly — loadgen exits 0, only the targeted session reports a
+/// terminal failure, nothing else is lost, and the client's reconnect +
+/// reattach path restores the dropped connection's sessions.
+#[test]
+fn chaos_smoke_contains_panic_and_dropped_connection() {
+    let scratch = Scratch::new("chaos");
+    let model = train_tiny_model(&scratch);
+    let mut child = Command::new(BIN)
+        .args([
+            "serve", "--model", &model, "--addr", "127.0.0.1:0", "--workers", "2",
+            "--chaos-panic-session", "3", "--chaos-panic-at-event", "1",
+            "--chaos-drop-conn", "1", "--chaos-drop-after", "5",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cptgen serve with chaos");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read server stdout");
+        assert_ne!(n, 0, "server exited before printing its address");
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+    let server = KillOnDrop(Some(child));
+
+    let report_path = scratch.path("chaos-report.json");
+    let out = run(&[
+        "loadgen", "--addr", &addr, "--sessions", "20", "--concurrent", "8",
+        "--threads", "2", "--shutdown", "-o", &report_path,
+    ]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "loadgen under chaos failed: {}",
+        stderr_of(&out)
+    );
+
+    let text = std::fs::read_to_string(&report_path).expect("report written");
+    let report: serde_json::Value = serde_json::from_str(&text).expect("report parses");
+    assert_eq!(report["sessions_opened"], 20, "every open must be answered");
+    assert_eq!(report["errors"], 0, "chaos must not surface as protocol errors");
+    assert_eq!(
+        report["sessions_failed"], 1,
+        "exactly the targeted session reports a terminal failure"
+    );
+    assert_eq!(
+        report["sessions_completed"], 19,
+        "every non-targeted session completes"
+    );
+    assert!(
+        report["reconnects"].as_u64().expect("reconnects field") >= 1,
+        "the dropped connection must have been re-established"
+    );
+
+    let status = server.wait();
+    assert_eq!(status.code(), Some(0), "server did not exit cleanly");
+}
+
+#[test]
+fn serve_zero_read_timeout_is_usage_error() {
+    let out = run(&["serve", "--model", "nope.json", "--read-timeout-ms", "0"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr_of(&out).contains("read_timeout_ms"));
+}
+
+#[test]
+fn serve_zero_max_connections_is_usage_error() {
+    let out = run(&["serve", "--model", "nope.json", "--max-connections", "0"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr_of(&out).contains("max_connections"));
+}
+
+#[test]
+fn serve_zero_detach_ttl_is_usage_error() {
+    let out = run(&["serve", "--model", "nope.json", "--detach-ttl-secs", "0"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr_of(&out).contains("detach_ttl_secs"));
+}
+
 #[test]
 fn generate_zero_threads_is_usage_error() {
     let out = run(&[
