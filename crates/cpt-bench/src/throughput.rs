@@ -10,13 +10,18 @@
 //! from flaking while still catching real regressions like an
 //! accidentally-disabled kernel path.
 
-use cpt_gpt::{CptGpt, CptGptConfig, GenerateConfig, GenerateError, Tokenizer, TrainConfig, TrainError};
+use cpt_gpt::{
+    CptGpt, CptGptConfig, GenerateConfig, GenerateError, StreamParams, Tokenizer, TrainConfig,
+    TrainError,
+};
 use cpt_nn::Tensor;
+use cpt_serve::{Engine, ServeConfig, ServeError, SessionEvent, SessionId};
 use cpt_trace::{Dataset, DeviceType, Event, EventType, Stream, UeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A throughput measurement failed in the warm-up training or generation
 /// it runs to have something to time.
@@ -26,6 +31,8 @@ pub enum MeasureError {
     Train(TrainError),
     /// The timed generation run failed.
     Generate(GenerateError),
+    /// The timed serving run failed.
+    Serve(ServeError),
     /// A dedicated measurement thread pool could not be built.
     Pool(String),
 }
@@ -35,6 +42,7 @@ impl std::fmt::Display for MeasureError {
         match self {
             MeasureError::Train(e) => write!(f, "bench training failed: {e}"),
             MeasureError::Generate(e) => write!(f, "bench generation failed: {e}"),
+            MeasureError::Serve(e) => write!(f, "bench serving failed: {e}"),
             MeasureError::Pool(e) => write!(f, "bench thread pool failed: {e}"),
         }
     }
@@ -45,6 +53,7 @@ impl std::error::Error for MeasureError {
         match self {
             MeasureError::Train(e) => Some(e),
             MeasureError::Generate(e) => Some(e),
+            MeasureError::Serve(e) => Some(e),
             MeasureError::Pool(_) => None,
         }
     }
@@ -59,6 +68,12 @@ impl From<TrainError> for MeasureError {
 impl From<GenerateError> for MeasureError {
     fn from(e: GenerateError) -> Self {
         MeasureError::Generate(e)
+    }
+}
+
+impl From<ServeError> for MeasureError {
+    fn from(e: ServeError) -> Self {
+        MeasureError::Serve(e)
     }
 }
 
@@ -86,6 +101,30 @@ pub struct ThroughputReport {
     pub generate_streams_per_sec: f64,
     /// Generated event tokens per second.
     pub generate_tokens_per_sec: f64,
+    /// Event tokens per second through the cpt-serve engine's batched
+    /// cross-session decode path (packed per-layer GEMMs over every
+    /// runnable session a worker holds), 64 concurrent sessions. 0 in
+    /// reports written before batched serving existed (serde default).
+    #[serde(default)]
+    pub serve_tokens_per_sec: f64,
+    /// Sessions driven to completion per second through the batched path.
+    #[serde(default)]
+    pub serve_sessions_per_sec: f64,
+    /// Same measurement through the `--no-batch-decode` sequential
+    /// fallback — the bit-identity oracle the batched path is asserted
+    /// against on every bench run.
+    #[serde(default)]
+    pub serve_tokens_per_sec_sequential: f64,
+    /// `serve_tokens_per_sec / serve_tokens_per_sec_sequential`; records
+    /// the packing-amortization win on the machine that produced the
+    /// report. Gated by `cptgen bench --min-serve-speedup`, not by the
+    /// baseline diff (it is machine-shape-dependent).
+    #[serde(default)]
+    pub serve_speedup: f64,
+    /// Batched serving through the int8 per-channel-quantized weight path
+    /// (`--quantized`; approximate, gated separately).
+    #[serde(default)]
+    pub serve_tokens_per_sec_quantized: f64,
     /// Peak resident set size (VmHWM) at the end of the run, in bytes.
     /// 0 when the platform does not expose it.
     pub peak_rss_bytes: u64,
@@ -134,6 +173,42 @@ fn bench_dataset(n_streams: usize, len: usize) -> Dataset {
         })
         .collect();
     Dataset::new(streams)
+}
+
+/// Drives every session to completion on one engine and reports each
+/// session's delivered stream plus the wall-clock drain time. Sessions are
+/// all opened up front (the 64-concurrent shape the serve gate measures),
+/// then round-robin drained in large chunks from this thread.
+fn run_serve(
+    model: &Arc<CptGpt>,
+    cfg: ServeConfig,
+    params: &[StreamParams],
+) -> Result<(Vec<Vec<SessionEvent>>, f64), MeasureError> {
+    let engine = Engine::start(Arc::clone(model), cfg)?;
+    let handle = engine.handle();
+    let start = Instant::now();
+    let ids: Vec<SessionId> = params
+        .iter()
+        .map(|p| handle.open_session(*p))
+        .collect::<Result<_, _>>()?;
+    let mut outputs: Vec<Vec<SessionEvent>> = vec![Vec::new(); ids.len()];
+    let mut done = vec![false; ids.len()];
+    while !done.iter().all(|d| *d) {
+        for (i, id) in ids.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let b = handle.next_events(*id, 256, Duration::from_secs(60))?;
+            outputs[i].extend(b.events);
+            if b.finished {
+                handle.close_session(*id)?;
+                done[i] = true;
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    engine.shutdown();
+    Ok((outputs, secs))
 }
 
 fn time_loop(mut f: impl FnMut(), iters: usize) -> f64 {
@@ -249,6 +324,63 @@ pub fn measure(quick: bool) -> Result<ThroughputReport, MeasureError> {
     let generate_streams_per_sec = n_streams as f64 / secs;
     let generate_tokens_per_sec = total_events as f64 / secs;
 
+    // Serve throughput: 64 concurrent sessions through the cpt-serve
+    // engine, batched cross-session decode vs the sequential fallback.
+    // The model is sized so the per-layer GEMMs dominate per-token cost
+    // (that is what batching amortizes); both paths are asserted
+    // byte-identical on every run — the bit-identity contract DESIGN.md
+    // §15 documents, checked here the same way the train step checks
+    // thread-count invariance above.
+    let serve_data = bench_dataset(48, 14);
+    let serve_model_cfg = CptGptConfig {
+        d_model: 64,
+        n_blocks: 2,
+        n_heads: 4,
+        d_mlp: 192,
+        d_head: 64,
+        max_len: 24,
+        ..CptGptConfig::small()
+    };
+    let mut serve_model = CptGpt::new(serve_model_cfg, Tokenizer::fit(&serve_data));
+    cpt_gpt::train(
+        &mut serve_model,
+        &serve_data,
+        &TrainConfig::quick().with_epochs(if quick { 1 } else { 3 }),
+    )?;
+    let serve_model = Arc::new(serve_model);
+    let n_sessions = 64u64;
+    let serve_params: Vec<StreamParams> = (0..n_sessions)
+        .map(|i| StreamParams::new(5000 + i * 13).streams(if quick { 1 } else { 2 }))
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    let base = ServeConfig::new(workers);
+    let (seq_out, seq_secs) = run_serve(
+        &serve_model,
+        ServeConfig { batch_decode: false, ..base },
+        &serve_params,
+    )?;
+    let (bat_out, bat_secs) = run_serve(
+        &serve_model,
+        ServeConfig { batch_decode: true, batch_max: 64, ..base },
+        &serve_params,
+    )?;
+    assert_eq!(
+        seq_out, bat_out,
+        "batched serve decode must be byte-identical to the sequential path"
+    );
+    let (quant_out, quant_secs) = run_serve(
+        &serve_model,
+        ServeConfig { quantized: true, batch_decode: true, batch_max: 64, ..base },
+        &serve_params,
+    )?;
+    let serve_tokens: usize = bat_out.iter().map(|s| s.len()).sum();
+    let quant_tokens: usize = quant_out.iter().map(|s| s.len()).sum();
+    let serve_tokens_per_sec = serve_tokens as f64 / bat_secs;
+    let serve_tokens_per_sec_sequential = serve_tokens as f64 / seq_secs;
+
     Ok(ThroughputReport {
         matmul_gflops,
         train_tokens_per_sec,
@@ -256,6 +388,11 @@ pub fn measure(quick: bool) -> Result<ThroughputReport, MeasureError> {
         train_speedup,
         generate_streams_per_sec,
         generate_tokens_per_sec,
+        serve_tokens_per_sec,
+        serve_sessions_per_sec: n_sessions as f64 / bat_secs,
+        serve_tokens_per_sec_sequential,
+        serve_speedup: serve_tokens_per_sec / serve_tokens_per_sec_sequential,
+        serve_tokens_per_sec_quantized: quant_tokens as f64 / quant_secs,
         peak_rss_bytes: peak_rss_bytes(),
         threads: rayon::current_num_threads(),
     })
@@ -302,6 +439,30 @@ pub fn check_regression(
         current.generate_tokens_per_sec,
         baseline.generate_tokens_per_sec,
     );
+    // Baselines written before batched serving carry 0 in all four serve
+    // metrics, which the closure's `base > 0` test skips. `serve_speedup`
+    // is deliberately not gated here — it depends on the runner's core
+    // count, so it gets its own explicit `--min-serve-speedup` gate.
+    gate(
+        "serve_tokens_per_sec",
+        current.serve_tokens_per_sec,
+        baseline.serve_tokens_per_sec,
+    );
+    gate(
+        "serve_sessions_per_sec",
+        current.serve_sessions_per_sec,
+        baseline.serve_sessions_per_sec,
+    );
+    gate(
+        "serve_tokens_per_sec_sequential",
+        current.serve_tokens_per_sec_sequential,
+        baseline.serve_tokens_per_sec_sequential,
+    );
+    gate(
+        "serve_tokens_per_sec_quantized",
+        current.serve_tokens_per_sec_quantized,
+        baseline.serve_tokens_per_sec_quantized,
+    );
     failures
 }
 
@@ -317,6 +478,11 @@ mod tests {
             train_speedup: 1.25,
             generate_streams_per_sec: x / 2.0,
             generate_tokens_per_sec: 5.0 * x,
+            serve_tokens_per_sec: 6.0 * x,
+            serve_sessions_per_sec: x / 4.0,
+            serve_tokens_per_sec_sequential: 3.0 * x,
+            serve_speedup: 2.0,
+            serve_tokens_per_sec_quantized: 7.0 * x,
             peak_rss_bytes: 1 << 20,
             threads: 1,
         }
@@ -336,11 +502,17 @@ mod tests {
         let base = report(10.0);
         let bad = report(4.0); // below 10/2
         let failures = check_regression(&bad, &base, 2.0);
-        assert_eq!(failures.len(), 5, "{failures:?}");
+        assert_eq!(failures.len(), 9, "{failures:?}");
         assert!(failures[0].contains("matmul_gflops"));
         assert!(failures
             .iter()
             .any(|f| f.contains("train_tokens_per_sec_1thread")));
+        assert!(failures.iter().any(|f| f.contains("serve_tokens_per_sec:")));
+        assert!(failures
+            .iter()
+            .any(|f| f.contains("serve_tokens_per_sec_quantized")));
+        // Speedup ratios are machine-dependent and never baseline-gated.
+        assert!(!failures.iter().any(|f| f.contains("serve_speedup")));
     }
 
     #[test]
@@ -355,6 +527,10 @@ mod tests {
         let base: ThroughputReport = serde_json::from_str(json).unwrap();
         assert_eq!(base.train_tokens_per_sec_1thread, 0.0);
         assert_eq!(base.train_speedup, 0.0);
+        // Pre-batched-serving baselines likewise default the serve
+        // metrics to 0, skipping those gates.
+        assert_eq!(base.serve_tokens_per_sec, 0.0);
+        assert_eq!(base.serve_tokens_per_sec_quantized, 0.0);
         let current = report(1000.0);
         assert!(check_regression(&current, &base, 2.0).is_empty());
     }

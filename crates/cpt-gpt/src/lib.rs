@@ -42,8 +42,11 @@ pub use config::{CptGptConfig, TrainConfig, WatchdogConfig};
 pub use error::{CheckpointError, FaultKind, GenerateError, TrainError};
 pub use faultinject::{FaultPlan, StageFaultPlan};
 pub use generate::{GenCounters, GenerateConfig, Sampling};
-pub use model::{load_model_file, save_model_file, CptGpt, DecodeState, StepOutput};
-pub use stream::{SessionDecoder, SessionEvent, StreamParams};
+pub use model::{
+    load_model_file, save_model_file, BatchDecodeState, CptGpt, DecodeState, QuantDecodeWeights,
+    StepOutput,
+};
+pub use stream::{BatchDecoder, RoundOutcome, SessionDecoder, SessionEvent, StreamParams};
 pub use token::{ScaleKind, Tokenizer};
 pub use batch::{build_batch, make_epoch_batches, make_epoch_shards, Batch};
 pub use train::{

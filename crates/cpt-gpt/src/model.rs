@@ -447,6 +447,262 @@ impl CptGpt {
     }
 }
 
+/// Shared buffers for cross-session batched decoding: the same per-step
+/// buffers as [`DecodeState`] but *without* KV caches — those stay with
+/// each session. Sized once for `max_batch` rows by
+/// [`CptGpt::begin_batch_decode`]; a round of `n ≤ max_batch` sessions
+/// uses the first `n` rows of every buffer, so rounds of any composition
+/// allocate nothing.
+pub struct BatchDecodeState {
+    scratch: cpt_nn::DecodeScratch,
+    h: Vec<f32>,
+    feat: Vec<f32>,
+    head_h: Vec<f32>,
+    iat_raw: Vec<f32>,
+    out: InferStep,
+    max_batch: usize,
+}
+
+impl BatchDecodeState {
+    /// Largest round this state was sized for.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+}
+
+/// int8 per-channel quantized snapshot of every weight matrix the decode
+/// path touches (LayerNorms and biases stay f32). Built once per model
+/// with [`CptGpt::quantize_decode_weights`] and shared read-only across
+/// workers; ~4× smaller weight traffic per GEMM, no bit-identity claim
+/// (accuracy contract: per-weight rounding ≤ scale/2, see DESIGN.md §15).
+pub struct QuantDecodeWeights {
+    input_proj: cpt_nn::QuantLinear,
+    blocks: Vec<cpt_nn::QuantBlock>,
+    head_event: QuantMlpHead,
+    head_iat: QuantMlpHead,
+    head_stop: QuantMlpHead,
+}
+
+/// Quantized [`MlpHead`].
+struct QuantMlpHead {
+    fc1: cpt_nn::QuantLinear,
+    fc2: cpt_nn::QuantLinear,
+}
+
+impl MlpHead {
+    fn quantize(&self, store: &ParamStore) -> QuantMlpHead {
+        QuantMlpHead {
+            fc1: self.fc1.quantize(store),
+            fc2: self.fc2.quantize(store),
+        }
+    }
+}
+
+impl QuantMlpHead {
+    fn apply_rows_into(&self, x: &[f32], rows: usize, hbuf: &mut [f32], out: &mut [f32]) {
+        self.fc1.apply_rows_into(x, rows, hbuf);
+        for v in hbuf.iter_mut() {
+            *v = cpt_nn::gelu_scalar(*v);
+        }
+        self.fc2.apply_rows_into(hbuf, rows, out);
+    }
+}
+
+impl CptGpt {
+    /// Preallocates the shared buffers for cross-session batched decode
+    /// rounds of up to `max_batch` sessions.
+    pub fn begin_batch_decode(&self, max_batch: usize) -> BatchDecodeState {
+        assert!(max_batch >= 1, "batch decode needs max_batch >= 1");
+        let d = self.config.d_model;
+        let e = self.tokenizer.num_events();
+        let iat_out = if self.config.point_iat_head { 1 } else { 2 };
+        BatchDecodeState {
+            scratch: cpt_nn::DecodeScratch::new(
+                max_batch,
+                d,
+                self.config.d_mlp,
+                self.config.max_len,
+            ),
+            h: vec![0.0; max_batch * d],
+            feat: vec![0.0; max_batch * d],
+            head_h: vec![0.0; max_batch * self.config.d_head],
+            iat_raw: vec![0.0; max_batch * iat_out],
+            out: InferStep {
+                event_logits: Tensor::zeros(&[max_batch, e]),
+                iat_mean: vec![0.0; max_batch],
+                iat_log_std: vec![0.0; max_batch],
+                stop_logits: Tensor::zeros(&[max_batch, 2]),
+            },
+            max_batch,
+        }
+    }
+
+    /// Snapshots the decode weights as int8 per-channel quantized copies
+    /// for the flagged `--quantized` serving path.
+    pub fn quantize_decode_weights(&self) -> QuantDecodeWeights {
+        QuantDecodeWeights {
+            input_proj: self.input_proj.quantize(&self.store),
+            blocks: self.blocks.iter().map(|b| b.quantize(&self.store)).collect(),
+            head_event: self.head_event.quantize(&self.store),
+            head_iat: self.head_iat.quantize(&self.store),
+            head_stop: self.head_stop.quantize(&self.store),
+        }
+    }
+
+    /// One decode step for `n` independent batch-1 sessions at once: their
+    /// pending tokens (`n × token_dim`, session-major) run through each
+    /// layer as a single packed `[n × d]` GEMM, while positional-embedding
+    /// adds and KV scatter/attention stay per session (each at its own
+    /// position and cache). Row `i` of the returned [`InferStep`] is
+    /// bit-identical to what `decode_step` would produce for session `i`
+    /// alone — the GEMM kernel accumulates each output row independently
+    /// of row grouping, and every non-GEMM op here is row-wise with the
+    /// exact sequential scalar order (see
+    /// `cpt_nn::MultiHeadSelfAttention::decode_step_multi`).
+    pub fn decode_step_batch<'s>(
+        &self,
+        bstate: &'s mut BatchDecodeState,
+        states: &mut [&mut DecodeState],
+        tokens: &[f32],
+    ) -> &'s InferStep {
+        self.decode_step_batch_impl(None, bstate, states, tokens)
+    }
+
+    /// [`CptGpt::decode_step_batch`] through the int8 quantized weights
+    /// (no bit-identity claim; see [`QuantDecodeWeights`]).
+    pub fn decode_step_batch_quant<'s>(
+        &self,
+        quant: &QuantDecodeWeights,
+        bstate: &'s mut BatchDecodeState,
+        states: &mut [&mut DecodeState],
+        tokens: &[f32],
+    ) -> &'s InferStep {
+        self.decode_step_batch_impl(Some(quant), bstate, states, tokens)
+    }
+
+    fn decode_step_batch_impl<'s>(
+        &self,
+        quant: Option<&QuantDecodeWeights>,
+        bstate: &'s mut BatchDecodeState,
+        states: &mut [&mut DecodeState],
+        tokens: &[f32],
+    ) -> &'s InferStep {
+        let n = states.len();
+        assert!(n >= 1, "batch decode needs at least one session");
+        assert!(
+            n <= bstate.max_batch,
+            "round of {n} exceeds max_batch {}",
+            bstate.max_batch
+        );
+        let d = self.config.d_model;
+        let dtok = self.tokenizer.token_dim();
+        assert_eq!(tokens.len(), n * dtok, "batch decode token size");
+        for st in states.iter() {
+            assert_eq!(st.batch, 1, "batch decode composes batch-1 sessions");
+            assert!(st.pos < self.config.max_len, "decode past max_len");
+        }
+
+        let nd = n * d;
+        match quant {
+            Some(q) => q.input_proj.apply_rows_into(tokens, n, &mut bstate.h[..nd]),
+            None => self
+                .input_proj
+                .apply_rows_into(&self.store, tokens, n, &mut bstate.h[..nd]),
+        }
+        let pe = self.store.value(self.pos_emb);
+        for (i, st) in states.iter().enumerate() {
+            let row = &mut bstate.h[i * d..(i + 1) * d];
+            for (hv, pv) in row.iter_mut().zip(&pe.data[st.pos * d..(st.pos + 1) * d]) {
+                *hv += pv;
+            }
+        }
+        for j in 0..self.blocks.len() {
+            // Per-round gather of each session's cache for this layer. The
+            // Vec is tiny (n pointers) and the only per-round allocation.
+            let mut caches: Vec<&mut cpt_nn::AttnKvCache> =
+                states.iter_mut().map(|s| &mut s.caches[j]).collect();
+            match quant {
+                Some(q) => q.blocks[j].decode_step_multi(
+                    &self.store,
+                    &mut bstate.h[..nd],
+                    &mut caches,
+                    &mut bstate.scratch,
+                ),
+                None => self.blocks[j].decode_step_multi(
+                    &self.store,
+                    &mut bstate.h[..nd],
+                    &mut caches,
+                    &mut bstate.scratch,
+                ),
+            }
+        }
+        for st in states.iter_mut() {
+            st.pos += 1;
+        }
+
+        self.ln_f
+            .apply_rows_into(&self.store, &bstate.h[..nd], n, &mut bstate.feat[..nd]);
+        let e = self.tokenizer.num_events();
+        let dh = n * self.config.d_head;
+        let iat_out = if self.config.point_iat_head { 1 } else { 2 };
+        match quant {
+            Some(q) => {
+                q.head_event.apply_rows_into(
+                    &bstate.feat[..nd],
+                    n,
+                    &mut bstate.head_h[..dh],
+                    &mut bstate.out.event_logits.data[..n * e],
+                );
+                q.head_stop.apply_rows_into(
+                    &bstate.feat[..nd],
+                    n,
+                    &mut bstate.head_h[..dh],
+                    &mut bstate.out.stop_logits.data[..n * 2],
+                );
+                q.head_iat.apply_rows_into(
+                    &bstate.feat[..nd],
+                    n,
+                    &mut bstate.head_h[..dh],
+                    &mut bstate.iat_raw[..n * iat_out],
+                );
+            }
+            None => {
+                self.head_event.apply_rows_into(
+                    &self.store,
+                    &bstate.feat[..nd],
+                    n,
+                    &mut bstate.head_h[..dh],
+                    &mut bstate.out.event_logits.data[..n * e],
+                );
+                self.head_stop.apply_rows_into(
+                    &self.store,
+                    &bstate.feat[..nd],
+                    n,
+                    &mut bstate.head_h[..dh],
+                    &mut bstate.out.stop_logits.data[..n * 2],
+                );
+                self.head_iat.apply_rows_into(
+                    &self.store,
+                    &bstate.feat[..nd],
+                    n,
+                    &mut bstate.head_h[..dh],
+                    &mut bstate.iat_raw[..n * iat_out],
+                );
+            }
+        }
+        if self.config.point_iat_head {
+            bstate.out.iat_mean[..n].copy_from_slice(&bstate.iat_raw[..n]);
+            bstate.out.iat_log_std[..n].fill(0.0);
+        } else {
+            for i in 0..n {
+                bstate.out.iat_mean[i] = bstate.iat_raw[i * 2];
+                bstate.out.iat_log_std[i] = bstate.iat_raw[i * 2 + 1];
+            }
+        }
+        &bstate.out
+    }
+}
+
 /// Saves a model bundle to `path` atomically (temp file + rename), so a
 /// crash mid-save cannot leave a torn file where a good model used to be.
 pub fn save_model_file(model: &CptGpt, path: &std::path::Path) -> Result<(), CheckpointError> {
@@ -635,6 +891,101 @@ mod tests {
             }
         }
         assert_eq!(state.pos(), t);
+    }
+
+    #[test]
+    fn batched_decode_matches_sequential_decode_bitwise() {
+        // n batch-1 sessions at different positions, decoded in one
+        // batched step, must produce per-row bits identical to the
+        // per-session `decode_step` path.
+        let d = toy_dataset();
+        let tok = Tokenizer::fit(&d);
+        let model = CptGpt::new(tiny_config(), tok);
+        let dtok = model.tokenizer.token_dim();
+        let e = model.tokenizer.num_events();
+        let n = 5;
+        let mut seq_states: Vec<DecodeState> = (0..n).map(|_| model.begin_decode(1)).collect();
+        let mut bat_states: Vec<DecodeState> = (0..n).map(|_| model.begin_decode(1)).collect();
+        let mut bstate = model.begin_batch_decode(n);
+        let mut r = StdRng::seed_from_u64(9);
+        // Advance session i by i tokens on both sides via the sequential
+        // path, so positions and caches differ across the batch.
+        for i in 0..n {
+            for _ in 0..i {
+                let tokv = Tensor::randn(&[1, 1, dtok], 0.3, &mut r);
+                model.decode_step(&mut seq_states[i], &tokv);
+                model.decode_step(&mut bat_states[i], &tokv);
+            }
+        }
+        let step = Tensor::randn(&[n, dtok], 0.3, &mut r);
+        let mut seq_rows = Vec::new();
+        for (i, st) in seq_states.iter_mut().enumerate() {
+            let tokv = Tensor::new(step.data[i * dtok..(i + 1) * dtok].to_vec(), vec![1, 1, dtok]);
+            let o = model.decode_step(st, &tokv);
+            seq_rows.push((
+                o.event_logits.data[..e].to_vec(),
+                o.iat_mean[0],
+                o.iat_log_std[0],
+                o.stop_logits.data[..2].to_vec(),
+            ));
+        }
+        let mut refs: Vec<&mut DecodeState> = bat_states.iter_mut().collect();
+        let out = model.decode_step_batch(&mut bstate, &mut refs, &step.data);
+        for (i, (ev, mean, log_std, stop)) in seq_rows.iter().enumerate() {
+            for (c, x) in ev.iter().enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    out.event_logits.data[i * e + c].to_bits(),
+                    "event logit row {i} col {c}"
+                );
+            }
+            assert_eq!(mean.to_bits(), out.iat_mean[i].to_bits(), "iat mean row {i}");
+            assert_eq!(log_std.to_bits(), out.iat_log_std[i].to_bits(), "iat log_std row {i}");
+            for c in 0..2 {
+                assert_eq!(
+                    stop[c].to_bits(),
+                    out.stop_logits.data[i * 2 + c].to_bits(),
+                    "stop logit row {i} col {c}"
+                );
+            }
+        }
+        for (a, b) in seq_states.iter().zip(&bat_states) {
+            assert_eq!(a.pos, b.pos, "positions advance identically");
+        }
+    }
+
+    #[test]
+    fn quantized_batched_decode_tracks_f32_path() {
+        let d = toy_dataset();
+        let tok = Tokenizer::fit(&d);
+        let model = CptGpt::new(tiny_config(), tok);
+        let quant = model.quantize_decode_weights();
+        let dtok = model.tokenizer.token_dim();
+        let e = model.tokenizer.num_events();
+        let n = 3;
+        let mut f32_states: Vec<DecodeState> = (0..n).map(|_| model.begin_decode(1)).collect();
+        let mut q_states: Vec<DecodeState> = (0..n).map(|_| model.begin_decode(1)).collect();
+        let mut bstate = model.begin_batch_decode(n);
+        let mut r = StdRng::seed_from_u64(10);
+        for _ in 0..4 {
+            let step = Tensor::randn(&[n, dtok], 0.3, &mut r);
+            let f32_logits = {
+                let mut refs: Vec<&mut DecodeState> = f32_states.iter_mut().collect();
+                let o = model.decode_step_batch(&mut bstate, &mut refs, &step.data);
+                o.event_logits.data[..n * e].to_vec()
+            };
+            let q_logits = {
+                let mut refs: Vec<&mut DecodeState> = q_states.iter_mut().collect();
+                let o = model.decode_step_batch_quant(&quant, &mut bstate, &mut refs, &step.data);
+                o.event_logits.data[..n * e].to_vec()
+            };
+            for (a, b) in f32_logits.iter().zip(&q_logits) {
+                assert!(
+                    (a - b).abs() < 0.2 * a.abs().max(1.0),
+                    "quantized logits drift too far: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -29,11 +29,14 @@ use crate::generate::{
     chunk_rng, sample_categorical, sample_logits, sample_logits_truncated, GenCounters,
     GenerateConfig, Sampling,
 };
-use crate::model::{CptGpt, DecodeState};
+use crate::model::{BatchDecodeState, CptGpt, DecodeState, InferStep, QuantDecodeWeights};
 use cpt_nn::Tensor;
 use cpt_trace::{DeviceType, EventType};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Configuration for one decode session.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -226,41 +229,44 @@ impl SessionDecoder {
             return None;
         }
         let cfg = self.params.as_generate_config();
-        let d = model.tokenizer.token_dim();
-
         let (event, iat, stop) = if self.need_bootstrap {
-            // First event of a stream: sampled from the released
-            // initial-event distribution, interarrival 0 (as in training).
-            self.state.reset();
-            self.rng = chunk_rng(self.params.seed, self.stream_idx as u64);
-            self.timestamp = 0.0;
-            self.pos_in_stream = 0;
-            self.need_bootstrap = false;
-            let i = sample_categorical(&self.init_probs, &mut self.rng);
-            (model.initial_event_dist[i].0, 0.0, false)
+            self.bootstrap_event(model)
         } else {
-            let e = model.tokenizer.num_events();
             let out = model.decode_step(&mut self.state, &self.step);
-            let ev_logits = &out.event_logits.data[..e];
-            if ev_logits.iter().any(|l| !l.is_finite()) {
-                self.counters.non_finite_logits += 1;
-            }
-            let ev_idx =
-                sample_logits_truncated(ev_logits, cfg.temperature, cfg.sampling, &mut self.rng);
-            // The sampler always returns an index below `num_events`, so
-            // this lookup cannot fail (same invariant as the batch path).
-            let event = EventType::from_index(ev_idx).expect("sampler returns in-range index");
-            let scaled =
-                model.sample_scaled_iat(out, 0, &cfg, &mut self.rng, &mut self.counters);
-            let iat = model.tokenizer.unscale_iat(scaled);
-            let stop_logits = &out.stop_logits.data[..2];
-            if stop_logits.iter().any(|l| !l.is_finite()) {
-                self.counters.non_finite_logits += 1;
-            }
-            let stop = sample_logits(stop_logits, cfg.temperature, &mut self.rng) == 1;
-            (event, iat, stop)
+            sample_row(model, &cfg, out, 0, &mut self.rng, &mut self.counters)
         };
+        Some(self.commit_event(model, event, iat, stop))
+    }
 
+    /// First event of a stream: resets the decode state, re-derives the
+    /// per-stream RNG from `(seed, stream_idx)` and samples from the
+    /// released initial-event distribution (interarrival 0, as in
+    /// training). Shared verbatim by the sequential and batched paths —
+    /// bootstrap involves no forward pass, so a batched round handles it
+    /// per session without touching the GEMM.
+    fn bootstrap_event(&mut self, model: &CptGpt) -> (EventType, f64, bool) {
+        self.state.reset();
+        self.rng = chunk_rng(self.params.seed, self.stream_idx as u64);
+        self.timestamp = 0.0;
+        self.pos_in_stream = 0;
+        self.need_bootstrap = false;
+        let i = sample_categorical(&self.init_probs, &mut self.rng);
+        (model.initial_event_dist[i].0, 0.0, false)
+    }
+
+    /// Applies one sampled `(event, iat, stop)` to the session: advances
+    /// the clock and counters, re-encodes the step token, and rolls over
+    /// to the next stream (or finishes) on `last_in_stream`. The common
+    /// tail of the sequential and batched paths; all RNG draws happened
+    /// before this, so batching composition cannot affect it.
+    fn commit_event(
+        &mut self,
+        model: &CptGpt,
+        event: EventType,
+        iat: f64,
+        stop: bool,
+    ) -> SessionEvent {
+        let d = model.tokenizer.token_dim();
         self.timestamp += iat.max(0.0);
         self.pos_in_stream += 1;
         self.events_emitted += 1;
@@ -287,7 +293,7 @@ impl SessionDecoder {
                 self.finished = true;
             }
         }
-        Some(ev)
+        ev
     }
 
     /// True once all streams have ended; `next_event` will return `None`.
@@ -313,6 +319,236 @@ impl SessionDecoder {
     /// Consumes the decoder and hands its [`DecodeState`] back for reuse.
     pub fn into_state(self) -> DecodeState {
         self.state
+    }
+}
+
+/// Samples one `(event, iat, stop)` triple from row `row` of a decoded
+/// [`InferStep`], drawing from the session's own RNG.
+///
+/// This is the *only* sampling code in the session path: the sequential
+/// path calls it with `row == 0` on a batch-1 step, the batched path with
+/// each session's row of the packed step. Because every draw comes from
+/// the per-session RNG in the same order, and the packed GEMM produces
+/// bit-identical rows (see `matmul_rows`), batched output is bit-identical
+/// to sequential for any batch composition.
+fn sample_row(
+    model: &CptGpt,
+    cfg: &GenerateConfig,
+    out: &InferStep,
+    row: usize,
+    rng: &mut StdRng,
+    counters: &mut GenCounters,
+) -> (EventType, f64, bool) {
+    let e = model.tokenizer.num_events();
+    let ev_logits = &out.event_logits.data[row * e..(row + 1) * e];
+    if ev_logits.iter().any(|l| !l.is_finite()) {
+        counters.non_finite_logits += 1;
+    }
+    let ev_idx = sample_logits_truncated(ev_logits, cfg.temperature, cfg.sampling, rng);
+    // The sampler always returns an index below `num_events`, so this
+    // lookup cannot fail (same invariant as the batch path).
+    let event = EventType::from_index(ev_idx).expect("sampler returns in-range index");
+    let scaled = model.sample_scaled_iat(out, row, cfg, rng, counters);
+    let iat = model.tokenizer.unscale_iat(scaled);
+    let stop_logits = &out.stop_logits.data[row * 2..row * 2 + 2];
+    if stop_logits.iter().any(|l| !l.is_finite()) {
+        counters.non_finite_logits += 1;
+    }
+    let stop = sample_logits(stop_logits, cfg.temperature, rng) == 1;
+    (event, iat, stop)
+}
+
+/// What happened to one session during a [`BatchDecoder::next_events`]
+/// round. `out[i]` describes `sessions[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundOutcome {
+    /// The session advanced by one event.
+    Event(SessionEvent),
+    /// The session had already finished; nothing was decoded for it.
+    Finished,
+    /// A panic fired while advancing this session (chaos injection or a
+    /// genuine bug). The panic was contained to this entry; the session's
+    /// decoder is poisoned and must be dropped, the rest of the batch is
+    /// unaffected.
+    Panicked(String),
+}
+
+/// Cross-session batched decode: advances up to `max_batch` sessions by
+/// one event each, stacking their single-token forward passes into one
+/// packed `[n_rows × d_model]` GEMM per layer.
+///
+/// A round has three phases:
+///
+/// 1. **Stage** (per session, panic-contained): run the caller's
+///    `pre_step` hook (the serving engine injects chaos panics here, in
+///    the same advance-order slot as the sequential path), emit bootstrap
+///    events directly (no forward pass), and gather each remaining
+///    session's step token into the packed token matrix.
+/// 2. **Decode** (one call): a single [`CptGpt::decode_step_batch`] over
+///    the staged rows — per-session KV-cache rows are gathered/scattered
+///    inside, each session attending over its own cache at its own
+///    position.
+/// 3. **Sample** (per session, panic-contained): draw from each staged
+///    session's own RNG via [`sample_row`] on its row, then commit.
+///
+/// Per-row GEMM accumulation is independent of batch composition and all
+/// per-session state (RNG, KV cache, clock) is touched in the same order
+/// as the sequential path, so output is bit-identical to
+/// [`SessionDecoder::next_event`] for any interleaving of batch sizes.
+pub struct BatchDecoder {
+    bstate: BatchDecodeState,
+    /// Packed step tokens, `[max_batch × token_dim]`.
+    tokens: Vec<f32>,
+    /// Indices into the caller's `sessions` slice staged for the GEMM this
+    /// round (ascending).
+    staged: Vec<usize>,
+    /// Optional int8 per-channel weights; `None` decodes in f32 and is
+    /// bit-identical to the sequential path.
+    quant: Option<Arc<QuantDecodeWeights>>,
+    max_batch: usize,
+}
+
+impl BatchDecoder {
+    /// A batched decoder for up to `max_batch` concurrent sessions,
+    /// decoding with the model's f32 weights (bit-identical to the
+    /// sequential path).
+    pub fn new(model: &CptGpt, max_batch: usize) -> Self {
+        Self::with_quant(model, max_batch, None)
+    }
+
+    /// Like [`BatchDecoder::new`], but decoding through pre-quantized int8
+    /// weights when `quant` is `Some` (approximate; see DESIGN.md §15).
+    pub fn with_quant(
+        model: &CptGpt,
+        max_batch: usize,
+        quant: Option<Arc<QuantDecodeWeights>>,
+    ) -> Self {
+        BatchDecoder {
+            bstate: model.begin_batch_decode(max_batch),
+            tokens: vec![0.0; max_batch * model.tokenizer.token_dim()],
+            staged: Vec::with_capacity(max_batch),
+            quant,
+            max_batch,
+        }
+    }
+
+    /// Maximum number of sessions one round can advance.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Advances each session in `sessions` by one event, writing one
+    /// [`RoundOutcome`] per session into `out` (`out[i]` for
+    /// `sessions[i]`; `out` is cleared first). Returns the number of rows
+    /// that went through the packed GEMM (0 when every session was
+    /// finished or bootstrapping) — the serving engine records this as
+    /// batch occupancy.
+    ///
+    /// `pre_step(i, events_emitted)` runs before session `i` is advanced;
+    /// a panic from it (or from sampling) is contained to that entry,
+    /// which reports [`RoundOutcome::Panicked`] while the rest of the
+    /// batch proceeds. A panicked session's decoder is poisoned: drop it.
+    pub fn next_events(
+        &mut self,
+        model: &CptGpt,
+        sessions: &mut [&mut SessionDecoder],
+        pre_step: &mut dyn FnMut(usize, u64),
+        out: &mut Vec<RoundOutcome>,
+    ) -> usize {
+        assert!(
+            sessions.len() <= self.max_batch,
+            "batch of {} exceeds max_batch {}",
+            sessions.len(),
+            self.max_batch
+        );
+        out.clear();
+        self.staged.clear();
+        let dtok = model.tokenizer.token_dim();
+
+        // Phase 1: stage. Bootstrap events involve no forward pass, so
+        // they are emitted here; everything else gathers its step token.
+        for (i, s) in sessions.iter_mut().enumerate() {
+            let events = s.events_emitted;
+            let staged_row = self.staged.len();
+            let tokens = &mut self.tokens[staged_row * dtok..(staged_row + 1) * dtok];
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                pre_step(i, events);
+                if s.finished {
+                    return None;
+                }
+                if s.need_bootstrap {
+                    let (event, iat, stop) = s.bootstrap_event(model);
+                    return Some(Some(s.commit_event(model, event, iat, stop)));
+                }
+                tokens.copy_from_slice(&s.step.data[..dtok]);
+                Some(None)
+            }));
+            out.push(match res {
+                Ok(None) => RoundOutcome::Finished,
+                Ok(Some(Some(ev))) => RoundOutcome::Event(ev),
+                Ok(Some(None)) => {
+                    self.staged.push(i);
+                    // Placeholder; overwritten by phase 3.
+                    RoundOutcome::Finished
+                }
+                Err(payload) => RoundOutcome::Panicked(panic_reason(payload.as_ref())),
+            });
+        }
+        if self.staged.is_empty() {
+            return 0;
+        }
+        let rows = self.staged.len();
+
+        // Phase 2: one packed forward pass over the staged rows. `staged`
+        // is ascending, so a single sweep collects the disjoint `&mut`
+        // decode states. A panic here is not per-entry containable (the
+        // GEMM is shared); the serving engine's outer catch_unwind turns
+        // it into whole-slice failure, exactly like a sequential panic.
+        let step_out = {
+            let mut states: Vec<&mut DecodeState> = Vec::with_capacity(rows);
+            let mut want = self.staged.iter().copied().peekable();
+            for (i, s) in sessions.iter_mut().enumerate() {
+                if want.peek() == Some(&i) {
+                    want.next();
+                    states.push(&mut s.state);
+                }
+            }
+            let tokens = &self.tokens[..rows * dtok];
+            match &self.quant {
+                Some(q) => model.decode_step_batch_quant(q, &mut self.bstate, &mut states, tokens),
+                None => model.decode_step_batch(&mut self.bstate, &mut states, tokens),
+            }
+        };
+
+        // Phase 3: per-session sampling from each staged session's own
+        // RNG, in batch order (== the order a sequential worker would
+        // advance them).
+        for (row, &i) in self.staged.iter().enumerate() {
+            let s = &mut *sessions[i];
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                let cfg = s.params.as_generate_config();
+                let (event, iat, stop) =
+                    sample_row(model, &cfg, step_out, row, &mut s.rng, &mut s.counters);
+                s.commit_event(model, event, iat, stop)
+            }));
+            out[i] = match res {
+                Ok(ev) => RoundOutcome::Event(ev),
+                Err(payload) => RoundOutcome::Panicked(panic_reason(payload.as_ref())),
+            };
+        }
+        rows
+    }
+}
+
+/// Human-readable reason from a caught panic payload (mirrors the serving
+/// engine's formatting so batched and sequential failures read the same).
+fn panic_reason(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panic: {s}")
+    } else {
+        "worker panic: unknown payload".into()
     }
 }
 
@@ -496,6 +732,218 @@ mod tests {
         let events = drain(&model, dec);
         for s in 0..4 {
             assert!(events.iter().filter(|e| e.stream == s).count() <= 3);
+        }
+    }
+
+    /// Disjoint `&mut` selection at ascending indices (mirrors the
+    /// engine's batch gather).
+    fn select_mut<'a>(
+        decs: &'a mut [SessionDecoder],
+        idx: &[usize],
+    ) -> Vec<&'a mut SessionDecoder> {
+        let mut want = idx.iter().copied().peekable();
+        let mut out = Vec::with_capacity(idx.len());
+        for (i, d) in decs.iter_mut().enumerate() {
+            if want.peek() == Some(&i) {
+                want.next();
+                out.push(d);
+            }
+        }
+        assert_eq!(out.len(), idx.len());
+        out
+    }
+
+    /// Drives every session to completion through a [`BatchDecoder`],
+    /// `max_batch` sessions per round, returning per-session event logs.
+    /// Sessions leave the batch as they finish, so batch composition
+    /// shrinks over time (and differs for every `max_batch`).
+    fn drain_batched(
+        model: &CptGpt,
+        decs: &mut [SessionDecoder],
+        max_batch: usize,
+    ) -> Vec<Vec<SessionEvent>> {
+        let mut bd = BatchDecoder::new(model, max_batch);
+        let n = decs.len();
+        let mut logs: Vec<Vec<SessionEvent>> = vec![Vec::new(); n];
+        let mut outcomes = Vec::new();
+        loop {
+            let live: Vec<usize> = (0..n).filter(|&i| !decs[i].is_finished()).collect();
+            if live.is_empty() {
+                break;
+            }
+            for chunk in live.chunks(max_batch) {
+                let mut refs = select_mut(decs, chunk);
+                bd.next_events(model, &mut refs, &mut |_, _| {}, &mut outcomes);
+                assert_eq!(outcomes.len(), chunk.len());
+                for (&slot, oc) in chunk.iter().zip(&outcomes) {
+                    match oc {
+                        RoundOutcome::Event(ev) => logs[slot].push(*ev),
+                        RoundOutcome::Finished => {}
+                        RoundOutcome::Panicked(r) => panic!("unexpected panic: {r}"),
+                    }
+                }
+            }
+        }
+        logs
+    }
+
+    #[test]
+    fn batched_rounds_match_sequential_bitwise() {
+        let model = trained_model();
+        let params: Vec<StreamParams> = (0..6)
+            .map(|i| StreamParams::new(40 + i as u64).streams(1 + (i % 3)))
+            .collect();
+        let sequential: Vec<Vec<SessionEvent>> = params
+            .iter()
+            .map(|p| drain(&model, model.open_session(*p).expect("open")))
+            .collect();
+        // Any batch width — including degenerate width 1 and wider than
+        // the session count — reproduces the sequential bits, even as
+        // sessions finish at different times and the batch shrinks.
+        for max_batch in [1usize, 2, 4, 8] {
+            let mut decs: Vec<SessionDecoder> = params
+                .iter()
+                .map(|p| model.open_session(*p).expect("open"))
+                .collect();
+            let logs = drain_batched(&model, &mut decs, max_batch);
+            assert_eq!(logs, sequential, "max_batch {max_batch}");
+        }
+    }
+
+    #[test]
+    fn sessions_joining_mid_stream_decode_identically() {
+        let model = trained_model();
+        let params: Vec<StreamParams> =
+            (0..4).map(|i| StreamParams::new(70 + i as u64).streams(2)).collect();
+        let sequential: Vec<Vec<SessionEvent>> = params
+            .iter()
+            .map(|p| drain(&model, model.open_session(*p).expect("open")))
+            .collect();
+        // Stagger arrivals: session i joins the batch at round 2*i, mid
+        // way through earlier sessions' streams.
+        let mut decs: Vec<SessionDecoder> = params
+            .iter()
+            .map(|p| model.open_session(*p).expect("open"))
+            .collect();
+        let mut bd = BatchDecoder::new(&model, 4);
+        let mut logs: Vec<Vec<SessionEvent>> = vec![Vec::new(); 4];
+        let mut outcomes = Vec::new();
+        let mut round = 0usize;
+        loop {
+            let live: Vec<usize> = (0..4)
+                .filter(|&i| round >= 2 * i && !decs[i].is_finished())
+                .collect();
+            if live.is_empty() && round >= 8 {
+                break;
+            }
+            if !live.is_empty() {
+                let mut refs = select_mut(&mut decs, &live);
+                bd.next_events(&model, &mut refs, &mut |_, _| {}, &mut outcomes);
+                for (&slot, oc) in live.iter().zip(&outcomes) {
+                    if let RoundOutcome::Event(ev) = oc {
+                        logs[slot].push(*ev);
+                    }
+                }
+            }
+            round += 1;
+        }
+        assert_eq!(logs, sequential);
+    }
+
+    #[test]
+    fn panic_in_batch_poisons_only_target_entry() {
+        let model = trained_model();
+        let params: Vec<StreamParams> =
+            (0..3).map(|i| StreamParams::new(90 + i as u64).streams(2)).collect();
+        let sequential: Vec<Vec<SessionEvent>> = params
+            .iter()
+            .map(|p| drain(&model, model.open_session(*p).expect("open")))
+            .collect();
+        let mut decs: Vec<SessionDecoder> = params
+            .iter()
+            .map(|p| model.open_session(*p).expect("open"))
+            .collect();
+        let mut bd = BatchDecoder::new(&model, 3);
+        let mut logs: Vec<Vec<SessionEvent>> = vec![Vec::new(); 3];
+        let mut outcomes = Vec::new();
+        let mut poisoned = false;
+        loop {
+            let live: Vec<usize> = (0..3)
+                .filter(|&i| !(poisoned && i == 1) && !decs[i].is_finished())
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let mut refs = select_mut(&mut decs, &live);
+            // Chaos hook: fail session 1 once it has emitted 2 events,
+            // mirroring the engine's should_panic(session, events) check.
+            bd.next_events(
+                &model,
+                &mut refs,
+                &mut |slot, events| {
+                    if live[slot] == 1 && events >= 2 {
+                        panic!("chaos: injected batch panic");
+                    }
+                },
+                &mut outcomes,
+            );
+            for (&slot, oc) in live.iter().zip(&outcomes) {
+                match oc {
+                    RoundOutcome::Event(ev) => logs[slot].push(*ev),
+                    RoundOutcome::Finished => {}
+                    RoundOutcome::Panicked(reason) => {
+                        assert_eq!(slot, 1, "only the targeted entry panics");
+                        assert!(
+                            reason.contains("chaos: injected batch panic"),
+                            "reason: {reason}"
+                        );
+                        poisoned = true;
+                    }
+                }
+            }
+        }
+        assert!(poisoned, "chaos hook fired");
+        // Untargeted sessions are bit-identical to sequential end to end;
+        // the poisoned session's prefix (events before the panic) is too.
+        assert_eq!(logs[0], sequential[0]);
+        assert_eq!(logs[2], sequential[2]);
+        assert_eq!(logs[1], sequential[1][..2]);
+    }
+
+    #[test]
+    fn quantized_batch_decoder_completes_sessions() {
+        let model = trained_model();
+        let quant = Arc::new(model.quantize_decode_weights());
+        let params: Vec<StreamParams> =
+            (0..3).map(|i| StreamParams::new(7 + i as u64).streams(2)).collect();
+        let mut decs: Vec<SessionDecoder> = params
+            .iter()
+            .map(|p| model.open_session(*p).expect("open"))
+            .collect();
+        let mut bd = BatchDecoder::with_quant(&model, 3, Some(quant));
+        let mut outcomes = Vec::new();
+        let mut logs: Vec<Vec<SessionEvent>> = vec![Vec::new(); 3];
+        loop {
+            let live: Vec<usize> = (0..3).filter(|&i| !decs[i].is_finished()).collect();
+            if live.is_empty() {
+                break;
+            }
+            let mut refs = select_mut(&mut decs, &live);
+            bd.next_events(&model, &mut refs, &mut |_, _| {}, &mut outcomes);
+            for (&slot, oc) in live.iter().zip(&outcomes) {
+                match oc {
+                    RoundOutcome::Event(ev) => logs[slot].push(*ev),
+                    RoundOutcome::Finished => {}
+                    RoundOutcome::Panicked(r) => panic!("unexpected panic: {r}"),
+                }
+            }
+        }
+        // Quantized decode makes no bit-identity claim, but streams must
+        // still be well formed: 2 completed streams per session, finite
+        // non-negative clocks.
+        for log in &logs {
+            assert_eq!(log.iter().filter(|e| e.last_in_stream).count(), 2);
+            assert!(log.iter().all(|e| e.timestamp.is_finite() && e.iat >= 0.0));
         }
     }
 }

@@ -602,6 +602,114 @@ impl MultiHeadSelfAttention {
         }
         self.wo.apply_rows_into(store, &scratch.ctx, b, out);
     }
+
+    /// Cross-session decode step: one new position for each of `n`
+    /// independent sessions, each with its *own* batch-1 cache (possibly at
+    /// a different length). The Q/K/V/O projections run as single
+    /// `[n × d_model]` GEMMs — this is where batching pays, since B-packing
+    /// cost is amortized over all sessions — while the KV scatter and the
+    /// softmax/context run per session against that session's cache.
+    ///
+    /// Per-row bit-identity with the sequential path: the packed kernel
+    /// accumulates each output row independently of row grouping (see
+    /// `matmul_rows`), and every per-session op below executes the exact
+    /// scalar order of [`MultiHeadSelfAttention::decode_step_into`] at
+    /// `b = 1`, so row `i` of `out` equals the sequential result for
+    /// session `i`, bit for bit.
+    ///
+    /// `x`/`out` are `n × d_model` (session-major); `scratch` may be sized
+    /// for a larger batch (only the first `n` rows are used).
+    pub fn decode_step_multi(
+        &self,
+        store: &ParamStore,
+        x: &[f32],
+        caches: &mut [&mut AttnKvCache],
+        scratch: &mut AttnScratch,
+        out: &mut [f32],
+    ) {
+        let h = self.n_heads;
+        let hd = self.d_model / h;
+        let n = caches.len();
+        assert_eq!(x.len(), n * self.d_model, "multi decode input size");
+        assert_eq!(out.len(), n * self.d_model, "multi decode output size");
+
+        let nd = n * self.d_model;
+        self.wq.apply_rows_into(store, x, n, &mut scratch.q[..nd]);
+        self.wk.apply_rows_into(store, x, n, &mut scratch.k[..nd]);
+        self.wv.apply_rows_into(store, x, n, &mut scratch.v[..nd]);
+
+        scratch.ctx[..nd].fill(0.0);
+        for (i, cache) in caches.iter_mut().enumerate() {
+            let row = i * self.d_model;
+            scatter_kv_one_session(cache, &scratch.k[row..row + self.d_model], &scratch.v[row..row + self.d_model], h, hd);
+            attend_one_session(
+                &scratch.q[row..row + self.d_model],
+                cache,
+                &mut scratch.scores,
+                &mut scratch.ctx[row..row + self.d_model],
+                h,
+                hd,
+            );
+        }
+        self.wo.apply_rows_into(store, &scratch.ctx[..nd], n, out);
+    }
+}
+
+/// Appends one session's new K/V rows (`d_model` each, head-major) to its
+/// batch-1 cache. Identical index math to the `b = 1` scatter in
+/// [`MultiHeadSelfAttention::decode_step_into`].
+fn scatter_kv_one_session(cache: &mut AttnKvCache, k_row: &[f32], v_row: &[f32], h: usize, hd: usize) {
+    assert_eq!(cache.bh, h, "multi decode caches must be batch-1");
+    assert_eq!(cache.hd, hd, "cache head width mismatch");
+    assert!(cache.len < cache.max_len, "KV cache full");
+    let t = cache.len;
+    for hi in 0..h {
+        let src = hi * hd;
+        let dst = (hi * cache.max_len + t) * hd;
+        cache.k.data[dst..dst + hd].copy_from_slice(&k_row[src..src + hd]);
+        cache.v.data[dst..dst + hd].copy_from_slice(&v_row[src..src + hd]);
+    }
+    cache.len += 1;
+}
+
+/// Softmax attention of one session's new query row over its own cached
+/// prefix, accumulating into `ctx` (caller zeroes it). Scalar-for-scalar
+/// the `b = 1` inner loop of [`MultiHeadSelfAttention::decode_step_into`].
+fn attend_one_session(
+    q_row: &[f32],
+    cache: &AttnKvCache,
+    scores_buf: &mut [f32],
+    ctx: &mut [f32],
+    h: usize,
+    hd: usize,
+) {
+    let t = cache.len - 1; // cache already holds the new position
+    let scale = 1.0 / (hd as f32).sqrt();
+    let scores = &mut scores_buf[..t + 1];
+    for hi in 0..h {
+        let qrow = &q_row[hi * hd..(hi + 1) * hd];
+        let base = hi * cache.max_len * hd;
+        let mut max = f32::NEG_INFINITY;
+        for (j, s) in scores.iter_mut().enumerate() {
+            let krow = &cache.k.data[base + j * hd..base + (j + 1) * hd];
+            *s = qrow.iter().zip(krow).map(|(a, c)| a * c).sum::<f32>() * scale;
+            max = max.max(*s);
+        }
+        let mut denom = 0.0f32;
+        for s in scores.iter_mut() {
+            *s = (*s - max).exp();
+            denom += *s;
+        }
+        let inv = 1.0 / denom;
+        let cslice = &mut ctx[hi * hd..(hi + 1) * hd];
+        for (j, s) in scores.iter().enumerate() {
+            let a = s * inv;
+            let vrow = &cache.v.data[base + j * hd..base + (j + 1) * hd];
+            for (o, vv) in cslice.iter_mut().zip(vrow) {
+                *o += a * vv;
+            }
+        }
+    }
 }
 
 /// Pre-LayerNorm transformer block: `x + Attn(LN(x))`, then
@@ -697,6 +805,225 @@ impl TransformerBlock {
         }
         self.fc2.apply_rows_into(store, &scratch.mlp, b, &mut scratch.resid);
         for (hv, mv) in h.iter_mut().zip(&scratch.resid) {
+            *hv += mv;
+        }
+    }
+
+    /// Cross-session decode step through the block: updates the residual
+    /// rows `h` (`n × d_model`, one new position per session) in place,
+    /// with per-session batch-1 caches. LayerNorm/GELU/residual are
+    /// row-wise and the GEMMs are row-partition-invariant, so each row is
+    /// bit-identical to [`TransformerBlock::decode_step_into`] at `b = 1`
+    /// (see [`MultiHeadSelfAttention::decode_step_multi`]). `scratch` may
+    /// be sized for a larger batch.
+    pub fn decode_step_multi(
+        &self,
+        store: &ParamStore,
+        h: &mut [f32],
+        caches: &mut [&mut AttnKvCache],
+        scratch: &mut DecodeScratch,
+    ) {
+        let d = self.attn.d_model;
+        let n = caches.len();
+        assert_eq!(h.len(), n * d, "multi decode residual size");
+        let nd = n * d;
+        let nm = n * self.fc1.out_dim;
+        self.ln1.apply_rows_into(store, h, n, &mut scratch.norm[..nd]);
+        self.attn.decode_step_multi(
+            store,
+            &scratch.norm[..nd],
+            caches,
+            &mut scratch.attn,
+            &mut scratch.resid[..nd],
+        );
+        for (hv, av) in h.iter_mut().zip(&scratch.resid[..nd]) {
+            *hv += av;
+        }
+        self.ln2.apply_rows_into(store, h, n, &mut scratch.norm[..nd]);
+        self.fc1.apply_rows_into(store, &scratch.norm[..nd], n, &mut scratch.mlp[..nm]);
+        for v in &mut scratch.mlp[..nm] {
+            *v = gelu_scalar(*v);
+        }
+        self.fc2.apply_rows_into(store, &scratch.mlp[..nm], n, &mut scratch.resid[..nd]);
+        for (hv, mv) in h.iter_mut().zip(&scratch.resid[..nd]) {
+            *hv += mv;
+        }
+    }
+
+    /// Snapshots the block's weights as int8 per-channel quantized copies
+    /// for the flagged serve-time batched decode path (LayerNorms stay in
+    /// f32 — their parameters are tiny and normalization is
+    /// precision-sensitive).
+    pub fn quantize(&self, store: &ParamStore) -> QuantBlock {
+        QuantBlock {
+            ln1: self.ln1.clone(),
+            ln2: self.ln2.clone(),
+            attn: self.attn.quantize(store),
+            fc1: self.fc1.quantize(store),
+            fc2: self.fc2.quantize(store),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// int8 per-channel quantized decode layers (serve-time `--quantized` path).
+//
+// Each Quant* type is an immutable snapshot of its f32 layer: weights are
+// quantized once into the same NR-panel layout the f32 kernel packs
+// (`QuantizedMatrix`), biases and LayerNorm parameters stay f32. The decode
+// step structure — scatter, softmax, residuals — is byte-for-byte the same
+// code path as the f32 multi decode; only the GEMM kernel differs. No
+// bit-identity claim is made for this path (accuracy contract: per-weight
+// rounding error ≤ scale/2, tested in cpt-gpt against the f32 oracle).
+// ---------------------------------------------------------------------------
+
+/// [`Linear`] with int8 per-output-channel weights and an f32 bias, applied
+/// through [`crate::tensor::matmul_quant_into`].
+#[derive(Debug, Clone)]
+pub struct QuantLinear {
+    w: crate::tensor::QuantizedMatrix,
+    bias: Option<Vec<f32>>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Snapshots this layer's weights as an int8 per-channel quantized
+    /// copy (bias kept in f32).
+    pub fn quantize(&self, store: &ParamStore) -> QuantLinear {
+        let w = store.value(self.w);
+        QuantLinear {
+            w: crate::tensor::QuantizedMatrix::quantize(&w.data, self.in_dim, self.out_dim),
+            bias: self.b.map(|b| store.value(b).data.clone()),
+            in_dim: self.in_dim,
+            out_dim: self.out_dim,
+        }
+    }
+}
+
+impl QuantLinear {
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// [`Linear::apply_rows_into`] through the quantized kernel (no store
+    /// needed — weights and bias live in the snapshot).
+    pub fn apply_rows_into(&self, x: &[f32], rows: usize, out: &mut [f32]) {
+        assert_eq!(x.len(), rows * self.in_dim, "QuantLinear input size");
+        assert_eq!(out.len(), rows * self.out_dim, "QuantLinear output size");
+        crate::tensor::matmul_quant_into(x, &self.w, out, rows);
+        if let Some(bias) = &self.bias {
+            for row in out.chunks_mut(self.out_dim) {
+                for (o, bv) in row.iter_mut().zip(bias) {
+                    *o += bv;
+                }
+            }
+        }
+    }
+}
+
+/// Quantized snapshot of [`MultiHeadSelfAttention`] for cross-session
+/// decode.
+#[derive(Debug, Clone)]
+pub struct QuantAttention {
+    wq: QuantLinear,
+    wk: QuantLinear,
+    wv: QuantLinear,
+    wo: QuantLinear,
+    n_heads: usize,
+    d_model: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Snapshots the four projections as int8 quantized copies.
+    pub fn quantize(&self, store: &ParamStore) -> QuantAttention {
+        QuantAttention {
+            wq: self.wq.quantize(store),
+            wk: self.wk.quantize(store),
+            wv: self.wv.quantize(store),
+            wo: self.wo.quantize(store),
+            n_heads: self.n_heads,
+            d_model: self.d_model,
+        }
+    }
+}
+
+impl QuantAttention {
+    /// [`MultiHeadSelfAttention::decode_step_multi`] with quantized
+    /// projections; scatter and softmax are the shared f32 helpers.
+    pub fn decode_step_multi(
+        &self,
+        x: &[f32],
+        caches: &mut [&mut AttnKvCache],
+        scratch: &mut AttnScratch,
+        out: &mut [f32],
+    ) {
+        let h = self.n_heads;
+        let hd = self.d_model / h;
+        let n = caches.len();
+        assert_eq!(x.len(), n * self.d_model, "multi decode input size");
+        assert_eq!(out.len(), n * self.d_model, "multi decode output size");
+        let nd = n * self.d_model;
+        self.wq.apply_rows_into(x, n, &mut scratch.q[..nd]);
+        self.wk.apply_rows_into(x, n, &mut scratch.k[..nd]);
+        self.wv.apply_rows_into(x, n, &mut scratch.v[..nd]);
+        scratch.ctx[..nd].fill(0.0);
+        for (i, cache) in caches.iter_mut().enumerate() {
+            let row = i * self.d_model;
+            scatter_kv_one_session(cache, &scratch.k[row..row + self.d_model], &scratch.v[row..row + self.d_model], h, hd);
+            attend_one_session(
+                &scratch.q[row..row + self.d_model],
+                cache,
+                &mut scratch.scores,
+                &mut scratch.ctx[row..row + self.d_model],
+                h,
+                hd,
+            );
+        }
+        self.wo.apply_rows_into(&scratch.ctx[..nd], n, out);
+    }
+}
+
+/// Quantized snapshot of [`TransformerBlock`] for cross-session decode.
+#[derive(Debug, Clone)]
+pub struct QuantBlock {
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    attn: QuantAttention,
+    fc1: QuantLinear,
+    fc2: QuantLinear,
+}
+
+impl QuantBlock {
+    /// [`TransformerBlock::decode_step_multi`] with quantized GEMMs.
+    /// LayerNorm parameters are read from `store` (they are not
+    /// quantized).
+    pub fn decode_step_multi(
+        &self,
+        store: &ParamStore,
+        h: &mut [f32],
+        caches: &mut [&mut AttnKvCache],
+        scratch: &mut DecodeScratch,
+    ) {
+        let d = self.attn.d_model;
+        let n = caches.len();
+        assert_eq!(h.len(), n * d, "multi decode residual size");
+        let nd = n * d;
+        let nm = n * self.fc1.out_dim;
+        self.ln1.apply_rows_into(store, h, n, &mut scratch.norm[..nd]);
+        self.attn
+            .decode_step_multi(&scratch.norm[..nd], caches, &mut scratch.attn, &mut scratch.resid[..nd]);
+        for (hv, av) in h.iter_mut().zip(&scratch.resid[..nd]) {
+            *hv += av;
+        }
+        self.ln2.apply_rows_into(store, h, n, &mut scratch.norm[..nd]);
+        self.fc1.apply_rows_into(&scratch.norm[..nd], n, &mut scratch.mlp[..nm]);
+        for v in &mut scratch.mlp[..nm] {
+            *v = gelu_scalar(*v);
+        }
+        self.fc2.apply_rows_into(&scratch.mlp[..nm], n, &mut scratch.resid[..nd]);
+        for (hv, mv) in h.iter_mut().zip(&scratch.resid[..nd]) {
             *hv += mv;
         }
     }
@@ -1014,6 +1341,92 @@ mod tests {
                         "mismatch at t={t} b={bi} d={d}: {full_v} vs {step_v}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_session_decode_bit_identical_to_sequential() {
+        // Sessions at different prefix lengths decoded in one batch must
+        // produce, per row, the exact bits of the b=1 sequential step —
+        // both in the residual outputs and in the KV rows they scatter.
+        let (d, heads, d_mlp, hd, max_len, n) = (8usize, 2usize, 16usize, 4usize, 10usize, 5usize);
+        let mut store = ParamStore::new();
+        let block = TransformerBlock::new(&mut store, "b", d, heads, d_mlp, &mut rng(40));
+        let mut seq_caches: Vec<AttnKvCache> =
+            (0..n).map(|_| AttnKvCache::new(1, heads, max_len, hd)).collect();
+        let mut multi_caches: Vec<AttnKvCache> =
+            (0..n).map(|_| AttnKvCache::new(1, heads, max_len, hd)).collect();
+        let mut seq_scratch = DecodeScratch::new(1, d, d_mlp, max_len);
+        let mut multi_scratch = DecodeScratch::new(n, d, d_mlp, max_len);
+        let mut r = rng(41);
+        // Advance session i by i tokens through the b=1 path on both cache
+        // sets so the prefixes are bit-equal and lengths differ per session.
+        for (i, (sc, mc)) in seq_caches.iter_mut().zip(&mut multi_caches).enumerate() {
+            for _ in 0..i {
+                let x = Tensor::randn(&[d], 0.5, &mut r);
+                let mut h1 = x.data.clone();
+                let mut h2 = x.data.clone();
+                block.decode_step_into(&store, &mut h1, sc, &mut seq_scratch);
+                block.decode_step_into(&store, &mut h2, mc, &mut seq_scratch);
+            }
+        }
+        // One more token per session: sequential b=1 vs one multi batch.
+        let step = Tensor::randn(&[n, d], 0.5, &mut r);
+        let mut seq_out = step.data.clone();
+        for (i, cache) in seq_caches.iter_mut().enumerate() {
+            block.decode_step_into(
+                &store,
+                &mut seq_out[i * d..(i + 1) * d],
+                cache,
+                &mut seq_scratch,
+            );
+        }
+        let mut multi_out = step.data.clone();
+        let mut cache_refs: Vec<&mut AttnKvCache> = multi_caches.iter_mut().collect();
+        block.decode_step_multi(&store, &mut multi_out, &mut cache_refs, &mut multi_scratch);
+        for (i, (x, y)) in seq_out.iter().zip(&multi_out).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "residual row element {i}");
+        }
+        for (i, (sc, mc)) in seq_caches.iter().zip(&multi_caches).enumerate() {
+            assert_eq!(sc.len, mc.len, "session {i} cache length");
+            for (a, b) in sc.k.data.iter().zip(&mc.k.data) {
+                assert_eq!(a.to_bits(), b.to_bits(), "session {i} K rows");
+            }
+            for (a, b) in sc.v.data.iter().zip(&mc.v.data) {
+                assert_eq!(a.to_bits(), b.to_bits(), "session {i} V rows");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_block_decode_tracks_f32_multi_decode() {
+        // The quantized block is not bit-identical, but on a
+        // moderate-magnitude input it must stay close to the f32 path
+        // (per-weight rounding ≤ scale/2).
+        let (d, heads, d_mlp, hd, max_len, n) = (8usize, 2usize, 16usize, 4usize, 6usize, 3usize);
+        let mut store = ParamStore::new();
+        let block = TransformerBlock::new(&mut store, "b", d, heads, d_mlp, &mut rng(50));
+        let qblock = block.quantize(&store);
+        let mut f32_caches: Vec<AttnKvCache> =
+            (0..n).map(|_| AttnKvCache::new(1, heads, max_len, hd)).collect();
+        let mut q_caches: Vec<AttnKvCache> =
+            (0..n).map(|_| AttnKvCache::new(1, heads, max_len, hd)).collect();
+        let mut scratch = DecodeScratch::new(n, d, d_mlp, max_len);
+        let mut r = rng(51);
+        for _ in 0..max_len {
+            let step = Tensor::randn(&[n, d], 0.5, &mut r);
+            let mut hf = step.data.clone();
+            let mut refs: Vec<&mut AttnKvCache> = f32_caches.iter_mut().collect();
+            block.decode_step_multi(&store, &mut hf, &mut refs, &mut scratch);
+            let mut hq = step.data.clone();
+            let mut qrefs: Vec<&mut AttnKvCache> = q_caches.iter_mut().collect();
+            qblock.decode_step_multi(&store, &mut hq, &mut qrefs, &mut scratch);
+            for (a, b) in hf.iter().zip(&hq) {
+                assert!(
+                    (a - b).abs() < 0.15 * a.abs().max(1.0),
+                    "quant drift too large: {a} vs {b}"
+                );
             }
         }
     }

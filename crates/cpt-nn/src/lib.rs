@@ -43,7 +43,8 @@ pub use reduce::{scale_grads, tree_reduce_grads, GradSet};
 pub use scratch::ScratchArena;
 pub use layers::{
     gelu_scalar, AttnKvCache, AttnScratch, DecodeScratch, Linear, LayerNorm, Lstm,
-    MultiHeadSelfAttention, ParamId, ParamStore, Session, TransformerBlock,
+    MultiHeadSelfAttention, ParamId, ParamStore, QuantAttention, QuantBlock, QuantLinear,
+    Session, TransformerBlock,
 };
 pub use optim::{clip_grad_norm, Adam, LrSchedule, RmsProp, Sgd};
-pub use tensor::Tensor;
+pub use tensor::{matmul_quant_into, QuantizedMatrix, Tensor};

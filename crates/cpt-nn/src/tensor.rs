@@ -506,6 +506,113 @@ pub fn matmul_reference(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
     }
 }
 
+// ---------------------------------------------------------------------------
+// int8 per-output-channel quantized weights for the batched decode path.
+//
+// Weights are quantized once (per output column j: scale[j] =
+// max|B[:,j]| / 127, q = round(B / scale)) into the same NR-wide column
+// panels the f32 kernel packs, so the quantized microkernel streams the
+// identical memory layout. Accumulation stays in f32 over the dequantized
+// products a[i,k] * (q as f32), and the per-column scale multiplies once at
+// writeback — the error is therefore bounded by the weight rounding alone
+// (|ΔB[:,j]| ≤ scale[j]/2 per entry), not by accumulator saturation. This
+// path makes no bit-identity claim; it trades ≤0.4% per-channel weight
+// rounding for 4× smaller weight traffic.
+// ---------------------------------------------------------------------------
+
+/// A `[k, n]` weight matrix quantized to int8 per output column and packed
+/// into NR-wide panels (layout `packed[p * k * NR + kk * NR + j]`, matching
+/// [`pack_b`]). Build once with [`QuantizedMatrix::quantize`], then apply
+/// with [`matmul_quant_into`].
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    packed: Vec<i8>,
+    scales: Vec<f32>,
+    k: usize,
+    n: usize,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes row-major `b` (`[k, n]`). Per column `j`, `scale[j] =
+    /// max|b[:, j]| / 127` (an all-zero column gets scale 0 and stays
+    /// exactly zero).
+    pub fn quantize(b: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "quantize: data/shape mismatch");
+        let mut scales = vec![0.0f32; n];
+        for j in 0..n {
+            let mut maxabs = 0.0f32;
+            for kk in 0..k {
+                maxabs = maxabs.max(b[kk * n + j].abs());
+            }
+            scales[j] = maxabs / 127.0;
+        }
+        let panels = n.div_ceil(NR);
+        let mut packed = vec![0i8; panels * k * NR];
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let dst = &mut packed[p * k * NR..(p + 1) * k * NR];
+            for kk in 0..k {
+                for jj in 0..w {
+                    let j = j0 + jj;
+                    let s = scales[j];
+                    dst[kk * NR + jj] = if s > 0.0 {
+                        (b[kk * n + j] / s).round().clamp(-127.0, 127.0) as i8
+                    } else {
+                        0
+                    };
+                }
+            }
+        }
+        QuantizedMatrix {
+            packed,
+            scales,
+            k,
+            n,
+        }
+    }
+
+    /// Inner dimension (rows of the original matrix).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimension (columns of the original matrix).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// `out = a x dequant(qb)` for row-major `a` (`[m, k]`), f32 accumulation
+/// over the int8 panels with the per-column scale applied once at
+/// writeback. Overwrites `out` entirely. Serial — callers batch rows
+/// instead of forking (decode batches are far below the rayon threshold).
+pub fn matmul_quant_into(a: &[f32], qb: &QuantizedMatrix, out: &mut [f32], m: usize) {
+    let (k, n) = (qb.k, qb.n);
+    assert_eq!(a.len(), m * k, "matmul_quant_into: lhs size");
+    assert_eq!(out.len(), m * n, "matmul_quant_into: out size");
+    let panels = n.div_ceil(NR);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for p in 0..panels {
+            let panel = &qb.packed[p * k * NR..(p + 1) * k * NR];
+            let mut acc = [0.0f32; NR];
+            for (kk, &arv) in arow.iter().enumerate() {
+                let bp = &panel[kk * NR..kk * NR + NR];
+                for j in 0..NR {
+                    acc[j] += arv * bp[j] as f32;
+                }
+            }
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            for jj in 0..w {
+                orow[j0 + jj] = acc[jj] * qb.scales[j0 + jj];
+            }
+        }
+    }
+}
+
 /// Cache-blocked 2-D transpose: `dst[j, i] = src[i, j]` for `[m, n]` src.
 fn transpose_block(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
     const TB: usize = 32;
@@ -682,7 +789,75 @@ mod tests {
         assert_eq!(c.data, vec![2.0, 1.5]);
     }
 
+    #[test]
+    fn quantized_matmul_tracks_reference_within_scale_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (m, k, n) in [(1, 16, 32), (7, 33, 17), (64, 32, 48)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 0.5, &mut rng);
+            let qb = QuantizedMatrix::quantize(&b.data, k, n);
+            let mut quant = vec![0.0; m * n];
+            matmul_quant_into(&a.data, &qb, &mut quant, m);
+            let mut reference = vec![0.0; m * n];
+            matmul_reference(&a.data, &b.data, &mut reference, m, k, n);
+            // Each weight entry is off by at most scale/2 ≈ maxabs/254,
+            // so the output error is bounded by sum_k |a| * scale/2.
+            for i in 0..m {
+                let amass: f32 = a.data[i * k..(i + 1) * k].iter().map(|x| x.abs()).sum();
+                for j in 0..n {
+                    let bound = amass * (b.data.iter().fold(0.0f32, |acc, x| acc.max(x.abs())) / 254.0) + 1e-4;
+                    let err = (quant[i * n + j] - reference[i * n + j]).abs();
+                    assert!(err <= bound, "{m}x{k}x{n} [{i},{j}]: err {err} > bound {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_matmul_zero_column_stays_zero_and_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (m, k, n) = (5, 8, 20);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let mut b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        for kk in 0..k {
+            b.data[kk * n + 3] = 0.0; // zero column => scale 0, exact zeros
+        }
+        let qb = QuantizedMatrix::quantize(&b.data, k, n);
+        let mut out1 = vec![1.0; m * n];
+        let mut out2 = vec![2.0; m * n];
+        matmul_quant_into(&a.data, &qb, &mut out1, m);
+        matmul_quant_into(&a.data, &qb, &mut out2, m);
+        for i in 0..m {
+            assert_eq!(out1[i * n + 3], 0.0);
+        }
+        for (x, y) in out1.iter().zip(&out2) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
     proptest! {
+        /// Quantized row accumulation, like the f32 kernel, is independent
+        /// of how rows are grouped: batching N rows into one call is
+        /// bit-identical to N single-row calls.
+        #[test]
+        fn quantized_matmul_row_partition_invariant(
+            m in 1usize..20, k in 1usize..20, n in 1usize..40, seed in 0u64..500,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let qb = QuantizedMatrix::quantize(&b.data, k, n);
+            let mut batched = vec![0.0; m * n];
+            matmul_quant_into(&a.data, &qb, &mut batched, m);
+            for i in 0..m {
+                let mut single = vec![0.0; n];
+                matmul_quant_into(&a.data[i * k..(i + 1) * k], &qb, &mut single, 1);
+                for (x, y) in single.iter().zip(&batched[i * n..(i + 1) * n]) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+
         /// (A·B)ᵀ = Bᵀ·Aᵀ
         #[test]
         fn matmul_transpose_identity(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000) {

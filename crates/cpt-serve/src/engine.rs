@@ -54,7 +54,7 @@
 use crate::chaos::ChaosPlan;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, StatsSnapshot};
-use cpt_gpt::{CptGpt, DecodeState, SessionDecoder, StreamParams};
+use cpt_gpt::{BatchDecoder, CptGpt, DecodeState, RoundOutcome, SessionDecoder, StreamParams};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -138,6 +138,17 @@ pub struct ServeConfig {
     /// Concurrent connection cap for the TCP front end; excess connections
     /// get one error line and are dropped.
     pub max_connections: usize,
+    /// Decode runnable sessions in cross-session batches (one packed
+    /// per-layer GEMM over all sessions a worker holds) instead of one
+    /// session at a time. Output is bit-identical either way; batching is
+    /// purely a throughput optimization.
+    pub batch_decode: bool,
+    /// Maximum sessions one worker stacks into a single batched forward
+    /// pass (ignored when `batch_decode` is off).
+    pub batch_max: usize,
+    /// Decode through int8 per-channel-quantized weights (approximate —
+    /// no bit-identity claim; see DESIGN.md §15). Requires `batch_decode`.
+    pub quantized: bool,
 }
 
 impl ServeConfig {
@@ -154,6 +165,9 @@ impl ServeConfig {
             detach_ttl_secs: 60,
             read_timeout_ms: 200,
             max_connections: 256,
+            batch_decode: true,
+            batch_max: 64,
+            quantized: false,
         }
     }
 
@@ -198,6 +212,15 @@ impl ServeConfig {
         }
         if self.max_connections == 0 {
             return Err(bad("max_connections", "must be at least 1"));
+        }
+        if self.batch_decode && self.batch_max == 0 {
+            return Err(bad("batch_max", "must be at least 1"));
+        }
+        if self.quantized && !self.batch_decode {
+            return Err(bad(
+                "quantized",
+                "requires batch_decode (the sequential path has no quantized kernels)",
+            ));
         }
         Ok(())
     }
@@ -311,6 +334,10 @@ struct Shared {
     model: Arc<CptGpt>,
     cfg: ServeConfig,
     chaos: ChaosPlan,
+    /// Int8 per-channel decode weights, quantized once at startup when
+    /// `cfg.quantized` and shared read-only by every worker's
+    /// [`BatchDecoder`].
+    quant: Option<Arc<cpt_gpt::QuantDecodeWeights>>,
     state: Mutex<EngineState>,
     /// Workers wait here for the run queue to fill.
     work: Condvar,
@@ -433,10 +460,16 @@ impl Engine {
         chaos: ChaosPlan,
     ) -> Result<Engine, ServeError> {
         cfg.validate()?;
+        let quant = if cfg.quantized {
+            Some(Arc::new(model.quantize_decode_weights()))
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             model,
             cfg,
             chaos,
+            quant,
             state: Mutex::new(EngineState {
                 sessions: HashMap::new(),
                 run_queue: VecDeque::new(),
@@ -959,11 +992,256 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// One decode worker: pull a ready session, advance it by at most its
-/// slice budget **under `catch_unwind`**, publish the events, re-enqueue
-/// (or park/finish/fail), repeat. A panic while decoding fails only the
-/// session being advanced; the worker survives and re-enters its loop.
+/// Blocks until at least one ready session is available, filling `out`
+/// with `(id, decoder, event budget)` triples in run-queue order, or
+/// returns `false` on shutdown. Every popped session is marked `Running`,
+/// so no other worker can touch it until this slice publishes — the same
+/// exclusivity invariant as [`next_work`], extended to a batch.
+///
+/// The grab is capped at `batch_max` and, when several workers compete,
+/// at roughly an even share of the run queue, so one worker cannot
+/// serialize the whole pool behind a single giant batch.
+fn next_work_batch(shared: &Shared, out: &mut Vec<(u64, SessionDecoder, usize)>) -> bool {
+    out.clear();
+    let mut st = shared.lock_state();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let share = (st.run_queue.len() / shared.cfg.workers.max(1)).max(1);
+        let cap = shared.cfg.batch_max.min(share);
+        while out.len() < cap {
+            let Some(id) = st.run_queue.pop_front() else {
+                break;
+            };
+            if let Some(slot) = st.sessions.get_mut(&id) {
+                if slot.run == RunState::Queued && !slot.closed && !slot.failed {
+                    if let Some(decoder) = slot.decoder.take() {
+                        slot.run = RunState::Running;
+                        let room = shared
+                            .cfg
+                            .queue_capacity
+                            .saturating_sub(slot.queue.len());
+                        out.push((id, decoder, room.min(shared.cfg.slice_budget)));
+                    }
+                }
+            }
+        }
+        if !out.is_empty() {
+            let more = !st.run_queue.is_empty();
+            drop(st);
+            if more {
+                shared.work.notify_one();
+            }
+            return true;
+        }
+        st = match shared.work.wait(st) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+    }
+}
+
+/// One session's in-flight state during a batched slice.
+struct BatchEntry {
+    id: u64,
+    /// `None` once the entry panicked (the decoder is poisoned and is
+    /// dropped, never recycled — same rule as the sequential unwind path).
+    decoder: Option<SessionDecoder>,
+    /// Event budget for this slice (slice budget capped by queue room).
+    budget: usize,
+    /// Events decoded this slice, published in order at slice end.
+    buf: Vec<DecodedEvent>,
+    done: bool,
+    panic: Option<String>,
+}
+
+/// Publishes one batch entry's slice under the engine lock, mirroring the
+/// sequential worker's publish arms exactly: vanished and close-pending
+/// sessions recycle their buffers, force-failed sessions discard the
+/// slice, panicked entries deliver their decoded prefix then the terminal
+/// failure record, and live sessions re-enqueue / park / finish.
+fn publish_entry(shared: &Shared, st: &mut EngineState, e: BatchEntry) {
+    match e.panic {
+        Some(reason) => match st.sessions.get_mut(&e.id) {
+            None => {}
+            Some(slot) if slot.closed => {
+                st.sessions.remove(&e.id);
+            }
+            Some(slot) => {
+                let produced = e.buf.len();
+                slot.queue.extend(e.buf.into_iter().map(SessionEvent::Data));
+                slot.decoder = None;
+                st.queued_total += produced;
+                shared.fail_locked(st, e.id, reason);
+            }
+        },
+        None => {
+            let decoder = e.decoder.expect("non-panicked entry keeps its decoder");
+            match st.sessions.get_mut(&e.id) {
+                None => {
+                    Shared::recycle(st, shared.cfg.max_sessions, decoder.into_state());
+                }
+                Some(slot) if slot.closed => {
+                    st.sessions.remove(&e.id);
+                    Shared::recycle(st, shared.cfg.max_sessions, decoder.into_state());
+                }
+                Some(slot) if slot.failed => {
+                    slot.decoder = None;
+                    Shared::recycle(st, shared.cfg.max_sessions, decoder.into_state());
+                }
+                Some(slot) => {
+                    let produced = e.buf.len();
+                    slot.queue.extend(e.buf.into_iter().map(SessionEvent::Data));
+                    if e.done {
+                        slot.run = RunState::Done;
+                        slot.decoder = Some(decoder);
+                    } else if slot.queue.len() >= shared.cfg.queue_capacity {
+                        slot.run = RunState::Parked;
+                        slot.decoder = Some(decoder);
+                    } else {
+                        slot.run = RunState::Queued;
+                        slot.decoder = Some(decoder);
+                        st.run_queue.push_back(e.id);
+                        shared.work.notify_one();
+                    }
+                    st.queued_total += produced;
+                }
+            }
+        }
+    }
+}
+
+/// The batched decode worker: grab up to `batch_max` ready sessions,
+/// advance them together one event per round through a [`BatchDecoder`]
+/// (one packed per-layer GEMM over all live entries per round), publish
+/// each session at slice end, repeat.
+///
+/// Containment is two-level, preserving the sequential loop's semantics:
+/// the `BatchDecoder` contains per-entry panics (the chaos hook fires in
+/// the same advance-order slot as the sequential check, and sampling runs
+/// per entry), failing only the targeted session while the rest of the
+/// batch proceeds; a panic inside the shared forward pass itself is
+/// caught here and fails every live entry — the decode states may be
+/// mid-scatter, so none of them can be trusted.
+fn worker_loop_batched(shared: &Shared) {
+    let model = Arc::clone(&shared.model);
+    let chaos = shared.chaos;
+    let mut bd = BatchDecoder::with_quant(&model, shared.cfg.batch_max, shared.quant.clone());
+    let mut work: Vec<(u64, SessionDecoder, usize)> = Vec::with_capacity(shared.cfg.batch_max);
+    let mut entries: Vec<BatchEntry> = Vec::with_capacity(shared.cfg.batch_max);
+    let mut outcomes: Vec<RoundOutcome> = Vec::with_capacity(shared.cfg.batch_max);
+    let mut slice_idx: u64 = 0;
+    while next_work_batch(shared, &mut work) {
+        let t0 = Instant::now();
+        entries.clear();
+        entries.extend(work.drain(..).map(|(id, decoder, budget)| BatchEntry {
+            id,
+            decoder: Some(decoder),
+            budget,
+            buf: Vec::new(),
+            done: false,
+            panic: None,
+        }));
+        loop {
+            let live: Vec<usize> = (0..entries.len())
+                .filter(|&k| {
+                    let e = &entries[k];
+                    e.panic.is_none() && !e.done && e.buf.len() < e.budget
+                })
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let live_ids: Vec<u64> = live.iter().map(|&k| entries[k].id).collect();
+            let mut refs: Vec<&mut SessionDecoder> = {
+                let mut want = live.iter().copied().peekable();
+                let mut refs = Vec::with_capacity(live.len());
+                for (k, e) in entries.iter_mut().enumerate() {
+                    if want.peek() == Some(&k) {
+                        want.next();
+                        refs.push(e.decoder.as_mut().expect("live entry keeps its decoder"));
+                    }
+                }
+                refs
+            };
+            let round = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                bd.next_events(
+                    &model,
+                    &mut refs,
+                    &mut |slot, events| {
+                        let id = live_ids[slot];
+                        if chaos.should_panic(id, events) {
+                            panic!("chaos: injected panic advancing session {id}");
+                        }
+                    },
+                    &mut outcomes,
+                )
+            }));
+            match round {
+                Ok(rows) => {
+                    let mut produced = 0u64;
+                    for (&k, oc) in live.iter().zip(outcomes.drain(..)) {
+                        match oc {
+                            RoundOutcome::Event(ev) => {
+                                entries[k].buf.push(ev);
+                                produced += 1;
+                            }
+                            RoundOutcome::Finished => entries[k].done = true,
+                            RoundOutcome::Panicked(reason) => {
+                                entries[k].decoder = None;
+                                entries[k].panic = Some(reason);
+                                shared.metrics.inc_worker_panic();
+                            }
+                        }
+                    }
+                    shared.metrics.record_batch_round(rows as u64, produced);
+                }
+                Err(payload) => {
+                    let reason = panic_reason(payload.as_ref());
+                    shared.metrics.inc_worker_panic();
+                    for &k in &live {
+                        entries[k].decoder = None;
+                        entries[k].panic = Some(reason.clone());
+                    }
+                    break;
+                }
+            }
+        }
+        let total: u64 = entries.iter().map(|e| e.buf.len() as u64).sum();
+        shared.metrics.record_slice(t0.elapsed(), total);
+        if let Some(delay) = chaos.slice_delay(slice_idx) {
+            std::thread::sleep(delay);
+        }
+        slice_idx += 1;
+
+        let mut st = shared.lock_state();
+        for e in entries.drain(..) {
+            publish_entry(shared, &mut st, e);
+        }
+        drop(st);
+        shared.delivery.notify_all();
+    }
+}
+
+/// One decode worker. Dispatches on [`ServeConfig::batch_decode`]: both
+/// loops produce bit-identical per-session output; the batched loop packs
+/// the forward passes of every session the worker holds into one GEMM per
+/// layer.
 fn worker_loop(shared: &Shared) {
+    if shared.cfg.batch_decode {
+        worker_loop_batched(shared)
+    } else {
+        worker_loop_sequential(shared)
+    }
+}
+
+/// The sequential decode worker: pull a ready session, advance it by at
+/// most its slice budget **under `catch_unwind`**, publish the events,
+/// re-enqueue (or park/finish/fail), repeat. A panic while decoding fails
+/// only the session being advanced; the worker survives and re-enters its
+/// loop.
+fn worker_loop_sequential(shared: &Shared) {
     let model = Arc::clone(&shared.model);
     let chaos = shared.chaos;
     // Reused across slices: allocation-free steady state. On a panic the
@@ -990,6 +1268,7 @@ fn worker_loop(shared: &Shared) {
             (decoder, done)
         }));
         shared.metrics.record_slice(t0.elapsed(), buf.len() as u64);
+        shared.metrics.add_sequential_tokens(buf.len() as u64);
         if let Some(delay) = chaos.slice_delay(slice_idx) {
             std::thread::sleep(delay);
         }
@@ -1084,6 +1363,15 @@ mod tests {
             ("detach_ttl_secs", ServeConfig { detach_ttl_secs: 0, ..ok }),
             ("read_timeout_ms", ServeConfig { read_timeout_ms: 0, ..ok }),
             ("max_connections", ServeConfig { max_connections: 0, ..ok }),
+            ("batch_max", ServeConfig { batch_max: 0, ..ok }),
+            (
+                "quantized",
+                ServeConfig {
+                    quantized: true,
+                    batch_decode: false,
+                    ..ok
+                },
+            ),
         ] {
             let got = cfg.validate();
             assert!(

@@ -25,8 +25,9 @@ use crate::protocol::{ErrorKind, Request, Response};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Load-generator configuration.
@@ -151,6 +152,17 @@ pub struct LoadgenReport {
     pub elapsed_secs: f64,
     /// Events received per second of run time.
     pub events_per_sec: f64,
+    /// Data events delivered per session, aggregated over every session
+    /// this client pulled events from (nearest-rank percentiles over the
+    /// exact counts, not histogram buckets).
+    #[serde(default)]
+    pub events_per_session_p50: u64,
+    #[serde(default)]
+    pub events_per_session_p99: u64,
+    #[serde(default)]
+    pub events_per_session_mean: f64,
+    #[serde(default)]
+    pub events_per_session_max: u64,
     /// Client-observed `open` latency, p50/p99 (µs, bucket upper bound).
     pub open_p50_us: u64,
     pub open_p99_us: u64,
@@ -211,6 +223,8 @@ struct Tally {
     reconnects: AtomicU64,
     /// Open attempts so far, used for rate pacing and seed assignment.
     attempts: AtomicU64,
+    /// Per-session data-event counts, merged in as each thread exits.
+    per_session: Mutex<Vec<u64>>,
 }
 
 /// One splitmix64 scramble, for deterministic backoff jitter.
@@ -325,8 +339,11 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
             std::thread::Builder::new()
                 .name(format!("cpt-loadgen-{i}"))
                 .spawn(move || {
+                    let mut counts = HashMap::new();
                     client_thread(&cfg, per_thread, start, open_deadline, &tally, &open_hist,
-                        &next_hist)
+                        &next_hist, &mut counts);
+                    let mut per = tally.per_session.lock().expect("per-session tally poisoned");
+                    per.extend(counts.into_values());
                 })
         })
         .collect::<Result<_, _>>()
@@ -348,6 +365,16 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
 
     let elapsed = start.elapsed().as_secs_f64();
     let events = tally.events.load(Ordering::Relaxed);
+    let mut per_session = std::mem::take(
+        &mut *tally.per_session.lock().expect("per-session tally poisoned"),
+    );
+    per_session.sort_unstable();
+    let nearest_rank = |q: f64| -> u64 {
+        match per_session.len() {
+            0 => 0,
+            n => per_session[((q * n as f64).ceil() as usize).clamp(1, n) - 1],
+        }
+    };
     Ok(LoadgenReport {
         sessions_opened: tally.opened.load(Ordering::Relaxed),
         sessions_shed: tally.shed.load(Ordering::Relaxed),
@@ -361,6 +388,14 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         reconnects: tally.reconnects.load(Ordering::Relaxed),
         elapsed_secs: elapsed,
         events_per_sec: if elapsed > 0.0 { events as f64 / elapsed } else { 0.0 },
+        events_per_session_p50: nearest_rank(0.50),
+        events_per_session_p99: nearest_rank(0.99),
+        events_per_session_mean: if per_session.is_empty() {
+            0.0
+        } else {
+            per_session.iter().sum::<u64>() as f64 / per_session.len() as f64
+        },
+        events_per_session_max: per_session.last().copied().unwrap_or(0),
         open_p50_us: open_hist.quantile_us(0.50),
         open_p99_us: open_hist.quantile_us(0.99),
         next_p50_us: next_hist.quantile_us(0.50),
@@ -413,6 +448,7 @@ fn handle_disconnect(
     None
 }
 
+#[allow(clippy::too_many_arguments)]
 fn client_thread(
     cfg: &LoadgenConfig,
     per_thread: usize,
@@ -421,6 +457,7 @@ fn client_thread(
     tally: &Tally,
     open_hist: &LatencyHistogram,
     next_hist: &LatencyHistogram,
+    counts: &mut HashMap<u64, u64>,
 ) {
     let mut conn = match establish(cfg, tally) {
         Ok(c) => c,
@@ -538,6 +575,7 @@ fn client_thread(
                     let data = events.iter().filter(|e| e.data().is_some()).count();
                     let failed = events.iter().any(|e| e.is_failure());
                     tally.events.fetch_add(data as u64, Ordering::Relaxed);
+                    *counts.entry(id).or_default() += data as u64;
                     if finished {
                         let closed = matches!(
                             conn.client.request(&Request::Close { session: id }),

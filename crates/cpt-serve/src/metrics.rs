@@ -41,8 +41,13 @@ impl LatencyHistogram {
 
     /// Records one sample.
     pub fn record(&self, d: Duration) {
-        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.record_value(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one raw value (the histogram is unit-agnostic: slice
+    /// latency uses microseconds, batch occupancy uses session counts).
+    pub fn record_value(&self, v: u64) {
+        let idx = (64 - v.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -53,6 +58,12 @@ impl LatencyHistogram {
 
     /// The `q`-quantile in microseconds (upper bucket bound); 0 if empty.
     pub fn quantile_us(&self, q: f64) -> u64 {
+        self.quantile(q)
+    }
+
+    /// The `q`-quantile in the histogram's raw unit (upper bucket bound);
+    /// 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
         let counts: Vec<u64> = self
             .buckets
             .iter()
@@ -94,6 +105,16 @@ pub struct Metrics {
     events_delivered: AtomicU64,
     slices: AtomicU64,
     slice_latency: LatencyHistogram,
+    /// Events decoded through the batched (packed-GEMM) path.
+    batched_tokens: AtomicU64,
+    /// Events decoded through the sequential (`--no-batch-decode`) path.
+    sequential_tokens: AtomicU64,
+    /// Batched decode rounds executed (one packed forward pass each).
+    batch_rounds: AtomicU64,
+    /// Largest GEMM row count observed in one batched round.
+    batch_peak: AtomicU64,
+    /// Log₂-bucketed histogram of GEMM rows per batched round.
+    batch_occupancy: LatencyHistogram,
 }
 
 impl Default for Metrics {
@@ -120,7 +141,29 @@ impl Metrics {
             events_delivered: AtomicU64::new(0),
             slices: AtomicU64::new(0),
             slice_latency: LatencyHistogram::new(),
+            batched_tokens: AtomicU64::new(0),
+            sequential_tokens: AtomicU64::new(0),
+            batch_rounds: AtomicU64::new(0),
+            batch_peak: AtomicU64::new(0),
+            batch_occupancy: LatencyHistogram::new(),
         }
+    }
+
+    /// Records one batched decode round: `rows` sessions went through the
+    /// packed GEMM and `events` events were produced (GEMM rows plus any
+    /// bootstrap events, which skip the forward pass).
+    pub fn record_batch_round(&self, rows: u64, events: u64) {
+        self.batch_rounds.fetch_add(1, Ordering::Relaxed);
+        self.batched_tokens.fetch_add(events, Ordering::Relaxed);
+        if rows > 0 {
+            self.batch_occupancy.record_value(rows);
+            self.batch_peak.fetch_max(rows, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts events decoded by the sequential (`--no-batch-decode`) path.
+    pub fn add_sequential_tokens(&self, n: u64) {
+        self.sequential_tokens.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one scheduling slice: its wall-clock latency and the number
@@ -217,6 +260,12 @@ impl Metrics {
             slices: self.slices.load(Ordering::Relaxed),
             slice_p50_us: self.slice_latency.quantile_us(0.50),
             slice_p99_us: self.slice_latency.quantile_us(0.99),
+            batched_tokens: self.batched_tokens.load(Ordering::Relaxed),
+            sequential_tokens: self.sequential_tokens.load(Ordering::Relaxed),
+            batch_rounds: self.batch_rounds.load(Ordering::Relaxed),
+            batch_p50: self.batch_occupancy.quantile(0.50),
+            batch_p99: self.batch_occupancy.quantile(0.99),
+            batch_peak: self.batch_peak.load(Ordering::Relaxed),
         }
     }
 }
@@ -272,6 +321,25 @@ pub struct StatsSnapshot {
     pub slice_p50_us: u64,
     /// 99th-percentile decode-slice latency (µs, log₂-bucket upper bound).
     pub slice_p99_us: u64,
+    /// Events decoded through the batched (packed-GEMM) path since start.
+    #[serde(default)]
+    pub batched_tokens: u64,
+    /// Events decoded through the sequential path since start.
+    #[serde(default)]
+    pub sequential_tokens: u64,
+    /// Batched decode rounds (one packed forward pass each) since start.
+    #[serde(default)]
+    pub batch_rounds: u64,
+    /// Median GEMM rows per batched round (log₂-bucket upper bound).
+    #[serde(default)]
+    pub batch_p50: u64,
+    /// 99th-percentile GEMM rows per batched round (log₂-bucket upper
+    /// bound).
+    #[serde(default)]
+    pub batch_p99: u64,
+    /// Largest GEMM row count observed in one batched round.
+    #[serde(default)]
+    pub batch_peak: u64,
 }
 
 #[cfg(test)]
@@ -307,6 +375,9 @@ mod tests {
         m.add_reattached(1);
         m.add_expired(1);
         m.inc_force_failed();
+        m.record_batch_round(5, 6);
+        m.record_batch_round(0, 1); // all-bootstrap round: no GEMM rows
+        m.add_sequential_tokens(3);
         let s = m.snapshot(1, 2, 3, 4);
         assert_eq!(s.sessions_failed, 1);
         assert_eq!(s.worker_panics, 1);
@@ -325,5 +396,12 @@ mod tests {
         assert_eq!(s.workers, 4);
         assert_eq!(s.slices, 1);
         assert!(s.slice_p50_us >= 100);
+        assert_eq!(s.batched_tokens, 7);
+        assert_eq!(s.sequential_tokens, 3);
+        assert_eq!(s.batch_rounds, 2);
+        assert_eq!(s.batch_peak, 5);
+        // One occupancy sample of 5 → bucket 3, upper bound 7.
+        assert_eq!(s.batch_p50, 7);
+        assert_eq!(s.batch_p99, 7);
     }
 }

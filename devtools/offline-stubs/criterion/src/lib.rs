@@ -1,3 +1,81 @@
-//! Offline stub for `criterion`: exists so dependency resolution succeeds
-//! offline. Bench targets cannot compile against this; run benches in CI
-//! only. See devtools/offline-stubs/README.md.
+//! Offline stub for `criterion`: enough API to compile and smoke-run the
+//! bench targets (`cargo check --all-targets` / `cargo bench` offline).
+//! There is no statistics engine — `Bencher::iter` runs the closure once so
+//! a bench binary doubles as a cheap does-it-run check. Real measurements
+//! come from CI's genuine criterion. See devtools/offline-stubs/README.md.
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 0 };
+        f(&mut b);
+        eprintln!("offline-bench {id}: ran {} iteration(s), unmeasured", b.iters);
+        self
+    }
+
+    pub fn final_summary(&self) {
+        let _ = self.sample_size;
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        self.iters += 1;
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -149,6 +149,8 @@ fn usage() -> ExitCode {
          \u{20}            [--max-sessions N] [--queue-capacity N] [--slice-budget N]\n\
          \u{20}            [--max-connections N] [--read-timeout-ms MS]\n\
          \u{20}            [--detach-ttl-secs S]   (line-JSON protocol; port 0 = auto)\n\
+         \u{20}            [--no-batch-decode]   (sequential fallback; bit-identical)\n\
+         \u{20}            [--batch-max N] [--quantized]   (int8 weights, approximate)\n\
          \u{20}            chaos (deterministic fault injection, all off by default):\n\
          \u{20}            [--chaos-seed S] [--chaos-panic-session ID]\n\
          \u{20}            [--chaos-panic-at-event N] [--chaos-delay-every N]\n\
@@ -165,6 +167,8 @@ fn usage() -> ExitCode {
          \u{20}            [--max-regression F]   (throughput report, default 2.0)\n\
          \u{20}            [--min-train-speedup F]   (fail if multi-thread train\n\
          \u{20}            throughput < F x 1-thread; skipped on 1-core runners)\n\
+         \u{20}            [--min-serve-speedup F]   (fail if batched serve decode\n\
+         \u{20}            < F x sequential; skipped below 4 cores)\n\
            dot        [--generation 4g|5g]   (Graphviz of the UE state machine)\n\
          \n\
          exit codes: 0 ok, 2 usage, 3 data/io, 4 bad config/model,\n\
@@ -445,6 +449,9 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
         get_parsed(opts, "read-timeout-ms", cfg.serve.read_timeout_ms)?;
     cfg.serve.detach_ttl_secs =
         get_parsed(opts, "detach-ttl-secs", cfg.serve.detach_ttl_secs)?;
+    cfg.serve.batch_decode = !opts.contains_key("no-batch-decode");
+    cfg.serve.batch_max = get_parsed(opts, "batch-max", cfg.serve.batch_max)?;
+    cfg.serve.quantized = opts.contains_key("quantized");
     cfg.serve.validate()?;
     cfg.chaos = ChaosPlan {
         seed: get_parsed(opts, "chaos-seed", 0)?,
@@ -461,8 +468,20 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
         eprintln!("warning: chaos injection enabled: {:?}", cfg.chaos);
     }
     println!(
-        "serving {} with {} workers (cap {} sessions)",
-        model_path, cfg.serve.workers, cfg.serve.max_sessions
+        "serving {} with {} workers (cap {} sessions, {} decode{})",
+        model_path,
+        cfg.serve.workers,
+        cfg.serve.max_sessions,
+        if cfg.serve.batch_decode {
+            "batched"
+        } else {
+            "sequential"
+        },
+        if cfg.serve.quantized {
+            ", int8 weights"
+        } else {
+            ""
+        }
     );
     let stats = cpt::serve::serve(model, cfg, |addr| {
         // The readiness line scripts grep for; flush because stdout is
@@ -540,6 +559,13 @@ fn cmd_loadgen(opts: &HashMap<String, String>) -> Result<(), CliError> {
     println!(
         "  open latency p50 {} us, p99 {} us; next latency p50 {} us, p99 {} us",
         report.open_p50_us, report.open_p99_us, report.next_p50_us, report.next_p99_us
+    );
+    println!(
+        "  events per session: p50 {}, p99 {}, mean {:.1}, max {}",
+        report.events_per_session_p50,
+        report.events_per_session_p99,
+        report.events_per_session_mean,
+        report.events_per_session_max
     );
     if report.connect_retries > 0 || report.open_retries > 0 || report.reconnects > 0 {
         println!(
@@ -663,6 +689,14 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
             ));
         }
     }
+    let min_serve_speedup: Option<f64> = get_opt_parsed(opts, "min-serve-speedup")?;
+    if let Some(f) = min_serve_speedup {
+        if !f.is_finite() || f <= 0.0 {
+            return Err(CliError::usage(
+                "--min-serve-speedup must be finite and positive",
+            ));
+        }
+    }
 
     println!(
         "measuring throughput ({} mode)...",
@@ -672,6 +706,7 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
         // Reuse the train-error exit mapping (divergence → 5, etc.).
         cpt::bench::throughput::MeasureError::Train(t) => CliError::from(t),
         g @ (cpt::bench::throughput::MeasureError::Generate(_)
+        | cpt::bench::throughput::MeasureError::Serve(_)
         | cpt::bench::throughput::MeasureError::Pool(_)) => {
             CliError::data(format!("throughput measurement failed: {g}"))
         }
@@ -686,6 +721,15 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
     println!(
         "  generate: {:.1} streams/s, {:.0} tokens/s",
         report.generate_streams_per_sec, report.generate_tokens_per_sec
+    );
+    println!(
+        "  serve:    {:.0} tokens/s batched ({:.1} sessions/s), \
+         {:.0} tokens/s sequential, {:.2}x speedup; {:.0} tokens/s int8",
+        report.serve_tokens_per_sec,
+        report.serve_sessions_per_sec,
+        report.serve_tokens_per_sec_sequential,
+        report.serve_speedup,
+        report.serve_tokens_per_sec_quantized
     );
     println!(
         "  peak RSS: {:.1} MiB",
@@ -736,6 +780,31 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
             println!(
                 "train speedup {:.2}x at {} threads meets the required {min}x",
                 report.train_speedup, report.threads
+            );
+        }
+    }
+    if let Some(min) = min_serve_speedup {
+        // Packing amortization needs real cores to show against the
+        // already-parallel sequential path; a small runner would gate on
+        // scheduler noise (acceptance measures at >= 4 cores).
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores < 4 {
+            println!("serve-speedup gate skipped: only {cores} cores available");
+        } else if report.serve_speedup < min {
+            return Err(CliError {
+                code: EXIT_REGRESSION,
+                message: format!(
+                    "serve speedup {:.2}x (batched vs sequential) on {cores} cores \
+                     is below the required {min}x",
+                    report.serve_speedup
+                ),
+            });
+        } else {
+            println!(
+                "serve speedup {:.2}x on {cores} cores meets the required {min}x",
+                report.serve_speedup
             );
         }
     }
