@@ -54,7 +54,8 @@ pub fn run_table6(scale: &Scale, out: &Output, cache: &mut SuiteCache) -> Result
     );
     for device in DeviceType::ALL {
         let suite = cache.get(scale, device)?;
-        let metric_rows: [(&str, Box<dyn Fn(&cpt_metrics::FidelityReport) -> f64>); 5] = [
+        type MetricFn = Box<dyn Fn(&cpt_metrics::FidelityReport) -> f64>;
+        let metric_rows: [(&str, MetricFn); 5] = [
             ("Sojourn CONNECTED", Box::new(|r| r.sojourn_connected)),
             ("Sojourn IDLE", Box::new(|r| r.sojourn_idle)),
             ("Flow length (all)", Box::new(|r| r.flow_length_all)),

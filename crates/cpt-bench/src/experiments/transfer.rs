@@ -316,7 +316,8 @@ pub fn run_table10(
         "Table 10: hour-3 fidelity with and without transfer learning",
         &["metric", "NetShare w/o", "CPT-GPT w/o", "NetShare w/", "CPT-GPT w/"],
     );
-    let metric_rows: [(&str, Box<dyn Fn(&FidelityReport) -> f64>); 5] = [
+    type MetricFn = Box<dyn Fn(&FidelityReport) -> f64>;
+    let metric_rows: [(&str, MetricFn); 5] = [
         ("Event violations", Box::new(|r| r.event_violation_rate)),
         ("Stream violations", Box::new(|r| r.stream_violation_rate)),
         ("Sojourn CONNECTED", Box::new(|r| r.sojourn_connected)),

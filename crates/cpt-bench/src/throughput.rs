@@ -125,6 +125,14 @@ pub struct ThroughputReport {
     /// (`--quantized`; approximate, gated separately).
     #[serde(default)]
     pub serve_tokens_per_sec_quantized: f64,
+    /// Event tokens per second through the hot-swap-under-load scenario:
+    /// the same 64 sessions as the batched figure, but a second model
+    /// version is promoted mid-drain while every original session stays
+    /// pinned to (and completes byte-identically on) the version it
+    /// opened with. Informational — the byte-identity assertion is the
+    /// gate, not the rate. 0 in reports written before hot swap existed.
+    #[serde(default)]
+    pub serve_tokens_per_sec_swap: f64,
     /// Peak resident set size (VmHWM) at the end of the run, in bytes.
     /// 0 when the platform does not expose it.
     pub peak_rss_bytes: u64,
@@ -209,6 +217,69 @@ fn run_serve(
     let secs = start.elapsed().as_secs_f64();
     engine.shutdown();
     Ok((outputs, secs))
+}
+
+/// The hot-swap-under-load scenario: open every session on version 1,
+/// drain one round, promote version 2 mid-flight, open (and fully drain)
+/// a handful of new sessions — which must land on v2 — then finish the
+/// originals. Returns the v1 sessions' outputs (asserted byte-identical
+/// to an un-swapped run by the caller), the total event count including
+/// the v2 sessions, and the wall-clock time.
+fn run_swap_serve(
+    v1: &Arc<CptGpt>,
+    v2: &Arc<CptGpt>,
+    cfg: ServeConfig,
+    params: &[StreamParams],
+) -> Result<(Vec<Vec<SessionEvent>>, usize, f64), MeasureError> {
+    let engine = Engine::start(Arc::clone(v1), cfg)?;
+    let handle = engine.handle();
+    let start = Instant::now();
+    let ids: Vec<SessionId> = params
+        .iter()
+        .map(|p| handle.open_session(*p))
+        .collect::<Result<_, _>>()?;
+    let mut outputs: Vec<Vec<SessionEvent>> = vec![Vec::new(); ids.len()];
+    let mut done = vec![false; ids.len()];
+    let mut extra_events = 0usize;
+    let mut swapped = false;
+    while !done.iter().all(|d| *d) {
+        for (i, id) in ids.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            // Small chunks so the originals are still mid-stream when the
+            // promotion lands.
+            let b = handle.next_events(*id, 24, Duration::from_secs(60))?;
+            outputs[i].extend(b.events);
+            if b.finished {
+                handle.close_session(*id)?;
+                done[i] = true;
+            }
+        }
+        if !swapped {
+            swapped = true;
+            handle.install_version(2, Arc::clone(v2));
+            handle.promote_version(2)?;
+            assert_eq!(handle.live_version(), 2, "promotion must flip the live version");
+            // New sessions open on v2 while the originals keep draining
+            // pinned to v1.
+            for k in 0..8u64 {
+                let id = handle.open_session(StreamParams::new(9000 + k * 17).streams(1))?;
+                loop {
+                    let b = handle.next_events(id, 256, Duration::from_secs(60))?;
+                    extra_events += b.events.len();
+                    if b.finished {
+                        handle.close_session(id)?;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let total: usize = outputs.iter().map(|s| s.len()).sum::<usize>() + extra_events;
+    engine.shutdown();
+    Ok((outputs, total, secs))
 }
 
 fn time_loop(mut f: impl FnMut(), iters: usize) -> f64 {
@@ -381,6 +452,24 @@ pub fn measure(quick: bool) -> Result<ThroughputReport, MeasureError> {
     let serve_tokens_per_sec = serve_tokens as f64 / bat_secs;
     let serve_tokens_per_sec_sequential = serve_tokens as f64 / seq_secs;
 
+    // Hot swap under load: promote a differently-trained v2 mid-drain.
+    // The original sessions are pinned to v1, so their outputs must match
+    // the un-swapped batched run byte for byte — the version-pinning
+    // contract DESIGN.md §16 documents, checked on every bench run.
+    let mut v2 = (*serve_model).clone();
+    cpt_gpt::train(&mut v2, &serve_data, &TrainConfig::quick().with_epochs(1))?;
+    let v2 = Arc::new(v2);
+    let (swap_out, swap_tokens, swap_secs) = run_swap_serve(
+        &serve_model,
+        &v2,
+        ServeConfig { batch_decode: true, batch_max: 64, ..base },
+        &serve_params,
+    )?;
+    assert_eq!(
+        swap_out, bat_out,
+        "sessions pinned across a hot swap must complete byte-identically"
+    );
+
     Ok(ThroughputReport {
         matmul_gflops,
         train_tokens_per_sec,
@@ -393,6 +482,7 @@ pub fn measure(quick: bool) -> Result<ThroughputReport, MeasureError> {
         serve_tokens_per_sec_sequential,
         serve_speedup: serve_tokens_per_sec / serve_tokens_per_sec_sequential,
         serve_tokens_per_sec_quantized: quant_tokens as f64 / quant_secs,
+        serve_tokens_per_sec_swap: swap_tokens as f64 / swap_secs,
         peak_rss_bytes: peak_rss_bytes(),
         threads: rayon::current_num_threads(),
     })
@@ -483,6 +573,9 @@ mod tests {
             serve_tokens_per_sec_sequential: 3.0 * x,
             serve_speedup: 2.0,
             serve_tokens_per_sec_quantized: 7.0 * x,
+            // Informational only — never baseline-gated, so the
+            // exactly-9-failures count below stays stable.
+            serve_tokens_per_sec_swap: 5.5 * x,
             peak_rss_bytes: 1 << 20,
             threads: 1,
         }

@@ -537,7 +537,7 @@ mod tests {
         let d = model.generate(&GenerateConfig::new(10, 3)).expect("generate");
         assert_eq!(d.num_streams(), 10);
         for s in &d.streams {
-            assert!(s.len() >= 1 && s.len() <= 12);
+            assert!(!s.is_empty() && s.len() <= 12);
             assert!(s.events.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
             assert_eq!(s.device_type, DeviceType::Phone);
         }

@@ -97,6 +97,12 @@ pub struct CptGpt {
     pub tokenizer: Tokenizer,
     /// Initial-event-type distribution used to bootstrap inference.
     pub initial_event_dist: Vec<(EventType, f64)>,
+    /// Integrity header: FNV-1a checksum of the parameter store, stamped
+    /// by [`save_model_file`] at write time and verified (then cleared) on
+    /// load. `None` for pre-checksum artifacts, which still load, and for
+    /// in-memory models, whose weights may since have been trained.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    weights_checksum: Option<u64>,
     input_proj: Linear,
     pos_emb: ParamId,
     blocks: Vec<TransformerBlock>,
@@ -152,6 +158,7 @@ impl CptGpt {
             store,
             tokenizer,
             initial_event_dist: Vec::new(),
+            weights_checksum: None,
             input_proj,
             pos_emb,
             blocks,
@@ -165,6 +172,13 @@ impl CptGpt {
     /// Total scalar parameter count.
     pub fn num_params(&self) -> usize {
         self.store.num_params()
+    }
+
+    /// Deterministic checksum of the current weights (names, shapes, exact
+    /// f32 bits). Two models hash equal iff their parameters are
+    /// bit-identical.
+    pub fn checksum(&self) -> u64 {
+        cpt_nn::serialize::store_checksum(&self.store)
     }
 
     /// Serializes the model bundle (config + tokenizer + weights +
@@ -187,11 +201,12 @@ impl CptGpt {
     /// rejected as [`CheckpointError::Validation`] so a server loading an
     /// untrusted payload gets a typed error, never a panic downstream.
     pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
-        let model: CptGpt =
+        let mut model: CptGpt =
             serde_json::from_str(json).map_err(|e| CheckpointError::Corrupt {
                 path: std::path::PathBuf::from("<in-memory model>"),
                 detail: e.to_string(),
             })?;
+        verify_checksum_header(&mut model, std::path::Path::new("<in-memory model>"))?;
         cpt_nn::serialize::validate_store(&model.store).map_err(|e| {
             CheckpointError::Validation {
                 path: std::path::PathBuf::from("<in-memory model>"),
@@ -703,10 +718,37 @@ impl CptGpt {
     }
 }
 
+/// Verifies a parsed artifact's checksum header against the weights it
+/// arrived with, then clears the header: an in-memory model's weights can
+/// be trained further, which would silently stale the stamp. Artifacts
+/// written before the header existed carry `None` and are accepted as-is.
+fn verify_checksum_header(
+    model: &mut CptGpt,
+    path: &std::path::Path,
+) -> Result<(), CheckpointError> {
+    if let Some(expected) = model.weights_checksum.take() {
+        let actual = model.checksum();
+        if actual != expected {
+            return Err(CheckpointError::Corrupt {
+                path: path.to_path_buf(),
+                detail: format!(
+                    "weights checksum mismatch: header {expected:#018x}, computed {actual:#018x} \
+                     — artifact bytes were altered after the model was saved"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Saves a model bundle to `path` atomically (temp file + rename), so a
 /// crash mid-save cannot leave a torn file where a good model used to be.
+/// The artifact is stamped with a checksum of the exact weight bits, which
+/// [`load_model_file`] verifies before trusting the payload.
 pub fn save_model_file(model: &CptGpt, path: &std::path::Path) -> Result<(), CheckpointError> {
-    cpt_nn::serialize::atomic_write_json(model, path).map_err(|e| match e {
+    let mut stamped = model.clone();
+    stamped.weights_checksum = Some(stamped.checksum());
+    cpt_nn::serialize::atomic_write_json(&stamped, path).map_err(|e| match e {
         cpt_nn::serialize::CheckpointError::Io(source) => CheckpointError::Io {
             path: path.to_path_buf(),
             source,
@@ -726,12 +768,14 @@ pub fn load_model_file(path: &std::path::Path) -> Result<CptGpt, CheckpointError
         path: path.to_path_buf(),
         source,
     })?;
-    let model: CptGpt = serde_json::from_reader(std::io::BufReader::new(file)).map_err(|e| {
-        CheckpointError::Corrupt {
-            path: path.to_path_buf(),
-            detail: e.to_string(),
-        }
-    })?;
+    let mut model: CptGpt =
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(|e| {
+            CheckpointError::Corrupt {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            }
+        })?;
+    verify_checksum_header(&mut model, path)?;
     cpt_nn::serialize::validate_store(&model.store).map_err(|e| CheckpointError::Validation {
         path: path.to_path_buf(),
         detail: e.to_string(),
@@ -941,9 +985,9 @@ mod tests {
             }
             assert_eq!(mean.to_bits(), out.iat_mean[i].to_bits(), "iat mean row {i}");
             assert_eq!(log_std.to_bits(), out.iat_log_std[i].to_bits(), "iat log_std row {i}");
-            for c in 0..2 {
+            for (c, s) in stop.iter().enumerate() {
                 assert_eq!(
-                    stop[c].to_bits(),
+                    s.to_bits(),
                     out.stop_logits.data[i * 2 + c].to_bits(),
                     "stop logit row {i} col {c}"
                 );
@@ -1008,6 +1052,59 @@ mod tests {
             model.generate(&cfg).expect("generate"),
             back.generate(&cfg).expect("generate")
         );
+    }
+
+    #[test]
+    fn model_file_checksum_roundtrip_and_corruption() {
+        let d = toy_dataset();
+        let tok = Tokenizer::fit(&d);
+        let model = CptGpt::new(tiny_config(), tok);
+        let dir = std::env::temp_dir().join(format!("cpt-gpt-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("model.json");
+
+        // A saved artifact carries a checksum header and round-trips.
+        save_model_file(&model, &path).expect("save");
+        let bytes = std::fs::read_to_string(&path).expect("read artifact");
+        assert!(bytes.contains("weights_checksum"), "header missing from artifact");
+        let back = load_model_file(&path).expect("load verifies checksum");
+        assert_eq!(back.checksum(), model.checksum());
+        assert_eq!(back.weights_checksum, None, "header cleared after verification");
+        // Re-saving the loaded model reproduces the artifact byte-for-byte.
+        let resaved = dir.join("model2.json");
+        save_model_file(&back, &resaved).expect("re-save");
+        assert_eq!(bytes, std::fs::read_to_string(&resaved).expect("read re-saved"));
+
+        // A flipped weight bit that keeps the JSON parseable and the value
+        // finite is caught by the checksum, with the offending path named.
+        let mut tampered = model.clone();
+        let id = tampered.store.ids()[0];
+        let v = tampered.store.value(id).data[0];
+        tampered.store.value_mut(id).data[0] = f32::from_bits(v.to_bits() ^ 1);
+        tampered.weights_checksum = Some(model.checksum());
+        cpt_nn::serialize::atomic_write_json(&tampered, &path).expect("write tampered");
+        match load_model_file(&path) {
+            Err(CheckpointError::Corrupt { path: p, detail }) => {
+                assert_eq!(p, path);
+                assert!(detail.contains("checksum mismatch"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // Truncation surfaces as Corrupt too (unparseable), never a panic.
+        let full = std::fs::read(&resaved).expect("read bytes");
+        std::fs::write(&path, &full[..full.len() / 2]).expect("truncate");
+        assert!(matches!(
+            load_model_file(&path),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+
+        // A pre-checksum artifact (no header) still loads.
+        let mut legacy = model.clone();
+        legacy.weights_checksum = None;
+        cpt_nn::serialize::atomic_write_json(&legacy, &path).expect("write legacy");
+        load_model_file(&path).expect("legacy artifact loads without header");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

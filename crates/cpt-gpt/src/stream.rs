@@ -869,7 +869,7 @@ mod tests {
         let mut poisoned = false;
         loop {
             let live: Vec<usize> = (0..3)
-                .filter(|&i| !(poisoned && i == 1) && !decs[i].is_finished())
+                .filter(|&i| !(decs[i].is_finished() || poisoned && i == 1))
                 .collect();
             if live.is_empty() {
                 break;

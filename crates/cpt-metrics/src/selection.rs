@@ -11,6 +11,9 @@
 /// best-ranked checkpoints considered (the paper uses 0.2).
 ///
 /// Panics if `metrics` is empty or rows have inconsistent lengths.
+// `m` is a column index across every row of `metrics`; the suggested
+// iterator rewrite (iterating rows) would be wrong.
+#[allow(clippy::needless_range_loop)]
 pub fn select_checkpoint(metrics: &[Vec<f64>], top_frac: f64) -> usize {
     assert!(!metrics.is_empty(), "no checkpoints to select from");
     let n_metrics = metrics[0].len();

@@ -568,7 +568,7 @@ mod tests {
         let a = m.generate(12, DeviceType::Phone, 5).expect("generate");
         assert_eq!(a.num_streams(), 12);
         for s in &a.streams {
-            assert!(s.len() >= 1 && s.len() <= 16);
+            assert!(!s.is_empty() && s.len() <= 16);
             assert!(s.events.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
         }
         assert_eq!(a, m.generate(12, DeviceType::Phone, 5).expect("generate"));
@@ -592,8 +592,8 @@ mod tests {
         let d_real = model.discriminator_forward(&mut sess, &real_vars, 4);
         let d_fake = model.discriminator_forward(&mut sess, &fake, 4);
         let ones = vec![1.0f32; 4];
-        let l_real = sess.graph.bce_with_logits(d_real, &vec![1.0; 4], &ones);
-        let l_fake = sess.graph.bce_with_logits(d_fake, &vec![0.0; 4], &ones);
+        let l_real = sess.graph.bce_with_logits(d_real, &[1.0; 4], &ones);
+        let l_fake = sess.graph.bce_with_logits(d_fake, &[0.0; 4], &ones);
         let loss = sess.graph.weighted_sum(&[(l_real, 0.5), (l_fake, 0.5)]);
         sess.backward(loss);
         let grads = sess.grads();

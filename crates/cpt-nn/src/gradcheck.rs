@@ -30,6 +30,11 @@ impl std::fmt::Display for GradMismatch {
     }
 }
 
+/// Graph builder passed to [`check_gradients`]: receives the current input
+/// tensors, constructs a fresh graph, and returns the leaf [`Var`]s (one
+/// per input, same order) plus the scalar loss.
+pub type BuildFn<'a> = dyn Fn(&mut Graph, &[Tensor]) -> (Vec<Var>, Var) + 'a;
+
 /// Checks analytic gradients of `build` against central finite differences.
 ///
 /// `build` receives the current input tensors, constructs a fresh graph and
@@ -37,7 +42,7 @@ impl std::fmt::Display for GradMismatch {
 /// loss. Gradients of every element of every input are verified with step
 /// `eps` and mixed absolute/relative tolerance `tol`.
 pub fn check_gradients(
-    build: &dyn Fn(&mut Graph, &[Tensor]) -> (Vec<Var>, Var),
+    build: &BuildFn<'_>,
     inputs: &[Tensor],
     eps: f64,
     tol: f64,

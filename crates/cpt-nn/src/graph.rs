@@ -667,6 +667,9 @@ impl Graph {
 
     /// Layer normalization over the last dimension with affine parameters
     /// `gamma`, `beta` of shape `[D]`.
+    // Index loops stride several parallel row buffers at once; iterator
+    // rewrites would obscure the shared `r * d` addressing.
+    #[allow(clippy::needless_range_loop)]
     pub fn layernorm(&mut self, a: Var, gamma: Var, beta: Var, eps: f32) -> Var {
         let av = self.rc_value(a);
         let gv = self.rc_value(gamma);

@@ -104,6 +104,37 @@ pub fn save_store_to_path(
     atomic_write_json(store, path)
 }
 
+/// Deterministic FNV-1a/64 checksum of a store's contents: every
+/// parameter's name, shape, and exact f32 bit pattern, in registration
+/// order. Two stores hash equal iff they are bit-identical, so the value
+/// doubles as an integrity header for model artifacts: a truncated or
+/// bit-flipped weight changes the checksum even when the JSON still
+/// parses and every value stays finite.
+pub fn store_checksum(store: &ParamStore) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for id in store.ids() {
+        eat(store.name(id).as_bytes());
+        let t = store.value(id);
+        eat(&(t.shape.len() as u64).to_le_bytes());
+        for &d in &t.shape {
+            eat(&(d as u64).to_le_bytes());
+        }
+        eat(&(t.data.len() as u64).to_le_bytes());
+        for &v in &t.data {
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
 /// Validates every tensor of `store`: the data length must equal the shape
 /// product and every value must be finite. A store that fails this check
 /// came from a corrupt/truncated file or a diverged run and must not be
@@ -254,6 +285,22 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_checksum_is_stable_and_sensitive() {
+        let s = store();
+        let a = store_checksum(&s);
+        assert_eq!(a, store_checksum(&store()), "checksum must be deterministic");
+        let mut flipped = store();
+        let id = flipped.ids()[0];
+        let bits = flipped.value(id).data[2].to_bits() ^ 1;
+        flipped.value_mut(id).data[2] = f32::from_bits(bits);
+        assert_ne!(a, store_checksum(&flipped), "single-bit flip must change checksum");
+        let mut truncated = store();
+        let id = truncated.ids()[0];
+        truncated.value_mut(id).data.pop();
+        assert_ne!(a, store_checksum(&truncated), "truncation must change checksum");
     }
 
     #[test]

@@ -418,6 +418,7 @@ unsafe fn micro1_fma(a: &[f32], panel: &[f32], k: usize, lda: usize, row: usize)
 /// from the full `a` matrix and pre-packed `b` panels. Each output row's
 /// accumulation is independent of how rows are grouped into MR-tiles, so
 /// any row partition yields bit-identical results.
+#[allow(clippy::too_many_arguments)]
 fn matmul_rows(
     a: &[f32],
     packed: &[f32],

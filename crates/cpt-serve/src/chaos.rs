@@ -53,6 +53,32 @@ pub struct ChaosPlan {
     /// typed `invalid_request` errors rather than wedging the connection.
     /// 0 = off.
     pub corrupt_every: u64,
+    /// Registry swap-window fault: abort the Nth manifest commit (1-based,
+    /// counted per registry instance) after the temp file is written but
+    /// before the rename — exactly the torn state a crash in the
+    /// write-temp/fsync/rename window leaves on disk. The commit returns a
+    /// typed `RegistryError::SimulatedCrash` and the durable manifest is
+    /// untouched. 0/None = off.
+    pub crash_manifest_commit: Option<u64>,
+    /// Registry swap-window fault: flip one byte of the Nth staged
+    /// candidate artifact (1-based, counted per registry instance) after
+    /// it is written but before validation, so the validation gate must
+    /// catch it. The byte position comes from `seed`.
+    pub corrupt_candidate: Option<u64>,
+    /// Fine-tune fault: panic the Nth background fine-tune attempt
+    /// (1-based, counted across jobs) inside its supervised task, proving
+    /// the serving model is untouched and the failure is typed.
+    pub panic_finetune: Option<u64>,
+    /// Widens the publish window: sleep this long between validation and
+    /// promotion, so a concurrent drain/close race has room to land.
+    /// 0 = off.
+    pub publish_delay_ms: u64,
+    /// Divergence fault: overwrite the interarrival of one decoded event
+    /// with NaN for this session...
+    pub poison_session: Option<u64>,
+    /// ...once it has emitted at least this many events — the serve-time
+    /// trip-wire must fail the session and demote the live version.
+    pub poison_at_event: u64,
 }
 
 impl ChaosPlan {
@@ -62,6 +88,11 @@ impl ChaosPlan {
             && (self.delay_every == 0 || self.delay_slice_ms == 0)
             && self.drop_connection.is_none()
             && self.corrupt_every == 0
+            && self.crash_manifest_commit.is_none()
+            && self.corrupt_candidate.is_none()
+            && self.panic_finetune.is_none()
+            && self.publish_delay_ms == 0
+            && self.poison_session.is_none()
     }
 
     /// A plan that panics the worker advancing `session` once it has
@@ -100,6 +131,37 @@ impl ChaosPlan {
         } else {
             None
         }
+    }
+
+    /// Should the `commit_idx`-th manifest commit (1-based) abort in the
+    /// torn window between temp-write and rename?
+    pub fn crash_at_commit(&self, commit_idx: u64) -> bool {
+        self.crash_manifest_commit == Some(commit_idx)
+    }
+
+    /// Should the `stage_idx`-th staged candidate artifact (1-based) be
+    /// corrupted on disk before validation?
+    pub fn corrupts_candidate(&self, stage_idx: u64) -> bool {
+        self.corrupt_candidate == Some(stage_idx)
+    }
+
+    /// Should the `attempt_idx`-th fine-tune attempt (1-based, across
+    /// jobs) panic inside its supervised task?
+    pub fn panics_finetune(&self, attempt_idx: u64) -> bool {
+        self.panic_finetune == Some(attempt_idx)
+    }
+
+    /// The deliberate publish-window delay between validation and
+    /// promotion, if any.
+    pub fn publish_delay(&self) -> Option<Duration> {
+        (self.publish_delay_ms > 0).then(|| Duration::from_millis(self.publish_delay_ms))
+    }
+
+    /// Should the event a worker just decoded for `session` (its
+    /// `events_emitted`-th, 0-based) be poisoned with a non-finite
+    /// interarrival to trip the serve-time divergence wire?
+    pub fn should_poison(&self, session: u64, events_emitted: u64) -> bool {
+        self.poison_session == Some(session) && events_emitted >= self.poison_at_event
     }
 
     /// Should connection `conn_idx` be hard-dropped before dispatching its
@@ -191,6 +253,30 @@ mod tests {
         let mut other_conn = fresh();
         assert!(p.corrupt_line(1, 2, &mut other_conn));
         assert!(std::str::from_utf8(other_conn.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn swap_window_faults_target_exact_ordinals() {
+        let p = ChaosPlan {
+            crash_manifest_commit: Some(3),
+            corrupt_candidate: Some(2),
+            panic_finetune: Some(1),
+            publish_delay_ms: 5,
+            poison_session: Some(7),
+            poison_at_event: 4,
+            ..ChaosPlan::default()
+        };
+        assert!(!p.is_noop());
+        assert!(!p.crash_at_commit(2) && p.crash_at_commit(3) && !p.crash_at_commit(4));
+        assert!(!p.corrupts_candidate(1) && p.corrupts_candidate(2));
+        assert!(p.panics_finetune(1) && !p.panics_finetune(2));
+        assert_eq!(p.publish_delay(), Some(Duration::from_millis(5)));
+        assert!(!p.should_poison(7, 3), "below the event threshold");
+        assert!(p.should_poison(7, 4) && p.should_poison(7, 9));
+        assert!(!p.should_poison(6, 9), "other sessions untouched");
+        let default = ChaosPlan::default();
+        assert!(default.publish_delay().is_none());
+        assert!(!default.crash_at_commit(1) && !default.corrupts_candidate(1));
     }
 
     #[test]

@@ -308,6 +308,11 @@ struct SessionSlot {
     /// Parked under a detach token; unreachable through
     /// `next_events`/`close_session` until reattached.
     detached: bool,
+    /// The model version this session opened on. Pinned for the session's
+    /// whole life: a `publish` mid-stream never changes what an open
+    /// session decodes with, so its output stays byte-identical to an
+    /// un-swapped run.
+    version: u64,
 }
 
 /// Sessions parked under one detach token.
@@ -316,10 +321,51 @@ struct ParkedGroup {
     expires_at: Instant,
 }
 
+/// One installed model version: the weights every session pinned to it
+/// decodes with, plus the refcount the retirer watches.
+struct ModelEntry {
+    model: Arc<CptGpt>,
+    /// Int8 per-channel decode weights, quantized once when the version is
+    /// installed (under `cfg.quantized`) and shared read-only by every
+    /// worker's [`BatchDecoder`].
+    quant: Option<Arc<cpt_gpt::QuantDecodeWeights>>,
+    /// Open sessions pinned to this version.
+    refs: u64,
+    /// Demoted and no longer the rollback target: free the entry the
+    /// moment `refs` hits zero.
+    retired: bool,
+}
+
+/// Out-of-band model-lifecycle notifications from the engine. Emitted via
+/// the hook installed with [`ServeHandle::set_lifecycle_hook`], which the
+/// registry director uses to persist engine-initiated transitions.
+///
+/// The hook may be invoked while engine-internal locks are held, so it
+/// must never call back into the engine and should hand the event to a
+/// queue rather than doing blocking work inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// The last pinned session on a demoted version ended and the engine
+    /// freed its in-memory weights.
+    Retired(u64),
+    /// The serve-time divergence trip-wire (a non-finite decoded event)
+    /// demoted the live version and re-promoted the previous one without
+    /// a restart.
+    TripWire {
+        /// The version that produced the divergent event.
+        demoted: u64,
+        /// The version that is live again.
+        restored: u64,
+    },
+}
+
 struct EngineState {
     sessions: HashMap<u64, SessionSlot>,
     run_queue: VecDeque<u64>,
-    /// Recycled decode states, capped at `max_sessions`.
+    /// Recycled decode states, capped at `max_sessions`. Invariant: every
+    /// state here came from a session pinned to `live_version` — promote
+    /// and rollback clear the list — so reuse can never leak one model
+    /// version's buffer geometry into another's decode.
     free_states: Vec<DecodeState>,
     /// Detached session groups keyed by capability token.
     parked: HashMap<u128, ParkedGroup>,
@@ -328,16 +374,22 @@ struct EngineState {
     /// Open sessions (excludes close-pending ones still in `sessions`).
     open_count: usize,
     next_id: u64,
+    /// Installed model versions by id. An entry stays installed while any
+    /// session is pinned to it, while it is live, or while it is the
+    /// rollback target.
+    models: HashMap<u64, ModelEntry>,
+    /// The version new sessions open on.
+    live_version: u64,
+    /// The rollback target (the version demoted by the latest promote).
+    previous_version: Option<u64>,
 }
 
+/// Observer callback for engine-initiated lifecycle transitions.
+type LifecycleHook = Box<dyn Fn(LifecycleEvent) + Send + Sync>;
+
 struct Shared {
-    model: Arc<CptGpt>,
     cfg: ServeConfig,
     chaos: ChaosPlan,
-    /// Int8 per-channel decode weights, quantized once at startup when
-    /// `cfg.quantized` and shared read-only by every worker's
-    /// [`BatchDecoder`].
-    quant: Option<Arc<cpt_gpt::QuantDecodeWeights>>,
     state: Mutex<EngineState>,
     /// Workers wait here for the run queue to fill.
     work: Condvar,
@@ -351,6 +403,9 @@ struct Shared {
     draining: AtomicBool,
     /// Nonce folded into detach-token minting.
     token_nonce: AtomicU64,
+    /// Observer for engine-initiated lifecycle transitions (see
+    /// [`LifecycleEvent`]).
+    lifecycle_hook: Mutex<Option<LifecycleHook>>,
 }
 
 impl Shared {
@@ -363,15 +418,18 @@ impl Shared {
         }
     }
 
-    fn recycle(state: &mut EngineState, cap: usize, decode: DecodeState) {
-        if state.free_states.len() < cap {
+    /// Returns a decode state to the free-list — but only when it comes
+    /// from a session pinned to the live version (see the `free_states`
+    /// invariant: cross-version reuse is never allowed).
+    fn recycle(state: &mut EngineState, cap: usize, version: u64, decode: DecodeState) {
+        if version == state.live_version && state.free_states.len() < cap {
             state.free_states.push(decode);
         }
     }
 
     /// Removes a session's storage (immediately, or deferred to the worker
-    /// holding its decoder). Does *not* touch `open_count` — callers own
-    /// that bookkeeping.
+    /// holding its decoder). Does *not* touch `open_count` or the version
+    /// refcount — callers own that bookkeeping.
     fn dispose_locked(&self, st: &mut EngineState, id: u64) {
         let running = st
             .sessions
@@ -388,9 +446,96 @@ impl Shared {
         } else if let Some(slot) = st.sessions.remove(&id) {
             st.queued_total -= slot.queue.len();
             if let Some(decoder) = slot.decoder {
-                Shared::recycle(st, self.cfg.max_sessions, decoder.into_state());
+                Shared::recycle(st, self.cfg.max_sessions, slot.version, decoder.into_state());
             }
         }
+    }
+
+    /// Frees a demoted version's entry once nothing references it: zero
+    /// pinned sessions, marked retired, not live, not the rollback target.
+    /// Returns the [`LifecycleEvent::Retired`] notification to emit.
+    fn sweep_version_locked(
+        &self,
+        st: &mut EngineState,
+        version: u64,
+    ) -> Option<LifecycleEvent> {
+        let freeable = st
+            .models
+            .get(&version)
+            .map(|e| e.refs == 0 && e.retired)
+            .unwrap_or(false)
+            && st.live_version != version
+            && st.previous_version != Some(version);
+        if freeable {
+            st.models.remove(&version);
+            self.metrics.inc_version_retired();
+            Some(LifecycleEvent::Retired(version))
+        } else {
+            None
+        }
+    }
+
+    /// Drops one session's pin on `version` and frees the entry if that
+    /// was the last reference to a retired version.
+    fn release_version_locked(
+        &self,
+        st: &mut EngineState,
+        version: u64,
+    ) -> Option<LifecycleEvent> {
+        if let Some(e) = st.models.get_mut(&version) {
+            e.refs = e.refs.saturating_sub(1);
+        }
+        self.sweep_version_locked(st, version)
+    }
+
+    /// Invokes the lifecycle hook for each event. The hook contract (see
+    /// [`LifecycleEvent`]) makes this safe to call from any engine path:
+    /// the hook must be non-blocking and never re-enter the engine.
+    fn emit_lifecycle(&self, events: impl IntoIterator<Item = LifecycleEvent>) {
+        let hook = match self.lifecycle_hook.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(h) = hook.as_ref() {
+            for ev in events {
+                h(ev);
+            }
+        }
+    }
+
+    /// The automatic divergence trip-wire: a worker observed a non-finite
+    /// event decoded by `version`. If that version is still live and a
+    /// previous version is retained, demote it and re-promote the previous
+    /// one in-engine — no restart, no operator. Returns the notifications
+    /// for the registry director to persist.
+    fn trip_divergence(&self, version: u64) -> Vec<LifecycleEvent> {
+        let mut events = Vec::new();
+        let mut st = self.lock_state();
+        if st.live_version != version {
+            return events;
+        }
+        let Some(prev) = st.previous_version else {
+            return events;
+        };
+        if !st.models.contains_key(&prev) {
+            return events;
+        }
+        if let Some(e) = st.models.get_mut(&version) {
+            e.retired = true;
+        }
+        if let Some(e) = st.models.get_mut(&prev) {
+            e.retired = false;
+        }
+        st.live_version = prev;
+        st.previous_version = None;
+        st.free_states.clear();
+        self.metrics.inc_version_rolled_back();
+        events.push(LifecycleEvent::TripWire {
+            demoted: version,
+            restored: prev,
+        });
+        events.extend(self.sweep_version_locked(&mut st, version));
+        events
     }
 
     /// Marks a session failed: appends the terminal failure record, stops
@@ -454,8 +599,22 @@ impl Engine {
     }
 
     /// [`Engine::start`] with a chaos plan wired into the decode loop.
+    /// The model is installed as version 1.
     pub fn start_with_chaos(
         model: Arc<CptGpt>,
+        cfg: ServeConfig,
+        chaos: ChaosPlan,
+    ) -> Result<Engine, ServeError> {
+        Engine::start_versioned(model, 1, cfg, chaos)
+    }
+
+    /// [`Engine::start_with_chaos`] with an explicit id for the initial
+    /// model version — the registry front end passes the live version id
+    /// recovered from disk so engine and manifest agree from the first
+    /// session.
+    pub fn start_versioned(
+        model: Arc<CptGpt>,
+        version: u64,
         cfg: ServeConfig,
         chaos: ChaosPlan,
     ) -> Result<Engine, ServeError> {
@@ -465,11 +624,19 @@ impl Engine {
         } else {
             None
         };
+        let mut models = HashMap::new();
+        models.insert(
+            version,
+            ModelEntry {
+                model,
+                quant,
+                refs: 0,
+                retired: false,
+            },
+        );
         let shared = Arc::new(Shared {
-            model,
             cfg,
             chaos,
-            quant,
             state: Mutex::new(EngineState {
                 sessions: HashMap::new(),
                 run_queue: VecDeque::new(),
@@ -478,6 +645,9 @@ impl Engine {
                 queued_total: 0,
                 open_count: 0,
                 next_id: 1,
+                models,
+                live_version: version,
+                previous_version: None,
             }),
             work: Condvar::new(),
             delivery: Condvar::new(),
@@ -486,6 +656,7 @@ impl Engine {
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             token_nonce: AtomicU64::new(0x5EED),
+            lifecycle_hook: Mutex::new(None),
         });
         let spawn_err = |e: std::io::Error| ServeError::InvalidConfig {
             field: "workers".to_string(),
@@ -580,9 +751,16 @@ impl ServeHandle {
             shared.metrics.inc_shed();
             return Err(err);
         }
+        // Pin the live version: the session decodes with these weights for
+        // its whole life, whatever publishes happen meanwhile.
+        let version = st.live_version;
+        let model = match st.models.get(&version) {
+            Some(e) => Arc::clone(&e.model),
+            None => return Err(ServeError::UnknownVersion(version)),
+        };
         let decoder = match st.free_states.pop() {
-            Some(state) => shared.model.open_session_reusing(params, state)?,
-            None => shared.model.open_session(params)?,
+            Some(state) => model.open_session_reusing(params, state)?,
+            None => model.open_session(params)?,
         };
         let id = st.next_id;
         st.next_id += 1;
@@ -595,8 +773,12 @@ impl ServeHandle {
                 closed: false,
                 failed: false,
                 detached: false,
+                version,
             },
         );
+        if let Some(e) = st.models.get_mut(&version) {
+            e.refs += 1;
+        }
         st.open_count += 1;
         st.run_queue.push_back(id);
         shared.metrics.inc_opened();
@@ -677,17 +859,20 @@ impl ServeHandle {
     pub fn close_session(&self, id: SessionId) -> Result<(), ServeError> {
         let shared = &self.shared;
         let mut st = shared.lock_state();
-        if st
+        let Some(version) = st
             .sessions
             .get(&id.0)
             .filter(|s| !s.closed && !s.detached)
-            .is_none()
-        {
+            .map(|s| s.version)
+        else {
             return Err(ServeError::UnknownSession(id.0));
-        }
+        };
         shared.dispose_locked(&mut st, id.0);
         st.open_count -= 1;
+        let retired = shared.release_version_locked(&mut st, version);
         shared.metrics.inc_closed();
+        drop(st);
+        shared.emit_lifecycle(retired);
         Ok(())
     }
 
@@ -791,7 +976,9 @@ impl ServeHandle {
             Some(expired) => {
                 // Expired but not yet reaped: reclaim now, token is dead.
                 st.parked.insert(token.0, expired);
-                reap_expired_locked(shared, &mut st, Instant::now());
+                let retired = reap_expired_locked(shared, &mut st, Instant::now());
+                drop(st);
+                shared.emit_lifecycle(retired);
                 return Err(ServeError::UnknownToken);
             }
             None => return Err(ServeError::UnknownToken),
@@ -885,23 +1072,193 @@ impl ServeHandle {
 
     /// A point-in-time stats snapshot.
     pub fn stats(&self) -> StatsSnapshot {
-        let (open, queued, free) = {
+        let (open, queued, free, live, per_version) = {
             let st = self.shared.lock_state();
-            (st.open_count, st.queued_total, st.free_states.len())
+            let mut per_version: Vec<(u64, u64)> =
+                st.models.iter().map(|(v, e)| (*v, e.refs)).collect();
+            per_version.sort_unstable();
+            (
+                st.open_count,
+                st.queued_total,
+                st.free_states.len(),
+                st.live_version,
+                per_version,
+            )
         };
-        self.shared
-            .metrics
-            .snapshot(open, queued, free, self.shared.cfg.workers)
+        self.shared.metrics.snapshot(
+            open,
+            queued,
+            free,
+            self.shared.cfg.workers,
+            live,
+            &per_version,
+        )
     }
 
     /// True once the engine refuses new work.
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
+
+    /// The model version new sessions currently open on.
+    pub fn live_version(&self) -> u64 {
+        self.shared.lock_state().live_version
+    }
+
+    /// Installed versions and their pinned-session counts, sorted by id.
+    pub fn sessions_per_version(&self) -> Vec<(u64, u64)> {
+        let st = self.shared.lock_state();
+        let mut v: Vec<(u64, u64)> = st.models.iter().map(|(v, e)| (*v, e.refs)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Installs `model` under version `id` without promoting it: sessions
+    /// cannot open on it until [`ServeHandle::promote_version`]. Idempotent
+    /// when the id is already installed. Quantized decode weights are built
+    /// here (outside the engine lock) when the engine runs quantized.
+    pub fn install_version(&self, id: u64, model: Arc<CptGpt>) {
+        let quant = if self.shared.cfg.quantized {
+            Some(Arc::new(model.quantize_decode_weights()))
+        } else {
+            None
+        };
+        let mut st = self.shared.lock_state();
+        st.models.entry(id).or_insert(ModelEntry {
+            model,
+            quant,
+            refs: 0,
+            retired: false,
+        });
+    }
+
+    /// Removes an installed-but-never-promoted version (the cleanup path
+    /// when a registry promotion fails after the engine install). Refuses
+    /// — returning `false` — when the version is live, is the rollback
+    /// target, or has pinned sessions.
+    pub fn uninstall_version(&self, id: u64) -> bool {
+        let mut st = self.shared.lock_state();
+        let removable = st.models.get(&id).map(|e| e.refs == 0).unwrap_or(false)
+            && st.live_version != id
+            && st.previous_version != Some(id);
+        if removable {
+            st.models.remove(&id);
+        }
+        removable
+    }
+
+    /// Promotes installed version `id`: new sessions open on it from the
+    /// moment this returns, while sessions pinned to the old live version
+    /// keep draining on it. The old version becomes the rollback target
+    /// (displacing — and freeing, once unpinned — any earlier one).
+    /// Returns the demoted version, or `Ok(None)` if `id` was already
+    /// live.
+    pub fn promote_version(&self, id: u64) -> Result<Option<u64>, ServeError> {
+        let (demoted, events) = {
+            let mut st = self.shared.lock_state();
+            if !st.models.contains_key(&id) {
+                return Err(ServeError::UnknownVersion(id));
+            }
+            if st.live_version == id {
+                return Ok(None);
+            }
+            let old = st.live_version;
+            let displaced = st.previous_version.take();
+            st.previous_version = Some(old);
+            st.live_version = id;
+            if let Some(e) = st.models.get_mut(&id) {
+                e.retired = false;
+            }
+            // Free-list states belong to the old version's buffer
+            // geometry; never let the new version inherit them.
+            st.free_states.clear();
+            let mut events = Vec::new();
+            if let Some(d) = displaced {
+                if let Some(e) = st.models.get_mut(&d) {
+                    e.retired = true;
+                }
+                events.extend(self.shared.sweep_version_locked(&mut st, d));
+            }
+            self.shared.metrics.inc_version_published();
+            (old, events)
+        };
+        self.shared.emit_lifecycle(events);
+        Ok(Some(demoted))
+    }
+
+    /// Demotes the live version and re-promotes the previous one (the
+    /// manual half of the divergence trip-wire). Returns
+    /// `(demoted, restored)`.
+    pub fn rollback_version(&self) -> Result<(u64, u64), ServeError> {
+        let (demoted, restored, events) = {
+            let mut st = self.shared.lock_state();
+            let Some(prev) = st.previous_version else {
+                return Err(ServeError::NoPreviousVersion);
+            };
+            if !st.models.contains_key(&prev) {
+                return Err(ServeError::UnknownVersion(prev));
+            }
+            let demoted = st.live_version;
+            if let Some(e) = st.models.get_mut(&demoted) {
+                e.retired = true;
+            }
+            if let Some(e) = st.models.get_mut(&prev) {
+                e.retired = false;
+            }
+            st.live_version = prev;
+            st.previous_version = None;
+            st.free_states.clear();
+            self.shared.metrics.inc_version_rolled_back();
+            let events: Vec<LifecycleEvent> =
+                self.shared.sweep_version_locked(&mut st, demoted).into_iter().collect();
+            (demoted, prev, events)
+        };
+        self.shared.emit_lifecycle(events);
+        Ok((demoted, restored))
+    }
+
+    /// Installs the observer for engine-initiated lifecycle transitions
+    /// (retirements, trip-wire rollbacks). See the [`LifecycleEvent`]
+    /// contract: the hook must be non-blocking and never re-enter the
+    /// engine.
+    pub fn set_lifecycle_hook(&self, hook: impl Fn(LifecycleEvent) + Send + Sync + 'static) {
+        let mut g = match self.shared.lifecycle_hook.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *g = Some(Box::new(hook));
+    }
+
+    /// Counts a candidate quarantined by the registry validation gate.
+    pub fn note_version_quarantined(&self) {
+        self.shared.metrics.inc_version_quarantined();
+    }
+
+    /// Counts a fine-tune job entering its background task.
+    pub fn note_finetune_started(&self) {
+        self.shared.metrics.finetune_started();
+    }
+
+    /// Counts a fine-tune job that published successfully.
+    pub fn note_finetune_completed(&self) {
+        self.shared.metrics.finetune_completed();
+    }
+
+    /// Counts a fine-tune job that failed (divergence, panic, bad trace,
+    /// or a rejected publish), leaving the serving model untouched.
+    pub fn note_finetune_failed(&self) {
+        self.shared.metrics.finetune_failed();
+    }
 }
 
-/// Reclaims every parked group whose TTL has passed. Holds the lock.
-fn reap_expired_locked(shared: &Shared, st: &mut EngineState, now: Instant) {
+/// Reclaims every parked group whose TTL has passed. Holds the lock;
+/// returns the retirement notifications for the caller to emit.
+fn reap_expired_locked(
+    shared: &Shared,
+    st: &mut EngineState,
+    now: Instant,
+) -> Vec<LifecycleEvent> {
+    let mut events = Vec::new();
     let expired: Vec<u128> = st
         .parked
         .iter()
@@ -914,14 +1271,22 @@ fn reap_expired_locked(shared: &Shared, st: &mut EngineState, now: Instant) {
         };
         let mut reclaimed = 0u64;
         for id in group.sessions {
-            if st.sessions.get(&id).map(|s| s.detached).unwrap_or(false) {
-                shared.dispose_locked(st, id);
-                st.open_count -= 1;
-                reclaimed += 1;
-            }
+            let Some(version) = st
+                .sessions
+                .get(&id)
+                .filter(|s| s.detached)
+                .map(|s| s.version)
+            else {
+                continue;
+            };
+            shared.dispose_locked(st, id);
+            st.open_count -= 1;
+            events.extend(shared.release_version_locked(st, version));
+            reclaimed += 1;
         }
         shared.metrics.add_expired(reclaimed);
     }
+    events
 }
 
 /// The token reaper: wakes at the next TTL expiry (or when a token is
@@ -933,7 +1298,10 @@ fn reaper_loop(shared: &Shared) {
             return;
         }
         let now = Instant::now();
-        reap_expired_locked(shared, &mut st, now);
+        // Emitted under the lock; the hook contract (non-blocking, never
+        // re-enters the engine) makes that safe.
+        let retired = reap_expired_locked(shared, &mut st, now);
+        shared.emit_lifecycle(retired);
         let wait = st
             .parked
             .values()
@@ -948,31 +1316,41 @@ fn reaper_loop(shared: &Shared) {
     }
 }
 
-/// Blocks until a ready session is available (returning its decoder and
-/// this slice's event budget) or shutdown is requested (`None`).
-fn next_work(shared: &Shared) -> Option<(u64, SessionDecoder, usize)> {
+/// Blocks until a ready session is available (returning its decoder, this
+/// slice's event budget, and the model version it is pinned to) or
+/// shutdown is requested (`None`).
+fn next_work(shared: &Shared) -> Option<(u64, SessionDecoder, usize, u64, Arc<CptGpt>)> {
     let mut st = shared.lock_state();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return None;
         }
         while let Some(id) = st.run_queue.pop_front() {
-            if let Some(slot) = st.sessions.get_mut(&id) {
-                // Stale queue entries (closed, failed, or re-scheduled
-                // sessions) are skipped; only a Queued slot with its
-                // decoder in place is runnable.
-                if slot.run == RunState::Queued && !slot.closed && !slot.failed {
-                    if let Some(decoder) = slot.decoder.take() {
-                        slot.run = RunState::Running;
-                        let room = shared
-                            .cfg
-                            .queue_capacity
-                            .saturating_sub(slot.queue.len());
-                        let budget = room.min(shared.cfg.slice_budget);
-                        return Some((id, decoder, budget));
-                    }
-                }
+            let Some(slot) = st.sessions.get_mut(&id) else {
+                continue;
+            };
+            // Stale queue entries (closed, failed, or re-scheduled
+            // sessions) are skipped; only a Queued slot with its
+            // decoder in place is runnable.
+            if !(slot.run == RunState::Queued && !slot.closed && !slot.failed) {
+                continue;
             }
+            let Some(decoder) = slot.decoder.take() else {
+                continue;
+            };
+            slot.run = RunState::Running;
+            let room = shared.cfg.queue_capacity.saturating_sub(slot.queue.len());
+            let budget = room.min(shared.cfg.slice_budget);
+            let version = slot.version;
+            if let Some(entry) = st.models.get(&version) {
+                let model = Arc::clone(&entry.model);
+                return Some((id, decoder, budget, version, model));
+            }
+            // Defensive: the pinned version vanished (the refcount should
+            // make this impossible). Fail the session rather than decode
+            // with the wrong weights.
+            drop(decoder);
+            shared.fail_locked(&mut st, id, format!("model version {version} vanished"));
         }
         st = match shared.work.wait(st) {
             Ok(g) => g,
@@ -993,31 +1371,51 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Blocks until at least one ready session is available, filling `out`
-/// with `(id, decoder, event budget)` triples in run-queue order, or
-/// returns `false` on shutdown. Every popped session is marked `Running`,
-/// so no other worker can touch it until this slice publishes — the same
+/// with `(id, decoder, event budget)` triples in run-queue order and
+/// returning the model version they all share (with its weights), or
+/// `None` on shutdown. Every popped session is marked `Running`, so no
+/// other worker can touch it until this slice publishes — the same
 /// exclusivity invariant as [`next_work`], extended to a batch.
+///
+/// A batch holds sessions of exactly **one** model version: the first
+/// runnable session fixes the version, and runnable sessions pinned to
+/// other versions are deferred back to the head of the run queue (in
+/// their original order) for the next grab. During a hot-swap drain this
+/// costs at most one extra wakeup per mixed prefix; it is what lets the
+/// packed forward pass keep using a single weight set.
 ///
 /// The grab is capped at `batch_max` and, when several workers compete,
 /// at roughly an even share of the run queue, so one worker cannot
 /// serialize the whole pool behind a single giant batch.
-fn next_work_batch(shared: &Shared, out: &mut Vec<(u64, SessionDecoder, usize)>) -> bool {
+fn next_work_batch(
+    shared: &Shared,
+    out: &mut Vec<(u64, SessionDecoder, usize)>,
+) -> Option<(u64, Arc<CptGpt>, Option<Arc<cpt_gpt::QuantDecodeWeights>>)> {
     out.clear();
     let mut st = shared.lock_state();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
-            return false;
+            return None;
         }
         let share = (st.run_queue.len() / shared.cfg.workers.max(1)).max(1);
         let cap = shared.cfg.batch_max.min(share);
+        let mut version: Option<u64> = None;
+        let mut deferred: Vec<u64> = Vec::new();
         while out.len() < cap {
             let Some(id) = st.run_queue.pop_front() else {
                 break;
             };
             if let Some(slot) = st.sessions.get_mut(&id) {
                 if slot.run == RunState::Queued && !slot.closed && !slot.failed {
+                    if let Some(v) = version {
+                        if v != slot.version {
+                            deferred.push(id);
+                            continue;
+                        }
+                    }
                     if let Some(decoder) = slot.decoder.take() {
                         slot.run = RunState::Running;
+                        version = Some(slot.version);
                         let room = shared
                             .cfg
                             .queue_capacity
@@ -1027,13 +1425,29 @@ fn next_work_batch(shared: &Shared, out: &mut Vec<(u64, SessionDecoder, usize)>)
                 }
             }
         }
-        if !out.is_empty() {
-            let more = !st.run_queue.is_empty();
-            drop(st);
-            if more {
-                shared.work.notify_one();
+        // Other-version sessions go back to the head in original order.
+        for id in deferred.into_iter().rev() {
+            st.run_queue.push_front(id);
+        }
+        if let Some(v) = version {
+            if let Some(entry) = st.models.get(&v) {
+                let model = Arc::clone(&entry.model);
+                let quant = entry.quant.clone();
+                let more = !st.run_queue.is_empty();
+                drop(st);
+                if more {
+                    shared.work.notify_one();
+                }
+                return Some((v, model, quant));
             }
-            return true;
+            // Defensive: the pinned version vanished. Fail the grabbed
+            // sessions rather than decode with the wrong weights.
+            for (id, decoder, _) in out.drain(..) {
+                drop(decoder);
+                shared.fail_locked(&mut st, id, format!("model version {v} vanished"));
+            }
+            shared.delivery.notify_all();
+            continue;
         }
         st = match shared.work.wait(st) {
             Ok(g) => g,
@@ -1054,6 +1468,10 @@ struct BatchEntry {
     buf: Vec<DecodedEvent>,
     done: bool,
     panic: Option<String>,
+    /// The failure was the divergence trip-wire (non-finite event), not a
+    /// panic: counted separately, and it triggers the automatic rollback
+    /// after the slice publishes.
+    tripped: bool,
 }
 
 /// Publishes one batch entry's slice under the engine lock, mirroring the
@@ -1061,7 +1479,7 @@ struct BatchEntry {
 /// sessions recycle their buffers, force-failed sessions discard the
 /// slice, panicked entries deliver their decoded prefix then the terminal
 /// failure record, and live sessions re-enqueue / park / finish.
-fn publish_entry(shared: &Shared, st: &mut EngineState, e: BatchEntry) {
+fn publish_entry(shared: &Shared, st: &mut EngineState, version: u64, e: BatchEntry) {
     match e.panic {
         Some(reason) => match st.sessions.get_mut(&e.id) {
             None => {}
@@ -1080,15 +1498,15 @@ fn publish_entry(shared: &Shared, st: &mut EngineState, e: BatchEntry) {
             let decoder = e.decoder.expect("non-panicked entry keeps its decoder");
             match st.sessions.get_mut(&e.id) {
                 None => {
-                    Shared::recycle(st, shared.cfg.max_sessions, decoder.into_state());
+                    Shared::recycle(st, shared.cfg.max_sessions, version, decoder.into_state());
                 }
                 Some(slot) if slot.closed => {
                     st.sessions.remove(&e.id);
-                    Shared::recycle(st, shared.cfg.max_sessions, decoder.into_state());
+                    Shared::recycle(st, shared.cfg.max_sessions, version, decoder.into_state());
                 }
                 Some(slot) if slot.failed => {
                     slot.decoder = None;
-                    Shared::recycle(st, shared.cfg.max_sessions, decoder.into_state());
+                    Shared::recycle(st, shared.cfg.max_sessions, version, decoder.into_state());
                 }
                 Some(slot) => {
                     let produced = e.buf.len();
@@ -1125,15 +1543,23 @@ fn publish_entry(shared: &Shared, st: &mut EngineState, e: BatchEntry) {
 /// caught here and fails every live entry — the decode states may be
 /// mid-scatter, so none of them can be trusted.
 fn worker_loop_batched(shared: &Shared) {
-    let model = Arc::clone(&shared.model);
     let chaos = shared.chaos;
-    let mut bd = BatchDecoder::with_quant(&model, shared.cfg.batch_max, shared.quant.clone());
+    // One BatchDecoder per model version this worker has recently served:
+    // during a hot-swap drain old and new versions decode side by side.
+    // Swept aggressively — steady state is a single entry.
+    let mut decoders: HashMap<u64, BatchDecoder> = HashMap::new();
     let mut work: Vec<(u64, SessionDecoder, usize)> = Vec::with_capacity(shared.cfg.batch_max);
     let mut entries: Vec<BatchEntry> = Vec::with_capacity(shared.cfg.batch_max);
     let mut outcomes: Vec<RoundOutcome> = Vec::with_capacity(shared.cfg.batch_max);
     let mut slice_idx: u64 = 0;
-    while next_work_batch(shared, &mut work) {
+    while let Some((version, model, quant)) = next_work_batch(shared, &mut work) {
         let t0 = Instant::now();
+        if decoders.len() > 4 {
+            decoders.retain(|v, _| *v == version);
+        }
+        let bd = decoders.entry(version).or_insert_with(|| {
+            BatchDecoder::with_quant(&model, shared.cfg.batch_max, quant.clone())
+        });
         entries.clear();
         entries.extend(work.drain(..).map(|(id, decoder, budget)| BatchEntry {
             id,
@@ -1142,6 +1568,7 @@ fn worker_loop_batched(shared: &Shared) {
             buf: Vec::new(),
             done: false,
             panic: None,
+            tripped: false,
         }));
         loop {
             let live: Vec<usize> = (0..entries.len())
@@ -1183,9 +1610,34 @@ fn worker_loop_batched(shared: &Shared) {
                     let mut produced = 0u64;
                     for (&k, oc) in live.iter().zip(outcomes.drain(..)) {
                         match oc {
-                            RoundOutcome::Event(ev) => {
-                                entries[k].buf.push(ev);
-                                produced += 1;
+                            RoundOutcome::Event(mut ev) => {
+                                let e = &mut entries[k];
+                                let emitted = e
+                                    .decoder
+                                    .as_ref()
+                                    .map(|d| d.events_emitted())
+                                    .unwrap_or(0);
+                                if chaos.should_poison(e.id, emitted) {
+                                    ev.iat = f64::NAN;
+                                }
+                                if !ev.iat.is_finite() || !ev.timestamp.is_finite() {
+                                    // Divergence trip-wire: the event is
+                                    // garbage, so the decode state is not
+                                    // trusted either. Fail the session and
+                                    // let the post-slice hook demote the
+                                    // version.
+                                    e.decoder = None;
+                                    e.panic = Some(format!(
+                                        "divergence trip-wire: non-finite event \
+                                         (iat={}, timestamp={})",
+                                        ev.iat, ev.timestamp
+                                    ));
+                                    e.tripped = true;
+                                    shared.metrics.inc_divergence_trip();
+                                } else {
+                                    e.buf.push(ev);
+                                    produced += 1;
+                                }
                             }
                             RoundOutcome::Finished => entries[k].done = true,
                             RoundOutcome::Panicked(reason) => {
@@ -1216,11 +1668,17 @@ fn worker_loop_batched(shared: &Shared) {
         slice_idx += 1;
 
         let mut st = shared.lock_state();
+        let mut tripped = false;
         for e in entries.drain(..) {
-            publish_entry(shared, &mut st, e);
+            tripped |= e.tripped;
+            publish_entry(shared, &mut st, version, e);
         }
         drop(st);
         shared.delivery.notify_all();
+        if tripped {
+            let events = shared.trip_divergence(version);
+            shared.emit_lifecycle(events);
+        }
     }
 }
 
@@ -1242,30 +1700,43 @@ fn worker_loop(shared: &Shared) {
 /// only the session being advanced; the worker survives and re-enters its
 /// loop.
 fn worker_loop_sequential(shared: &Shared) {
-    let model = Arc::clone(&shared.model);
     let chaos = shared.chaos;
     // Reused across slices: allocation-free steady state. On a panic the
     // buffer holds the slice's already-decoded prefix.
     let mut buf: Vec<DecodedEvent> = Vec::new();
     let mut slice_idx: u64 = 0;
-    while let Some((id, decoder, budget)) = next_work(shared) {
+    while let Some((id, decoder, budget, version, model)) = next_work(shared) {
         let t0 = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut decoder = decoder;
             let mut done = decoder.is_finished();
+            let mut trip: Option<String> = None;
             while buf.len() < budget {
                 if chaos.should_panic(id, decoder.events_emitted()) {
                     panic!("chaos: injected panic advancing session {id}");
                 }
                 match decoder.next_event(&model) {
-                    Some(ev) => buf.push(ev),
+                    Some(mut ev) => {
+                        if chaos.should_poison(id, decoder.events_emitted()) {
+                            ev.iat = f64::NAN;
+                        }
+                        if !ev.iat.is_finite() || !ev.timestamp.is_finite() {
+                            trip = Some(format!(
+                                "divergence trip-wire: non-finite event \
+                                 (iat={}, timestamp={})",
+                                ev.iat, ev.timestamp
+                            ));
+                            break;
+                        }
+                        buf.push(ev);
+                    }
                     None => {
                         done = true;
                         break;
                     }
                 }
             }
-            (decoder, done)
+            (decoder, done, trip)
         }));
         shared.metrics.record_slice(t0.elapsed(), buf.len() as u64);
         shared.metrics.add_sequential_tokens(buf.len() as u64);
@@ -1275,17 +1746,18 @@ fn worker_loop_sequential(shared: &Shared) {
         slice_idx += 1;
 
         let mut st = shared.lock_state();
+        let mut tripped = false;
         match outcome {
-            Ok((decoder, done)) => match st.sessions.get_mut(&id) {
+            Ok((decoder, done, trip)) => match st.sessions.get_mut(&id) {
                 None => {
                     // Session vanished while running (defensive; close
                     // defers removal, so this should not happen). Recycle
                     // the buffers.
-                    Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
+                    Shared::recycle(&mut st, shared.cfg.max_sessions, version, decoder.into_state());
                 }
                 Some(slot) if slot.closed => {
                     st.sessions.remove(&id);
-                    Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
+                    Shared::recycle(&mut st, shared.cfg.max_sessions, version, decoder.into_state());
                 }
                 Some(slot) if slot.failed => {
                     // Force-failed (drain deadline) while this worker held
@@ -1293,7 +1765,24 @@ fn worker_loop_sequential(shared: &Shared) {
                     // queued, so the slice is discarded — delivering data
                     // after the terminal record would corrupt the stream.
                     slot.decoder = None;
-                    Shared::recycle(&mut st, shared.cfg.max_sessions, decoder.into_state());
+                    Shared::recycle(&mut st, shared.cfg.max_sessions, version, decoder.into_state());
+                }
+                Some(slot) if trip.is_some() => {
+                    // Divergence trip-wire: deliver the clean prefix, fail
+                    // the session, drop the decoder (its state produced
+                    // garbage — never recycled), demote after unlock.
+                    let produced = buf.len();
+                    slot.queue.extend(buf.drain(..).map(SessionEvent::Data));
+                    slot.decoder = None;
+                    st.queued_total += produced;
+                    shared.metrics.inc_divergence_trip();
+                    shared.fail_locked(
+                        &mut st,
+                        id,
+                        trip.unwrap_or_else(|| "divergence trip-wire".to_string()),
+                    );
+                    drop(decoder);
+                    tripped = true;
                 }
                 Some(slot) => {
                     let produced = buf.len();
@@ -1336,6 +1825,10 @@ fn worker_loop_sequential(shared: &Shared) {
         drop(st);
         buf.clear();
         shared.delivery.notify_all();
+        if tripped {
+            let events = shared.trip_divergence(version);
+            shared.emit_lifecycle(events);
+        }
     }
 }
 

@@ -46,6 +46,18 @@ pub enum ServeError {
     Generate(GenerateError),
     /// A socket/network operation failed (bind, connect, read, write).
     Io(std::io::Error),
+    /// A model-registry operation failed (see [`crate::registry`]).
+    Registry(crate::registry::RegistryError),
+    /// The model version id is not installed in the engine.
+    UnknownVersion(u64),
+    /// Rollback requested but no previous version is retained.
+    NoPreviousVersion,
+    /// A lifecycle verb (`publish`/`rollback`/`finetune`) reached a server
+    /// started without `--registry`.
+    NoRegistry,
+    /// A fine-tune job is already running; one supervised background task
+    /// at a time keeps the trainer's CPU use bounded.
+    FineTuneBusy,
 }
 
 impl std::fmt::Display for ServeError {
@@ -79,6 +91,22 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Generate(e) => write!(f, "{e}"),
             ServeError::Io(e) => write!(f, "network error: {e}"),
+            ServeError::Registry(e) => write!(f, "{e}"),
+            ServeError::UnknownVersion(id) => {
+                write!(f, "model version {id} is not installed")
+            }
+            ServeError::NoPreviousVersion => {
+                write!(f, "no previous model version retained to roll back to")
+            }
+            ServeError::NoRegistry => {
+                write!(
+                    f,
+                    "model-lifecycle verbs need a registry; start the server with --registry"
+                )
+            }
+            ServeError::FineTuneBusy => {
+                write!(f, "a fine-tune job is already running")
+            }
         }
     }
 }
@@ -88,8 +116,15 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Generate(e) => Some(e),
             ServeError::Io(e) => Some(e),
+            ServeError::Registry(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::registry::RegistryError> for ServeError {
+    fn from(e: crate::registry::RegistryError) -> Self {
+        ServeError::Registry(e)
     }
 }
 

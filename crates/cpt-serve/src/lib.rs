@@ -34,19 +34,23 @@
 pub mod chaos;
 pub mod engine;
 pub mod error;
+pub mod lifecycle;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 
 pub use chaos::ChaosPlan;
 pub use engine::{
-    DetachToken, DrainReport, Engine, EventBatch, ServeConfig, ServeHandle, SessionEvent,
-    SessionId,
+    DetachToken, DrainReport, Engine, EventBatch, LifecycleEvent, ServeConfig, ServeHandle,
+    SessionEvent, SessionId,
 };
 pub use error::ServeError;
+pub use lifecycle::{Director, FineTuneSpec, PublishOutcome};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use metrics::{LatencyHistogram, Metrics, StatsSnapshot};
+pub use registry::{Manifest, RecoveryReport, Registry, RegistryError, VersionRecord, VersionState};
 pub use server::{serve, Server, ServerConfig};
 
 /// A validated degree of parallelism for a thread/worker-count flag.

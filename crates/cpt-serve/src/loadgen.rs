@@ -171,6 +171,22 @@ pub struct LoadgenReport {
     pub next_p99_us: u64,
     /// The server's final stats snapshot, if it could be fetched.
     pub server_stats: Option<StatsSnapshot>,
+    /// Model-lifecycle counters copied out of [`Self::server_stats`] so a
+    /// CI gate can assert on them without digging into the nested
+    /// snapshot (all zero when the snapshot could not be fetched or the
+    /// server runs without a registry).
+    #[serde(default)]
+    pub live_version: u64,
+    #[serde(default)]
+    pub versions_published: u64,
+    #[serde(default)]
+    pub versions_rolled_back: u64,
+    #[serde(default)]
+    pub versions_quarantined: u64,
+    #[serde(default)]
+    pub finetunes_completed: u64,
+    #[serde(default)]
+    pub finetunes_failed: u64,
 }
 
 /// One line-JSON connection to the server.
@@ -356,7 +372,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
     let mut server_stats = None;
     if let Ok(mut client) = Client::connect(&cfg.addr) {
         if let Ok(Response::Stats { stats }) = client.request(&Request::Stats) {
-            server_stats = Some(stats);
+            server_stats = Some(*stats);
         }
         if cfg.shutdown {
             let _ = client.request(&Request::Shutdown);
@@ -400,6 +416,27 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         open_p99_us: open_hist.quantile_us(0.99),
         next_p50_us: next_hist.quantile_us(0.50),
         next_p99_us: next_hist.quantile_us(0.99),
+        live_version: server_stats.as_ref().map(|s| s.live_version).unwrap_or(0),
+        versions_published: server_stats
+            .as_ref()
+            .map(|s| s.versions_published)
+            .unwrap_or(0),
+        versions_rolled_back: server_stats
+            .as_ref()
+            .map(|s| s.versions_rolled_back)
+            .unwrap_or(0),
+        versions_quarantined: server_stats
+            .as_ref()
+            .map(|s| s.versions_quarantined)
+            .unwrap_or(0),
+        finetunes_completed: server_stats
+            .as_ref()
+            .map(|s| s.finetunes_completed)
+            .unwrap_or(0),
+        finetunes_failed: server_stats
+            .as_ref()
+            .map(|s| s.finetunes_failed)
+            .unwrap_or(0),
         server_stats,
     })
 }

@@ -115,6 +115,23 @@ pub struct Metrics {
     batch_peak: AtomicU64,
     /// Log₂-bucketed histogram of GEMM rows per batched round.
     batch_occupancy: LatencyHistogram,
+    /// Model versions promoted to live since start.
+    versions_published: AtomicU64,
+    /// Rollbacks (manual verb or divergence trip-wire) since start.
+    versions_rolled_back: AtomicU64,
+    /// Candidate versions quarantined by the validation gate since start.
+    versions_quarantined: AtomicU64,
+    /// Demoted versions freed after their last pinned session ended.
+    versions_retired: AtomicU64,
+    /// Serve-time divergence trip-wire firings since start.
+    divergence_trips: AtomicU64,
+    /// Fine-tune jobs currently running (0 or 1; gauge).
+    finetunes_running: AtomicU64,
+    /// Fine-tune jobs that published successfully since start.
+    finetunes_completed: AtomicU64,
+    /// Fine-tune jobs that failed (divergence, panic, rejected publish)
+    /// since start.
+    finetunes_failed: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -146,7 +163,57 @@ impl Metrics {
             batch_rounds: AtomicU64::new(0),
             batch_peak: AtomicU64::new(0),
             batch_occupancy: LatencyHistogram::new(),
+            versions_published: AtomicU64::new(0),
+            versions_rolled_back: AtomicU64::new(0),
+            versions_quarantined: AtomicU64::new(0),
+            versions_retired: AtomicU64::new(0),
+            divergence_trips: AtomicU64::new(0),
+            finetunes_running: AtomicU64::new(0),
+            finetunes_completed: AtomicU64::new(0),
+            finetunes_failed: AtomicU64::new(0),
         }
+    }
+
+    /// Counts a model version promoted to live.
+    pub fn inc_version_published(&self) {
+        self.versions_published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a rollback (manual or trip-wire).
+    pub fn inc_version_rolled_back(&self) {
+        self.versions_rolled_back.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a candidate quarantined by the validation gate.
+    pub fn inc_version_quarantined(&self) {
+        self.versions_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a demoted version freed by the refcounted retirer.
+    pub fn inc_version_retired(&self) {
+        self.versions_retired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a divergence trip-wire firing.
+    pub fn inc_divergence_trip(&self) {
+        self.divergence_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a fine-tune job as running (gauge up).
+    pub fn finetune_started(&self) {
+        self.finetunes_running.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks the running fine-tune job as published (gauge down).
+    pub fn finetune_completed(&self) {
+        self.finetunes_running.fetch_sub(1, Ordering::Relaxed);
+        self.finetunes_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks the running fine-tune job as failed (gauge down).
+    pub fn finetune_failed(&self) {
+        self.finetunes_running.fetch_sub(1, Ordering::Relaxed);
+        self.finetunes_failed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one batched decode round: `rows` sessions went through the
@@ -225,13 +292,17 @@ impl Metrics {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Builds a snapshot; the engine supplies the lock-guarded gauges.
+    /// Builds a snapshot; the engine supplies the lock-guarded gauges
+    /// (including the live version id and the per-version pinned-session
+    /// counts).
     pub fn snapshot(
         &self,
         sessions_open: usize,
         queued_events: usize,
         free_states: usize,
         workers: usize,
+        live_version: u64,
+        sessions_per_version: &[(u64, u64)],
     ) -> StatsSnapshot {
         let uptime = self.started.elapsed().as_secs_f64();
         let generated = self.events_generated.load(Ordering::Relaxed);
@@ -266,13 +337,38 @@ impl Metrics {
             batch_p50: self.batch_occupancy.quantile(0.50),
             batch_p99: self.batch_occupancy.quantile(0.99),
             batch_peak: self.batch_peak.load(Ordering::Relaxed),
+            live_version,
+            sessions_per_version: sessions_per_version
+                .iter()
+                .map(|&(version, sessions)| VersionSessions { version, sessions })
+                .collect(),
+            versions_published: self.versions_published.load(Ordering::Relaxed),
+            versions_rolled_back: self.versions_rolled_back.load(Ordering::Relaxed),
+            versions_quarantined: self.versions_quarantined.load(Ordering::Relaxed),
+            versions_retired: self.versions_retired.load(Ordering::Relaxed),
+            divergence_trips: self.divergence_trips.load(Ordering::Relaxed),
+            finetunes_running: self.finetunes_running.load(Ordering::Relaxed),
+            finetunes_completed: self.finetunes_completed.load(Ordering::Relaxed),
+            finetunes_failed: self.finetunes_failed.load(Ordering::Relaxed),
         }
     }
 }
 
+/// Pinned-session count for one installed model version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionSessions {
+    /// The installed version id.
+    pub version: u64,
+    /// Open sessions pinned to it.
+    pub sessions: u64,
+}
+
 /// A point-in-time view of the serving metrics, as reported by the
 /// `stats` protocol verb and the library `ServeHandle::stats`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// No longer `Copy` since the model-lifecycle fields landed (the
+/// per-version session table is heap data); clone it explicitly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
     /// Seconds since the engine started.
     pub uptime_secs: f64,
@@ -340,6 +436,38 @@ pub struct StatsSnapshot {
     /// Largest GEMM row count observed in one batched round.
     #[serde(default)]
     pub batch_peak: u64,
+    /// The model version new sessions currently open on (1 when serving
+    /// without a registry).
+    #[serde(default)]
+    pub live_version: u64,
+    /// Installed versions and their pinned-session counts, sorted by id.
+    #[serde(default)]
+    pub sessions_per_version: Vec<VersionSessions>,
+    /// Model versions promoted to live since start.
+    #[serde(default)]
+    pub versions_published: u64,
+    /// Rollbacks (manual verb or divergence trip-wire) since start.
+    #[serde(default)]
+    pub versions_rolled_back: u64,
+    /// Candidate versions quarantined by the validation gate since start.
+    #[serde(default)]
+    pub versions_quarantined: u64,
+    /// Demoted versions freed after their last pinned session ended.
+    #[serde(default)]
+    pub versions_retired: u64,
+    /// Serve-time divergence trip-wire firings since start.
+    #[serde(default)]
+    pub divergence_trips: u64,
+    /// Fine-tune jobs currently running (0 or 1).
+    #[serde(default)]
+    pub finetunes_running: u64,
+    /// Fine-tune jobs that published successfully since start.
+    #[serde(default)]
+    pub finetunes_completed: u64,
+    /// Fine-tune jobs that failed since start, leaving the serving model
+    /// untouched.
+    #[serde(default)]
+    pub finetunes_failed: u64,
 }
 
 #[cfg(test)]
@@ -378,7 +506,16 @@ mod tests {
         m.record_batch_round(5, 6);
         m.record_batch_round(0, 1); // all-bootstrap round: no GEMM rows
         m.add_sequential_tokens(3);
-        let s = m.snapshot(1, 2, 3, 4);
+        m.inc_version_published();
+        m.inc_version_rolled_back();
+        m.inc_version_quarantined();
+        m.inc_version_retired();
+        m.inc_divergence_trip();
+        m.finetune_started();
+        m.finetune_completed();
+        m.finetune_started();
+        m.finetune_failed();
+        let s = m.snapshot(1, 2, 3, 4, 7, &[(5, 0), (7, 1)]);
         assert_eq!(s.sessions_failed, 1);
         assert_eq!(s.worker_panics, 1);
         assert_eq!(s.sessions_detached, 2);
@@ -403,5 +540,21 @@ mod tests {
         // One occupancy sample of 5 → bucket 3, upper bound 7.
         assert_eq!(s.batch_p50, 7);
         assert_eq!(s.batch_p99, 7);
+        assert_eq!(s.live_version, 7);
+        assert_eq!(
+            s.sessions_per_version,
+            vec![
+                VersionSessions { version: 5, sessions: 0 },
+                VersionSessions { version: 7, sessions: 1 },
+            ]
+        );
+        assert_eq!(s.versions_published, 1);
+        assert_eq!(s.versions_rolled_back, 1);
+        assert_eq!(s.versions_quarantined, 1);
+        assert_eq!(s.versions_retired, 1);
+        assert_eq!(s.divergence_trips, 1);
+        assert_eq!(s.finetunes_running, 0, "gauge returns to zero");
+        assert_eq!(s.finetunes_completed, 1);
+        assert_eq!(s.finetunes_failed, 1);
     }
 }

@@ -34,12 +34,27 @@
 //! usual `stream`/`index`/... fields) or the terminal failure record
 //! `{"reason":"..."}` of a session that died to a contained fault — see
 //! [`SessionEvent`].
+//!
+//! Model-lifecycle extensions (require the server to run with a registry,
+//! `cptgen serve --registry DIR`):
+//!
+//! ```text
+//! -> {"op":"publish","path":"new-model.json"}   # stage + validate + promote
+//! <- {"type":"published","version":3,"previous":2}
+//! -> {"op":"rollback"}
+//! <- {"type":"rolled_back","demoted":3,"live":2}
+//! -> {"op":"finetune","trace":"serve-trace.jsonl"}
+//! <- {"type":"finetune_started","job":1}        # supervised background task
+//! -> {"op":"versions"}
+//! <- {"type":"versions","live":2,"versions":[...]}
+//! ```
 
 #![deny(clippy::unwrap_used)]
 
 use crate::engine::SessionEvent;
 use crate::error::ServeError;
 use crate::metrics::StatsSnapshot;
+use crate::registry::{RegistryError, VersionState};
 use serde::{Deserialize, Serialize};
 
 /// Default `next` wait when the client omits `wait_ms`.
@@ -117,6 +132,38 @@ pub enum Request {
     },
     /// Fetch a server stats snapshot.
     Stats,
+    /// Publish a model version through the gated path (stage if `path` is
+    /// given, validate — checksum, checkpoint load, deterministic canary —
+    /// then promote). Exactly one of `path`/`version` must be set:
+    /// `path` stages a model file as a new candidate first, `version`
+    /// re-validates and promotes an already-staged candidate.
+    Publish {
+        /// Model artifact to stage as a new candidate.
+        #[serde(default)]
+        path: Option<String>,
+        /// An existing candidate version to validate and promote.
+        #[serde(default)]
+        version: Option<u64>,
+    },
+    /// Demote the live version and re-promote the previous one.
+    Rollback,
+    /// Fine-tune the live model on a trace file in a supervised background
+    /// task, then publish the result through the gated path. The response
+    /// arrives immediately; watch `stats` (`finetunes_running`) or
+    /// `versions` for completion.
+    Finetune {
+        /// Trace file (JSONL events) to fine-tune on.
+        trace: String,
+        /// Fine-tune epochs (defaults to a fraction of the base schedule).
+        #[serde(default)]
+        epochs: Option<usize>,
+        /// Base RNG seed for the fine-tune (bumped deterministically on
+        /// each supervised retry).
+        #[serde(default)]
+        seed: Option<u64>,
+    },
+    /// List registry versions and their lifecycle states.
+    Versions,
     /// Ask the server to stop accepting work and exit.
     Shutdown,
 }
@@ -154,8 +201,38 @@ pub enum Response {
         /// Stragglers force-failed at the deadline.
         force_failed: u64,
     },
-    /// Stats snapshot.
-    Stats { stats: StatsSnapshot },
+    /// Stats snapshot (boxed: it is by far the largest response body and
+    /// would otherwise dominate the size of every `Response` value).
+    Stats { stats: Box<StatsSnapshot> },
+    /// A version passed the gate and is live.
+    Published {
+        /// The version new sessions now open on.
+        version: u64,
+        /// The demoted version (now draining), if any.
+        previous: Option<u64>,
+    },
+    /// Rollback succeeded.
+    RolledBack {
+        /// The demoted version.
+        demoted: u64,
+        /// The version live again.
+        live: u64,
+    },
+    /// The fine-tune job was admitted and runs in the background.
+    FinetuneStarted {
+        /// Job ordinal (1-based) for log correlation.
+        job: u64,
+    },
+    /// Registry listing.
+    Versions {
+        /// The live version id, if any.
+        live: Option<u64>,
+        /// Every version the manifest knows, in id order.
+        versions: Vec<VersionInfo>,
+        /// The last fine-tune failure, if any (cleared by a success).
+        #[serde(default)]
+        last_finetune_error: Option<String>,
+    },
     /// Acknowledges `shutdown`; the server exits after this.
     Bye,
     /// A request failed.
@@ -163,6 +240,22 @@ pub enum Response {
         kind: ErrorKind,
         message: String,
     },
+}
+
+/// One registry version in a `versions` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionInfo {
+    /// Version id.
+    pub id: u64,
+    /// Lifecycle state.
+    pub state: VersionState,
+    /// Open sessions pinned to it in the engine (0 for versions not
+    /// installed).
+    #[serde(default)]
+    pub sessions: u64,
+    /// Provenance note recorded at stage/quarantine time.
+    #[serde(default)]
+    pub note: String,
 }
 
 /// Machine-matchable error categories on the wire.
@@ -181,6 +274,17 @@ pub enum ErrorKind {
     Draining,
     /// The detach token is unknown, already redeemed, or expired.
     UnknownToken,
+    /// A model-lifecycle operation failed in the registry (corrupt
+    /// artifact, failed validation gate, crash-window fault).
+    Registry,
+    /// The model version id is unknown (to the registry or the engine).
+    UnknownVersion,
+    /// Rollback requested but no previous version is retained.
+    NoPreviousVersion,
+    /// Lifecycle verbs need a server started with `--registry`.
+    NoRegistry,
+    /// A fine-tune job is already running; retry after it finishes.
+    Busy,
     /// An internal serving failure.
     Internal,
 }
@@ -196,6 +300,15 @@ impl From<&ServeError> for ErrorKind {
             ServeError::UnknownToken => ErrorKind::UnknownToken,
             ServeError::Generate(_) => ErrorKind::InvalidRequest,
             ServeError::Io(_) => ErrorKind::Internal,
+            ServeError::Registry(RegistryError::UnknownVersion(_)) => ErrorKind::UnknownVersion,
+            ServeError::Registry(RegistryError::NoPreviousVersion) => {
+                ErrorKind::NoPreviousVersion
+            }
+            ServeError::Registry(_) => ErrorKind::Registry,
+            ServeError::UnknownVersion(_) => ErrorKind::UnknownVersion,
+            ServeError::NoPreviousVersion => ErrorKind::NoPreviousVersion,
+            ServeError::NoRegistry => ErrorKind::NoRegistry,
+            ServeError::FineTuneBusy => ErrorKind::Busy,
         }
     }
 }
@@ -254,11 +367,91 @@ mod tests {
                 token: "00ff".to_string(),
             },
             Request::Drain { timeout_ms: 250 },
+            Request::Publish {
+                path: Some("model.json".to_string()),
+                version: None,
+            },
+            Request::Publish {
+                path: None,
+                version: Some(3),
+            },
+            Request::Rollback,
+            Request::Finetune {
+                trace: "trace.jsonl".to_string(),
+                epochs: Some(2),
+                seed: Some(99),
+            },
+            Request::Versions,
         ] {
             let json = serde_json::to_string(&req).expect("serializes");
             let back: Request = serde_json::from_str(&json).expect("parses back");
             assert_eq!(req, back);
         }
+    }
+
+    #[test]
+    fn lifecycle_verbs_parse_with_defaults() {
+        let p: Request = serde_json::from_str(r#"{"op":"publish","path":"m.json"}"#)
+            .expect("minimal publish parses");
+        assert_eq!(
+            p,
+            Request::Publish {
+                path: Some("m.json".to_string()),
+                version: None,
+            }
+        );
+        let f: Request = serde_json::from_str(r#"{"op":"finetune","trace":"t.jsonl"}"#)
+            .expect("minimal finetune parses");
+        assert_eq!(
+            f,
+            Request::Finetune {
+                trace: "t.jsonl".to_string(),
+                epochs: None,
+                seed: None,
+            }
+        );
+        let resp = Response::Versions {
+            live: Some(2),
+            versions: vec![VersionInfo {
+                id: 2,
+                state: VersionState::Live,
+                sessions: 7,
+                note: "imported".to_string(),
+            }],
+            last_finetune_error: None,
+        };
+        let json = serde_json::to_string(&resp).expect("serializes");
+        assert!(json.contains("\"live\""));
+        let back: Response = serde_json::from_str(&json).expect("parses back");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn lifecycle_errors_map_to_wire_kinds() {
+        assert_eq!(
+            ErrorKind::from(&ServeError::NoRegistry),
+            ErrorKind::NoRegistry
+        );
+        assert_eq!(ErrorKind::from(&ServeError::FineTuneBusy), ErrorKind::Busy);
+        assert_eq!(
+            ErrorKind::from(&ServeError::NoPreviousVersion),
+            ErrorKind::NoPreviousVersion
+        );
+        assert_eq!(
+            ErrorKind::from(&ServeError::UnknownVersion(4)),
+            ErrorKind::UnknownVersion
+        );
+        assert_eq!(
+            ErrorKind::from(&ServeError::Registry(RegistryError::UnknownVersion(4))),
+            ErrorKind::UnknownVersion
+        );
+        assert_eq!(
+            ErrorKind::from(&ServeError::Registry(RegistryError::CanaryFailed {
+                version: 2,
+                detail: "non-finite".to_string(),
+            })),
+            ErrorKind::Registry
+        );
     }
 
     #[test]

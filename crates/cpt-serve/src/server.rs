@@ -26,8 +26,10 @@
 use crate::chaos::ChaosPlan;
 use crate::engine::{DetachToken, Engine, ServeConfig, ServeHandle, SessionId};
 use crate::error::ServeError;
+use crate::lifecycle::{Director, FineTuneSpec};
 use crate::metrics::StatsSnapshot;
-use crate::protocol::{ErrorKind, Request, Response};
+use crate::protocol::{ErrorKind, Request, Response, VersionInfo};
+use crate::registry::Registry;
 use cpt_gpt::{CptGpt, StreamParams};
 use std::collections::HashSet;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -46,16 +48,25 @@ pub struct ServerConfig {
     pub serve: ServeConfig,
     /// Deterministic fault injection; `ChaosPlan::default()` is a no-op.
     pub chaos: ChaosPlan,
+    /// Model-registry root directory. `Some` enables the lifecycle verbs
+    /// (`publish`/`rollback`/`finetune`/`versions`): the bootstrap model
+    /// is imported as the first version if the registry is empty, and the
+    /// registry's live version is served otherwise (the `--model` flag is
+    /// then only the bootstrap source). `None` keeps the pre-registry
+    /// behaviour: serve the given model, lifecycle verbs answer
+    /// `no_registry`.
+    pub registry: Option<std::path::PathBuf>,
 }
 
 impl ServerConfig {
     /// Defaults: the given address, engine defaults for `workers` workers,
-    /// no chaos.
+    /// no chaos, no registry.
     pub fn new(addr: impl Into<String>, workers: usize) -> Self {
         ServerConfig {
             addr: addr.into(),
             serve: ServeConfig::new(workers),
             chaos: ChaosPlan::default(),
+            registry: None,
         }
     }
 }
@@ -64,6 +75,7 @@ impl ServerConfig {
 pub struct Server {
     listener: TcpListener,
     engine: Engine,
+    director: Option<Arc<Director>>,
     cfg: ServerConfig,
     stop: Arc<AtomicBool>,
 }
@@ -80,12 +92,42 @@ impl Drop for ConnGuard {
 impl Server {
     /// Starts the engine and binds the listener. The engine is live (and
     /// the port reachable) when this returns.
+    ///
+    /// With [`ServerConfig::registry`] set, the registry is opened (and
+    /// crash-recovered) first: an empty registry imports `model` as the
+    /// first version through the full validation gate; a populated one
+    /// serves its durable live version instead, so a restart always comes
+    /// back on exactly what the last successful promotion published.
     pub fn bind(model: Arc<CptGpt>, cfg: ServerConfig) -> Result<Server, ServeError> {
-        let engine = Engine::start_with_chaos(model, cfg.serve, cfg.chaos)?;
+        let (engine, director) = match &cfg.registry {
+            None => (
+                Engine::start_with_chaos(model, cfg.serve, cfg.chaos)?,
+                None,
+            ),
+            Some(root) => {
+                let (mut registry, report) = Registry::open_with_chaos(root, cfg.chaos)?;
+                let (version, live_model) = if registry.is_empty() {
+                    let id = registry.stage(&model, "bootstrap import")?;
+                    let validated = registry.validate(id)?;
+                    registry.promote(id)?;
+                    (id, Arc::new(validated))
+                } else {
+                    let (id, m) = registry.load_live()?;
+                    (id, Arc::new(m))
+                };
+                let engine = Engine::start_versioned(live_model, version, cfg.serve, cfg.chaos)?;
+                for _ in &report.quarantined {
+                    engine.handle().note_version_quarantined();
+                }
+                let director = Director::new(registry, engine.handle(), cfg.chaos)?;
+                (engine, Some(Arc::new(director)))
+            }
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
         Ok(Server {
             listener,
             engine,
+            director,
             cfg,
             stop: Arc::new(AtomicBool::new(false)),
         })
@@ -99,6 +141,12 @@ impl Server {
     /// A library handle onto the same engine (used by in-process tests).
     pub fn handle(&self) -> ServeHandle {
         self.engine.handle()
+    }
+
+    /// The lifecycle director, when the server was bound with a registry
+    /// (used by in-process tests and the CLI wait loop).
+    pub fn director(&self) -> Option<Arc<Director>> {
+        self.director.clone()
     }
 
     /// A stop trigger usable from another thread: flips the flag and
@@ -135,6 +183,7 @@ impl Server {
             }
             let guard = ConnGuard(Arc::clone(&conns));
             let handle = self.engine.handle();
+            let director = self.director.clone();
             let stop = Arc::clone(&self.stop);
             let stopper = self.stopper();
             let conn = ConnContext {
@@ -147,7 +196,7 @@ impl Server {
                 .name("cpt-serve-conn".to_string())
                 .spawn(move || {
                     let _guard = guard;
-                    handle_connection(stream, &handle, &stop, &stopper, conn);
+                    handle_connection(stream, &handle, director.as_deref(), &stop, &stopper, conn);
                 });
             match spawned {
                 Ok(t) => threads.push(t),
@@ -156,6 +205,12 @@ impl Server {
         }
         for t in threads {
             let _ = t.join();
+        }
+        // Join any in-flight fine-tune and flush lifecycle persistence
+        // before stopping the engine, so a publish racing shutdown lands
+        // durably (or fails typed) rather than being torn off mid-flight.
+        if let Some(d) = &self.director {
+            d.shutdown();
         }
         let stats = self.engine.handle().stats();
         self.engine.shutdown();
@@ -202,6 +257,7 @@ struct ConnState {
 fn handle_connection(
     stream: TcpStream,
     handle: &ServeHandle,
+    director: Option<&Director>,
     stop: &AtomicBool,
     stopper: &(impl Fn() + Send + Sync),
     conn: ConnContext,
@@ -242,7 +298,7 @@ fn handle_connection(
                 }
                 conn.chaos.corrupt_line(conn.idx, req_idx, &mut line);
                 req_idx += 1;
-                let (resp, quit) = dispatch(&line, handle, &mut state, stopper);
+                let (resp, quit) = dispatch(&line, handle, director, &mut state, stopper);
                 line.clear();
                 if write_response(&mut writer, &resp).is_err() || quit {
                     break;
@@ -274,6 +330,7 @@ fn handle_connection(
 fn dispatch(
     line: &str,
     handle: &ServeHandle,
+    director: Option<&Director>,
     state: &mut ConnState,
     stopper: &(impl Fn() + Send + Sync),
 ) -> (Response, bool) {
@@ -388,10 +445,96 @@ fn dispatch(
         }
         Request::Stats => (
             Response::Stats {
-                stats: handle.stats(),
+                stats: Box::new(handle.stats()),
             },
             false,
         ),
+        Request::Publish { path, version } => {
+            let Some(d) = director else {
+                return (Response::from_error(&ServeError::NoRegistry), false);
+            };
+            let result = match (path, version) {
+                (Some(p), None) => d.publish_path(std::path::Path::new(&p)),
+                (None, Some(v)) => d.publish_version(v),
+                _ => {
+                    return (
+                        Response::Error {
+                            kind: ErrorKind::InvalidRequest,
+                            message: "publish takes exactly one of `path` or `version`"
+                                .to_string(),
+                        },
+                        false,
+                    )
+                }
+            };
+            match result {
+                Ok(out) => (
+                    Response::Published {
+                        version: out.version,
+                        previous: out.previous,
+                    },
+                    false,
+                ),
+                Err(e) => (Response::from_error(&e), false),
+            }
+        }
+        Request::Rollback => {
+            let Some(d) = director else {
+                return (Response::from_error(&ServeError::NoRegistry), false);
+            };
+            match d.rollback() {
+                Ok((demoted, live)) => (Response::RolledBack { demoted, live }, false),
+                Err(e) => (Response::from_error(&e), false),
+            }
+        }
+        Request::Finetune {
+            trace,
+            epochs,
+            seed,
+        } => {
+            let Some(d) = director else {
+                return (Response::from_error(&ServeError::NoRegistry), false);
+            };
+            match d.finetune(FineTuneSpec {
+                trace,
+                epochs,
+                seed,
+            }) {
+                Ok(job) => (Response::FinetuneStarted { job }, false),
+                Err(e) => (Response::from_error(&e), false),
+            }
+        }
+        Request::Versions => {
+            let Some(d) = director else {
+                return (Response::from_error(&ServeError::NoRegistry), false);
+            };
+            let (live, records, last_finetune_error) = d.versions();
+            let per_version = handle.sessions_per_version();
+            let versions = records
+                .into_iter()
+                .map(|r| {
+                    let sessions = per_version
+                        .iter()
+                        .find(|(v, _)| *v == r.id)
+                        .map(|(_, n)| *n)
+                        .unwrap_or(0);
+                    VersionInfo {
+                        id: r.id,
+                        state: r.state,
+                        sessions,
+                        note: r.note,
+                    }
+                })
+                .collect();
+            (
+                Response::Versions {
+                    live,
+                    versions,
+                    last_finetune_error,
+                },
+                false,
+            )
+        }
         Request::Shutdown => {
             stopper();
             (Response::Bye, true)

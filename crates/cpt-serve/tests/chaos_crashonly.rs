@@ -384,6 +384,31 @@ fn expired_detach_tokens_are_reaped() {
     engine.shutdown();
 }
 
+/// The reaper parks on a condvar rather than polling: an engine holding
+/// a detach token with an enormous TTL must still shut down promptly —
+/// a TTL-length sleep in the reaper would stall this join for days.
+#[test]
+fn reaper_with_huge_ttl_does_not_delay_shutdown() {
+    let cfg = ServeConfig {
+        detach_ttl_secs: 1_000_000,
+        ..ServeConfig::new(1)
+    };
+    let engine = Engine::start(trained_model(), cfg).expect("starts");
+    let handle = engine.handle();
+    let id = handle
+        .open_session(StreamParams::new(3))
+        .expect("admitted");
+    let _token = handle.detach_sessions(&[id]).expect("detach");
+
+    let begin = Instant::now();
+    engine.shutdown();
+    assert!(
+        begin.elapsed() < Duration::from_secs(10),
+        "shutdown stalled behind the reaper's TTL wait ({:?})",
+        begin.elapsed()
+    );
+}
+
 /// Garbage and never-minted tokens are typed errors.
 #[test]
 fn bogus_tokens_are_typed_errors() {

@@ -1,0 +1,435 @@
+//! Acceptance tests for validated hot-swap through the crash-safe model
+//! registry: publish a new version while sessions stream, under chaos.
+//!
+//! The acceptance criterion: with ≥64 sessions streaming, a publish must
+//! leave pinned sessions byte-identical to an un-swapped run while new
+//! sessions open on the new version — at 1, 2, and 8 workers; a corrupt
+//! candidate must be rejected with a typed error while the previous
+//! version keeps serving; a crash between the manifest temp-write and
+//! rename must leave the old version durable, with a restart recovering
+//! it; and a worker panic mid-publish must fail only the targeted
+//! session.
+//!
+//! These tests exercise runtime JSON (registry manifests and artifacts),
+//! so they run in CI rather than under the offline serde stub.
+
+use cpt_gpt::{CptGpt, CptGptConfig, StreamParams, Tokenizer, TrainConfig};
+use cpt_serve::registry::{Registry, RegistryError, VersionState};
+use cpt_serve::{
+    ChaosPlan, Director, Engine, ServeConfig, ServeError, ServeHandle, SessionEvent,
+    SessionId,
+};
+use cpt_trace::{Dataset, DeviceType, Event, EventType, Stream, UeId};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn alternating_dataset(n: usize) -> Dataset {
+    let streams = (0..n)
+        .map(|i| {
+            let mut t = 0.0;
+            let events = (0..6 + (i % 3) * 2)
+                .map(|k| {
+                    let (et, gap) = if k % 2 == 0 {
+                        (EventType::ServiceRequest, 100.0)
+                    } else {
+                        (EventType::ConnectionRelease, 10.0)
+                    };
+                    t += gap;
+                    Event::new(et, t)
+                })
+                .collect();
+            Stream::new(UeId(i as u64), DeviceType::Phone, events)
+        })
+        .collect();
+    Dataset::new(streams)
+}
+
+/// v1: the bootstrap model every registry in this file starts from.
+fn model_v1() -> Arc<CptGpt> {
+    static MODEL: OnceLock<Arc<CptGpt>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        let data = alternating_dataset(12);
+        let cfg = CptGptConfig {
+            d_model: 16,
+            n_blocks: 1,
+            n_heads: 2,
+            d_mlp: 32,
+            d_head: 16,
+            max_len: 16,
+            ..CptGptConfig::small()
+        };
+        let mut model = CptGpt::new(cfg, Tokenizer::fit(&data));
+        cpt_gpt::train(&mut model, &data, &TrainConfig::quick().with_epochs(2))
+            .expect("fixture training failed");
+        Arc::new(model)
+    }))
+}
+
+/// v2: v1 trained one more epoch — genuinely different weights, so a
+/// swapped session's output provably comes from the version it pinned.
+fn model_v2() -> Arc<CptGpt> {
+    static MODEL: OnceLock<Arc<CptGpt>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        let mut model = (*model_v1()).clone();
+        cpt_gpt::train(
+            &mut model,
+            &alternating_dataset(12),
+            &TrainConfig::quick().with_epochs(1),
+        )
+        .expect("fixture v2 training failed");
+        Arc::new(model)
+    }))
+}
+
+/// Ground truth for one session on one model: a fresh decoder drained to
+/// completion (identical to what an un-swapped engine run delivers).
+fn reference(model: &CptGpt, params: StreamParams) -> Vec<SessionEvent> {
+    let mut dec = model.open_session(params).expect("open reference session");
+    let mut out = Vec::new();
+    while let Some(ev) = dec.next_event(model) {
+        out.push(SessionEvent::Data(ev));
+    }
+    out
+}
+
+/// A scratch directory holding `registry/` plus candidate files, removed
+/// on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir()
+            .join(format!("cpt-hotswap-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn registry_root(&self) -> PathBuf {
+        self.0.join("registry")
+    }
+
+    /// Writes `model` as a publishable candidate file and returns its path.
+    fn candidate(&self, name: &str, model: &CptGpt) -> PathBuf {
+        let path = self.0.join(name);
+        cpt_gpt::save_model_file(model, &path).expect("write candidate file");
+        path
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Bootstraps the registry with v1 promoted live (chaos-free), then
+/// reopens it with `chaos` and wires the engine + director — exactly the
+/// server's startup sequence, so the director's first staged candidate is
+/// chaos stage ordinal 1.
+fn start_stack(
+    scratch: &Scratch,
+    workers: usize,
+    chaos: ChaosPlan,
+) -> (Engine, ServeHandle, Arc<Director>) {
+    let root = scratch.registry_root();
+    {
+        let (mut reg, report) = Registry::open(&root).expect("bootstrap registry");
+        if reg.is_empty() {
+            assert!(report.is_clean());
+            let id = reg.stage(&model_v1(), "bootstrap import").expect("stage v1");
+            reg.validate(id).expect("validate v1");
+            reg.promote(id).expect("promote v1");
+        }
+    }
+    let (mut reg, _) = Registry::open_with_chaos(&root, chaos).expect("reopen registry");
+    let (live, model) = reg.load_live().expect("live version loads");
+    let engine = Engine::start_versioned(Arc::new(model), live, ServeConfig::new(workers), chaos)
+        .expect("engine starts");
+    let handle = engine.handle();
+    let director =
+        Arc::new(Director::new(reg, engine.handle(), chaos).expect("director starts"));
+    (engine, handle, director)
+}
+
+/// Drains one session to `finished`, returning everything it delivered.
+fn drain_session(handle: &ServeHandle, id: SessionId, batch: usize) -> Vec<SessionEvent> {
+    let mut out = Vec::new();
+    loop {
+        let b = handle
+            .next_events(id, batch, Duration::from_secs(10))
+            .expect("next_events on open session");
+        out.extend(b.events);
+        if b.finished {
+            handle.close_session(id).expect("close drained session");
+            return out;
+        }
+    }
+}
+
+/// The swap-under-load acceptance: 64 sessions pinned to v1 keep decoding
+/// byte-identically across a mid-stream publish while new sessions open
+/// on v2 — at 1, 2, and 8 workers.
+#[test]
+fn publish_under_load_pins_old_sessions_and_switches_new_ones() {
+    for workers in [1usize, 2, 8] {
+        let scratch = Scratch::new(&format!("swap{workers}"));
+        let (engine, handle, director) =
+            start_stack(&scratch, workers, ChaosPlan::default());
+        assert_eq!(handle.live_version(), 1);
+
+        let pinned_params: Vec<StreamParams> = (0..64u64)
+            .map(|i| StreamParams::new(4000 + i * 101).streams(2))
+            .collect();
+        let pinned: Vec<SessionId> = pinned_params
+            .iter()
+            .map(|p| handle.open_session(*p).expect("pinned session admitted"))
+            .collect();
+
+        // Deliver a prefix so every session is demonstrably mid-stream,
+        // then swap underneath it.
+        let mut outputs: Vec<Vec<SessionEvent>> = Vec::with_capacity(pinned.len());
+        for id in &pinned {
+            let b = handle
+                .next_events(*id, 2, Duration::from_secs(10))
+                .expect("prefix delivery");
+            outputs.push(b.events);
+        }
+
+        let candidate = scratch.candidate("v2-candidate.json", &model_v2());
+        let outcome = director.publish_path(&candidate).expect("publish succeeds");
+        assert_eq!(outcome.version, 2);
+        assert_eq!(outcome.previous, Some(1));
+        assert_eq!(handle.live_version(), 2, "new sessions must open on v2");
+
+        // Sessions opened after the publish decode with v2's weights.
+        let fresh_params: Vec<StreamParams> = (0..16u64)
+            .map(|i| StreamParams::new(9000 + i * 17).streams(2))
+            .collect();
+        for p in &fresh_params {
+            let id = handle.open_session(*p).expect("fresh session admitted");
+            assert_eq!(
+                drain_session(&handle, id, 16),
+                reference(&model_v2(), *p),
+                "post-swap session diverged from the v2 reference at {workers} workers"
+            );
+        }
+        let per_version = handle.sessions_per_version();
+        assert!(
+            per_version.contains(&(1, 64)),
+            "64 sessions must stay pinned to v1, got {per_version:?}"
+        );
+
+        // Pinned sessions complete byte-identically to an un-swapped run.
+        for ((id, prefix), p) in pinned.iter().zip(outputs).zip(&pinned_params) {
+            let mut got = prefix;
+            got.extend(drain_session(&handle, *id, 16));
+            assert_eq!(
+                got,
+                reference(&model_v1(), *p),
+                "pinned session diverged from the v1 reference at {workers} workers"
+            );
+        }
+
+        // A second publish displaces v1 as the rollback target; with its
+        // last pinned session gone the engine frees it and the director
+        // persists the retirement.
+        let outcome = director.publish_path(&candidate).expect("second publish");
+        assert_eq!(outcome.version, 3);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (_, records, _) = director.versions();
+            let v1_state = records
+                .iter()
+                .find(|r| r.id == 1)
+                .expect("v1 record persists")
+                .state;
+            if v1_state == VersionState::Retired {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "v1 was never retired durably (state {v1_state:?})"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+
+        let stats = handle.stats();
+        assert_eq!(stats.versions_published, 2);
+        assert_eq!(stats.versions_retired, 1);
+        director.shutdown();
+        engine.shutdown();
+    }
+}
+
+/// A corrupt candidate is rejected with a typed error and quarantined
+/// durably; the previous version never stops serving.
+#[test]
+fn corrupt_candidate_is_rejected_typed_while_v1_keeps_serving() {
+    let scratch = Scratch::new("corrupt");
+    let chaos = ChaosPlan {
+        corrupt_candidate: Some(1),
+        ..ChaosPlan::default()
+    };
+    let (engine, handle, director) = start_stack(&scratch, 2, chaos);
+
+    let params: Vec<StreamParams> = (0..8u64)
+        .map(|i| StreamParams::new(100 + i * 7).streams(2))
+        .collect();
+    let ids: Vec<SessionId> = params
+        .iter()
+        .map(|p| handle.open_session(*p).expect("admitted"))
+        .collect();
+
+    let candidate = scratch.candidate("v2-candidate.json", &model_v2());
+    let err = director
+        .publish_path(&candidate)
+        .expect_err("a corrupt candidate must not publish");
+    assert!(
+        matches!(
+            &err,
+            ServeError::Registry(RegistryError::CorruptArtifact { version: 2, detail, .. })
+                if detail.contains("checksum mismatch")
+        ),
+        "expected a typed corrupt-artifact rejection, got {err:?}"
+    );
+    assert_eq!(handle.live_version(), 1, "v1 must keep serving");
+    assert_eq!(handle.stats().versions_quarantined, 1);
+    let (live, records, _) = director.versions();
+    assert_eq!(live, Some(1));
+    assert_eq!(
+        records.iter().find(|r| r.id == 2).expect("record kept").state,
+        VersionState::Quarantined
+    );
+
+    // In-flight and brand-new sessions still decode v1 exactly.
+    for (id, p) in ids.iter().zip(&params) {
+        assert_eq!(drain_session(&handle, *id, 16), reference(&model_v1(), *p));
+    }
+    let p = StreamParams::new(777).streams(2);
+    let fresh = handle.open_session(p).expect("still admitting");
+    assert_eq!(drain_session(&handle, fresh, 16), reference(&model_v1(), p));
+    director.shutdown();
+    engine.shutdown();
+}
+
+/// A crash in the promote commit window (between manifest temp-write and
+/// rename) leaves v1 durable and serving; a restart recovers it, and the
+/// interrupted candidate — staged and validated durably — can then be
+/// published to completion.
+#[test]
+fn crash_in_promote_commit_window_recovers_to_last_durable_version() {
+    let scratch = Scratch::new("crashpromote");
+    // Publishing stages (commit 1), validates (commit 2), promotes
+    // (commit 3): crash the promote.
+    let chaos = ChaosPlan {
+        crash_manifest_commit: Some(3),
+        ..ChaosPlan::default()
+    };
+    let (engine, handle, director) = start_stack(&scratch, 2, chaos);
+    let p = StreamParams::new(42).streams(2);
+    let id = handle.open_session(p).expect("admitted");
+
+    let candidate = scratch.candidate("v2-candidate.json", &model_v2());
+    let err = director
+        .publish_path(&candidate)
+        .expect_err("the crashed commit must surface");
+    assert!(
+        matches!(err, ServeError::Registry(RegistryError::SimulatedCrash { .. })),
+        "expected the simulated crash, got {err:?}"
+    );
+    assert_eq!(handle.live_version(), 1, "the engine must not half-promote");
+    assert_eq!(drain_session(&handle, id, 16), reference(&model_v1(), p));
+    director.shutdown();
+    engine.shutdown();
+
+    // Restart: recovery cleans the torn temp file, lands on v1, and keeps
+    // the durably staged candidate (it never got damaged).
+    let (mut reg, report) = Registry::open(scratch.registry_root()).expect("recovery");
+    assert_eq!(report.torn_commits_cleaned, 1);
+    let (live, model) = reg.load_live().expect("durable version loads");
+    assert_eq!(live, 1);
+    assert_eq!(
+        reg.manifest().record(2).expect("candidate survived").state,
+        VersionState::Validated
+    );
+
+    let engine = Engine::start_versioned(Arc::new(model), live, ServeConfig::new(2), ChaosPlan::default())
+        .expect("engine restarts");
+    let handle = engine.handle();
+    let director = Director::new(reg, engine.handle(), ChaosPlan::default())
+        .expect("director restarts");
+    let outcome = director
+        .publish_version(2)
+        .expect("the interrupted swap completes after restart");
+    assert_eq!(outcome.version, 2);
+    assert_eq!(handle.live_version(), 2);
+    let fresh = handle.open_session(p).expect("admitted");
+    assert_eq!(drain_session(&handle, fresh, 16), reference(&model_v2(), p));
+    director.shutdown();
+    engine.shutdown();
+}
+
+/// A worker panic landing inside the publish window (widened by chaos)
+/// fails only the targeted session; the publish itself and every other
+/// pinned session are untouched.
+#[test]
+fn worker_panic_mid_publish_fails_only_the_targeted_session() {
+    let scratch = Scratch::new("panicswap");
+    // Session id 3 panics after 2 events; the publish window is held open
+    // for 100ms so the panic lands inside it.
+    let chaos = ChaosPlan {
+        publish_delay_ms: 100,
+        ..ChaosPlan::panic_session_at(3, 2)
+    };
+    let (engine, handle, director) = start_stack(&scratch, 2, chaos);
+
+    let params: Vec<StreamParams> = (0..8u64)
+        .map(|i| StreamParams::new(300 + i * 13).streams(2))
+        .collect();
+    let ids: Vec<SessionId> = params
+        .iter()
+        .map(|p| handle.open_session(*p).expect("admitted"))
+        .collect();
+
+    let candidate = scratch.candidate("v2-candidate.json", &model_v2());
+    let publisher = {
+        let director = Arc::clone(&director);
+        std::thread::spawn(move || director.publish_path(&candidate))
+    };
+
+    // Drain everything while the publish is in flight.
+    let streams: Vec<Vec<SessionEvent>> = ids
+        .iter()
+        .map(|id| drain_session(&handle, *id, 4))
+        .collect();
+    let outcome = publisher
+        .join()
+        .expect("publisher thread joins")
+        .expect("publish succeeds despite the contained panic");
+    assert_eq!(outcome.version, 2);
+    assert_eq!(handle.live_version(), 2);
+
+    for (i, (stream, p)) in streams.iter().zip(&params).enumerate() {
+        let expected = reference(&model_v1(), *p);
+        if i == 2 {
+            // The targeted session: its decoded prefix, then exactly one
+            // terminal failure record.
+            assert_eq!(&stream[..2], &expected[..2]);
+            assert_eq!(stream.len(), 3, "prefix + one failure record");
+            assert!(
+                matches!(&stream[2], SessionEvent::Failed { reason } if reason.contains("chaos")),
+                "expected a chaos failure record, got {:?}",
+                stream[2]
+            );
+        } else {
+            assert_eq!(stream, &expected, "untargeted session {i} diverged");
+        }
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.sessions_failed, 1);
+    director.shutdown();
+    engine.shutdown();
+}

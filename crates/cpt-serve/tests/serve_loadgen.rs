@@ -75,6 +75,7 @@ fn start_server(serve_cfg: ServeConfig) -> TestServer {
             ..serve_cfg
         },
         chaos: ChaosPlan::default(),
+        registry: None,
     };
     let server = Server::bind(trained_model(), cfg).expect("server binds");
     let addr = server.local_addr().expect("bound address");

@@ -249,8 +249,8 @@ mod tests {
         for _ in 0..n {
             counts[cat.sample(&mut rng)] += 1;
         }
-        for i in 0..3 {
-            let emp = counts[i] as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
             assert!((emp - cat.prob(i)).abs() < 0.01, "cat {i}: {emp}");
         }
     }

@@ -151,11 +151,21 @@ fn usage() -> ExitCode {
          \u{20}            [--detach-ttl-secs S]   (line-JSON protocol; port 0 = auto)\n\
          \u{20}            [--no-batch-decode]   (sequential fallback; bit-identical)\n\
          \u{20}            [--batch-max N] [--quantized]   (int8 weights, approximate)\n\
+         \u{20}            [--registry DIR]   (crash-safe model registry: enables\n\
+         \u{20}            publish/rollback/finetune; restart serves last published)\n\
          \u{20}            chaos (deterministic fault injection, all off by default):\n\
          \u{20}            [--chaos-seed S] [--chaos-panic-session ID]\n\
          \u{20}            [--chaos-panic-at-event N] [--chaos-delay-every N]\n\
          \u{20}            [--chaos-delay-ms MS] [--chaos-drop-conn IDX]\n\
          \u{20}            [--chaos-drop-after N] [--chaos-corrupt-every N]\n\
+         \u{20}            [--chaos-crash-commit N] [--chaos-corrupt-candidate N]\n\
+         \u{20}            [--chaos-panic-finetune N] [--chaos-publish-delay-ms MS]\n\
+         \u{20}            [--chaos-poison-session ID] [--chaos-poison-at N]\n\
+           ctl        --addr HOST:PORT <action> [-o OUT.json]   (model lifecycle)\n\
+         \u{20}            --publish MODEL.json | --publish-version N | --rollback\n\
+         \u{20}            | --finetune TRACE.jsonl [--epochs N] [--seed S]\n\
+         \u{20}            [--wait-secs S]   (poll until the fine-tune lands)\n\
+         \u{20}            | --versions | --stats\n\
            loadgen    --addr HOST:PORT [--sessions N] [--concurrent N]\n\
          \u{20}            [--rate R] [--streams N] [--threads N] [--duration-secs S]\n\
          \u{20}            [--seed S] [--shutdown] [-o REPORT.json]\n\
@@ -251,10 +261,12 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Writes the model bundle atomically so a crash mid-save cannot leave a
-/// torn file where a good model used to be.
+/// Writes the model bundle atomically (crash mid-save cannot leave a torn
+/// file) and checksum-stamped, so `load_model_file` and the serve-side
+/// registry can verify the weights byte-for-byte.
 fn write_model(model: &CptGpt, out: &str) -> Result<(), CliError> {
-    cpt::nn::serialize::atomic_write_json(model, out).map_err(|e| CliError::data(e.to_string()))
+    cpt::gpt::save_model_file(model, std::path::Path::new(out))
+        .map_err(|e| CliError::data(e.to_string()))
 }
 
 fn report_outcome(report: &cpt::gpt::TrainReport) {
@@ -462,7 +474,17 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
         drop_connection: get_opt_parsed(opts, "chaos-drop-conn")?,
         drop_after_requests: get_parsed(opts, "chaos-drop-after", 0)?,
         corrupt_every: get_parsed(opts, "chaos-corrupt-every", 0)?,
+        crash_manifest_commit: get_opt_parsed(opts, "chaos-crash-commit")?,
+        corrupt_candidate: get_opt_parsed(opts, "chaos-corrupt-candidate")?,
+        panic_finetune: get_opt_parsed(opts, "chaos-panic-finetune")?,
+        publish_delay_ms: get_parsed(opts, "chaos-publish-delay-ms", 0)?,
+        poison_session: get_opt_parsed(opts, "chaos-poison-session")?,
+        poison_at_event: get_parsed(opts, "chaos-poison-at", 0)?,
     };
+    cfg.registry = opts
+        .get("registry")
+        .filter(|p| !p.is_empty())
+        .map(std::path::PathBuf::from);
     let model = std::sync::Arc::new(load_model(model_path)?);
     if !cfg.chaos.is_noop() {
         eprintln!("warning: chaos injection enabled: {:?}", cfg.chaos);
@@ -483,6 +505,10 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
             ""
         }
     );
+    let has_registry = cfg.registry.is_some();
+    if let Some(root) = &cfg.registry {
+        println!("model registry at {}", root.display());
+    }
     let stats = cpt::serve::serve(model, cfg, |addr| {
         // The readiness line scripts grep for; flush because stdout is
         // block-buffered when piped to a log file.
@@ -511,6 +537,21 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
             stats.sessions_detached,
             stats.sessions_reattached,
             stats.sessions_expired
+        );
+    }
+    if has_registry {
+        println!(
+            "  model lifecycle: live v{}; {} published / {} rolled back / \
+             {} quarantined / {} retired; {} divergence trips; \
+             finetunes {} completed / {} failed",
+            stats.live_version,
+            stats.versions_published,
+            stats.versions_rolled_back,
+            stats.versions_quarantined,
+            stats.versions_retired,
+            stats.divergence_trips,
+            stats.finetunes_completed,
+            stats.finetunes_failed
         );
     }
     Ok(())
@@ -594,6 +635,234 @@ fn cmd_loadgen(opts: &HashMap<String, String>) -> Result<(), CliError> {
         println!("wrote {out}");
     }
     Ok(())
+}
+
+/// One request/response round-trip against a running server, over a fresh
+/// connection (the lifecycle verbs are rare enough that connection reuse
+/// buys nothing).
+fn ctl_send(
+    addr: &str,
+    req: &cpt::serve::protocol::Request,
+) -> Result<cpt::serve::protocol::Response, CliError> {
+    use std::io::{BufRead, BufReader, Write};
+    let serve_err = |message: String| CliError {
+        code: EXIT_SERVE,
+        message,
+    };
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| serve_err(format!("cannot connect to {addr}: {e}")))?;
+    let mut line = serde_json::to_string(req)
+        .map_err(|e| CliError::data(format!("cannot encode request: {e}")))?;
+    line.push('\n');
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| serve_err(format!("cannot clone connection: {e}")))?;
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| serve_err(format!("cannot send request: {e}")))?;
+    let mut resp = String::new();
+    BufReader::new(stream)
+        .read_line(&mut resp)
+        .map_err(|e| serve_err(format!("cannot read response: {e}")))?;
+    if resp.trim().is_empty() {
+        return Err(serve_err(format!("server at {addr} closed the connection")));
+    }
+    serde_json::from_str(&resp)
+        .map_err(|e| serve_err(format!("bad response line {resp:?}: {e}")))
+}
+
+/// `cptgen ctl` — drive the model-lifecycle verbs of a running server:
+/// publish a model file (or an already-staged version), roll back, start
+/// a supervised fine-tune (optionally waiting for it), or inspect
+/// versions/stats.
+fn cmd_ctl(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    use cpt::serve::protocol::{Request, Response};
+    let addr = require(opts, "addr")?;
+    let actions = ["publish", "publish-version", "rollback", "finetune", "versions", "stats"];
+    let chosen: Vec<&str> = actions
+        .iter()
+        .copied()
+        .filter(|a| opts.contains_key(*a))
+        .collect();
+    let action = match chosen.as_slice() {
+        [one] => *one,
+        [] => {
+            return Err(CliError::usage(
+                "ctl needs one action: --publish PATH | --publish-version N | \
+                 --rollback | --finetune TRACE | --versions | --stats",
+            ))
+        }
+        many => {
+            return Err(CliError::usage(format!(
+                "ctl takes exactly one action, got {}",
+                many.join(", ")
+            )))
+        }
+    };
+    let req = match action {
+        "publish" => {
+            let path = require(opts, "publish")?;
+            if path.is_empty() {
+                return Err(CliError::usage("--publish needs a model file path"));
+            }
+            Request::Publish {
+                path: Some(path.clone()),
+                version: None,
+            }
+        }
+        "publish-version" => Request::Publish {
+            path: None,
+            version: Some(get_parsed(opts, "publish-version", 0)?),
+        },
+        "rollback" => Request::Rollback,
+        "finetune" => {
+            let trace = require(opts, "finetune")?;
+            if trace.is_empty() {
+                return Err(CliError::usage("--finetune needs a trace file path"));
+            }
+            Request::Finetune {
+                trace: trace.clone(),
+                epochs: get_opt_parsed(opts, "epochs")?,
+                seed: get_opt_parsed(opts, "seed")?,
+            }
+        }
+        "versions" => Request::Versions,
+        _ => Request::Stats,
+    };
+    let resp = ctl_send(addr, &req)?;
+    match &resp {
+        Response::Published { version, previous } => match previous {
+            Some(p) => println!("published: v{version} is live (displaced v{p})"),
+            None => println!("published: v{version} is live"),
+        },
+        Response::RolledBack { demoted, live } => {
+            println!("rolled back: demoted v{demoted}, v{live} is live");
+        }
+        Response::FinetuneStarted { job } => {
+            println!("fine-tune job {job} started");
+        }
+        Response::Versions {
+            live,
+            versions,
+            last_finetune_error,
+        } => {
+            match live {
+                Some(v) => println!("live: v{v}"),
+                None => println!("live: none"),
+            }
+            for v in versions {
+                // Bound to a String so the width specifier actually pads
+                // (Display impls that use `write_str` ignore it).
+                let state = v.state.to_string();
+                println!(
+                    "  v{:<4} {:<11} {:>4} sessions  {}",
+                    v.id, state, v.sessions, v.note
+                );
+            }
+            if let Some(err) = last_finetune_error {
+                println!("last fine-tune failure: {err}");
+            }
+        }
+        Response::Stats { stats } => {
+            println!(
+                "live v{}: {} open sessions, {} published / {} rolled back / \
+                 {} quarantined, {} divergence trips, finetunes {} running / \
+                 {} completed / {} failed",
+                stats.live_version,
+                stats.sessions_open,
+                stats.versions_published,
+                stats.versions_rolled_back,
+                stats.versions_quarantined,
+                stats.divergence_trips,
+                stats.finetunes_running,
+                stats.finetunes_completed,
+                stats.finetunes_failed
+            );
+        }
+        Response::Error { kind, message } => {
+            return Err(CliError {
+                code: EXIT_SERVE,
+                message: format!("server rejected {action}: {kind:?}: {message}"),
+            })
+        }
+        other => {
+            return Err(CliError {
+                code: EXIT_SERVE,
+                message: format!("unexpected response to {action}: {other:?}"),
+            })
+        }
+    }
+    let rendered = if matches!(resp, Response::FinetuneStarted { .. }) {
+        let wait_secs: u64 = get_parsed(opts, "wait-secs", 0)?;
+        if wait_secs > 0 {
+            wait_for_finetune(addr, wait_secs)?
+        } else {
+            resp
+        }
+    } else {
+        resp
+    };
+    if let Some(out) = opts.get("o").filter(|p| !p.is_empty()) {
+        let json = serde_json::to_string_pretty(&rendered)
+            .map_err(|e| CliError::data(format!("cannot serialize response: {e}")))?;
+        std::fs::write(out, json + "\n")
+            .map_err(|e| CliError::data(format!("cannot write {out}: {e}")))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// Polls `/stats` until the running fine-tune finishes (or the deadline
+/// passes), then reports the outcome via the `versions` verb — a failed
+/// job leaves `last_finetune_error` set (only success clears it), which
+/// maps to exit 8 so CI can gate on it.
+fn wait_for_finetune(
+    addr: &str,
+    wait_secs: u64,
+) -> Result<cpt::serve::protocol::Response, CliError> {
+    use cpt::serve::protocol::{Request, Response};
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(wait_secs);
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        let running = match ctl_send(addr, &Request::Stats)? {
+            Response::Stats { stats } => stats.finetunes_running > 0,
+            other => {
+                return Err(CliError {
+                    code: EXIT_SERVE,
+                    message: format!("unexpected stats response: {other:?}"),
+                })
+            }
+        };
+        if !running {
+            break;
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(CliError {
+                code: EXIT_SERVE,
+                message: format!("fine-tune still running after {wait_secs}s"),
+            });
+        }
+    }
+    let resp = ctl_send(addr, &Request::Versions)?;
+    if let Response::Versions {
+        live,
+        last_finetune_error,
+        ..
+    } = &resp
+    {
+        if let Some(err) = last_finetune_error {
+            return Err(CliError {
+                code: EXIT_SERVE,
+                message: format!("fine-tune failed: {err}"),
+            });
+        }
+        match live {
+            Some(v) => println!("fine-tune complete: v{v} is live"),
+            None => println!("fine-tune complete"),
+        }
+    }
+    Ok(resp)
 }
 
 fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), CliError> {
@@ -732,6 +1001,10 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
         report.serve_tokens_per_sec_quantized
     );
     println!(
+        "  swap:     {:.0} tokens/s under a mid-run publish",
+        report.serve_tokens_per_sec_swap
+    );
+    println!(
         "  peak RSS: {:.1} MiB",
         report.peak_rss_bytes as f64 / (1024.0 * 1024.0)
     );
@@ -838,6 +1111,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&opts),
         "generate" => cmd_generate(&opts),
         "serve" => cmd_serve(&opts),
+        "ctl" => cmd_ctl(&opts),
         "loadgen" => cmd_loadgen(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "mcn" => cmd_mcn(&opts),
