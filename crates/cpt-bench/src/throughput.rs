@@ -16,6 +16,7 @@ use cpt_gpt::{
 };
 use cpt_nn::Tensor;
 use cpt_serve::{Engine, ServeConfig, ServeError, SessionEvent, SessionId};
+use cpt_trace::columnar::{write_ctb, ColumnarReader};
 use cpt_trace::{Dataset, DeviceType, Event, EventType, Stream, UeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -133,6 +134,17 @@ pub struct ThroughputReport {
     /// gate, not the rate. 0 in reports written before hot swap existed.
     #[serde(default)]
     pub serve_tokens_per_sec_swap: f64,
+    /// Bytes per second (GB/s) written through the streaming `.ctb`
+    /// columnar writer, including the fsync-then-rename commit. 0 in
+    /// reports written before the columnar trace format existed (serde
+    /// default).
+    #[serde(default)]
+    pub trace_write_gbps: f64,
+    /// Bytes per second (GB/s) through open + full decode of the same
+    /// `.ctb` file back into a [`Dataset`], asserted equal to the source
+    /// on every run. 0 in old reports.
+    #[serde(default)]
+    pub trace_read_gbps: f64,
     /// Peak resident set size (VmHWM) at the end of the run, in bytes.
     /// 0 when the platform does not expose it.
     pub peak_rss_bytes: u64,
@@ -470,6 +482,43 @@ pub fn measure(quick: bool) -> Result<ThroughputReport, MeasureError> {
         "sessions pinned across a hot swap must complete byte-identically"
     );
 
+    // Trace data plane: columnar `.ctb` write and read rates through the
+    // out-of-core path `cptgen trace` / streaming train use. The decode is
+    // asserted to roundtrip the source dataset exactly on every run — the
+    // bit-exactness contract DESIGN.md §17 documents — so a rate gained by
+    // corrupting the format can never pass the gate.
+    let trace_data = bench_dataset(if quick { 512 } else { 4096 }, 64);
+    let mut ctb_path = std::env::temp_dir();
+    ctb_path.push(format!("cpt-bench-trace-{}.ctb", std::process::id()));
+    let iters = if quick { 3 } else { 12 };
+    let secs = time_loop(
+        || {
+            write_ctb(&trace_data, &ctb_path).expect("bench ctb write");
+        },
+        iters,
+    );
+    let ctb_bytes = std::fs::metadata(&ctb_path)
+        .map(|m| m.len())
+        .expect("bench ctb just written") as f64;
+    let trace_write_gbps = ctb_bytes * iters as f64 / secs / 1e9;
+    let decoded = ColumnarReader::open(&ctb_path)
+        .expect("bench ctb open")
+        .to_dataset()
+        .expect("bench ctb decode");
+    assert_eq!(
+        decoded, trace_data,
+        "ctb decode must roundtrip the bench dataset exactly"
+    );
+    let secs = time_loop(
+        || {
+            let r = ColumnarReader::open(&ctb_path).expect("bench ctb open");
+            std::hint::black_box(r.to_dataset().expect("bench ctb decode"));
+        },
+        iters,
+    );
+    let trace_read_gbps = ctb_bytes * iters as f64 / secs / 1e9;
+    std::fs::remove_file(&ctb_path).ok();
+
     Ok(ThroughputReport {
         matmul_gflops,
         train_tokens_per_sec,
@@ -483,6 +532,8 @@ pub fn measure(quick: bool) -> Result<ThroughputReport, MeasureError> {
         serve_speedup: serve_tokens_per_sec / serve_tokens_per_sec_sequential,
         serve_tokens_per_sec_quantized: quant_tokens as f64 / quant_secs,
         serve_tokens_per_sec_swap: swap_tokens as f64 / swap_secs,
+        trace_write_gbps,
+        trace_read_gbps,
         peak_rss_bytes: peak_rss_bytes(),
         threads: rayon::current_num_threads(),
     })
@@ -553,6 +604,18 @@ pub fn check_regression(
         current.serve_tokens_per_sec_quantized,
         baseline.serve_tokens_per_sec_quantized,
     );
+    // Baselines written before the columnar trace format carry 0 in both
+    // trace metrics, which the closure's `base > 0` test skips.
+    gate(
+        "trace_write_gbps",
+        current.trace_write_gbps,
+        baseline.trace_write_gbps,
+    );
+    gate(
+        "trace_read_gbps",
+        current.trace_read_gbps,
+        baseline.trace_read_gbps,
+    );
     failures
 }
 
@@ -574,8 +637,10 @@ mod tests {
             serve_speedup: 2.0,
             serve_tokens_per_sec_quantized: 7.0 * x,
             // Informational only — never baseline-gated, so the
-            // exactly-9-failures count below stays stable.
+            // exactly-11-failures count below stays stable.
             serve_tokens_per_sec_swap: 5.5 * x,
+            trace_write_gbps: x / 8.0,
+            trace_read_gbps: x / 4.0,
             peak_rss_bytes: 1 << 20,
             threads: 1,
         }
@@ -595,7 +660,7 @@ mod tests {
         let base = report(10.0);
         let bad = report(4.0); // below 10/2
         let failures = check_regression(&bad, &base, 2.0);
-        assert_eq!(failures.len(), 9, "{failures:?}");
+        assert_eq!(failures.len(), 11, "{failures:?}");
         assert!(failures[0].contains("matmul_gflops"));
         assert!(failures
             .iter()
@@ -604,6 +669,8 @@ mod tests {
         assert!(failures
             .iter()
             .any(|f| f.contains("serve_tokens_per_sec_quantized")));
+        assert!(failures.iter().any(|f| f.contains("trace_write_gbps")));
+        assert!(failures.iter().any(|f| f.contains("trace_read_gbps")));
         // Speedup ratios are machine-dependent and never baseline-gated.
         assert!(!failures.iter().any(|f| f.contains("serve_speedup")));
     }
@@ -621,9 +688,12 @@ mod tests {
         assert_eq!(base.train_tokens_per_sec_1thread, 0.0);
         assert_eq!(base.train_speedup, 0.0);
         // Pre-batched-serving baselines likewise default the serve
-        // metrics to 0, skipping those gates.
+        // metrics to 0, skipping those gates — and pre-columnar-format
+        // baselines the trace metrics.
         assert_eq!(base.serve_tokens_per_sec, 0.0);
         assert_eq!(base.serve_tokens_per_sec_quantized, 0.0);
+        assert_eq!(base.trace_write_gbps, 0.0);
+        assert_eq!(base.trace_read_gbps, 0.0);
         let current = report(1000.0);
         assert!(check_regression(&current, &base, 2.0).is_empty());
     }

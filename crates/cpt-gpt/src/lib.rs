@@ -30,6 +30,7 @@ pub mod error;
 pub mod faultinject;
 pub mod generate;
 pub mod model;
+pub mod source;
 pub mod stream;
 pub mod token;
 pub mod train;
@@ -46,11 +47,12 @@ pub use model::{
     load_model_file, save_model_file, BatchDecodeState, CptGpt, DecodeState, QuantDecodeWeights,
     StepOutput,
 };
+pub use source::{fit_tokenizer_streaming, ColumnarSource, DatasetSource, ShardSource};
 pub use stream::{BatchDecoder, RoundOutcome, SessionDecoder, SessionEvent, StreamParams};
-pub use token::{ScaleKind, Tokenizer};
+pub use token::{ScaleKind, Tokenizer, TokenizerFit};
 pub use batch::{build_batch, make_epoch_batches, make_epoch_shards, Batch};
 pub use train::{
-    parallel_grad_step, resume_training, train, train_with_checkpoints, EpochStats, StepOutcome,
-    TrainReport,
+    parallel_grad_step, resume_training, resume_training_source, train, train_source,
+    train_source_with_checkpoints, train_with_checkpoints, EpochStats, StepOutcome, TrainReport,
 };
 pub use transfer::fine_tune;

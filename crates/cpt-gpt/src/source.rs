@@ -1,0 +1,226 @@
+//! Training-data sources: the abstraction that lets the same epoch engine
+//! consume either an in-RAM [`Dataset`] or an out-of-core `.ctb` columnar
+//! trace ([`ColumnarReader`]) — with bit-identical results.
+//!
+//! The equivalence argument (DESIGN.md §17): the epoch engine derives one
+//! shuffle RNG per `(seed, epoch)` and a shard layout that is a pure
+//! function of the shuffled stream order and `(batch_size, microbatch)`.
+//! Both sources present the *same trainable streams in the same file
+//! order* — streams with at least two events, truncated to `max_len + 1`
+//! (the truncation [`build_batch`] applies anyway) — and shuffle an
+//! equal-length list with the same RNG, which consumes the generator
+//! identically. Batches built from either source are therefore equal
+//! element for element, and training consumes them in the same order, so
+//! the resulting weights are bit-identical. The columnar source just never
+//! holds more than one optimizer step's streams in memory.
+
+use crate::batch::{build_batch, make_epoch_shards, Batch};
+use crate::token::{ScaleKind, Tokenizer, TokenizerFit};
+use cpt_trace::columnar::{ColumnarReader, CtbError};
+use cpt_trace::{Dataset, EventType, Generation, Stream};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A source of training shards for the epoch engine.
+///
+/// `epoch_steps` yields one `Vec<Batch>` per optimizer step (the step's
+/// micro-batch shards, in stream order), for one full pass over the
+/// trainable streams in the order produced by shuffling with `rng`.
+pub trait ShardSource {
+    /// The generation of the underlying trace.
+    fn generation(&self) -> Generation;
+
+    /// Number of trainable streams (at least two events).
+    fn num_trainable(&self) -> usize;
+
+    /// Distribution of the initial event type across trainable streams
+    /// (used to bootstrap generation), matching
+    /// [`Dataset::initial_event_distribution`] on the clamped dataset.
+    fn initial_event_distribution(&self) -> Vec<(EventType, f64)>;
+
+    /// Lazily yields each optimizer step's shards for one epoch.
+    fn epoch_steps<'a>(
+        &'a self,
+        tokenizer: &'a Tokenizer,
+        batch_size: usize,
+        microbatch: usize,
+        max_len: usize,
+        rng: StdRng,
+    ) -> Box<dyn Iterator<Item = Vec<Batch>> + 'a>;
+}
+
+/// The in-RAM source: a thin adapter over [`make_epoch_shards`], with the
+/// exact behavior the trainer had before sources existed.
+pub struct DatasetSource<'d> {
+    dataset: &'d Dataset,
+}
+
+impl<'d> DatasetSource<'d> {
+    /// Wraps an in-memory dataset.
+    pub fn new(dataset: &'d Dataset) -> Self {
+        DatasetSource { dataset }
+    }
+}
+
+impl ShardSource for DatasetSource<'_> {
+    fn generation(&self) -> Generation {
+        self.dataset.generation
+    }
+
+    fn num_trainable(&self) -> usize {
+        self.dataset.streams.iter().filter(|s| s.len() >= 2).count()
+    }
+
+    fn initial_event_distribution(&self) -> Vec<(EventType, f64)> {
+        self.dataset.initial_event_distribution()
+    }
+
+    fn epoch_steps<'a>(
+        &'a self,
+        tokenizer: &'a Tokenizer,
+        batch_size: usize,
+        microbatch: usize,
+        max_len: usize,
+        mut rng: StdRng,
+    ) -> Box<dyn Iterator<Item = Vec<Batch>> + 'a> {
+        Box::new(
+            make_epoch_shards(
+                tokenizer,
+                self.dataset,
+                batch_size,
+                microbatch,
+                max_len,
+                &mut rng,
+            )
+            .into_iter(),
+        )
+    }
+}
+
+/// The out-of-core source: macro-batches stream out of a `.ctb` columnar
+/// trace, materializing only the current optimizer step's streams.
+///
+/// Construction verifies every block checksum once up front, so the
+/// training loop can decode infallibly afterwards (the mapping is
+/// immutable: `.ctb` files are published by atomic rename and never
+/// rewritten in place).
+pub struct ColumnarSource<'r> {
+    reader: &'r ColumnarReader,
+    /// Indices of trainable streams (len >= 2), in file order.
+    trainable: Vec<u32>,
+}
+
+impl<'r> ColumnarSource<'r> {
+    /// Builds a source over `reader`, verifying all block checksums.
+    pub fn new(reader: &'r ColumnarReader) -> Result<Self, CtbError> {
+        reader.verify()?;
+        if reader.num_streams() > u32::MAX as usize {
+            return Err(CtbError::TooLarge("stream count"));
+        }
+        let trainable = (0..reader.num_streams())
+            .filter(|&i| reader.stream_meta(i).expect("in range").len >= 2)
+            .map(|i| i as u32)
+            .collect();
+        Ok(ColumnarSource { reader, trainable })
+    }
+
+    fn materialize(&self, idx: u32, max_len: usize) -> Stream {
+        self.reader
+            .stream(idx as usize)
+            .expect("trainable index in range")
+            .prefix(max_len + 1)
+            .to_stream()
+            .expect("ctb verified at source construction")
+    }
+}
+
+impl ShardSource for ColumnarSource<'_> {
+    fn generation(&self) -> Generation {
+        self.reader.generation()
+    }
+
+    fn num_trainable(&self) -> usize {
+        self.trainable.len()
+    }
+
+    fn initial_event_distribution(&self) -> Vec<(EventType, f64)> {
+        // First event type per trainable stream, straight off the type
+        // column — equals Dataset::initial_event_distribution on the
+        // clamped dataset (clamping keeps exactly the len >= 2 streams and
+        // never touches the first event).
+        let mut counts = [0usize; EventType::ALL.len()];
+        let mut total = 0usize;
+        for &i in &self.trainable {
+            let view = self.reader.stream(i as usize).expect("in range");
+            if let Some(&t) = view.type_bytes().first() {
+                counts[t as usize] += 1;
+                total += 1;
+            }
+        }
+        self.generation()
+            .event_types()
+            .iter()
+            .map(|e| {
+                let p = if total == 0 {
+                    0.0
+                } else {
+                    counts[e.index()] as f64 / total as f64
+                };
+                (*e, p)
+            })
+            .collect()
+    }
+
+    fn epoch_steps<'a>(
+        &'a self,
+        tokenizer: &'a Tokenizer,
+        batch_size: usize,
+        microbatch: usize,
+        max_len: usize,
+        mut rng: StdRng,
+    ) -> Box<dyn Iterator<Item = Vec<Batch>> + 'a> {
+        assert!(batch_size > 0 && microbatch > 0, "zero batch/microbatch");
+        // Shuffling a Vec<u32> of the same length consumes the RNG exactly
+        // like shuffling the Vec<&Stream> in make_epoch_shards, so both
+        // sources see the same permutation for a given epoch RNG.
+        let mut order = self.trainable.clone();
+        order.shuffle(&mut rng);
+        let steps = order.len().div_ceil(batch_size);
+        Box::new((0..steps).map(move |si| {
+            let step = &order[si * batch_size..((si + 1) * batch_size).min(order.len())];
+            let streams: Vec<Stream> = step
+                .iter()
+                .map(|&i| self.materialize(i, max_len))
+                .collect();
+            streams
+                .chunks(microbatch)
+                .map(|shard| {
+                    let refs: Vec<&Stream> = shard.iter().collect();
+                    build_batch(tokenizer, &refs, max_len)
+                })
+                .collect()
+        }))
+    }
+}
+
+/// Fits a tokenizer from a `.ctb` trace in one streaming pass, equivalent
+/// (bit for bit) to `Tokenizer::fit_with(&dataset.clamp_lengths(2,
+/// max_len + 1), scale)` on the decoded dataset: only streams with at
+/// least two events contribute, each truncated to `max_len + 1` events,
+/// and truncating a stream truncates its interarrival sequence.
+pub fn fit_tokenizer_streaming(
+    reader: &ColumnarReader,
+    max_len: usize,
+    scale: ScaleKind,
+) -> Tokenizer {
+    let mut fit = TokenizerFit::new(scale);
+    for view in reader.streams() {
+        if view.len() < 2 {
+            continue;
+        }
+        for iat in view.prefix(max_len + 1).interarrivals() {
+            fit.observe(iat);
+        }
+    }
+    fit.finish(reader.generation())
+}

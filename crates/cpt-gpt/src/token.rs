@@ -44,6 +44,53 @@ impl ScaleKind {
     }
 }
 
+/// Incremental tokenizer fit: feed interarrivals one at a time, then
+/// [`TokenizerFit::finish`]. Min/max folding is order-independent and
+/// exact, so a streaming fit over the same interarrivals produces a
+/// tokenizer bit-identical to [`Tokenizer::fit_with`] (which is itself
+/// implemented on top of this).
+#[derive(Debug, Clone)]
+pub struct TokenizerFit {
+    scale: ScaleKind,
+    log_min: f64,
+    log_max: f64,
+}
+
+impl TokenizerFit {
+    /// Starts an empty fit with the given scaling kind.
+    pub fn new(scale: ScaleKind) -> Self {
+        TokenizerFit {
+            scale,
+            log_min: f64::INFINITY,
+            log_max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one interarrival time (seconds) into the scaling bounds.
+    pub fn observe(&mut self, iat: f64) {
+        let l = self.scale.forward(iat);
+        self.log_min = self.log_min.min(l);
+        self.log_max = self.log_max.max(l);
+    }
+
+    /// Finalizes the fit. Degenerate inputs (no observations, or all-equal
+    /// interarrivals) fall back to a 1-hour span so scaling stays
+    /// invertible.
+    pub fn finish(self, generation: Generation) -> Tokenizer {
+        let (mut log_min, mut log_max) = (self.log_min, self.log_max);
+        if !log_min.is_finite() || !log_max.is_finite() || log_max <= log_min {
+            log_min = 0.0;
+            log_max = self.scale.forward(3600.0);
+        }
+        Tokenizer {
+            generation,
+            scale: self.scale,
+            log_min,
+            log_max,
+        }
+    }
+}
+
 /// Fitted tokenizer: event vocabulary + interarrival scaling bounds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tokenizer {
@@ -79,27 +126,13 @@ impl Tokenizer {
     /// Fits with an explicit scaling kind (the `Linear` variant exists for
     /// the log-scaling ablation).
     pub fn fit_with(dataset: &Dataset, scale: ScaleKind) -> Self {
-        let mut log_min = f64::INFINITY;
-        let mut log_max = f64::NEG_INFINITY;
+        let mut fit = TokenizerFit::new(scale);
         for s in &dataset.streams {
             for iat in s.interarrivals() {
-                let l = scale.forward(iat);
-                log_min = log_min.min(l);
-                log_max = log_max.max(l);
+                fit.observe(iat);
             }
         }
-        if !log_min.is_finite() || !log_max.is_finite() || log_max <= log_min {
-            // Degenerate datasets (empty, or all-equal interarrivals):
-            // fall back to a 1-hour span so scaling stays invertible.
-            log_min = 0.0;
-            log_max = scale.forward(3600.0);
-        }
-        Tokenizer {
-            generation: dataset.generation,
-            scale,
-            log_min,
-            log_max,
-        }
+        fit.finish(dataset.generation)
     }
 
     /// The generation this tokenizer encodes.

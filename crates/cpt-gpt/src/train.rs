@@ -24,7 +24,7 @@
 //! checkpoint written by a 1-thread run resumes bit-identically under an
 //! 8-thread pool.
 
-use crate::batch::{make_epoch_shards, Batch};
+use crate::batch::Batch;
 use crate::checkpoint::{
     load_checkpoint, save_checkpoint, CheckpointSpec, RecoveryEvent, TrainCheckpoint,
     CHECKPOINT_FORMAT_VERSION,
@@ -32,6 +32,7 @@ use crate::checkpoint::{
 use crate::config::TrainConfig;
 use crate::error::{FaultKind, TrainError};
 use crate::model::CptGpt;
+use crate::source::{DatasetSource, ShardSource};
 use cpt_nn::{
     clip_grad_norm, scale_grads, tree_reduce_grads, Adam, GradSet, LrSchedule, ParamStore,
     ScratchArena, Session,
@@ -92,10 +93,6 @@ fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     StdRng::seed_from_u64(z ^ (z >> 31))
-}
-
-fn count_trainable(dataset: &Dataset) -> usize {
-    dataset.streams.iter().filter(|s| s.len() >= 2).count()
 }
 
 /// Result of one data-parallel forward/backward over a step's shards.
@@ -205,15 +202,38 @@ pub fn train_with_checkpoints(
     cfg: &TrainConfig,
     checkpoint: Option<&CheckpointSpec>,
 ) -> Result<TrainReport, TrainError> {
+    train_source_with_checkpoints(model, &DatasetSource::new(dataset), cfg, checkpoint)
+}
+
+/// Trains `model` in place from any [`ShardSource`] — the in-RAM
+/// [`DatasetSource`] or the out-of-core
+/// [`ColumnarSource`](crate::source::ColumnarSource). Both produce
+/// bit-identical weights on equivalent data (DESIGN.md §17).
+pub fn train_source(
+    model: &mut CptGpt,
+    source: &dyn ShardSource,
+    cfg: &TrainConfig,
+) -> Result<TrainReport, TrainError> {
+    train_source_with_checkpoints(model, source, cfg, None)
+}
+
+/// [`train_source`] with optional atomic checkpointing, mirroring
+/// [`train_with_checkpoints`].
+pub fn train_source_with_checkpoints(
+    model: &mut CptGpt,
+    source: &dyn ShardSource,
+    cfg: &TrainConfig,
+    checkpoint: Option<&CheckpointSpec>,
+) -> Result<TrainReport, TrainError> {
     cfg.validate()?;
-    if count_trainable(dataset) == 0 {
+    if source.num_trainable() == 0 {
         return Err(TrainError::NoTrainableStreams);
     }
-    model.initial_event_dist = dataset.initial_event_distribution();
+    model.initial_event_dist = source.initial_event_distribution();
     let adam = Adam::new(&model.store, cfg.lr);
     run_epochs(
         model,
-        dataset,
+        source,
         cfg,
         checkpoint,
         adam,
@@ -234,8 +254,18 @@ pub fn resume_training(
     cfg: &TrainConfig,
     checkpoint: &CheckpointSpec,
 ) -> Result<(CptGpt, TrainReport), TrainError> {
+    resume_training_source(&DatasetSource::new(dataset), cfg, checkpoint)
+}
+
+/// [`resume_training`] generalized to any [`ShardSource`]; the source must
+/// present the same data as the original run for bit-identical resumption.
+pub fn resume_training_source(
+    source: &dyn ShardSource,
+    cfg: &TrainConfig,
+    checkpoint: &CheckpointSpec,
+) -> Result<(CptGpt, TrainReport), TrainError> {
     cfg.validate()?;
-    if count_trainable(dataset) == 0 {
+    if source.num_trainable() == 0 {
         return Err(TrainError::NoTrainableStreams);
     }
     let ckpt = load_checkpoint(&checkpoint.path)?;
@@ -247,7 +277,7 @@ pub fn resume_training(
     };
     let report = run_epochs(
         &mut model,
-        dataset,
+        source,
         cfg,
         Some(checkpoint),
         ckpt.optimizer,
@@ -265,7 +295,7 @@ pub fn resume_training(
 #[allow(clippy::too_many_arguments)]
 fn run_epochs(
     model: &mut CptGpt,
-    dataset: &Dataset,
+    source: &dyn ShardSource,
     cfg: &TrainConfig,
     checkpoint: Option<&CheckpointSpec>,
     mut adam: Adam,
@@ -274,7 +304,11 @@ fn run_epochs(
     start_epoch: usize,
     mut report: TrainReport,
 ) -> Result<TrainReport, TrainError> {
-    let total_batches = count_trainable(dataset).div_ceil(cfg.batch_size).max(1) * cfg.epochs;
+    // A full epoch always has ceil(trainable / batch_size) optimizer steps
+    // regardless of source, so schedule length and per-epoch mean-loss
+    // denominators can be computed without materializing an epoch.
+    let steps_per_epoch = source.num_trainable().div_ceil(cfg.batch_size).max(1);
+    let total_batches = steps_per_epoch * cfg.epochs;
     let schedule = LrSchedule::WarmupCosine {
         peak: cfg.lr,
         floor: cfg.lr * 0.1,
@@ -298,18 +332,18 @@ fn run_epochs(
         let mut retries = 0u32;
         loop {
             let epoch_start = Instant::now();
-            let mut rng = epoch_rng(cfg.seed, epoch);
-            let steps = make_epoch_shards(
+            let rng = epoch_rng(cfg.seed, epoch);
+            let max_len = model.config.max_len;
+            let steps = source.epoch_steps(
                 &model.tokenizer,
-                dataset,
                 cfg.batch_size,
                 cfg.microbatch,
-                model.config.max_len,
-                &mut rng,
+                max_len,
+                rng,
             );
             let mut loss_sum = 0.0f64;
             let mut fault: Option<(FaultKind, u64)> = None;
-            for shards in &steps {
+            for shards in steps {
                 adam.set_lr(schedule.lr(step) * lr_scale);
                 let this_step = step;
                 step += 1;
@@ -332,7 +366,7 @@ fn run_epochs(
                         poison_shard = Some(plan.fault_shard.min(shards.len() - 1));
                     }
                 }
-                let outcome = parallel_grad_step_inner(model, shards, poison_shard);
+                let outcome = parallel_grad_step_inner(model, &shards, poison_shard);
                 let loss_val = if inject_loss { f64::NAN } else { outcome.loss };
                 if !loss_val.is_finite() {
                     fault = Some((FaultKind::NonFiniteLoss, this_step));
@@ -351,7 +385,7 @@ fn run_epochs(
             let Some((cause, fault_step)) = fault else {
                 report.epochs.push(EpochStats {
                     epoch,
-                    mean_loss: loss_sum / steps.len().max(1) as f64,
+                    mean_loss: loss_sum / steps_per_epoch as f64,
                     seconds: epoch_start.elapsed().as_secs_f64(),
                 });
                 break;
@@ -417,6 +451,7 @@ fn run_epochs(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::make_epoch_shards;
     use crate::config::CptGptConfig;
     use crate::faultinject::FaultPlan;
     use crate::token::Tokenizer;

@@ -20,6 +20,7 @@ pub mod memorization;
 pub mod report;
 pub mod selection;
 pub mod sojourn;
+pub mod streaming;
 pub mod violations;
 
 pub use breakdown::{breakdown_diffs, max_abs_breakdown_diff};
@@ -28,6 +29,7 @@ pub use memorization::ngram_repeat_fraction;
 pub use report::Table;
 pub use selection::select_checkpoint;
 pub use sojourn::{per_ue_mean_sojourns, sojourn_distance};
+pub use streaming::{accumulate_reader, fidelity_from_accumulators, StreamAccumulator};
 pub use violations::{violation_stats, ViolationStats};
 
 use cpt_statemachine::{StateMachine, TopState};

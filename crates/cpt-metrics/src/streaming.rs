@@ -1,0 +1,301 @@
+//! Single-pass streaming fidelity accumulation for out-of-core traces.
+//!
+//! [`FidelityReport::compute`](crate::FidelityReport::compute) walks its
+//! datasets several times (once per metric) and therefore needs both
+//! traces fully resident. [`StreamAccumulator`] folds every per-stream
+//! quantity the report needs in **one replay per stream**, so a `.ctb`
+//! columnar trace can be measured stream by stream without ever
+//! materializing the dataset. Peak memory is O(streams) — the per-UE
+//! flow lengths and mean sojourns that the ECDF distances are defined
+//! over — never O(events).
+//!
+//! Equality guarantee (tested below): feeding every stream of a dataset,
+//! in dataset order, produces bit-identical metric values to the batch
+//! functions ([`violation_stats`], [`sojourn_ecdf`](crate::sojourn),
+//! [`flow_length_ecdf`](crate::flowlen), `Dataset::event_breakdown`) —
+//! the accumulators perform the same folds in the same order. The pooled
+//! interarrival ECDF is deliberately *not* accumulated: it is O(events)
+//! by definition and not part of [`FidelityReport`].
+
+use crate::violations::ViolationStats;
+use crate::FidelityReport;
+use cpt_statemachine::{replay, StateMachine, TopState, Violation};
+use cpt_trace::columnar::{ColumnarReader, CtbError};
+use cpt_trace::stats::Ecdf;
+use cpt_trace::{EventType, Stream};
+use std::collections::{BTreeMap, HashMap};
+
+/// Everything [`FidelityReport`] needs about one dataset, accumulated one
+/// stream at a time.
+#[derive(Debug, Clone, Default)]
+pub struct StreamAccumulator {
+    // Event-type breakdown.
+    type_counts: [usize; EventType::ALL.len()],
+    total_events: usize,
+    // Flow lengths, in observation order (matches dataset stream order).
+    flow_all: Vec<f64>,
+    flow_srv_req: Vec<f64>,
+    flow_conn_rel: Vec<f64>,
+    // Per-UE mean sojourns, skipping UEs with no completed visit.
+    sojourn_connected: Vec<f64>,
+    sojourn_idle: Vec<f64>,
+    sojourn_deregistered: Vec<f64>,
+    // Violation accumulation (identical folds to `violation_stats`).
+    events_checked: usize,
+    violating_events: usize,
+    streams_checked: usize,
+    violating_streams: usize,
+    kinds: HashMap<Violation, usize>,
+}
+
+impl StreamAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamAccumulator::default()
+    }
+
+    /// Number of streams observed so far.
+    pub fn streams_observed(&self) -> usize {
+        self.flow_all.len()
+    }
+
+    /// Total events observed so far.
+    pub fn events_observed(&self) -> usize {
+        self.total_events
+    }
+
+    /// Folds one stream into every accumulated metric, replaying it
+    /// through `machine` exactly once.
+    pub fn observe(&mut self, machine: &StateMachine, stream: &Stream) {
+        for e in &stream.events {
+            self.type_counts[e.event_type.index()] += 1;
+        }
+        self.total_events += stream.len();
+        self.flow_all.push(stream.len() as f64);
+        self.flow_srv_req
+            .push(stream.count_of(EventType::ServiceRequest) as f64);
+        self.flow_conn_rel
+            .push(stream.count_of(EventType::ConnectionRelease) as f64);
+
+        let outcome = replay(machine, stream);
+        if let Some(m) = outcome.mean_sojourn_in(TopState::Connected) {
+            self.sojourn_connected.push(m);
+        }
+        if let Some(m) = outcome.mean_sojourn_in(TopState::Idle) {
+            self.sojourn_idle.push(m);
+        }
+        if let Some(m) = outcome.mean_sojourn_in(TopState::Deregistered) {
+            self.sojourn_deregistered.push(m);
+        }
+        if outcome.bootstrapped {
+            self.streams_checked += 1;
+            self.events_checked += outcome.events_checked;
+            if outcome.has_violation() {
+                self.violating_streams += 1;
+            }
+            self.violating_events += outcome.violations.len();
+            for v in outcome.violations {
+                *self.kinds.entry(v).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Event-type breakdown, equal to `Dataset::event_breakdown` on the
+    /// observed streams.
+    pub fn breakdown(&self) -> BTreeMap<EventType, f64> {
+        EventType::ALL
+            .iter()
+            .map(|et| {
+                let p = if self.total_events == 0 {
+                    0.0
+                } else {
+                    self.type_counts[et.index()] as f64 / self.total_events as f64
+                };
+                (*et, p)
+            })
+            .collect()
+    }
+
+    /// ECDF of per-stream flow lengths for `kind`, equal to
+    /// [`flow_length_ecdf`](crate::flowlen::flow_length_ecdf).
+    pub fn flow_ecdf(&self, kind: crate::FlowLenKind) -> Ecdf {
+        use crate::FlowLenKind;
+        let v = match kind {
+            FlowLenKind::All => self.flow_all.clone(),
+            FlowLenKind::OfType(EventType::ServiceRequest) => self.flow_srv_req.clone(),
+            FlowLenKind::OfType(EventType::ConnectionRelease) => self.flow_conn_rel.clone(),
+            FlowLenKind::OfType(_) => panic!(
+                "streaming flow-length accumulation covers All / SRV_REQ / S1_CONN_REL \
+                 (the kinds FidelityReport uses)"
+            ),
+        };
+        Ecdf::new(v)
+    }
+
+    /// ECDF of per-UE mean sojourns in `state`, equal to
+    /// [`sojourn_ecdf`](crate::sojourn::sojourn_ecdf).
+    pub fn sojourn_ecdf(&self, state: TopState) -> Ecdf {
+        Ecdf::new(match state {
+            TopState::Connected => self.sojourn_connected.clone(),
+            TopState::Idle => self.sojourn_idle.clone(),
+            TopState::Deregistered => self.sojourn_deregistered.clone(),
+        })
+    }
+
+    /// Violation statistics, equal to [`violation_stats`](crate::violation_stats).
+    pub fn violations(&self) -> ViolationStats {
+        let mut by_kind: Vec<(Violation, usize)> =
+            self.kinds.iter().map(|(v, c)| (*v, *c)).collect();
+        by_kind.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| format!("{}", a.0).cmp(&format!("{}", b.0)))
+        });
+        ViolationStats {
+            events_checked: self.events_checked,
+            violating_events: self.violating_events,
+            streams_checked: self.streams_checked,
+            violating_streams: self.violating_streams,
+            by_kind,
+        }
+    }
+
+    /// Largest absolute breakdown difference against another accumulator.
+    pub fn max_abs_breakdown_diff(&self, other: &StreamAccumulator) -> f64 {
+        let a = self.breakdown();
+        let b = other.breakdown();
+        EventType::ALL
+            .iter()
+            .fold(0.0f64, |m, et| m.max((b[et] - a[et]).abs()))
+    }
+}
+
+/// Accumulates every stream of a `.ctb` trace, verifying block checksums
+/// up front so stream materialization cannot fail mid-pass. Only one
+/// stream is resident at a time.
+pub fn accumulate_reader(
+    machine: &StateMachine,
+    reader: &ColumnarReader,
+) -> Result<StreamAccumulator, CtbError> {
+    reader.verify()?;
+    let mut acc = StreamAccumulator::new();
+    for view in reader.streams() {
+        let stream = view.to_stream().expect("ctb verified before accumulation");
+        acc.observe(machine, &stream);
+    }
+    Ok(acc)
+}
+
+/// Assembles the full [`FidelityReport`] from two accumulators — the
+/// streaming counterpart of [`FidelityReport::compute`], bit-identical on
+/// the same data.
+pub fn fidelity_from_accumulators(
+    real: &StreamAccumulator,
+    synth: &StreamAccumulator,
+) -> FidelityReport {
+    use crate::FlowLenKind;
+    let v = synth.violations();
+    FidelityReport {
+        event_violation_rate: v.event_rate(),
+        stream_violation_rate: v.stream_rate(),
+        sojourn_connected: real
+            .sojourn_ecdf(TopState::Connected)
+            .max_y_distance(&synth.sojourn_ecdf(TopState::Connected)),
+        sojourn_idle: real
+            .sojourn_ecdf(TopState::Idle)
+            .max_y_distance(&synth.sojourn_ecdf(TopState::Idle)),
+        flow_length_all: real
+            .flow_ecdf(FlowLenKind::All)
+            .max_y_distance(&synth.flow_ecdf(FlowLenKind::All)),
+        flow_length_srv_req: real
+            .flow_ecdf(FlowLenKind::OfType(EventType::ServiceRequest))
+            .max_y_distance(&synth.flow_ecdf(FlowLenKind::OfType(EventType::ServiceRequest))),
+        flow_length_conn_rel: real
+            .flow_ecdf(FlowLenKind::OfType(EventType::ConnectionRelease))
+            .max_y_distance(&synth.flow_ecdf(FlowLenKind::OfType(EventType::ConnectionRelease))),
+        max_breakdown_diff: real.max_abs_breakdown_diff(synth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{flowlen::flow_length_ecdf, sojourn::sojourn_ecdf, violation_stats, FlowLenKind};
+    use cpt_synth::SynthConfig;
+    use cpt_trace::columnar::write_ctb;
+    use cpt_trace::Dataset;
+
+    fn accumulate_dataset(machine: &StateMachine, d: &Dataset) -> StreamAccumulator {
+        let mut acc = StreamAccumulator::new();
+        for s in &d.streams {
+            acc.observe(machine, s);
+        }
+        acc
+    }
+
+    #[test]
+    fn accumulator_matches_batch_metrics() {
+        let d = cpt_synth::generate(&SynthConfig::new(50, 3).hours(0.3));
+        let m = StateMachine::lte();
+        let acc = accumulate_dataset(&m, &d);
+
+        assert_eq!(acc.streams_observed(), d.num_streams());
+        assert_eq!(acc.events_observed(), d.num_events());
+        assert_eq!(acc.breakdown(), d.event_breakdown());
+        assert_eq!(acc.violations(), violation_stats(&m, &d));
+        for kind in [
+            FlowLenKind::All,
+            FlowLenKind::OfType(EventType::ServiceRequest),
+            FlowLenKind::OfType(EventType::ConnectionRelease),
+        ] {
+            assert_eq!(
+                acc.flow_ecdf(kind).max_y_distance(&flow_length_ecdf(&d, kind)),
+                0.0
+            );
+        }
+        for state in [TopState::Connected, TopState::Idle] {
+            assert_eq!(
+                acc.sojourn_ecdf(state)
+                    .max_y_distance(&sojourn_ecdf(&m, &d, state)),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_fidelity_report_is_bit_identical_to_batch() {
+        let real = cpt_synth::generate(&SynthConfig::new(40, 5).hours(0.25));
+        let synth = cpt_synth::generate(&SynthConfig::new(40, 6).hours(0.25).starting_at(19.0));
+        let m = StateMachine::lte();
+        let batch = FidelityReport::compute(&m, &real, &synth);
+        let streamed = fidelity_from_accumulators(
+            &accumulate_dataset(&m, &real),
+            &accumulate_dataset(&m, &synth),
+        );
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn ctb_accumulation_matches_in_ram() {
+        let d = cpt_synth::generate(&SynthConfig::new(30, 9).hours(0.25));
+        let m = StateMachine::lte();
+        let mut path = std::env::temp_dir();
+        path.push(format!("cpt-metrics-streaming-{}.ctb", std::process::id()));
+        write_ctb(&d, &path).expect("write ctb");
+        let reader = ColumnarReader::open(&path).expect("open ctb");
+        let from_ctb = accumulate_reader(&m, &reader).expect("accumulate ctb");
+        let in_ram = accumulate_dataset(&m, &d);
+        assert_eq!(from_ctb.violations(), in_ram.violations());
+        assert_eq!(from_ctb.breakdown(), in_ram.breakdown());
+        assert_eq!(from_ctb.streams_observed(), in_ram.streams_observed());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_accumulator_yields_zero_rates() {
+        let acc = StreamAccumulator::new();
+        let v = acc.violations();
+        assert_eq!(v.event_rate(), 0.0);
+        assert_eq!(v.stream_rate(), 0.0);
+        assert_eq!(acc.breakdown().values().sum::<f64>(), 0.0);
+    }
+}

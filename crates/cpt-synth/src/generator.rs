@@ -4,14 +4,20 @@ use crate::config::SynthConfig;
 use crate::dist::sample_standard_normal;
 use crate::profile::DeviceProfile;
 use cpt_statemachine::StateMachine;
+use cpt_trace::columnar::{ColumnarWriter, CtbError, CtbSummary};
 use cpt_trace::{Dataset, DeviceType, Event, EventType, Generation, Stream, UeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::path::Path;
 
-/// Generates a mixed-device trace with the paper's population shares
-/// (§4.1: ~65 % phones, ~26 % connected cars, ~9 % tablets).
-pub fn generate(config: &SynthConfig) -> Dataset {
+/// UEs simulated per parallel chunk by [`generate_streaming`]; bounds the
+/// number of materialized streams while keeping every core busy.
+const STREAM_CHUNK_UES: usize = 4096;
+
+/// Per-device UE counts matching the paper's population shares, with the
+/// rounding remainder assigned to phones.
+fn device_counts(config: &SynthConfig) -> [usize; 3] {
     let mut counts = [0usize; 3];
     for dt in DeviceType::ALL {
         counts[dt.index()] =
@@ -20,7 +26,29 @@ pub fn generate(config: &SynthConfig) -> Dataset {
     // Rounding may drop/add a UE; give the remainder to phones.
     let assigned: usize = counts.iter().sum();
     counts[0] = (counts[0] as i64 + config.num_ues as i64 - assigned as i64).max(0) as usize;
+    counts
+}
 
+/// Simulates UE `i` of `device` with its deterministic per-UE RNG.
+///
+/// The seed derivation makes generation deterministic under any thread
+/// count and any chunking. The multiplier is splitmix64's increment, a
+/// good odd constant for decorrelating consecutive indices.
+fn simulate_indexed_ue(config: &SynthConfig, profile: &DeviceProfile, i: usize) -> Stream {
+    let ue_seed = config
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(profile.device.index() as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i as u64 + 1);
+    let mut rng = StdRng::seed_from_u64(ue_seed);
+    simulate_ue(config, profile, UeId(i as u64), &mut rng)
+}
+
+/// Generates a mixed-device trace with the paper's population shares
+/// (§4.1: ~65 % phones, ~26 % connected cars, ~9 % tablets).
+pub fn generate(config: &SynthConfig) -> Dataset {
+    let counts = device_counts(config);
     let mut streams = Vec::with_capacity(config.num_ues);
     let mut next_id = 0u64;
     for dt in DeviceType::ALL {
@@ -34,24 +62,56 @@ pub fn generate(config: &SynthConfig) -> Dataset {
     Dataset::with_generation(config.generation, streams)
 }
 
+/// Generates the same trace as [`generate`] — stream for stream, bit for
+/// bit — but hands each stream to `sink` in order instead of materializing
+/// a [`Dataset`]. Peak memory is one [`STREAM_CHUNK_UES`]-sized chunk of
+/// simulated streams, so paper-scale traces can be written straight to disk.
+///
+/// Returns `(streams, events)` emitted.
+pub fn generate_streaming<E>(
+    config: &SynthConfig,
+    mut sink: impl FnMut(&Stream) -> Result<(), E>,
+) -> Result<(u64, u64), E> {
+    let counts = device_counts(config);
+    let mut next_id = 0u64;
+    let mut events = 0u64;
+    for dt in DeviceType::ALL {
+        let profile = DeviceProfile::for_device(dt);
+        let count = counts[dt.index()];
+        let mut start = 0usize;
+        while start < count {
+            let end = (start + STREAM_CHUNK_UES).min(count);
+            let chunk: Vec<Stream> = (start..end)
+                .into_par_iter()
+                .map(|i| simulate_indexed_ue(config, &profile, i))
+                .filter(|s| !s.is_empty())
+                .collect();
+            for mut s in chunk {
+                s.ue_id = UeId(next_id);
+                next_id += 1;
+                events += s.len() as u64;
+                sink(&s)?;
+            }
+            start = end;
+        }
+    }
+    Ok((next_id, events))
+}
+
+/// Simulates straight into a `.ctb` columnar trace at `path` without ever
+/// holding more than one generation chunk in memory.
+pub fn generate_ctb(config: &SynthConfig, path: impl AsRef<Path>) -> Result<CtbSummary, CtbError> {
+    let mut writer = ColumnarWriter::create(path, config.generation)?;
+    generate_streaming(config, |s| writer.push_stream(s))?;
+    writer.finish()
+}
+
 /// Generates `count` UEs of a single device type.
 pub fn generate_device(config: &SynthConfig, device: DeviceType, count: usize) -> Dataset {
     let profile = DeviceProfile::for_device(device);
     let streams: Vec<Stream> = (0..count)
         .into_par_iter()
-        .map(|i| {
-            // Derive a per-UE RNG so generation is deterministic under any
-            // thread count. The multiplier is splitmix64's increment, a
-            // good odd constant for decorrelating consecutive indices.
-            let ue_seed = config
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(device.index() as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(i as u64 + 1);
-            let mut rng = StdRng::seed_from_u64(ue_seed);
-            simulate_ue(config, &profile, UeId(i as u64), &mut rng)
-        })
+        .map(|i| simulate_indexed_ue(config, &profile, i))
         .filter(|s| !s.is_empty())
         .collect();
     Dataset::with_generation(config.generation, streams)
@@ -334,6 +394,41 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), d.num_streams());
+    }
+
+    #[test]
+    fn streaming_generation_matches_batch_exactly() {
+        let c = SynthConfig::new(300, 11);
+        let batch = generate(&c);
+        let mut streamed: Vec<Stream> = Vec::new();
+        let (n_streams, n_events) = generate_streaming(&c, |s| {
+            streamed.push(s.clone());
+            Ok::<(), std::convert::Infallible>(())
+        })
+        .unwrap();
+        assert_eq!(streamed, batch.streams);
+        assert_eq!(n_streams as usize, batch.num_streams());
+        assert_eq!(n_events as usize, batch.num_events());
+    }
+
+    #[test]
+    fn generate_ctb_equals_batch_written_ctb() {
+        let c = SynthConfig::new(120, 12);
+        let dir = std::env::temp_dir().join(format!("cpt-synth-ctb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let streamed_path = dir.join("streamed.ctb");
+        let batch_path = dir.join("batch.ctb");
+        let summary = generate_ctb(&c, &streamed_path).unwrap();
+        let batch = generate(&c);
+        cpt_trace::columnar::write_ctb(&batch, &batch_path).unwrap();
+        assert_eq!(summary.streams as usize, batch.num_streams());
+        assert_eq!(summary.events as usize, batch.num_events());
+        // The two paths must agree byte for byte.
+        assert_eq!(
+            std::fs::read(&streamed_path).unwrap(),
+            std::fs::read(&batch_path).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

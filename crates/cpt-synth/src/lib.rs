@@ -28,5 +28,5 @@ pub mod profile;
 
 pub use config::SynthConfig;
 pub use dist::{Categorical, LogNormal, LogNormalMix};
-pub use generator::{generate, generate_device};
+pub use generator::{generate, generate_ctb, generate_device, generate_streaming};
 pub use profile::{DeviceProfile, DiurnalCurve};

@@ -111,10 +111,34 @@ impl From<serde_json::Error> for IoError {
 }
 
 /// Writes a dataset to `path` in JSON-lines format.
+///
+/// The write is crash-safe (same idiom as the model registry's manifest
+/// commit): the data goes to a sibling `.tmp` file which is flushed,
+/// fsynced, and renamed over `path`, so a writer dying mid-trace can never
+/// leave a header promising more streams than the file holds — readers see
+/// either the old file or the complete new one.
 pub fn write_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), IoError> {
-    let file = File::create(path)?;
+    let path = path.as_ref();
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| {
+            IoError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{} has no file name", path.display()),
+            ))
+        })?
+        .to_owned();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let file = File::create(&tmp)?;
     let mut w = BufWriter::new(file);
-    write_dataset_to(dataset, &mut w)
+    let result = write_dataset_to(dataset, &mut w)
+        .and_then(|_| w.get_ref().sync_all().map_err(IoError::Io))
+        .and_then(|_| std::fs::rename(&tmp, path).map_err(IoError::Io));
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
 }
 
 /// Writes a dataset to any writer (header line + one line per stream).
@@ -200,15 +224,19 @@ pub fn read_dataset_with(r: impl BufRead, opts: ReadOptions) -> Result<Dataset, 
             Err(source) => {
                 // Only a damaged *final* line is tolerable: scan ahead for
                 // any remaining content to distinguish a cut-short tail
-                // from mid-file corruption.
+                // from mid-file corruption. An I/O error while scanning is
+                // surfaced as such — it must not masquerade as "more
+                // content follows" and turn a tail-truncation read error
+                // into a misleading mid-file parse error.
                 let mut has_more_content = false;
                 for (_, rest) in lines.by_ref() {
                     match rest {
                         Ok(l) if l.trim().is_empty() => continue,
-                        _ => {
+                        Ok(_) => {
                             has_more_content = true;
                             break;
                         }
+                        Err(e) => return Err(IoError::Io(e)),
                     }
                 }
                 if opts.allow_partial && !has_more_content {
@@ -232,6 +260,178 @@ pub fn read_dataset_with(r: impl BufRead, opts: ReadOptions) -> Result<Dataset, 
         )));
     }
     Ok(Dataset::with_generation(header.generation, streams))
+}
+
+/// Incremental strict-mode reader: parses the header eagerly, then yields
+/// one [`Stream`] at a time, so a multi-gigabyte JSONL trace can be
+/// converted or folded without ever materializing a [`Dataset`]. The
+/// stream-count promise in the header is enforced when the file ends.
+pub struct StreamReader<R: BufRead> {
+    lines: std::iter::Enumerate<io::Lines<R>>,
+    generation: Generation,
+    promised: usize,
+    delivered: usize,
+}
+
+impl<R: BufRead> StreamReader<R> {
+    /// Opens a reader over JSONL content, validating the header line.
+    pub fn new(r: R) -> Result<Self, IoError> {
+        let mut lines = r.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| IoError::BadHeader("empty file".into()))??;
+        let header: Header =
+            serde_json::from_str(&header_line).map_err(|source| IoError::Parse {
+                line: 1,
+                snippet: snippet_of(&header_line),
+                source,
+            })?;
+        if header.format != FORMAT {
+            return Err(IoError::BadHeader(format!(
+                "expected format {FORMAT:?}, found {:?}",
+                header.format
+            )));
+        }
+        if header.version != VERSION {
+            return Err(IoError::BadHeader(format!(
+                "unsupported version {} (this build reads {VERSION})",
+                header.version
+            )));
+        }
+        Ok(StreamReader {
+            lines: lines.enumerate(),
+            generation: header.generation,
+            promised: header.num_streams,
+            delivered: 0,
+        })
+    }
+
+    /// The generation declared by the header.
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// The stream count the header promises.
+    pub fn promised_streams(&self) -> usize {
+        self.promised
+    }
+
+    /// The next stream, `Ok(None)` at a clean end of file. At EOF the
+    /// delivered count must equal the header's promise (strict mode).
+    pub fn next_stream(&mut self) -> Result<Option<Stream>, IoError> {
+        for (i, line) in self.lines.by_ref() {
+            let line_no = i + 2; // header consumed line 1
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let stream =
+                serde_json::from_str::<Stream>(&line).map_err(|source| IoError::Parse {
+                    line: line_no,
+                    snippet: snippet_of(&line),
+                    source,
+                })?;
+            self.delivered += 1;
+            return Ok(Some(stream));
+        }
+        if self.delivered != self.promised {
+            return Err(IoError::BadHeader(format!(
+                "header promised {} streams, file contains {}",
+                self.promised, self.delivered
+            )));
+        }
+        Ok(None)
+    }
+}
+
+/// Incremental crash-safe writer: the mirror of [`StreamReader`]. Streams
+/// go to a sibling `.tmp` file one at a time; [`StreamWriter::finish`]
+/// enforces the promised count, fsyncs, and atomically renames into
+/// place. Dropping an unfinished writer removes the temp file, so a
+/// crashed conversion can never publish a torn trace.
+pub struct StreamWriter {
+    w: Option<BufWriter<File>>,
+    tmp: std::path::PathBuf,
+    dst: std::path::PathBuf,
+    promised: usize,
+    written: usize,
+}
+
+impl StreamWriter {
+    /// Creates the temp file and writes the header promising `num_streams`.
+    pub fn create(
+        path: impl AsRef<Path>,
+        generation: Generation,
+        num_streams: usize,
+    ) -> Result<Self, IoError> {
+        let path = path.as_ref();
+        let mut tmp_name = path
+            .file_name()
+            .ok_or_else(|| {
+                IoError::Io(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{} has no file name", path.display()),
+                ))
+            })?
+            .to_owned();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        let header = Header {
+            format: FORMAT.to_owned(),
+            version: VERSION,
+            generation,
+            num_streams,
+        };
+        let result = serde_json::to_writer(&mut w, &header)
+            .map_err(IoError::Json)
+            .and_then(|()| w.write_all(b"\n").map_err(IoError::Io));
+        if let Err(e) = result {
+            drop(w);
+            std::fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
+        Ok(StreamWriter {
+            w: Some(w),
+            tmp,
+            dst: path.to_path_buf(),
+            promised: num_streams,
+            written: 0,
+        })
+    }
+
+    /// Appends one stream record.
+    pub fn push(&mut self, stream: &Stream) -> Result<(), IoError> {
+        let w = self.w.as_mut().expect("writer live until finish");
+        serde_json::to_writer(&mut *w, stream)?;
+        w.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Validates the promised count, fsyncs, and publishes atomically.
+    pub fn finish(mut self) -> Result<(), IoError> {
+        if self.written != self.promised {
+            return Err(IoError::BadHeader(format!(
+                "header promised {} streams, writer received {}",
+                self.promised, self.written
+            )));
+        }
+        let mut w = self.w.take().expect("writer live until finish");
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        drop(w);
+        std::fs::rename(&self.tmp, &self.dst)?;
+        Ok(())
+    }
+}
+
+impl Drop for StreamWriter {
+    fn drop(&mut self) {
+        if self.w.take().is_some() {
+            std::fs::remove_file(&self.tmp).ok();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +592,58 @@ mod tests {
     }
 
     #[test]
+    fn write_is_atomic_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("cpt-trace-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        std::fs::write(&path, b"stale content").unwrap();
+        write_dataset(&toy(), &path).unwrap();
+        assert_eq!(read_dataset(&path).unwrap(), toy());
+        assert!(
+            !dir.join("out.jsonl.tmp").exists(),
+            "temp file must be renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_preserves_existing_file() {
+        let dir = std::env::temp_dir().join(format!("cpt-trace-crashw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        write_dataset(&toy(), &path).unwrap();
+        // Wedge the temp path with a directory so the next write fails
+        // before it can touch the destination.
+        std::fs::create_dir(dir.join("out.jsonl.tmp")).unwrap();
+        let bigger = Dataset::new(vec![toy().streams[0].clone(); 5]);
+        assert!(matches!(write_dataset(&bigger, &path), Err(IoError::Io(_))));
+        // The previously committed file is intact.
+        assert_eq!(read_dataset(&path).unwrap(), toy());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_ahead_io_error_is_surfaced_not_misreported() {
+        // Header + one good stream + a corrupt JSON line + a line that
+        // fails to *read* (invalid UTF-8). The scan-ahead past the corrupt
+        // line hits the read error and must surface it as IoError::Io, not
+        // misreport mid-file corruption as a Parse error.
+        let mut bytes = Vec::new();
+        for l in toy_text().lines().take(2) {
+            bytes.extend_from_slice(l.as_bytes());
+            bytes.push(b'\n');
+        }
+        bytes.extend_from_slice(b"{broken\n");
+        bytes.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        for opts in [ReadOptions::partial(), ReadOptions::strict()] {
+            match read_dataset_with(Cursor::new(bytes.clone()), opts) {
+                Err(IoError::Io(_)) => {}
+                other => panic!("expected Io error with {opts:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn allow_partial_still_rejects_excess_streams() {
         // More streams than the header promises is never acceptable.
         let mut text = toy_text();
@@ -402,5 +654,77 @@ mod tests {
             read_dataset_with(Cursor::new(text.into_bytes()), ReadOptions::partial()),
             Err(IoError::BadHeader(_))
         ));
+    }
+
+    #[test]
+    fn stream_writer_output_is_byte_identical_to_batch_write() {
+        let d = toy();
+        let mut batch = Vec::new();
+        write_dataset_to(&d, &mut batch).unwrap();
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("cpt-io-streamwriter-{}.jsonl", std::process::id()));
+        let mut w = StreamWriter::create(&path, d.generation, d.streams.len()).unwrap();
+        for s in &d.streams {
+            w.push(s).unwrap();
+        }
+        w.finish().unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        assert_eq!(batch, streamed);
+
+        let mut r = StreamReader::new(Cursor::new(streamed)).unwrap();
+        assert_eq!(r.generation(), d.generation);
+        assert_eq!(r.promised_streams(), d.streams.len());
+        let mut streams = Vec::new();
+        while let Some(s) = r.next_stream().unwrap() {
+            streams.push(s);
+        }
+        assert_eq!(streams, d.streams);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_reader_enforces_promised_count() {
+        // Header promises 2 streams, file carries 1: the shortfall must
+        // surface at EOF, exactly like the batch reader.
+        let mut text = String::new();
+        for l in toy_text().lines().take(2) {
+            text.push_str(l);
+            text.push('\n');
+        }
+        let mut r = StreamReader::new(Cursor::new(text.into_bytes())).unwrap();
+        assert!(r.next_stream().unwrap().is_some());
+        assert!(matches!(r.next_stream(), Err(IoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn unfinished_stream_writer_publishes_nothing() {
+        let d = toy();
+        let mut path = std::env::temp_dir();
+        path.push(format!("cpt-io-unfinished-{}.jsonl", std::process::id()));
+        let tmp = path.with_file_name(format!(
+            "cpt-io-unfinished-{}.jsonl.tmp",
+            std::process::id()
+        ));
+        {
+            let mut w = StreamWriter::create(&path, d.generation, d.streams.len()).unwrap();
+            w.push(&d.streams[0]).unwrap();
+            // Dropped without finish: a crashed conversion.
+        }
+        assert!(!path.exists(), "destination must not be published");
+        assert!(!tmp.exists(), "temp file must be cleaned up");
+    }
+
+    #[test]
+    fn stream_writer_rejects_count_mismatch_at_finish() {
+        let d = toy();
+        let mut path = std::env::temp_dir();
+        path.push(format!("cpt-io-mismatch-{}.jsonl", std::process::id()));
+        let mut w = StreamWriter::create(&path, d.generation, d.streams.len() + 1).unwrap();
+        for s in &d.streams {
+            w.push(s).unwrap();
+        }
+        assert!(matches!(w.finish(), Err(IoError::BadHeader(_))));
+        assert!(!path.exists());
     }
 }

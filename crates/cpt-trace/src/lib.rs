@@ -17,13 +17,16 @@
 //! interarrival times are therefore also in seconds, matching the units used
 //! throughout the paper's evaluation (e.g. sojourn times of 5–50 s).
 
+pub mod columnar;
 pub mod dataset;
 pub mod device;
 pub mod event;
 pub mod io;
+pub mod mmap;
 pub mod stats;
 pub mod stream;
 
+pub use columnar::{ColumnarReader, ColumnarWriter, CtbError, CtbSummary, StreamView};
 pub use dataset::{Dataset, DatasetSummary};
 pub use device::DeviceType;
 pub use event::{EventType, Generation};

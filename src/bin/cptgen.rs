@@ -28,17 +28,21 @@
 //! `8` serve/network failure (bind, connect, protocol).
 
 use cpt::gpt::{
-    resume_training, train_with_checkpoints, CheckpointSpec, CptGpt, CptGptConfig,
-    GenerateConfig, GenerateError, Tokenizer, TrainConfig, TrainError,
+    fit_tokenizer_streaming, resume_training, resume_training_source, train_with_checkpoints,
+    train_source_with_checkpoints, CheckpointSpec, ColumnarSource, CptGpt, CptGptConfig,
+    GenerateConfig, GenerateError, ScaleKind, Tokenizer, TrainConfig, TrainError,
 };
 use cpt::serve::{
     resolve_parallelism, run_loadgen, ChaosPlan, LoadgenConfig, ServeError, ServerConfig,
 };
 use cpt::mcn::{simulate, McnConfig};
-use cpt::metrics::FidelityReport;
+use cpt::metrics::{
+    accumulate_reader, fidelity_from_accumulators, FidelityReport, FlowLenKind, StreamAccumulator,
+};
 use cpt::statemachine::StateMachine;
-use cpt::synth::{generate as synth_generate, generate_device, SynthConfig};
-use cpt::trace::{io as trace_io, Dataset, DeviceType};
+use cpt::synth::{generate as synth_generate, generate_ctb, generate_device, SynthConfig};
+use cpt::trace::columnar::{write_ctb, ColumnarReader, ColumnarWriter, CtbError};
+use cpt::trace::{io as trace_io, Dataset, DeviceType, Generation};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -85,6 +89,20 @@ impl From<trace_io::IoError> for CliError {
     fn from(e: trace_io::IoError) -> Self {
         CliError::data(e.to_string())
     }
+}
+
+impl From<CtbError> for CliError {
+    fn from(e: CtbError) -> Self {
+        CliError::data(e.to_string())
+    }
+}
+
+/// Whether a path names a binary columnar trace (`.ctb`); everything else
+/// is treated as JSONL, matching the historical default.
+fn is_ctb(path: &str) -> bool {
+    std::path::Path::new(path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("ctb"))
 }
 
 impl From<TrainError> for CliError {
@@ -171,6 +189,8 @@ fn usage() -> ExitCode {
          \u{20}            [--seed S] [--shutdown] [-o REPORT.json]\n\
          \u{20}            [--connect-retries N] [--retry-backoff-ms MS] [--no-reattach]\n\
            evaluate   --real REAL.jsonl --synth SYNTH.jsonl\n\
+           trace      convert --input IN -o OUT   (JSONL <-> .ctb, streaming)\n\
+         \u{20}            | info --input F.ctb | verify --input F.ctb\n\
            mcn        --input TRACE.jsonl [--workers N] [--autoscale]\n\
            stats      --input TRACE.jsonl\n\
            bench      [--quick] [-o OUT.json] [--check BASELINE.json]\n\
@@ -180,6 +200,10 @@ fn usage() -> ExitCode {
          \u{20}            [--min-serve-speedup F]   (fail if batched serve decode\n\
          \u{20}            < F x sequential; skipped below 4 cores)\n\
            dot        [--generation 4g|5g]   (Graphviz of the UE state machine)\n\
+         \n\
+         simulate/train/generate/stats/evaluate accept .ctb paths anywhere a\n\
+         .jsonl trace is accepted; .ctb runs stream out-of-core (mmap'd,\n\
+         bounded RSS) and train is bit-identical to the in-RAM path.\n\
          \n\
          exit codes: 0 ok, 2 usage, 3 data/io, 4 bad config/model,\n\
          \u{20}           5 training diverged, 6 checkpoint error,\n\
@@ -248,6 +272,17 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let out = require(opts, "o")?;
     let cfg = SynthConfig::new(ues, seed).hours(hours).starting_at(start);
     let device = opts.get("device").map(String::as_str).unwrap_or("mixed");
+    if is_ctb(out) && device == "mixed" {
+        // Streams go straight from the simulator to the columnar writer,
+        // chunk by chunk — the trace is never resident in RAM, so
+        // multi-GB traces fit on any machine.
+        let summary = generate_ctb(&cfg, out)?;
+        println!(
+            "wrote {} ({} streams, {} events, {} blocks, {} bytes)",
+            out, summary.streams, summary.events, summary.blocks, summary.bytes
+        );
+        return Ok(());
+    }
     let dataset = if device == "mixed" {
         synth_generate(&cfg)
     } else {
@@ -256,8 +291,16 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), CliError> {
             .map_err(|e| CliError::usage(format!("{e}")))?;
         generate_device(&cfg, dt, ues)
     };
-    trace_io::write_dataset(&dataset, out)?;
-    println!("wrote {} ({})", out, dataset.summary());
+    if is_ctb(out) {
+        let summary = write_ctb(&dataset, out)?;
+        println!(
+            "wrote {} ({} streams, {} events, {} blocks, {} bytes)",
+            out, summary.streams, summary.events, summary.blocks, summary.bytes
+        );
+    } else {
+        trace_io::write_dataset(&dataset, out)?;
+        println!("wrote {} ({})", out, dataset.summary());
+    }
     Ok(())
 }
 
@@ -327,8 +370,6 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), CliError> {
         }
     };
 
-    let data = trace_io::read_dataset(input)?;
-    let data = data.clamp_lengths(2, max_len + 1);
     let cfg = TrainConfig {
         epochs,
         lr,
@@ -336,6 +377,71 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), CliError> {
         microbatch,
         ..TrainConfig::quick()
     };
+
+    if is_ctb(input) {
+        // Out-of-core path: the trace stays on disk (mmap'd); the
+        // tokenizer fit streams over it and training materializes only
+        // one optimizer step's streams at a time. Weights are
+        // bit-identical to the in-RAM path on the same data
+        // (DESIGN.md §17).
+        let reader = ColumnarReader::open(input)?;
+        let source = ColumnarSource::new(&reader)?;
+        if resume {
+            let spec = ckpt_spec
+                .ok_or_else(|| CliError::usage("--resume requires --checkpoint CKPT.json"))?;
+            println!(
+                "resuming from {} on {} ({} streams, {} events, out-of-core)",
+                spec.path.display(),
+                input,
+                reader.num_streams(),
+                reader.num_events()
+            );
+            let (model, report) = match &pool {
+                Some(p) => p.install(|| resume_training_source(&source, &cfg, &spec))?,
+                None => resume_training_source(&source, &cfg, &spec)?,
+            };
+            report_outcome(&report);
+            write_model(&model, out)?;
+            println!("wrote {out}");
+            return Ok(());
+        }
+        println!(
+            "training out-of-core on {} ({} streams, {} events, {})",
+            input,
+            reader.num_streams(),
+            reader.num_events(),
+            if reader.is_mapped() {
+                "mmap'd"
+            } else {
+                "buffered"
+            }
+        );
+        let mut config = CptGptConfig {
+            generation: reader.generation(),
+            d_model,
+            d_mlp: d_model * 4,
+            d_head: d_model,
+            max_len,
+            ..CptGptConfig::small()
+        };
+        config.seed = seed;
+        let tokenizer = fit_tokenizer_streaming(&reader, max_len, ScaleKind::default());
+        let mut model = CptGpt::new(config, tokenizer);
+        println!("model: {} parameters", model.num_params());
+        let report = match &pool {
+            Some(p) => p.install(|| {
+                train_source_with_checkpoints(&mut model, &source, &cfg, ckpt_spec.as_ref())
+            })?,
+            None => train_source_with_checkpoints(&mut model, &source, &cfg, ckpt_spec.as_ref())?,
+        };
+        report_outcome(&report);
+        write_model(&model, out)?;
+        println!("wrote {out}");
+        return Ok(());
+    }
+
+    let data = trace_io::read_dataset(input)?;
+    let data = data.clamp_lengths(2, max_len + 1);
 
     if resume {
         let spec = ckpt_spec
@@ -428,7 +534,11 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), CliError> {
             pool.install(|| model.generate_with_report(&cfg))?
         }
     };
-    trace_io::write_dataset(&synth, out)?;
+    if is_ctb(out) {
+        write_ctb(&synth, out)?;
+    } else {
+        trace_io::write_dataset(&synth, out)?;
+    }
     println!("wrote {} ({})", out, synth.summary());
     if !counters.is_clean() {
         println!("generation guardrails intervened: {counters}");
@@ -865,11 +975,64 @@ fn wait_for_finetune(
     Ok(resp)
 }
 
+/// Folds one evaluate-side trace into a [`StreamAccumulator`], streaming
+/// `.ctb` files and loading JSONL (whose reader is line-oriented anyway).
+/// Returns the accumulator plus the trace's generation.
+fn accumulate_side(
+    machine: &StateMachine,
+    path: &str,
+) -> Result<(StreamAccumulator, Generation), CliError> {
+    if is_ctb(path) {
+        let reader = ColumnarReader::open(path)?;
+        let acc = accumulate_reader(machine, &reader)?;
+        Ok((acc, reader.generation()))
+    } else {
+        let mut sr = trace_io::StreamReader::new(std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| CliError::data(format!("{path}: {e}")))?,
+        ))?;
+        let mut acc = StreamAccumulator::new();
+        while let Some(stream) = sr.next_stream()? {
+            acc.observe(machine, &stream);
+        }
+        Ok((acc, sr.generation()))
+    }
+}
+
+/// Peeks a trace's generation without reading its body.
+fn trace_generation(path: &str) -> Result<Generation, CliError> {
+    if is_ctb(path) {
+        Ok(ColumnarReader::open(path)?.generation())
+    } else {
+        let sr = trace_io::StreamReader::new(std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| CliError::data(format!("{path}: {e}")))?,
+        ))?;
+        Ok(sr.generation())
+    }
+}
+
 fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), CliError> {
-    let real = trace_io::read_dataset(require(opts, "real")?)?;
-    let synth = trace_io::read_dataset(require(opts, "synth")?)?;
+    let real_path = require(opts, "real")?;
+    let synth_path = require(opts, "synth")?;
+    if is_ctb(real_path) || is_ctb(synth_path) {
+        // Streaming evaluation: both sides fold into accumulators one
+        // stream at a time, producing the same FidelityReport bit for bit
+        // (proven by cpt-metrics' streaming tests).
+        let machine = StateMachine::for_generation(trace_generation(synth_path)?);
+        let (real_acc, _) = accumulate_side(&machine, real_path)?;
+        let (synth_acc, _) = accumulate_side(&machine, synth_path)?;
+        let r = fidelity_from_accumulators(&real_acc, &synth_acc);
+        print_fidelity(&r);
+        return Ok(());
+    }
+    let real = trace_io::read_dataset(real_path)?;
+    let synth = trace_io::read_dataset(synth_path)?;
     let machine = StateMachine::for_generation(synth.generation);
     let r = FidelityReport::compute(&machine, &real, &synth);
+    print_fidelity(&r);
+    Ok(())
+}
+
+fn print_fidelity(r: &FidelityReport) {
     println!("fidelity of synth vs real:");
     println!("  event violations:      {:.4}%", r.event_violation_rate * 100.0);
     println!("  stream violations:     {:.2}%", r.stream_violation_rate * 100.0);
@@ -877,7 +1040,6 @@ fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), CliError> {
     println!("  sojourn IDLE dist      {:.4}", r.sojourn_idle);
     println!("  flow-length dist       {:.4}", r.flow_length_all);
     println!("  max breakdown diff     {:.4}", r.max_breakdown_diff);
-    Ok(())
 }
 
 fn cmd_mcn(opts: &HashMap<String, String>) -> Result<(), CliError> {
@@ -894,7 +1056,58 @@ fn cmd_mcn(opts: &HashMap<String, String>) -> Result<(), CliError> {
 }
 
 fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), CliError> {
-    let trace = trace_io::read_dataset(require(opts, "input")?)?;
+    let input = require(opts, "input")?;
+    if is_ctb(input) {
+        // Single-pass streaming accumulation: the trace never loads whole.
+        let reader = ColumnarReader::open(input)?;
+        let [phones, cars, tablets] = reader.device_stream_counts();
+        println!(
+            "{} streams, {} events ({} phones, {} connected cars, {} tablets); \
+             {} blocks, {} bytes, {}",
+            reader.num_streams(),
+            reader.num_events(),
+            phones,
+            cars,
+            tablets,
+            reader.num_blocks(),
+            reader.file_len(),
+            if reader.is_mapped() {
+                "mmap'd"
+            } else {
+                "buffered"
+            }
+        );
+        let machine = StateMachine::for_generation(reader.generation());
+        let acc = accumulate_reader(&machine, &reader)?;
+        let v = acc.violations();
+        println!(
+            "semantic violations: {:.4}% of {} events, {:.2}% of {} streams",
+            v.event_rate() * 100.0,
+            v.events_checked,
+            v.stream_rate() * 100.0,
+            v.streams_checked
+        );
+        println!("event-type breakdown:");
+        for (et, frac) in acc.breakdown() {
+            if frac > 0.0 {
+                println!("  {:<12} {:>7.3}%", et.to_string(), frac * 100.0);
+            }
+        }
+        let ecdf = acc.flow_ecdf(FlowLenKind::All);
+        if !ecdf.is_empty() {
+            println!(
+                "flow length: p50 {:.0}, p90 {:.0}, p99 {:.0}, max {:.0}",
+                ecdf.quantile(0.5),
+                ecdf.quantile(0.9),
+                ecdf.quantile(0.99),
+                ecdf.quantile(1.0)
+            );
+        }
+        // The pooled interarrival ECDF is O(events) memory by definition;
+        // it is deliberately skipped on the out-of-core path.
+        return Ok(());
+    }
+    let trace = trace_io::read_dataset(input)?;
     println!("{}", trace.summary());
     let machine = StateMachine::for_generation(trace.generation);
     let v = cpt::metrics::violation_stats(&machine, &trace);
@@ -1084,6 +1297,103 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `cptgen trace` — columnar-trace tooling: lossless JSONL↔`.ctb`
+/// conversion (both directions stream record by record; neither ever
+/// holds the full trace), header inspection, and full checksum
+/// verification.
+fn cmd_trace(action: &str, opts: &HashMap<String, String>) -> Result<(), CliError> {
+    match action {
+        "convert" => {
+            let input = require(opts, "input")?;
+            let out = require(opts, "o")?;
+            match (is_ctb(input), is_ctb(out)) {
+                (false, true) => {
+                    let mut sr = trace_io::StreamReader::new(std::io::BufReader::new(
+                        std::fs::File::open(input)
+                            .map_err(|e| CliError::data(format!("{input}: {e}")))?,
+                    ))?;
+                    let mut w = ColumnarWriter::create(out, sr.generation())?;
+                    while let Some(stream) = sr.next_stream()? {
+                        w.push_stream(&stream)?;
+                    }
+                    let summary = w.finish()?;
+                    println!(
+                        "wrote {} ({} streams, {} events, {} blocks, {} bytes)",
+                        out, summary.streams, summary.events, summary.blocks, summary.bytes
+                    );
+                }
+                (true, false) => {
+                    let reader = ColumnarReader::open(input)?;
+                    reader.verify()?;
+                    let mut w = trace_io::StreamWriter::create(
+                        out,
+                        reader.generation(),
+                        reader.num_streams(),
+                    )?;
+                    for view in reader.streams() {
+                        w.push(&view.to_stream()?)?;
+                    }
+                    w.finish()?;
+                    println!("wrote {} ({} streams)", out, reader.num_streams());
+                }
+                _ => {
+                    return Err(CliError::usage(
+                        "trace convert goes between formats: exactly one of \
+                         --input/-o must end in .ctb",
+                    ))
+                }
+            }
+        }
+        "info" => {
+            let input = require(opts, "input")?;
+            if !is_ctb(input) {
+                return Err(CliError::usage("trace info expects a .ctb file"));
+            }
+            let reader = ColumnarReader::open(input)?;
+            let [phones, cars, tablets] = reader.device_stream_counts();
+            println!("{input}: cpt-ctb v1, {:?}", reader.generation());
+            println!(
+                "  {} streams ({} phones, {} connected cars, {} tablets)",
+                reader.num_streams(),
+                phones,
+                cars,
+                tablets
+            );
+            println!(
+                "  {} events in {} blocks, {} bytes, {}",
+                reader.num_events(),
+                reader.num_blocks(),
+                reader.file_len(),
+                if reader.is_mapped() {
+                    "mmap'd"
+                } else {
+                    "buffered"
+                }
+            );
+        }
+        "verify" => {
+            let input = require(opts, "input")?;
+            if !is_ctb(input) {
+                return Err(CliError::usage("trace verify expects a .ctb file"));
+            }
+            let reader = ColumnarReader::open(input)?;
+            reader.verify()?;
+            println!(
+                "ok: {} blocks verified ({} streams, {} events)",
+                reader.num_blocks(),
+                reader.num_streams(),
+                reader.num_events()
+            );
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown trace action {other:?}; expected convert | info | verify"
+            )))
+        }
+    }
+    Ok(())
+}
+
 fn cmd_dot(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let machine = match opts.get("generation").map(String::as_str) {
         None | Some("4g") | Some("lte") => StateMachine::lte(),
@@ -1099,6 +1409,27 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else {
         return usage();
     };
+    if command == "trace" {
+        // `trace` takes an action word before its options.
+        let Some(action) = args.get(1).filter(|a| !a.starts_with('-')).cloned() else {
+            eprintln!("error: trace needs an action: convert | info | verify");
+            return usage();
+        };
+        let opts = match parse_args(&args[2..]) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        };
+        return match cmd_trace(&action, &opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {}", e.message);
+                ExitCode::from(e.code)
+            }
+        };
+    }
     let opts = match parse_args(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
