@@ -126,6 +126,19 @@ pub struct ThroughputReport {
     /// (`--quantized`; approximate, gated separately).
     #[serde(default)]
     pub serve_tokens_per_sec_quantized: f64,
+    /// Sessions driven to completion per second through the
+    /// shared-nothing sharded front end: 8 shards, a micro model, and a
+    /// multi-threaded driver, so verb/lock traffic (what sharding
+    /// removes) dominates per-session cost. 0 in reports written before
+    /// sharding existed (serde default).
+    #[serde(default)]
+    pub serve_sessions_per_sec_sharded: f64,
+    /// `serve_sessions_per_sec_sharded / the same workload at 1 shard`;
+    /// records the contention win on the machine that produced the
+    /// report. Gated by `cptgen bench --min-shard-speedup`, not by the
+    /// baseline diff (it is machine-shape-dependent).
+    #[serde(default)]
+    pub shard_speedup: f64,
     /// Event tokens per second through the hot-swap-under-load scenario:
     /// the same 64 sessions as the batched figure, but a second model
     /// version is promoted mid-drain while every original session stays
@@ -229,6 +242,63 @@ fn run_serve(
     let secs = start.elapsed().as_secs_f64();
     engine.shutdown();
     Ok((outputs, secs))
+}
+
+/// Drives every session to completion with `drivers` concurrent client
+/// threads, each owning an even chunk of `params` — the multi-client
+/// shape that makes the shard lock the bottleneck at 1 shard. Returns
+/// per-session outputs in `params` order plus the wall-clock drain time.
+fn run_serve_parallel(
+    model: &Arc<CptGpt>,
+    cfg: ServeConfig,
+    params: &[StreamParams],
+    drivers: usize,
+) -> Result<(Vec<Vec<SessionEvent>>, f64), MeasureError> {
+    let engine = Engine::start(Arc::clone(model), cfg)?;
+    let handle = engine.handle();
+    let start = Instant::now();
+    let chunk = params.len().div_ceil(drivers.max(1)).max(1);
+    let per_chunk: Vec<Vec<Vec<SessionEvent>>> = std::thread::scope(|s| {
+        let joins: Vec<_> = params
+            .chunks(chunk)
+            .map(|my_params| {
+                let handle = handle.clone();
+                s.spawn(move || -> Result<Vec<Vec<SessionEvent>>, ServeError> {
+                    let ids: Vec<SessionId> = my_params
+                        .iter()
+                        .map(|p| handle.open_session(*p))
+                        .collect::<Result<_, _>>()?;
+                    let mut outputs: Vec<Vec<SessionEvent>> = vec![Vec::new(); ids.len()];
+                    let mut done = vec![false; ids.len()];
+                    while !done.iter().all(|d| *d) {
+                        for (i, id) in ids.iter().enumerate() {
+                            if done[i] {
+                                continue;
+                            }
+                            let b = handle.next_events(*id, 64, Duration::from_secs(60))?;
+                            outputs[i].extend(b.events);
+                            if b.finished {
+                                handle.close_session(*id)?;
+                                done[i] = true;
+                            }
+                        }
+                    }
+                    Ok(outputs)
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| {
+                j.join()
+                    .map_err(|_| MeasureError::Pool("serve driver thread panicked".into()))?
+                    .map_err(MeasureError::from)
+            })
+            .collect::<Result<_, _>>()
+    })?;
+    let secs = start.elapsed().as_secs_f64();
+    engine.shutdown();
+    Ok((per_chunk.into_iter().flatten().collect(), secs))
 }
 
 /// The hot-swap-under-load scenario: open every session on version 1,
@@ -482,6 +552,59 @@ pub fn measure(quick: bool) -> Result<ThroughputReport, MeasureError> {
         "sessions pinned across a hot swap must complete byte-identically"
     );
 
+    // Shared-nothing sharding: the same micro-session workload through
+    // 1 shard vs 8, multi-threaded driver on both sides. The model is
+    // deliberately tiny so per-event decode cost is small and the shard
+    // mutex/condvar traffic — what sharding removes — dominates. Outputs
+    // are asserted byte-identical across shard counts on every run: the
+    // seed-determined steering contract DESIGN.md §18 documents, checked
+    // here the same way the train step checks thread-count invariance.
+    let shard_data = bench_dataset(32, 10);
+    let shard_model_cfg = CptGptConfig {
+        d_model: 16,
+        n_blocks: 1,
+        n_heads: 2,
+        d_mlp: 48,
+        d_head: 16,
+        max_len: 16,
+        ..CptGptConfig::small()
+    };
+    let mut shard_model = CptGpt::new(shard_model_cfg, Tokenizer::fit(&shard_data));
+    cpt_gpt::train(&mut shard_model, &shard_data, &TrainConfig::quick().with_epochs(1))?;
+    let shard_model = Arc::new(shard_model);
+    let n_shard_sessions = if quick { 96u64 } else { 384 };
+    let shard_params: Vec<StreamParams> = (0..n_shard_sessions)
+        .map(|i| StreamParams::new(7000 + i * 11).streams(1))
+        .collect();
+    let drivers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    // Same total worker count on both sides; only the shard count (and
+    // with it, how the workers and sessions are partitioned) differs.
+    let shard_base = ServeConfig {
+        workers: 8,
+        ..ServeConfig::new(8)
+    };
+    let (one_out, one_secs) = run_serve_parallel(
+        &shard_model,
+        ServeConfig { shards: 1, ..shard_base },
+        &shard_params,
+        drivers,
+    )?;
+    let (sharded_out, sharded_secs) = run_serve_parallel(
+        &shard_model,
+        ServeConfig { shards: 8, ..shard_base },
+        &shard_params,
+        drivers,
+    )?;
+    assert_eq!(
+        one_out, sharded_out,
+        "per-session serve output must be byte-identical at any shard count"
+    );
+    let serve_sessions_per_sec_sharded = n_shard_sessions as f64 / sharded_secs;
+    let shard_speedup = one_secs / sharded_secs;
+
     // Trace data plane: columnar `.ctb` write and read rates through the
     // out-of-core path `cptgen trace` / streaming train use. The decode is
     // asserted to roundtrip the source dataset exactly on every run — the
@@ -531,6 +654,8 @@ pub fn measure(quick: bool) -> Result<ThroughputReport, MeasureError> {
         serve_tokens_per_sec_sequential,
         serve_speedup: serve_tokens_per_sec / serve_tokens_per_sec_sequential,
         serve_tokens_per_sec_quantized: quant_tokens as f64 / quant_secs,
+        serve_sessions_per_sec_sharded,
+        shard_speedup,
         serve_tokens_per_sec_swap: swap_tokens as f64 / swap_secs,
         trace_write_gbps,
         trace_read_gbps,
@@ -604,6 +729,15 @@ pub fn check_regression(
         current.serve_tokens_per_sec_quantized,
         baseline.serve_tokens_per_sec_quantized,
     );
+    // Pre-sharding baselines carry 0 here, skipped by `base > 0`.
+    // `shard_speedup` is deliberately not gated — like `serve_speedup`,
+    // it depends on the runner's core count, so it gets its own explicit
+    // `--min-shard-speedup` gate.
+    gate(
+        "serve_sessions_per_sec_sharded",
+        current.serve_sessions_per_sec_sharded,
+        baseline.serve_sessions_per_sec_sharded,
+    );
     // Baselines written before the columnar trace format carry 0 in both
     // trace metrics, which the closure's `base > 0` test skips.
     gate(
@@ -636,8 +770,11 @@ mod tests {
             serve_tokens_per_sec_sequential: 3.0 * x,
             serve_speedup: 2.0,
             serve_tokens_per_sec_quantized: 7.0 * x,
+            serve_sessions_per_sec_sharded: x / 5.0,
+            // Speedup ratio: machine-dependent, never baseline-gated.
+            shard_speedup: 4.0,
             // Informational only — never baseline-gated, so the
-            // exactly-11-failures count below stays stable.
+            // exactly-12-failures count below stays stable.
             serve_tokens_per_sec_swap: 5.5 * x,
             trace_write_gbps: x / 8.0,
             trace_read_gbps: x / 4.0,
@@ -660,7 +797,7 @@ mod tests {
         let base = report(10.0);
         let bad = report(4.0); // below 10/2
         let failures = check_regression(&bad, &base, 2.0);
-        assert_eq!(failures.len(), 11, "{failures:?}");
+        assert_eq!(failures.len(), 12, "{failures:?}");
         assert!(failures[0].contains("matmul_gflops"));
         assert!(failures
             .iter()
@@ -671,8 +808,12 @@ mod tests {
             .any(|f| f.contains("serve_tokens_per_sec_quantized")));
         assert!(failures.iter().any(|f| f.contains("trace_write_gbps")));
         assert!(failures.iter().any(|f| f.contains("trace_read_gbps")));
+        assert!(failures
+            .iter()
+            .any(|f| f.contains("serve_sessions_per_sec_sharded")));
         // Speedup ratios are machine-dependent and never baseline-gated.
         assert!(!failures.iter().any(|f| f.contains("serve_speedup")));
+        assert!(!failures.iter().any(|f| f.contains("shard_speedup")));
     }
 
     #[test]
@@ -692,6 +833,8 @@ mod tests {
         // baselines the trace metrics.
         assert_eq!(base.serve_tokens_per_sec, 0.0);
         assert_eq!(base.serve_tokens_per_sec_quantized, 0.0);
+        assert_eq!(base.serve_sessions_per_sec_sharded, 0.0);
+        assert_eq!(base.shard_speedup, 0.0);
         assert_eq!(base.trace_write_gbps, 0.0);
         assert_eq!(base.trace_read_gbps, 0.0);
         let current = report(1000.0);

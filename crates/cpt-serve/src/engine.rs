@@ -1,27 +1,30 @@
-//! The continuous-batching serving engine.
+//! The sharded continuous-batching serving engine.
 //!
-//! A fixed pool of worker threads pulls *ready* sessions from a run
-//! queue, advances each by at most [`ServeConfig::slice_budget`] events
-//! (one KV-cached decode step per event over the session's own
-//! [`cpt_gpt::DecodeState`]), appends the events to the session's bounded
-//! queue, and re-enqueues the session — no thread is ever dedicated to a
-//! session, so thousands of concurrent sessions run on a handful of
-//! workers.
+//! The engine is N shared-nothing shards (see [`crate::shard`]), each a
+//! complete scheduler: its own sessions, run queue, decode workers, KV
+//! free-list, and latency counters. An `open` is steered to a shard by a
+//! stable hash of its seed and open ordinal, and the shard index is
+//! encoded in the low bits of the session id (see [`crate::steer`]), so
+//! every later verb routes with a mask — the hot path never takes a lock
+//! shared between shards. What remains engine-wide is cold: the model
+//! lifecycle (install/promote/rollback/retire), the detach-token map and
+//! its reaper, drain, and a pair of relaxed-atomic admission gauges.
 //!
 //! **Backpressure** is two-level. Per session: a bounded event queue; a
 //! session whose consumer lags is *parked* (not re-enqueued) until
 //! `next_events` drains below capacity, so a slow reader costs nothing but
 //! its own queue memory. Globally: admission control sheds `open_session`
 //! with [`ServeError::Overloaded`] once the session cap or the total
-//! queued-events watermark is hit.
+//! queued-events watermark is hit — the cap is enforced by an atomic
+//! reservation, so it stays strict without a global lock.
 //!
 //! **Crash-only**: each worker's decode slice runs under `catch_unwind`. A
 //! panic fails *only the session being advanced* — its consumer receives
 //! the already-decoded prefix of the slice followed by a terminal
 //! [`SessionEvent::Failed`], the worker re-enters its loop, and the panic
-//! is counted. The engine mutex recovers from poisoning, so a panicking
-//! slice can never wedge the scheduler. Failure is in-band data, not
-//! process death.
+//! is counted. Shard mutexes recover from poisoning, so a panicking slice
+//! can never wedge a scheduler. Failure is in-band data, not process
+//! death.
 //!
 //! **Drain**: [`ServeHandle::drain`] stops admission (typed
 //! [`ServeError::Draining`]), lets live sessions finish decoding, and
@@ -35,30 +38,39 @@
 //! within the TTL resumes exactly where delivery stopped — byte-identical
 //! to an undisturbed run. A reaper thread reclaims expired tokens.
 //!
+//! **Versions under sharding**: every shard holds a replica of each
+//! installed version's weight Arcs plus a *shard-local* pin refcount; the
+//! engine's lifecycle lock owns the live/previous designation and sweeps
+//! a retired version only when the refcounts sum to zero across shards.
+//! Shards check "retired?" through a shared atomic flag, so the steady-
+//! state close path never touches the lifecycle lock. Lock order is
+//! strictly engine (lifecycle or detach) → shard; shards call upward
+//! (divergence trip-wire) only after dropping their own lock.
+//!
 //! **Determinism**: a session's event sequence is a pure function of
-//! `(model, StreamParams)`. The run queue guarantees at most one worker
-//! ever holds a session's decoder, each session owns its RNG (splitmix64
-//! from the session seed, the same discipline as the parallel batch
-//! generator), and [`cpt_gpt::DecodeState::reset`] makes free-list reuse
-//! byte-equivalent to fresh allocation — so output is bit-identical at any
-//! worker count, including 1. Chaos injection (see [`crate::chaos`])
-//! targets faults by logical coordinates so this holds under fault too.
+//! `(model, StreamParams)`. Each shard guarantees at most one worker ever
+//! holds a session's decoder, each session owns its RNG, and free-list
+//! reuse is byte-equivalent to fresh allocation — so output is
+//! bit-identical at any shard count × worker count, including 1×1. Which
+//! shard a session lands on cannot influence its bytes.
 //!
 //! **Allocation**: steady-state serving is allocation-free per event. All
 //! decode buffers live in the session's `DecodeState` (recycled through a
-//! free-list on close); each worker reuses one slice buffer; per-session
-//! queues only grow to the configured capacity once.
+//! per-shard free-list on close); each worker reuses one slice buffer;
+//! per-session queues only grow to the configured capacity once.
 
 #![deny(clippy::unwrap_used)]
 
 use crate::chaos::ChaosPlan;
 use crate::error::ServeError;
-use crate::metrics::{Metrics, StatsSnapshot};
-use cpt_gpt::{BatchDecoder, CptGpt, DecodeState, RoundOutcome, SessionDecoder, StreamParams};
+use crate::metrics::{Metrics, SnapshotGauges, StatsSnapshot};
+use crate::shard::{worker_loop, Gauges, ShardShared, ShardUplink, VersionMeta};
+use crate::steer::{splitmix64, Steering, MAX_SHARDS};
+use cpt_gpt::{CptGpt, StreamParams};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
 
 /// The decoded event type produced by the model layer.
@@ -117,9 +129,14 @@ impl From<DecodedEvent> for SessionEvent {
 /// detach TTL).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Decode worker threads.
+    /// Decode worker threads, divided across shards (each shard gets at
+    /// least one).
     pub workers: usize,
-    /// Admission cap on concurrently open sessions.
+    /// Independent shared-nothing engine shards. 1 reproduces the
+    /// unsharded engine exactly, including its session-id sequence.
+    pub shards: usize,
+    /// Admission cap on concurrently open sessions (global, across
+    /// shards).
     pub max_sessions: usize,
     /// Bound on each session's undelivered-event queue; a full queue parks
     /// the session until its consumer drains.
@@ -152,12 +169,13 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// Defaults tuned for a small host: `workers` decode threads, a 4096-
-    /// session cap, 256-event queues, 64-event slices, 60 s detach TTL,
-    /// 200 ms read timeout, 256 connections.
+    /// Defaults tuned for a small host: `workers` decode threads, one
+    /// shard, a 4096-session cap, 256-event queues, 64-event slices, 60 s
+    /// detach TTL, 200 ms read timeout, 256 connections.
     pub fn new(workers: usize) -> Self {
         ServeConfig {
             workers,
+            shards: 1,
             max_sessions: 4096,
             queue_capacity: 256,
             slice_budget: 64,
@@ -182,6 +200,15 @@ impl ServeConfig {
         }
         if self.workers == 0 {
             return Err(bad("workers", "must be at least 1"));
+        }
+        if self.shards == 0 {
+            return Err(bad("shards", "must be at least 1"));
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(bad(
+                "shards",
+                format!("must be at most {MAX_SHARDS}, got {}", self.shards),
+            ));
         }
         if self.max_sessions == 0 {
             return Err(bad("max_sessions", "must be at least 1"));
@@ -278,62 +305,10 @@ pub struct EventBatch {
     pub finished: bool,
 }
 
-/// Scheduling state of one session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RunState {
-    /// In the run queue, awaiting a worker.
-    Queued,
-    /// A worker currently holds the decoder.
-    Running,
-    /// Event queue full; waiting for the consumer to drain.
-    Parked,
-    /// Decode complete (or failed); only delivery remains.
-    Done,
-}
-
-struct SessionSlot {
-    /// The decoder; `None` while a worker runs the session, and forever
-    /// after a contained failure (the unwind consumed it).
-    decoder: Option<SessionDecoder>,
-    /// Undelivered events, bounded by `queue_capacity` (+1 for a terminal
-    /// failure record, which is always accepted).
-    queue: VecDeque<SessionEvent>,
-    run: RunState,
-    /// Close was requested while a worker held the decoder; the worker
-    /// disposes of the session at slice end.
-    closed: bool,
-    /// The session died to a contained fault; its queue ends with
-    /// [`SessionEvent::Failed`] and any in-flight slice is discarded.
-    failed: bool,
-    /// Parked under a detach token; unreachable through
-    /// `next_events`/`close_session` until reattached.
-    detached: bool,
-    /// The model version this session opened on. Pinned for the session's
-    /// whole life: a `publish` mid-stream never changes what an open
-    /// session decodes with, so its output stays byte-identical to an
-    /// un-swapped run.
-    version: u64,
-}
-
 /// Sessions parked under one detach token.
 struct ParkedGroup {
     sessions: Vec<u64>,
     expires_at: Instant,
-}
-
-/// One installed model version: the weights every session pinned to it
-/// decodes with, plus the refcount the retirer watches.
-struct ModelEntry {
-    model: Arc<CptGpt>,
-    /// Int8 per-channel decode weights, quantized once when the version is
-    /// installed (under `cfg.quantized`) and shared read-only by every
-    /// worker's [`BatchDecoder`].
-    quant: Option<Arc<cpt_gpt::QuantDecodeWeights>>,
-    /// Open sessions pinned to this version.
-    refs: u64,
-    /// Demoted and no longer the rollback target: free the entry the
-    /// moment `refs` hits zero.
-    retired: bool,
 }
 
 /// Out-of-band model-lifecycle notifications from the engine. Emitted via
@@ -359,133 +334,71 @@ pub enum LifecycleEvent {
     },
 }
 
-struct EngineState {
-    sessions: HashMap<u64, SessionSlot>,
-    run_queue: VecDeque<u64>,
-    /// Recycled decode states, capped at `max_sessions`. Invariant: every
-    /// state here came from a session pinned to `live_version` — promote
-    /// and rollback clear the list — so reuse can never leak one model
-    /// version's buffer geometry into another's decode.
-    free_states: Vec<DecodeState>,
-    /// Detached session groups keyed by capability token.
-    parked: HashMap<u128, ParkedGroup>,
-    /// Total undelivered events across all sessions (watermark gauge).
-    queued_total: usize,
-    /// Open sessions (excludes close-pending ones still in `sessions`).
-    open_count: usize,
-    next_id: u64,
-    /// Installed model versions by id. An entry stays installed while any
-    /// session is pinned to it, while it is live, or while it is the
-    /// rollback target.
-    models: HashMap<u64, ModelEntry>,
-    /// The version new sessions open on.
-    live_version: u64,
-    /// The rollback target (the version demoted by the latest promote).
-    previous_version: Option<u64>,
-}
-
 /// Observer callback for engine-initiated lifecycle transitions.
 type LifecycleHook = Box<dyn Fn(LifecycleEvent) + Send + Sync>;
 
-struct Shared {
+/// The engine-wide half of the version lifecycle. `versions` mirrors the
+/// replica maps on every shard; `live`/`previous` are authoritative here
+/// and copied down to shards under this lock.
+struct LifecycleState {
+    live: u64,
+    previous: Option<u64>,
+    versions: HashMap<u64, Arc<VersionMeta>>,
+}
+
+/// Detached session groups keyed by capability token.
+struct DetachState {
+    parked: HashMap<u128, ParkedGroup>,
+}
+
+/// Everything the engine owns above the shards. Shards hold a `Weak` to
+/// this (as `dyn ShardUplink`) for the divergence trip-wire.
+struct EngineCore {
     cfg: ServeConfig,
-    chaos: ChaosPlan,
-    state: Mutex<EngineState>,
-    /// Workers wait here for the run queue to fill.
-    work: Condvar,
-    /// Consumers wait here for events to arrive.
-    delivery: Condvar,
-    /// The token reaper waits here between expiries.
-    reaper: Condvar,
-    metrics: Metrics,
-    shutdown: AtomicBool,
+    steer: Steering,
+    shards: Vec<Arc<ShardShared>>,
+    gauges: Arc<Gauges>,
+    shutdown: Arc<AtomicBool>,
     /// Admission is suspended (drain in progress or completed).
     draining: AtomicBool,
+    /// Engine-level counters (shed/detach/lifecycle); shard counters merge
+    /// in at snapshot time.
+    metrics: Metrics,
+    lifecycle: Mutex<LifecycleState>,
+    detach: Mutex<DetachState>,
+    /// The token reaper waits here between expiries.
+    reaper: Condvar,
     /// Nonce folded into detach-token minting.
     token_nonce: AtomicU64,
+    /// Monotone open counter fed to the steering hash.
+    open_ordinal: AtomicU64,
     /// Observer for engine-initiated lifecycle transitions (see
     /// [`LifecycleEvent`]).
     lifecycle_hook: Mutex<Option<LifecycleHook>>,
 }
 
-impl Shared {
-    /// Locks the engine state, recovering from a poisoned mutex (a panic
-    /// in one worker must not wedge the whole server).
-    fn lock_state(&self) -> MutexGuard<'_, EngineState> {
-        match self.state.lock() {
+impl EngineCore {
+    fn lock_lifecycle(&self) -> MutexGuard<'_, LifecycleState> {
+        match self.lifecycle.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
     }
 
-    /// Returns a decode state to the free-list — but only when it comes
-    /// from a session pinned to the live version (see the `free_states`
-    /// invariant: cross-version reuse is never allowed).
-    fn recycle(state: &mut EngineState, cap: usize, version: u64, decode: DecodeState) {
-        if version == state.live_version && state.free_states.len() < cap {
-            state.free_states.push(decode);
+    fn lock_detach(&self) -> MutexGuard<'_, DetachState> {
+        match self.detach.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
         }
     }
 
-    /// Removes a session's storage (immediately, or deferred to the worker
-    /// holding its decoder). Does *not* touch `open_count` or the version
-    /// refcount — callers own that bookkeeping.
-    fn dispose_locked(&self, st: &mut EngineState, id: u64) {
-        let running = st
-            .sessions
-            .get(&id)
-            .map(|s| s.run == RunState::Running)
-            .unwrap_or(false);
-        if running {
-            if let Some(slot) = st.sessions.get_mut(&id) {
-                slot.closed = true;
-                let n = slot.queue.len();
-                slot.queue.clear();
-                st.queued_total -= n;
-            }
-        } else if let Some(slot) = st.sessions.remove(&id) {
-            st.queued_total -= slot.queue.len();
-            if let Some(decoder) = slot.decoder {
-                Shared::recycle(st, self.cfg.max_sessions, slot.version, decoder.into_state());
-            }
-        }
-    }
-
-    /// Frees a demoted version's entry once nothing references it: zero
-    /// pinned sessions, marked retired, not live, not the rollback target.
-    /// Returns the [`LifecycleEvent::Retired`] notification to emit.
-    fn sweep_version_locked(
-        &self,
-        st: &mut EngineState,
-        version: u64,
-    ) -> Option<LifecycleEvent> {
-        let freeable = st
-            .models
-            .get(&version)
-            .map(|e| e.refs == 0 && e.retired)
-            .unwrap_or(false)
-            && st.live_version != version
-            && st.previous_version != Some(version);
-        if freeable {
-            st.models.remove(&version);
-            self.metrics.inc_version_retired();
-            Some(LifecycleEvent::Retired(version))
-        } else {
-            None
-        }
-    }
-
-    /// Drops one session's pin on `version` and frees the entry if that
-    /// was the last reference to a retired version.
-    fn release_version_locked(
-        &self,
-        st: &mut EngineState,
-        version: u64,
-    ) -> Option<LifecycleEvent> {
-        if let Some(e) = st.models.get_mut(&version) {
-            e.refs = e.refs.saturating_sub(1);
-        }
-        self.sweep_version_locked(st, version)
+    /// Routes a session id to its owning shard, rejecting ids whose shard
+    /// bits name a shard that does not exist.
+    fn shard_for(&self, id: u64) -> Result<&Arc<ShardShared>, ServeError> {
+        self.steer
+            .shard_of(id)
+            .map(|i| &self.shards[i])
+            .ok_or(ServeError::UnknownSession(id))
     }
 
     /// Invokes the lifecycle hook for each event. The hook contract (see
@@ -503,63 +416,45 @@ impl Shared {
         }
     }
 
-    /// The automatic divergence trip-wire: a worker observed a non-finite
-    /// event decoded by `version`. If that version is still live and a
-    /// previous version is retained, demote it and re-promote the previous
-    /// one in-engine — no restart, no operator. Returns the notifications
-    /// for the registry director to persist.
-    fn trip_divergence(&self, version: u64) -> Vec<LifecycleEvent> {
-        let mut events = Vec::new();
-        let mut st = self.lock_state();
-        if st.live_version != version {
-            return events;
+    /// Frees a demoted version once nothing references it anywhere: zero
+    /// pinned sessions summed across shards, marked retired, not live, not
+    /// the rollback target. Caller holds the lifecycle lock.
+    fn sweep_locked(&self, lc: &mut LifecycleState, version: u64) -> Option<LifecycleEvent> {
+        let retired = lc
+            .versions
+            .get(&version)
+            .map(|m| m.retired.load(Ordering::Relaxed))
+            .unwrap_or(false);
+        if !retired || lc.live == version || lc.previous == Some(version) {
+            return None;
         }
-        let Some(prev) = st.previous_version else {
-            return events;
-        };
-        if !st.models.contains_key(&prev) {
-            return events;
+        let total: u64 = self.shards.iter().map(|s| s.version_refs(version)).sum();
+        if total != 0 {
+            return None;
         }
-        if let Some(e) = st.models.get_mut(&version) {
-            e.retired = true;
+        for s in &self.shards {
+            s.remove_version_entry(version);
         }
-        if let Some(e) = st.models.get_mut(&prev) {
-            e.retired = false;
-        }
-        st.live_version = prev;
-        st.previous_version = None;
-        st.free_states.clear();
-        self.metrics.inc_version_rolled_back();
-        events.push(LifecycleEvent::TripWire {
-            demoted: version,
-            restored: prev,
-        });
-        events.extend(self.sweep_version_locked(&mut st, version));
-        events
+        lc.versions.remove(&version);
+        self.metrics.inc_version_retired();
+        Some(LifecycleEvent::Retired(version))
     }
 
-    /// Marks a session failed: appends the terminal failure record, stops
-    /// scheduling, and counts it. The failure record is always accepted
-    /// even into a full queue (bound +1) so the consumer cannot miss it.
-    fn fail_locked(&self, st: &mut EngineState, id: u64, reason: String) -> bool {
-        let Some(slot) = st.sessions.get_mut(&id) else {
-            return false;
+    /// A shard reported its last pin on a retired version dropped: try the
+    /// engine-wide sweep. Idempotent and race-tolerant — if another close
+    /// is still in flight the sum stays nonzero and that close retries.
+    fn maybe_sweep(&self, version: u64) {
+        let ev = {
+            let mut lc = self.lock_lifecycle();
+            self.sweep_locked(&mut lc, version)
         };
-        if slot.closed || slot.failed {
-            return false;
-        }
-        slot.queue.push_back(SessionEvent::Failed { reason });
-        slot.run = RunState::Done;
-        slot.failed = true;
-        st.queued_total += 1;
-        self.metrics.inc_failed();
-        true
+        self.emit_lifecycle(ev);
     }
 
     /// Mints a fresh, unregistered capability token. Uniqueness against
-    /// live tokens is checked under the lock; unguessability comes from
-    /// 128 bits of splitmix64-mixed wall-clock + nonce.
-    fn mint_locked(&self, st: &EngineState) -> DetachToken {
+    /// live tokens is checked under the detach lock; unguessability comes
+    /// from 128 bits of splitmix64-mixed wall-clock + nonce.
+    fn mint_locked(&self, dt: &DetachState) -> DetachToken {
         loop {
             let nonce = self.token_nonce.fetch_add(1, Ordering::Relaxed);
             let now = std::time::SystemTime::now()
@@ -569,26 +464,84 @@ impl Shared {
             let hi = splitmix64(now ^ nonce.rotate_left(17));
             let lo = splitmix64(hi ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let token = ((hi as u128) << 64) | lo as u128;
-            if token != 0 && !st.parked.contains_key(&token) {
+            if token != 0 && !dt.parked.contains_key(&token) {
                 return DetachToken(token);
             }
         }
     }
+
+    /// Reclaims one parked group's sessions (TTL expiry), returning how
+    /// many were reclaimed. Sweeps any versions whose last pin dropped.
+    fn reap_group(&self, group: ParkedGroup) -> u64 {
+        let mut reclaimed = 0u64;
+        let mut sweeps: Vec<u64> = Vec::new();
+        for id in group.sessions {
+            let Ok(shard) = self.shard_for(id) else {
+                continue;
+            };
+            if let Some(out) = shard.reap_detached(id) {
+                reclaimed += 1;
+                if out.sweep_candidate {
+                    sweeps.push(out.version);
+                }
+            }
+        }
+        self.metrics.add_expired(reclaimed);
+        sweeps.sort_unstable();
+        sweeps.dedup();
+        for v in sweeps {
+            self.maybe_sweep(v);
+        }
+        reclaimed
+    }
 }
 
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+impl ShardUplink for EngineCore {
+    /// The automatic divergence trip-wire: a worker observed a non-finite
+    /// event decoded by `version`. If that version is still live and a
+    /// previous version is retained, demote it and re-promote the previous
+    /// one in-engine — no restart, no operator.
+    fn trip_divergence(&self, version: u64) {
+        let events = {
+            let mut lc = self.lock_lifecycle();
+            if lc.live != version {
+                return;
+            }
+            let Some(prev) = lc.previous else {
+                return;
+            };
+            if !lc.versions.contains_key(&prev) {
+                return;
+            }
+            if let Some(m) = lc.versions.get(&version) {
+                m.retired.store(true, Ordering::Relaxed);
+            }
+            if let Some(m) = lc.versions.get(&prev) {
+                m.retired.store(false, Ordering::Relaxed);
+            }
+            lc.live = prev;
+            lc.previous = None;
+            for s in &self.shards {
+                s.set_versions(prev, None);
+            }
+            self.metrics.inc_version_rolled_back();
+            let mut events = vec![LifecycleEvent::TripWire {
+                demoted: version,
+                restored: prev,
+            }];
+            events.extend(self.sweep_locked(&mut lc, version));
+            events
+        };
+        self.emit_lifecycle(events);
+    }
 }
 
-/// The serving engine: owns the worker pool and the token reaper. Obtain a
-/// [`ServeHandle`] via [`Engine::handle`] to open and drive sessions; drop
-/// (or [`Engine::shutdown`]) to stop the workers.
+/// The serving engine: owns the per-shard worker pools and the token
+/// reaper. Obtain a [`ServeHandle`] via [`Engine::handle`] to open and
+/// drive sessions; drop (or [`Engine::shutdown`]) to stop the workers.
 pub struct Engine {
-    shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    core: Arc<EngineCore>,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Engine {
@@ -624,67 +577,92 @@ impl Engine {
         } else {
             None
         };
-        let mut models = HashMap::new();
-        models.insert(
-            version,
-            ModelEntry {
-                model,
-                quant,
-                refs: 0,
-                retired: false,
-            },
-        );
-        let shared = Arc::new(Shared {
-            cfg,
-            chaos,
-            state: Mutex::new(EngineState {
-                sessions: HashMap::new(),
-                run_queue: VecDeque::new(),
-                free_states: Vec::new(),
-                parked: HashMap::new(),
-                queued_total: 0,
-                open_count: 0,
-                next_id: 1,
-                models,
-                live_version: version,
-                previous_version: None,
-            }),
-            work: Condvar::new(),
-            delivery: Condvar::new(),
-            reaper: Condvar::new(),
-            metrics: Metrics::new(),
-            shutdown: AtomicBool::new(false),
-            draining: AtomicBool::new(false),
-            token_nonce: AtomicU64::new(0x5EED),
-            lifecycle_hook: Mutex::new(None),
+        let steer = Steering::new(cfg.shards);
+        let gauges = Arc::new(Gauges::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let meta = Arc::new(VersionMeta {
+            retired: AtomicBool::new(false),
         });
+        let core = Arc::new_cyclic(|weak: &Weak<EngineCore>| {
+            let uplink: Weak<dyn ShardUplink> = weak.clone();
+            let shards: Vec<Arc<ShardShared>> = (0..cfg.shards)
+                .map(|i| {
+                    // Divide the worker budget across shards, at least one
+                    // each (so shards > workers still all make progress).
+                    let workers = (cfg.workers / cfg.shards
+                        + usize::from(i < cfg.workers % cfg.shards))
+                    .max(1);
+                    Arc::new(ShardShared::new(
+                        cfg,
+                        i,
+                        workers,
+                        steer,
+                        chaos,
+                        Arc::clone(&gauges),
+                        Arc::clone(&shutdown),
+                        uplink.clone(),
+                        version,
+                    ))
+                })
+                .collect();
+            let mut versions = HashMap::new();
+            versions.insert(version, Arc::clone(&meta));
+            EngineCore {
+                cfg,
+                steer,
+                shards,
+                gauges,
+                shutdown,
+                draining: AtomicBool::new(false),
+                metrics: Metrics::new(),
+                lifecycle: Mutex::new(LifecycleState {
+                    live: version,
+                    previous: None,
+                    versions,
+                }),
+                detach: Mutex::new(DetachState {
+                    parked: HashMap::new(),
+                }),
+                reaper: Condvar::new(),
+                token_nonce: AtomicU64::new(0x5EED),
+                lifecycle_hook: Mutex::new(None),
+                open_ordinal: AtomicU64::new(0),
+            }
+        });
+        // Workers are not running yet, so this install cannot race.
+        for s in &core.shards {
+            s.install_entry(version, Arc::clone(&model), quant.clone(), Arc::clone(&meta));
+        }
         let spawn_err = |e: std::io::Error| ServeError::InvalidConfig {
             field: "workers".to_string(),
             message: format!("cannot spawn engine thread: {e}"),
         };
-        let mut workers = (0..cfg.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("cpt-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .map_err(spawn_err)
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        let reaper_shared = Arc::clone(&shared);
-        workers.push(
+        let mut threads = Vec::new();
+        for s in &core.shards {
+            for w in 0..s.workers {
+                let shard = Arc::clone(s);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("cpt-serve-s{}-w{w}", shard.idx))
+                        .spawn(move || worker_loop(&shard))
+                        .map_err(spawn_err)?,
+                );
+            }
+        }
+        let reaper_core = Arc::clone(&core);
+        threads.push(
             std::thread::Builder::new()
                 .name("cpt-serve-reaper".to_string())
-                .spawn(move || reaper_loop(&reaper_shared))
+                .spawn(move || reaper_loop(&reaper_core))
                 .map_err(spawn_err)?,
         );
-        Ok(Engine { shared, workers })
+        Ok(Engine { core, threads })
     }
 
     /// A cloneable handle for opening and driving sessions.
     pub fn handle(&self) -> ServeHandle {
         ServeHandle {
-            shared: Arc::clone(&self.shared),
+            core: Arc::clone(&self.core),
         }
     }
 
@@ -699,12 +677,13 @@ impl Engine {
     }
 
     fn shutdown_inner(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.work.notify_all();
-        self.shared.delivery.notify_all();
-        self.shared.reaper.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        for s in &self.core.shards {
+            s.notify_all();
+        }
+        self.core.reaper.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
         }
     }
 }
@@ -719,7 +698,7 @@ impl Drop for Engine {
 /// call from any number of threads concurrently.
 #[derive(Clone)]
 pub struct ServeHandle {
-    shared: Arc<Shared>,
+    core: Arc<EngineCore>,
 }
 
 impl ServeHandle {
@@ -728,63 +707,43 @@ impl ServeHandle {
     /// While the engine drains, admission fails with
     /// [`ServeError::Draining`] instead.
     ///
-    /// The session's decode state comes from the free-list when one is
-    /// available, so steady-state open/close cycles allocate nothing.
+    /// Admission is a lock-free atomic reservation on the global open
+    /// gauge (strict cap) plus a relaxed read of the queued-events gauge
+    /// (watermark); the admitted session is then steered to a shard by a
+    /// stable hash of (seed, open ordinal). The session's decode state
+    /// comes from the shard's free-list when one is available, so
+    /// steady-state open/close cycles allocate nothing.
     pub fn open_session(&self, params: StreamParams) -> Result<SessionId, ServeError> {
-        let shared = &self.shared;
-        if shared.shutdown.load(Ordering::SeqCst) {
+        let core = &self.core;
+        if core.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
-        if shared.draining.load(Ordering::SeqCst) {
+        if core.draining.load(Ordering::SeqCst) {
             return Err(ServeError::Draining);
         }
-        let mut st = shared.lock_state();
-        if st.open_count >= shared.cfg.max_sessions
-            || st.queued_total >= shared.cfg.queue_watermark
-        {
-            let err = ServeError::Overloaded {
-                open: st.open_count,
-                cap: shared.cfg.max_sessions,
-                queued: st.queued_total,
-                watermark: shared.cfg.queue_watermark,
-            };
-            shared.metrics.inc_shed();
-            return Err(err);
+        let open = core.gauges.open.fetch_add(1, Ordering::Relaxed);
+        let queued = core.gauges.queued.load(Ordering::Relaxed);
+        if open >= core.cfg.max_sessions || queued >= core.cfg.queue_watermark {
+            core.gauges.open.fetch_sub(1, Ordering::Relaxed);
+            core.metrics.inc_shed();
+            return Err(ServeError::Overloaded {
+                open,
+                cap: core.cfg.max_sessions,
+                queued,
+                watermark: core.cfg.queue_watermark,
+            });
         }
-        // Pin the live version: the session decodes with these weights for
-        // its whole life, whatever publishes happen meanwhile.
-        let version = st.live_version;
-        let model = match st.models.get(&version) {
-            Some(e) => Arc::clone(&e.model),
-            None => return Err(ServeError::UnknownVersion(version)),
-        };
-        let decoder = match st.free_states.pop() {
-            Some(state) => model.open_session_reusing(params, state)?,
-            None => model.open_session(params)?,
-        };
-        let id = st.next_id;
-        st.next_id += 1;
-        st.sessions.insert(
-            id,
-            SessionSlot {
-                decoder: Some(decoder),
-                queue: VecDeque::new(),
-                run: RunState::Queued,
-                closed: false,
-                failed: false,
-                detached: false,
-                version,
-            },
-        );
-        if let Some(e) = st.models.get_mut(&version) {
-            e.refs += 1;
+        let ordinal = core.open_ordinal.fetch_add(1, Ordering::Relaxed);
+        let shard = &core.shards[core.steer.steer(params.seed, ordinal)];
+        match shard.open_session(params) {
+            Ok(id) => Ok(SessionId(id)),
+            Err(e) => {
+                // Back the admission reservation out; the session never
+                // existed.
+                core.gauges.open.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
         }
-        st.open_count += 1;
-        st.run_queue.push_back(id);
-        shared.metrics.inc_opened();
-        drop(st);
-        shared.work.notify_one();
-        Ok(SessionId(id))
     }
 
     /// Delivers up to `max` decoded events in order, blocking up to `wait`
@@ -801,78 +760,16 @@ impl ServeHandle {
         max: usize,
         wait: Duration,
     ) -> Result<EventBatch, ServeError> {
-        let shared = &self.shared;
-        let max = max.max(1);
-        let deadline = Instant::now() + wait;
-        let mut st = shared.lock_state();
-        loop {
-            {
-                let slot = st
-                    .sessions
-                    .get(&id.0)
-                    .filter(|s| !s.closed && !s.detached)
-                    .ok_or(ServeError::UnknownSession(id.0))?;
-                if !slot.queue.is_empty() || slot.run == RunState::Done {
-                    break;
-                }
-            }
-            let now = Instant::now();
-            if now >= deadline || shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            st = match shared.delivery.wait_timeout(st, deadline - now) {
-                Ok((g, _)) => g,
-                Err(poisoned) => poisoned.into_inner().0,
-            };
-        }
-
-        let (events, finished, wake) = {
-            let slot = st
-                .sessions
-                .get_mut(&id.0)
-                .filter(|s| !s.closed && !s.detached)
-                .ok_or(ServeError::UnknownSession(id.0))?;
-            let n = slot.queue.len().min(max);
-            let events: Vec<SessionEvent> = slot.queue.drain(..n).collect();
-            let wake = slot.run == RunState::Parked
-                && slot.queue.len() < shared.cfg.queue_capacity;
-            if wake {
-                slot.run = RunState::Queued;
-            }
-            let finished = slot.run == RunState::Done && slot.queue.is_empty();
-            (events, finished, wake)
-        };
-        st.queued_total -= events.len();
-        if wake {
-            st.run_queue.push_back(id.0);
-        }
-        drop(st);
-        if wake {
-            shared.work.notify_one();
-        }
-        shared.metrics.add_delivered(events.len() as u64);
-        Ok(EventBatch { events, finished })
+        self.core.shard_for(id.0)?.next_events(id.0, max, wait)
     }
 
-    /// Closes a session, recycling its decode buffers into the free-list.
-    /// Undelivered events are discarded.
+    /// Closes a session, recycling its decode buffers into its shard's
+    /// free-list. Undelivered events are discarded.
     pub fn close_session(&self, id: SessionId) -> Result<(), ServeError> {
-        let shared = &self.shared;
-        let mut st = shared.lock_state();
-        let Some(version) = st
-            .sessions
-            .get(&id.0)
-            .filter(|s| !s.closed && !s.detached)
-            .map(|s| s.version)
-        else {
-            return Err(ServeError::UnknownSession(id.0));
-        };
-        shared.dispose_locked(&mut st, id.0);
-        st.open_count -= 1;
-        let retired = shared.release_version_locked(&mut st, version);
-        shared.metrics.inc_closed();
-        drop(st);
-        shared.emit_lifecycle(retired);
+        let outcome = self.core.shard_for(id.0)?.close_session(id.0)?;
+        if outcome.sweep_candidate {
+            self.core.maybe_sweep(outcome.version);
+        }
         Ok(())
     }
 
@@ -881,19 +778,21 @@ impl ServeHandle {
     /// this when a client *arms* detach-on-disconnect, so the token exists
     /// on the client side before any disconnect can happen.
     pub fn mint_detach_token(&self) -> DetachToken {
-        let shared = &self.shared;
-        let mut st = shared.lock_state();
-        let token = shared.mint_locked(&st);
-        let expires_at = Instant::now() + Duration::from_secs(shared.cfg.detach_ttl_secs);
-        st.parked.insert(
-            token.0,
-            ParkedGroup {
-                sessions: Vec::new(),
-                expires_at,
-            },
-        );
-        drop(st);
-        shared.reaper.notify_all();
+        let core = &self.core;
+        let token = {
+            let mut dt = core.lock_detach();
+            let token = core.mint_locked(&dt);
+            let expires_at = Instant::now() + Duration::from_secs(core.cfg.detach_ttl_secs);
+            dt.parked.insert(
+                token.0,
+                ParkedGroup {
+                    sessions: Vec::new(),
+                    expires_at,
+                },
+            );
+            token
+        };
+        core.reaper.notify_all();
         token
     }
 
@@ -907,38 +806,36 @@ impl ServeHandle {
         token: DetachToken,
         ids: impl IntoIterator<Item = SessionId>,
     ) -> usize {
-        let shared = &self.shared;
-        let mut st = shared.lock_state();
+        let core = &self.core;
         let mut parked: Vec<u64> = Vec::new();
         for id in ids {
-            if let Some(slot) = st
-                .sessions
-                .get_mut(&id.0)
-                .filter(|s| !s.closed && !s.detached)
-            {
-                slot.detached = true;
-                parked.push(id.0);
+            if let Ok(shard) = core.shard_for(id.0) {
+                if shard.mark_detached(id.0) {
+                    parked.push(id.0);
+                }
             }
         }
         let n = parked.len();
-        if parked.is_empty() {
-            // Nothing survived to park; the armed placeholder (if any) is
-            // useless now.
-            st.parked.remove(&token.0);
-        } else {
-            let expires_at =
-                Instant::now() + Duration::from_secs(shared.cfg.detach_ttl_secs);
-            st.parked.insert(
-                token.0,
-                ParkedGroup {
-                    sessions: parked,
-                    expires_at,
-                },
-            );
+        {
+            let mut dt = core.lock_detach();
+            if parked.is_empty() {
+                // Nothing survived to park; the armed placeholder (if any)
+                // is useless now.
+                dt.parked.remove(&token.0);
+            } else {
+                let expires_at =
+                    Instant::now() + Duration::from_secs(core.cfg.detach_ttl_secs);
+                dt.parked.insert(
+                    token.0,
+                    ParkedGroup {
+                        sessions: parked,
+                        expires_at,
+                    },
+                );
+            }
         }
-        drop(st);
-        shared.reaper.notify_all();
-        shared.metrics.add_detached(n as u64);
+        core.reaper.notify_all();
+        core.metrics.add_detached(n as u64);
         n
     }
 
@@ -946,17 +843,14 @@ impl ServeHandle {
     /// in one call. Fails with [`ServeError::UnknownSession`] (parking
     /// nothing) if any id is not an open, attached session.
     pub fn detach_sessions(&self, ids: &[SessionId]) -> Result<DetachToken, ServeError> {
-        {
-            let st = self.shared.lock_state();
-            for id in ids {
-                if st
-                    .sessions
-                    .get(&id.0)
-                    .filter(|s| !s.closed && !s.detached)
-                    .is_none()
-                {
-                    return Err(ServeError::UnknownSession(id.0));
-                }
+        for id in ids {
+            let attached = self
+                .core
+                .shard_for(id.0)
+                .map(|s| s.is_attached_open(id.0))
+                .unwrap_or(false);
+            if !attached {
+                return Err(ServeError::UnknownSession(id.0));
             }
         }
         let token = self.mint_detach_token();
@@ -969,29 +863,32 @@ impl ServeHandle {
     /// [`ServeError::UnknownToken`] when the token was never minted,
     /// already redeemed, or expired.
     pub fn reattach(&self, token: DetachToken) -> Result<Vec<SessionId>, ServeError> {
-        let shared = &self.shared;
-        let mut st = shared.lock_state();
-        let group = match st.parked.remove(&token.0) {
-            Some(g) if g.expires_at > Instant::now() => g,
-            Some(expired) => {
-                // Expired but not yet reaped: reclaim now, token is dead.
-                st.parked.insert(token.0, expired);
-                let retired = reap_expired_locked(shared, &mut st, Instant::now());
-                drop(st);
-                shared.emit_lifecycle(retired);
-                return Err(ServeError::UnknownToken);
+        let core = &self.core;
+        let group = {
+            let mut dt = core.lock_detach();
+            match dt.parked.remove(&token.0) {
+                Some(g) if g.expires_at > Instant::now() => g,
+                Some(expired) => {
+                    // Expired but not yet reaped: reclaim now, token is
+                    // dead.
+                    drop(dt);
+                    core.reap_group(expired);
+                    return Err(ServeError::UnknownToken);
+                }
+                None => return Err(ServeError::UnknownToken),
             }
-            None => return Err(ServeError::UnknownToken),
         };
         let mut ids = Vec::with_capacity(group.sessions.len());
         for id in group.sessions {
-            if let Some(slot) = st.sessions.get_mut(&id).filter(|s| s.detached) {
-                slot.detached = false;
+            let reattached = core
+                .shard_for(id)
+                .map(|s| s.clear_detached(id))
+                .unwrap_or(false);
+            if reattached {
                 ids.push(SessionId(id));
             }
         }
-        drop(st);
-        shared.metrics.add_reattached(ids.len() as u64);
+        core.metrics.add_reattached(ids.len() as u64);
         Ok(ids)
     }
 
@@ -1003,19 +900,13 @@ impl ServeHandle {
     /// events continues after the drain; admission stays suspended until
     /// [`ServeHandle::resume_admission`].
     pub fn drain(&self, timeout: Duration) -> DrainReport {
-        let shared = &self.shared;
-        shared.draining.store(true, Ordering::SeqCst);
+        let core = &self.core;
+        core.draining.store(true, Ordering::SeqCst);
         let deadline = Instant::now() + timeout;
-        let mut st = shared.lock_state();
-        let initial = st.sessions.values().filter(|s| !s.closed).count() as u64;
+        let initial: u64 = core.shards.iter().map(|s| s.unclosed_count()).sum();
         loop {
-            let unfinished = st
-                .sessions
-                .values()
-                .any(|s| !s.closed && s.run != RunState::Done);
-            if !unfinished || shared.shutdown.load(Ordering::SeqCst) {
-                drop(st);
-                shared.delivery.notify_all();
+            let unfinished = core.shards.iter().any(|s| s.has_undone());
+            if !unfinished || core.shutdown.load(Ordering::SeqCst) {
                 return DrainReport {
                     completed: initial,
                     force_failed: 0,
@@ -1025,30 +916,14 @@ impl ServeHandle {
             if now >= deadline {
                 break;
             }
-            // Bounded wait slices: workers notify `delivery` on publish,
-            // but closes do not, so never sleep unbounded.
-            let wait = (deadline - now).min(Duration::from_millis(50));
-            st = match shared.delivery.wait_timeout(st, wait) {
-                Ok((g, _)) => g,
-                Err(poisoned) => poisoned.into_inner().0,
-            };
+            // Bounded poll slices across N shards (each shard has its own
+            // delivery condvar, so a single engine-wide wait is not
+            // possible; 10 ms keeps drain latency negligible next to the
+            // typical multi-second timeout).
+            std::thread::sleep((deadline - now).min(Duration::from_millis(10)));
         }
         // Deadline: force-fail everything still decoding.
-        let stragglers: Vec<u64> = st
-            .sessions
-            .iter()
-            .filter(|(_, s)| !s.closed && s.run != RunState::Done)
-            .map(|(id, _)| *id)
-            .collect();
-        let mut force_failed = 0u64;
-        for id in stragglers {
-            if shared.fail_locked(&mut st, id, "drain deadline exceeded".to_string()) {
-                shared.metrics.inc_force_failed();
-                force_failed += 1;
-            }
-        }
-        drop(st);
-        shared.delivery.notify_all();
+        let force_failed: u64 = core.shards.iter().map(|s| s.force_fail_undone()).sum();
         DrainReport {
             completed: initial.saturating_sub(force_failed),
             force_failed,
@@ -1057,58 +932,74 @@ impl ServeHandle {
 
     /// Re-opens admission after a drain (the hot-swap "resume" half).
     pub fn resume_admission(&self) {
-        self.shared.draining.store(false, Ordering::SeqCst);
+        self.core.draining.store(false, Ordering::SeqCst);
     }
 
     /// True while admission is suspended by a drain.
     pub fn is_draining(&self) -> bool {
-        self.shared.draining.load(Ordering::SeqCst)
+        self.core.draining.load(Ordering::SeqCst)
     }
 
-    /// Sessions currently open.
+    /// Sessions currently open (the global admission gauge).
     pub fn sessions_open(&self) -> usize {
-        self.shared.lock_state().open_count
+        self.core.gauges.open.load(Ordering::Relaxed)
     }
 
-    /// A point-in-time stats snapshot.
+    /// A point-in-time stats snapshot: engine-level counters plus every
+    /// shard's counters merged (histograms bucket-wise, peaks by max),
+    /// with per-shard occupancy for the imbalance stats.
     pub fn stats(&self) -> StatsSnapshot {
-        let (open, queued, free, live, per_version) = {
-            let st = self.shared.lock_state();
-            let mut per_version: Vec<(u64, u64)> =
-                st.models.iter().map(|(v, e)| (*v, e.refs)).collect();
-            per_version.sort_unstable();
-            (
-                st.open_count,
-                st.queued_total,
-                st.free_states.len(),
-                st.live_version,
-                per_version,
-            )
-        };
-        self.shared.metrics.snapshot(
-            open,
-            queued,
-            free,
-            self.shared.cfg.workers,
-            live,
+        let core = &self.core;
+        let mut per_version: HashMap<u64, u64> = HashMap::new();
+        let mut occupancy: Vec<(u64, u64)> = Vec::with_capacity(core.shards.len());
+        let mut free = 0usize;
+        let mut workers = 0usize;
+        for s in &core.shards {
+            for (v, refs) in s.per_version_refs() {
+                *per_version.entry(v).or_insert(0) += refs;
+            }
+            let (open, runnable, free_states) = s.occupancy();
+            occupancy.push((open as u64, runnable as u64));
+            free += free_states;
+            workers += s.workers;
+        }
+        let mut per_version: Vec<(u64, u64)> = per_version.into_iter().collect();
+        per_version.sort_unstable();
+        let live = core.lock_lifecycle().live;
+        let merged = Metrics::merged(&core.metrics, core.shards.iter().map(|s| &s.metrics));
+        merged.snapshot(
+            SnapshotGauges {
+                sessions_open: core.gauges.open.load(Ordering::Relaxed),
+                queued_events: core.gauges.queued.load(Ordering::Relaxed),
+                free_states: free,
+                workers,
+                live_version: live,
+            },
             &per_version,
+            &occupancy,
         )
     }
 
     /// True once the engine refuses new work.
     pub fn is_shutting_down(&self) -> bool {
-        self.shared.shutdown.load(Ordering::SeqCst)
+        self.core.shutdown.load(Ordering::SeqCst)
     }
 
     /// The model version new sessions currently open on.
     pub fn live_version(&self) -> u64 {
-        self.shared.lock_state().live_version
+        self.core.lock_lifecycle().live
     }
 
-    /// Installed versions and their pinned-session counts, sorted by id.
+    /// Installed versions and their pinned-session counts (summed across
+    /// shards), sorted by id.
     pub fn sessions_per_version(&self) -> Vec<(u64, u64)> {
-        let st = self.shared.lock_state();
-        let mut v: Vec<(u64, u64)> = st.models.iter().map(|(v, e)| (*v, e.refs)).collect();
+        let mut per_version: HashMap<u64, u64> = HashMap::new();
+        for s in &self.core.shards {
+            for (v, refs) in s.per_version_refs() {
+                *per_version.entry(v).or_insert(0) += refs;
+            }
+        }
+        let mut v: Vec<(u64, u64)> = per_version.into_iter().collect();
         v.sort_unstable();
         v
     }
@@ -1116,73 +1007,89 @@ impl ServeHandle {
     /// Installs `model` under version `id` without promoting it: sessions
     /// cannot open on it until [`ServeHandle::promote_version`]. Idempotent
     /// when the id is already installed. Quantized decode weights are built
-    /// here (outside the engine lock) when the engine runs quantized.
+    /// here (outside every engine lock) when the engine runs quantized,
+    /// then the same Arcs are replicated to every shard.
     pub fn install_version(&self, id: u64, model: Arc<CptGpt>) {
-        let quant = if self.shared.cfg.quantized {
+        let quant = if self.core.cfg.quantized {
             Some(Arc::new(model.quantize_decode_weights()))
         } else {
             None
         };
-        let mut st = self.shared.lock_state();
-        st.models.entry(id).or_insert(ModelEntry {
-            model,
-            quant,
-            refs: 0,
-            retired: false,
-        });
+        let mut lc = self.core.lock_lifecycle();
+        let meta = Arc::clone(lc.versions.entry(id).or_insert_with(|| {
+            Arc::new(VersionMeta {
+                retired: AtomicBool::new(false),
+            })
+        }));
+        // Fan out under the lifecycle lock so a concurrent promote cannot
+        // observe the version installed engine-side but missing on a
+        // shard.
+        for s in &self.core.shards {
+            s.install_entry(id, Arc::clone(&model), quant.clone(), Arc::clone(&meta));
+        }
     }
 
     /// Removes an installed-but-never-promoted version (the cleanup path
     /// when a registry promotion fails after the engine install). Refuses
     /// — returning `false` — when the version is live, is the rollback
-    /// target, or has pinned sessions.
+    /// target, or has pinned sessions on any shard.
     pub fn uninstall_version(&self, id: u64) -> bool {
-        let mut st = self.shared.lock_state();
-        let removable = st.models.get(&id).map(|e| e.refs == 0).unwrap_or(false)
-            && st.live_version != id
-            && st.previous_version != Some(id);
-        if removable {
-            st.models.remove(&id);
+        let core = &self.core;
+        let mut lc = core.lock_lifecycle();
+        if !lc.versions.contains_key(&id) || lc.live == id || lc.previous == Some(id) {
+            return false;
         }
-        removable
+        let total: u64 = core.shards.iter().map(|s| s.version_refs(id)).sum();
+        if total != 0 {
+            return false;
+        }
+        for s in &core.shards {
+            s.remove_version_entry(id);
+        }
+        lc.versions.remove(&id);
+        true
     }
 
     /// Promotes installed version `id`: new sessions open on it from the
     /// moment this returns, while sessions pinned to the old live version
     /// keep draining on it. The old version becomes the rollback target
-    /// (displacing — and freeing, once unpinned — any earlier one).
-    /// Returns the demoted version, or `Ok(None)` if `id` was already
-    /// live.
+    /// (displacing — and freeing, once unpinned everywhere — any earlier
+    /// one). Returns the demoted version, or `Ok(None)` if `id` was
+    /// already live.
     pub fn promote_version(&self, id: u64) -> Result<Option<u64>, ServeError> {
+        let core = &self.core;
         let (demoted, events) = {
-            let mut st = self.shared.lock_state();
-            if !st.models.contains_key(&id) {
+            let mut lc = core.lock_lifecycle();
+            if !lc.versions.contains_key(&id) {
                 return Err(ServeError::UnknownVersion(id));
             }
-            if st.live_version == id {
+            if lc.live == id {
                 return Ok(None);
             }
-            let old = st.live_version;
-            let displaced = st.previous_version.take();
-            st.previous_version = Some(old);
-            st.live_version = id;
-            if let Some(e) = st.models.get_mut(&id) {
-                e.retired = false;
+            let old = lc.live;
+            let displaced = lc.previous.take();
+            lc.previous = Some(old);
+            lc.live = id;
+            if let Some(m) = lc.versions.get(&id) {
+                m.retired.store(false, Ordering::Relaxed);
             }
-            // Free-list states belong to the old version's buffer
-            // geometry; never let the new version inherit them.
-            st.free_states.clear();
+            // Replicate the transition to every shard; each clears its
+            // free-list (the states belong to the old version's buffer
+            // geometry).
+            for s in &core.shards {
+                s.set_versions(id, Some(old));
+            }
             let mut events = Vec::new();
             if let Some(d) = displaced {
-                if let Some(e) = st.models.get_mut(&d) {
-                    e.retired = true;
+                if let Some(m) = lc.versions.get(&d) {
+                    m.retired.store(true, Ordering::Relaxed);
                 }
-                events.extend(self.shared.sweep_version_locked(&mut st, d));
+                events.extend(core.sweep_locked(&mut lc, d));
             }
-            self.shared.metrics.inc_version_published();
+            core.metrics.inc_version_published();
             (old, events)
         };
-        self.shared.emit_lifecycle(events);
+        core.emit_lifecycle(events);
         Ok(Some(demoted))
     }
 
@@ -1190,30 +1097,33 @@ impl ServeHandle {
     /// manual half of the divergence trip-wire). Returns
     /// `(demoted, restored)`.
     pub fn rollback_version(&self) -> Result<(u64, u64), ServeError> {
+        let core = &self.core;
         let (demoted, restored, events) = {
-            let mut st = self.shared.lock_state();
-            let Some(prev) = st.previous_version else {
+            let mut lc = core.lock_lifecycle();
+            let Some(prev) = lc.previous else {
                 return Err(ServeError::NoPreviousVersion);
             };
-            if !st.models.contains_key(&prev) {
+            if !lc.versions.contains_key(&prev) {
                 return Err(ServeError::UnknownVersion(prev));
             }
-            let demoted = st.live_version;
-            if let Some(e) = st.models.get_mut(&demoted) {
-                e.retired = true;
+            let demoted = lc.live;
+            if let Some(m) = lc.versions.get(&demoted) {
+                m.retired.store(true, Ordering::Relaxed);
             }
-            if let Some(e) = st.models.get_mut(&prev) {
-                e.retired = false;
+            if let Some(m) = lc.versions.get(&prev) {
+                m.retired.store(false, Ordering::Relaxed);
             }
-            st.live_version = prev;
-            st.previous_version = None;
-            st.free_states.clear();
-            self.shared.metrics.inc_version_rolled_back();
+            lc.live = prev;
+            lc.previous = None;
+            for s in &core.shards {
+                s.set_versions(prev, None);
+            }
+            core.metrics.inc_version_rolled_back();
             let events: Vec<LifecycleEvent> =
-                self.shared.sweep_version_locked(&mut st, demoted).into_iter().collect();
+                core.sweep_locked(&mut lc, demoted).into_iter().collect();
             (demoted, prev, events)
         };
-        self.shared.emit_lifecycle(events);
+        core.emit_lifecycle(events);
         Ok((demoted, restored))
     }
 
@@ -1222,7 +1132,7 @@ impl ServeHandle {
     /// contract: the hook must be non-blocking and never re-enter the
     /// engine.
     pub fn set_lifecycle_hook(&self, hook: impl Fn(LifecycleEvent) + Send + Sync + 'static) {
-        let mut g = match self.shared.lifecycle_hook.lock() {
+        let mut g = match self.core.lifecycle_hook.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
@@ -1231,604 +1141,67 @@ impl ServeHandle {
 
     /// Counts a candidate quarantined by the registry validation gate.
     pub fn note_version_quarantined(&self) {
-        self.shared.metrics.inc_version_quarantined();
+        self.core.metrics.inc_version_quarantined();
     }
 
     /// Counts a fine-tune job entering its background task.
     pub fn note_finetune_started(&self) {
-        self.shared.metrics.finetune_started();
+        self.core.metrics.finetune_started();
     }
 
     /// Counts a fine-tune job that published successfully.
     pub fn note_finetune_completed(&self) {
-        self.shared.metrics.finetune_completed();
+        self.core.metrics.finetune_completed();
     }
 
     /// Counts a fine-tune job that failed (divergence, panic, bad trace,
     /// or a rejected publish), leaving the serving model untouched.
     pub fn note_finetune_failed(&self) {
-        self.shared.metrics.finetune_failed();
+        self.core.metrics.finetune_failed();
     }
-}
-
-/// Reclaims every parked group whose TTL has passed. Holds the lock;
-/// returns the retirement notifications for the caller to emit.
-fn reap_expired_locked(
-    shared: &Shared,
-    st: &mut EngineState,
-    now: Instant,
-) -> Vec<LifecycleEvent> {
-    let mut events = Vec::new();
-    let expired: Vec<u128> = st
-        .parked
-        .iter()
-        .filter(|(_, g)| g.expires_at <= now)
-        .map(|(t, _)| *t)
-        .collect();
-    for token in expired {
-        let Some(group) = st.parked.remove(&token) else {
-            continue;
-        };
-        let mut reclaimed = 0u64;
-        for id in group.sessions {
-            let Some(version) = st
-                .sessions
-                .get(&id)
-                .filter(|s| s.detached)
-                .map(|s| s.version)
-            else {
-                continue;
-            };
-            shared.dispose_locked(st, id);
-            st.open_count -= 1;
-            events.extend(shared.release_version_locked(st, version));
-            reclaimed += 1;
-        }
-        shared.metrics.add_expired(reclaimed);
-    }
-    events
 }
 
 /// The token reaper: wakes at the next TTL expiry (or when a token is
 /// minted/refreshed) and reclaims expired parked sessions.
-fn reaper_loop(shared: &Shared) {
-    let mut st = shared.lock_state();
+fn reaper_loop(core: &Arc<EngineCore>) {
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if core.shutdown.load(Ordering::SeqCst) {
             return;
         }
         let now = Instant::now();
-        // Emitted under the lock; the hook contract (non-blocking, never
-        // re-enters the engine) makes that safe.
-        let retired = reap_expired_locked(shared, &mut st, now);
-        shared.emit_lifecycle(retired);
-        let wait = st
+        let expired: Vec<ParkedGroup> = {
+            let mut dt = core.lock_detach();
+            let tokens: Vec<u128> = dt
+                .parked
+                .iter()
+                .filter(|(_, g)| g.expires_at <= now)
+                .map(|(t, _)| *t)
+                .collect();
+            tokens
+                .into_iter()
+                .filter_map(|t| dt.parked.remove(&t))
+                .collect()
+        };
+        // Reap outside the detach lock: reaping takes shard locks and the
+        // lifecycle lock, which never nest inside `detach`.
+        for group in expired {
+            core.reap_group(group);
+        }
+        let dt = core.lock_detach();
+        if core.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let wait = dt
             .parked
             .values()
-            .map(|g| g.expires_at.saturating_duration_since(now))
+            .map(|g| g.expires_at.saturating_duration_since(Instant::now()))
             .min()
             .unwrap_or(Duration::from_secs(3600))
             .max(Duration::from_millis(10));
-        st = match shared.reaper.wait_timeout(st, wait) {
+        drop(match core.reaper.wait_timeout(dt, wait) {
             Ok((g, _)) => g,
             Err(poisoned) => poisoned.into_inner().0,
-        };
-    }
-}
-
-/// Blocks until a ready session is available (returning its decoder, this
-/// slice's event budget, and the model version it is pinned to) or
-/// shutdown is requested (`None`).
-fn next_work(shared: &Shared) -> Option<(u64, SessionDecoder, usize, u64, Arc<CptGpt>)> {
-    let mut st = shared.lock_state();
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return None;
-        }
-        while let Some(id) = st.run_queue.pop_front() {
-            let Some(slot) = st.sessions.get_mut(&id) else {
-                continue;
-            };
-            // Stale queue entries (closed, failed, or re-scheduled
-            // sessions) are skipped; only a Queued slot with its
-            // decoder in place is runnable.
-            if !(slot.run == RunState::Queued && !slot.closed && !slot.failed) {
-                continue;
-            }
-            let Some(decoder) = slot.decoder.take() else {
-                continue;
-            };
-            slot.run = RunState::Running;
-            let room = shared.cfg.queue_capacity.saturating_sub(slot.queue.len());
-            let budget = room.min(shared.cfg.slice_budget);
-            let version = slot.version;
-            if let Some(entry) = st.models.get(&version) {
-                let model = Arc::clone(&entry.model);
-                return Some((id, decoder, budget, version, model));
-            }
-            // Defensive: the pinned version vanished (the refcount should
-            // make this impossible). Fail the session rather than decode
-            // with the wrong weights.
-            drop(decoder);
-            shared.fail_locked(&mut st, id, format!("model version {version} vanished"));
-        }
-        st = match shared.work.wait(st) {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-    }
-}
-
-/// Extracts a human-readable reason from a panic payload.
-fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        format!("worker panic: {s}")
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        format!("worker panic: {s}")
-    } else {
-        "worker panic (non-string payload)".to_string()
-    }
-}
-
-/// Blocks until at least one ready session is available, filling `out`
-/// with `(id, decoder, event budget)` triples in run-queue order and
-/// returning the model version they all share (with its weights), or
-/// `None` on shutdown. Every popped session is marked `Running`, so no
-/// other worker can touch it until this slice publishes — the same
-/// exclusivity invariant as [`next_work`], extended to a batch.
-///
-/// A batch holds sessions of exactly **one** model version: the first
-/// runnable session fixes the version, and runnable sessions pinned to
-/// other versions are deferred back to the head of the run queue (in
-/// their original order) for the next grab. During a hot-swap drain this
-/// costs at most one extra wakeup per mixed prefix; it is what lets the
-/// packed forward pass keep using a single weight set.
-///
-/// The grab is capped at `batch_max` and, when several workers compete,
-/// at roughly an even share of the run queue, so one worker cannot
-/// serialize the whole pool behind a single giant batch.
-fn next_work_batch(
-    shared: &Shared,
-    out: &mut Vec<(u64, SessionDecoder, usize)>,
-) -> Option<(u64, Arc<CptGpt>, Option<Arc<cpt_gpt::QuantDecodeWeights>>)> {
-    out.clear();
-    let mut st = shared.lock_state();
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return None;
-        }
-        let share = (st.run_queue.len() / shared.cfg.workers.max(1)).max(1);
-        let cap = shared.cfg.batch_max.min(share);
-        let mut version: Option<u64> = None;
-        let mut deferred: Vec<u64> = Vec::new();
-        while out.len() < cap {
-            let Some(id) = st.run_queue.pop_front() else {
-                break;
-            };
-            if let Some(slot) = st.sessions.get_mut(&id) {
-                if slot.run == RunState::Queued && !slot.closed && !slot.failed {
-                    if let Some(v) = version {
-                        if v != slot.version {
-                            deferred.push(id);
-                            continue;
-                        }
-                    }
-                    if let Some(decoder) = slot.decoder.take() {
-                        slot.run = RunState::Running;
-                        version = Some(slot.version);
-                        let room = shared
-                            .cfg
-                            .queue_capacity
-                            .saturating_sub(slot.queue.len());
-                        out.push((id, decoder, room.min(shared.cfg.slice_budget)));
-                    }
-                }
-            }
-        }
-        // Other-version sessions go back to the head in original order.
-        for id in deferred.into_iter().rev() {
-            st.run_queue.push_front(id);
-        }
-        if let Some(v) = version {
-            if let Some(entry) = st.models.get(&v) {
-                let model = Arc::clone(&entry.model);
-                let quant = entry.quant.clone();
-                let more = !st.run_queue.is_empty();
-                drop(st);
-                if more {
-                    shared.work.notify_one();
-                }
-                return Some((v, model, quant));
-            }
-            // Defensive: the pinned version vanished. Fail the grabbed
-            // sessions rather than decode with the wrong weights.
-            for (id, decoder, _) in out.drain(..) {
-                drop(decoder);
-                shared.fail_locked(&mut st, id, format!("model version {v} vanished"));
-            }
-            shared.delivery.notify_all();
-            continue;
-        }
-        st = match shared.work.wait(st) {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-    }
-}
-
-/// One session's in-flight state during a batched slice.
-struct BatchEntry {
-    id: u64,
-    /// `None` once the entry panicked (the decoder is poisoned and is
-    /// dropped, never recycled — same rule as the sequential unwind path).
-    decoder: Option<SessionDecoder>,
-    /// Event budget for this slice (slice budget capped by queue room).
-    budget: usize,
-    /// Events decoded this slice, published in order at slice end.
-    buf: Vec<DecodedEvent>,
-    done: bool,
-    panic: Option<String>,
-    /// The failure was the divergence trip-wire (non-finite event), not a
-    /// panic: counted separately, and it triggers the automatic rollback
-    /// after the slice publishes.
-    tripped: bool,
-}
-
-/// Publishes one batch entry's slice under the engine lock, mirroring the
-/// sequential worker's publish arms exactly: vanished and close-pending
-/// sessions recycle their buffers, force-failed sessions discard the
-/// slice, panicked entries deliver their decoded prefix then the terminal
-/// failure record, and live sessions re-enqueue / park / finish.
-fn publish_entry(shared: &Shared, st: &mut EngineState, version: u64, e: BatchEntry) {
-    match e.panic {
-        Some(reason) => match st.sessions.get_mut(&e.id) {
-            None => {}
-            Some(slot) if slot.closed => {
-                st.sessions.remove(&e.id);
-            }
-            Some(slot) => {
-                let produced = e.buf.len();
-                slot.queue.extend(e.buf.into_iter().map(SessionEvent::Data));
-                slot.decoder = None;
-                st.queued_total += produced;
-                shared.fail_locked(st, e.id, reason);
-            }
-        },
-        None => {
-            let decoder = e.decoder.expect("non-panicked entry keeps its decoder");
-            match st.sessions.get_mut(&e.id) {
-                None => {
-                    Shared::recycle(st, shared.cfg.max_sessions, version, decoder.into_state());
-                }
-                Some(slot) if slot.closed => {
-                    st.sessions.remove(&e.id);
-                    Shared::recycle(st, shared.cfg.max_sessions, version, decoder.into_state());
-                }
-                Some(slot) if slot.failed => {
-                    slot.decoder = None;
-                    Shared::recycle(st, shared.cfg.max_sessions, version, decoder.into_state());
-                }
-                Some(slot) => {
-                    let produced = e.buf.len();
-                    slot.queue.extend(e.buf.into_iter().map(SessionEvent::Data));
-                    if e.done {
-                        slot.run = RunState::Done;
-                        slot.decoder = Some(decoder);
-                    } else if slot.queue.len() >= shared.cfg.queue_capacity {
-                        slot.run = RunState::Parked;
-                        slot.decoder = Some(decoder);
-                    } else {
-                        slot.run = RunState::Queued;
-                        slot.decoder = Some(decoder);
-                        st.run_queue.push_back(e.id);
-                        shared.work.notify_one();
-                    }
-                    st.queued_total += produced;
-                }
-            }
-        }
-    }
-}
-
-/// The batched decode worker: grab up to `batch_max` ready sessions,
-/// advance them together one event per round through a [`BatchDecoder`]
-/// (one packed per-layer GEMM over all live entries per round), publish
-/// each session at slice end, repeat.
-///
-/// Containment is two-level, preserving the sequential loop's semantics:
-/// the `BatchDecoder` contains per-entry panics (the chaos hook fires in
-/// the same advance-order slot as the sequential check, and sampling runs
-/// per entry), failing only the targeted session while the rest of the
-/// batch proceeds; a panic inside the shared forward pass itself is
-/// caught here and fails every live entry — the decode states may be
-/// mid-scatter, so none of them can be trusted.
-fn worker_loop_batched(shared: &Shared) {
-    let chaos = shared.chaos;
-    // One BatchDecoder per model version this worker has recently served:
-    // during a hot-swap drain old and new versions decode side by side.
-    // Swept aggressively — steady state is a single entry.
-    let mut decoders: HashMap<u64, BatchDecoder> = HashMap::new();
-    let mut work: Vec<(u64, SessionDecoder, usize)> = Vec::with_capacity(shared.cfg.batch_max);
-    let mut entries: Vec<BatchEntry> = Vec::with_capacity(shared.cfg.batch_max);
-    let mut outcomes: Vec<RoundOutcome> = Vec::with_capacity(shared.cfg.batch_max);
-    let mut slice_idx: u64 = 0;
-    while let Some((version, model, quant)) = next_work_batch(shared, &mut work) {
-        let t0 = Instant::now();
-        if decoders.len() > 4 {
-            decoders.retain(|v, _| *v == version);
-        }
-        let bd = decoders.entry(version).or_insert_with(|| {
-            BatchDecoder::with_quant(&model, shared.cfg.batch_max, quant.clone())
         });
-        entries.clear();
-        entries.extend(work.drain(..).map(|(id, decoder, budget)| BatchEntry {
-            id,
-            decoder: Some(decoder),
-            budget,
-            buf: Vec::new(),
-            done: false,
-            panic: None,
-            tripped: false,
-        }));
-        loop {
-            let live: Vec<usize> = (0..entries.len())
-                .filter(|&k| {
-                    let e = &entries[k];
-                    e.panic.is_none() && !e.done && e.buf.len() < e.budget
-                })
-                .collect();
-            if live.is_empty() {
-                break;
-            }
-            let live_ids: Vec<u64> = live.iter().map(|&k| entries[k].id).collect();
-            let mut refs: Vec<&mut SessionDecoder> = {
-                let mut want = live.iter().copied().peekable();
-                let mut refs = Vec::with_capacity(live.len());
-                for (k, e) in entries.iter_mut().enumerate() {
-                    if want.peek() == Some(&k) {
-                        want.next();
-                        refs.push(e.decoder.as_mut().expect("live entry keeps its decoder"));
-                    }
-                }
-                refs
-            };
-            let round = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                bd.next_events(
-                    &model,
-                    &mut refs,
-                    &mut |slot, events| {
-                        let id = live_ids[slot];
-                        if chaos.should_panic(id, events) {
-                            panic!("chaos: injected panic advancing session {id}");
-                        }
-                    },
-                    &mut outcomes,
-                )
-            }));
-            match round {
-                Ok(rows) => {
-                    let mut produced = 0u64;
-                    for (&k, oc) in live.iter().zip(outcomes.drain(..)) {
-                        match oc {
-                            RoundOutcome::Event(mut ev) => {
-                                let e = &mut entries[k];
-                                let emitted = e
-                                    .decoder
-                                    .as_ref()
-                                    .map(|d| d.events_emitted())
-                                    .unwrap_or(0);
-                                if chaos.should_poison(e.id, emitted) {
-                                    ev.iat = f64::NAN;
-                                }
-                                if !ev.iat.is_finite() || !ev.timestamp.is_finite() {
-                                    // Divergence trip-wire: the event is
-                                    // garbage, so the decode state is not
-                                    // trusted either. Fail the session and
-                                    // let the post-slice hook demote the
-                                    // version.
-                                    e.decoder = None;
-                                    e.panic = Some(format!(
-                                        "divergence trip-wire: non-finite event \
-                                         (iat={}, timestamp={})",
-                                        ev.iat, ev.timestamp
-                                    ));
-                                    e.tripped = true;
-                                    shared.metrics.inc_divergence_trip();
-                                } else {
-                                    e.buf.push(ev);
-                                    produced += 1;
-                                }
-                            }
-                            RoundOutcome::Finished => entries[k].done = true,
-                            RoundOutcome::Panicked(reason) => {
-                                entries[k].decoder = None;
-                                entries[k].panic = Some(reason);
-                                shared.metrics.inc_worker_panic();
-                            }
-                        }
-                    }
-                    shared.metrics.record_batch_round(rows as u64, produced);
-                }
-                Err(payload) => {
-                    let reason = panic_reason(payload.as_ref());
-                    shared.metrics.inc_worker_panic();
-                    for &k in &live {
-                        entries[k].decoder = None;
-                        entries[k].panic = Some(reason.clone());
-                    }
-                    break;
-                }
-            }
-        }
-        let total: u64 = entries.iter().map(|e| e.buf.len() as u64).sum();
-        shared.metrics.record_slice(t0.elapsed(), total);
-        if let Some(delay) = chaos.slice_delay(slice_idx) {
-            std::thread::sleep(delay);
-        }
-        slice_idx += 1;
-
-        let mut st = shared.lock_state();
-        let mut tripped = false;
-        for e in entries.drain(..) {
-            tripped |= e.tripped;
-            publish_entry(shared, &mut st, version, e);
-        }
-        drop(st);
-        shared.delivery.notify_all();
-        if tripped {
-            let events = shared.trip_divergence(version);
-            shared.emit_lifecycle(events);
-        }
-    }
-}
-
-/// One decode worker. Dispatches on [`ServeConfig::batch_decode`]: both
-/// loops produce bit-identical per-session output; the batched loop packs
-/// the forward passes of every session the worker holds into one GEMM per
-/// layer.
-fn worker_loop(shared: &Shared) {
-    if shared.cfg.batch_decode {
-        worker_loop_batched(shared)
-    } else {
-        worker_loop_sequential(shared)
-    }
-}
-
-/// The sequential decode worker: pull a ready session, advance it by at
-/// most its slice budget **under `catch_unwind`**, publish the events,
-/// re-enqueue (or park/finish/fail), repeat. A panic while decoding fails
-/// only the session being advanced; the worker survives and re-enters its
-/// loop.
-fn worker_loop_sequential(shared: &Shared) {
-    let chaos = shared.chaos;
-    // Reused across slices: allocation-free steady state. On a panic the
-    // buffer holds the slice's already-decoded prefix.
-    let mut buf: Vec<DecodedEvent> = Vec::new();
-    let mut slice_idx: u64 = 0;
-    while let Some((id, decoder, budget, version, model)) = next_work(shared) {
-        let t0 = Instant::now();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut decoder = decoder;
-            let mut done = decoder.is_finished();
-            let mut trip: Option<String> = None;
-            while buf.len() < budget {
-                if chaos.should_panic(id, decoder.events_emitted()) {
-                    panic!("chaos: injected panic advancing session {id}");
-                }
-                match decoder.next_event(&model) {
-                    Some(mut ev) => {
-                        if chaos.should_poison(id, decoder.events_emitted()) {
-                            ev.iat = f64::NAN;
-                        }
-                        if !ev.iat.is_finite() || !ev.timestamp.is_finite() {
-                            trip = Some(format!(
-                                "divergence trip-wire: non-finite event \
-                                 (iat={}, timestamp={})",
-                                ev.iat, ev.timestamp
-                            ));
-                            break;
-                        }
-                        buf.push(ev);
-                    }
-                    None => {
-                        done = true;
-                        break;
-                    }
-                }
-            }
-            (decoder, done, trip)
-        }));
-        shared.metrics.record_slice(t0.elapsed(), buf.len() as u64);
-        shared.metrics.add_sequential_tokens(buf.len() as u64);
-        if let Some(delay) = chaos.slice_delay(slice_idx) {
-            std::thread::sleep(delay);
-        }
-        slice_idx += 1;
-
-        let mut st = shared.lock_state();
-        let mut tripped = false;
-        match outcome {
-            Ok((decoder, done, trip)) => match st.sessions.get_mut(&id) {
-                None => {
-                    // Session vanished while running (defensive; close
-                    // defers removal, so this should not happen). Recycle
-                    // the buffers.
-                    Shared::recycle(&mut st, shared.cfg.max_sessions, version, decoder.into_state());
-                }
-                Some(slot) if slot.closed => {
-                    st.sessions.remove(&id);
-                    Shared::recycle(&mut st, shared.cfg.max_sessions, version, decoder.into_state());
-                }
-                Some(slot) if slot.failed => {
-                    // Force-failed (drain deadline) while this worker held
-                    // the decoder: the terminal Failed record is already
-                    // queued, so the slice is discarded — delivering data
-                    // after the terminal record would corrupt the stream.
-                    slot.decoder = None;
-                    Shared::recycle(&mut st, shared.cfg.max_sessions, version, decoder.into_state());
-                }
-                Some(slot) if trip.is_some() => {
-                    // Divergence trip-wire: deliver the clean prefix, fail
-                    // the session, drop the decoder (its state produced
-                    // garbage — never recycled), demote after unlock.
-                    let produced = buf.len();
-                    slot.queue.extend(buf.drain(..).map(SessionEvent::Data));
-                    slot.decoder = None;
-                    st.queued_total += produced;
-                    shared.metrics.inc_divergence_trip();
-                    shared.fail_locked(
-                        &mut st,
-                        id,
-                        trip.unwrap_or_else(|| "divergence trip-wire".to_string()),
-                    );
-                    drop(decoder);
-                    tripped = true;
-                }
-                Some(slot) => {
-                    let produced = buf.len();
-                    slot.queue.extend(buf.drain(..).map(SessionEvent::Data));
-                    if done {
-                        slot.run = RunState::Done;
-                        slot.decoder = Some(decoder);
-                    } else if slot.queue.len() >= shared.cfg.queue_capacity {
-                        slot.run = RunState::Parked;
-                        slot.decoder = Some(decoder);
-                    } else {
-                        slot.run = RunState::Queued;
-                        slot.decoder = Some(decoder);
-                        st.run_queue.push_back(id);
-                        shared.work.notify_one();
-                    }
-                    st.queued_total += produced;
-                }
-            },
-            Err(payload) => {
-                // Contained: the decoder died with the unwind (its state
-                // may be corrupt, so it is never recycled). Publish the
-                // clean prefix, then the terminal failure record.
-                shared.metrics.inc_worker_panic();
-                match st.sessions.get_mut(&id) {
-                    None => {}
-                    Some(slot) if slot.closed => {
-                        st.sessions.remove(&id);
-                    }
-                    Some(slot) => {
-                        let produced = buf.len();
-                        slot.queue.extend(buf.drain(..).map(SessionEvent::Data));
-                        slot.decoder = None;
-                        st.queued_total += produced;
-                        shared.fail_locked(&mut st, id, panic_reason(payload.as_ref()));
-                    }
-                }
-            }
-        }
-        drop(st);
-        buf.clear();
-        shared.delivery.notify_all();
-        if tripped {
-            let events = shared.trip_divergence(version);
-            shared.emit_lifecycle(events);
-        }
     }
 }
 
@@ -1842,6 +1215,14 @@ mod tests {
         assert!(ok.validate().is_ok());
         for (field, cfg) in [
             ("workers", ServeConfig { workers: 0, ..ok }),
+            ("shards", ServeConfig { shards: 0, ..ok }),
+            (
+                "shards",
+                ServeConfig {
+                    shards: MAX_SHARDS + 1,
+                    ..ok
+                },
+            ),
             ("max_sessions", ServeConfig { max_sessions: 0, ..ok }),
             ("queue_capacity", ServeConfig { queue_capacity: 0, ..ok }),
             ("slice_budget", ServeConfig { slice_budget: 0, ..ok }),

@@ -37,9 +37,12 @@ pub mod error;
 pub mod lifecycle;
 pub mod loadgen;
 pub mod metrics;
+pub mod pool;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+mod shard;
+pub mod steer;
 
 pub use chaos::ChaosPlan;
 pub use engine::{
@@ -48,8 +51,8 @@ pub use engine::{
 };
 pub use error::ServeError;
 pub use lifecycle::{Director, FineTuneSpec, PublishOutcome};
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
-pub use metrics::{LatencyHistogram, Metrics, StatsSnapshot};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, WireMode};
+pub use metrics::{LatencyHistogram, Metrics, SnapshotGauges, StatsSnapshot};
 pub use registry::{Manifest, RecoveryReport, Registry, RegistryError, VersionRecord, VersionState};
 pub use server::{serve, Server, ServerConfig};
 

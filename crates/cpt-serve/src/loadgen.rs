@@ -21,6 +21,7 @@
 
 use crate::error::ServeError;
 use crate::metrics::{LatencyHistogram, StatsSnapshot};
+use crate::protocol::wire;
 use crate::protocol::{ErrorKind, Request, Response};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -29,6 +30,29 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Which codec the client speaks: JSON lines (the scriptable default) or
+/// the negotiated binary framing of [`crate::protocol::wire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireMode {
+    /// Line-delimited JSON (works against any server version).
+    #[default]
+    Json,
+    /// Length-prefixed binary frames (negotiated by preamble).
+    Bin,
+}
+
+impl std::str::FromStr for WireMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(WireMode::Json),
+            "bin" => Ok(WireMode::Bin),
+            other => Err(format!("unknown wire mode `{other}` (want json|bin)")),
+        }
+    }
+}
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -63,6 +87,8 @@ pub struct LoadgenConfig {
     /// Arm detach-on-disconnect and reattach after a dropped connection
     /// instead of abandoning the sessions.
     pub reattach: bool,
+    /// Codec to speak: JSON lines or negotiated binary frames.
+    pub wire: WireMode,
 }
 
 impl LoadgenConfig {
@@ -84,6 +110,7 @@ impl LoadgenConfig {
             connect_retries: 5,
             retry_backoff_ms: 50,
             reattach: true,
+            wire: WireMode::Json,
         }
     }
 
@@ -136,6 +163,16 @@ pub struct LoadgenReport {
     pub sessions_reattached: u64,
     /// Events received over the wire (data events only).
     pub events_received: u64,
+    /// Order-independent digest of every data event received, as 16 hex
+    /// digits: per session, FNV-1a over the session seed and the canonical
+    /// binary encoding ([`wire::encode_event`]) of its events in order;
+    /// across sessions, a wrapping sum. Two runs that delivered
+    /// bit-identical per-stream events produce the same digest at any
+    /// shard × worker × thread count and under either codec (the JSON
+    /// path re-encodes through the same canonical binary form;
+    /// `serde_json`'s `float_roundtrip` keeps the f64 bits exact).
+    #[serde(default)]
+    pub events_digest: String,
     /// Non-overload protocol errors observed (including sessions lost to
     /// an unrecoverable disconnect).
     pub errors: u64,
@@ -187,40 +224,92 @@ pub struct LoadgenReport {
     pub finetunes_completed: u64,
     #[serde(default)]
     pub finetunes_failed: u64,
+    /// Shard layout copied out of [`Self::server_stats`] (zero when the
+    /// snapshot could not be fetched): shard count and the max/min
+    /// runnable-session occupancy across shards, so imbalance is visible
+    /// without digging into the nested snapshot.
+    #[serde(default)]
+    pub shards: u64,
+    #[serde(default)]
+    pub shard_runnable_max: u64,
+    #[serde(default)]
+    pub shard_runnable_min: u64,
 }
 
-/// One line-JSON connection to the server.
+/// One connection to the server, speaking either codec. The JSON path
+/// reuses one line `String`; the binary path reuses one outbound and one
+/// inbound frame buffer — steady-state requests allocate nothing but the
+/// decoded response.
 struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    mode: WireMode,
     line: String,
+    frame: Vec<u8>,
+    payload: Vec<u8>,
 }
 
 impl Client {
-    fn connect(addr: &str) -> Result<Client, ServeError> {
+    fn connect(addr: &str, mode: WireMode) -> Result<Client, ServeError> {
         let stream = TcpStream::connect(addr)?;
+        // Requests are single small writes; Nagle only delays them.
+        let _ = stream.set_nodelay(true);
         let write_half = stream.try_clone()?;
-        Ok(Client {
+        let mut client = Client {
             reader: BufReader::new(stream),
             writer: BufWriter::new(write_half),
+            mode,
             line: String::new(),
-        })
+            frame: Vec::new(),
+            payload: Vec::new(),
+        };
+        if mode == WireMode::Bin {
+            // Buffered with the first request frame — one packet, and the
+            // server's codec peek sees MAGIC first.
+            wire::write_preamble(&mut client.writer)?;
+        }
+        Ok(client)
     }
 
     fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
-        let line = serde_json::to_string(req).map_err(std::io::Error::other)?;
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        self.line.clear();
-        let n = self.reader.read_line(&mut self.line)?;
-        if n == 0 {
-            return Err(ServeError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
+        match self.mode {
+            WireMode::Json => {
+                serde_json::to_writer(&mut self.writer, req).map_err(std::io::Error::other)?;
+                self.writer.write_all(b"\n")?;
+                self.writer.flush()?;
+                self.line.clear();
+                let n = self.reader.read_line(&mut self.line)?;
+                if n == 0 {
+                    return Err(ServeError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )));
+                }
+                Ok(serde_json::from_str(&self.line).map_err(std::io::Error::other)?)
+            }
+            WireMode::Bin => {
+                self.frame.clear();
+                wire::encode_request(req, &mut self.frame);
+                wire::write_frame(&mut self.writer, &self.frame)?;
+                self.writer.flush()?;
+                let got = wire::read_frame(&mut self.reader, &mut self.payload)
+                    .map_err(frame_to_io)?;
+                if !got {
+                    return Err(ServeError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )));
+                }
+                Ok(wire::decode_response(&self.payload).map_err(std::io::Error::other)?)
+            }
         }
-        Ok(serde_json::from_str(&self.line).map_err(std::io::Error::other)?)
+    }
+}
+
+fn frame_to_io(e: wire::FrameError) -> std::io::Error {
+    match e {
+        wire::FrameError::Io(io) => io,
+        wire::FrameError::Protocol(p) => std::io::Error::other(p),
     }
 }
 
@@ -239,8 +328,40 @@ struct Tally {
     reconnects: AtomicU64,
     /// Open attempts so far, used for rate pacing and seed assignment.
     attempts: AtomicU64,
+    /// Order-independent events digest: wrapping sum of per-session
+    /// FNV-1a digests, folded in as each thread exits.
+    digest: AtomicU64,
     /// Per-session data-event counts, merged in as each thread exits.
     per_session: Mutex<Vec<u64>>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// What one client thread tracks per open session: the running event
+/// count and digest state. The digest is seeded from the session *seed*,
+/// not the session id — ids embed shard bits, seeds are stable across
+/// shard counts.
+struct SessionTally {
+    events: u64,
+    fnv: u64,
+}
+
+impl SessionTally {
+    fn new(seed: u64) -> SessionTally {
+        SessionTally {
+            events: 0,
+            fnv: fnv1a(FNV_OFFSET, &seed.to_le_bytes()),
+        }
+    }
 }
 
 /// One splitmix64 scramble, for deterministic backoff jitter.
@@ -268,7 +389,7 @@ fn backoff_with_jitter(base_ms: u64, attempt: u32, salt: u64, cap_ms: u64) -> Du
 fn connect_with_retry(cfg: &LoadgenConfig, tally: &Tally) -> Result<Client, ServeError> {
     let mut attempt: u32 = 0;
     loop {
-        match Client::connect(&cfg.addr) {
+        match Client::connect(&cfg.addr, cfg.wire) {
             Ok(c) => return Ok(c),
             Err(ServeError::Io(e))
                 if e.kind() == std::io::ErrorKind::ConnectionRefused
@@ -355,11 +476,17 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
             std::thread::Builder::new()
                 .name(format!("cpt-loadgen-{i}"))
                 .spawn(move || {
-                    let mut counts = HashMap::new();
+                    let mut counts: HashMap<u64, SessionTally> = HashMap::new();
                     client_thread(&cfg, per_thread, start, open_deadline, &tally, &open_hist,
                         &next_hist, &mut counts);
+                    let mut digest: u64 = 0;
                     let mut per = tally.per_session.lock().expect("per-session tally poisoned");
-                    per.extend(counts.into_values());
+                    for t in counts.into_values() {
+                        per.push(t.events);
+                        digest = digest.wrapping_add(t.fnv);
+                    }
+                    drop(per);
+                    tally.digest.fetch_add(digest, Ordering::Relaxed);
                 })
         })
         .collect::<Result<_, _>>()
@@ -370,7 +497,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
 
     // Final server snapshot (and optional shutdown) on a fresh connection.
     let mut server_stats = None;
-    if let Ok(mut client) = Client::connect(&cfg.addr) {
+    if let Ok(mut client) = Client::connect(&cfg.addr, cfg.wire) {
         if let Ok(Response::Stats { stats }) = client.request(&Request::Stats) {
             server_stats = Some(*stats);
         }
@@ -398,6 +525,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         sessions_failed: tally.failed.load(Ordering::Relaxed),
         sessions_reattached: tally.reattached.load(Ordering::Relaxed),
         events_received: events,
+        events_digest: format!("{:016x}", tally.digest.load(Ordering::Relaxed)),
         errors: tally.errors.load(Ordering::Relaxed),
         connect_retries: tally.connect_retries.load(Ordering::Relaxed),
         open_retries: tally.open_retries.load(Ordering::Relaxed),
@@ -436,6 +564,15 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
         finetunes_failed: server_stats
             .as_ref()
             .map(|s| s.finetunes_failed)
+            .unwrap_or(0),
+        shards: server_stats.as_ref().map(|s| s.shards).unwrap_or(0),
+        shard_runnable_max: server_stats
+            .as_ref()
+            .map(|s| s.shard_runnable_max)
+            .unwrap_or(0),
+        shard_runnable_min: server_stats
+            .as_ref()
+            .map(|s| s.shard_runnable_min)
             .unwrap_or(0),
         server_stats,
     })
@@ -494,7 +631,7 @@ fn client_thread(
     tally: &Tally,
     open_hist: &LatencyHistogram,
     next_hist: &LatencyHistogram,
-    counts: &mut HashMap<u64, u64>,
+    counts: &mut HashMap<u64, SessionTally>,
 ) {
     let mut conn = match establish(cfg, tally) {
         Ok(c) => c,
@@ -511,6 +648,8 @@ fn client_thread(
     let mut shed_streak: u32 = 0;
     let mut opening_done = false;
     let mut drain_deadline: Option<Instant> = None;
+    // Reused scratch for canonical event encoding (digest folding).
+    let mut scratch: Vec<u8> = Vec::new();
 
     loop {
         // Open phase: top up to this thread's share of the concurrency
@@ -545,6 +684,7 @@ fn client_thread(
                 Ok(Response::Opened { session }) => {
                     open_hist.record(t0.elapsed());
                     tally.opened.fetch_add(1, Ordering::Relaxed);
+                    counts.insert(session, SessionTally::new(cfg.seed_base + idx));
                     open.push(session);
                     shed_streak = 0;
                 }
@@ -609,10 +749,20 @@ fn client_thread(
             match conn.client.request(&req) {
                 Ok(Response::Events { events, finished, .. }) => {
                     next_hist.record(t0.elapsed());
-                    let data = events.iter().filter(|e| e.data().is_some()).count();
+                    let data = events.iter().filter(|e| e.data().is_some()).count() as u64;
                     let failed = events.iter().any(|e| e.is_failure());
-                    tally.events.fetch_add(data as u64, Ordering::Relaxed);
-                    *counts.entry(id).or_default() += data as u64;
+                    tally.events.fetch_add(data, Ordering::Relaxed);
+                    if let Some(t) = counts.get_mut(&id) {
+                        // Fold each data event's canonical binary encoding
+                        // into the session digest — codec-independent, so
+                        // JSON and binary clients produce the same digest.
+                        for e in events.iter().filter(|e| e.data().is_some()) {
+                            scratch.clear();
+                            wire::encode_event(e, &mut scratch);
+                            t.fnv = fnv1a(t.fnv, &scratch);
+                        }
+                        t.events += data;
+                    }
                     if finished {
                         let closed = matches!(
                             conn.client.request(&Request::Close { session: id }),
@@ -631,6 +781,14 @@ fn client_thread(
                     } else {
                         i += 1;
                     }
+                }
+                Ok(Response::Error { kind: ErrorKind::Overloaded, .. }) => {
+                    // An overloaded server shedding mid-session is asking
+                    // for patience, not reporting a failure: count it as a
+                    // shed, distinct from generic errors, and retry the
+                    // session on the next round-robin pass.
+                    tally.shed.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
                 }
                 Ok(_) => {
                     tally.errors.fetch_add(1, Ordering::Relaxed);

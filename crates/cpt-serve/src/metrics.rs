@@ -61,6 +61,18 @@ impl LatencyHistogram {
         self.quantile(q)
     }
 
+    /// Adds `other`'s samples bucket-wise (sharded-engine merge: the
+    /// union histogram of per-shard histograms is exact, because buckets
+    /// are positionally identical).
+    pub fn absorb(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// The `q`-quantile in the histogram's raw unit (upper bucket bound);
     /// 0 if empty.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -138,6 +150,23 @@ impl Default for Metrics {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// The point-in-time lock-guarded gauges the engine supplies to
+/// [`Metrics::snapshot`]; everything else in the snapshot comes from the
+/// merged atomic counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnapshotGauges {
+    /// Sessions currently open engine-wide.
+    pub sessions_open: usize,
+    /// Events queued across all sessions.
+    pub queued_events: usize,
+    /// Recycled decode states summed over shard free-lists.
+    pub free_states: usize,
+    /// Decode workers across all shards.
+    pub workers: usize,
+    /// The model version new sessions open on.
+    pub live_version: u64,
 }
 
 impl Metrics {
@@ -292,18 +321,79 @@ impl Metrics {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `other`'s counters into `self` (the sharded engine's `/stats`
+    /// merge: counter sums are exact, histograms merge bucket-wise, and
+    /// `batch_peak` takes the max across shards).
+    pub fn absorb(&self, other: &Metrics) {
+        fn add(dst: &AtomicU64, src: &AtomicU64) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        add(&self.sessions_opened, &other.sessions_opened);
+        add(&self.sessions_shed, &other.sessions_shed);
+        add(&self.sessions_closed, &other.sessions_closed);
+        add(&self.sessions_failed, &other.sessions_failed);
+        add(&self.sessions_detached, &other.sessions_detached);
+        add(&self.sessions_reattached, &other.sessions_reattached);
+        add(&self.sessions_expired, &other.sessions_expired);
+        add(&self.sessions_force_failed, &other.sessions_force_failed);
+        add(&self.worker_panics, &other.worker_panics);
+        add(&self.events_generated, &other.events_generated);
+        add(&self.events_delivered, &other.events_delivered);
+        add(&self.slices, &other.slices);
+        self.slice_latency.absorb(&other.slice_latency);
+        add(&self.batched_tokens, &other.batched_tokens);
+        add(&self.sequential_tokens, &other.sequential_tokens);
+        add(&self.batch_rounds, &other.batch_rounds);
+        self.batch_peak
+            .fetch_max(other.batch_peak.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.batch_occupancy.absorb(&other.batch_occupancy);
+        add(&self.versions_published, &other.versions_published);
+        add(&self.versions_rolled_back, &other.versions_rolled_back);
+        add(&self.versions_quarantined, &other.versions_quarantined);
+        add(&self.versions_retired, &other.versions_retired);
+        add(&self.divergence_trips, &other.divergence_trips);
+        add(&self.finetunes_running, &other.finetunes_running);
+        add(&self.finetunes_completed, &other.finetunes_completed);
+        add(&self.finetunes_failed, &other.finetunes_failed);
+    }
+
+    /// Builds the engine-wide view of `base` (whose uptime clock is kept)
+    /// plus every shard's counters.
+    pub fn merged<'a>(
+        base: &Metrics,
+        others: impl IntoIterator<Item = &'a Metrics>,
+    ) -> Metrics {
+        let out = Metrics {
+            started: base.started,
+            ..Metrics::new()
+        };
+        out.absorb(base);
+        for m in others {
+            out.absorb(m);
+        }
+        out
+    }
+
     /// Builds a snapshot; the engine supplies the lock-guarded gauges
-    /// (including the live version id and the per-version pinned-session
-    /// counts).
+    /// (including the live version id, the per-version pinned-session
+    /// counts, and each shard's `(open sessions, runnable sessions)`
+    /// occupancy pair for the imbalance stats).
     pub fn snapshot(
         &self,
-        sessions_open: usize,
-        queued_events: usize,
-        free_states: usize,
-        workers: usize,
-        live_version: u64,
+        gauges: SnapshotGauges,
         sessions_per_version: &[(u64, u64)],
+        shard_occupancy: &[(u64, u64)],
     ) -> StatsSnapshot {
+        let SnapshotGauges {
+            sessions_open,
+            queued_events,
+            free_states,
+            workers,
+            live_version,
+        } = gauges;
         let uptime = self.started.elapsed().as_secs_f64();
         let generated = self.events_generated.load(Ordering::Relaxed);
         StatsSnapshot {
@@ -350,6 +440,11 @@ impl Metrics {
             finetunes_running: self.finetunes_running.load(Ordering::Relaxed),
             finetunes_completed: self.finetunes_completed.load(Ordering::Relaxed),
             finetunes_failed: self.finetunes_failed.load(Ordering::Relaxed),
+            shards: shard_occupancy.len() as u64,
+            shard_sessions_max: shard_occupancy.iter().map(|&(s, _)| s).max().unwrap_or(0),
+            shard_sessions_min: shard_occupancy.iter().map(|&(s, _)| s).min().unwrap_or(0),
+            shard_runnable_max: shard_occupancy.iter().map(|&(_, r)| r).max().unwrap_or(0),
+            shard_runnable_min: shard_occupancy.iter().map(|&(_, r)| r).min().unwrap_or(0),
         }
     }
 }
@@ -468,6 +563,21 @@ pub struct StatsSnapshot {
     /// untouched.
     #[serde(default)]
     pub finetunes_failed: u64,
+    /// Engine shards (0 in snapshots recorded before sharding).
+    #[serde(default)]
+    pub shards: u64,
+    /// Open sessions on the most-loaded shard (shard-imbalance stat).
+    #[serde(default)]
+    pub shard_sessions_max: u64,
+    /// Open sessions on the least-loaded shard.
+    #[serde(default)]
+    pub shard_sessions_min: u64,
+    /// Run-queue depth of the deepest shard at snapshot time.
+    #[serde(default)]
+    pub shard_runnable_max: u64,
+    /// Run-queue depth of the shallowest shard at snapshot time.
+    #[serde(default)]
+    pub shard_runnable_min: u64,
 }
 
 #[cfg(test)]
@@ -515,7 +625,17 @@ mod tests {
         m.finetune_completed();
         m.finetune_started();
         m.finetune_failed();
-        let s = m.snapshot(1, 2, 3, 4, 7, &[(5, 0), (7, 1)]);
+        let s = m.snapshot(
+            SnapshotGauges {
+                sessions_open: 1,
+                queued_events: 2,
+                free_states: 3,
+                workers: 4,
+                live_version: 7,
+            },
+            &[(5, 0), (7, 1)],
+            &[(9, 2), (3, 0)],
+        );
         assert_eq!(s.sessions_failed, 1);
         assert_eq!(s.worker_panics, 1);
         assert_eq!(s.sessions_detached, 2);
@@ -556,5 +676,72 @@ mod tests {
         assert_eq!(s.finetunes_running, 0, "gauge returns to zero");
         assert_eq!(s.finetunes_completed, 1);
         assert_eq!(s.finetunes_failed, 1);
+        assert_eq!(s.shards, 2);
+        assert_eq!(s.shard_sessions_max, 9);
+        assert_eq!(s.shard_sessions_min, 3);
+        assert_eq!(s.shard_runnable_max, 2);
+        assert_eq!(s.shard_runnable_min, 0);
+    }
+
+    #[test]
+    fn merged_metrics_sum_counters_and_max_peaks() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.inc_opened();
+        a.record_slice(Duration::from_micros(10), 4);
+        a.record_batch_round(3, 3);
+        b.inc_opened();
+        b.inc_opened();
+        b.record_slice(Duration::from_micros(10), 6);
+        b.record_batch_round(8, 8);
+        let engine = Metrics::new();
+        engine.inc_shed();
+        let merged = Metrics::merged(&engine, [&a, &b]);
+        let s = merged.snapshot(
+            SnapshotGauges {
+                workers: 2,
+                live_version: 1,
+                ..SnapshotGauges::default()
+            },
+            &[],
+            &[],
+        );
+        assert_eq!(s.sessions_opened, 3);
+        assert_eq!(s.sessions_shed, 1);
+        assert_eq!(s.events_generated, 10);
+        assert_eq!(s.slices, 2);
+        assert_eq!(s.batch_rounds, 2);
+        assert_eq!(s.batched_tokens, 11);
+        assert_eq!(s.batch_peak, 8, "peak is a max, not a sum");
+        assert_eq!(s.shards, 0, "no occupancy supplied");
+    }
+
+    #[test]
+    fn old_snapshots_without_shard_fields_still_parse() {
+        let m = Metrics::new();
+        let s = m.snapshot(
+            SnapshotGauges {
+                workers: 1,
+                live_version: 1,
+                ..SnapshotGauges::default()
+            },
+            &[],
+            &[(1, 0)],
+        );
+        let mut v = serde_json::to_value(&s).expect("snapshot serializes");
+        let obj = v.as_object_mut().expect("snapshot is an object");
+        for legacy_missing in [
+            "shards",
+            "shard_sessions_max",
+            "shard_sessions_min",
+            "shard_runnable_max",
+            "shard_runnable_min",
+        ] {
+            obj.remove(legacy_missing);
+        }
+        let back: StatsSnapshot =
+            serde_json::from_value(v).expect("pre-shard snapshots still parse");
+        assert_eq!(back.shards, 0);
+        assert_eq!(back.shard_sessions_max, 0);
     }
 }

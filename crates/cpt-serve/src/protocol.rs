@@ -51,6 +51,8 @@
 
 #![deny(clippy::unwrap_used)]
 
+pub mod wire;
+
 use crate::engine::SessionEvent;
 use crate::error::ServeError;
 use crate::metrics::StatsSnapshot;

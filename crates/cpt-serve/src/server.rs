@@ -1,9 +1,21 @@
-//! The TCP front end: line-delimited JSON over std-thread networking.
+//! The TCP front end: line-delimited JSON or negotiated binary frames
+//! over std-thread networking.
 //!
 //! One thread per connection (capped), each multiplexing any number of
 //! sessions over the shared [`Engine`] — the decode work itself always
 //! happens on the engine's worker pool, so connection threads only parse,
 //! dispatch, and serialize.
+//!
+//! Codec negotiation is a one-byte peek: every JSON-lines request starts
+//! with `{`, so a client that instead leads with the
+//! [`crate::protocol::wire::MAGIC`] byte (plus a version byte) switches
+//! the connection to length-prefixed binary frames. Responses in binary
+//! mode are encoded into pooled buffers ([`crate::pool::BufferPool`]) and
+//! the JSON path serializes straight into the connection's `BufWriter`
+//! (no per-response `String`), so neither codec allocates per response in
+//! steady state. All sockets run with `TCP_NODELAY`: responses are
+//! latency-sensitive single writes, already batched by the `BufWriter`,
+//! and Nagle coalescing only adds tail latency.
 //!
 //! Disconnect policy is *crash-only*: by default a connection that dies
 //! has all its still-open sessions closed for it, so abandoned clients
@@ -28,11 +40,13 @@ use crate::engine::{DetachToken, Engine, ServeConfig, ServeHandle, SessionId};
 use crate::error::ServeError;
 use crate::lifecycle::{Director, FineTuneSpec};
 use crate::metrics::StatsSnapshot;
+use crate::pool::BufferPool;
+use crate::protocol::wire;
 use crate::protocol::{ErrorKind, Request, Response, VersionInfo};
 use crate::registry::Registry;
 use cpt_gpt::{CptGpt, StreamParams};
 use std::collections::HashSet;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -176,6 +190,8 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            // Responses are single buffered writes; Nagle only delays them.
+            let _ = stream.set_nodelay(true);
             if conns.fetch_add(1, Ordering::SeqCst) >= self.cfg.serve.max_connections {
                 conns.fetch_sub(1, Ordering::SeqCst);
                 let _ = refuse_connection(stream, self.cfg.serve.max_connections);
@@ -224,14 +240,61 @@ fn refuse_connection(stream: TcpStream, cap: usize) -> std::io::Result<()> {
         kind: ErrorKind::Overloaded,
         message: format!("too many connections (cap {cap})"),
     };
-    write_response(&mut w, &resp)
+    // Refusal happens before codec negotiation, so it is always a JSON
+    // line; a binary-mode client sees the connection close mid-frame and
+    // retries like any other refused connect.
+    write_json_response(&mut w, &resp)
 }
 
-fn write_response(w: &mut BufWriter<TcpStream>, resp: &Response) -> std::io::Result<()> {
-    let line = serde_json::to_string(resp).map_err(std::io::Error::other)?;
-    w.write_all(line.as_bytes())?;
+/// Serializes a response straight into the connection's `BufWriter` — no
+/// intermediate `String`, so steady-state responses don't allocate.
+fn write_json_response(w: &mut BufWriter<TcpStream>, resp: &Response) -> std::io::Result<()> {
+    serde_json::to_writer(&mut *w, resp).map_err(std::io::Error::other)?;
     w.write_all(b"\n")?;
     w.flush()
+}
+
+/// Encodes a response into a pooled frame buffer and writes it as one
+/// length-prefixed frame.
+fn write_bin_response(
+    w: &mut BufWriter<TcpStream>,
+    resp: &Response,
+    pool: &Arc<BufferPool>,
+) -> std::io::Result<()> {
+    let mut buf = pool.get();
+    wire::encode_response(resp, &mut buf).map_err(std::io::Error::other)?;
+    wire::write_frame(w, &buf)?;
+    w.flush()
+}
+
+/// A reader that retries timeout wakeups (the bounded `SO_RCVTIMEO` used
+/// to poll the stop flag) until the stop flag is set — so a binary frame
+/// arriving slowly is never torn by a poll timeout, while shutdown still
+/// interrupts a blocked read.
+struct PatientReader<'a, R> {
+    inner: &'a mut R,
+    stop: &'a AtomicBool,
+}
+
+impl<R: Read> Read for PatientReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.inner.read(buf) {
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionAborted,
+                            "server stopping",
+                        ));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
 }
 
 /// Per-connection context the accept loop hands to the connection thread.
@@ -251,9 +314,10 @@ struct ConnState {
     armed: Option<DetachToken>,
 }
 
-/// Serves one client: parse a request line, dispatch, write a response
-/// line, repeat until disconnect or shutdown. On exit, sessions the client
-/// left open are closed — or parked under the armed detach token.
+/// Serves one client: negotiate the codec off the first byte, then parse
+/// a request, dispatch, write a response, repeat until disconnect or
+/// shutdown. On exit, sessions the client left open are closed — or
+/// parked under the armed detach token.
 fn handle_connection(
     stream: TcpStream,
     handle: &ServeHandle,
@@ -275,17 +339,84 @@ fn handle_connection(
         owned: HashSet::new(),
         armed: None,
     };
+
+    // Codec negotiation: peek the first byte. `{` (any JSON-lines
+    // request) keeps JSON; the wire MAGIC switches to binary frames.
+    let binary = loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return, // clean close before the first byte
+            Ok(&[first, ..]) => break first == wire::MAGIC,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    };
+
+    if binary {
+        reader.consume(1);
+        let mut version = [0u8; 1];
+        let mut patient = PatientReader {
+            inner: &mut reader,
+            stop,
+        };
+        if patient.read_exact(&mut version).is_err() {
+            return;
+        }
+        if let Err(e) = wire::check_version(version[0]) {
+            let resp = Response::Error {
+                kind: ErrorKind::InvalidRequest,
+                message: e.to_string(),
+            };
+            let pool = BufferPool::for_connection();
+            let _ = write_bin_response(&mut writer, &resp, &pool);
+            return;
+        }
+        serve_binary(&mut reader, &mut writer, handle, director, stop, stopper, &conn, &mut state);
+    } else {
+        serve_json(&mut reader, &mut writer, handle, director, stop, stopper, &conn, &mut state);
+    }
+
+    match state.armed {
+        Some(token) if !state.owned.is_empty() => {
+            handle.park_sessions(token, state.owned.iter().map(|&id| SessionId(id)));
+        }
+        _ => {
+            for id in state.owned.drain() {
+                let _ = handle.close_session(SessionId(id));
+            }
+        }
+    }
+}
+
+/// The JSON-lines request loop.
+#[allow(clippy::too_many_arguments)]
+fn serve_json(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    handle: &ServeHandle,
+    director: Option<&Director>,
+    stop: &AtomicBool,
+    stopper: &(impl Fn() + Send + Sync),
+    conn: &ConnContext,
+    state: &mut ConnState,
+) {
     let mut line = String::new();
     let mut req_idx: u64 = 0;
-
     loop {
         if stop.load(Ordering::SeqCst) {
-            break;
+            return;
         }
         // `line` is only cleared after a full line is processed, so a
         // timeout mid-line keeps the partial bytes and resumes.
         match reader.read_line(&mut line) {
-            Ok(0) => break,
+            Ok(0) => return,
             Ok(_) => {
                 if line.trim().is_empty() {
                     line.clear();
@@ -294,14 +425,23 @@ fn handle_connection(
                 if conn.chaos.should_drop(conn.idx, req_idx) {
                     // Hard drop: no response, no goodbye — exactly what a
                     // network failure looks like to the disconnect path.
-                    break;
+                    return;
                 }
                 conn.chaos.corrupt_line(conn.idx, req_idx, &mut line);
                 req_idx += 1;
-                let (resp, quit) = dispatch(&line, handle, director, &mut state, stopper);
+                let (resp, quit) = match serde_json::from_str(&line) {
+                    Ok(req) => dispatch(req, handle, director, state, stopper),
+                    Err(e) => (
+                        Response::Error {
+                            kind: ErrorKind::InvalidRequest,
+                            message: format!("bad request line: {e}"),
+                        },
+                        false,
+                    ),
+                };
                 line.clear();
-                if write_response(&mut writer, &resp).is_err() || quit {
-                    break;
+                if write_json_response(writer, &resp).is_err() || quit {
+                    return;
                 }
             }
             Err(e)
@@ -310,42 +450,81 @@ fn handle_connection(
             {
                 continue;
             }
-            Err(_) => break,
+            Err(_) => return,
         }
     }
-    match state.armed {
-        Some(token) if !state.owned.is_empty() => {
-            handle.park_sessions(token, state.owned.iter().map(|&id| SessionId(id)));
+}
+
+/// The binary-frame request loop. Frame buffers (inbound payload and
+/// outbound responses) come from a per-connection pool, so steady-state
+/// request/response cycles allocate nothing.
+#[allow(clippy::too_many_arguments)]
+fn serve_binary(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    handle: &ServeHandle,
+    director: Option<&Director>,
+    stop: &AtomicBool,
+    stopper: &(impl Fn() + Send + Sync),
+    conn: &ConnContext,
+    state: &mut ConnState,
+) {
+    let pool = BufferPool::for_connection();
+    let mut payload = pool.get();
+    let mut req_idx: u64 = 0;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
         }
-        _ => {
-            for id in state.owned {
-                let _ = handle.close_session(SessionId(id));
+        let mut patient = PatientReader {
+            inner: reader,
+            stop,
+        };
+        match wire::read_frame(&mut patient, &mut payload) {
+            Ok(false) => return, // clean close at a frame boundary
+            Ok(true) => {}
+            Err(wire::FrameError::Protocol(e)) => {
+                // A malformed frame desynchronizes the stream — answer
+                // typed, then drop the connection (resync is impossible).
+                let resp = Response::Error {
+                    kind: ErrorKind::InvalidRequest,
+                    message: format!("bad frame: {e}"),
+                };
+                let _ = write_bin_response(writer, &resp, &pool);
+                return;
             }
+            Err(wire::FrameError::Io(_)) => return,
+        }
+        if conn.chaos.should_drop(conn.idx, req_idx) {
+            return;
+        }
+        req_idx += 1;
+        let (resp, quit) = match wire::decode_request(&payload) {
+            Ok(req) => dispatch(req, handle, director, state, stopper),
+            Err(e) => (
+                Response::Error {
+                    kind: ErrorKind::InvalidRequest,
+                    message: format!("bad request frame: {e}"),
+                },
+                false,
+            ),
+        };
+        if write_bin_response(writer, &resp, &pool).is_err() || quit {
+            return;
         }
     }
 }
 
 /// Executes one request; returns the response and whether the connection
-/// loop should exit afterwards (only for `shutdown`).
+/// loop should exit afterwards (only for `shutdown`). Codec-agnostic —
+/// both the JSON and binary loops feed parsed [`Request`]s here.
 fn dispatch(
-    line: &str,
+    req: Request,
     handle: &ServeHandle,
     director: Option<&Director>,
     state: &mut ConnState,
     stopper: &(impl Fn() + Send + Sync),
 ) -> (Response, bool) {
-    let req: Request = match serde_json::from_str(line) {
-        Ok(r) => r,
-        Err(e) => {
-            return (
-                Response::Error {
-                    kind: ErrorKind::InvalidRequest,
-                    message: format!("bad request line: {e}"),
-                },
-                false,
-            )
-        }
-    };
     match req {
         Request::Open {
             seed,

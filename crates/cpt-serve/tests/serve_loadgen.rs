@@ -10,7 +10,7 @@ use cpt_gpt::{
 use cpt_serve::protocol::{ErrorKind, Request, Response};
 use cpt_serve::{
     run_loadgen, ChaosPlan, Engine, LoadgenConfig, ServeConfig, Server, ServerConfig,
-    SessionId,
+    SessionId, WireMode,
 };
 use cpt_trace::{Dataset, DeviceType, Event, EventType, Stream, UeId};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -269,6 +269,71 @@ fn loadgen_end_to_end() {
     assert_eq!(server_stats.events_delivered, report.events_received);
     assert!(server_stats.slices > 0);
     server.shutdown();
+}
+
+/// Satellite (3), equivalence half: a JSON-lines client and a binary-wire
+/// client observe byte-identical event streams for the same seeds — the
+/// loadgen digest folds the canonical `wire::encode_event` bytes of every
+/// data event, so equal digests mean equal streams, codec-independently.
+#[test]
+fn cross_codec_clients_observe_identical_event_streams() {
+    let run = |wire: WireMode| {
+        let server = start_server(ServeConfig::new(2));
+        let mut cfg = LoadgenConfig::new(server.addr.to_string());
+        cfg.sessions = 32;
+        cfg.concurrent = 12;
+        cfg.threads = 2;
+        cfg.streams = 2;
+        cfg.seed_base = 7_000;
+        cfg.wire = wire;
+        let report = run_loadgen(&cfg).expect("loadgen runs");
+        server.shutdown();
+        report
+    };
+    let json = run(WireMode::Json);
+    let bin = run(WireMode::Bin);
+    for r in [&json, &bin] {
+        assert_eq!(r.sessions_opened, 32);
+        assert_eq!(r.sessions_completed, 32);
+        assert_eq!(r.sessions_shed, 0);
+        assert_eq!(r.errors, 0);
+        assert!(r.events_received > 0);
+    }
+    assert_eq!(json.events_received, bin.events_received);
+    assert_eq!(
+        json.events_digest, bin.events_digest,
+        "JSON and binary clients must observe byte-identical event streams"
+    );
+}
+
+/// The loadgen digest is also stable across server shard counts: the same
+/// seeds against a 1-shard and a 4-shard server produce the same streams.
+#[test]
+fn loadgen_digest_stable_across_shard_counts() {
+    let run = |shards: usize| {
+        let server = start_server(ServeConfig {
+            shards,
+            ..ServeConfig::new(4)
+        });
+        let mut cfg = LoadgenConfig::new(server.addr.to_string());
+        cfg.sessions = 32;
+        cfg.concurrent = 12;
+        cfg.threads = 2;
+        cfg.streams = 2;
+        cfg.seed_base = 11_000;
+        cfg.wire = WireMode::Bin;
+        let report = run_loadgen(&cfg).expect("loadgen runs");
+        server.shutdown();
+        report
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.events_received, four.events_received);
+    assert_eq!(
+        one.events_digest, four.events_digest,
+        "event streams must be bit-identical at any shard count"
+    );
+    assert_eq!(four.shards, 4, "report carries the server shard count");
 }
 
 /// The `shutdown` verb stops the server from the client side.

@@ -1,0 +1,241 @@
+//! Property tests for the binary wire codec: every verb and response
+//! round-trips bit-exactly through `encode`/`decode`; truncating an
+//! encoded frame at any offset yields a typed [`ProtocolError`]; and
+//! flipping any single bit anywhere in a frame decodes to `Ok` or a typed
+//! error — never a panic. The `stats`/`versions` responses embed a JSON
+//! blob and are covered by `serve_loadgen.rs` (they need the real
+//! `serde_json` at runtime); everything here is pure fixed-layout codec.
+
+use cpt_serve::protocol::wire::{self, ProtocolError};
+use cpt_serve::protocol::{ErrorKind, Request, Response};
+use cpt_serve::SessionEvent;
+use cpt_trace::EventType;
+use proptest::prelude::*;
+
+type DecodedEvent = cpt_gpt::SessionEvent;
+
+const DEVICES: [&str; 3] = ["phone", "connected_car", "tablet"];
+
+const KINDS: [ErrorKind; 12] = [
+    ErrorKind::Overloaded,
+    ErrorKind::UnknownSession,
+    ErrorKind::InvalidRequest,
+    ErrorKind::ShuttingDown,
+    ErrorKind::Draining,
+    ErrorKind::UnknownToken,
+    ErrorKind::Registry,
+    ErrorKind::UnknownVersion,
+    ErrorKind::NoPreviousVersion,
+    ErrorKind::NoRegistry,
+    ErrorKind::Busy,
+    ErrorKind::Internal,
+];
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (0u64..u64::MAX, 1usize..9, 0usize..3, 0usize..40).prop_map(
+            |(seed, streams, dev, cap)| Request::Open {
+                seed,
+                streams,
+                device: DEVICES[dev].to_string(),
+                max_stream_len: if cap == 0 { None } else { Some(cap) },
+            }
+        ),
+        (0u64..u64::MAX, 0usize..4096, 0u64..100_000).prop_map(
+            |(session, max, wait_ms)| Request::Next {
+                session,
+                max,
+                wait_ms,
+            }
+        ),
+        (0u64..u64::MAX).prop_map(|session| Request::Close { session }),
+        Just(Request::Detach),
+        (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(a, b)| Request::Reattach {
+            token: format!("{a:016x}{b:016x}"),
+        }),
+        (0u64..600_000).prop_map(|timeout_ms| Request::Drain { timeout_ms }),
+        Just(Request::Stats),
+        (1u64..64, 0u8..2).prop_map(|(v, staged)| Request::Publish {
+            path: if staged == 0 {
+                Some(format!("model-{v}.json"))
+            } else {
+                None
+            },
+            version: if staged == 0 { None } else { Some(v) },
+        }),
+        Just(Request::Rollback),
+        (0u64..u64::MAX, 0usize..20, 0u8..2).prop_map(|(seed, epochs, has_seed)| {
+            Request::Finetune {
+                trace: format!("trace-{}.jsonl", seed % 1000),
+                epochs: if epochs == 0 { None } else { Some(epochs) },
+                seed: if has_seed == 1 { Some(seed) } else { None },
+            }
+        }),
+        Just(Request::Versions),
+        Just(Request::Shutdown),
+    ]
+}
+
+/// Finite event payloads (NaN bit-exactness has its own unit test in the
+/// codec; `PartialEq` round-trip comparison needs finite floats).
+fn arb_event() -> impl Strategy<Value = SessionEvent> {
+    prop_oneof![
+        (0usize..8, 0usize..EventType::ALL.len(), 0.0f64..1e6, 0.0f64..1e9, 0u8..2).prop_map(
+            |(stream, et, iat, timestamp, last)| {
+                SessionEvent::Data(DecodedEvent {
+                    stream,
+                    event_type: EventType::from_index(et).expect("index in range"),
+                    iat,
+                    timestamp,
+                    last_in_stream: last == 1,
+                })
+            }
+        ),
+        (0u64..1000).prop_map(|n| SessionEvent::Failed {
+            reason: format!("chaos: injected panic advancing session {n}"),
+        }),
+    ]
+}
+
+/// Every response except the JSON-blob pair (`stats`, `versions`).
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (0u64..u64::MAX).prop_map(|session| Response::Opened { session }),
+        (
+            0u64..u64::MAX,
+            proptest::collection::vec(arb_event(), 0..16),
+            0u8..2
+        )
+            .prop_map(|(session, events, fin)| Response::Events {
+                session,
+                events,
+                finished: fin == 1,
+            }),
+        (0u64..u64::MAX).prop_map(|session| Response::Closed { session }),
+        (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(a, b)| Response::Detached {
+            token: format!("{a:016x}{b:016x}"),
+        }),
+        proptest::collection::vec(0u64..u64::MAX, 0..32)
+            .prop_map(|sessions| Response::Reattached { sessions }),
+        (0u64..5000, 0u64..5000).prop_map(|(completed, force_failed)| Response::Drained {
+            completed,
+            force_failed,
+        }),
+        (1u64..64, 0u64..64).prop_map(|(version, prev)| Response::Published {
+            version,
+            previous: if prev == 0 { None } else { Some(prev) },
+        }),
+        (1u64..64, 1u64..64).prop_map(|(demoted, live)| Response::RolledBack { demoted, live }),
+        (1u64..1000).prop_map(|job| Response::FinetuneStarted { job }),
+        Just(Response::Bye),
+        (0usize..KINDS.len(), 0u64..1000).prop_map(|(k, n)| Response::Error {
+            kind: KINDS[k],
+            message: format!("failure {n}"),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every request verb round-trips bit-exactly.
+    #[test]
+    fn every_request_round_trips(req in arb_request()) {
+        let mut buf = Vec::new();
+        wire::encode_request(&req, &mut buf);
+        let back = wire::decode_request(&buf);
+        prop_assert_eq!(Ok(req), back);
+    }
+
+    /// Every fixed-layout response round-trips bit-exactly.
+    #[test]
+    fn every_response_round_trips(resp in arb_response()) {
+        let mut buf = Vec::new();
+        wire::encode_response(&resp, &mut buf).expect("fixed-layout responses encode");
+        let back = wire::decode_response(&buf);
+        prop_assert_eq!(Ok(resp), back);
+    }
+
+    /// A request frame truncated at any strict prefix is a typed error,
+    /// never a panic and never a silent partial decode.
+    #[test]
+    fn truncated_requests_are_typed_errors(req in arb_request(), cut in 0usize..4096) {
+        let mut buf = Vec::new();
+        wire::encode_request(&req, &mut buf);
+        let cut = cut % buf.len(); // strict prefix: every opcode is >= 1 byte
+        let got = wire::decode_request(&buf[..cut]);
+        prop_assert!(got.is_err(), "prefix of len {} decoded to {:?}", cut, got);
+    }
+
+    /// A response frame truncated at any strict prefix is a typed error.
+    #[test]
+    fn truncated_responses_are_typed_errors(resp in arb_response(), cut in 0usize..4096) {
+        let mut buf = Vec::new();
+        wire::encode_response(&resp, &mut buf).expect("fixed-layout responses encode");
+        let cut = cut % buf.len();
+        let got = wire::decode_response(&buf[..cut]);
+        prop_assert!(got.is_err(), "prefix of len {} decoded to {:?}", cut, got);
+    }
+
+    /// Flipping any single bit anywhere in an encoded request decodes to
+    /// `Ok` (the flip landed in a value field) or a typed error — the
+    /// decoder must never panic on adversarial bytes.
+    #[test]
+    fn bit_flipped_requests_never_panic(
+        req in arb_request(),
+        byte_sel in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        wire::encode_request(&req, &mut buf);
+        let idx = byte_sel % buf.len();
+        buf[idx] ^= 1 << bit;
+        match wire::decode_request(&buf) {
+            Ok(_) | Err(ProtocolError::Truncated)
+            | Err(ProtocolError::BadVarint)
+            | Err(ProtocolError::Oversize { .. })
+            | Err(ProtocolError::UnknownOpcode(_))
+            | Err(ProtocolError::BadTag { .. })
+            | Err(ProtocolError::BadUtf8)
+            | Err(ProtocolError::Trailing { .. }) => {}
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
+    /// Same single-bit-flip robustness for encoded responses.
+    #[test]
+    fn bit_flipped_responses_never_panic(
+        resp in arb_response(),
+        byte_sel in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        wire::encode_response(&resp, &mut buf).expect("fixed-layout responses encode");
+        let idx = byte_sel % buf.len();
+        buf[idx] ^= 1 << bit;
+        // Any typed outcome is acceptable; reaching this line at all is
+        // the property (no panic, no abort).
+        let _ = wire::decode_response(&buf);
+    }
+
+    /// Framing survives bit flips too: corrupting any byte of a framed
+    /// message (length prefix included) yields a clean read, a typed
+    /// frame error, or a short read — never a panic or an OOM-sized
+    /// allocation.
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        req in arb_request(),
+        byte_sel in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let mut payload = Vec::new();
+        wire::encode_request(&req, &mut payload);
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &payload).expect("frame into memory");
+        let idx = byte_sel % framed.len();
+        framed[idx] ^= 1 << bit;
+        let mut reader = framed.as_slice();
+        let mut buf = Vec::new();
+        let _ = wire::read_frame(&mut reader, &mut buf);
+    }
+}

@@ -164,9 +164,11 @@ fn usage() -> ExitCode {
            generate   --model MODEL.json --streams N [--device D] [--seed S]\n\
          \u{20}            [--threads N] -o OUT.jsonl\n\
            serve      --model MODEL.json [--addr HOST:PORT] [--workers N]\n\
+         \u{20}            [--shards N]   (shared-nothing engine shards, default 1)\n\
          \u{20}            [--max-sessions N] [--queue-capacity N] [--slice-budget N]\n\
          \u{20}            [--max-connections N] [--read-timeout-ms MS]\n\
-         \u{20}            [--detach-ttl-secs S]   (line-JSON protocol; port 0 = auto)\n\
+         \u{20}            [--detach-ttl-secs S]   (line JSON or negotiated binary\n\
+         \u{20}            framing, per connection; port 0 = auto)\n\
          \u{20}            [--no-batch-decode]   (sequential fallback; bit-identical)\n\
          \u{20}            [--batch-max N] [--quantized]   (int8 weights, approximate)\n\
          \u{20}            [--registry DIR]   (crash-safe model registry: enables\n\
@@ -187,6 +189,7 @@ fn usage() -> ExitCode {
            loadgen    --addr HOST:PORT [--sessions N] [--concurrent N]\n\
          \u{20}            [--rate R] [--streams N] [--threads N] [--duration-secs S]\n\
          \u{20}            [--seed S] [--shutdown] [-o REPORT.json]\n\
+         \u{20}            [--wire json|bin]   (codec; digest is codec-independent)\n\
          \u{20}            [--connect-retries N] [--retry-backoff-ms MS] [--no-reattach]\n\
            evaluate   --real REAL.jsonl --synth SYNTH.jsonl\n\
            trace      convert --input IN -o OUT   (JSONL <-> .ctb, streaming)\n\
@@ -199,6 +202,8 @@ fn usage() -> ExitCode {
          \u{20}            throughput < F x 1-thread; skipped on 1-core runners)\n\
          \u{20}            [--min-serve-speedup F]   (fail if batched serve decode\n\
          \u{20}            < F x sequential; skipped below 4 cores)\n\
+         \u{20}            [--min-shard-speedup F]   (fail if 8-shard serve\n\
+         \u{20}            < F x 1-shard; skipped below 4 cores)\n\
            dot        [--generation 4g|5g]   (Graphviz of the UE state machine)\n\
          \n\
          simulate/train/generate/stats/evaluate accept .ctb paths anywhere a\n\
@@ -562,6 +567,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
         );
     }
     let mut cfg = ServerConfig::new(addr, par.threads);
+    cfg.serve.shards = get_parsed(opts, "shards", cfg.serve.shards)?;
     cfg.serve.max_sessions = get_parsed(opts, "max-sessions", cfg.serve.max_sessions)?;
     cfg.serve.queue_capacity = get_parsed(opts, "queue-capacity", cfg.serve.queue_capacity)?;
     cfg.serve.slice_budget = get_parsed(opts, "slice-budget", cfg.serve.slice_budget)?;
@@ -600,9 +606,11 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
         eprintln!("warning: chaos injection enabled: {:?}", cfg.chaos);
     }
     println!(
-        "serving {} with {} workers (cap {} sessions, {} decode{})",
+        "serving {} with {} workers across {} shard{} (cap {} sessions, {} decode{})",
         model_path,
         cfg.serve.workers,
+        cfg.serve.shards,
+        if cfg.serve.shards == 1 { "" } else { "s" },
         cfg.serve.max_sessions,
         if cfg.serve.batch_decode {
             "batched"
@@ -679,6 +687,9 @@ fn cmd_loadgen(opts: &HashMap<String, String>) -> Result<(), CliError> {
     cfg.connect_retries = get_parsed(opts, "connect-retries", cfg.connect_retries)?;
     cfg.retry_backoff_ms = get_parsed(opts, "retry-backoff-ms", cfg.retry_backoff_ms)?;
     cfg.reattach = !opts.contains_key("no-reattach");
+    if let Some(wire) = opts.get("wire") {
+        cfg.wire = wire.parse().map_err(CliError::usage)?;
+    }
     let par = resolve_parallelism(
         Some(get_parsed(opts, "threads", cfg.threads)?),
         "--threads",
@@ -718,6 +729,13 @@ fn cmd_loadgen(opts: &HashMap<String, String>) -> Result<(), CliError> {
         report.events_per_session_mean,
         report.events_per_session_max
     );
+    println!("  events digest: {}", report.events_digest);
+    if report.shards > 1 {
+        println!(
+            "  server shards: {} (runnable max {} / min {} at close)",
+            report.shards, report.shard_runnable_max, report.shard_runnable_min
+        );
+    }
     if report.connect_retries > 0 || report.open_retries > 0 || report.reconnects > 0 {
         println!(
             "  resilience: {} connect retries, {} shed retries, {} reconnects, \
@@ -1179,6 +1197,14 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
             ));
         }
     }
+    let min_shard_speedup: Option<f64> = get_opt_parsed(opts, "min-shard-speedup")?;
+    if let Some(f) = min_shard_speedup {
+        if !f.is_finite() || f <= 0.0 {
+            return Err(CliError::usage(
+                "--min-shard-speedup must be finite and positive",
+            ));
+        }
+    }
 
     println!(
         "measuring throughput ({} mode)...",
@@ -1212,6 +1238,10 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
         report.serve_tokens_per_sec_sequential,
         report.serve_speedup,
         report.serve_tokens_per_sec_quantized
+    );
+    println!(
+        "  sharded:  {:.1} sessions/s at 8 shards, {:.2}x vs 1 shard",
+        report.serve_sessions_per_sec_sharded, report.shard_speedup
     );
     println!(
         "  swap:     {:.0} tokens/s under a mid-run publish",
@@ -1291,6 +1321,31 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
             println!(
                 "serve speedup {:.2}x on {cores} cores meets the required {min}x",
                 report.serve_speedup
+            );
+        }
+    }
+    if let Some(min) = min_shard_speedup {
+        // Sharding removes cross-thread lock contention; a small runner
+        // has no real contention to remove, so gating there would only
+        // measure scheduler noise (acceptance measures at >= 4 cores).
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores < 4 {
+            println!("shard-speedup gate skipped: only {cores} cores available");
+        } else if report.shard_speedup < min {
+            return Err(CliError {
+                code: EXIT_REGRESSION,
+                message: format!(
+                    "shard speedup {:.2}x (8 shards vs 1) on {cores} cores \
+                     is below the required {min}x",
+                    report.shard_speedup
+                ),
+            });
+        } else {
+            println!(
+                "shard speedup {:.2}x on {cores} cores meets the required {min}x",
+                report.shard_speedup
             );
         }
     }
